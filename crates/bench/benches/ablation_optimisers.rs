@@ -1,0 +1,63 @@
+//! Ablation: the paper's Monte Carlo random search (Algorithm 2) versus
+//! the appendix's projected stochastic gradient descent, on the same
+//! compiled problem — the design choice DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imc_optim::{projected_sgd, random_search, Problem, RandomSearchConfig, SgdConfig};
+use imc_sampling::{sample_is_run, IsConfig};
+use imcis_bench::setup::{group_repair_setup, GroupRepairIs};
+use rand::SeedableRng;
+
+fn bench_optimisers(c: &mut Criterion) {
+    let setup = group_repair_setup(GroupRepairIs::ZeroVariance, 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let run = sample_is_run(
+        &setup.b,
+        &setup.property,
+        &IsConfig::new(2000).with_max_steps(100_000),
+        &mut rng,
+    );
+    let mut group = c.benchmark_group("ablation_optimisers");
+    group.sample_size(10);
+    group.bench_function("random_search_1000_rounds", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            let mut problem =
+                Problem::new(&setup.imc, &setup.b, &run).expect("problem compiles");
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            random_search(
+                &mut problem,
+                &RandomSearchConfig {
+                    r_undefeated: 1_000_000,
+                    r_max: 1000,
+                    record_trace: false,
+                },
+                &mut rng,
+            )
+            .expect("search succeeds")
+        });
+    });
+    group.bench_function("projected_sgd_1000_steps", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            let mut problem =
+                Problem::new(&setup.imc, &setup.b, &run).expect("problem compiles");
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            projected_sgd(
+                &mut problem,
+                &SgdConfig {
+                    steps: 500, // 2 directions x 500 = 1000 evaluations
+                    ..SgdConfig::default()
+                },
+                &mut rng,
+            )
+            .expect("sgd succeeds")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimisers);
+criterion_main!(benches);

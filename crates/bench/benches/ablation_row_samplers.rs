@@ -1,0 +1,52 @@
+//! Ablation: Walker alias tables versus CDF binary search for the
+//! simulator's inner loop — the row-sampling design choice DESIGN.md
+//! calls out. Run on the group repair jump chain, whose rows have up to
+//! six outgoing transitions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imc_models::group_repair;
+use imc_sim::{CdfSampler, ChainSampler, StateSampler};
+use rand::{Rng, SeedableRng};
+
+fn bench_samplers(c: &mut Criterion) {
+    let chain = group_repair::jump_chain(0.1);
+    let alias = ChainSampler::new(&chain);
+    let cdf = CdfSampler::new(&chain);
+    let n = chain.num_states();
+
+    let mut group = c.benchmark_group("ablation_row_samplers");
+    group.bench_function("alias_100k_steps", |bench| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        bench.iter(|| {
+            let mut acc = 0usize;
+            let mut state = rng.gen_range(0..n);
+            for _ in 0..100_000 {
+                state = alias.step(state, &mut rng);
+                acc ^= state;
+            }
+            acc
+        });
+    });
+    group.bench_function("cdf_100k_steps", |bench| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        bench.iter(|| {
+            let mut acc = 0usize;
+            let mut state = rng.gen_range(0..n);
+            for _ in 0..100_000 {
+                state = cdf.step(state, &mut rng);
+                acc ^= state;
+            }
+            acc
+        });
+    });
+    group.bench_function("alias_build", |bench| {
+        bench.iter(|| ChainSampler::new(&chain));
+    });
+    group.bench_function("cdf_build", |bench| {
+        bench.iter(|| CdfSampler::new(&chain));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

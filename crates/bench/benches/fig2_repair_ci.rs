@@ -1,0 +1,38 @@
+//! Figure 2 kernel: one IS estimation run on the 125-state group repair
+//! model under the zero-variance chain — the sampling workload repeated
+//! 100× (per method) to draw the figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imcis_bench::setup::{group_repair_setup, GroupRepairIs};
+use imcis_core::{imcis, standard_is, ImcisConfig};
+use rand::SeedableRng;
+
+fn bench_fig2(c: &mut Criterion) {
+    let setup = group_repair_setup(GroupRepairIs::ZeroVariance, 1);
+    let config = ImcisConfig::new(1000, 0.05)
+        .with_r_undefeated(50)
+        .with_r_max(2_000);
+    let mut group = c.benchmark_group("fig2_group_repair");
+    group.sample_size(10);
+    group.bench_function("is_run_n1000", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            standard_is(&setup.center, &setup.b, &setup.property, &config, &mut rng)
+        });
+    });
+    group.bench_function("imcis_run_n1000_r50", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            imcis(&setup.imc, &setup.b, &setup.property, &config, &mut rng)
+                .expect("IMCIS run succeeds")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 5 kernel: one exact `γ(A(α))` evaluation — build the 125-state
+//! jump chain and solve reach-before-return — i.e. the per-grid-point cost
+//! of the sweep (the paper ran PRISM once per α).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imc_models::group_repair;
+use imc_numeric::{reach_before_return, SolveOptions};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_sweep");
+    group.sample_size(20);
+    group.bench_function("build_jump_chain", |bench| {
+        bench.iter(|| group_repair::jump_chain(0.1));
+    });
+    let chain = group_repair::jump_chain(0.1);
+    let failure = chain.labeled_states("failure");
+    group.bench_function("solve_reach_before_return", |bench| {
+        bench.iter(|| {
+            reach_before_return(&chain, &failure, &SolveOptions::default())
+                .expect("solver converges")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

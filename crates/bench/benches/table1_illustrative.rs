@@ -1,0 +1,32 @@
+//! Table I kernel: one full IMCIS run (sampling + random-search
+//! optimisation) on the illustrative model, at reduced scale so
+//! `cargo bench` stays fast. The `exp_table1` binary regenerates the
+//! actual table rows at paper scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imcis_bench::setup::illustrative_setup;
+use imcis_core::{imcis, ImcisConfig};
+use rand::SeedableRng;
+
+fn bench_table1(c: &mut Criterion) {
+    let setup = illustrative_setup();
+    let config = ImcisConfig::new(1000, 0.05)
+        .with_r_undefeated(100)
+        .with_r_max(5_000);
+    c.bench_function("table1/imcis_illustrative_n1000_r100", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            imcis(&setup.imc, &setup.b, &setup.property, &config, &mut rng)
+                .expect("IMCIS run succeeds")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

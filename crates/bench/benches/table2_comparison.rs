@@ -1,0 +1,37 @@
+//! Table II kernel: standard IS versus IMCIS on the illustrative model —
+//! the head-to-head cost comparison behind the table's two method rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imcis_bench::setup::illustrative_setup;
+use imcis_core::{imcis, standard_is, ImcisConfig};
+use rand::SeedableRng;
+
+fn bench_table2(c: &mut Criterion) {
+    let setup = illustrative_setup();
+    let config = ImcisConfig::new(1000, 0.05)
+        .with_r_undefeated(100)
+        .with_r_max(5_000);
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("standard_is_n1000", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            standard_is(&setup.center, &setup.b, &setup.property, &config, &mut rng)
+        });
+    });
+    group.bench_function("imcis_n1000_r100", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            imcis(&setup.imc, &setup.b, &setup.property, &config, &mut rng)
+                .expect("IMCIS run succeeds")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

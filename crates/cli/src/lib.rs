@@ -1,0 +1,542 @@
+//! Command-line front end for the IMCIS workspace.
+//!
+//! Subcommands (`imcis <command> <model-file> [options]`):
+//!
+//! * `info` — structural summary of a model file (either kind);
+//! * `solve` — exact reach(-avoid) probability of a DTMC (numeric engine);
+//! * `mttf` — expected steps to a target set;
+//! * `smc` — crude Monte Carlo estimation;
+//! * `envelope` — exact min/max reachability over all members of an IMC;
+//! * `imcis` — the paper's Algorithm 1: importance sampling of an IMC.
+//!
+//! Models use the plain-text format of [`imc_markov::io`]. Run
+//! `imcis help` for the option list.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use imc_logic::Property;
+use imc_markov::{io, Dtmc, Imc, StateSet};
+use imc_numeric::{
+    bounded_reach_avoid_probs, expected_steps_to, imc_bounded_reach_bounds, imc_reach_bounds,
+    reach_avoid_probs, SolveOptions,
+};
+use imc_sampling::zero_variance_is;
+use imc_sim::{monte_carlo, SmcConfig};
+use imcis_core::{imcis, standard_is, ImcisConfig};
+use rand::SeedableRng;
+
+/// Everything that can go wrong while executing a CLI invocation.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// The model file could not be read.
+    Io(std::io::Error),
+    /// The model file could not be parsed.
+    Parse(io::ParseError),
+    /// A label named on the command line is empty/unknown in the model.
+    UnknownLabel(String),
+    /// An analysis failed.
+    Analysis(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "cannot read model file: {e}"),
+            CliError::Parse(e) => write!(f, "cannot parse model: {e}"),
+            CliError::UnknownLabel(l) => write!(f, "label `{l}` marks no state in the model"),
+            CliError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text shown by `imcis help` and on usage errors.
+pub const USAGE: &str = "\
+usage: imcis <command> <model-file> [options]
+
+commands:
+  info      summarise a model file (states, transitions, labels, BSCCs)
+  solve     exact reach(-avoid) probability of a DTMC
+  mttf      expected steps to the target set of a DTMC
+  smc       crude Monte Carlo estimation on a DTMC
+  envelope  exact min/max reachability over all members of an IMC
+  imcis     Algorithm 1 of the DSN'18 paper on an IMC
+  help      print this message
+
+options:
+  --target LABEL   goal states (required except for help)
+  --avoid LABEL    forbidden states (optional)
+  --bound K        step bound (optional; property becomes bounded)
+  --n N            traces for smc/imcis            [default 10000]
+  --delta D        confidence parameter            [default 0.05]
+  --seed S         RNG seed                        [default 2018]
+  --r R            undefeated rounds for imcis     [default 1000]";
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Subcommand name.
+    pub command: String,
+    /// Model file path.
+    pub model_path: String,
+    /// Goal label.
+    pub target: Option<String>,
+    /// Avoid label.
+    pub avoid: Option<String>,
+    /// Step bound.
+    pub bound: Option<usize>,
+    /// Trace count.
+    pub n: usize,
+    /// Confidence parameter.
+    pub delta: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Undefeated rounds.
+    pub r: usize,
+}
+
+/// Parses the argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] on malformed arguments.
+pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?
+        .clone();
+    if command == "help" {
+        return Ok(Options {
+            command,
+            model_path: String::new(),
+            target: None,
+            avoid: None,
+            bound: None,
+            n: 10_000,
+            delta: 0.05,
+            seed: 2018,
+            r: 1000,
+        });
+    }
+    let model_path = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing model file".into()))?
+        .clone();
+    let mut options = Options {
+        command,
+        model_path,
+        target: None,
+        avoid: None,
+        bound: None,
+        n: 10_000,
+        delta: 0.05,
+        seed: 2018,
+        r: 1000,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--target" => options.target = Some(value("--target")?),
+            "--avoid" => options.avoid = Some(value("--avoid")?),
+            "--bound" => {
+                options.bound = Some(parse_value(&value("--bound")?, "--bound")?);
+            }
+            "--n" => options.n = parse_value(&value("--n")?, "--n")?,
+            "--delta" => options.delta = parse_value(&value("--delta")?, "--delta")?,
+            "--seed" => options.seed = parse_value(&value("--seed")?, "--seed")?,
+            "--r" => options.r = parse_value(&value("--r")?, "--r")?,
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_value<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, CliError> {
+    raw.parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: cannot parse `{raw}`")))
+}
+
+/// Executes a parsed invocation against in-memory model text, returning
+/// the report to print. Separated from file I/O for testability.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on unknown labels or failed analyses.
+pub fn run_on_text(options: &Options, model_text: &str) -> Result<String, CliError> {
+    match options.command.as_str() {
+        "help" => Ok(USAGE.to_string()),
+        "solve" | "mttf" | "smc" => {
+            let chain = io::parse_dtmc(model_text).map_err(CliError::Parse)?;
+            run_dtmc_command(options, &chain)
+        }
+        "envelope" | "imcis" => {
+            let imc = io::parse_imc(model_text).map_err(CliError::Parse)?;
+            run_imc_command(options, &imc)
+        }
+        "info" => run_info(model_text),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// `info`: structural summary of a model file of either kind.
+fn run_info(model_text: &str) -> Result<String, CliError> {
+    if let Ok(chain) = io::parse_dtmc(model_text) {
+        let bsccs = imc_markov::graph::bsccs(&chain);
+        let reachable = imc_markov::graph::forward_reachable(&chain, chain.initial());
+        let labels: Vec<String> = chain
+            .label_names()
+            .map(|l| format!("{l} ({} states)", chain.labeled_states(l).len()))
+            .collect();
+        return Ok(format!(
+            "dtmc: {} states, {} transitions, initial {}\n\
+             reachable from initial: {} states\n\
+             bottom SCCs: {}\n\
+             labels: {}",
+            chain.num_states(),
+            chain.num_transitions(),
+            chain.initial(),
+            reachable.len(),
+            bsccs.len(),
+            if labels.is_empty() { "none".into() } else { labels.join(", ") },
+        ));
+    }
+    let imc = io::parse_imc(model_text).map_err(CliError::Parse)?;
+    let widths: Vec<f64> = imc
+        .rows()
+        .iter()
+        .flat_map(|row| row.entries().iter().map(|e| e.hi - e.lo))
+        .collect();
+    let max_width = widths.iter().copied().fold(0.0, f64::max);
+    let n_intervals = widths.len();
+    let n_exact = widths.iter().filter(|&&w| w == 0.0).count();
+    Ok(format!(
+        "imc: {} states, {} interval transitions ({} exact), initial {}\n\
+         widest interval: {max_width:.6}\n\
+         consistent: every row admits a distribution (validated on load)",
+        imc.num_states(),
+        n_intervals,
+        n_exact,
+        imc.initial(),
+    ))
+}
+
+fn labelled_set(
+    states: StateSet,
+    label: &str,
+) -> Result<StateSet, CliError> {
+    if states.is_empty() {
+        Err(CliError::UnknownLabel(label.to_owned()))
+    } else {
+        Ok(states)
+    }
+}
+
+fn run_dtmc_command(options: &Options, chain: &Dtmc) -> Result<String, CliError> {
+    let target_label = options
+        .target
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("--target is required".into()))?;
+    let target = labelled_set(chain.labeled_states(target_label), target_label)?;
+    let avoid = match &options.avoid {
+        Some(label) => labelled_set(chain.labeled_states(label), label)?,
+        None => StateSet::new(chain.num_states()),
+    };
+    match options.command.as_str() {
+        "solve" => {
+            let probs = match options.bound {
+                Some(k) => bounded_reach_avoid_probs(chain, &target, &avoid, k),
+                None => reach_avoid_probs(chain, &target, &avoid, &SolveOptions::default())
+                    .map_err(|e| CliError::Analysis(e.to_string()))?,
+            };
+            Ok(format!(
+                "P({}{} U {}) from state {} = {:.6e}",
+                options
+                    .bound
+                    .map_or(String::new(), |k| format!("<= {k} steps: ")),
+                options.avoid.as_deref().map_or("true".into(), |a| format!("!{a}")),
+                target_label,
+                chain.initial(),
+                probs[chain.initial()]
+            ))
+        }
+        "mttf" => {
+            let h = expected_steps_to(chain, &target, &SolveOptions::default())
+                .map_err(|e| CliError::Analysis(e.to_string()))?;
+            let value = h[chain.initial()];
+            Ok(if value.is_finite() {
+                format!("expected steps to {target_label} = {value:.6}")
+            } else {
+                format!("target {target_label} is not reached almost surely (MTTF = inf)")
+            })
+        }
+        "smc" => {
+            let property = build_property(options, target, avoid);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(options.seed);
+            let result = monte_carlo(
+                chain,
+                &property,
+                &SmcConfig::new(options.n, options.delta).with_max_steps(1_000_000),
+                &mut rng,
+            );
+            Ok(format!(
+                "γ̂ = {:.6e}  ({}/{} traces; {:.0}%-CI = {})",
+                result.estimate,
+                result.hits,
+                result.n,
+                100.0 * (1.0 - options.delta),
+                result.ci
+            ))
+        }
+        _ => unreachable!("dispatched in run_on_text"),
+    }
+}
+
+fn run_imc_command(options: &Options, imc: &Imc) -> Result<String, CliError> {
+    let target_label = options
+        .target
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("--target is required".into()))?;
+    let target = labelled_set(imc.labeled_states(target_label), target_label)?;
+    let avoid = match &options.avoid {
+        Some(label) => labelled_set(imc.labeled_states(label), label)?,
+        None => StateSet::new(imc.num_states()),
+    };
+    match options.command.as_str() {
+        "envelope" => {
+            let (min, max) = match options.bound {
+                Some(k) => imc_bounded_reach_bounds(imc, &target, &avoid, k),
+                None => imc_reach_bounds(imc, &target, &avoid, &SolveOptions::default())
+                    .map_err(|e| CliError::Analysis(e.to_string()))?,
+            };
+            Ok(format!(
+                "γ over all members: [{:.6e}, {:.6e}] from state {}",
+                min[imc.initial()],
+                max[imc.initial()],
+                imc.initial()
+            ))
+        }
+        "imcis" => {
+            let center = imc
+                .some_member()
+                .map_err(|e| CliError::Analysis(e.to_string()))?;
+            let b = zero_variance_is(&center, &target, &avoid, &SolveOptions::default())
+                .map_err(|e| CliError::Analysis(e.to_string()))?;
+            let property = build_property(options, target, avoid);
+            let config = ImcisConfig::new(options.n, options.delta).with_r_undefeated(options.r);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(options.seed);
+            let is = standard_is(&center, &b, &property, &config, &mut rng);
+            let out = imcis(imc, &b, &property, &config, &mut rng)
+                .map_err(|e| CliError::Analysis(e.to_string()))?;
+            Ok(format!(
+                "standard IS (point model): γ̂ = {:.6e}, CI = {}\n\
+                 IMCIS: γ̂ ∈ [{:.6e}, {:.6e}], {:.0}%-CI = {}\n\
+                 ({} traces, {} successful, {} optimisation rounds)",
+                is.gamma_hat,
+                is.ci,
+                out.gamma_min,
+                out.gamma_max,
+                100.0 * (1.0 - options.delta),
+                out.ci,
+                options.n,
+                out.n_success,
+                out.rounds
+            ))
+        }
+        _ => unreachable!("dispatched in run_on_text"),
+    }
+}
+
+fn build_property(options: &Options, target: StateSet, avoid: StateSet) -> Property {
+    match options.bound {
+        Some(k) => Property::reach_avoid_bounded(target, avoid, k),
+        None => Property::reach_avoid(target, avoid),
+    }
+}
+
+/// Full entry point: parse arguments, read the model file, run.
+///
+/// # Errors
+///
+/// Any [`CliError`].
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let options = parse_args(args)?;
+    if options.command == "help" {
+        return Ok(USAGE.to_string());
+    }
+    let text = std::fs::read_to_string(&options.model_path).map_err(CliError::Io)?;
+    run_on_text(&options, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    const COIN: &str = "\
+dtmc
+states 3
+initial 0
+transition 0 1 0.25
+transition 0 2 0.75
+transition 1 1 1.0
+transition 2 2 1.0
+label 1 heads
+label 2 tails
+";
+
+    const COIN_IMC: &str = "\
+imc
+states 3
+initial 0
+interval 0 1 0.2 0.3
+interval 0 2 0.7 0.8
+interval 1 1 1.0 1.0
+interval 2 2 1.0 1.0
+label 1 heads
+label 2 tails
+";
+
+    #[test]
+    fn parses_full_option_set() {
+        let opts = parse_args(&args(&[
+            "imcis", "m.imc", "--target", "bad", "--avoid", "ok", "--bound", "30", "--n",
+            "5000", "--delta", "0.01", "--seed", "7", "--r", "250",
+        ]))
+        .unwrap();
+        assert_eq!(opts.command, "imcis");
+        assert_eq!(opts.target.as_deref(), Some("bad"));
+        assert_eq!(opts.avoid.as_deref(), Some("ok"));
+        assert_eq!(opts.bound, Some(30));
+        assert_eq!((opts.n, opts.delta, opts.seed, opts.r), (5000, 0.01, 7, 250));
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(matches!(parse_args(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&args(&["solve"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["solve", "m", "--wat"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["solve", "m", "--n", "abc"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn solve_reports_exact_probability() {
+        let opts = parse_args(&args(&["solve", "-", "--target", "heads"])).unwrap();
+        let report = run_on_text(&opts, COIN).unwrap();
+        assert!(report.contains("2.5"), "{report}");
+        assert!(report.contains("e-1"), "{report}");
+    }
+
+    #[test]
+    fn mttf_reports_infinite_when_not_almost_sure() {
+        let opts = parse_args(&args(&["mttf", "-", "--target", "heads"])).unwrap();
+        let report = run_on_text(&opts, COIN).unwrap();
+        assert!(report.contains("inf"), "{report}");
+    }
+
+    #[test]
+    fn smc_estimates_the_coin() {
+        let opts = parse_args(&args(&[
+            "smc", "-", "--target", "heads", "--avoid", "tails", "--n", "4000",
+        ]))
+        .unwrap();
+        let report = run_on_text(&opts, COIN).unwrap();
+        assert!(report.contains("γ̂"), "{report}");
+    }
+
+    #[test]
+    fn envelope_brackets_the_interval() {
+        let opts = parse_args(&args(&["envelope", "-", "--target", "heads"])).unwrap();
+        let report = run_on_text(&opts, COIN_IMC).unwrap();
+        assert!(report.contains("[2"), "{report}"); // lower ≈ 2e-1
+        assert!(report.contains("3."), "{report}"); // upper ≈ 3e-1
+    }
+
+    #[test]
+    fn imcis_command_runs_end_to_end() {
+        let opts = parse_args(&args(&[
+            "imcis", "-", "--target", "heads", "--avoid", "tails", "--n", "500", "--r", "50",
+        ]))
+        .unwrap();
+        let report = run_on_text(&opts, COIN_IMC).unwrap();
+        assert!(report.contains("IMCIS"), "{report}");
+        assert!(report.contains("CI ="), "{report}");
+    }
+
+    #[test]
+    fn unknown_label_is_reported() {
+        let opts = parse_args(&args(&["solve", "-", "--target", "nope"])).unwrap();
+        assert!(matches!(
+            run_on_text(&opts, COIN),
+            Err(CliError::UnknownLabel(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let result = run(&args(&["solve", "/definitely/not/here", "--target", "x"]));
+        assert!(matches!(result, Err(CliError::Io(_))));
+    }
+}
+
+#[cfg(test)]
+mod info_tests {
+    use super::*;
+
+    #[test]
+    fn info_summarises_a_dtmc() {
+        let opts = parse_args(&["info".to_string(), "-".to_string()]).unwrap();
+        let report = run_on_text(
+            &opts,
+            "dtmc\nstates 2\ntransition 0 1 1.0\ntransition 1 1 1.0\nlabel 1 done\n",
+        )
+        .unwrap();
+        assert!(report.contains("2 states"), "{report}");
+        assert!(report.contains("bottom SCCs: 1"), "{report}");
+        assert!(report.contains("done (1 states)"), "{report}");
+    }
+
+    #[test]
+    fn info_summarises_an_imc() {
+        let opts = parse_args(&["info".to_string(), "-".to_string()]).unwrap();
+        let report = run_on_text(
+            &opts,
+            "imc\nstates 2\ninterval 0 1 0.8 1.0\ninterval 0 0 0.0 0.2\ninterval 1 1 1.0 1.0\n",
+        )
+        .unwrap();
+        assert!(report.contains("3 interval transitions (1 exact)"), "{report}");
+        assert!(report.contains("widest interval: 0.2"), "{report}");
+    }
+
+    #[test]
+    fn info_rejects_garbage() {
+        let opts = parse_args(&["info".to_string(), "-".to_string()]).unwrap();
+        assert!(matches!(
+            run_on_text(&opts, "garbage\n"),
+            Err(CliError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,12 @@
+//! Thin binary wrapper around [`imcis_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match imcis_cli::run(&args) {
+        Ok(report) => println!("{report}"),
+        Err(error) => {
+            eprintln!("imcis: {error}");
+            std::process::exit(1);
+        }
+    }
+}

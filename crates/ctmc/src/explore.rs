@@ -1,0 +1,320 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use imc_markov::State;
+
+use crate::{Ctmc, CtmcBuilder, CtmcError};
+
+/// Errors raised during state-space exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExploreError {
+    /// The reachable state space exceeded the configured cap.
+    TooManyStates {
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A command produced an invalid rate.
+    InvalidRate {
+        /// Name of the offending command.
+        command: String,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// Building the explored CTMC failed.
+    Build(CtmcError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::TooManyStates { cap } => {
+                write!(f, "reachable state space exceeds the cap of {cap} states")
+            }
+            ExploreError::InvalidRate { command, rate } => {
+                write!(f, "command `{command}` produced invalid rate {rate}")
+            }
+            ExploreError::Build(e) => write!(f, "exploration produced an invalid CTMC: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+impl From<CtmcError> for ExploreError {
+    fn from(e: CtmcError) -> Self {
+        ExploreError::Build(e)
+    }
+}
+
+type Guard<S> = Box<dyn Fn(&S) -> bool>;
+type LabelPredicate<S> = (String, Box<dyn Fn(&S) -> bool>);
+type Rate<S> = Box<dyn Fn(&S) -> f64>;
+type Update<S> = Box<dyn Fn(&S) -> S>;
+
+struct Command<S> {
+    name: String,
+    guard: Guard<S>,
+    rate: Rate<S>,
+    update: Update<S>,
+}
+
+/// A guarded-command CTMC description, in the style of a PRISM module.
+///
+/// Each command has a guard predicate, a state-dependent rate, and an
+/// update function; [`CtmcModel::explore`] enumerates the reachable state
+/// space breadth-first and produces a validated [`Ctmc`] together with the
+/// index ↔ structured-state correspondence.
+///
+/// The paper's repair benchmarks (appendix PRISM code) are expressed in
+/// exactly this form in the `imc-models` crate.
+pub struct CtmcModel<S> {
+    initial: S,
+    commands: Vec<Command<S>>,
+    labels: Vec<LabelPredicate<S>>,
+}
+
+impl<S: fmt::Debug> fmt::Debug for CtmcModel<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CtmcModel")
+            .field("initial", &self.initial)
+            .field(
+                "commands",
+                &self
+                    .commands
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "labels",
+                &self.labels.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl<S: Clone + Eq + Hash> CtmcModel<S> {
+    /// Starts a model with the given initial structured state.
+    pub fn new(initial: S) -> Self {
+        CtmcModel {
+            initial,
+            commands: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Adds a guarded command: when `guard` holds in state `s`, a transition
+    /// to `update(s)` fires with rate `rate(s)`.
+    ///
+    /// Rates evaluating to 0 disable the command in that state; multiple
+    /// commands producing the same successor have their rates summed, which
+    /// matches CTMC (and PRISM) semantics.
+    pub fn command(
+        mut self,
+        name: &str,
+        guard: impl Fn(&S) -> bool + 'static,
+        rate: impl Fn(&S) -> f64 + 'static,
+        update: impl Fn(&S) -> S + 'static,
+    ) -> Self {
+        self.commands.push(Command {
+            name: name.to_owned(),
+            guard: Box::new(guard),
+            rate: Box::new(rate),
+            update: Box::new(update),
+        });
+        self
+    }
+
+    /// Attaches `label` to every reachable state satisfying `predicate`.
+    pub fn label(mut self, label: &str, predicate: impl Fn(&S) -> bool + 'static) -> Self {
+        self.labels.push((label.to_owned(), Box::new(predicate)));
+        self
+    }
+
+    /// Enumerates the reachable state space (breadth-first) and builds the
+    /// CTMC.
+    ///
+    /// # Errors
+    ///
+    /// * [`ExploreError::TooManyStates`] if more than `max_states` states
+    ///   are reachable;
+    /// * [`ExploreError::InvalidRate`] if a command evaluates to a negative
+    ///   or non-finite rate;
+    /// * [`ExploreError::Build`] if the assembled CTMC fails validation.
+    pub fn explore(&self, max_states: usize) -> Result<ExploredCtmc<S>, ExploreError> {
+        let mut index: HashMap<S, State> = HashMap::new();
+        let mut states: Vec<S> = Vec::new();
+        let mut frontier: Vec<State> = Vec::new();
+        index.insert(self.initial.clone(), 0);
+        states.push(self.initial.clone());
+        frontier.push(0);
+
+        // (from, to) -> accumulated rate.
+        let mut rates: HashMap<(State, State), f64> = HashMap::new();
+
+        while let Some(si) = frontier.pop() {
+            let s = states[si].clone();
+            for cmd in &self.commands {
+                if !(cmd.guard)(&s) {
+                    continue;
+                }
+                let rate = (cmd.rate)(&s);
+                if rate == 0.0 {
+                    continue;
+                }
+                if !rate.is_finite() || rate < 0.0 {
+                    return Err(ExploreError::InvalidRate {
+                        command: cmd.name.clone(),
+                        rate,
+                    });
+                }
+                let t = (cmd.update)(&s);
+                if t == s {
+                    // A command that does not change the state is a CTMC
+                    // no-op (self-rates are meaningless); skip it.
+                    continue;
+                }
+                let ti = match index.get(&t) {
+                    Some(&ti) => ti,
+                    None => {
+                        if states.len() >= max_states {
+                            return Err(ExploreError::TooManyStates { cap: max_states });
+                        }
+                        let ti = states.len();
+                        index.insert(t.clone(), ti);
+                        states.push(t);
+                        frontier.push(ti);
+                        ti
+                    }
+                };
+                *rates.entry((si, ti)).or_insert(0.0) += rate;
+            }
+        }
+
+        let mut builder = CtmcBuilder::new(states.len()).initial(0);
+        let mut sorted: Vec<((State, State), f64)> = rates.into_iter().collect();
+        sorted.sort_unstable_by_key(|&((f, t), _)| (f, t));
+        for ((from, to), rate) in sorted {
+            builder = builder.rate(from, to, rate);
+        }
+        for (name, pred) in &self.labels {
+            for (si, s) in states.iter().enumerate() {
+                if pred(s) {
+                    builder = builder.label(si, name);
+                }
+            }
+        }
+        let ctmc = builder.build()?;
+        Ok(ExploredCtmc { ctmc, states })
+    }
+}
+
+/// The result of exploring a [`CtmcModel`]: the flat [`Ctmc`] plus the
+/// mapping from dense state indices back to structured states.
+#[derive(Debug, Clone)]
+pub struct ExploredCtmc<S> {
+    /// The explored chain; state 0 is the model's initial state.
+    pub ctmc: Ctmc,
+    /// `states[i]` is the structured state of index `i`.
+    pub states: Vec<S>,
+}
+
+impl<S: Eq> ExploredCtmc<S> {
+    /// Finds the dense index of a structured state, if reachable.
+    pub fn index_of(&self, state: &S) -> Option<State> {
+        self.states.iter().position(|s| s == state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two independent components, each failing (rate α_i) and repairing
+    /// (rate 1), as a miniature of the paper's repair models.
+    fn two_component_model() -> CtmcModel<(u8, u8)> {
+        CtmcModel::new((0u8, 0u8))
+            .command("fail1", |&(a, _)| a == 0, |_| 0.5, |&(_, b)| (1, b))
+            .command("repair1", |&(a, _)| a == 1, |_| 1.0, |&(_, b)| (0, b))
+            .command("fail2", |&(_, b)| b == 0, |_| 0.25, |&(a, _)| (a, 1))
+            .command("repair2", |&(_, b)| b == 1, |_| 1.0, |&(a, _)| (a, 0))
+            .label("failure", |&(a, b)| a == 1 && b == 1)
+            .label("init", |&(a, b)| a == 0 && b == 0)
+    }
+
+    #[test]
+    fn explores_full_product_space() {
+        let explored = two_component_model().explore(100).unwrap();
+        assert_eq!(explored.ctmc.num_states(), 4);
+        assert_eq!(explored.ctmc.labeled_states("failure").len(), 1);
+        assert_eq!(explored.ctmc.labeled_states("init").len(), 1);
+        let failure = explored.index_of(&(1, 1)).unwrap();
+        assert!(explored.ctmc.labeled_states("failure").contains(failure));
+    }
+
+    #[test]
+    fn rates_accumulate_per_transition() {
+        // Two distinct commands firing to the same successor sum their rates.
+        let model = CtmcModel::new(0u8)
+            .command("a", |&s| s == 0, |_| 1.0, |_| 1)
+            .command("b", |&s| s == 0, |_| 2.0, |_| 1);
+        let explored = model.explore(10).unwrap();
+        assert_eq!(explored.ctmc.exit_rate(0), 3.0);
+        assert_eq!(explored.ctmc.rates(0).len(), 1);
+    }
+
+    #[test]
+    fn state_cap_is_enforced() {
+        // Unbounded counter: exploration must stop at the cap.
+        let model = CtmcModel::new(0u64).command("inc", |_| true, |_| 1.0, |&s| s + 1);
+        let err = model.explore(100).unwrap_err();
+        assert!(matches!(err, ExploreError::TooManyStates { cap: 100 }));
+    }
+
+    #[test]
+    fn invalid_rate_is_reported_with_command_name() {
+        let model = CtmcModel::new(0u8).command("bad", |&s| s == 0, |_| f64::NAN, |_| 1);
+        let err = model.explore(10).unwrap_err();
+        match err {
+            ExploreError::InvalidRate { command, .. } => assert_eq!(command, "bad"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stutter_updates_are_ignored() {
+        let model = CtmcModel::new(0u8)
+            .command("noop", |&s| s == 0, |_| 5.0, |&s| s)
+            .command("go", |&s| s == 0, |_| 1.0, |_| 1);
+        let explored = model.explore(10).unwrap();
+        assert_eq!(explored.ctmc.exit_rate(0), 1.0);
+    }
+
+    #[test]
+    fn embedded_chain_of_exploration_is_stochastic() {
+        let explored = two_component_model().explore(100).unwrap();
+        let jump = explored.ctmc.embedded_dtmc().unwrap();
+        for s in 0..jump.num_states() {
+            assert!((jump.row(s).sum() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn state_dependent_rates() {
+        // Rate grows with the number of healthy components, like (n−k)·α in
+        // the paper's modules.
+        let model = CtmcModel::new(0u8)
+            .command(
+                "fail",
+                |&s| s < 3,
+                |&s| (3 - s) as f64 * 0.1,
+                |&s| s + 1,
+            )
+            .label("down", |&s| s == 3);
+        let explored = model.explore(10).unwrap();
+        assert!((explored.ctmc.exit_rate(0) - 0.3).abs() < 1e-12);
+        assert!((explored.ctmc.exit_rate(2) - 0.1).abs() < 1e-12);
+        assert_eq!(explored.ctmc.exit_rate(3), 0.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Transient analysis of CTMCs by uniformisation.
+//!
+//! The probability distribution of a CTMC at continuous time `t` is the
+//! Poisson-weighted mixture of the uniformised DTMC's step distributions:
+//!
+//! ```text
+//! π(t) = Σ_k  Pois(k; Λt) · π₀ Pᵏ
+//! ```
+//!
+//! Time-bounded reachability `P(F≤t target)` follows by making the target
+//! states absorbing first — the standard reduction.
+
+use imc_markov::{Dtmc, RowEntry, StateSet};
+
+use crate::{Ctmc, CtmcError};
+
+/// Number of uniformised steps after which the Poisson tail is negligible.
+///
+/// The Poisson(Λt) mass beyond `Λt + 12·√(Λt) + 30` is below 1e-12 for all
+/// practical Λt; we truncate there.
+fn truncation_point(rate_times_t: f64) -> usize {
+    (rate_times_t + 12.0 * rate_times_t.sqrt() + 30.0).ceil() as usize
+}
+
+/// The transient state distribution `π(t)` of the CTMC started in its
+/// initial state.
+///
+/// # Errors
+///
+/// Propagates [`CtmcError`] from the uniformisation (cannot occur for a
+/// validated CTMC with positive exit rates).
+///
+/// # Panics
+///
+/// Panics if `t` is negative or not finite.
+///
+/// # Example
+///
+/// ```
+/// use imc_ctmc::{transient_distribution, CtmcBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Pure death process at rate 1: P(still up at t) = exp(-t).
+/// let ctmc = CtmcBuilder::new(2).rate(0, 1, 1.0).build()?;
+/// let pi = transient_distribution(&ctmc, 2.0)?;
+/// assert!((pi[0] - (-2.0f64).exp()).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn transient_distribution(ctmc: &Ctmc, t: f64) -> Result<Vec<f64>, CtmcError> {
+    assert!(t >= 0.0 && t.is_finite(), "time must be non-negative, got {t}");
+    let n = ctmc.num_states();
+    let mut pi0 = vec![0.0f64; n];
+    pi0[ctmc.initial()] = 1.0;
+    if t == 0.0 {
+        return Ok(pi0);
+    }
+    let lambda = ctmc.max_exit_rate();
+    if lambda == 0.0 {
+        return Ok(pi0); // no transitions at all
+    }
+    let uniformised = ctmc.uniformized_dtmc(Some(lambda))?;
+    Ok(poisson_mixture(&uniformised, &pi0, lambda * t))
+}
+
+/// Time-bounded reachability `P(F≤t target)` from the initial state.
+///
+/// Target states are made absorbing, so probability mass that reaches them
+/// within `t` stays there and is read off the transient distribution.
+///
+/// # Errors
+///
+/// Propagates [`CtmcError`] from chain derivation.
+///
+/// # Panics
+///
+/// Panics if `t` is negative/not finite or the target universe mismatches.
+pub fn time_bounded_reach(ctmc: &Ctmc, target: &StateSet, t: f64) -> Result<f64, CtmcError> {
+    assert!(t >= 0.0 && t.is_finite(), "time must be non-negative, got {t}");
+    assert_eq!(
+        target.universe(),
+        ctmc.num_states(),
+        "target universe mismatch"
+    );
+    let n = ctmc.num_states();
+    if target.contains(ctmc.initial()) {
+        return Ok(1.0);
+    }
+    let lambda = ctmc.max_exit_rate();
+    if lambda == 0.0 {
+        return Ok(0.0);
+    }
+    let uniformised = ctmc.uniformized_dtmc(Some(lambda))?;
+    // Make targets absorbing.
+    let absorbing: Vec<(usize, Vec<RowEntry>)> = target
+        .iter()
+        .map(|s| (s, vec![RowEntry { target: s, prob: 1.0 }]))
+        .collect();
+    let chain = uniformised
+        .with_rows(absorbing)
+        .map_err(CtmcError::Derived)?;
+    let mut pi0 = vec![0.0f64; n];
+    pi0[ctmc.initial()] = 1.0;
+    let pi = poisson_mixture(&chain, &pi0, lambda * t);
+    Ok(target.iter().map(|s| pi[s]).sum())
+}
+
+/// `Σ_k Pois(k; q) · π₀ Pᵏ`, with the Poisson terms computed recursively
+/// in a numerically safe way (normalised at the end to absorb truncation
+/// and underflow).
+fn poisson_mixture(chain: &Dtmc, pi0: &[f64], q: f64) -> Vec<f64> {
+    let n = pi0.len();
+    let k_max = truncation_point(q);
+    let mut current = pi0.to_vec();
+    let mut result = vec![0.0f64; n];
+
+    // Poisson weights via logs: w_k = exp(k ln q − q − ln k!).
+    let mut log_w = -q; // k = 0
+    let mut total_weight = 0.0f64;
+    for k in 0..=k_max {
+        if k > 0 {
+            log_w += q.ln() - (k as f64).ln();
+            // Advance the distribution one uniformised step.
+            let mut next = vec![0.0f64; n];
+            for (s, row) in chain.rows().iter().enumerate() {
+                if current[s] == 0.0 {
+                    continue;
+                }
+                for e in row.entries() {
+                    next[e.target] += current[s] * e.prob;
+                }
+            }
+            current = next;
+        }
+        let w = log_w.exp();
+        total_weight += w;
+        for (r, &c) in result.iter_mut().zip(&current) {
+            *r += w * c;
+        }
+    }
+    // Normalise away the (tiny) truncated tail.
+    if total_weight > 0.0 {
+        for r in &mut result {
+            *r /= total_weight;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    #[test]
+    fn pure_death_process_is_exponential() {
+        let ctmc = CtmcBuilder::new(2).rate(0, 1, 0.5).build().unwrap();
+        for &t in &[0.1, 1.0, 4.0, 10.0] {
+            let pi = transient_distribution(&ctmc, t).unwrap();
+            let expected = (-0.5 * t).exp();
+            assert!(
+                (pi[0] - expected).abs() < 1e-9,
+                "t = {t}: {} vs {expected}",
+                pi[0]
+            );
+            assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_state_repairable_matches_closed_form() {
+        // Failure rate λ, repair rate μ: P(up at t) has the classic
+        // availability closed form.
+        let (l, m) = (0.3, 0.7);
+        let ctmc = CtmcBuilder::new(2)
+            .rate(0, 1, l)
+            .rate(1, 0, m)
+            .build()
+            .unwrap();
+        for &t in &[0.5, 2.0, 8.0] {
+            let pi = transient_distribution(&ctmc, t).unwrap();
+            let expected = m / (l + m) + l / (l + m) * (-(l + m) * t).exp();
+            assert!(
+                (pi[0] - expected).abs() < 1e-9,
+                "t = {t}: {} vs {expected}",
+                pi[0]
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_stationary() {
+        let ctmc = CtmcBuilder::new(2)
+            .rate(0, 1, 0.3)
+            .rate(1, 0, 0.7)
+            .build()
+            .unwrap();
+        let pi = transient_distribution(&ctmc, 200.0).unwrap();
+        assert!((pi[0] - 0.7).abs() < 1e-6);
+        assert!((pi[1] - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_bounded_reach_is_monotone_and_correct() {
+        // Two-step death chain: P(F<=t dead) = 1 − e^{−t}(1 + t) for unit
+        // rates (Erlang-2 CDF).
+        let ctmc = CtmcBuilder::new(3)
+            .rate(0, 1, 1.0)
+            .rate(1, 2, 1.0)
+            .build()
+            .unwrap();
+        let target = StateSet::from_states(3, [2]);
+        let mut prev = 0.0;
+        for &t in &[0.0, 0.5, 1.0, 2.0, 5.0] {
+            let p = time_bounded_reach(&ctmc, &target, t).unwrap();
+            let expected = 1.0 - (-t).exp() * (1.0 + t);
+            assert!((p - expected).abs() < 1e-9, "t = {t}: {p} vs {expected}");
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn initial_in_target_is_one() {
+        let ctmc = CtmcBuilder::new(2).rate(0, 1, 1.0).build().unwrap();
+        let target = StateSet::from_states(2, [0]);
+        assert_eq!(time_bounded_reach(&ctmc, &target, 5.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn zero_time_is_the_initial_distribution() {
+        let ctmc = CtmcBuilder::new(3)
+            .initial(1)
+            .rate(0, 1, 1.0)
+            .rate(1, 2, 2.0)
+            .build()
+            .unwrap();
+        let pi = transient_distribution(&ctmc, 0.0).unwrap();
+        assert_eq!(pi, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn absorbing_only_chain_stays_put() {
+        let ctmc = CtmcBuilder::new(2).build().unwrap();
+        let pi = transient_distribution(&ctmc, 10.0).unwrap();
+        assert_eq!(pi, vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,102 @@
+use rand::Rng;
+
+use crate::{DistrError, Gamma};
+
+/// A Beta(a, b) sampler, built as `X/(X+Y)` for independent
+/// `X ~ Gamma(a)`, `Y ~ Gamma(b)`.
+///
+/// Used in tests and in two-coordinate special cases of the row sampler
+/// (a two-dimensional Dirichlet *is* a Beta distribution).
+///
+/// # Example
+///
+/// ```
+/// use imc_distr::Beta;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), imc_distr::DistrError> {
+/// let beta = Beta::new(2.0, 5.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let x = beta.sample(&mut rng);
+/// assert!((0.0..=1.0).contains(&x));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    a: Gamma,
+    b: Gamma,
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates a Beta sampler with shape parameters `(alpha, beta)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistrError::InvalidParameter`] unless both shapes are
+    /// positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, DistrError> {
+        Ok(Beta {
+            a: Gamma::new(alpha)?,
+            b: Gamma::new(beta)?,
+            alpha,
+            beta,
+        })
+    }
+
+    /// Mean `α / (α + β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Variance `αβ / ((α+β)²(α+β+1))`.
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Draws one variate in `[0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let x = self.a.sample(rng);
+            let y = self.b.sample(rng);
+            let s = x + y;
+            if s > 0.0 && s.is_finite() {
+                return x / s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_stats::RunningStats;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match() {
+        let beta = Beta::new(2.0, 5.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let stats: RunningStats = (0..100_000).map(|_| beta.sample(&mut rng)).collect();
+        assert!((stats.mean() - beta.mean()).abs() < 0.005);
+        assert!((stats.population_variance() - beta.variance()).abs() < 0.002);
+    }
+
+    #[test]
+    fn symmetric_case_centres_on_half() {
+        let beta = Beta::new(10.0, 10.0).unwrap();
+        assert!((beta.mean() - 0.5).abs() < 1e-15);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let stats: RunningStats = (0..50_000).map(|_| beta.sample(&mut rng)).collect();
+        assert!((stats.mean() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, f64::NAN).is_err());
+    }
+}

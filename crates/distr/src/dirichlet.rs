@@ -1,0 +1,164 @@
+use rand::Rng;
+
+use crate::{DistrError, Gamma};
+
+/// A Dirichlet distribution over the probability simplex.
+///
+/// Constructed from a vector of positive concentration parameters
+/// `α = (α_0, …, α_m)`; samples are produced as normalised independent
+/// Gamma(α_j) draws. The paper (§IV-B) parametrises candidates by
+/// `α = K_i · â_i`, so the *relative* expected coordinate is
+/// `E[X_j] = α_j / Σα` and the relative variance shrinks as `K_i` grows.
+///
+/// # Example
+///
+/// ```
+/// use imc_distr::Dirichlet;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), imc_distr::DistrError> {
+/// let dirichlet = Dirichlet::new(vec![20.0, 30.0, 50.0])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let x = dirichlet.sample(&mut rng);
+/// assert_eq!(x.len(), 3);
+/// assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dirichlet {
+    gammas: Vec<Gamma>,
+    alphas: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Creates a Dirichlet sampler from concentration parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistrError::InvalidParameter`] if fewer than two parameters
+    /// are supplied or any is non-positive/non-finite.
+    pub fn new(alphas: Vec<f64>) -> Result<Self, DistrError> {
+        if alphas.len() < 2 {
+            return Err(DistrError::InvalidParameter {
+                name: "alphas.len()",
+                value: alphas.len() as f64,
+            });
+        }
+        let gammas = alphas
+            .iter()
+            .map(|&a| Gamma::new(a))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Dirichlet { gammas, alphas })
+    }
+
+    /// The concentration parameters.
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// Dimension of the sampled vectors.
+    pub fn len(&self) -> usize {
+        self.alphas.len()
+    }
+
+    /// Returns `true` if the distribution has no coordinates (never: the
+    /// constructor requires at least two).
+    pub fn is_empty(&self) -> bool {
+        self.alphas.is_empty()
+    }
+
+    /// Mean of coordinate `j`: `α_j / Σα`.
+    pub fn mean(&self, j: usize) -> f64 {
+        self.alphas[j] / self.alphas.iter().sum::<f64>()
+    }
+
+    /// Variance of coordinate `j`: `α_j (β − α_j) / (β² (β + 1))` with
+    /// `β = Σα` — the `V_Rel` of §IV-B.
+    pub fn variance(&self, j: usize) -> f64 {
+        let beta: f64 = self.alphas.iter().sum();
+        let a = self.alphas[j];
+        a * (beta - a) / (beta * beta * (beta + 1.0))
+    }
+
+    /// Draws one point on the simplex.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        loop {
+            let mut draws: Vec<f64> = self.gammas.iter().map(|g| g.sample(rng)).collect();
+            let sum: f64 = draws.iter().sum();
+            // With shape < 1 a Gamma draw can underflow to exactly 0; a zero
+            // total (all coordinates underflowed) cannot be normalised.
+            if sum > 0.0 && sum.is_finite() {
+                for d in &mut draws {
+                    *d /= sum;
+                }
+                return draws;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_stats::RunningStats;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn coordinates_match_analytic_moments() {
+        let d = Dirichlet::new(vec![2.0, 3.0, 5.0]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut stats = [RunningStats::new(); 3];
+        for _ in 0..100_000 {
+            let x = d.sample(&mut rng);
+            for (s, v) in stats.iter_mut().zip(&x) {
+                s.push(*v);
+            }
+        }
+        for (j, stat) in stats.iter().enumerate() {
+            assert!(
+                (stat.mean() - d.mean(j)).abs() < 0.01,
+                "coordinate {j}: {} vs {}",
+                stat.mean(),
+                d.mean(j)
+            );
+            assert!(
+                (stat.population_variance() - d.variance(j)).abs() < 0.002,
+                "coordinate {j} variance"
+            );
+        }
+    }
+
+    #[test]
+    fn concentration_shrinks_variance() {
+        // Multiplying α by K preserves means and divides variances ~K-fold:
+        // the property the paper's K_i tuning relies on (§IV-B).
+        let low = Dirichlet::new(vec![1.0, 2.0]).unwrap();
+        let high = Dirichlet::new(vec![100.0, 200.0]).unwrap();
+        assert!((low.mean(0) - high.mean(0)).abs() < 1e-15);
+        assert!(low.variance(0) > 50.0 * high.variance(0));
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(Dirichlet::new(vec![]).is_err());
+        assert!(Dirichlet::new(vec![1.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, 0.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, -1.0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn samples_lie_on_simplex(
+            alphas in prop::collection::vec(0.05f64..50.0, 2..8),
+            seed in 0u64..1000,
+        ) {
+            let d = Dirichlet::new(alphas).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let x = d.sample(&mut rng);
+            prop_assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Errors raised by the samplers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistrError {
+    /// A shape/concentration parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An interval specification was invalid (`lo > hi`, centre outside the
+    /// interval, or bounds outside `[0, 1]`).
+    InvalidInterval {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Centre value.
+        center: f64,
+    },
+    /// A row of intervals admits no probability distribution
+    /// (`Σ lo > 1` or `Σ hi < 1`).
+    InconsistentRow {
+        /// Sum of lower bounds.
+        lo_sum: f64,
+        /// Sum of upper bounds.
+        hi_sum: f64,
+    },
+    /// Rejection sampling failed to produce an in-box candidate within the
+    /// configured attempt budget, even after λ-inflation.
+    RejectionBudgetExhausted {
+        /// Number of attempts made.
+        attempts: u64,
+    },
+}
+
+impl fmt::Display for DistrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DistrError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} must be positive and finite, got {value}")
+            }
+            DistrError::InvalidInterval { lo, hi, center } => write!(
+                f,
+                "invalid interval: lo={lo}, hi={hi}, center={center} \
+                 (need 0 <= lo <= center <= hi <= 1)"
+            ),
+            DistrError::InconsistentRow { lo_sum, hi_sum } => write!(
+                f,
+                "interval row admits no distribution: Σlo={lo_sum}, Σhi={hi_sum}"
+            ),
+            DistrError::RejectionBudgetExhausted { attempts } => write!(
+                f,
+                "rejection sampling exhausted its budget after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistrError {}

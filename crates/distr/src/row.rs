@@ -1,0 +1,544 @@
+use rand::Rng;
+
+use crate::{Dirichlet, DistrError};
+
+/// One interval-constrained coordinate of a stochastic row:
+/// bounds `[lo, hi]` around a learnt centre probability `â`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalSpec {
+    lo: f64,
+    hi: f64,
+    center: f64,
+}
+
+impl IntervalSpec {
+    /// Creates a validated spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistrError::InvalidInterval`] unless
+    /// `0 ≤ lo ≤ center ≤ hi ≤ 1`.
+    pub fn new(lo: f64, hi: f64, center: f64) -> Result<Self, DistrError> {
+        let ok = lo.is_finite()
+            && hi.is_finite()
+            && center.is_finite()
+            && (0.0..=1.0).contains(&lo)
+            && (0.0..=1.0).contains(&hi)
+            && lo <= center
+            && center <= hi;
+        if !ok {
+            return Err(DistrError::InvalidInterval { lo, hi, center });
+        }
+        Ok(IntervalSpec { lo, hi, center })
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Centre probability `â`.
+    pub fn center(&self) -> f64 {
+        self.center
+    }
+
+    /// Interval half-width `ε`.
+    pub fn half_width(&self) -> f64 {
+        0.5 * (self.hi - self.lo)
+    }
+
+    /// Returns `true` if `p` lies inside the interval.
+    pub fn contains(&self, p: f64) -> bool {
+        p >= self.lo && p <= self.hi
+    }
+}
+
+/// Cumulative rejection-sampling statistics of a [`ConstrainedRowSampler`].
+///
+/// The paper tunes the candidate generator by watching exactly these
+/// quantities (§IV-C); they are exposed so experiments can report them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectionStats {
+    /// Total candidate rows drawn (accepted + rejected).
+    pub attempts: u64,
+    /// Candidates rejected for violating an interval constraint.
+    pub rejections: u64,
+    /// Number of λ-inflations of the concentration parameter.
+    pub inflations: u64,
+    /// Successfully returned samples.
+    pub accepted: u64,
+}
+
+impl RejectionStats {
+    /// Fraction of attempts that were rejected (0 when nothing attempted).
+    pub fn rejection_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.rejections as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Generates random stochastic rows inside an interval box, per §IV of the
+/// paper.
+///
+/// Given a learnt row `â_i` and per-transition intervals `[â ± ε]`, draws
+/// candidates from `Dirichlet(K_i · â_i)` where the concentration is tuned
+/// so each coordinate's standard deviation matches its interval half-width:
+/// `K_ij = â(1−â)/ε² − 1`, `K_i = min_j K_ij` (§IV-B). Candidates violating
+/// any interval are rejected and redrawn. Two of the paper's refinements are
+/// implemented:
+///
+/// * **λ-inflation** (§IV-C1): if rejection persists, `K_i` is multiplied by
+///   `λ = 1.1`, shrinking coordinate variances while preserving their means,
+///   until candidates start landing inside the box;
+/// * **split sampling** (§IV-C2): when the `K_ij` span several orders of
+///   magnitude, the most constrained coordinate is drawn *uniformly* in its
+///   feasible sub-interval first, and the remaining coordinates from a
+///   Dirichlet scaled to the leftover mass `β`.
+///
+/// Coordinates with (near-)zero half-width are pinned to their centre and
+/// excluded from the Dirichlet draw.
+#[derive(Debug, Clone)]
+pub struct ConstrainedRowSampler {
+    specs: Vec<IntervalSpec>,
+    /// Indices sampled through the Dirichlet draw.
+    free: Vec<usize>,
+    /// Indices fixed to their centre value.
+    pinned: Vec<usize>,
+    /// Index drawn uniformly first (heterogeneous-K split), if any.
+    split: Option<usize>,
+    /// Base concentration `K_i` before inflation.
+    base_k: f64,
+    /// Current inflation multiplier (`λ^inflations`).
+    inflation: f64,
+    stats: RejectionStats,
+}
+
+/// Half-widths below this are treated as exact (pinned) coordinates.
+const PIN_TOLERANCE: f64 = 1e-12;
+/// Concentration floor: keeps Dirichlet parameters valid when an interval is
+/// wider than any Dirichlet marginal can spread.
+const MIN_K: f64 = 1e-2;
+/// `max K_ij / min K_ij` beyond which the split sampler engages (§IV-C2).
+const SPLIT_RATIO: f64 = 1e4;
+/// Consecutive rejections before one λ-inflation (§IV-C1).
+const REJECTS_BEFORE_INFLATE: u64 = 64;
+/// λ-inflation factor; the paper suggests 1.1.
+const LAMBDA: f64 = 1.1;
+/// Hard budget per `sample` call.
+const MAX_ATTEMPTS_PER_SAMPLE: u64 = 1_000_000;
+
+impl ConstrainedRowSampler {
+    /// Builds a sampler for one interval row.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistrError::InvalidInterval`] if a spec is malformed (already
+    ///   prevented by [`IntervalSpec::new`], re-checked defensively);
+    /// * [`DistrError::InconsistentRow`] if `Σ lo > 1`, `Σ hi < 1`, or the
+    ///   centres do not form a probability distribution.
+    pub fn new(specs: &[IntervalSpec]) -> Result<Self, DistrError> {
+        let lo_sum: f64 = specs.iter().map(|s| s.lo).sum();
+        let hi_sum: f64 = specs.iter().map(|s| s.hi).sum();
+        let center_sum: f64 = specs.iter().map(|s| s.center).sum();
+        if lo_sum > 1.0 + 1e-9 || hi_sum < 1.0 - 1e-9 || (center_sum - 1.0).abs() > 1e-6 {
+            return Err(DistrError::InconsistentRow { lo_sum, hi_sum });
+        }
+
+        let mut free = Vec::new();
+        let mut pinned = Vec::new();
+        for (j, spec) in specs.iter().enumerate() {
+            if spec.half_width() <= PIN_TOLERANCE || spec.center <= 0.0 {
+                pinned.push(j);
+            } else {
+                free.push(j);
+            }
+        }
+
+        // Per-coordinate concentrations K_ij = â(1−â)/ε² − 1 over the free
+        // coordinates only.
+        let ks: Vec<(usize, f64)> = free
+            .iter()
+            .map(|&j| {
+                let s = &specs[j];
+                let eps = s.half_width();
+                let k = (s.center * (1.0 - s.center) / (eps * eps) - 1.0).max(MIN_K);
+                (j, k)
+            })
+            .collect();
+
+        let (mut split, mut base_k) = (None, MIN_K);
+        if !ks.is_empty() {
+            let k_min = ks.iter().map(|&(_, k)| k).fold(f64::INFINITY, f64::min);
+            let k_max_entry = ks
+                .iter()
+                .copied()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty");
+            // §IV-C2: when one coordinate is vastly more constrained than the
+            // rest, taking K_i = min K_ij would leave it with far too much
+            // variance — handle it by uniform pre-selection instead. Only
+            // worthwhile with at least two other free coordinates (with one
+            // remaining coordinate its value is forced by normalisation).
+            if k_max_entry.1 / k_min > SPLIT_RATIO && free.len() >= 3 {
+                split = Some(k_max_entry.0);
+                free.retain(|&j| j != k_max_entry.0);
+            }
+            base_k = ks
+                .iter()
+                .filter(|&&(j, _)| Some(j) != split)
+                .map(|&(_, k)| k)
+                .fold(f64::INFINITY, f64::min);
+            if !base_k.is_finite() {
+                base_k = MIN_K;
+            }
+        }
+
+        Ok(ConstrainedRowSampler {
+            specs: specs.to_vec(),
+            free,
+            pinned,
+            split,
+            base_k,
+            inflation: 1.0,
+            stats: RejectionStats::default(),
+        })
+    }
+
+    /// The base concentration `K_i = min_j K_ij` before inflation.
+    pub fn base_concentration(&self) -> f64 {
+        self.base_k
+    }
+
+    /// Index of the split coordinate, if the heterogeneous-K path engaged.
+    pub fn split_coordinate(&self) -> Option<usize> {
+        self.split
+    }
+
+    /// Cumulative rejection statistics.
+    pub fn stats(&self) -> RejectionStats {
+        self.stats
+    }
+
+    /// Draws one stochastic row: values aligned with the input specs, each
+    /// inside its interval, summing to one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistrError::RejectionBudgetExhausted`] if no in-box
+    /// candidate is found within the attempt budget (pathological inputs
+    /// only; λ-inflation makes acceptance probability grow towards 1).
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<Vec<f64>, DistrError> {
+        let mut values = vec![0.0; self.specs.len()];
+        for &j in &self.pinned {
+            values[j] = self.specs[j].center;
+        }
+        let pinned_mass: f64 = self.pinned.iter().map(|&j| self.specs[j].center).sum();
+
+        let mut consecutive_rejects = 0u64;
+        let mut attempts_this_call = 0u64;
+        loop {
+            attempts_this_call += 1;
+            self.stats.attempts += 1;
+            if attempts_this_call > MAX_ATTEMPTS_PER_SAMPLE {
+                return Err(DistrError::RejectionBudgetExhausted {
+                    attempts: attempts_this_call,
+                });
+            }
+
+            let ok = self.try_fill(&mut values, pinned_mass, rng);
+            if ok {
+                self.stats.accepted += 1;
+                return Ok(values);
+            }
+            self.stats.rejections += 1;
+            consecutive_rejects += 1;
+            if consecutive_rejects >= REJECTS_BEFORE_INFLATE {
+                // §IV-C1: smoothly reduce coordinate variances while keeping
+                // their relative means, to pull candidates into the box.
+                self.inflation *= LAMBDA;
+                self.stats.inflations += 1;
+                consecutive_rejects = 0;
+            }
+        }
+    }
+
+    /// One candidate draw; returns `true` if all constraints hold.
+    fn try_fill<R: Rng + ?Sized>(
+        &self,
+        values: &mut [f64],
+        pinned_mass: f64,
+        rng: &mut R,
+    ) -> bool {
+        let mut remaining = 1.0 - pinned_mass;
+
+        if let Some(j0) = self.split {
+            // §IV-C2 step (i): uniform in [lo, hi] ∩ [1 − Σhi', 1 − Σlo'].
+            let spec = &self.specs[j0];
+            let others_hi: f64 = self.free.iter().map(|&j| self.specs[j].hi).sum();
+            let others_lo: f64 = self.free.iter().map(|&j| self.specs[j].lo).sum();
+            let lo = spec.lo.max(remaining - others_hi);
+            let hi = spec.hi.min(remaining - others_lo);
+            if lo > hi {
+                return false;
+            }
+            let v = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+            values[j0] = v;
+            remaining -= v;
+        }
+
+        match self.free.len() {
+            0 => true,
+            1 => {
+                // The last free coordinate is forced by normalisation.
+                let j = self.free[0];
+                values[j] = remaining;
+                self.specs[j].contains(remaining)
+            }
+            _ => {
+                // §IV-C2 step (ii): β-scaled Dirichlet over the rest. With no
+                // split/pinned mass this reduces to the plain §IV-B draw.
+                let beta = remaining;
+                if beta <= 0.0 {
+                    return false;
+                }
+                let k = self.effective_k(beta);
+                let alphas: Vec<f64> = self
+                    .free
+                    .iter()
+                    .map(|&j| (k * self.specs[j].center).max(1e-12))
+                    .collect();
+                let dirichlet = match Dirichlet::new(alphas) {
+                    Ok(d) => d,
+                    Err(_) => return false,
+                };
+                let draw = dirichlet.sample(rng);
+                for (&j, x) in self.free.iter().zip(&draw) {
+                    values[j] = beta * x;
+                    if !self.specs[j].contains(values[j]) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Concentration adjusted for the leftover mass β (eq. (12) of the
+    /// paper): solving `VRel(βX_j) = ε_j²` for `K` gives
+    /// `K_j = (â_j(β−â_j)/ε_j² − 1)/β`; we take the min over free
+    /// coordinates, floored, then apply the current λ-inflation.
+    fn effective_k(&self, beta: f64) -> f64 {
+        let k = if (beta - 1.0).abs() < 1e-12 {
+            self.base_k
+        } else {
+            self.free
+                .iter()
+                .map(|&j| {
+                    let s = &self.specs[j];
+                    let eps = s.half_width();
+                    ((s.center * (beta - s.center).max(1e-12) / (eps * eps) - 1.0) / beta)
+                        .max(MIN_K)
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let k = if k.is_finite() { k } else { self.base_k };
+        k.max(MIN_K) * self.inflation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_stats::RunningStats;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn spec(lo: f64, hi: f64, c: f64) -> IntervalSpec {
+        IntervalSpec::new(lo, hi, c).unwrap()
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(IntervalSpec::new(0.2, 0.1, 0.15).is_err()); // lo > hi
+        assert!(IntervalSpec::new(0.1, 0.2, 0.3).is_err()); // centre outside
+        assert!(IntervalSpec::new(-0.1, 0.2, 0.1).is_err()); // negative lo
+        assert!(IntervalSpec::new(0.1, 1.2, 0.5).is_err()); // hi > 1
+        let s = spec(0.1, 0.3, 0.2);
+        assert!((s.half_width() - 0.1).abs() < 1e-15);
+        assert!(s.contains(0.1) && s.contains(0.3) && !s.contains(0.31));
+    }
+
+    #[test]
+    fn rejects_inconsistent_rows() {
+        // Σ hi < 1.
+        let row = [spec(0.0, 0.3, 0.3), spec(0.0, 0.3, 0.3)];
+        assert!(matches!(
+            ConstrainedRowSampler::new(&row),
+            Err(DistrError::InconsistentRow { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_distribution_centres() {
+        // Centres sum to 0.8.
+        let row = [spec(0.0, 1.0, 0.4), spec(0.0, 1.0, 0.4)];
+        assert!(ConstrainedRowSampler::new(&row).is_err());
+    }
+
+    #[test]
+    fn samples_respect_box_and_simplex() {
+        let row = [
+            spec(0.25, 0.35, 0.3),
+            spec(0.15, 0.25, 0.2),
+            spec(0.45, 0.55, 0.5),
+        ];
+        let mut sampler = ConstrainedRowSampler::new(&row).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..2000 {
+            let x = sampler.sample(&mut rng).unwrap();
+            assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for (v, s) in x.iter().zip(&row) {
+                assert!(s.contains(*v), "{v} outside [{}, {}]", s.lo(), s.hi());
+            }
+        }
+        assert_eq!(sampler.stats().accepted, 2000);
+    }
+
+    #[test]
+    fn samples_spread_across_the_box() {
+        // K tuning should produce coordinate std-dev on the order of ε, not
+        // collapse onto the centre: check the empirical spread is at least
+        // a third of the half width.
+        let row = [spec(0.25, 0.35, 0.3), spec(0.65, 0.75, 0.7)];
+        let mut sampler = ConstrainedRowSampler::new(&row).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let stats: RunningStats = (0..4000)
+            .map(|_| sampler.sample(&mut rng).unwrap()[0])
+            .collect();
+        assert!((stats.mean() - 0.3).abs() < 0.01, "mean {}", stats.mean());
+        assert!(
+            stats.population_std_dev() > 0.05 / 3.0,
+            "std dev {} too small",
+            stats.population_std_dev()
+        );
+        // And the full range gets visited.
+        assert!(stats.min() < 0.27 && stats.max() > 0.33);
+    }
+
+    #[test]
+    fn pinned_coordinates_stay_exact() {
+        let row = [
+            spec(0.3, 0.3, 0.3), // zero-width: pinned
+            spec(0.3, 0.5, 0.4),
+            spec(0.2, 0.4, 0.3),
+        ];
+        let mut sampler = ConstrainedRowSampler::new(&row).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..500 {
+            let x = sampler.sample(&mut rng).unwrap();
+            assert_eq!(x[0], 0.3);
+            assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_coordinate_row_uses_forced_complement() {
+        // With two free coordinates, sampling one forces the other.
+        let row = [spec(0.0005, 0.0015, 0.001), spec(0.9985, 0.9995, 0.999)];
+        let mut sampler = ConstrainedRowSampler::new(&row).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for _ in 0..1000 {
+            let x = sampler.sample(&mut rng).unwrap();
+            assert!((x[0] + x[1] - 1.0).abs() < 1e-12);
+            assert!(row[0].contains(x[0]));
+            assert!(row[1].contains(x[1]));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_k_engages_split_sampler() {
+        // Coordinate 0 is extremely constrained relative to the others:
+        // K_0 ≈ 0.001·0.999/1e-10 ≈ 1e7 vs K ≈ 25 for the wide ones.
+        let row = [
+            spec(0.000_995, 0.001_005, 0.001),
+            spec(0.2, 0.4, 0.3),
+            spec(0.3, 0.5, 0.4),
+            spec(0.199, 0.399, 0.299),
+        ];
+        let mut sampler = ConstrainedRowSampler::new(&row).unwrap();
+        assert_eq!(sampler.split_coordinate(), Some(0));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        for _ in 0..1000 {
+            let x = sampler.sample(&mut rng).unwrap();
+            assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for (v, s) in x.iter().zip(&row) {
+                assert!(s.contains(*v));
+            }
+        }
+        // The split coordinate must actually vary across its narrow interval.
+        let stats: RunningStats = (0..2000)
+            .map(|_| sampler.sample(&mut rng).unwrap()[0])
+            .collect();
+        assert!(stats.max() - stats.min() > 1e-6);
+    }
+
+    #[test]
+    fn inflation_rescues_tight_asymmetric_boxes() {
+        // A narrow box far from the Dirichlet's natural spread: acceptance
+        // relies on λ-inflation kicking in rather than looping forever.
+        let row = [
+            spec(0.499, 0.501, 0.5),
+            spec(0.2495, 0.2505, 0.25),
+            spec(0.2485, 0.2515, 0.25),
+        ];
+        let mut sampler = ConstrainedRowSampler::new(&row).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let x = sampler.sample(&mut rng).unwrap();
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_pinned_row_returns_centres() {
+        let row = [spec(0.25, 0.25, 0.25), spec(0.75, 0.75, 0.75)];
+        let mut sampler = ConstrainedRowSampler::new(&row).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let x = sampler.sample(&mut rng).unwrap();
+        assert_eq!(x, vec![0.25, 0.75]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn random_rows_always_yield_members(
+            centers in prop::collection::vec(0.05f64..1.0, 2..6),
+            rel_eps in 0.01f64..0.5,
+            seed in 0u64..10_000,
+        ) {
+            // Normalise to a distribution, give each coordinate ±rel_eps·c.
+            let total: f64 = centers.iter().sum();
+            let specs: Vec<IntervalSpec> = centers
+                .iter()
+                .map(|&c| {
+                    let c = c / total;
+                    let eps = rel_eps * c;
+                    IntervalSpec::new((c - eps).max(0.0), (c + eps).min(1.0), c).unwrap()
+                })
+                .collect();
+            let mut sampler = ConstrainedRowSampler::new(&specs).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let x = sampler.sample(&mut rng).unwrap();
+            prop_assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for (v, s) in x.iter().zip(&specs) {
+                prop_assert!(s.contains(*v));
+            }
+        }
+    }
+}

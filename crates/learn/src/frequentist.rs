@@ -1,0 +1,383 @@
+use std::fmt;
+
+use imc_markov::{Dtmc, DtmcBuilder, Imc, ModelError, State};
+use imc_stats::okamoto_epsilon;
+
+use crate::CountTable;
+
+/// Errors raised by the learning routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearnError {
+    /// The count table contains no observations at all.
+    NoObservations,
+    /// A state was never left in the data and no support fallback was
+    /// available to supply its distribution.
+    UnvisitedState {
+        /// The unvisited state.
+        state: State,
+    },
+    /// Constructing the learnt model failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::NoObservations => write!(f, "no transitions observed"),
+            LearnError::UnvisitedState { state } => {
+                write!(f, "state {state} was never left in the observed data")
+            }
+            LearnError::Model(e) => write!(f, "learnt model invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+impl From<ModelError> for LearnError {
+    fn from(e: ModelError) -> Self {
+        LearnError::Model(e)
+    }
+}
+
+/// Probability smoothing applied to the frequentist estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Smoothing {
+    /// Plain maximum likelihood `n_ij / n_i`.
+    None,
+    /// Laplace (additive) smoothing with pseudo-count `α`:
+    /// `(n_ij + α) / (n_i + α·k)` over the `k` candidate successors.
+    /// Keeps every supported transition strictly positive, which the IS
+    /// machinery requires of reference chains.
+    Laplace(f64),
+}
+
+/// Options for the learning routines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnOptions {
+    /// Confidence parameter `δ` of the per-transition Okamoto intervals
+    /// (the paper's §II-B example uses `1e-5`).
+    pub delta: f64,
+    /// Smoothing of the point estimates.
+    pub smoothing: Smoothing,
+    /// Initial state of the learnt chain.
+    pub initial: State,
+}
+
+impl Default for LearnOptions {
+    fn default() -> Self {
+        LearnOptions {
+            delta: 1e-5,
+            smoothing: Smoothing::None,
+            initial: 0,
+        }
+    }
+}
+
+/// Learns a point-estimate DTMC from counts, with the support defined by
+/// the observed transitions.
+///
+/// # Errors
+///
+/// * [`LearnError::NoObservations`] for an empty table;
+/// * [`LearnError::UnvisitedState`] if some state reachable in the data was
+///   never left (absorbing observed states get a self-loop instead only if
+///   the data shows a self-transition) — use [`learn_dtmc_with_support`]
+///   when the support is known a priori.
+pub fn learn_dtmc(counts: &CountTable, options: &LearnOptions) -> Result<Dtmc, LearnError> {
+    if counts.total() == 0 {
+        return Err(LearnError::NoObservations);
+    }
+    let n = counts.num_states();
+    let mut builder = DtmcBuilder::new(n).initial(options.initial);
+    for state in 0..n {
+        let successors = counts.successors(state);
+        if successors.is_empty() {
+            // States never seen at all don't constrain anything; model them
+            // as absorbing. States seen but never left are a data problem.
+            if touched(counts, state) {
+                return Err(LearnError::UnvisitedState { state });
+            }
+            builder = builder.self_loop(state);
+            continue;
+        }
+        let total = counts.source_total(state);
+        builder = add_row(builder, state, &successors, total, options.smoothing);
+    }
+    builder.build().map_err(LearnError::from)
+}
+
+/// Learns a point-estimate DTMC whose support (and label set) is taken from
+/// a known chain — the structure-known/probabilities-unknown setting of the
+/// paper's benchmarks. Rows never left in the data fall back to the support
+/// chain's distribution.
+///
+/// # Errors
+///
+/// Returns [`LearnError::NoObservations`] for an empty table, or a
+/// propagated [`ModelError`].
+pub fn learn_dtmc_with_support(
+    counts: &CountTable,
+    support: &Dtmc,
+    options: &LearnOptions,
+) -> Result<Dtmc, LearnError> {
+    if counts.total() == 0 {
+        return Err(LearnError::NoObservations);
+    }
+    let n = support.num_states();
+    let mut builder = DtmcBuilder::new(n).initial(support.initial());
+    for state in 0..n {
+        let total = counts.source_total(state);
+        if total == 0 {
+            for e in support.row(state).entries() {
+                builder = builder.transition(state, e.target, e.prob);
+            }
+            continue;
+        }
+        // Successor set = the support row; counts may miss some of them.
+        let successors: Vec<(State, u64)> = support
+            .row(state)
+            .entries()
+            .iter()
+            .map(|e| (e.target, counts.count(state, e.target)))
+            .collect();
+        builder = add_row(builder, state, &successors, total, options.smoothing);
+    }
+    for label in support.label_names() {
+        for s in support.labeled_states(label).iter() {
+            builder = builder.label(s, label);
+        }
+    }
+    builder.build().map_err(LearnError::from)
+}
+
+fn add_row(
+    builder: DtmcBuilder,
+    state: State,
+    successors: &[(State, u64)],
+    total: u64,
+    smoothing: Smoothing,
+) -> DtmcBuilder {
+    let k = successors.len() as f64;
+    let total = total as f64;
+    let probs: Vec<f64> = match smoothing {
+        Smoothing::None => successors.iter().map(|&(_, n)| n as f64 / total).collect(),
+        Smoothing::Laplace(alpha) => successors
+            .iter()
+            .map(|&(_, n)| (n as f64 + alpha) / (total + alpha * k))
+            .collect(),
+    };
+    // Force exact stochasticity against rounding.
+    let sum: f64 = probs.iter().sum();
+    let mut builder = builder;
+    for (i, (&(target, _), &p)) in successors.iter().zip(&probs).enumerate() {
+        let p = if i == successors.len() - 1 {
+            p + (1.0 - sum)
+        } else {
+            p
+        };
+        builder = builder.transition(state, target, p);
+    }
+    builder
+}
+
+/// Whether `state` appears anywhere in the data (as a source or target).
+fn touched(counts: &CountTable, state: State) -> bool {
+    counts
+        .iter()
+        .any(|((from, to), _)| from == state || to == state)
+}
+
+/// Learns the IMC `[Â ± ε]` (§II-B): the point chain of [`learn_dtmc`]
+/// widened per-state by the Okamoto half-width
+/// `ε_i = √(ln(2/δ) / (2 n_i))`.
+///
+/// # Errors
+///
+/// Propagates errors of [`learn_dtmc`].
+pub fn learn_imc(counts: &CountTable, options: &LearnOptions) -> Result<Imc, LearnError> {
+    let center = learn_dtmc(counts, options)?;
+    imc_around(counts, &center, options)
+}
+
+/// [`learn_imc`] with a known support chain: rows without data get the
+/// maximally uncertain interval `[0, 1]` on each transition.
+///
+/// # Errors
+///
+/// Propagates errors of [`learn_dtmc_with_support`].
+pub fn learn_imc_with_support(
+    counts: &CountTable,
+    support: &Dtmc,
+    options: &LearnOptions,
+) -> Result<Imc, LearnError> {
+    let center = learn_dtmc_with_support(counts, support, options)?;
+    imc_around(counts, &center, options)
+}
+
+fn imc_around(
+    counts: &CountTable,
+    center: &Dtmc,
+    options: &LearnOptions,
+) -> Result<Imc, LearnError> {
+    let delta = options.delta;
+    Imc::from_center(center, |from, _| {
+        let n_i = counts.source_total(from);
+        if n_i == 0 {
+            1.0 // no data: maximal uncertainty, clamped into [0, 1]
+        } else {
+            okamoto_epsilon(n_i as usize, delta)
+        }
+    })
+    .map_err(LearnError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_markov::Path;
+
+    fn table_from_paths(n: usize, paths: &[Vec<usize>]) -> CountTable {
+        let mut table = CountTable::new(n);
+        for p in paths {
+            table.record_path(&Path::new(p.clone()));
+        }
+        table
+    }
+
+    #[test]
+    fn point_estimates_are_frequencies() {
+        let table = table_from_paths(
+            3,
+            &[vec![0, 1], vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 1], vec![2, 2]],
+        );
+        let chain = learn_dtmc(&table, &LearnOptions::default()).unwrap();
+        assert!((chain.prob(0, 1) - 0.75).abs() < 1e-12);
+        assert!((chain.prob(0, 2) - 0.25).abs() < 1e-12);
+        assert_eq!(chain.prob(1, 1), 1.0);
+    }
+
+    #[test]
+    fn laplace_smoothing_shrinks_towards_uniform() {
+        let table = table_from_paths(3, &[vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 1], vec![2, 2]]);
+        let opts = LearnOptions {
+            smoothing: Smoothing::Laplace(1.0),
+            ..LearnOptions::default()
+        };
+        let chain = learn_dtmc(&table, &opts).unwrap();
+        // (2+1)/(3+2) = 0.6 instead of 2/3.
+        assert!((chain.prob(0, 1) - 0.6).abs() < 1e-12);
+        assert!((chain.prob(0, 2) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_is_an_error() {
+        let table = CountTable::new(2);
+        assert_eq!(
+            learn_dtmc(&table, &LearnOptions::default()).unwrap_err(),
+            LearnError::NoObservations
+        );
+    }
+
+    #[test]
+    fn visited_but_never_left_is_an_error() {
+        // State 1 is entered but never exited.
+        let table = table_from_paths(2, &[vec![0, 1]]);
+        assert_eq!(
+            learn_dtmc(&table, &LearnOptions::default()).unwrap_err(),
+            LearnError::UnvisitedState { state: 1 }
+        );
+    }
+
+    #[test]
+    fn support_fallback_fills_unvisited_rows() {
+        let support = DtmcBuilder::new(3)
+            .transition(0, 1, 0.5)
+            .transition(0, 2, 0.5)
+            .transition(1, 0, 1.0)
+            .self_loop(2)
+            .label(2, "sink")
+            .build()
+            .unwrap();
+        let table = table_from_paths(3, &[vec![0, 1], vec![0, 1], vec![0, 2]]);
+        let chain =
+            learn_dtmc_with_support(&table, &support, &LearnOptions::default()).unwrap();
+        // Learnt where there is data...
+        assert!((chain.prob(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+        // ...support elsewhere, labels carried over.
+        assert_eq!(chain.prob(1, 0), 1.0);
+        assert_eq!(chain.prob(2, 2), 1.0);
+        assert!(chain.has_label(2, "sink"));
+    }
+
+    #[test]
+    fn smoothing_keeps_unobserved_support_transitions_positive() {
+        let support = DtmcBuilder::new(3)
+            .transition(0, 1, 0.5)
+            .transition(0, 2, 0.5)
+            .self_loop(1)
+            .self_loop(2)
+            .build()
+            .unwrap();
+        // Only 0 -> 1 ever observed.
+        let table = table_from_paths(3, &[vec![0, 1], vec![0, 1]]);
+        let opts = LearnOptions {
+            smoothing: Smoothing::Laplace(0.5),
+            ..LearnOptions::default()
+        };
+        let chain = learn_dtmc_with_support(&table, &support, &opts).unwrap();
+        assert!(chain.prob(0, 2) > 0.0);
+        assert!((chain.row(0).sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imc_width_shrinks_with_data() {
+        let few = table_from_paths(2, &[vec![0, 1], vec![0, 0], vec![1, 1]]);
+        let mut many_paths = Vec::new();
+        for _ in 0..500 {
+            many_paths.push(vec![0, 1]);
+            many_paths.push(vec![0, 0]);
+        }
+        many_paths.push(vec![1, 1]);
+        let many = table_from_paths(2, &many_paths);
+        let opts = LearnOptions::default();
+        let imc_few = learn_imc(&few, &opts).unwrap();
+        let imc_many = learn_imc(&many, &opts).unwrap();
+        let w_few = imc_few.row(0).interval_to(1).unwrap().half_width();
+        let w_many = imc_many.row(0).interval_to(1).unwrap().half_width();
+        assert!(w_many < w_few / 5.0, "{w_many} vs {w_few}");
+    }
+
+    #[test]
+    fn truth_falls_in_learnt_interval_with_enough_data() {
+        // 1000 samples of a 0.3/0.7 coin, deterministic counts.
+        let mut paths = Vec::new();
+        for _ in 0..300 {
+            paths.push(vec![0, 1]);
+        }
+        for _ in 0..700 {
+            paths.push(vec![0, 0]);
+        }
+        paths.push(vec![1, 1]);
+        let table = table_from_paths(2, &paths);
+        let imc = learn_imc(&table, &LearnOptions::default()).unwrap();
+        assert!(imc.row(0).interval_to(1).unwrap().contains(0.3));
+        assert!(imc.center().is_some());
+    }
+
+    #[test]
+    fn unvisited_row_in_support_imc_is_fully_uncertain() {
+        let support = DtmcBuilder::new(3)
+            .transition(0, 1, 0.5)
+            .transition(0, 2, 0.5)
+            .transition(1, 0, 1.0)
+            .self_loop(2)
+            .build()
+            .unwrap();
+        let table = table_from_paths(3, &[vec![0, 2], vec![0, 2]]);
+        let imc =
+            learn_imc_with_support(&table, &support, &LearnOptions::default()).unwrap();
+        let e = imc.row(1).interval_to(0).unwrap();
+        assert_eq!((e.lo, e.hi), (0.0, 1.0));
+    }
+}

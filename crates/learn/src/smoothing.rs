@@ -1,0 +1,58 @@
+//! Good–Turing estimation of unseen probability mass.
+//!
+//! §II-B of the paper points out that when the state space is large,
+//! frequentist estimates cannot be accurate for all transitions, citing
+//! Good–Turing estimation [11] as a remedy. The headline quantity is the
+//! probability mass of *unseen* events: `P₀ ≈ N₁ / N`, where `N₁` is the
+//! number of species observed exactly once and `N` the number of
+//! observations.
+
+/// The Good–Turing estimate of the total probability of unseen events:
+/// `N₁ / N` (number of singletons over total observations).
+///
+/// Returns 0 for empty input (nothing observed means the estimator is
+/// undefined; 0 keeps callers simple and errs towards trusting the data).
+///
+/// # Example
+///
+/// ```
+/// // Five species seen 3, 2, 1, 1, 1 times: N₁ = 3, N = 8.
+/// let p0 = imc_learn::good_turing_unseen_mass(&[3, 2, 1, 1, 1]);
+/// assert!((p0 - 3.0 / 8.0).abs() < 1e-12);
+/// ```
+pub fn good_turing_unseen_mass(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let singletons = counts.iter().filter(|&&c| c == 1).count() as f64;
+    singletons / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_singletons_means_no_unseen_mass() {
+        assert_eq!(good_turing_unseen_mass(&[5, 3, 2]), 0.0);
+    }
+
+    #[test]
+    fn all_singletons_means_everything_unseen() {
+        assert_eq!(good_turing_unseen_mass(&[1, 1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(good_turing_unseen_mass(&[]), 0.0);
+    }
+
+    #[test]
+    fn shrinks_as_coverage_grows() {
+        // Same species, increasingly observed.
+        let sparse = good_turing_unseen_mass(&[1, 1, 2]);
+        let dense = good_turing_unseen_mass(&[10, 12, 20, 1]);
+        assert!(dense < sparse);
+    }
+}

@@ -1,0 +1,499 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, Path, State, StateSet, ROW_SUM_TOLERANCE};
+
+/// A single sparse transition: target state and probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RowEntry {
+    /// Target state of the transition.
+    pub target: State,
+    /// Transition probability, in `(0, 1]`.
+    pub prob: f64,
+}
+
+/// The sparse probability distribution out of one state.
+///
+/// Entries are sorted by target state and carry strictly positive
+/// probabilities summing to one (within [`ROW_SUM_TOLERANCE`]).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Row {
+    entries: Vec<RowEntry>,
+}
+
+impl Row {
+    /// The entries of the row, sorted by target state.
+    pub fn entries(&self) -> &[RowEntry] {
+        &self.entries
+    }
+
+    /// Number of outgoing transitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the row has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Probability of moving to `target`, or `0.0` if there is no transition.
+    pub fn prob_to(&self, target: State) -> f64 {
+        self.entries
+            .binary_search_by_key(&target, |e| e.target)
+            .map_or(0.0, |i| self.entries[i].prob)
+    }
+
+    /// Sum of the row's probabilities.
+    pub fn sum(&self) -> f64 {
+        self.entries.iter().map(|e| e.prob).sum()
+    }
+
+    pub(crate) fn from_sorted(entries: Vec<RowEntry>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].target < w[1].target));
+        Row { entries }
+    }
+}
+
+/// A discrete-time Markov chain (Definition 2.1 of the paper).
+///
+/// States are dense indices `0..n`. Each state carries a sparse probability
+/// row; rows are validated to be stochastic at construction time, so every
+/// `Dtmc` value is well formed. Atomic propositions are modelled as named
+/// labels attached to states.
+///
+/// Construct via [`DtmcBuilder`].
+///
+/// # Example
+///
+/// ```
+/// use imc_markov::DtmcBuilder;
+///
+/// # fn main() -> Result<(), imc_markov::ModelError> {
+/// let chain = DtmcBuilder::new(2)
+///     .transition(0, 0, 0.25)
+///     .transition(0, 1, 0.75)
+///     .self_loop(1)
+///     .label(1, "done")
+///     .build()?;
+/// assert_eq!(chain.row(0).prob_to(1), 0.75);
+/// assert!(chain.labeled_states("done").contains(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dtmc {
+    rows: Vec<Row>,
+    initial: State,
+    labels: BTreeMap<String, StateSet>,
+}
+
+impl Dtmc {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total number of transitions (non-zero matrix entries).
+    pub fn num_transitions(&self) -> usize {
+        self.rows.iter().map(Row::len).sum()
+    }
+
+    /// The initial state `s0`.
+    pub fn initial(&self) -> State {
+        self.initial
+    }
+
+    /// The probability row of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn row(&self, state: State) -> &Row {
+        &self.rows[state]
+    }
+
+    /// All rows, indexed by state.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// One-step transition probability `A(from, to)`.
+    pub fn prob(&self, from: State, to: State) -> f64 {
+        self.rows[from].prob_to(to)
+    }
+
+    /// The set of states carrying `label`, or an empty set if the label is
+    /// unknown.
+    pub fn labeled_states(&self, label: &str) -> StateSet {
+        self.labels
+            .get(label)
+            .cloned()
+            .unwrap_or_else(|| StateSet::new(self.num_states()))
+    }
+
+    /// All label names, sorted.
+    pub fn label_names(&self) -> impl Iterator<Item = &str> {
+        self.labels.keys().map(String::as_str)
+    }
+
+    /// Returns `true` if `state` carries `label`.
+    pub fn has_label(&self, state: State, label: &str) -> bool {
+        self.labels.get(label).is_some_and(|s| s.contains(state))
+    }
+
+    /// Probability of a finite path, `P_A(ω) = Π A(ω_{i-1}, ω_i)` (eq. (1)).
+    ///
+    /// Returns `0.0` if any step uses a missing transition.
+    pub fn path_prob(&self, path: &Path) -> f64 {
+        path.transitions()
+            .map(|(from, to)| self.prob(from, to))
+            .product()
+    }
+
+    /// Natural log of the path probability; `-inf` for impossible paths.
+    ///
+    /// Long rare-event paths underflow `f64` products quickly (a path of a
+    /// thousand `1e-3` steps has probability `1e-3000`), so all
+    /// likelihood-ratio computations in this workspace work in log space.
+    pub fn path_log_prob(&self, path: &Path) -> f64 {
+        path.transitions()
+            .map(|(from, to)| self.prob(from, to).ln())
+            .sum()
+    }
+
+    /// Replaces the probability rows of selected states, revalidating them.
+    ///
+    /// This is how optimisers materialise a candidate `A ∈ [Â]`: start from
+    /// the centre chain and substitute the rows under optimisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any new row is not a probability distribution or
+    /// mentions an out-of-range state.
+    pub fn with_rows(
+        &self,
+        new_rows: impl IntoIterator<Item = (State, Vec<RowEntry>)>,
+    ) -> Result<Dtmc, ModelError> {
+        let n = self.num_states();
+        let mut rows = self.rows.clone();
+        for (state, entries) in new_rows {
+            if state >= n {
+                return Err(ModelError::StateOutOfRange { state, n });
+            }
+            rows[state] = validate_row(state, entries, n)?;
+        }
+        Ok(Dtmc {
+            rows,
+            initial: self.initial,
+            labels: self.labels.clone(),
+        })
+    }
+
+    /// The states with a transition *into* `state` (predecessors).
+    pub fn predecessors(&self) -> Vec<Vec<State>> {
+        let mut preds = vec![Vec::new(); self.num_states()];
+        for (from, row) in self.rows.iter().enumerate() {
+            for entry in row.entries() {
+                preds[entry.target].push(from);
+            }
+        }
+        preds
+    }
+}
+
+/// Builder for [`Dtmc`] (C-BUILDER).
+///
+/// Transitions may be added in any order; `build` validates that every row is
+/// a probability distribution and that the initial state is in range.
+#[derive(Debug, Clone)]
+pub struct DtmcBuilder {
+    n: usize,
+    initial: State,
+    transitions: Vec<(State, State, f64)>,
+    labels: BTreeMap<String, Vec<State>>,
+}
+
+impl DtmcBuilder {
+    /// Starts a builder for a chain with `n` states and initial state 0.
+    pub fn new(n: usize) -> Self {
+        DtmcBuilder {
+            n,
+            initial: 0,
+            transitions: Vec::new(),
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the initial state (default 0).
+    pub fn initial(mut self, state: State) -> Self {
+        self.initial = state;
+        self
+    }
+
+    /// Adds transition `from -> to` with probability `prob`.
+    ///
+    /// Zero-probability transitions are dropped silently, which lets callers
+    /// write parameterised models without special-casing vanishing terms.
+    pub fn transition(mut self, from: State, to: State, prob: f64) -> Self {
+        if prob != 0.0 {
+            self.transitions.push((from, to, prob));
+        }
+        self
+    }
+
+    /// Adds a probability-1 self loop on `state` (an absorbing state).
+    pub fn self_loop(self, state: State) -> Self {
+        self.transition(state, state, 1.0)
+    }
+
+    /// Attaches `label` to `state`. A state may carry many labels.
+    pub fn label(mut self, state: State, label: &str) -> Self {
+        self.labels.entry(label.to_owned()).or_default().push(state);
+        self
+    }
+
+    /// Adds an entire probability row at once.
+    pub fn row(mut self, from: State, entries: impl IntoIterator<Item = (State, f64)>) -> Self {
+        for (to, prob) in entries {
+            self = self.transition(from, to, prob);
+        }
+        self
+    }
+
+    /// Validates and constructs the [`Dtmc`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyModel`] if `n == 0`;
+    /// * [`ModelError::StateOutOfRange`] for any out-of-range state;
+    /// * [`ModelError::DuplicateTransition`] if a transition appears twice;
+    /// * [`ModelError::ProbabilityOutOfRange`] for probabilities outside `[0, 1]`;
+    /// * [`ModelError::NoOutgoingTransitions`] / [`ModelError::NotStochastic`]
+    ///   if any row is missing or does not sum to one.
+    pub fn build(self) -> Result<Dtmc, ModelError> {
+        if self.n == 0 {
+            return Err(ModelError::EmptyModel);
+        }
+        let n = self.n;
+        if self.initial >= n {
+            return Err(ModelError::StateOutOfRange {
+                state: self.initial,
+                n,
+            });
+        }
+        let mut per_state: Vec<Vec<RowEntry>> = vec![Vec::new(); n];
+        for (from, to, prob) in self.transitions {
+            if from >= n {
+                return Err(ModelError::StateOutOfRange { state: from, n });
+            }
+            per_state[from].push(RowEntry { target: to, prob });
+        }
+        let mut rows = Vec::with_capacity(n);
+        for (state, entries) in per_state.into_iter().enumerate() {
+            rows.push(validate_row(state, entries, n)?);
+        }
+        let mut labels = BTreeMap::new();
+        for (name, states) in self.labels {
+            let mut set = StateSet::new(n);
+            for state in states {
+                if state >= n {
+                    return Err(ModelError::StateOutOfRange { state, n });
+                }
+                set.insert(state);
+            }
+            labels.insert(name, set);
+        }
+        Ok(Dtmc {
+            rows,
+            initial: self.initial,
+            labels,
+        })
+    }
+}
+
+/// Sorts, checks ranges/duplicates, and verifies the row is stochastic.
+fn validate_row(state: State, mut entries: Vec<RowEntry>, n: usize) -> Result<Row, ModelError> {
+    if entries.is_empty() {
+        return Err(ModelError::NoOutgoingTransitions { state });
+    }
+    entries.retain(|e| e.prob != 0.0);
+    if entries.is_empty() {
+        return Err(ModelError::NoOutgoingTransitions { state });
+    }
+    entries.sort_by_key(|e| e.target);
+    for pair in entries.windows(2) {
+        if pair[0].target == pair[1].target {
+            return Err(ModelError::DuplicateTransition {
+                from: state,
+                to: pair[0].target,
+            });
+        }
+    }
+    let mut sum = 0.0;
+    for entry in &entries {
+        if entry.target >= n {
+            return Err(ModelError::StateOutOfRange {
+                state: entry.target,
+                n,
+            });
+        }
+        if !entry.prob.is_finite() || entry.prob < 0.0 || entry.prob > 1.0 {
+            return Err(ModelError::ProbabilityOutOfRange {
+                from: state,
+                to: entry.target,
+                value: entry.prob,
+            });
+        }
+        sum += entry.prob;
+    }
+    if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+        return Err(ModelError::NotStochastic { state, sum });
+    }
+    Ok(Row::from_sorted(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Path;
+
+    fn two_state() -> Dtmc {
+        DtmcBuilder::new(2)
+            .transition(0, 0, 0.25)
+            .transition(0, 1, 0.75)
+            .self_loop(1)
+            .label(1, "done")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_queries() {
+        let chain = two_state();
+        assert_eq!(chain.num_states(), 2);
+        assert_eq!(chain.num_transitions(), 3);
+        assert_eq!(chain.prob(0, 1), 0.75);
+        assert_eq!(chain.prob(1, 0), 0.0);
+        assert!(chain.has_label(1, "done"));
+        assert!(!chain.has_label(0, "done"));
+        assert!(chain.labeled_states("missing").is_empty());
+    }
+
+    #[test]
+    fn rejects_non_stochastic_row() {
+        let err = DtmcBuilder::new(2)
+            .transition(0, 1, 0.5)
+            .self_loop(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::NotStochastic { state: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_transition() {
+        let err = DtmcBuilder::new(2)
+            .transition(0, 1, 0.5)
+            .transition(0, 1, 0.5)
+            .self_loop(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::DuplicateTransition { from: 0, to: 1 }
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let err = DtmcBuilder::new(2)
+            .transition(0, 5, 1.0)
+            .self_loop(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::StateOutOfRange { state: 5, n: 2 }));
+    }
+
+    #[test]
+    fn rejects_negative_probability() {
+        let err = DtmcBuilder::new(2)
+            .transition(0, 0, -0.5)
+            .transition(0, 1, 1.5)
+            .self_loop(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::ProbabilityOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_row() {
+        let err = DtmcBuilder::new(2).self_loop(1).build().unwrap_err();
+        assert!(matches!(err, ModelError::NoOutgoingTransitions { state: 0 }));
+    }
+
+    #[test]
+    fn rejects_empty_model() {
+        assert!(matches!(
+            DtmcBuilder::new(0).build().unwrap_err(),
+            ModelError::EmptyModel
+        ));
+    }
+
+    #[test]
+    fn path_probability_multiplies_steps() {
+        let chain = two_state();
+        let path = Path::new(vec![0, 0, 1]);
+        assert!((chain.path_prob(&path) - 0.25 * 0.75).abs() < 1e-15);
+        assert!(
+            (chain.path_log_prob(&path) - (0.25f64.ln() + 0.75f64.ln())).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn impossible_path_has_zero_probability() {
+        let chain = two_state();
+        let path = Path::new(vec![1, 0]);
+        assert_eq!(chain.path_prob(&path), 0.0);
+        assert_eq!(chain.path_log_prob(&path), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn with_rows_replaces_and_validates() {
+        let chain = two_state();
+        let swapped = chain
+            .with_rows([(
+                0,
+                vec![
+                    RowEntry { target: 0, prob: 0.5 },
+                    RowEntry { target: 1, prob: 0.5 },
+                ],
+            )])
+            .unwrap();
+        assert_eq!(swapped.prob(0, 0), 0.5);
+        // Original untouched.
+        assert_eq!(chain.prob(0, 0), 0.25);
+
+        let bad = chain.with_rows([(0, vec![RowEntry { target: 1, prob: 0.5 }])]);
+        assert!(matches!(bad, Err(ModelError::NotStochastic { .. })));
+    }
+
+    #[test]
+    fn predecessors_inverts_edges() {
+        let chain = two_state();
+        let preds = chain.predecessors();
+        assert_eq!(preds[1], vec![0, 1]);
+        assert_eq!(preds[0], vec![0]);
+    }
+
+    #[test]
+    fn zero_probability_transitions_are_dropped() {
+        let chain = DtmcBuilder::new(2)
+            .transition(0, 0, 0.0)
+            .transition(0, 1, 1.0)
+            .self_loop(1)
+            .build()
+            .unwrap();
+        assert_eq!(chain.row(0).len(), 1);
+    }
+}

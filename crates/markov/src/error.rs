@@ -1,0 +1,104 @@
+use std::fmt;
+
+/// Errors raised when constructing or validating Markov models.
+///
+/// All constructors in this crate validate their inputs eagerly
+/// (C-VALIDATE); a successfully constructed [`Dtmc`](crate::Dtmc) or
+/// [`Imc`](crate::Imc) is guaranteed to be well formed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The model has no states.
+    EmptyModel,
+    /// A state index was outside `0..n`.
+    StateOutOfRange {
+        /// The offending state index.
+        state: usize,
+        /// Number of states in the model.
+        n: usize,
+    },
+    /// A probability was outside `[0, 1]` or not finite.
+    ProbabilityOutOfRange {
+        /// Source state of the transition.
+        from: usize,
+        /// Target state of the transition.
+        to: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability row does not sum to one (within tolerance).
+    NotStochastic {
+        /// The state whose row is invalid.
+        state: usize,
+        /// The actual row sum.
+        sum: f64,
+    },
+    /// A state has no outgoing transitions.
+    NoOutgoingTransitions {
+        /// The state with an empty row.
+        state: usize,
+    },
+    /// The same transition was specified twice.
+    DuplicateTransition {
+        /// Source state.
+        from: usize,
+        /// Target state.
+        to: usize,
+    },
+    /// An interval had `lo > hi`, or a bound was outside `[0, 1]`.
+    InvalidInterval {
+        /// Source state.
+        from: usize,
+        /// Target state.
+        to: usize,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// An IMC row is inconsistent: `Σ lo > 1` or `Σ hi < 1`
+    /// (Definition 2.2 (ii)/(iii) of the paper), so no probability
+    /// distribution can satisfy all its intervals.
+    InconsistentIntervalRow {
+        /// The state whose interval row is inconsistent.
+        state: usize,
+        /// Sum of lower bounds.
+        lo_sum: f64,
+        /// Sum of upper bounds.
+        hi_sum: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ModelError::EmptyModel => write!(f, "model has no states"),
+            ModelError::StateOutOfRange { state, n } => {
+                write!(f, "state {state} out of range for model with {n} states")
+            }
+            ModelError::ProbabilityOutOfRange { from, to, value } => write!(
+                f,
+                "probability {value} on transition {from} -> {to} is outside [0, 1]"
+            ),
+            ModelError::NotStochastic { state, sum } => {
+                write!(f, "row of state {state} sums to {sum}, expected 1")
+            }
+            ModelError::NoOutgoingTransitions { state } => {
+                write!(f, "state {state} has no outgoing transitions")
+            }
+            ModelError::DuplicateTransition { from, to } => {
+                write!(f, "transition {from} -> {to} specified more than once")
+            }
+            ModelError::InvalidInterval { from, to, lo, hi } => write!(
+                f,
+                "interval [{lo}, {hi}] on transition {from} -> {to} is invalid"
+            ),
+            ModelError::InconsistentIntervalRow { state, lo_sum, hi_sum } => write!(
+                f,
+                "interval row of state {state} is inconsistent: lower bounds sum to \
+                 {lo_sum}, upper bounds sum to {hi_sum}, but 1 must be enclosed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,326 @@
+//! Graph analyses over the transition structure of a [`Dtmc`].
+//!
+//! These operate purely on the support of the transition matrix (which
+//! transitions have non-zero probability), so they apply unchanged to every
+//! member of an IMC with the same support.
+
+use crate::{Dtmc, State, StateSet};
+
+/// States reachable from `from` by following transitions forward
+/// (including `from` itself).
+///
+/// # Example
+///
+/// ```
+/// use imc_markov::{DtmcBuilder, graph};
+///
+/// # fn main() -> Result<(), imc_markov::ModelError> {
+/// let chain = DtmcBuilder::new(3)
+///     .transition(0, 1, 1.0)
+///     .self_loop(1)
+///     .self_loop(2)
+///     .build()?;
+/// let reach = graph::forward_reachable(&chain, 0);
+/// assert!(reach.contains(1) && !reach.contains(2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn forward_reachable(chain: &Dtmc, from: State) -> StateSet {
+    let n = chain.num_states();
+    let mut seen = StateSet::new(n);
+    let mut stack = vec![from];
+    seen.insert(from);
+    while let Some(s) = stack.pop() {
+        for entry in chain.row(s).entries() {
+            if seen.insert(entry.target) {
+                stack.push(entry.target);
+            }
+        }
+    }
+    seen
+}
+
+/// States that can reach some state in `targets` (including the targets).
+pub fn backward_reachable(chain: &Dtmc, targets: &StateSet) -> StateSet {
+    let preds = chain.predecessors();
+    let n = chain.num_states();
+    let mut seen = StateSet::new(n);
+    let mut stack: Vec<State> = targets.iter().collect();
+    for &s in &stack {
+        seen.insert(s);
+    }
+    while let Some(s) = stack.pop() {
+        for &p in &preds[s] {
+            if seen.insert(p) {
+                stack.push(p);
+            }
+        }
+    }
+    seen
+}
+
+/// States that can reach `targets` *without passing through* `avoid`
+/// (targets themselves included, even if also in `avoid`).
+///
+/// This is the qualitative precomputation for reach-avoid probabilities: any
+/// state outside the returned set has probability exactly 0 of satisfying
+/// `¬avoid U target`.
+pub fn backward_reachable_avoiding(
+    chain: &Dtmc,
+    targets: &StateSet,
+    avoid: &StateSet,
+) -> StateSet {
+    let preds = chain.predecessors();
+    let n = chain.num_states();
+    let mut seen = StateSet::new(n);
+    let mut stack: Vec<State> = targets.iter().collect();
+    for &s in &stack {
+        seen.insert(s);
+    }
+    while let Some(s) = stack.pop() {
+        for &p in &preds[s] {
+            if !avoid.contains(p) && seen.insert(p) {
+                stack.push(p);
+            }
+        }
+    }
+    seen
+}
+
+/// Strongly connected components of the transition graph, in reverse
+/// topological order (every edge leaving a component points to an
+/// earlier-listed component).
+///
+/// Iterative Tarjan so deep chains do not overflow the stack.
+pub fn sccs(chain: &Dtmc) -> Vec<Vec<State>> {
+    let n = chain.num_states();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<State> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<State>> = Vec::new();
+
+    // Explicit DFS frame: (state, next child position).
+    let mut call_stack: Vec<(State, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut child)) = call_stack.last_mut() {
+            let entries = chain.row(v).entries();
+            if *child < entries.len() {
+                let w = entries[*child].target;
+                *child += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Bottom strongly connected components: SCCs with no edge leaving them.
+///
+/// In a finite DTMC a run eventually enters a BSCC with probability 1, so
+/// BSCCs determine all long-run behaviour.
+pub fn bsccs(chain: &Dtmc) -> Vec<Vec<State>> {
+    let comps = sccs(chain);
+    let n = chain.num_states();
+    let mut comp_of = vec![usize::MAX; n];
+    for (ci, comp) in comps.iter().enumerate() {
+        for &s in comp {
+            comp_of[s] = ci;
+        }
+    }
+    comps
+        .iter()
+        .enumerate()
+        .filter(|(ci, comp)| {
+            comp.iter().all(|&s| {
+                chain
+                    .row(s)
+                    .entries()
+                    .iter()
+                    .all(|e| comp_of[e.target] == *ci)
+            })
+        })
+        .map(|(_, comp)| comp.clone())
+        .collect()
+}
+
+/// States that reach `targets` with probability exactly 1 when avoiding
+/// nothing (the classic `Prob1` precomputation, via the complement of a
+/// greatest fixed point).
+pub fn almost_sure_reach(chain: &Dtmc, targets: &StateSet) -> StateSet {
+    let n = chain.num_states();
+    // States that CAN avoid `targets` forever with positive probability:
+    // greatest set U disjoint from targets such that every state in U has a
+    // successor in U... actually positive-probability avoidance needs only
+    // one successor staying in the "can-avoid" region OR escaping reach.
+    // Standard construction: P1 = complement of backward-reachable(from
+    // states that cannot reach targets at all) intersected with ...
+    //
+    // We use the textbook iterative characterisation:
+    //   S0  = states with reach-probability 0 = complement of backward_reachable(targets)
+    //   P<1 = states that can reach S0 while avoiding targets
+    //   P1  = complement of P<1.
+    let can_reach = backward_reachable(chain, targets);
+    let zero = can_reach.complement();
+    let avoid = targets.clone();
+    let less_than_one = backward_reachable_avoiding(chain, &zero, &avoid);
+    let mut p1 = less_than_one.complement();
+    // Targets always reach themselves.
+    p1.union_with(targets);
+    debug_assert_eq!(p1.universe(), n);
+    p1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DtmcBuilder;
+
+    /// The paper's illustrative chain: s0 -a-> s1 -c-> s2 (goal), s1 -d-> s0,
+    /// s0 -b-> s3 (sink); s2, s3 absorbing.
+    fn illustrative() -> Dtmc {
+        let (a, c) = (0.2, 0.3);
+        DtmcBuilder::new(4)
+            .transition(0, 1, a)
+            .transition(0, 3, 1.0 - a)
+            .transition(1, 2, c)
+            .transition(1, 0, 1.0 - c)
+            .self_loop(2)
+            .self_loop(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn forward_reachability() {
+        let chain = illustrative();
+        let reach = forward_reachable(&chain, 0);
+        assert_eq!(reach.len(), 4);
+        let from_goal = forward_reachable(&chain, 2);
+        assert_eq!(from_goal.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn backward_reachability() {
+        let chain = illustrative();
+        let targets = StateSet::from_states(4, [2]);
+        let back = backward_reachable(&chain, &targets);
+        assert_eq!(back.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn backward_avoiding_blocks_paths() {
+        let chain = illustrative();
+        let targets = StateSet::from_states(4, [2]);
+        let avoid = StateSet::from_states(4, [1]);
+        // The only route to s2 passes through s1, so avoiding s1 leaves {2}.
+        let back = backward_reachable_avoiding(&chain, &targets, &avoid);
+        assert_eq!(back.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn scc_structure() {
+        let chain = illustrative();
+        let comps = sccs(&chain);
+        // {0,1} form a cycle; {2} and {3} are trivial absorbing components.
+        assert_eq!(comps.len(), 3);
+        assert!(comps.contains(&vec![0, 1]));
+        assert!(comps.contains(&vec![2]));
+        assert!(comps.contains(&vec![3]));
+    }
+
+    #[test]
+    fn scc_reverse_topological_order() {
+        let chain = illustrative();
+        let comps = sccs(&chain);
+        // {0,1} has edges into {2} and {3}, so it must come after both.
+        let pos = |needle: &Vec<usize>| comps.iter().position(|c| c == needle).unwrap();
+        assert!(pos(&vec![0, 1]) > pos(&vec![2]));
+        assert!(pos(&vec![0, 1]) > pos(&vec![3]));
+    }
+
+    #[test]
+    fn bscc_detection() {
+        let chain = illustrative();
+        let bottoms = bsccs(&chain);
+        assert_eq!(bottoms.len(), 2);
+        assert!(bottoms.contains(&vec![2]));
+        assert!(bottoms.contains(&vec![3]));
+    }
+
+    #[test]
+    fn almost_sure_reach_absorbing() {
+        // Single absorbing goal reached from everywhere.
+        let chain = DtmcBuilder::new(3)
+            .transition(0, 1, 0.5)
+            .transition(0, 2, 0.5)
+            .transition(1, 2, 1.0)
+            .self_loop(2)
+            .build()
+            .unwrap();
+        let p1 = almost_sure_reach(&chain, &StateSet::from_states(3, [2]));
+        assert_eq!(p1.len(), 3);
+    }
+
+    #[test]
+    fn almost_sure_reach_with_competing_sink() {
+        let chain = illustrative();
+        let p1 = almost_sure_reach(&chain, &StateSet::from_states(4, [2]));
+        // From s0/s1 the sink s3 may be hit first, so only s2 is certain.
+        assert_eq!(p1.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn large_cycle_does_not_overflow() {
+        // A 100k-state ring exercises the iterative Tarjan.
+        let n = 100_000;
+        let mut builder = DtmcBuilder::new(n);
+        for s in 0..n {
+            builder = builder.transition(s, (s + 1) % n, 1.0);
+        }
+        let chain = builder.build().unwrap();
+        let comps = sccs(&chain);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), n);
+        assert_eq!(bsccs(&chain).len(), 1);
+    }
+}

@@ -1,0 +1,502 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Dtmc, DtmcBuilder, ModelError, State, ROW_SUM_TOLERANCE};
+
+/// A single interval transition: target state plus `[lo, hi]` bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalEntry {
+    /// Target state of the transition.
+    pub target: State,
+    /// Lower probability bound `A⁻(s, t)`.
+    pub lo: f64,
+    /// Upper probability bound `A⁺(s, t)`.
+    pub hi: f64,
+}
+
+impl IntervalEntry {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Midpoint of the interval.
+    pub fn mid(&self) -> f64 {
+        (self.hi + self.lo) / 2.0
+    }
+
+    /// Returns `true` if `p` lies within `[lo, hi]` (inclusive).
+    pub fn contains(&self, p: f64) -> bool {
+        p >= self.lo && p <= self.hi
+    }
+}
+
+/// The sparse interval distribution out of one state.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IntervalRow {
+    entries: Vec<IntervalEntry>,
+}
+
+impl IntervalRow {
+    /// The entries of the row, sorted by target state.
+    pub fn entries(&self) -> &[IntervalEntry] {
+        &self.entries
+    }
+
+    /// Number of interval transitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the row has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The interval towards `target`, or `None` if there is no transition.
+    pub fn interval_to(&self, target: State) -> Option<IntervalEntry> {
+        self.entries
+            .binary_search_by_key(&target, |e| e.target)
+            .ok()
+            .map(|i| self.entries[i])
+    }
+
+    /// Sum of lower bounds.
+    pub fn lo_sum(&self) -> f64 {
+        self.entries.iter().map(|e| e.lo).sum()
+    }
+
+    /// Sum of upper bounds.
+    pub fn hi_sum(&self) -> f64 {
+        self.entries.iter().map(|e| e.hi).sum()
+    }
+}
+
+/// An interval Markov chain (Definition 2.2), once-and-for-all semantics.
+///
+/// An IMC `[Â]` denotes the set of all DTMCs `A` with the same support whose
+/// transition probabilities satisfy `A⁻(s,t) ≤ A(s,t) ≤ A⁺(s,t)` for every
+/// transition. Rows are validated for consistency at construction:
+/// `lo ≤ hi` elementwise, `Σ lo ≤ 1` and `Σ hi ≥ 1` per state, which
+/// guarantees at least one member DTMC exists.
+///
+/// # Example
+///
+/// ```
+/// use imc_markov::{DtmcBuilder, Imc};
+///
+/// # fn main() -> Result<(), imc_markov::ModelError> {
+/// let centre = DtmcBuilder::new(2)
+///     .transition(0, 0, 0.3)
+///     .transition(0, 1, 0.7)
+///     .self_loop(1)
+///     .build()?;
+/// let imc = Imc::from_center(&centre, |_, _| 0.05)?;
+/// assert!(imc.contains(&centre));
+/// let widest = imc.row(0).interval_to(1).unwrap();
+/// assert!((widest.lo - 0.65).abs() < 1e-12 && (widest.hi - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Imc {
+    rows: Vec<IntervalRow>,
+    initial: State,
+    labels: BTreeMap<String, crate::StateSet>,
+    /// The centre chain `Â` when this IMC was learnt as `Â ± ε`; used as the
+    /// optimiser's starting point and as the IS reference chain.
+    center: Option<Dtmc>,
+}
+
+impl Imc {
+    /// Builds an IMC centred on `center`, with per-transition half-width
+    /// `eps(from, to)` (clamped so bounds stay within `[0, 1]`).
+    ///
+    /// This is the `[Â] = [Â − ε, Â + ε]` construction of §II-B of the paper.
+    /// Transitions absent from `center` stay absent (support is fixed by the
+    /// learnt chain).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any resulting row is inconsistent, which cannot
+    /// happen for `eps ≥ 0` but is checked anyway.
+    pub fn from_center(
+        center: &Dtmc,
+        mut eps: impl FnMut(State, State) -> f64,
+    ) -> Result<Imc, ModelError> {
+        let mut builder = ImcBuilder::new(center.num_states()).initial(center.initial());
+        for (from, row) in center.rows().iter().enumerate() {
+            for entry in row.entries() {
+                let e = eps(from, entry.target).max(0.0);
+                let lo = (entry.prob - e).max(0.0);
+                let hi = (entry.prob + e).min(1.0);
+                builder = builder.interval(from, entry.target, lo, hi);
+            }
+        }
+        for label in center.label_names() {
+            for state in center.labeled_states(label).iter() {
+                builder = builder.label(state, label);
+            }
+        }
+        let mut imc = builder.build()?;
+        imc.center = Some(center.clone());
+        Ok(imc)
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The initial state `s0`.
+    pub fn initial(&self) -> State {
+        self.initial
+    }
+
+    /// The interval row of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn row(&self, state: State) -> &IntervalRow {
+        &self.rows[state]
+    }
+
+    /// All interval rows, indexed by state.
+    pub fn rows(&self) -> &[IntervalRow] {
+        &self.rows
+    }
+
+    /// The centre chain `Â`, if this IMC was built around one.
+    pub fn center(&self) -> Option<&Dtmc> {
+        self.center.as_ref()
+    }
+
+    /// The set of states carrying `label`.
+    pub fn labeled_states(&self, label: &str) -> crate::StateSet {
+        self.labels
+            .get(label)
+            .cloned()
+            .unwrap_or_else(|| crate::StateSet::new(self.num_states()))
+    }
+
+    /// Membership test: is `chain ∈ [Â]`?
+    ///
+    /// `chain` must have the same number of states; every transition of
+    /// `chain` must fall inside the corresponding interval, and `chain` must
+    /// not use transitions outside the IMC's support.
+    ///
+    /// Boundary membership is checked with a `1e-12` absolute tolerance:
+    /// chains constructed *at* an interval end frequently differ from the
+    /// stored bound by an ulp (e.g. `1−(c+ε)` versus `(1−c)−ε`), and
+    /// rejecting them would make every boundary workflow flaky.
+    pub fn contains(&self, chain: &Dtmc) -> bool {
+        const TOLERANCE: f64 = 1e-12;
+        if chain.num_states() != self.num_states() {
+            return false;
+        }
+        for (state, row) in chain.rows().iter().enumerate() {
+            for entry in row.entries() {
+                match self.rows[state].interval_to(entry.target) {
+                    Some(interval)
+                        if entry.prob >= interval.lo - TOLERANCE
+                            && entry.prob <= interval.hi + TOLERANCE => {}
+                    _ => return false,
+                }
+            }
+            // Support equality in the other direction: interval transitions
+            // with lo > 0 must be present in the chain.
+            for interval in self.rows[state].entries() {
+                if interval.lo > 0.0 && row.prob_to(interval.target) == 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns a member DTMC built by clamping `Â`'s rows to the intervals
+    /// and renormalising; when the IMC was produced by [`Imc::from_center`]
+    /// this simply returns the centre chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if renormalisation cannot produce a member (only
+    /// possible for hand-built inconsistent supports, which construction
+    /// already rejects).
+    pub fn some_member(&self) -> Result<Dtmc, ModelError> {
+        if let Some(center) = &self.center {
+            return Ok(center.clone());
+        }
+        // Start from interval midpoints and waterfill the defect onto entries
+        // with slack so every coordinate stays inside its interval.
+        let mut builder = DtmcBuilder::new(self.num_states()).initial(self.initial);
+        for (state, row) in self.rows.iter().enumerate() {
+            let mut probs: Vec<f64> = row.entries().iter().map(|e| e.mid()).collect();
+            let sum: f64 = probs.iter().sum();
+            let mut defect = 1.0 - sum;
+            for (p, e) in probs.iter_mut().zip(row.entries()) {
+                if defect.abs() <= ROW_SUM_TOLERANCE {
+                    break;
+                }
+                let room = if defect > 0.0 { e.hi - *p } else { e.lo - *p };
+                let adjust = if defect > 0.0 {
+                    defect.min(room)
+                } else {
+                    defect.max(room)
+                };
+                *p += adjust;
+                defect -= adjust;
+            }
+            if defect.abs() > ROW_SUM_TOLERANCE {
+                return Err(ModelError::InconsistentIntervalRow {
+                    state,
+                    lo_sum: row.lo_sum(),
+                    hi_sum: row.hi_sum(),
+                });
+            }
+            for (p, e) in probs.iter().zip(row.entries()) {
+                builder = builder.transition(state, e.target, *p);
+            }
+        }
+        for (name, set) in &self.labels {
+            for state in set.iter() {
+                builder = builder.label(state, name);
+            }
+        }
+        builder.build()
+    }
+}
+
+/// Builder for [`Imc`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct ImcBuilder {
+    n: usize,
+    initial: State,
+    intervals: Vec<(State, State, f64, f64)>,
+    labels: BTreeMap<String, Vec<State>>,
+}
+
+impl ImcBuilder {
+    /// Starts a builder for an IMC with `n` states and initial state 0.
+    pub fn new(n: usize) -> Self {
+        ImcBuilder {
+            n,
+            initial: 0,
+            intervals: Vec::new(),
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the initial state (default 0).
+    pub fn initial(mut self, state: State) -> Self {
+        self.initial = state;
+        self
+    }
+
+    /// Adds the interval transition `from -> to` with bounds `[lo, hi]`.
+    pub fn interval(mut self, from: State, to: State, lo: f64, hi: f64) -> Self {
+        self.intervals.push((from, to, lo, hi));
+        self
+    }
+
+    /// Adds a point (degenerate) transition `from -> to` of probability `p`.
+    pub fn exact(self, from: State, to: State, p: f64) -> Self {
+        self.interval(from, to, p, p)
+    }
+
+    /// Attaches `label` to `state`.
+    pub fn label(mut self, state: State, label: &str) -> Self {
+        self.labels.entry(label.to_owned()).or_default().push(state);
+        self
+    }
+
+    /// Validates and constructs the [`Imc`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty models, out-of-range states, duplicate transitions,
+    /// invalid intervals (`lo > hi` or bounds outside `[0, 1]`), rows with no
+    /// transitions, and inconsistent rows (`Σ lo > 1` or `Σ hi < 1`).
+    pub fn build(self) -> Result<Imc, ModelError> {
+        if self.n == 0 {
+            return Err(ModelError::EmptyModel);
+        }
+        let n = self.n;
+        if self.initial >= n {
+            return Err(ModelError::StateOutOfRange {
+                state: self.initial,
+                n,
+            });
+        }
+        let mut per_state: Vec<Vec<IntervalEntry>> = vec![Vec::new(); n];
+        for (from, to, lo, hi) in self.intervals {
+            if from >= n {
+                return Err(ModelError::StateOutOfRange { state: from, n });
+            }
+            if to >= n {
+                return Err(ModelError::StateOutOfRange { state: to, n });
+            }
+            if !(lo.is_finite() && hi.is_finite()) || lo > hi || lo < 0.0 || hi > 1.0 {
+                return Err(ModelError::InvalidInterval { from, to, lo, hi });
+            }
+            per_state[from].push(IntervalEntry { target: to, lo, hi });
+        }
+        let mut rows = Vec::with_capacity(n);
+        for (state, mut entries) in per_state.into_iter().enumerate() {
+            if entries.is_empty() {
+                return Err(ModelError::NoOutgoingTransitions { state });
+            }
+            entries.sort_by_key(|e| e.target);
+            for pair in entries.windows(2) {
+                if pair[0].target == pair[1].target {
+                    return Err(ModelError::DuplicateTransition {
+                        from: state,
+                        to: pair[0].target,
+                    });
+                }
+            }
+            let lo_sum: f64 = entries.iter().map(|e| e.lo).sum();
+            let hi_sum: f64 = entries.iter().map(|e| e.hi).sum();
+            if lo_sum > 1.0 + ROW_SUM_TOLERANCE || hi_sum < 1.0 - ROW_SUM_TOLERANCE {
+                return Err(ModelError::InconsistentIntervalRow {
+                    state,
+                    lo_sum,
+                    hi_sum,
+                });
+            }
+            rows.push(IntervalRow { entries });
+        }
+        let mut labels = BTreeMap::new();
+        for (name, states) in self.labels {
+            let mut set = crate::StateSet::new(n);
+            for state in states {
+                if state >= n {
+                    return Err(ModelError::StateOutOfRange { state, n });
+                }
+                set.insert(state);
+            }
+            labels.insert(name, set);
+        }
+        Ok(Imc {
+            rows,
+            initial: self.initial,
+            labels,
+            center: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn centre() -> Dtmc {
+        DtmcBuilder::new(3)
+            .transition(0, 1, 0.3)
+            .transition(0, 2, 0.7)
+            .self_loop(1)
+            .self_loop(2)
+            .label(2, "goal")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn from_center_clamps_to_unit_interval() {
+        let imc = Imc::from_center(&centre(), |_, _| 0.5).unwrap();
+        let e = imc.row(0).interval_to(1).unwrap();
+        assert_eq!(e.lo, 0.0);
+        assert!((e.hi - 0.8).abs() < 1e-12);
+        let loop1 = imc.row(1).interval_to(1).unwrap();
+        assert_eq!(loop1.hi, 1.0);
+    }
+
+    #[test]
+    fn center_is_member_and_preserved() {
+        let c = centre();
+        let imc = Imc::from_center(&c, |_, _| 0.01).unwrap();
+        assert!(imc.contains(&c));
+        assert_eq!(imc.center(), Some(&c));
+        assert!(imc.labeled_states("goal").contains(2));
+    }
+
+    #[test]
+    fn membership_rejects_out_of_interval() {
+        let imc = Imc::from_center(&centre(), |_, _| 0.01).unwrap();
+        let outside = DtmcBuilder::new(3)
+            .transition(0, 1, 0.35)
+            .transition(0, 2, 0.65)
+            .self_loop(1)
+            .self_loop(2)
+            .build()
+            .unwrap();
+        assert!(!imc.contains(&outside));
+    }
+
+    #[test]
+    fn membership_rejects_support_mismatch() {
+        let imc = Imc::from_center(&centre(), |_, _| 0.01).unwrap();
+        let different_support = DtmcBuilder::new(3)
+            .transition(0, 0, 0.3)
+            .transition(0, 2, 0.7)
+            .self_loop(1)
+            .self_loop(2)
+            .build()
+            .unwrap();
+        assert!(!imc.contains(&different_support));
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_row() {
+        // Σ hi = 0.8 < 1: no distribution fits.
+        let err = ImcBuilder::new(2)
+            .interval(0, 0, 0.1, 0.4)
+            .interval(0, 1, 0.1, 0.4)
+            .exact(1, 1, 1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InconsistentIntervalRow { state: 0, .. }));
+    }
+
+    #[test]
+    fn builder_rejects_reversed_bounds() {
+        let err = ImcBuilder::new(1).interval(0, 0, 0.9, 0.2).build().unwrap_err();
+        assert!(matches!(err, ModelError::InvalidInterval { .. }));
+    }
+
+    #[test]
+    fn some_member_without_center_is_consistent() {
+        let imc = ImcBuilder::new(2)
+            .interval(0, 0, 0.1, 0.3)
+            .interval(0, 1, 0.5, 0.95)
+            .exact(1, 1, 1.0)
+            .build()
+            .unwrap();
+        let member = imc.some_member().unwrap();
+        assert!(imc.contains(&member));
+    }
+
+    #[test]
+    fn some_member_waterfills_when_midpoints_do_not_sum_to_one() {
+        // Midpoints: 0.2 and 0.5 => defect 0.3 pushed into the second entry.
+        let imc = ImcBuilder::new(2)
+            .interval(0, 0, 0.1, 0.3)
+            .interval(0, 1, 0.2, 0.9)
+            .exact(1, 1, 1.0)
+            .build()
+            .unwrap();
+        let member = imc.some_member().unwrap();
+        assert!(imc.contains(&member));
+        assert!((member.row(0).sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_entry_helpers() {
+        let e = IntervalEntry { target: 0, lo: 0.2, hi: 0.6 };
+        assert!((e.mid() - 0.4).abs() < 1e-15);
+        assert!((e.half_width() - 0.2).abs() < 1e-15);
+        assert!(e.contains(0.2) && e.contains(0.6) && !e.contains(0.61));
+    }
+}

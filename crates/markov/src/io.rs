@@ -1,0 +1,348 @@
+//! Plain-text model exchange format.
+//!
+//! A minimal line-oriented format for DTMCs and IMCs, so models can be
+//! shipped to the command-line tool without writing Rust:
+//!
+//! ```text
+//! # lines starting with '#' are comments
+//! dtmc                     # or: imc
+//! states 4
+//! initial 0
+//! transition 0 1 0.3       # from to probability        (dtmc)
+//! interval 0 1 0.25 0.35   # from to lo hi               (imc)
+//! label 2 goal
+//! ```
+//!
+//! Writers emit the same format, so `parse(write(m)) == m` up to float
+//! formatting (writers use `{:?}`, which round-trips `f64` exactly).
+
+use std::fmt;
+
+use crate::{Dtmc, DtmcBuilder, Imc, ImcBuilder, ModelError};
+
+/// Errors raised when parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A line had an unknown keyword.
+    UnknownDirective {
+        /// 1-based line number.
+        line: usize,
+        /// The offending keyword.
+        keyword: String,
+    },
+    /// A line had the wrong number of fields or a malformed number.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// The header (`dtmc` / `imc`) is missing or wrong for the requested
+    /// model kind.
+    WrongHeader {
+        /// What the parser expected.
+        expected: &'static str,
+    },
+    /// `states N` missing before the first transition.
+    MissingStates,
+    /// The assembled model failed validation.
+    Model(ModelError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnknownDirective { line, keyword } => {
+                write!(f, "line {line}: unknown directive `{keyword}`")
+            }
+            ParseError::Malformed { line, expected } => {
+                write!(f, "line {line}: expected {expected}")
+            }
+            ParseError::WrongHeader { expected } => {
+                write!(f, "missing or wrong header: expected `{expected}`")
+            }
+            ParseError::MissingStates => {
+                write!(f, "`states N` must precede transitions and labels")
+            }
+            ParseError::Model(e) => write!(f, "invalid model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ModelError> for ParseError {
+    fn from(e: ModelError) -> Self {
+        ParseError::Model(e)
+    }
+}
+
+/// Tokenised line stream shared by both parsers.
+fn lines(text: &str) -> impl Iterator<Item = (usize, Vec<&str>)> {
+    text.lines().enumerate().filter_map(|(i, raw)| {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            None
+        } else {
+            Some((i + 1, line.split_whitespace().collect()))
+        }
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(
+    fields: &[&str],
+    idx: usize,
+    line: usize,
+    expected: &'static str,
+) -> Result<T, ParseError> {
+    fields
+        .get(idx)
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseError::Malformed { line, expected })
+}
+
+/// Parses a DTMC from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending line, or the
+/// model-validation failure.
+pub fn parse_dtmc(text: &str) -> Result<Dtmc, ParseError> {
+    let mut it = lines(text);
+    match it.next() {
+        Some((_, fields)) if fields == ["dtmc"] => {}
+        _ => return Err(ParseError::WrongHeader { expected: "dtmc" }),
+    }
+    let mut builder: Option<DtmcBuilder> = None;
+    for (line, fields) in it {
+        match fields[0] {
+            "states" => {
+                let n: usize = parse_num(&fields, 1, line, "states N")?;
+                builder = Some(DtmcBuilder::new(n));
+            }
+            "initial" => {
+                let b = builder.ok_or(ParseError::MissingStates)?;
+                let s: usize = parse_num(&fields, 1, line, "initial S")?;
+                builder = Some(b.initial(s));
+            }
+            "transition" => {
+                let b = builder.ok_or(ParseError::MissingStates)?;
+                let from: usize = parse_num(&fields, 1, line, "transition FROM TO P")?;
+                let to: usize = parse_num(&fields, 2, line, "transition FROM TO P")?;
+                let p: f64 = parse_num(&fields, 3, line, "transition FROM TO P")?;
+                builder = Some(b.transition(from, to, p));
+            }
+            "label" => {
+                let b = builder.ok_or(ParseError::MissingStates)?;
+                let s: usize = parse_num(&fields, 1, line, "label STATE NAME")?;
+                let name = fields.get(2).ok_or(ParseError::Malformed {
+                    line,
+                    expected: "label STATE NAME",
+                })?;
+                builder = Some(b.label(s, name));
+            }
+            other => {
+                return Err(ParseError::UnknownDirective {
+                    line,
+                    keyword: other.to_owned(),
+                })
+            }
+        }
+    }
+    builder
+        .ok_or(ParseError::MissingStates)?
+        .build()
+        .map_err(ParseError::from)
+}
+
+/// Parses an IMC from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending line, or the
+/// model-validation failure.
+pub fn parse_imc(text: &str) -> Result<Imc, ParseError> {
+    let mut it = lines(text);
+    match it.next() {
+        Some((_, fields)) if fields == ["imc"] => {}
+        _ => return Err(ParseError::WrongHeader { expected: "imc" }),
+    }
+    let mut builder: Option<ImcBuilder> = None;
+    for (line, fields) in it {
+        match fields[0] {
+            "states" => {
+                let n: usize = parse_num(&fields, 1, line, "states N")?;
+                builder = Some(ImcBuilder::new(n));
+            }
+            "initial" => {
+                let b = builder.ok_or(ParseError::MissingStates)?;
+                let s: usize = parse_num(&fields, 1, line, "initial S")?;
+                builder = Some(b.initial(s));
+            }
+            "interval" => {
+                let b = builder.ok_or(ParseError::MissingStates)?;
+                let from: usize = parse_num(&fields, 1, line, "interval FROM TO LO HI")?;
+                let to: usize = parse_num(&fields, 2, line, "interval FROM TO LO HI")?;
+                let lo: f64 = parse_num(&fields, 3, line, "interval FROM TO LO HI")?;
+                let hi: f64 = parse_num(&fields, 4, line, "interval FROM TO LO HI")?;
+                builder = Some(b.interval(from, to, lo, hi));
+            }
+            "label" => {
+                let b = builder.ok_or(ParseError::MissingStates)?;
+                let s: usize = parse_num(&fields, 1, line, "label STATE NAME")?;
+                let name = fields.get(2).ok_or(ParseError::Malformed {
+                    line,
+                    expected: "label STATE NAME",
+                })?;
+                builder = Some(b.label(s, name));
+            }
+            other => {
+                return Err(ParseError::UnknownDirective {
+                    line,
+                    keyword: other.to_owned(),
+                })
+            }
+        }
+    }
+    builder
+        .ok_or(ParseError::MissingStates)?
+        .build()
+        .map_err(ParseError::from)
+}
+
+/// Serialises a DTMC to the text format.
+pub fn write_dtmc(chain: &Dtmc) -> String {
+    let mut out = String::from("dtmc\n");
+    out.push_str(&format!("states {}\n", chain.num_states()));
+    out.push_str(&format!("initial {}\n", chain.initial()));
+    for (from, row) in chain.rows().iter().enumerate() {
+        for e in row.entries() {
+            out.push_str(&format!("transition {from} {} {:?}\n", e.target, e.prob));
+        }
+    }
+    for label in chain.label_names() {
+        for s in chain.labeled_states(label).iter() {
+            out.push_str(&format!("label {s} {label}\n"));
+        }
+    }
+    out
+}
+
+/// Serialises an IMC to the text format.
+///
+/// Note: the centre chain of [`Imc::from_center`] is not part of the
+/// format; a round-tripped IMC has `center() == None`.
+pub fn write_imc(imc: &Imc) -> String {
+    let mut out = String::from("imc\n");
+    out.push_str(&format!("states {}\n", imc.num_states()));
+    out.push_str(&format!("initial {}\n", imc.initial()));
+    for (from, row) in imc.rows().iter().enumerate() {
+        for e in row.entries() {
+            out.push_str(&format!(
+                "interval {from} {} {:?} {:?}\n",
+                e.target, e.lo, e.hi
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DTMC_TEXT: &str = "\
+# a coin
+dtmc
+states 3
+initial 0
+transition 0 1 0.25
+transition 0 2 0.75
+transition 1 1 1.0
+transition 2 2 1.0   # absorbing
+label 1 heads
+";
+
+    #[test]
+    fn parses_dtmc() {
+        let chain = parse_dtmc(DTMC_TEXT).unwrap();
+        assert_eq!(chain.num_states(), 3);
+        assert_eq!(chain.prob(0, 1), 0.25);
+        assert!(chain.has_label(1, "heads"));
+    }
+
+    #[test]
+    fn dtmc_round_trips() {
+        let chain = parse_dtmc(DTMC_TEXT).unwrap();
+        let text = write_dtmc(&chain);
+        let back = parse_dtmc(&text).unwrap();
+        assert_eq!(chain, back);
+    }
+
+    #[test]
+    fn parses_imc_and_round_trips() {
+        let text = "\
+imc
+states 2
+initial 0
+interval 0 0 0.1 0.3
+interval 0 1 0.7 0.9
+interval 1 1 1.0 1.0
+";
+        let imc = parse_imc(text).unwrap();
+        let e = imc.row(0).interval_to(1).unwrap();
+        assert_eq!((e.lo, e.hi), (0.7, 0.9));
+        let back = parse_imc(&write_imc(&imc)).unwrap();
+        assert_eq!(imc, back);
+    }
+
+    #[test]
+    fn wrong_header_is_reported() {
+        assert_eq!(
+            parse_dtmc("imc\nstates 1\n").unwrap_err(),
+            ParseError::WrongHeader { expected: "dtmc" }
+        );
+        assert_eq!(
+            parse_imc("dtmc\nstates 1\n").unwrap_err(),
+            ParseError::WrongHeader { expected: "imc" }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let err = parse_dtmc("dtmc\nstates 2\ntransition 0 1\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::Malformed {
+                line: 3,
+                expected: "transition FROM TO P"
+            }
+        );
+        let err = parse_dtmc("dtmc\nstates 2\nfrobnicate 1 2\n").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownDirective { line: 3, .. }));
+    }
+
+    #[test]
+    fn transitions_before_states_are_rejected() {
+        let err = parse_dtmc("dtmc\ntransition 0 1 1.0\n").unwrap_err();
+        assert_eq!(err, ParseError::MissingStates);
+    }
+
+    #[test]
+    fn invalid_model_bubbles_up() {
+        let err = parse_dtmc("dtmc\nstates 2\ntransition 0 1 0.5\ntransition 1 1 1.0\n")
+            .unwrap_err();
+        assert!(matches!(err, ParseError::Model(ModelError::NotStochastic { .. })));
+    }
+
+    #[test]
+    fn float_precision_round_trips_exactly() {
+        let text = format!(
+            "dtmc\nstates 2\ntransition 0 1 {:?}\ntransition 0 0 {:?}\ntransition 1 1 1.0\n",
+            1e-4, 1.0 - 1e-4
+        );
+        let chain = parse_dtmc(&text).unwrap();
+        let back = parse_dtmc(&write_dtmc(&chain)).unwrap();
+        assert_eq!(chain.prob(0, 1), back.prob(0, 1));
+    }
+}

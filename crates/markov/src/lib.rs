@@ -1,0 +1,71 @@
+//! Discrete-time Markov chains (DTMCs) and interval Markov chains (IMCs).
+//!
+//! This crate is the modelling substrate of the IMCIS reproduction
+//! (*Importance Sampling of Interval Markov Chains*, DSN 2018). It provides:
+//!
+//! * [`Dtmc`] — a sparse, validated discrete-time Markov chain with state
+//!   labels ([Definition 2.1 of the paper]);
+//! * [`Imc`] — an interval Markov chain under *once-and-for-all* semantics,
+//!   i.e. the set of all DTMCs whose transition probabilities lie within the
+//!   per-transition intervals ([Definition 2.2]);
+//! * [`Path`] and [`TransitionCounts`] — finite paths and the per-path
+//!   transition count tables `n_ij(ω)` used by the likelihood-ratio machinery;
+//! * [`StateSet`] — a compact bit-set over state indices;
+//! * graph analyses ([`graph`]) — forward/backward reachability, strongly
+//!   connected components and bottom SCCs;
+//! * a plain-text exchange format ([`io`]) for shipping models to the
+//!   command-line tool.
+//!
+//! # Example
+//!
+//! ```
+//! use imc_markov::{DtmcBuilder, Imc};
+//!
+//! # fn main() -> Result<(), imc_markov::ModelError> {
+//! // The paper's illustrative chain: s0 -a-> s1 -c-> s2, s1 -d-> s0, s0 -b-> s3.
+//! let (a, c) = (1e-4, 0.05);
+//! let dtmc = DtmcBuilder::new(4)
+//!     .initial(0)
+//!     .transition(0, 1, a)
+//!     .transition(0, 3, 1.0 - a)
+//!     .transition(1, 2, c)
+//!     .transition(1, 0, 1.0 - c)
+//!     .self_loop(2)
+//!     .self_loop(3)
+//!     .label(2, "goal")
+//!     .build()?;
+//!
+//! // Widen every transition into an interval of half-width 1e-5.
+//! let imc = Imc::from_center(&dtmc, |_, _| 1e-5)?;
+//! assert!(imc.contains(&dtmc));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dtmc;
+mod error;
+mod imc;
+mod path;
+mod state_set;
+
+pub mod graph;
+pub mod io;
+
+pub use dtmc::{Dtmc, DtmcBuilder, Row, RowEntry};
+pub use error::ModelError;
+pub use imc::{Imc, ImcBuilder, IntervalEntry, IntervalRow};
+pub use path::{Path, TransitionCounts};
+pub use state_set::StateSet;
+
+/// Index of a state in a chain. States are dense indices `0..n`.
+pub type State = usize;
+
+/// Tolerance used when validating that probability rows sum to one.
+///
+/// Learnt and hand-written models routinely carry floating point rounding on
+/// the order of a few ulps per entry; `1e-9` is far above accumulated rounding
+/// for realistic row widths yet far below any modelling error of interest.
+pub const ROW_SUM_TOLERANCE: f64 = 1e-9;

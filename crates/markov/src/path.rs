@@ -1,0 +1,245 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::State;
+
+/// A finite path `ω = ω_0 → ω_1 → … → ω_l` through a chain.
+///
+/// The *length* `|ω|` is the number of transitions, i.e. one less than the
+/// number of visited states.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    states: Vec<State>,
+}
+
+impl Path {
+    /// Creates a path from its sequence of visited states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty — a path visits at least its start state.
+    pub fn new(states: Vec<State>) -> Self {
+        assert!(!states.is_empty(), "a path must visit at least one state");
+        Path { states }
+    }
+
+    /// The visited states, in order.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// The number of transitions `|ω|`.
+    pub fn len(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    /// Returns `true` if the path has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.states.len() == 1
+    }
+
+    /// First state of the path.
+    pub fn first(&self) -> State {
+        self.states[0]
+    }
+
+    /// Last state of the path.
+    pub fn last(&self) -> State {
+        *self.states.last().expect("paths are non-empty")
+    }
+
+    /// Iterates over the transitions `(ω_{i-1}, ω_i)`.
+    pub fn transitions(&self) -> impl Iterator<Item = (State, State)> + '_ {
+        self.states.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Appends a state to the path.
+    pub fn push(&mut self, state: State) {
+        self.states.push(state);
+    }
+
+    /// The transition count table `n_ij(ω)` of this path.
+    pub fn transition_counts(&self) -> TransitionCounts {
+        let mut counts = TransitionCounts::new();
+        for (from, to) in self.transitions() {
+            counts.record(from, to);
+        }
+        counts
+    }
+}
+
+/// Per-path transition count table: `n_ij(ω)` for each observed transition.
+///
+/// This is the on-the-fly table of Algorithm 1 (lines 6–12): the set of
+/// transitions `T_k` with their multiplicities `n_k(s_i, s_j)`. The symbolic
+/// likelihood ratio of a path is entirely determined by its table, so traces
+/// themselves never need to be stored.
+///
+/// Tables of different traces frequently coincide (rare-event workloads
+/// revisit the same few successful path shapes); [`TransitionCounts`]
+/// implements `Eq`/`Hash` on the *frozen* sorted form so callers can
+/// deduplicate and attach multiplicities.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TransitionCounts {
+    counts: HashMap<(State, State), u64>,
+}
+
+impl TransitionCounts {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        TransitionCounts::default()
+    }
+
+    /// Records one occurrence of `from -> to`.
+    pub fn record(&mut self, from: State, to: State) {
+        *self.counts.entry((from, to)).or_insert(0) += 1;
+    }
+
+    /// The multiplicity `n_ij` of transition `from -> to` (0 if unobserved).
+    pub fn count(&self, from: State, to: State) -> u64 {
+        self.counts.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Number of *distinct* transitions observed.
+    pub fn num_distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of recorded transition occurrences, `Σ n_ij = |ω|`.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Returns `true` if no transition was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates over `((from, to), n_ij)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = ((State, State), u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The distinct source states `V_k` observed in this table.
+    pub fn visited_sources(&self) -> Vec<State> {
+        let mut sources: Vec<State> = self.counts.keys().map(|&(from, _)| from).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        sources
+    }
+
+    /// Freezes the table into a canonical sorted vector, suitable for use as
+    /// a deduplication key.
+    pub fn frozen(&self) -> Vec<((State, State), u64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Merges another table into this one (used to build the union table
+    /// `T = ∪_k T_k` of Algorithm 1 line 16).
+    pub fn merge(&mut self, other: &TransitionCounts) {
+        for (&key, &n) in &other.counts {
+            *self.counts.entry(key).or_insert(0) += n;
+        }
+    }
+}
+
+impl PartialEq for TransitionCounts {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+    }
+}
+
+impl Eq for TransitionCounts {}
+
+impl FromIterator<(State, State)> for TransitionCounts {
+    fn from_iter<I: IntoIterator<Item = (State, State)>>(iter: I) -> Self {
+        let mut counts = TransitionCounts::new();
+        for (from, to) in iter {
+            counts.record(from, to);
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_basics() {
+        let path = Path::new(vec![0, 1, 0, 1, 2]);
+        assert_eq!(path.len(), 4);
+        assert!(!path.is_empty());
+        assert_eq!(path.first(), 0);
+        assert_eq!(path.last(), 2);
+        assert_eq!(
+            path.transitions().collect::<Vec<_>>(),
+            vec![(0, 1), (1, 0), (0, 1), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn singleton_path_is_empty() {
+        let path = Path::new(vec![7]);
+        assert!(path.is_empty());
+        assert_eq!(path.len(), 0);
+        assert_eq!(path.first(), path.last());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn empty_path_panics() {
+        let _ = Path::new(vec![]);
+    }
+
+    #[test]
+    fn counts_match_path() {
+        let path = Path::new(vec![0, 1, 0, 1, 2]);
+        let counts = path.transition_counts();
+        assert_eq!(counts.count(0, 1), 2);
+        assert_eq!(counts.count(1, 0), 1);
+        assert_eq!(counts.count(1, 2), 1);
+        assert_eq!(counts.count(2, 0), 0);
+        assert_eq!(counts.total(), path.len() as u64);
+        assert_eq!(counts.num_distinct(), 3);
+        assert_eq!(counts.visited_sources(), vec![0, 1]);
+    }
+
+    #[test]
+    fn frozen_is_canonical_and_hashable() {
+        let mut a = TransitionCounts::new();
+        a.record(1, 2);
+        a.record(0, 1);
+        a.record(0, 1);
+        let mut b = TransitionCounts::new();
+        b.record(0, 1);
+        b.record(1, 2);
+        b.record(0, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.frozen(), b.frozen());
+        assert_eq!(a.frozen(), vec![((0, 1), 2), ((1, 2), 1)]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TransitionCounts::new();
+        a.record(0, 1);
+        let mut b = TransitionCounts::new();
+        b.record(0, 1);
+        b.record(2, 2);
+        a.merge(&b);
+        assert_eq!(a.count(0, 1), 2);
+        assert_eq!(a.count(2, 2), 1);
+    }
+
+    #[test]
+    fn push_extends_path() {
+        let mut path = Path::new(vec![0]);
+        path.push(3);
+        path.push(1);
+        assert_eq!(path.states(), &[0, 3, 1]);
+    }
+}

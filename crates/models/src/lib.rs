@@ -1,0 +1,28 @@
+//! Benchmark models of the IMCIS paper (DSN 2018, §VI).
+//!
+//! * [`illustrative`] — the 4-state chain of Fig. 1 with closed-form
+//!   `γ = ac/(1 − ad)` (§III-B, §VI-A, Tables I–II);
+//! * [`group_repair`] — the 125-state group-repair CTMC ported verbatim
+//!   from the PRISM module in the paper's appendix (§VI-B, Table II,
+//!   Figs. 2–3 and 5);
+//! * [`repair`] — the large repair model: 6 component types, 40320
+//!   reachable states (§VI-C; the paper's "40820" is a typo — the product
+//!   space is 6·5·7·4·8·6 = 40320, see DESIGN.md);
+//! * [`swat`] — a synthetic 70-state water-treatment model standing in for
+//!   the proprietary SWaT testbed logs (§VI-D, Fig. 4); the ground truth is
+//!   *only* used to generate logs and validate coverage, mirroring how the
+//!   paper's authors learnt their model from testbed data;
+//! * [`parametric_imc`] — builds the IMC `[A(α̂)]` of a globally
+//!   parametrised model from a confidence interval on `α` (§II-B).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod group_repair;
+pub mod illustrative;
+pub mod repair;
+pub mod swat;
+
+mod parametric;
+
+pub use parametric::parametric_imc;

@@ -1,0 +1,109 @@
+use imc_markov::{Dtmc, Imc, ModelError};
+
+/// Builds the IMC `[A(α̂)]` of a globally parametrised model from a
+/// confidence interval `α ∈ [alpha_lo, alpha_hi]` (§II-B of the paper:
+/// "if the transitions are symbolic functions of the global variables, it
+/// is ... [enough] to estimate directly the global variables and to deduce
+/// a DTMC or an IMC from it").
+///
+/// The chain is evaluated on `grid_points` values of `α` spanning the
+/// interval; each transition's half-width is the maximal deviation from
+/// the centre chain observed on the grid. For transition probabilities
+/// monotone in `α` (the case for the repair benchmarks' rational rate
+/// expressions) the endpoints alone are exact; the grid guards against
+/// non-monotone parametrisations.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from IMC construction.
+///
+/// # Panics
+///
+/// Panics if the interval is empty, the centre lies outside it, fewer than
+/// two grid points are requested, or the chains disagree on the state
+/// space (the builder must explore identically for every `α`).
+pub fn parametric_imc(
+    build: impl Fn(f64) -> Dtmc,
+    center: f64,
+    alpha_lo: f64,
+    alpha_hi: f64,
+    grid_points: usize,
+) -> Result<Imc, ModelError> {
+    assert!(alpha_lo <= alpha_hi, "parameter interval out of order");
+    assert!(
+        (alpha_lo..=alpha_hi).contains(&center),
+        "centre {center} outside [{alpha_lo}, {alpha_hi}]"
+    );
+    assert!(grid_points >= 2, "need at least two grid points");
+
+    let center_chain = build(center);
+    let n = center_chain.num_states();
+    // Max |p(α) − p(α̂)| per transition over the grid.
+    let grid = imc_numeric::linspace(alpha_lo, alpha_hi, grid_points);
+    let mut eps: std::collections::HashMap<(usize, usize), f64> = std::collections::HashMap::new();
+    for &alpha in &grid {
+        let chain = build(alpha);
+        assert_eq!(
+            chain.num_states(),
+            n,
+            "state space must not depend on the parameter"
+        );
+        for (state, row) in chain.rows().iter().enumerate() {
+            for entry in row.entries() {
+                let c = center_chain.prob(state, entry.target);
+                let dev = (entry.prob - c).abs();
+                let slot = eps.entry((state, entry.target)).or_insert(0.0);
+                if dev > *slot {
+                    *slot = dev;
+                }
+            }
+        }
+    }
+    Imc::from_center(&center_chain, |from, to| {
+        eps.get(&(from, to)).copied().unwrap_or(0.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_markov::DtmcBuilder;
+
+    fn coin(p: f64) -> Dtmc {
+        DtmcBuilder::new(3)
+            .transition(0, 1, p)
+            .transition(0, 2, 1.0 - p)
+            .self_loop(1)
+            .self_loop(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn interval_spans_the_parameter_range() {
+        let imc = parametric_imc(coin, 0.3, 0.2, 0.4, 5).unwrap();
+        let e = imc.row(0).interval_to(1).unwrap();
+        assert!((e.lo - 0.2).abs() < 1e-12);
+        assert!((e.hi - 0.4).abs() < 1e-12);
+        for &p in &[0.2, 0.25, 0.3, 0.4] {
+            assert!(imc.contains(&coin(p)));
+        }
+        assert!(!imc.contains(&coin(0.45)));
+    }
+
+    #[test]
+    fn asymmetric_centre_widens_symmetrically() {
+        // centre 0.25 in [0.2, 0.4]: max deviation 0.15, so interval
+        // [0.1, 0.4] ⊇ the parameter range (symmetric around the centre).
+        let imc = parametric_imc(coin, 0.25, 0.2, 0.4, 5).unwrap();
+        let e = imc.row(0).interval_to(1).unwrap();
+        assert!((e.lo - 0.1).abs() < 1e-12);
+        assert!((e.hi - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn centre_must_be_in_interval() {
+        let _ = parametric_imc(coin, 0.5, 0.2, 0.4, 5);
+    }
+}

@@ -1,0 +1,255 @@
+use imc_markov::{Imc, IntervalRow, StateSet};
+
+use crate::{SolveError, SolveOptions};
+
+/// Which extremum of an interval optimisation to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Extremum {
+    /// Minimise over the member chains.
+    Min,
+    /// Maximise over the member chains.
+    Max,
+}
+
+/// Extremal expected value of one interval row against a value vector:
+/// optimise `Σ_t a_t x_t` over `lo ≤ a ≤ hi, Σ a = 1` by greedy mass
+/// assignment in value order (the standard IMC row optimisation).
+fn extremal_row_value(row: &IntervalRow, x: &[f64], extremum: Extremum) -> f64 {
+    let entries = row.entries();
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    match extremum {
+        Extremum::Min => order.sort_by(|&i, &j| x[entries[i].target].total_cmp(&x[entries[j].target])),
+        Extremum::Max => order.sort_by(|&i, &j| x[entries[j].target].total_cmp(&x[entries[i].target])),
+    }
+    let lo_sum: f64 = entries.iter().map(|e| e.lo).sum();
+    let mut remaining = (1.0 - lo_sum).max(0.0);
+    let mut value = 0.0;
+    for &i in &order {
+        let e = &entries[i];
+        let extra = remaining.min(e.hi - e.lo);
+        value += (e.lo + extra) * x[e.target];
+        remaining -= extra;
+    }
+    value
+}
+
+/// Minimal and maximal unbounded reach-avoid probabilities over all member
+/// chains of the IMC: for every state, `inf_{A ∈ [Â]} P_s(¬avoid U target)`
+/// and the corresponding `sup`.
+///
+/// Computed by interval value iteration from below (least fixed point), so
+/// both bounds are the exact extremal reachability values of the interval
+/// model. These bracket the `γ(A)` of every member and serve as the
+/// ground-truth envelope when validating IMCIS confidence intervals.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotConverged`] if either iteration fails to reach
+/// the tolerance within the cap.
+pub fn imc_reach_bounds(
+    imc: &Imc,
+    target: &StateSet,
+    avoid: &StateSet,
+    options: &SolveOptions,
+) -> Result<(Vec<f64>, Vec<f64>), SolveError> {
+    let min = iterate_unbounded(imc, target, avoid, Extremum::Min, options)?;
+    let max = iterate_unbounded(imc, target, avoid, Extremum::Max, options)?;
+    Ok((min, max))
+}
+
+fn iterate_unbounded(
+    imc: &Imc,
+    target: &StateSet,
+    avoid: &StateSet,
+    extremum: Extremum,
+    options: &SolveOptions,
+) -> Result<Vec<f64>, SolveError> {
+    let n = imc.num_states();
+    let mut x = vec![0.0f64; n];
+    for s in target.iter() {
+        x[s] = 1.0;
+    }
+    let mut residual = f64::INFINITY;
+    for _ in 0..options.max_iterations {
+        residual = 0.0;
+        for s in 0..n {
+            if target.contains(s) || avoid.contains(s) {
+                continue;
+            }
+            let v = extremal_row_value(imc.row(s), &x, extremum);
+            let delta = (v - x[s]).abs();
+            if delta > residual {
+                residual = delta;
+            }
+            x[s] = v;
+        }
+        if residual <= options.tolerance {
+            return Ok(x);
+        }
+    }
+    Err(SolveError::NotConverged {
+        iterations: options.max_iterations,
+        residual,
+    })
+}
+
+/// Minimal and maximal *step-bounded* reach-avoid probabilities over all
+/// member chains: `(inf, sup)` of `P_s(¬avoid U≤k target)`.
+pub fn imc_bounded_reach_bounds(
+    imc: &Imc,
+    target: &StateSet,
+    avoid: &StateSet,
+    bound: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let min = iterate_bounded(imc, target, avoid, Extremum::Min, bound);
+    let max = iterate_bounded(imc, target, avoid, Extremum::Max, bound);
+    (min, max)
+}
+
+fn iterate_bounded(
+    imc: &Imc,
+    target: &StateSet,
+    avoid: &StateSet,
+    extremum: Extremum,
+    bound: usize,
+) -> Vec<f64> {
+    let n = imc.num_states();
+    let mut x = vec![0.0f64; n];
+    for s in target.iter() {
+        x[s] = 1.0;
+    }
+    let mut next = x.clone();
+    for _ in 0..bound {
+        #[allow(clippy::needless_range_loop)] // indexing two vectors in lockstep
+        for s in 0..n {
+            next[s] = if target.contains(s) {
+                1.0
+            } else if avoid.contains(s) {
+                0.0
+            } else {
+                extremal_row_value(imc.row(s), &x, extremum)
+            };
+        }
+        std::mem::swap(&mut x, &mut next);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach_avoid_probs;
+    use imc_markov::{Dtmc, DtmcBuilder, Imc};
+
+    fn coin(p: f64) -> Dtmc {
+        DtmcBuilder::new(3)
+            .transition(0, 1, p)
+            .transition(0, 2, 1.0 - p)
+            .self_loop(1)
+            .self_loop(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn degenerate_imc_matches_point_chain() {
+        let chain = coin(0.3);
+        let imc = Imc::from_center(&chain, |_, _| 0.0).unwrap();
+        let target = StateSet::from_states(3, [1]);
+        let avoid = StateSet::new(3);
+        let (min, max) =
+            imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
+        assert!((min[0] - 0.3).abs() < 1e-12);
+        assert!((max[0] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_step_bounds_are_the_interval_ends() {
+        let chain = coin(0.3);
+        let imc = Imc::from_center(&chain, |_, _| 0.05).unwrap();
+        let target = StateSet::from_states(3, [1]);
+        let avoid = StateSet::new(3);
+        let (min, max) =
+            imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
+        assert!((min[0] - 0.25).abs() < 1e-12, "{}", min[0]);
+        assert!((max[0] - 0.35).abs() < 1e-12, "{}", max[0]);
+    }
+
+    #[test]
+    fn bounds_bracket_every_member() {
+        // Multi-step chain with a loop: check several member chains.
+        let center = DtmcBuilder::new(4)
+            .transition(0, 1, 0.5)
+            .transition(0, 3, 0.5)
+            .transition(1, 0, 0.4)
+            .transition(1, 2, 0.6)
+            .self_loop(2)
+            .self_loop(3)
+            .build()
+            .unwrap();
+        let imc = Imc::from_center(&center, |_, _| 0.08).unwrap();
+        let target = StateSet::from_states(4, [2]);
+        let avoid = StateSet::new(4);
+        let (min, max) =
+            imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
+
+        for &(d0, d1) in &[(-0.08, -0.08), (0.0, 0.0), (0.08, 0.08), (-0.08, 0.08)] {
+            let member = DtmcBuilder::new(4)
+                .transition(0, 1, 0.5 + d0)
+                .transition(0, 3, 0.5 - d0)
+                .transition(1, 0, 0.4 + d1)
+                .transition(1, 2, 0.6 - d1)
+                .self_loop(2)
+                .self_loop(3)
+                .build()
+                .unwrap();
+            assert!(imc.contains(&member));
+            let p = reach_avoid_probs(&member, &target, &avoid, &SolveOptions::default())
+                .unwrap()[0];
+            assert!(
+                min[0] - 1e-12 <= p && p <= max[0] + 1e-12,
+                "member prob {p} outside [{}, {}]",
+                min[0],
+                max[0]
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_bounds_are_monotone_in_k_and_nested() {
+        let chain = DtmcBuilder::new(3)
+            .transition(0, 0, 0.6)
+            .transition(0, 1, 0.3)
+            .transition(0, 2, 0.1)
+            .self_loop(1)
+            .self_loop(2)
+            .build()
+            .unwrap();
+        let imc = Imc::from_center(&chain, |_, _| 0.05).unwrap();
+        let target = StateSet::from_states(3, [1]);
+        let avoid = StateSet::new(3);
+        let mut prev_min = 0.0;
+        let mut prev_max = 0.0;
+        for k in 1..15 {
+            let (min, max) = imc_bounded_reach_bounds(&imc, &target, &avoid, k);
+            assert!(min[0] <= max[0] + 1e-12);
+            assert!(min[0] >= prev_min - 1e-12, "min not monotone at k={k}");
+            assert!(max[0] >= prev_max - 1e-12, "max not monotone at k={k}");
+            prev_min = min[0];
+            prev_max = max[0];
+        }
+    }
+
+    #[test]
+    fn avoid_states_are_pinned_to_zero() {
+        let chain = coin(0.5);
+        let imc = Imc::from_center(&chain, |_, _| 0.1).unwrap();
+        let target = StateSet::from_states(3, [1]);
+        let avoid = StateSet::from_states(3, [0]);
+        let (min, max) =
+            imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
+        assert_eq!(min[0], 0.0);
+        assert_eq!(max[0], 0.0);
+        assert_eq!(max[1], 1.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Parameter sweeps over parametrised models (Figure 5 of the paper).
+
+/// `n` evenly spaced points covering `[lo, hi]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `lo > hi`.
+///
+/// # Example
+///
+/// ```
+/// let grid = imc_numeric::linspace(0.0, 1.0, 5);
+/// assert_eq!(grid, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "need at least two grid points");
+    assert!(lo <= hi, "grid bounds out of order");
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n)
+        .map(|i| if i == n - 1 { hi } else { lo + i as f64 * step })
+        .collect()
+}
+
+/// Evaluates `f` over a parameter grid, producing `(α, f(α))` pairs — the
+/// curve of Figure 5 (`γ(A(α))` over the learnt interval of `α`).
+///
+/// Errors from `f` abort the sweep and are returned as-is.
+///
+/// # Example
+///
+/// ```
+/// let curve = imc_numeric::sweep(&[1.0, 2.0, 3.0], |a| Ok::<_, ()>(a * a)).unwrap();
+/// assert_eq!(curve, vec![(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]);
+/// ```
+pub fn sweep<F, E>(grid: &[f64], mut f: F) -> Result<Vec<(f64, f64)>, E>
+where
+    F: FnMut(f64) -> Result<f64, E>,
+{
+    let mut out = Vec::with_capacity(grid.len());
+    for &alpha in grid {
+        out.push((alpha, f(alpha)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_are_exact() {
+        let grid = linspace(0.098_52, 0.100_48, 21);
+        assert_eq!(grid.len(), 21);
+        assert_eq!(grid[0], 0.098_52);
+        assert_eq!(grid[20], 0.100_48);
+        for pair in grid.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two grid points")]
+    fn linspace_rejects_single_point() {
+        linspace(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn sweep_propagates_errors() {
+        let result = sweep(&[1.0, -1.0], |a| {
+            if a < 0.0 {
+                Err("negative")
+            } else {
+                Ok(a)
+            }
+        });
+        assert_eq!(result, Err("negative"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Constrained optimisation of importance-sampling likelihood objectives
+//! over interval Markov chains.
+//!
+//! This crate implements §IV–§V of the paper: given an IMC `[Â]`, an IS
+//! chain `B` and the count tables of the successful traces, find the member
+//! chains `A_min, A_max ∈ [Â]` minimising/maximising the empirical IS sum
+//!
+//! ```text
+//! f(A) = Σ_k z(ω_k) Π_{(i→j) ∈ T_k} (a_ij / b_ij)^{n_ij(ω_k)}      (eq. 10)
+//! ```
+//!
+//! * [`Problem`] — the compiled optimisation problem: a fast
+//!   [`Objective`] over deduplicated count tables, per-row interval
+//!   constraints, closed-form solutions for single-observed-transition rows
+//!   (§III-C), and Dirichlet row samplers (§IV-B/C) for the rest;
+//! * [`random_search`] — the paper's Algorithm 2 (Monte Carlo random
+//!   search with an undefeated-rounds stopping rule), recording the
+//!   convergence trace behind Figure 3;
+//! * [`projected_sgd`] — the appendix's projected stochastic gradient
+//!   descent baseline, built on an exact Euclidean
+//!   [`project_row`] projection onto the box-constrained simplex.
+//!
+//! The objective is evaluated in log space throughout: rare-event paths
+//! have probabilities far below `f64`'s underflow threshold when expressed
+//! as plain products.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod objective;
+mod problem;
+mod projection;
+mod random_search;
+mod sgd;
+
+pub use objective::Objective;
+pub use problem::{OptimError, Problem, RowAssignment};
+pub use projection::project_row;
+pub use random_search::{random_search, ConvergencePoint, OptimOutcome, RandomSearchConfig};
+pub use sgd::{projected_sgd, SgdConfig};

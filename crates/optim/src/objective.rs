@@ -1,0 +1,247 @@
+use std::collections::HashMap;
+
+use imc_markov::{Dtmc, State};
+use imc_sampling::IsRun;
+
+/// The empirical IS objective `f(A)` (and its second moment `g(A)`) of
+/// Algorithm 1, compiled for fast repeated evaluation.
+///
+/// Transitions observed in successful traces are assigned dense ids;
+/// deduplicated tables become `(id, count)` lists with multiplicities. The
+/// log-ratios `ln b_ij` are baked in, so evaluating a candidate needs only
+/// its `ln a_ij` values (indexed by transition id):
+///
+/// ```text
+/// f(A) = Σ_tables mult · exp( Σ_t n_t (ln a_t − ln b_t) )
+/// g(A) = Σ_tables mult · exp( 2 Σ_t n_t (ln a_t − ln b_t) )
+/// ```
+#[derive(Debug, Clone)]
+pub struct Objective {
+    /// id -> (from, to).
+    transitions: Vec<(State, State)>,
+    /// Per deduplicated table: exponent list and multiplicity.
+    tables: Vec<(Vec<(u32, u32)>, f64)>,
+    /// `ln b_ij` per transition id.
+    log_b: Vec<f64>,
+    /// Total trace count `N` (including failures).
+    n_traces: usize,
+}
+
+impl Objective {
+    /// Compiles the objective from a sampled IS run and the IS chain `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a table references a transition with `b_ij = 0` — such a
+    /// trace could not have been sampled under `b`, so this indicates the
+    /// run and chain are mismatched.
+    pub fn new(run: &IsRun, b: &Dtmc) -> Self {
+        let mut lookup: HashMap<(State, State), u32> = HashMap::new();
+        let mut transitions: Vec<(State, State)> = Vec::new();
+        let mut tables = Vec::with_capacity(run.tables.len());
+        for table in &run.tables {
+            let mut exponents = Vec::with_capacity(table.counts.len());
+            for &((from, to), n) in &table.counts {
+                let id = *lookup.entry((from, to)).or_insert_with(|| {
+                    transitions.push((from, to));
+                    (transitions.len() - 1) as u32
+                });
+                exponents.push((id, n as u32));
+            }
+            tables.push((exponents, table.multiplicity as f64));
+        }
+        let log_b: Vec<f64> = transitions
+            .iter()
+            .map(|&(from, to)| {
+                let p = b.prob(from, to);
+                assert!(
+                    p > 0.0,
+                    "transition {from} -> {to} observed under B but has b = 0"
+                );
+                p.ln()
+            })
+            .collect();
+        Objective {
+            transitions,
+            tables,
+            log_b,
+            n_traces: run.n_traces,
+        }
+    }
+
+    /// The indexed transitions, id order.
+    pub fn transitions(&self) -> &[(State, State)] {
+        &self.transitions
+    }
+
+    /// Number of distinct observed transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Number of deduplicated tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The exponent list and multiplicity of table `k` (internal: used by
+    /// the SGD baseline to compute per-table gradients).
+    pub(crate) fn table(&self, k: usize) -> (&[(u32, u32)], f64) {
+        let (exponents, mult) = &self.tables[k];
+        (exponents, *mult)
+    }
+
+    /// `ln b` for transition id `t` (internal).
+    pub(crate) fn log_b(&self, t: usize) -> f64 {
+        self.log_b[t]
+    }
+
+    /// Total trace count `N` behind the run.
+    pub fn n_traces(&self) -> usize {
+        self.n_traces
+    }
+
+    /// Evaluates `(f(A), g(A))` for candidate log-probabilities `ln a_ij`
+    /// (one per transition id, aligned with [`Objective::transitions`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if `log_a` has the wrong length.
+    pub fn eval(&self, log_a: &[f64]) -> (f64, f64) {
+        debug_assert_eq!(log_a.len(), self.transitions.len());
+        let mut f = 0.0f64;
+        let mut g = 0.0f64;
+        for (exponents, mult) in &self.tables {
+            let mut log_l = 0.0f64;
+            for &(id, n) in exponents {
+                log_l += n as f64 * (log_a[id as usize] - self.log_b[id as usize]);
+            }
+            let l = log_l.exp();
+            f += mult * l;
+            g += mult * l * l;
+        }
+        (f, g)
+    }
+
+    /// Convenience: evaluates against a concrete chain (used by tests and
+    /// the SGD baseline's progress checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain assigns probability 0 to an observed transition.
+    pub fn eval_chain(&self, a: &Dtmc) -> (f64, f64) {
+        let log_a: Vec<f64> = self
+            .transitions
+            .iter()
+            .map(|&(from, to)| {
+                let p = a.prob(from, to);
+                assert!(p > 0.0, "candidate has zero probability on {from}->{to}");
+                p.ln()
+            })
+            .collect();
+        self.eval(&log_a)
+    }
+
+    /// The estimator pair `(γ̂, σ̂)` at the given objective values:
+    /// `γ̂ = f/N`, `σ̂ = √(g/N − γ̂²)` (Algorithm 1, lines 20–23).
+    pub fn estimate(&self, f: f64, g: f64) -> (f64, f64) {
+        let n = self.n_traces as f64;
+        let gamma = f / n;
+        let variance = (g / n - gamma * gamma).max(0.0);
+        (gamma, variance.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_logic::Property;
+    use imc_markov::{DtmcBuilder, StateSet};
+    use imc_sampling::{is_estimate, sample_is_run, IsConfig};
+    use rand::SeedableRng;
+
+    fn chains() -> (Dtmc, Dtmc) {
+        let a = DtmcBuilder::new(4)
+            .transition(0, 1, 0.01)
+            .transition(0, 3, 0.99)
+            .transition(1, 2, 0.3)
+            .transition(1, 0, 0.7)
+            .self_loop(2)
+            .self_loop(3)
+            .build()
+            .unwrap();
+        let b = DtmcBuilder::new(4)
+            .transition(0, 1, 0.5)
+            .transition(0, 3, 0.5)
+            .transition(1, 2, 0.6)
+            .transition(1, 0, 0.4)
+            .self_loop(2)
+            .self_loop(3)
+            .build()
+            .unwrap();
+        (a, b)
+    }
+
+    fn run_for(b: &Dtmc) -> IsRun {
+        let prop = Property::reach_avoid(
+            StateSet::from_states(4, [2]),
+            StateSet::from_states(4, [3]),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        sample_is_run(b, &prop, &IsConfig::new(5000), &mut rng)
+    }
+
+    #[test]
+    fn objective_matches_is_estimate() {
+        let (a, b) = chains();
+        let run = run_for(&b);
+        let objective = Objective::new(&run, &b);
+        let (f, g) = objective.eval_chain(&a);
+        let (gamma, sigma) = objective.estimate(f, g);
+        let reference = is_estimate(&a, &b, &run, 0.05);
+        assert!((gamma - reference.gamma_hat).abs() < 1e-15);
+        assert!((sigma - reference.sigma_hat).abs() < 1e-15);
+    }
+
+    #[test]
+    fn evaluating_b_gives_success_rate() {
+        // With A = B every likelihood ratio is 1: f = #successes.
+        let (_, b) = chains();
+        let run = run_for(&b);
+        let objective = Objective::new(&run, &b);
+        let (f, g) = objective.eval_chain(&b);
+        assert!((f - run.n_success as f64).abs() < 1e-9);
+        assert!((g - run.n_success as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_observed_transition() {
+        // Raising a_01 (used by every successful trace) raises f.
+        let (a, b) = chains();
+        let run = run_for(&b);
+        let objective = Objective::new(&run, &b);
+        let ids = objective.transitions().to_vec();
+        let base: Vec<f64> = ids.iter().map(|&(f_, t)| a.prob(f_, t).ln()).collect();
+        let (f0, _) = objective.eval(&base);
+        let mut boosted = base.clone();
+        let idx = ids.iter().position(|&t| t == (0, 1)).unwrap();
+        boosted[idx] = (a.prob(0, 1) * 2.0).ln();
+        let (f1, _) = objective.eval(&boosted);
+        assert!(f1 > f0);
+    }
+
+    #[test]
+    fn empty_run_evaluates_to_zero() {
+        let (_, b) = chains();
+        let empty = IsRun {
+            tables: vec![],
+            n_traces: 100,
+            n_success: 0,
+            n_undecided: 0,
+        };
+        let objective = Objective::new(&empty, &b);
+        let (f, g) = objective.eval(&[]);
+        assert_eq!((f, g), (0.0, 0.0));
+        assert_eq!(objective.estimate(f, g), (0.0, 0.0));
+    }
+}

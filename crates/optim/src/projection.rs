@@ -1,0 +1,175 @@
+//! Euclidean projection onto the box-constrained probability simplex.
+//!
+//! The appendix of the paper notes that stochastic gradient descent needs a
+//! projection back into `[Â]` after every step; this module provides the
+//! exact projection for one row:
+//!
+//! ```text
+//! minimise ‖x − y‖²  subject to  Σ x_j = 1,  lo_j ≤ x_j ≤ hi_j.
+//! ```
+//!
+//! The KKT conditions give `x_j(τ) = clamp(y_j − τ, lo_j, hi_j)` for a
+//! scalar multiplier `τ`; `Σ x_j(τ)` is continuous and non-increasing in
+//! `τ`, so `τ` is found by bisection.
+
+/// Projects `y` onto `{x : Σx = 1, lo ≤ x ≤ hi}` (Euclidean distance).
+///
+/// Returns `None` if the constraint set is empty (`Σ lo > 1` or
+/// `Σ hi < 1`).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or any `lo_j > hi_j`.
+///
+/// # Example
+///
+/// ```
+/// let y = [0.7, 0.7];
+/// let x = imc_optim::project_row(&y, &[0.0, 0.0], &[1.0, 1.0]).unwrap();
+/// assert!((x[0] - 0.5).abs() < 1e-9 && (x[1] - 0.5).abs() < 1e-9);
+/// ```
+pub fn project_row(y: &[f64], lo: &[f64], hi: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(y.len(), lo.len(), "length mismatch");
+    assert_eq!(y.len(), hi.len(), "length mismatch");
+    for (l, h) in lo.iter().zip(hi) {
+        assert!(l <= h, "box bounds out of order: [{l}, {h}]");
+    }
+    let lo_sum: f64 = lo.iter().sum();
+    let hi_sum: f64 = hi.iter().sum();
+    if lo_sum > 1.0 + 1e-12 || hi_sum < 1.0 - 1e-12 {
+        return None;
+    }
+
+    let sum_at = |tau: f64| -> f64 {
+        y.iter()
+            .zip(lo.iter().zip(hi))
+            .map(|(&yj, (&lj, &hj))| (yj - tau).clamp(lj, hj))
+            .sum()
+    };
+
+    // Bracket τ: at τ_lo every coordinate is at its hi (sum ≥ 1), at τ_hi
+    // at its lo (sum ≤ 1).
+    let mut tau_lo = y
+        .iter()
+        .zip(hi)
+        .map(|(&yj, &hj)| yj - hj)
+        .fold(f64::INFINITY, f64::min);
+    let mut tau_hi = y
+        .iter()
+        .zip(lo)
+        .map(|(&yj, &lj)| yj - lj)
+        .fold(f64::NEG_INFINITY, f64::max);
+    debug_assert!(sum_at(tau_lo) >= 1.0 - 1e-12);
+    debug_assert!(sum_at(tau_hi) <= 1.0 + 1e-12);
+
+    for _ in 0..200 {
+        let mid = 0.5 * (tau_lo + tau_hi);
+        if sum_at(mid) >= 1.0 {
+            tau_lo = mid;
+        } else {
+            tau_hi = mid;
+        }
+        if tau_hi - tau_lo < 1e-16 {
+            break;
+        }
+    }
+    let tau = 0.5 * (tau_lo + tau_hi);
+    let mut x: Vec<f64> = y
+        .iter()
+        .zip(lo.iter().zip(hi))
+        .map(|(&yj, (&lj, &hj))| (yj - tau).clamp(lj, hj))
+        .collect();
+    // Absorb the residual into a coordinate with slack (keeps Σ = 1 exactly).
+    let residual = 1.0 - x.iter().sum::<f64>();
+    if residual != 0.0 {
+        for (j, v) in x.iter_mut().enumerate() {
+            let adjusted = *v + residual;
+            if adjusted >= lo[j] - 1e-15 && adjusted <= hi[j] + 1e-15 {
+                *v = adjusted.clamp(lo[j], hi[j]);
+                break;
+            }
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn interior_point_is_fixed() {
+        let y = [0.25, 0.75];
+        let x = project_row(&y, &[0.0, 0.0], &[1.0, 1.0]).unwrap();
+        assert!((x[0] - 0.25).abs() < 1e-12);
+        assert!((x[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_excess_is_shared() {
+        let x = project_row(&[0.7, 0.7], &[0.0, 0.0], &[1.0, 1.0]).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-9);
+        assert!((x[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_constraints_bind() {
+        // Unconstrained projection would give (0.5, 0.5) but hi_0 = 0.3.
+        let x = project_row(&[0.7, 0.7], &[0.0, 0.0], &[0.3, 1.0]).unwrap();
+        assert!((x[0] - 0.3).abs() < 1e-9);
+        assert!((x[1] - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_box_returns_none() {
+        assert!(project_row(&[0.5, 0.5], &[0.6, 0.6], &[0.9, 0.9]).is_none());
+        assert!(project_row(&[0.5, 0.5], &[0.0, 0.0], &[0.3, 0.3]).is_none());
+    }
+
+    #[test]
+    fn negative_inputs_are_pulled_into_the_simplex() {
+        let x = project_row(&[-0.5, 0.2, 0.1], &[0.0; 3], &[1.0; 3]).unwrap();
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // The most negative coordinate lands on its lower bound.
+        assert!(x[0] < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn projection_is_feasible_and_optimal(
+            y in prop::collection::vec(-2.0f64..2.0, 2..6),
+            seed_lo in 0.0f64..0.2,
+        ) {
+            let n = y.len();
+            let lo = vec![seed_lo / n as f64; n];
+            let hi = vec![1.0f64; n];
+            let x = project_row(&y, &lo, &hi).unwrap();
+            // Feasibility.
+            prop_assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+            for j in 0..n {
+                prop_assert!(x[j] >= lo[j] - 1e-10 && x[j] <= hi[j] + 1e-10);
+            }
+            // Optimality: no feasible perturbation along (e_i − e_j) strictly
+            // reduces the distance (checked by first-order condition).
+            let dist = |z: &[f64]| -> f64 {
+                z.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            let base = dist(&x);
+            let step = 1e-6;
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j { continue; }
+                    let mut z = x.clone();
+                    z[i] += step;
+                    z[j] -= step;
+                    let feasible = z[i] <= hi[i] && z[j] >= lo[j];
+                    if feasible {
+                        prop_assert!(dist(&z) >= base - 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,313 @@
+use rand::Rng;
+
+use crate::problem::RowKind;
+use crate::{project_row, OptimError, OptimOutcome, Problem};
+
+/// Configuration of the projected stochastic gradient descent baseline
+/// (appendix A.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Total gradient steps per direction (min and max run separately).
+    pub steps: usize,
+    /// Initial step size applied to the *normalised* gradient. The raw
+    /// gradient `∂L/∂a_ij = L·n_ij/a_ij` spans many orders of magnitude in
+    /// rare-event problems, so the direction is normalised and the step
+    /// size calibrated to the interval widths instead — a standard
+    /// stabilisation the appendix's plain update needs in practice.
+    pub step_size: f64,
+    /// Multiplicative step decay per iteration.
+    pub decay: f64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            steps: 2_000,
+            step_size: 0.25,
+            decay: 0.999,
+        }
+    }
+}
+
+/// Projected stochastic gradient descent over the IMC (the appendix's
+/// baseline optimiser).
+///
+/// Each step samples one successful-trace table (weighted by multiplicity),
+/// takes a gradient step of the table's likelihood `L(ω_k; A)` on the
+/// observed coordinates of the sampled rows, and projects every touched row
+/// back onto its box-constrained simplex with [`project_row`] — the
+/// projection step whose cost the appendix calls out. Rows with a single
+/// observed transition use the exact §III-C closed form, as in
+/// [`random_search`](crate::random_search).
+///
+/// Returns the same [`OptimOutcome`] shape as the random search so the two
+/// can be benchmarked head-to-head (`ablation_optimisers` bench).
+///
+/// # Errors
+///
+/// Propagates [`OptimError`] (currently only possible from degenerate
+/// problems).
+pub fn projected_sgd<R: Rng + ?Sized>(
+    problem: &mut Problem,
+    config: &SgdConfig,
+    rng: &mut R,
+) -> Result<OptimOutcome, OptimError> {
+    let ((f_min0, g_min0), (f_max0, g_max0)) = problem.eval_center();
+
+    if problem.num_sampled_rows() == 0 || problem.objective().num_tables() == 0 {
+        return Ok(OptimOutcome {
+            f_min: f_min0,
+            g_min: g_min0,
+            f_max: f_max0,
+            g_max: g_max0,
+            rows_min: problem.rows_for(&[], true),
+            rows_max: problem.rows_for(&[], false),
+            rounds: 0,
+            min_found_at: 0,
+            max_found_at: 0,
+            trace: Vec::new(),
+        });
+    }
+
+    let (f_min, g_min, draw_min, min_at) = descend(problem, config, rng, true)?;
+    let (f_max, g_max, draw_max, max_at) = descend(problem, config, rng, false)?;
+
+    Ok(OptimOutcome {
+        f_min: f_min.min(f_min0),
+        g_min: if f_min <= f_min0 { g_min } else { g_min0 },
+        f_max: f_max.max(f_max0),
+        g_max: if f_max >= f_max0 { g_max } else { g_max0 },
+        rows_min: problem.rows_for(&draw_min, true),
+        rows_max: problem.rows_for(&draw_max, false),
+        rounds: 2 * config.steps,
+        min_found_at: min_at,
+        max_found_at: max_at,
+        trace: Vec::new(),
+    })
+}
+
+type Draw = Vec<(usize, Vec<f64>)>;
+
+/// One SGD run in a single direction; returns the best `(f, g)` visited,
+/// the corresponding sampled-row values, and the step index of the best.
+fn descend<R: Rng + ?Sized>(
+    problem: &Problem,
+    config: &SgdConfig,
+    rng: &mut R,
+    minimize: bool,
+) -> Result<(f64, f64, Draw, usize), OptimError> {
+    let objective = problem.objective();
+    // Current iterate: values of every sampled row, starting at the centre.
+    let mut current: Draw = problem
+        .rows()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r.kind, RowKind::Sampled(_)))
+        .map(|(idx, r)| (idx, r.specs.iter().map(|s| s.center()).collect()))
+        .collect();
+
+    // transition id -> (slot in `current`, position in row), for sampled
+    // rows only.
+    let mut slot_of: Vec<Option<(usize, usize)>> = vec![None; objective.num_transitions()];
+    for (slot, &(row_idx, _)) in current.iter().enumerate() {
+        for &(pos, id) in &problem.rows()[row_idx].observed {
+            slot_of[id as usize] = Some((slot, pos));
+        }
+    }
+
+    // Cumulative multiplicities for weighted table choice.
+    let mut cumulative = Vec::with_capacity(objective.num_tables());
+    let mut total = 0.0;
+    for k in 0..objective.num_tables() {
+        total += objective.table(k).1;
+        cumulative.push(total);
+    }
+
+    let template = problem.template(minimize).to_vec();
+    let assemble_log_a = |draw: &Draw| -> Vec<f64> {
+        let mut log_a = template.clone();
+        for (slot, &(row_idx, _)) in draw.iter().enumerate() {
+            for &(pos, id) in &problem.rows()[row_idx].observed {
+                log_a[id as usize] = draw[slot].1[pos].max(f64::MIN_POSITIVE).ln();
+            }
+        }
+        log_a
+    };
+
+    let (mut best_f, mut best_g) = objective.eval(&assemble_log_a(&current));
+    let mut best_draw = current.clone();
+    let mut best_at = 0usize;
+    let mut step_size = config.step_size;
+
+    for step in 1..=config.steps {
+        // Weighted table pick.
+        let u: f64 = rng.gen::<f64>() * total;
+        let k = cumulative.partition_point(|&c| c < u).min(objective.num_tables() - 1);
+        let (exponents, _) = objective.table(k);
+
+        // Gradient of L(ω_k; A) w.r.t. the sampled observed coordinates.
+        let log_a = assemble_log_a(&current);
+        let mut log_l = 0.0;
+        for &(id, n) in exponents {
+            log_l += n as f64 * (log_a[id as usize] - objective.log_b(id as usize));
+        }
+        let l = log_l.exp();
+        let mut grad: Vec<(usize, usize, f64)> = Vec::new(); // (slot, pos, ∂L/∂a)
+        let mut norm_sq = 0.0;
+        for &(id, n) in exponents {
+            if let Some((slot, pos)) = slot_of[id as usize] {
+                let a = current[slot].1[pos];
+                let g = l * n as f64 / a.max(f64::MIN_POSITIVE);
+                grad.push((slot, pos, g));
+                norm_sq += g * g;
+            }
+        }
+        if norm_sq > 0.0 {
+            let scale = step_size / norm_sq.sqrt();
+            let sign = if minimize { -1.0 } else { 1.0 };
+            // Interval-width calibration: move at most a fraction of each
+            // coordinate's box per step.
+            for &(slot, pos, g) in &grad {
+                let (row_idx, _) = current[slot];
+                let width = {
+                    let s = &problem.rows()[row_idx].specs[pos];
+                    (s.hi() - s.lo()).max(f64::MIN_POSITIVE)
+                };
+                current[slot].1[pos] += sign * scale * g * width;
+            }
+            // Project every touched row back into its box-simplex.
+            let mut touched: Vec<usize> = grad.iter().map(|&(slot, _, _)| slot).collect();
+            touched.sort_unstable();
+            touched.dedup();
+            for slot in touched {
+                let (row_idx, ref mut values) = current[slot];
+                let specs = &problem.rows()[row_idx].specs;
+                let lo: Vec<f64> = specs.iter().map(|s| s.lo()).collect();
+                let hi: Vec<f64> = specs.iter().map(|s| s.hi()).collect();
+                if let Some(projected) = project_row(values, &lo, &hi) {
+                    *values = projected;
+                }
+            }
+        }
+        step_size *= config.decay;
+
+        let (f, g) = objective.eval(&assemble_log_a(&current));
+        let improved = if minimize { f < best_f } else { f > best_f };
+        if improved {
+            best_f = f;
+            best_g = g;
+            best_draw = current.clone();
+            best_at = step;
+        }
+    }
+    Ok((best_f, best_g, best_draw, best_at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{random_search, RandomSearchConfig};
+    use imc_logic::Property;
+    use imc_markov::{Dtmc, DtmcBuilder, Imc, StateSet};
+    use imc_numeric::SolveOptions;
+    use imc_sampling::{sample_is_run, zero_variance_is, IsConfig, IsRun};
+    use rand::SeedableRng;
+
+    fn setup() -> (Imc, Dtmc, IsRun) {
+        let (a_hat, c_hat) = (3e-2, 0.0498);
+        let center = DtmcBuilder::new(4)
+            .initial(0)
+            .transition(0, 1, a_hat)
+            .transition(0, 3, 1.0 - a_hat)
+            .transition(1, 2, c_hat)
+            .transition(1, 0, 1.0 - c_hat)
+            .self_loop(2)
+            .self_loop(3)
+            .build()
+            .unwrap();
+        let imc = Imc::from_center(&center, |from, _| match from {
+            0 => 2.5e-3,
+            1 => 5e-4,
+            _ => 0.0,
+        })
+        .unwrap();
+        let b = zero_variance_is(
+            &center,
+            &StateSet::from_states(4, [2]),
+            &StateSet::new(4),
+            &SolveOptions::default(),
+        )
+        .unwrap();
+        let prop = Property::reach_avoid(
+            StateSet::from_states(4, [2]),
+            StateSet::from_states(4, [3]),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let run = sample_is_run(&b, &prop, &IsConfig::new(2000), &mut rng);
+        (imc, b, run)
+    }
+
+    #[test]
+    fn sgd_improves_on_the_centre() {
+        let (imc, b, run) = setup();
+        let mut problem = Problem::new(&imc, &b, &run).unwrap();
+        let ((f_min0, _), (f_max0, _)) = problem.eval_center();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let outcome = projected_sgd(&mut problem, &SgdConfig::default(), &mut rng).unwrap();
+        assert!(outcome.f_min <= f_min0);
+        assert!(outcome.f_max >= f_max0);
+        assert!(outcome.f_min < outcome.f_max);
+    }
+
+    #[test]
+    fn sgd_rows_stay_inside_the_imc() {
+        let (imc, b, run) = setup();
+        let mut problem = Problem::new(&imc, &b, &run).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let outcome = projected_sgd(&mut problem, &SgdConfig::default(), &mut rng).unwrap();
+        for rows in [&outcome.rows_min, &outcome.rows_max] {
+            for (state, pairs) in rows {
+                let sum: f64 = pairs.iter().map(|&(_, v)| v).sum();
+                assert!((sum - 1.0).abs() < 1e-8);
+                for &(target, v) in pairs {
+                    let e = imc.row(*state).interval_to(target).unwrap();
+                    assert!(v >= e.lo - 1e-9 && v <= e.hi + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_and_random_search_agree_on_the_bracket() {
+        // Both optimisers should land within a few percent of each other on
+        // this low-dimensional problem.
+        let (imc, b, run) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut p1 = Problem::new(&imc, &b, &run).unwrap();
+        let rs = random_search(
+            &mut p1,
+            &RandomSearchConfig {
+                r_undefeated: 500,
+                r_max: 50_000,
+                record_trace: false,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let mut p2 = Problem::new(&imc, &b, &run).unwrap();
+        let sgd = projected_sgd(&mut p2, &SgdConfig::default(), &mut rng).unwrap();
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+        assert!(
+            rel(sgd.f_min, rs.f_min) < 0.05,
+            "min: sgd {} vs rs {}",
+            sgd.f_min,
+            rs.f_min
+        );
+        assert!(
+            rel(sgd.f_max, rs.f_max) < 0.05,
+            "max: sgd {} vs rs {}",
+            sgd.f_max,
+            rs.f_max
+        );
+    }
+}

@@ -1,0 +1,310 @@
+use std::collections::HashMap;
+
+use imc_logic::{Property, Verdict};
+use imc_markov::{Dtmc, State};
+use imc_sim::{simulate, ChainSampler};
+use imc_stats::ConfidenceInterval;
+use rand::Rng;
+
+/// Configuration of an importance-sampling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsConfig {
+    /// Number of traces `N_IS`.
+    pub n_traces: usize,
+    /// Per-trace transition budget.
+    pub max_steps: usize,
+}
+
+impl IsConfig {
+    /// Creates a config with a default step budget of one million
+    /// transitions per trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_traces == 0`.
+    pub fn new(n_traces: usize) -> Self {
+        assert!(n_traces > 0, "need at least one trace");
+        IsConfig {
+            n_traces,
+            max_steps: 1_000_000,
+        }
+    }
+
+    /// Replaces the per-trace step budget.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+}
+
+/// A deduplicated successful-trace count table with its multiplicity.
+///
+/// Rare-event workloads revisit the same few successful path shapes, so
+/// storing `(table, multiplicity)` instead of one table per trace shrinks
+/// both memory and — crucially — the cost of each objective evaluation in
+/// the IMCIS optimiser by orders of magnitude.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedTable {
+    /// Sorted `((from, to), n_ij)` pairs of the trace.
+    pub counts: Vec<((State, State), u64)>,
+    /// How many sampled traces produced exactly this table.
+    pub multiplicity: u64,
+}
+
+/// The sampling phase of an IS experiment: everything needed to evaluate
+/// the estimator under *any* reference chain `A` (the IMC optimiser
+/// re-evaluates the same run against many candidate chains).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsRun {
+    /// Deduplicated count tables of the successful traces.
+    pub tables: Vec<WeightedTable>,
+    /// Number of traces sampled.
+    pub n_traces: usize,
+    /// Number of successful (accepted) traces.
+    pub n_success: u64,
+    /// Traces that hit the step budget undecided (counted as failures).
+    pub n_undecided: u64,
+}
+
+impl IsRun {
+    /// The distinct source states observed in successful traces (the set
+    /// `V` of Algorithm 1 line 16).
+    pub fn visited_sources(&self) -> Vec<State> {
+        let mut sources: Vec<State> = self
+            .tables
+            .iter()
+            .flat_map(|t| t.counts.iter().map(|&((from, _), _)| from))
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        sources
+    }
+}
+
+/// Canonical frozen count-table key used for deduplication.
+type FrozenCounts = Vec<((State, State), u64)>;
+
+/// Samples `N` traces of `b` and records the deduplicated transition count
+/// tables of the traces satisfying `property` (Algorithm 1, lines 1–16).
+///
+/// Traces that fail the property contribute `z(ω)·L(ω) = 0` to every
+/// estimate, so their tables are discarded on the fly — only the verdict
+/// tallies remember them.
+pub fn sample_is_run<R: Rng + ?Sized>(
+    b: &Dtmc,
+    property: &Property,
+    config: &IsConfig,
+    rng: &mut R,
+) -> IsRun {
+    let sampler = ChainSampler::new(b);
+    let mut monitor = property.monitor();
+    let mut dedup: HashMap<FrozenCounts, u64> = HashMap::new();
+    let mut n_success = 0u64;
+    let mut n_undecided = 0u64;
+    for _ in 0..config.n_traces {
+        let outcome = simulate(&sampler, b.initial(), &mut monitor, rng, config.max_steps);
+        match outcome.verdict {
+            Verdict::Accepted => {
+                n_success += 1;
+                *dedup.entry(outcome.counts.frozen()).or_insert(0) += 1;
+            }
+            Verdict::Rejected => {}
+            Verdict::Undecided => n_undecided += 1,
+        }
+    }
+    let mut tables: Vec<WeightedTable> = dedup
+        .into_iter()
+        .map(|(counts, multiplicity)| WeightedTable {
+            counts,
+            multiplicity,
+        })
+        .collect();
+    // Deterministic order regardless of hash-map iteration.
+    tables.sort_by(|a, b| a.counts.cmp(&b.counts));
+    IsRun {
+        tables,
+        n_traces: config.n_traces,
+        n_success,
+        n_undecided,
+    }
+}
+
+/// An importance-sampling estimate with its dispersion and interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsEstimate {
+    /// Point estimate `γ̂_N = (1/N) Σ L(ω_k) z(ω_k)` (eq. (7)).
+    pub gamma_hat: f64,
+    /// Empirical (population) standard deviation of `L·z`.
+    pub sigma_hat: f64,
+    /// `(1−δ)` normal confidence interval `γ̂ ± Φ⁻¹(1−δ/2)·σ̂/√N`.
+    pub ci: ConfidenceInterval,
+    /// Number of traces behind the estimate.
+    pub n: usize,
+}
+
+/// Evaluates the IS estimator of a sampled run against reference chain `a`.
+///
+/// Likelihood ratios are computed in log space from the count tables:
+/// `ln L = Σ n_ij (ln a_ij − ln b_ij)` (eq. (6)); a transition of `a` with
+/// zero probability yields `L = 0` for that trace (the path is impossible
+/// under `a`).
+///
+/// The same run may be re-evaluated against many reference chains — this is
+/// exactly what the IMCIS optimiser does with candidate members of the IMC.
+pub fn is_estimate(a: &Dtmc, b: &Dtmc, run: &IsRun, delta: f64) -> IsEstimate {
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for table in &run.tables {
+        let mut log_l = 0.0f64;
+        for &((from, to), n) in &table.counts {
+            let pa = a.prob(from, to);
+            let pb = b.prob(from, to);
+            // pb > 0 is guaranteed: the trace was sampled under b.
+            log_l += n as f64 * (pa.ln() - pb.ln());
+        }
+        let l = log_l.exp();
+        let m = table.multiplicity as f64;
+        sum += m * l;
+        sum_sq += m * l * l;
+    }
+    let n = run.n_traces as f64;
+    let gamma_hat = sum / n;
+    let variance = (sum_sq / n - gamma_hat * gamma_hat).max(0.0);
+    let sigma_hat = variance.sqrt();
+    let ci = ConfidenceInterval::for_mean(gamma_hat, sigma_hat, run.n_traces, delta);
+    IsEstimate {
+        gamma_hat,
+        sigma_hat,
+        ci,
+        n: run.n_traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_markov::{DtmcBuilder, StateSet};
+    use rand::SeedableRng;
+
+    /// Rare coin: p(success) = 1e-3; biased to 0.5 under B.
+    fn rare_coin() -> (Dtmc, Dtmc, Property) {
+        let a = DtmcBuilder::new(3)
+            .transition(0, 1, 1e-3)
+            .transition(0, 2, 1.0 - 1e-3)
+            .self_loop(1)
+            .self_loop(2)
+            .build()
+            .unwrap();
+        let b = DtmcBuilder::new(3)
+            .transition(0, 1, 0.5)
+            .transition(0, 2, 0.5)
+            .self_loop(1)
+            .self_loop(2)
+            .build()
+            .unwrap();
+        let prop = Property::reach_avoid(
+            StateSet::from_states(3, [1]),
+            StateSet::from_states(3, [2]),
+        );
+        (a, b, prop)
+    }
+
+    #[test]
+    fn unbiased_on_rare_coin() {
+        let (a, b, prop) = rare_coin();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let run = sample_is_run(&b, &prop, &IsConfig::new(50_000), &mut rng);
+        // About half the traces succeed under B.
+        assert!(run.n_success > 20_000);
+        let est = is_estimate(&a, &b, &run, 0.01);
+        assert!(
+            est.ci.contains(1e-3),
+            "CI {:?} misses 1e-3 (γ̂ = {})",
+            est.ci,
+            est.gamma_hat
+        );
+    }
+
+    #[test]
+    fn tables_deduplicate_single_step_paths() {
+        let (_, b, prop) = rare_coin();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let run = sample_is_run(&b, &prop, &IsConfig::new(10_000), &mut rng);
+        // Every successful trace is the single path 0 -> 1.
+        assert_eq!(run.tables.len(), 1);
+        assert_eq!(run.tables[0].counts, vec![((0, 1), 1)]);
+        assert_eq!(run.tables[0].multiplicity, run.n_success);
+    }
+
+    #[test]
+    fn is_under_original_measure_matches_monte_carlo() {
+        // B = A: likelihood ratios are all 1, estimator reduces to the
+        // plain frequency.
+        let (a, _, prop) = rare_coin();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let run = sample_is_run(&a, &prop, &IsConfig::new(20_000), &mut rng);
+        let est = is_estimate(&a, &a, &run, 0.05);
+        assert!((est.gamma_hat - run.n_success as f64 / 20_000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn impossible_transition_under_reference_zeroes_the_trace() {
+        let (_, b, prop) = rare_coin();
+        // Reference chain where the success transition has probability 0:
+        // support mismatch is modelled by a chain routing 0 -> 2 only.
+        let a0 = DtmcBuilder::new(3)
+            .transition(0, 2, 1.0)
+            .self_loop(1)
+            .self_loop(2)
+            .build()
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let run = sample_is_run(&b, &prop, &IsConfig::new(1000), &mut rng);
+        let est = is_estimate(&a0, &b, &run, 0.05);
+        assert_eq!(est.gamma_hat, 0.0);
+        assert_eq!(est.sigma_hat, 0.0);
+    }
+
+    #[test]
+    fn visited_sources_collects_states() {
+        let (_, b, prop) = rare_coin();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let run = sample_is_run(&b, &prop, &IsConfig::new(1000), &mut rng);
+        assert_eq!(run.visited_sources(), vec![0]);
+    }
+
+    #[test]
+    fn multi_step_likelihood_ratio_telescopes() {
+        // Two-step chain where LRs must multiply across steps:
+        // A: 0 -(0.1)-> 1 -(0.2)-> 2 ; B doubles both.
+        let a = DtmcBuilder::new(4)
+            .transition(0, 1, 0.1)
+            .transition(0, 3, 0.9)
+            .transition(1, 2, 0.2)
+            .transition(1, 3, 0.8)
+            .self_loop(2)
+            .self_loop(3)
+            .build()
+            .unwrap();
+        let b = DtmcBuilder::new(4)
+            .transition(0, 1, 0.2)
+            .transition(0, 3, 0.8)
+            .transition(1, 2, 0.4)
+            .transition(1, 3, 0.6)
+            .self_loop(2)
+            .self_loop(3)
+            .build()
+            .unwrap();
+        let prop = Property::reach_avoid(
+            StateSet::from_states(4, [2]),
+            StateSet::from_states(4, [3]),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let run = sample_is_run(&b, &prop, &IsConfig::new(200_000), &mut rng);
+        let est = is_estimate(&a, &b, &run, 0.01);
+        // γ = 0.1 · 0.2 = 0.02; every successful trace has L = 0.5·0.5.
+        assert!(est.ci.contains(0.02), "CI {:?}", est.ci);
+        let success_rate = run.n_success as f64 / run.n_traces as f64;
+        assert!((est.gamma_hat - success_rate * 0.25).abs() < 1e-12);
+    }
+}

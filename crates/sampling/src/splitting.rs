@@ -1,0 +1,243 @@
+//! Importance splitting (multilevel splitting) for rare reachability.
+//!
+//! The other classic rare-event technique the paper cites (Jegourel,
+//! Legay, Sedwards, CAV 2013 — reference [13]): instead of reweighting
+//! trajectories, decompose the rare event into a chain of conditional
+//! events along *levels* of an importance function and estimate
+//! `γ = Π_k P(reach level k+1 | reached level k)` with a fixed-effort
+//! particle scheme. Needs no knowledge of the transition probabilities —
+//! a useful baseline next to importance sampling when no good change of
+//! measure is available.
+
+use imc_markov::{Dtmc, State, StateSet};
+use imc_stats::{normal_quantile, ConfidenceInterval};
+use imc_sim::{ChainSampler, StateSampler};
+use rand::Rng;
+
+/// Configuration of a fixed-effort splitting run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplittingConfig {
+    /// Particles simulated per level.
+    pub particles_per_level: usize,
+    /// Per-trajectory transition budget within one level.
+    pub max_steps: usize,
+    /// Confidence parameter of the reported interval.
+    pub delta: f64,
+}
+
+impl SplittingConfig {
+    /// Creates a config with the given per-level effort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `particles_per_level == 0` or `delta ∉ (0, 1)`.
+    pub fn new(particles_per_level: usize, delta: f64) -> Self {
+        assert!(particles_per_level > 0, "need at least one particle");
+        assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+        SplittingConfig {
+            particles_per_level,
+            max_steps: 1_000_000,
+            delta,
+        }
+    }
+}
+
+/// The result of a splitting run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplittingResult {
+    /// Product estimate `γ̂ = Π p̂_k`.
+    pub gamma_hat: f64,
+    /// Estimated conditional probabilities per level transition.
+    pub level_probs: Vec<f64>,
+    /// Approximate `(1−δ)` CI, from the log-space delta method assuming
+    /// independent levels (exact for fixed-effort splitting in the
+    /// idealised setting; a useful diagnostic otherwise).
+    pub ci: ConfidenceInterval,
+}
+
+/// Fixed-effort importance splitting for `¬avoid U target` on `chain`.
+///
+/// `level(s)` maps each state to its importance level, with level 0 at
+/// the initial state and `target_level` on the target set; the estimate
+/// is the product over level crossings of the fraction of particles that
+/// reach the next level before entering `avoid` (or exhausting the step
+/// budget). Entry states of each level are resampled with replacement
+/// from the previous stage's survivors.
+///
+/// Returns `gamma_hat = 0` (with a degenerate CI) if some level is never
+/// reached — the splitting analogue of observing no hits.
+///
+/// # Panics
+///
+/// Panics if the initial state's level is not 0 or `target_level == 0`.
+pub fn importance_splitting<R: Rng + ?Sized>(
+    chain: &Dtmc,
+    level: impl Fn(State) -> usize,
+    target_level: usize,
+    avoid: &StateSet,
+    config: &SplittingConfig,
+    rng: &mut R,
+) -> SplittingResult {
+    assert!(target_level > 0, "target level must be positive");
+    assert_eq!(
+        level(chain.initial()),
+        0,
+        "the initial state must sit at level 0"
+    );
+    let sampler = ChainSampler::new(chain);
+    let mut entry_states = vec![chain.initial()];
+    let mut level_probs = Vec::with_capacity(target_level);
+    // Log-space delta-method variance: Var(ln γ̂) ≈ Σ (1−p̂)/(n p̂).
+    let mut log_var = 0.0f64;
+
+    for current_level in 0..target_level {
+        let mut survivors: Vec<State> = Vec::new();
+        let n = config.particles_per_level;
+        for i in 0..n {
+            // Resample an entry state (fixed-effort scheme).
+            let mut state = entry_states[if entry_states.len() == 1 {
+                0
+            } else {
+                // Cheap uniform pick without constructing a distribution.
+                (i * 31 + rng.gen_range(0..entry_states.len())) % entry_states.len()
+            }];
+            for _ in 0..config.max_steps {
+                // Avoid takes priority: a forbidden state never survives,
+                // whatever its nominal level.
+                if avoid.contains(state) {
+                    break;
+                }
+                if level(state) > current_level {
+                    survivors.push(state);
+                    break;
+                }
+                state = sampler.step(state, rng);
+            }
+        }
+        let p = survivors.len() as f64 / n as f64;
+        level_probs.push(p);
+        if survivors.is_empty() {
+            return SplittingResult {
+                gamma_hat: 0.0,
+                level_probs,
+                ci: ConfidenceInterval::new(0.0, 0.0),
+            };
+        }
+        log_var += (1.0 - p) / (n as f64 * p);
+        entry_states = survivors;
+    }
+
+    let gamma_hat: f64 = level_probs.iter().product();
+    let q = normal_quantile(1.0 - config.delta / 2.0);
+    let spread = (q * log_var.sqrt()).exp();
+    let ci = ConfidenceInterval::new(gamma_hat / spread, gamma_hat * spread);
+    SplittingResult {
+        gamma_hat,
+        level_probs,
+        ci,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_markov::DtmcBuilder;
+    use rand::SeedableRng;
+
+    /// k-stage cascade: each stage advances w.p. `p`, else resets to a
+    /// sink. γ = p^k; the stage index is the natural importance function.
+    fn cascade(k: usize, p: f64) -> (Dtmc, StateSet) {
+        let n = k + 2; // stages 0..=k plus sink at index k+1
+        let sink = k + 1;
+        let mut builder = DtmcBuilder::new(n);
+        for stage in 0..k {
+            builder = builder
+                .transition(stage, stage + 1, p)
+                .transition(stage, sink, 1.0 - p);
+        }
+        let chain = builder.self_loop(k).self_loop(sink).build().unwrap();
+        (chain, StateSet::from_states(n, [sink]))
+    }
+
+    #[test]
+    fn recovers_cascade_probability() {
+        let (chain, avoid) = cascade(6, 0.1);
+        let gamma = 1e-6;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let result = importance_splitting(
+            &chain,
+            |s| s.min(6),
+            6,
+            &avoid,
+            &SplittingConfig::new(10_000, 0.05),
+            &mut rng,
+        );
+        assert_eq!(result.level_probs.len(), 6);
+        assert!(
+            (result.gamma_hat - gamma).abs() / gamma < 0.2,
+            "γ̂ = {:e}",
+            result.gamma_hat
+        );
+        // The delta-method CI ignores the correlation introduced by
+        // resampling entry states, so check it only up to a 2× widening.
+        let widened = ConfidenceInterval::new(result.ci.lo() / 2.0, result.ci.hi() * 2.0);
+        assert!(widened.contains(gamma), "CI {} misses {gamma:e}", result.ci);
+        // Per-level conditionals all estimate p = 0.1.
+        for p in &result.level_probs {
+            assert!((p - 0.1).abs() < 0.03, "level prob {p}");
+        }
+    }
+
+    #[test]
+    fn splitting_beats_crude_mc_at_equal_budget() {
+        // With 6 levels × 2000 particles = 12000 trajectories, crude MC
+        // would see γ·12000 = 0.012 hits on average — nothing. Splitting
+        // produces a positive, accurate estimate.
+        let (chain, avoid) = cascade(6, 0.1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let result = importance_splitting(
+            &chain,
+            |s| s.min(6),
+            6,
+            &avoid,
+            &SplittingConfig::new(2_000, 0.05),
+            &mut rng,
+        );
+        assert!(result.gamma_hat > 0.0);
+        assert!((result.gamma_hat - 1e-6).abs() / 1e-6 < 0.5, "{:e}", result.gamma_hat);
+    }
+
+    #[test]
+    fn extinct_level_reports_zero() {
+        // Make level 1 unreachable: p = 0 is impossible in a valid chain,
+        // so use an avoid set that blocks the only path.
+        let (chain, _) = cascade(3, 0.5);
+        let all_but_start = StateSet::from_states(5, [1, 2, 3, 4]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let result = importance_splitting(
+            &chain,
+            |s| s.min(3),
+            3,
+            &all_but_start,
+            &SplittingConfig::new(100, 0.05),
+            &mut rng,
+        );
+        assert_eq!(result.gamma_hat, 0.0);
+        assert_eq!(result.ci.width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "level 0")]
+    fn initial_must_be_level_zero() {
+        let (chain, avoid) = cascade(2, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let _ = importance_splitting(
+            &chain,
+            |_| 1,
+            2,
+            &avoid,
+            &SplittingConfig::new(10, 0.05),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Trace simulation for statistical model checking.
+//!
+//! Implements the sampling side of Algorithm 1 of the paper (lines 1–15):
+//! traces are generated state-by-state under a chain's transition
+//! distribution, fed to an online [`Monitor`](imc_logic::Monitor) until the
+//! property is decided, and summarised by their transition count table
+//! `(T_k, n_k)` — the trace itself is never stored.
+//!
+//! * [`ChainSampler`] — Walker alias tables per state, O(1) per step;
+//! * [`CdfSampler`] — binary-search inversion sampler (ablation baseline);
+//! * [`simulate`] / [`simulate_path`] — monitor-driven trace generation;
+//! * [`monte_carlo`] — crude Monte Carlo SMC with normal confidence
+//!   intervals (§II-C);
+//! * [`sprt`] — Wald's sequential probability ratio test, the
+//!   hypothesis-testing flavour of SMC the paper cites [28].
+//!
+//! # Example
+//!
+//! ```
+//! use imc_logic::Property;
+//! use imc_markov::{DtmcBuilder, StateSet};
+//! use imc_sim::{monte_carlo, SmcConfig};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let chain = DtmcBuilder::new(3)
+//!     .transition(0, 1, 0.3)
+//!     .transition(0, 2, 0.7)
+//!     .self_loop(1)
+//!     .self_loop(2)
+//!     .build()?;
+//! let prop = Property::bounded_reach(StateSet::from_states(3, [1]), 5);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let result = monte_carlo(&chain, &prop, &SmcConfig::new(10_000, 0.05), &mut rng);
+//! assert!(result.ci.contains(0.3));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sampler;
+mod smc;
+mod sprt;
+mod trace;
+
+pub use sampler::{CdfSampler, ChainSampler, StateSampler};
+pub use smc::{monte_carlo, SmcConfig, SmcResult};
+pub use sprt::{sprt, SprtConfig, SprtDecision, SprtResult};
+pub use trace::{random_walk, simulate, simulate_path, TraceOutcome};

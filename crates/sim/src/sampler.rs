@@ -1,0 +1,254 @@
+use imc_markov::{Dtmc, State};
+use rand::Rng;
+
+/// Draws successor states of a chain, one transition at a time.
+///
+/// Implementations precompute per-state lookup structures from a [`Dtmc`];
+/// the chain is borrowed only during construction.
+pub trait StateSampler {
+    /// Samples a successor of `state`.
+    fn step<R: Rng + ?Sized>(&self, state: State, rng: &mut R) -> State;
+
+    /// Number of states of the underlying chain.
+    fn num_states(&self) -> usize;
+}
+
+/// Walker alias-method sampler: O(row length) construction, O(1) per draw.
+///
+/// The standard choice for SMC workloads, where the same rows are sampled
+/// millions of times.
+#[derive(Debug, Clone)]
+pub struct ChainSampler {
+    tables: Vec<AliasTable>,
+}
+
+#[derive(Debug, Clone)]
+struct AliasTable {
+    /// Acceptance probability of each slot.
+    prob: Vec<f64>,
+    /// Alternative slot index used on rejection.
+    alias: Vec<u32>,
+    /// Target state of each slot.
+    targets: Vec<State>,
+}
+
+impl AliasTable {
+    fn new(entries: &[(State, f64)]) -> Self {
+        let k = entries.len();
+        let targets: Vec<State> = entries.iter().map(|&(t, _)| t).collect();
+        let mut prob: Vec<f64> = entries.iter().map(|&(_, p)| p * k as f64).collect();
+        let mut alias = vec![0u32; k];
+        let mut small: Vec<usize> = Vec::with_capacity(k);
+        let mut large: Vec<usize> = Vec::with_capacity(k);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l as u32;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: both stacks drain to probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        AliasTable {
+            prob,
+            alias,
+            targets,
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> State {
+        let k = self.targets.len();
+        if k == 1 {
+            return self.targets[0];
+        }
+        let slot = rng.gen_range(0..k);
+        if rng.gen::<f64>() < self.prob[slot] {
+            self.targets[slot]
+        } else {
+            self.targets[self.alias[slot] as usize]
+        }
+    }
+}
+
+impl ChainSampler {
+    /// Builds alias tables for every state of `chain`.
+    pub fn new(chain: &Dtmc) -> Self {
+        let tables = chain
+            .rows()
+            .iter()
+            .map(|row| {
+                let entries: Vec<(State, f64)> =
+                    row.entries().iter().map(|e| (e.target, e.prob)).collect();
+                AliasTable::new(&entries)
+            })
+            .collect();
+        ChainSampler { tables }
+    }
+}
+
+impl StateSampler for ChainSampler {
+    fn step<R: Rng + ?Sized>(&self, state: State, rng: &mut R) -> State {
+        self.tables[state].sample(rng)
+    }
+
+    fn num_states(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// Inversion sampler: binary search over per-state cumulative distributions.
+///
+/// O(log row length) per draw; kept as the ablation baseline for the
+/// row-sampling bench and as a reference implementation for testing the
+/// alias tables.
+#[derive(Debug, Clone)]
+pub struct CdfSampler {
+    cumulative: Vec<Vec<f64>>,
+    targets: Vec<Vec<State>>,
+}
+
+impl CdfSampler {
+    /// Builds cumulative rows for every state of `chain`.
+    pub fn new(chain: &Dtmc) -> Self {
+        let mut cumulative = Vec::with_capacity(chain.num_states());
+        let mut targets = Vec::with_capacity(chain.num_states());
+        for row in chain.rows() {
+            let mut acc = 0.0;
+            let mut cum = Vec::with_capacity(row.len());
+            let mut tgt = Vec::with_capacity(row.len());
+            for e in row.entries() {
+                acc += e.prob;
+                cum.push(acc);
+                tgt.push(e.target);
+            }
+            // Guard against rounding: the last bucket must cover u -> 1.
+            if let Some(last) = cum.last_mut() {
+                *last = 1.0;
+            }
+            cumulative.push(cum);
+            targets.push(tgt);
+        }
+        CdfSampler {
+            cumulative,
+            targets,
+        }
+    }
+}
+
+impl StateSampler for CdfSampler {
+    fn step<R: Rng + ?Sized>(&self, state: State, rng: &mut R) -> State {
+        let cum = &self.cumulative[state];
+        if cum.len() == 1 {
+            return self.targets[state][0];
+        }
+        let u: f64 = rng.gen();
+        let idx = cum.partition_point(|&c| c < u);
+        self.targets[state][idx.min(cum.len() - 1)]
+    }
+
+    fn num_states(&self) -> usize {
+        self.cumulative.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_markov::DtmcBuilder;
+    use rand::SeedableRng;
+
+    fn test_chain() -> Dtmc {
+        DtmcBuilder::new(4)
+            .transition(0, 1, 0.1)
+            .transition(0, 2, 0.2)
+            .transition(0, 3, 0.7)
+            .self_loop(1)
+            .self_loop(2)
+            .self_loop(3)
+            .build()
+            .unwrap()
+    }
+
+    fn empirical_row<S: StateSampler>(sampler: &S, state: State, n: usize) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut counts = vec![0u64; sampler.num_states()];
+        for _ in 0..n {
+            counts[sampler.step(state, &mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn alias_matches_row_distribution() {
+        let chain = test_chain();
+        let sampler = ChainSampler::new(&chain);
+        let freq = empirical_row(&sampler, 0, 200_000);
+        assert!((freq[1] - 0.1).abs() < 0.005, "{freq:?}");
+        assert!((freq[2] - 0.2).abs() < 0.005, "{freq:?}");
+        assert!((freq[3] - 0.7).abs() < 0.005, "{freq:?}");
+    }
+
+    #[test]
+    fn cdf_matches_row_distribution() {
+        let chain = test_chain();
+        let sampler = CdfSampler::new(&chain);
+        let freq = empirical_row(&sampler, 0, 200_000);
+        assert!((freq[1] - 0.1).abs() < 0.005, "{freq:?}");
+        assert!((freq[3] - 0.7).abs() < 0.005, "{freq:?}");
+    }
+
+    #[test]
+    fn absorbing_state_self_samples() {
+        let chain = test_chain();
+        let alias = ChainSampler::new(&chain);
+        let cdf = CdfSampler::new(&chain);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(alias.step(1, &mut rng), 1);
+            assert_eq!(cdf.step(1, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn rare_transition_is_sampled_eventually() {
+        // A 1e-4 transition: both samplers must produce it at plausible rate.
+        let chain = DtmcBuilder::new(3)
+            .transition(0, 1, 1e-4)
+            .transition(0, 2, 1.0 - 1e-4)
+            .self_loop(1)
+            .self_loop(2)
+            .build()
+            .unwrap();
+        let sampler = ChainSampler::new(&chain);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 2_000_000;
+        let hits = (0..n).filter(|_| sampler.step(0, &mut rng) == 1).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 1e-4).abs() < 5e-5, "rate {rate}");
+    }
+
+    #[test]
+    fn samplers_agree_on_support() {
+        let chain = test_chain();
+        let alias = ChainSampler::new(&chain);
+        let cdf = CdfSampler::new(&chain);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let a = alias.step(0, &mut rng);
+            let c = cdf.step(0, &mut rng);
+            assert!(chain.prob(0, a) > 0.0);
+            assert!(chain.prob(0, c) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Wald's sequential probability ratio test (SPRT).
+//!
+//! The paper (§I) notes that SMC "may use alternative efficient
+//! techniques, such as Bayesian inference and hypothesis testing, to
+//! decide with specified confidence whether the probability of a property
+//! exceeds a given threshold" — citing Wald [28]. This module provides
+//! that deciding flavour of SMC: instead of estimating `γ`, decide between
+//! `H0: γ ≥ p0` and `H1: γ ≤ p1` with bounded error probabilities,
+//! sampling only as many traces as the evidence requires.
+
+use imc_logic::{Property, Verdict};
+use imc_markov::Dtmc;
+use rand::Rng;
+
+use crate::{simulate, ChainSampler};
+
+/// Configuration of a sequential probability ratio test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SprtConfig {
+    /// Null-hypothesis threshold: `H0: γ ≥ p0`.
+    pub p0: f64,
+    /// Alternative threshold: `H1: γ ≤ p1` (must satisfy `p1 < p0`).
+    pub p1: f64,
+    /// Bound on the type-I error (accepting H1 when H0 holds).
+    pub alpha: f64,
+    /// Bound on the type-II error (accepting H0 when H1 holds).
+    pub beta: f64,
+    /// Hard cap on the number of traces.
+    pub max_samples: usize,
+    /// Per-trace transition budget.
+    pub max_steps: usize,
+}
+
+impl SprtConfig {
+    /// Creates a test of `H0: γ ≥ p0` vs `H1: γ ≤ p1` with symmetric error
+    /// bounds `alpha = beta = error` and a million-trace cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p1 < p0 < 1` and `error ∈ (0, 0.5)`.
+    pub fn new(p0: f64, p1: f64, error: f64) -> Self {
+        assert!(
+            0.0 < p1 && p1 < p0 && p0 < 1.0,
+            "need 0 < p1 < p0 < 1, got p0 = {p0}, p1 = {p1}"
+        );
+        assert!(
+            error > 0.0 && error < 0.5,
+            "error bound must lie in (0, 0.5), got {error}"
+        );
+        SprtConfig {
+            p0,
+            p1,
+            alpha: error,
+            beta: error,
+            max_samples: 1_000_000,
+            max_steps: 1_000_000,
+        }
+    }
+
+    /// Replaces the trace cap.
+    pub fn with_max_samples(mut self, max_samples: usize) -> Self {
+        self.max_samples = max_samples;
+        self
+    }
+}
+
+/// The decision of an SPRT run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SprtDecision {
+    /// Evidence supports `γ ≥ p0`.
+    AcceptH0,
+    /// Evidence supports `γ ≤ p1`.
+    AcceptH1,
+    /// The sample cap was reached without crossing either boundary
+    /// (`γ` likely lies in the indifference region `(p1, p0)`).
+    Undecided,
+}
+
+/// The outcome of an SPRT run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SprtResult {
+    /// The decision reached.
+    pub decision: SprtDecision,
+    /// Traces consumed before deciding.
+    pub samples_used: usize,
+    /// Accepted traces among them.
+    pub hits: u64,
+    /// Final log-likelihood ratio.
+    pub log_likelihood_ratio: f64,
+}
+
+/// Runs Wald's SPRT for `property` on `chain`.
+///
+/// After each trace the log-likelihood ratio
+/// `Λ += z·ln(p1/p0) + (1−z)·ln((1−p1)/(1−p0))` is compared against the
+/// Wald boundaries `ln((1−β)/α)` (accept H1) and `ln(β/(1−α))`
+/// (accept H0).
+pub fn sprt<R: Rng + ?Sized>(
+    chain: &Dtmc,
+    property: &Property,
+    config: &SprtConfig,
+    rng: &mut R,
+) -> SprtResult {
+    let sampler = ChainSampler::new(chain);
+    let mut monitor = property.monitor();
+    let accept_h1_at = ((1.0 - config.beta) / config.alpha).ln();
+    let accept_h0_at = (config.beta / (1.0 - config.alpha)).ln();
+    let log_hit = (config.p1 / config.p0).ln();
+    let log_miss = ((1.0 - config.p1) / (1.0 - config.p0)).ln();
+
+    let mut llr = 0.0f64;
+    let mut hits = 0u64;
+    for sample in 1..=config.max_samples {
+        let outcome = simulate(
+            &sampler,
+            chain.initial(),
+            &mut monitor,
+            rng,
+            config.max_steps,
+        );
+        if outcome.verdict == Verdict::Accepted {
+            hits += 1;
+            llr += log_hit;
+        } else {
+            llr += log_miss;
+        }
+        if llr >= accept_h1_at {
+            return SprtResult {
+                decision: SprtDecision::AcceptH1,
+                samples_used: sample,
+                hits,
+                log_likelihood_ratio: llr,
+            };
+        }
+        if llr <= accept_h0_at {
+            return SprtResult {
+                decision: SprtDecision::AcceptH0,
+                samples_used: sample,
+                hits,
+                log_likelihood_ratio: llr,
+            };
+        }
+    }
+    SprtResult {
+        decision: SprtDecision::Undecided,
+        samples_used: config.max_samples,
+        hits,
+        log_likelihood_ratio: llr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imc_markov::{DtmcBuilder, StateSet};
+    use rand::SeedableRng;
+
+    fn coin(p: f64) -> Dtmc {
+        DtmcBuilder::new(3)
+            .transition(0, 1, p)
+            .transition(0, 2, 1.0 - p)
+            .self_loop(1)
+            .self_loop(2)
+            .build()
+            .unwrap()
+    }
+
+    fn reach_one() -> Property {
+        Property::reach_avoid(
+            StateSet::from_states(3, [1]),
+            StateSet::from_states(3, [2]),
+        )
+    }
+
+    #[test]
+    fn clear_h0_is_accepted() {
+        // γ = 0.5, testing γ ≥ 0.3 vs γ ≤ 0.1: H0 obviously.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let result = sprt(&coin(0.5), &reach_one(), &SprtConfig::new(0.3, 0.1, 0.01), &mut rng);
+        assert_eq!(result.decision, SprtDecision::AcceptH0);
+        assert!(result.samples_used < 200, "{}", result.samples_used);
+    }
+
+    #[test]
+    fn clear_h1_is_accepted() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let result = sprt(&coin(0.01), &reach_one(), &SprtConfig::new(0.3, 0.1, 0.01), &mut rng);
+        assert_eq!(result.decision, SprtDecision::AcceptH1);
+        assert!(result.samples_used < 200, "{}", result.samples_used);
+    }
+
+    #[test]
+    fn indifference_region_hits_the_cap() {
+        // γ = 0.2 lies between p1 = 0.15 and p0 = 0.25: expect no decision
+        // within a small cap (the random walk has near-zero drift).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let config = SprtConfig::new(0.25, 0.15, 0.001).with_max_samples(200);
+        let result = sprt(&coin(0.2), &reach_one(), &config, &mut rng);
+        assert_eq!(result.decision, SprtDecision::Undecided);
+        assert_eq!(result.samples_used, 200);
+    }
+
+    #[test]
+    fn error_rate_is_controlled() {
+        // With γ exactly at p0, H1 should be accepted at most ~α of runs.
+        let config = SprtConfig::new(0.3, 0.1, 0.05);
+        let mut wrong = 0;
+        let runs = 200;
+        for seed in 0..runs {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let result = sprt(&coin(0.3), &reach_one(), &config, &mut rng);
+            if result.decision == SprtDecision::AcceptH1 {
+                wrong += 1;
+            }
+        }
+        // Wald guarantees ≤ α (plus slack for boundary overshoot).
+        assert!(
+            (wrong as f64) / (runs as f64) <= 0.08,
+            "type-I error rate {wrong}/{runs}"
+        );
+    }
+
+    #[test]
+    fn sequential_is_cheaper_than_fixed_size() {
+        // Deciding a clear-cut hypothesis takes far fewer samples than the
+        // Okamoto fixed-size bound for comparable confidence.
+        let fixed = imc_stats::okamoto_sample_size(0.1, 0.01);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let result = sprt(&coin(0.6), &reach_one(), &SprtConfig::new(0.3, 0.1, 0.01), &mut rng);
+        assert_eq!(result.decision, SprtDecision::AcceptH0);
+        assert!(
+            result.samples_used * 10 < fixed,
+            "SPRT used {} vs fixed-size {fixed}",
+            result.samples_used
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "p1 < p0")]
+    fn rejects_inverted_thresholds() {
+        SprtConfig::new(0.1, 0.3, 0.01);
+    }
+}

@@ -1,0 +1,228 @@
+use imc_logic::{Monitor, Verdict};
+use imc_markov::{Path, State, TransitionCounts};
+use rand::Rng;
+
+use crate::StateSampler;
+
+/// The result of simulating one trace until its property was decided (or the
+/// step budget ran out).
+///
+/// Carries the per-trace transition count table `(T_k, n_k)` of Algorithm 1
+/// — sufficient for every likelihood-ratio computation — instead of the
+/// trace itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOutcome {
+    /// Final verdict ([`Verdict::Undecided`] only if `max_steps` was hit).
+    pub verdict: Verdict,
+    /// Transition multiplicities `n_k(s_i, s_j)` of the trace.
+    pub counts: TransitionCounts,
+    /// Number of transitions taken.
+    pub len: usize,
+    /// State in which simulation stopped.
+    pub last_state: State,
+}
+
+impl TraceOutcome {
+    /// The indicator `z(ω_k)`: 1 if the property was accepted.
+    pub fn indicator(&self) -> f64 {
+        self.verdict.indicator()
+    }
+}
+
+/// Simulates one trace from `initial`, driving `monitor` until it decides or
+/// `max_steps` transitions have been taken.
+///
+/// The monitor is `reset` with the initial state first, so properties that
+/// decide immediately (e.g. the initial state is already a target) cost no
+/// transitions.
+pub fn simulate<S, M, R>(
+    sampler: &S,
+    initial: State,
+    monitor: &mut M,
+    rng: &mut R,
+    max_steps: usize,
+) -> TraceOutcome
+where
+    S: StateSampler,
+    M: Monitor,
+    R: Rng + ?Sized,
+{
+    let mut counts = TransitionCounts::new();
+    let mut verdict = monitor.reset(initial);
+    let mut state = initial;
+    let mut len = 0usize;
+    while !verdict.is_decided() && len < max_steps {
+        let next = sampler.step(state, rng);
+        counts.record(state, next);
+        len += 1;
+        verdict = monitor.observe(next);
+        state = next;
+    }
+    TraceOutcome {
+        verdict,
+        counts,
+        len,
+        last_state: state,
+    }
+}
+
+/// Simulates one trace and keeps the full [`Path`] — used by the learning
+/// pipeline, which needs raw state sequences rather than count tables.
+pub fn simulate_path<S, M, R>(
+    sampler: &S,
+    initial: State,
+    monitor: &mut M,
+    rng: &mut R,
+    max_steps: usize,
+) -> (Path, Verdict)
+where
+    S: StateSampler,
+    M: Monitor,
+    R: Rng + ?Sized,
+{
+    let mut path = Path::new(vec![initial]);
+    let mut verdict = monitor.reset(initial);
+    let mut state = initial;
+    while !verdict.is_decided() && path.len() < max_steps {
+        let next = sampler.step(state, rng);
+        path.push(next);
+        verdict = monitor.observe(next);
+        state = next;
+    }
+    (path, verdict)
+}
+
+/// Samples an unconditioned random walk of exactly `len` transitions from
+/// `initial` — the "system log" generator used by learning pipelines, where
+/// traces are observed wholesale rather than monitored for a property.
+pub fn random_walk<S, R>(sampler: &S, initial: State, len: usize, rng: &mut R) -> Path
+where
+    S: StateSampler,
+    R: Rng + ?Sized,
+{
+    let mut path = Path::new(vec![initial]);
+    let mut state = initial;
+    for _ in 0..len {
+        let next = sampler.step(state, rng);
+        path.push(next);
+        state = next;
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChainSampler;
+    use imc_logic::Property;
+    use imc_markov::{DtmcBuilder, Dtmc, StateSet};
+    use rand::SeedableRng;
+
+    fn coin_chain() -> Dtmc {
+        DtmcBuilder::new(3)
+            .transition(0, 1, 0.5)
+            .transition(0, 2, 0.5)
+            .self_loop(1)
+            .self_loop(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn trace_decides_and_counts() {
+        let chain = coin_chain();
+        let sampler = ChainSampler::new(&chain);
+        let prop = Property::reach_avoid(
+            StateSet::from_states(3, [1]),
+            StateSet::from_states(3, [2]),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let outcome = simulate(&sampler, 0, &mut prop.monitor(), &mut rng, 100);
+        assert!(outcome.verdict.is_decided());
+        assert_eq!(outcome.len, 1);
+        assert_eq!(outcome.counts.total(), 1);
+        assert!(outcome.last_state == 1 || outcome.last_state == 2);
+    }
+
+    #[test]
+    fn max_steps_leaves_undecided() {
+        // Property whose target is unreachable: the budget must bound work.
+        let chain = DtmcBuilder::new(2)
+            .transition(0, 0, 1.0)
+            .self_loop(1)
+            .build()
+            .unwrap();
+        let sampler = ChainSampler::new(&chain);
+        let prop = Property::reach_avoid(
+            StateSet::from_states(2, [1]),
+            StateSet::new(2),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let outcome = simulate(&sampler, 0, &mut prop.monitor(), &mut rng, 50);
+        assert_eq!(outcome.verdict, Verdict::Undecided);
+        assert_eq!(outcome.len, 50);
+        assert_eq!(outcome.counts.count(0, 0), 50);
+    }
+
+    #[test]
+    fn immediate_decision_takes_no_steps() {
+        let chain = coin_chain();
+        let sampler = ChainSampler::new(&chain);
+        let prop = Property::bounded_reach(StateSet::from_states(3, [0]), 5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let outcome = simulate(&sampler, 0, &mut prop.monitor(), &mut rng, 100);
+        assert_eq!(outcome.verdict, Verdict::Accepted);
+        assert_eq!(outcome.len, 0);
+        assert!(outcome.counts.is_empty());
+    }
+
+    #[test]
+    fn path_simulation_matches_counts() {
+        let chain = coin_chain();
+        let sampler = ChainSampler::new(&chain);
+        let prop = Property::bounded_reach(StateSet::from_states(3, [1]), 10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (path, verdict) = simulate_path(&sampler, 0, &mut prop.monitor(), &mut rng, 100);
+        assert!(verdict.is_decided());
+        assert_eq!(path.first(), 0);
+        // Recomputing counts from the path agrees with the online table.
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(11);
+        let outcome = simulate(&sampler, 0, &mut prop.monitor(), &mut rng2, 100);
+        assert_eq!(path.transition_counts(), outcome.counts);
+    }
+}
+
+#[cfg(test)]
+mod random_walk_tests {
+    use super::*;
+    use crate::ChainSampler;
+    use imc_markov::DtmcBuilder;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walk_has_exact_length_and_valid_steps() {
+        let chain = DtmcBuilder::new(3)
+            .transition(0, 1, 0.5)
+            .transition(0, 2, 0.5)
+            .transition(1, 0, 1.0)
+            .transition(2, 0, 1.0)
+            .build()
+            .unwrap();
+        let sampler = ChainSampler::new(&chain);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let path = random_walk(&sampler, 0, 200, &mut rng);
+        assert_eq!(path.len(), 200);
+        for (from, to) in path.transitions() {
+            assert!(chain.prob(from, to) > 0.0, "impossible step {from}->{to}");
+        }
+    }
+
+    #[test]
+    fn zero_length_walk_is_the_initial_state() {
+        let chain = DtmcBuilder::new(1).self_loop(0).build().unwrap();
+        let sampler = ChainSampler::new(&chain);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let path = random_walk(&sampler, 0, 0, &mut rng);
+        assert_eq!(path.states(), &[0]);
+    }
+}

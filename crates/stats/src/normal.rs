@@ -1,0 +1,237 @@
+//! The standard normal distribution: quantile function and CDF.
+
+/// Quantile function (inverse CDF) `Φ⁻¹(p)` of the standard normal
+/// distribution, computed with Wichura's algorithm AS 241 (PPND16 variant),
+/// accurate to roughly 1e-15 over `(0, 1)`.
+///
+/// This is the `Φ⁻¹_{1−δ/2}` factor in every confidence interval of the
+/// paper (§II-C).
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)` — callers derive `p` from a
+/// confidence parameter `δ ∈ (0, 1)`, so values outside the open interval
+/// indicate a logic error.
+///
+/// # Example
+///
+/// ```
+/// let z = imc_stats::normal_quantile(0.995); // 99% two-sided
+/// assert!((z - 2.575829).abs() < 1e-5);
+/// assert_eq!(imc_stats::normal_quantile(0.5), 0.0);
+/// ```
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0 && p.is_finite(),
+        "quantile argument must lie in (0, 1), got {p}"
+    );
+
+    const A: [f64; 8] = [
+        3.387_132_872_796_366_5,
+        1.331_416_678_917_843_8e2,
+        1.971_590_950_306_551_3e3,
+        1.373_169_376_550_946e4,
+        4.592_195_393_154_987e4,
+        6.726_577_092_700_87e4,
+        3.343_057_558_358_813e4,
+        2.509_080_928_730_122_7e3,
+    ];
+    const B: [f64; 8] = [
+        1.0,
+        4.231_333_070_160_091e1,
+        6.871_870_074_920_579e2,
+        5.394_196_021_424_751e3,
+        2.121_379_430_158_659_7e4,
+        3.930_789_580_009_271e4,
+        2.872_908_573_572_194_3e4,
+        5.226_495_278_852_545e3,
+    ];
+    const C: [f64; 8] = [
+        1.423_437_110_749_683_5,
+        4.630_337_846_156_545,
+        5.769_497_221_460_691,
+        3.647_848_324_763_204_5,
+        1.270_458_252_452_368_4,
+        2.417_807_251_774_506e-1,
+        2.272_384_498_926_918_4e-2,
+        7.745_450_142_783_414e-4,
+    ];
+    const D: [f64; 8] = [
+        1.0,
+        2.053_191_626_637_759,
+        1.676_384_830_183_803_8,
+        6.897_673_349_851e-1,
+        1.481_039_764_274_800_8e-1,
+        1.519_866_656_361_645_7e-2,
+        5.475_938_084_995_345e-4,
+        1.050_750_071_644_416_9e-9,
+    ];
+    const E: [f64; 8] = [
+        6.657_904_643_501_103,
+        5.463_784_911_164_114,
+        1.784_826_539_917_291_3,
+        2.965_605_718_285_048_7e-1,
+        2.653_218_952_657_612_4e-2,
+        1.242_660_947_388_078_4e-3,
+        2.711_555_568_743_487_6e-5,
+        2.010_334_399_292_288_1e-7,
+    ];
+    const F: [f64; 8] = [
+        1.0,
+        5.998_322_065_558_88e-1,
+        1.369_298_809_227_358e-1,
+        1.487_536_129_085_061_5e-2,
+        7.868_691_311_456_133e-4,
+        1.846_318_317_510_054_8e-5,
+        1.421_511_758_316_446e-7,
+        2.044_263_103_389_939_7e-15,
+    ];
+
+    fn rational(r: f64, num: &[f64; 8], den: &[f64; 8]) -> f64 {
+        let p = num
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &coeff| acc * r + coeff);
+        let q = den
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &coeff| acc * r + coeff);
+        p / q
+    }
+
+    let q = p - 0.5;
+    if q.abs() <= 0.425 {
+        let r = 0.180_625 - q * q;
+        return q * rational(r, &A, &B);
+    }
+    let mut r = if q < 0.0 { p } else { 1.0 - p };
+    r = (-r.ln()).sqrt();
+    let val = if r <= 5.0 {
+        rational(r - 1.6, &C, &D)
+    } else {
+        rational(r - 5.0, &E, &F)
+    };
+    if q < 0.0 {
+        -val
+    } else {
+        val
+    }
+}
+
+/// Cumulative distribution function `Φ(x)` of the standard normal
+/// distribution, accurate to about 1.2e-7 (Numerical-Recipes style rational
+/// erfc approximation) — ample for round-trip checks and coverage tests.
+///
+/// # Example
+///
+/// ```
+/// assert!((imc_stats::normal_cdf(0.0) - 0.5).abs() < 1e-7);
+/// assert!((imc_stats::normal_cdf(1.96) - 0.975).abs() < 1e-4);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    1.0 - 0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function, |error| ≤ 1.2e-7 everywhere.
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from standard tables / high-precision libraries.
+    const KNOWN: &[(f64, f64)] = &[
+        (0.5, 0.0),
+        (0.975, 1.959_963_984_540_054),
+        (0.995, 2.575_829_303_548_901),
+        (0.9995, 3.290_526_731_491_926),
+        (0.841_344_746_068_543, 1.0),
+        (0.025, -1.959_963_984_540_054),
+        (1e-10, -6.361_340_902_404_056),
+    ];
+
+    #[test]
+    fn matches_reference_quantiles() {
+        for &(p, z) in KNOWN {
+            let got = normal_quantile(p);
+            assert!(
+                (got - z).abs() < 1e-9,
+                "Φ⁻¹({p}) = {got}, expected {z}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let x = normal_quantile(p);
+            let back = normal_cdf(x);
+            assert!((back - p).abs() < 1e-6, "round trip failed at p={p}: {back}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_antisymmetric() {
+        for &p in &[0.6, 0.9, 0.99, 0.9999, 0.700_123] {
+            let hi = normal_quantile(p);
+            let lo = normal_quantile(1.0 - p);
+            assert!((hi + lo).abs() < 1e-10, "asymmetry at {p}: {hi} vs {lo}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let z = normal_quantile(i as f64 / 1000.0);
+            assert!(z > prev);
+            prev = z;
+        }
+    }
+
+    #[test]
+    fn extreme_tails_are_finite() {
+        assert!(normal_quantile(1e-300).is_finite());
+        assert!(normal_quantile(1.0 - 1e-16).is_finite());
+        assert!(normal_quantile(1e-300) < -30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lie in (0, 1)")]
+    fn rejects_zero() {
+        normal_quantile(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lie in (0, 1)")]
+    fn rejects_one() {
+        normal_quantile(1.0);
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        for &x in &[0.1, 0.5, 1.0, 2.0, 4.0] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-9);
+        }
+    }
+}

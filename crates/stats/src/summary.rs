@@ -1,0 +1,108 @@
+use serde::{Deserialize, Serialize};
+
+use crate::RunningStats;
+
+/// Descriptive statistics of a batch of observations: average, min, max,
+/// standard deviation — the four rows of Table I in the paper.
+///
+/// # Example
+///
+/// ```
+/// use imc_stats::Summary;
+///
+/// let summary = Summary::from_values([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(summary.count(), 8);
+/// assert!((summary.average() - 5.0).abs() < 1e-12);
+/// assert!((summary.std_dev() - 2.0).abs() < 1e-12);
+/// assert_eq!(summary.min(), 2.0);
+/// assert_eq!(summary.max(), 9.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    average: f64,
+    min: f64,
+    max: f64,
+    std_dev: f64,
+}
+
+impl Summary {
+    /// Summarises a batch of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch — an empty Table I row has no meaning.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let stats: RunningStats = values.into_iter().collect();
+        assert!(stats.count() > 0, "cannot summarise an empty batch");
+        Summary {
+            count: stats.count(),
+            average: stats.mean(),
+            min: stats.min(),
+            max: stats.max(),
+            std_dev: stats.population_std_dev(),
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn average(&self) -> f64 {
+        self.average
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "avg {:.4e}  min {:.4e}  max {:.4e}  sd {:.4e}  (n={})",
+            self.average, self.min, self.max, self.std_dev, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_batch() {
+        let s = Summary::from_values(std::iter::repeat_n(3.5, 10));
+        assert_eq!(s.average(), 3.5);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        Summary::from_values(std::iter::empty());
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = Summary::from_values([1.0, 2.0]);
+        let text = s.to_string();
+        assert!(text.contains("avg") && text.contains("sd") && text.contains("n=2"));
+    }
+}

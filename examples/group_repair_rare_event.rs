@@ -1,0 +1,102 @@
+//! The group repair benchmark end-to-end (§VI-B): build the 125-state CTMC
+//! from guarded commands, extract its jump chain, find an IS distribution
+//! by cross-entropy, and compare standard IS with IMCIS against the exact
+//! rare-event probability γ ≈ 1.179e-7.
+//!
+//! Run with: `cargo run --release --example group_repair_rare_event`
+
+use imc_markov::{RowEntry, StateSet};
+use imc_models::group_repair;
+use imc_numeric::{reach_before_return, SolveOptions};
+use imc_sampling::{cross_entropy_is, zero_variance_is, CrossEntropyConfig};
+use imcis_core::{imcis, standard_is, ImcisConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The true system has α = 0.1; the analyst only knows α̂ = 0.0995 with
+    // a 99.9% confidence interval [0.09852, 0.10048] (§VI-B).
+    let truth = group_repair::jump_chain(group_repair::ALPHA_TRUE);
+    let center = group_repair::jump_chain(group_repair::ALPHA_HAT);
+    let imc = group_repair::paper_imc()?;
+    println!(
+        "group repair: {} states, {} transitions in the jump chain",
+        center.num_states(),
+        center.num_transitions()
+    );
+
+    let opts = SolveOptions::default();
+    let gamma = reach_before_return(&truth, &truth.labeled_states("failure"), &opts)?;
+    let gamma_hat = reach_before_return(&center, &center.labeled_states("failure"), &opts)?;
+    println!("exact γ      = {gamma:.4e}   (paper: 1.179e-7)");
+    println!("exact γ(Â)   = {gamma_hat:.4e}   (paper: 1.117e-7)");
+
+    // Cross-entropy IS distribution, trained against the learnt centre.
+    let property = group_repair::property(&center);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let ce = cross_entropy_is(
+        &center,
+        &property,
+        &CrossEntropyConfig {
+            iterations: 12,
+            traces_per_iteration: 5_000,
+            ..CrossEntropyConfig::default()
+        },
+        &mut rng,
+    )?;
+    println!(
+        "\ncross-entropy IS: {} iterations, per-iteration γ estimates:",
+        ce.gamma_history.len()
+    );
+    for (i, (g, s)) in ce.gamma_history.iter().zip(&ce.success_history).enumerate() {
+        println!("  iter {i:2}: γ̂ = {g:.4e}  ({s} successful traces)");
+    }
+
+    // Empirical per-transition CE underestimates on this model (its
+    // likelihood ratios are heavy-tailed — a known pathology; Ridder's
+    // structured CE avoids it). For the actual estimation we use a sounder
+    // imperfect chain: a 0.75/0.25 mixture of the zero-variance chain with
+    // the learnt centre, which bounds every per-step ratio by 4.
+    let mut avoid = StateSet::new(center.num_states());
+    avoid.insert(center.initial());
+    let zv = zero_variance_is(
+        &center,
+        &center.labeled_states("failure"),
+        &avoid,
+        &SolveOptions::default(),
+    )?;
+    let w = 0.75;
+    let rows: Vec<(usize, Vec<RowEntry>)> = (0..center.num_states())
+        .map(|s| {
+            let entries = center
+                .row(s)
+                .entries()
+                .iter()
+                .map(|e| RowEntry {
+                    target: e.target,
+                    prob: w * zv.prob(s, e.target) + (1.0 - w) * e.prob,
+                })
+                .collect();
+            (s, entries)
+        })
+        .collect();
+    let b = center.with_rows(rows)?;
+
+    let config = ImcisConfig::new(10_000, 0.05);
+    let is = standard_is(&center, &b, &property, &config, &mut rng);
+    println!("\nstandard IS : γ̂ = {:.4e}, CI = {}", is.gamma_hat, is.ci);
+    println!("              covers γ? {}", is.ci.contains(gamma));
+
+    let out = imcis(&imc, &b, &property, &config, &mut rng)?;
+    println!(
+        "IMCIS       : bracket [{:.4e}, {:.4e}], CI = {}",
+        out.gamma_min, out.gamma_max, out.ci
+    );
+    println!(
+        "              covers γ? {}   covers γ(Â)? {}  ({} rounds, {} rows optimised)",
+        out.ci.contains(gamma),
+        out.ci.contains(gamma_hat),
+        out.rounds,
+        out.rows_min.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Quickstart: estimate a rare-event probability on a *learnt* model with
+//! IMCIS, and see why plain importance sampling is not enough.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use imc_logic::Property;
+use imc_markov::{DtmcBuilder, Imc, StateSet};
+use imc_numeric::SolveOptions;
+use imc_sampling::zero_variance_is;
+use imcis_core::{imcis, standard_is, ImcisConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A protection system: from OK, a fault arrives rarely; an unhandled
+    // fault escalates to FAILURE, otherwise the system RECOVERs.
+    //
+    //   0 = OK,  1 = FAULT,  2 = FAILURE (absorbing),  3 = RECOVERED (absorbing)
+    //
+    // The *learnt* model (from logs) believes p(fault) = 3e-4 and
+    // p(escalate) = 0.0498 — but the learning process only pins them down
+    // to intervals.
+    let learnt = DtmcBuilder::new(4)
+        .initial(0)
+        .transition(0, 1, 3e-4)
+        .transition(0, 3, 1.0 - 3e-4)
+        .transition(1, 2, 0.0498)
+        .transition(1, 0, 1.0 - 0.0498)
+        .self_loop(2)
+        .self_loop(3)
+        .label(2, "failure")
+        .build()?;
+    let imc = Imc::from_center(&learnt, |from, _| match from {
+        0 => 2.5e-4, // p(fault) ∈ [0.5e-4, 5.5e-4]
+        1 => 5e-4,   // p(escalate) ∈ [0.0493, 0.0503]
+        _ => 0.0,
+    })?;
+
+    // The property: reach FAILURE (avoiding the RECOVERED sink).
+    let property = Property::reach_avoid(
+        StateSet::from_states(4, [2]),
+        StateSet::from_states(4, [3]),
+    );
+
+    // Importance sampling distribution: the zero-variance chain of the
+    // learnt model, built from exact reachability probabilities.
+    let b = zero_variance_is(
+        &learnt,
+        &StateSet::from_states(4, [2]),
+        &StateSet::new(4),
+        &SolveOptions::default(),
+    )?;
+
+    let config = ImcisConfig::new(10_000, 0.05);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // Standard IS trusts the learnt point estimates...
+    let is = standard_is(&learnt, &b, &property, &config, &mut rng);
+    println!("standard IS:  γ̂ = {:.4e}, 95%-CI = {}", is.gamma_hat, is.ci);
+
+    // ...IMCIS widens the interval to cover every chain the data allows.
+    let out = imcis(&imc, &b, &property, &config, &mut rng)?;
+    println!(
+        "IMCIS:        γ̂ ∈ [{:.4e}, {:.4e}], 95%-CI = {}",
+        out.gamma_min, out.gamma_max, out.ci
+    );
+    println!(
+        "              ({} traces, {} successful, {} optimisation rounds)",
+        config.n_traces, out.n_success, out.rounds
+    );
+
+    // If the real system has p(fault) = 1e-4, p(escalate) = 0.05, the true
+    // probability is:
+    let gamma_true = 1e-4 * 0.05 / (1.0 - 1e-4 * 0.95);
+    println!("\ntrue γ = {gamma_true:.4e}");
+    println!("  standard IS CI covers it: {}", is.ci.contains(gamma_true));
+    println!("  IMCIS CI covers it:       {}", out.ci.contains(gamma_true));
+    Ok(())
+}

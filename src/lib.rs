@@ -1,0 +1,89 @@
+//! # imcis-repro — Importance Sampling of Interval Markov Chains
+//!
+//! A full reproduction of *Importance Sampling of Interval Markov Chains*
+//! (Jegourel, Wang, Sun — DSN 2018) as a Rust workspace. This root crate
+//! re-exports the workspace's public API and hosts the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`imc_markov`] | DTMCs, IMCs, paths, transition-count tables, graph analyses |
+//! | [`imc_logic`] | bounded temporal properties and online monitors |
+//! | [`imc_ctmc`] | CTMCs, guarded-command exploration, embedded chains |
+//! | [`imc_distr`] | Gamma/Dirichlet/Beta samplers, constrained row sampler |
+//! | [`imc_stats`] | normal quantiles, confidence intervals, Okamoto bounds |
+//! | [`imc_learn`] | frequentist model learning, Okamoto IMCs, smoothing |
+//! | [`imc_numeric`] | reachability solvers, interval value iteration, sweeps |
+//! | [`imc_sim`] | alias samplers, trace simulation, crude Monte Carlo |
+//! | [`imc_sampling`] | IS estimator, zero-variance / cross-entropy / failure biasing |
+//! | [`imc_optim`] | the IMCIS optimisation problem, random search, projected SGD |
+//! | [`imc_models`] | the paper's benchmark systems |
+//! | [`imcis_core`] | Algorithm 1 end-to-end plus the experiment harness |
+//!
+//! ## Thirty-second tour
+//!
+//! ```
+//! use imcis_repro::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A learnt model with interval uncertainty.
+//! let learnt = DtmcBuilder::new(3)
+//!     .transition(0, 1, 0.01).transition(0, 2, 0.99)
+//!     .self_loop(1).self_loop(2)
+//!     .label(1, "bad")
+//!     .build()?;
+//! let imc = Imc::from_center(&learnt, |_, _| 0.002)?;
+//!
+//! // 2. A rare-event property and an importance-sampling chain.
+//! let property = Property::reach_avoid(
+//!     learnt.labeled_states("bad"),
+//!     StateSet::from_states(3, [2]),
+//! );
+//! let b = zero_variance_is(
+//!     &learnt, &learnt.labeled_states("bad"), &StateSet::new(3),
+//!     &SolveOptions::default(),
+//! )?;
+//!
+//! // 3. IMCIS: a confidence interval valid for EVERY chain in the IMC.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let outcome = imcis(&imc, &b, &property, &ImcisConfig::new(2000, 0.05), &mut rng)?;
+//! assert!(outcome.ci.contains(0.01));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use imc_ctmc;
+pub use imc_distr;
+pub use imc_learn;
+pub use imc_logic;
+pub use imc_markov;
+pub use imc_models;
+pub use imc_numeric;
+pub use imc_optim;
+pub use imc_sampling;
+pub use imc_sim;
+pub use imc_stats;
+pub use imcis_core;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use imc_learn::{learn_dtmc, learn_imc, CountTable, LearnOptions};
+    pub use imc_logic::{Monitor, Property, Verdict};
+    pub use imc_markov::{Dtmc, DtmcBuilder, Imc, ImcBuilder, Path, StateSet};
+    pub use imc_numeric::{
+        bounded_reach_probs, imc_reach_bounds, reach_avoid_probs, reach_before_return,
+        SolveOptions,
+    };
+    pub use imc_sampling::{
+        cross_entropy_is, failure_bias, is_estimate, sample_is_run, zero_variance_is,
+        CrossEntropyConfig, IsConfig,
+    };
+    pub use imc_sim::{monte_carlo, ChainSampler, SmcConfig};
+    pub use imc_stats::{normal_quantile, ConfidenceInterval};
+    pub use imcis_core::{imcis, standard_is, ImcisConfig, ImcisOutcome};
+}

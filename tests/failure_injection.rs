@@ -1,0 +1,176 @@
+//! Failure injection across the workspace: invalid models are rejected
+//! with precise errors, degenerate inputs are handled gracefully, and
+//! budgets actually bound work.
+
+use imc_ctmc::{CtmcBuilder, CtmcError, CtmcModel, ExploreError};
+use imc_distr::{ConstrainedRowSampler, DistrError, IntervalSpec};
+use imc_learn::{learn_dtmc, CountTable, LearnError, LearnOptions};
+use imc_logic::Property;
+use imc_markov::{DtmcBuilder, Imc, ImcBuilder, ModelError, StateSet};
+use imc_numeric::{reach_avoid_probs, SolveError, SolveOptions};
+use imc_optim::{OptimError, Problem};
+use imc_sampling::{sample_is_run, IsConfig};
+use imcis_core::{imcis, ImcisConfig, ImcisError};
+use rand::SeedableRng;
+
+#[test]
+fn invalid_models_are_rejected_eagerly() {
+    // DTMC: non-stochastic row.
+    assert!(matches!(
+        DtmcBuilder::new(2)
+            .transition(0, 1, 0.7)
+            .self_loop(1)
+            .build()
+            .unwrap_err(),
+        ModelError::NotStochastic { state: 0, .. }
+    ));
+    // IMC: row that admits no distribution.
+    assert!(matches!(
+        ImcBuilder::new(2)
+            .interval(0, 0, 0.6, 0.7)
+            .interval(0, 1, 0.6, 0.7)
+            .exact(1, 1, 1.0)
+            .build()
+            .unwrap_err(),
+        ModelError::InconsistentIntervalRow { state: 0, .. }
+    ));
+    // CTMC: self loops are meaningless.
+    assert!(matches!(
+        CtmcBuilder::new(1).rate(0, 0, 1.0).build().unwrap_err(),
+        CtmcError::SelfLoop { state: 0 }
+    ));
+}
+
+#[test]
+fn exploration_budget_is_enforced() {
+    let unbounded = CtmcModel::new(0u64).command("inc", |_| true, |_| 1.0, |&s| s + 1);
+    assert!(matches!(
+        unbounded.explore(10).unwrap_err(),
+        ExploreError::TooManyStates { cap: 10 }
+    ));
+}
+
+#[test]
+fn solver_reports_non_convergence_not_garbage() {
+    let chain = DtmcBuilder::new(2)
+        .transition(0, 0, 0.9999999)
+        .transition(0, 1, 0.0000001)
+        .self_loop(1)
+        .build()
+        .unwrap();
+    let result = reach_avoid_probs(
+        &chain,
+        &StateSet::from_states(2, [1]),
+        &StateSet::new(2),
+        &SolveOptions {
+            tolerance: 1e-16,
+            max_iterations: 2,
+        },
+    );
+    assert!(matches!(result, Err(SolveError::NotConverged { .. })));
+}
+
+#[test]
+fn optimiser_rejects_support_mismatch() {
+    // Traces observed under a chain whose support the IMC does not cover.
+    let b = DtmcBuilder::new(3)
+        .transition(0, 1, 0.5)
+        .transition(0, 2, 0.5)
+        .self_loop(1)
+        .self_loop(2)
+        .build()
+        .unwrap();
+    let property = Property::reach_avoid(
+        StateSet::from_states(3, [1]),
+        StateSet::from_states(3, [2]),
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let run = sample_is_run(&b, &property, &IsConfig::new(100), &mut rng);
+
+    // IMC routes 0 -> 2 only: the observed 0 -> 1 has no interval.
+    let narrow_center = DtmcBuilder::new(3)
+        .transition(0, 2, 1.0)
+        .self_loop(1)
+        .self_loop(2)
+        .build()
+        .unwrap();
+    let imc = Imc::from_center(&narrow_center, |_, _| 0.01).unwrap();
+    assert!(matches!(
+        Problem::new(&imc, &b, &run).unwrap_err(),
+        OptimError::SupportMismatch { from: 0, to: 1 }
+    ));
+    // And the error propagates through the full pipeline.
+    let err = imcis(&imc, &b, &property, &ImcisConfig::new(100, 0.05), &mut rng).unwrap_err();
+    assert!(matches!(err, ImcisError::Optim(OptimError::SupportMismatch { .. })));
+}
+
+#[test]
+fn undecided_traces_are_counted_not_lost() {
+    // A property that can never decide within the step budget.
+    let chain = DtmcBuilder::new(2)
+        .transition(0, 0, 1.0)
+        .self_loop(1)
+        .build()
+        .unwrap();
+    let property = Property::reach_avoid(StateSet::from_states(2, [1]), StateSet::new(2));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let run = sample_is_run(
+        &chain,
+        &property,
+        &IsConfig::new(50).with_max_steps(10),
+        &mut rng,
+    );
+    assert_eq!(run.n_undecided, 50);
+    assert_eq!(run.n_success, 0);
+    assert!(run.tables.is_empty());
+}
+
+#[test]
+fn row_sampler_budget_errors_instead_of_spinning() {
+    // A sliver of feasible space adversarially far from the Dirichlet
+    // mean: either the sampler finds it (thanks to λ-inflation) or it
+    // reports budget exhaustion — it must never hang.
+    let specs = [
+        IntervalSpec::new(0.899_999_9, 0.900_000_1, 0.9).unwrap(),
+        IntervalSpec::new(0.049_999_9, 0.050_000_1, 0.05).unwrap(),
+        IntervalSpec::new(0.049_999_9, 0.050_000_1, 0.05).unwrap(),
+    ];
+    let mut sampler = ConstrainedRowSampler::new(&specs).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    match sampler.sample(&mut rng) {
+        Ok(values) => {
+            assert!((values.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        Err(DistrError::RejectionBudgetExhausted { .. }) => {}
+        Err(other) => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn learning_from_nothing_fails_cleanly() {
+    let counts = CountTable::new(3);
+    assert_eq!(
+        learn_dtmc(&counts, &LearnOptions::default()).unwrap_err(),
+        LearnError::NoObservations
+    );
+}
+
+#[test]
+fn zero_success_imcis_is_well_defined() {
+    let chain = DtmcBuilder::new(3)
+        .transition(0, 2, 1.0)
+        .self_loop(1)
+        .self_loop(2)
+        .build()
+        .unwrap();
+    let imc = Imc::from_center(&chain, |_, _| 0.01).unwrap();
+    let property = Property::reach_avoid(
+        StateSet::from_states(3, [1]),
+        StateSet::from_states(3, [2]),
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let out = imcis(&imc, &chain, &property, &ImcisConfig::new(100, 0.05), &mut rng)
+        .expect("degenerate run still succeeds");
+    assert_eq!((out.ci.lo(), out.ci.hi()), (0.0, 0.0));
+    assert_eq!(out.n_success, 0);
+}

@@ -1,0 +1,169 @@
+//! The full learning-to-verification pipeline of the paper: logs → learnt
+//! IMC → IMCIS confidence interval that is honest about the hidden truth.
+
+use imc_learn::{learn_dtmc, learn_imc, learn_imc_with_support, CountTable, LearnOptions, Smoothing};
+use imc_markov::{DtmcBuilder, StateSet};
+use imc_models::swat;
+use imc_numeric::bounded_reach_probs;
+use imc_sampling::failure_bias;
+use imc_sim::{random_walk, ChainSampler};
+use imcis_core::{imcis, ImcisConfig};
+use rand::SeedableRng;
+
+#[test]
+fn learnt_imc_contains_the_generating_chain() {
+    // Sample logs from a known chain; the learnt IMC (Okamoto δ = 1e-3)
+    // contains the generator with overwhelming probability.
+    let truth = DtmcBuilder::new(4)
+        .transition(0, 1, 0.2)
+        .transition(0, 2, 0.5)
+        .transition(0, 3, 0.3)
+        .transition(1, 0, 1.0)
+        .transition(2, 0, 1.0)
+        .transition(3, 0, 0.9)
+        .transition(3, 3, 0.1)
+        .build()
+        .expect("truth chain valid");
+    let sampler = ChainSampler::new(&truth);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut counts = CountTable::new(4);
+    for _ in 0..200 {
+        counts.record_path(&random_walk(&sampler, 0, 100, &mut rng));
+    }
+    let imc = learn_imc(&counts, &LearnOptions::default()).expect("learning succeeds");
+    assert!(
+        imc.contains(&truth),
+        "learnt IMC should contain the generating chain"
+    );
+    // And the point estimate is close to the truth.
+    let center = imc.center().expect("centred");
+    assert!((center.prob(0, 1) - 0.2).abs() < 0.02);
+    assert!((center.prob(3, 3) - 0.1).abs() < 0.02);
+}
+
+#[test]
+fn learn_dtmc_is_deterministic_in_the_counts() {
+    let mut counts = CountTable::new(2);
+    for _ in 0..30 {
+        counts.record(0, 0);
+    }
+    for _ in 0..70 {
+        counts.record(0, 1);
+    }
+    counts.record(1, 1);
+    let a = learn_dtmc(&counts, &LearnOptions::default()).unwrap();
+    let b = learn_dtmc(&counts, &LearnOptions::default()).unwrap();
+    assert_eq!(a, b);
+    assert!((a.prob(0, 1) - 0.7).abs() < 1e-12);
+}
+
+#[test]
+fn swat_pipeline_end_to_end_honest_about_hidden_truth() {
+    // The headline reproduction: hidden truth -> logs -> learnt IMC ->
+    // biased IS chain -> IMCIS interval that covers the hidden γ.
+    let truth = swat::truth();
+    let sampler = ChainSampler::new(&truth);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+    let mut counts = CountTable::new(truth.num_states());
+    for i in 0..1500 {
+        let start = if i % 4 == 0 {
+            truth.initial()
+        } else {
+            (i * 7) % truth.num_states()
+        };
+        counts.record_path(&random_walk(&sampler, start, 400, &mut rng));
+    }
+    let imc = learn_imc_with_support(
+        &counts,
+        &truth,
+        &LearnOptions {
+            delta: 1e-3,
+            smoothing: Smoothing::Laplace(0.5),
+            initial: truth.initial(),
+        },
+    )
+    .expect("learning succeeds");
+    let center = imc.center().expect("centred").clone();
+
+    // IS chain: boost upward level moves (structural biasing needs no
+    // knowledge beyond the state semantics).
+    let b = failure_bias(
+        &center,
+        |from, to| {
+            let (fm, fb) = swat::decode(from);
+            let (tm, tb) = swat::decode(to);
+            fm == tm && tb == fb + 1
+        },
+        0.5,
+    )
+    .expect("biasing succeeds");
+
+    let property = swat::property(&center);
+    let gamma_truth =
+        bounded_reach_probs(&truth, &truth.labeled_states("high"), swat::STEP_BOUND)
+            [truth.initial()];
+    let config = ImcisConfig::new(6000, 0.01)
+        .with_r_undefeated(300)
+        .with_r_max(20_000)
+        .with_max_steps(1000);
+    let out = imcis(&imc, &b, &property, &config, &mut rng).expect("IMCIS succeeds");
+    assert!(out.n_success > 500, "biased chain produces successes");
+    assert!(
+        out.ci.contains(gamma_truth),
+        "IMCIS CI {} misses hidden γ = {gamma_truth:e}",
+        out.ci
+    );
+}
+
+#[test]
+fn more_data_narrows_the_imcis_interval() {
+    // Okamoto widths shrink as 1/sqrt(n): the IMCIS interval must narrow
+    // as log volume grows.
+    let truth = DtmcBuilder::new(3)
+        .transition(0, 1, 0.05)
+        .transition(0, 2, 0.95)
+        .self_loop(1)
+        .self_loop(2)
+        .label(1, "bad")
+        .build()
+        .expect("truth chain valid");
+    let sampler = ChainSampler::new(&truth);
+    let property = imc_logic::Property::reach_avoid(
+        truth.labeled_states("bad"),
+        StateSet::from_states(3, [2]),
+    );
+    let mut widths = Vec::new();
+    for &n_logs in &[50usize, 5000] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut counts = CountTable::new(3);
+        for _ in 0..n_logs {
+            counts.record_path(&random_walk(&sampler, 0, 3, &mut rng));
+        }
+        let imc = learn_imc_with_support(
+            &counts,
+            &truth,
+            &LearnOptions {
+                delta: 1e-3,
+                smoothing: Smoothing::Laplace(0.5),
+                initial: 0,
+            },
+        )
+        .expect("learning succeeds");
+        let center = imc.center().expect("centred").clone();
+        let out = imcis(
+            &imc,
+            &center,
+            &property,
+            &ImcisConfig::new(3000, 0.05)
+                .with_r_undefeated(200)
+                .with_r_max(10_000),
+            &mut rng,
+        )
+        .expect("IMCIS succeeds");
+        widths.push(out.gamma_max - out.gamma_min);
+    }
+    assert!(
+        widths[1] < widths[0] / 2.0,
+        "bracket did not narrow with data: {widths:?}"
+    );
+}

@@ -1,0 +1,250 @@
+//! Cross-crate property-based tests: invariants that must hold for *every*
+//! chain, not just the paper's benchmarks.
+
+use imc_logic::{Monitor, Property};
+use imc_markov::{graph, Dtmc, DtmcBuilder, Imc, StateSet};
+use imc_numeric::{
+    bounded_reach_probs, imc_reach_bounds, reach_avoid_probs, SolveOptions,
+};
+use imc_sampling::{is_estimate, sample_is_run, IsConfig};
+use imc_sim::{random_walk, ChainSampler};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Strategy: a random sparse DTMC with `n ∈ [2, 6]` states.
+fn arb_dtmc() -> impl Strategy<Value = Dtmc> {
+    (2usize..=6)
+        .prop_flat_map(|n| {
+            let row = prop::collection::vec((0..n, 0.05f64..1.0), 1..=n);
+            (Just(n), prop::collection::vec(row, n))
+        })
+        .prop_map(|(n, rows)| {
+            let mut builder = DtmcBuilder::new(n);
+            for (state, mut entries) in rows.into_iter().enumerate() {
+                // Deduplicate targets, keep the largest weight.
+                entries.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.total_cmp(&a.1)));
+                entries.dedup_by_key(|e| e.0);
+                let total: f64 = entries.iter().map(|e| e.1).sum();
+                let k = entries.len();
+                let mut acc = 0.0;
+                for (i, (target, weight)) in entries.iter().enumerate() {
+                    let p = if i == k - 1 {
+                        1.0 - acc
+                    } else {
+                        let p = weight / total;
+                        acc += p;
+                        p
+                    };
+                    builder = builder.transition(state, *target, p);
+                }
+            }
+            builder.build().expect("normalised rows are stochastic")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn graph_invariants(chain in arb_dtmc()) {
+        let n = chain.num_states();
+        // Forward reachability contains the start.
+        let fwd = graph::forward_reachable(&chain, 0);
+        prop_assert!(fwd.contains(0));
+        // Backward reachability contains the targets.
+        let targets = StateSet::from_states(n, [n - 1]);
+        let back = graph::backward_reachable(&chain, &targets);
+        prop_assert!(back.contains(n - 1));
+        // BSCCs are non-empty, disjoint, and every state reaches one.
+        let bsccs = graph::bsccs(&chain);
+        prop_assert!(!bsccs.is_empty());
+        let mut seen = StateSet::new(n);
+        for comp in &bsccs {
+            for &s in comp {
+                prop_assert!(seen.insert(s), "BSCCs overlap at {s}");
+            }
+        }
+        let mut bscc_states = StateSet::new(n);
+        for comp in &bsccs {
+            for &s in comp {
+                bscc_states.insert(s);
+            }
+        }
+        for s in 0..n {
+            let reach = graph::forward_reachable(&chain, s);
+            let mut hit = false;
+            for t in reach.iter() {
+                if bscc_states.contains(t) {
+                    hit = true;
+                    break;
+                }
+            }
+            prop_assert!(hit, "state {s} reaches no BSCC");
+        }
+    }
+
+    #[test]
+    fn reachability_probabilities_are_probabilities(chain in arb_dtmc()) {
+        let n = chain.num_states();
+        let targets = StateSet::from_states(n, [n - 1]);
+        let avoid = StateSet::new(n);
+        let probs =
+            reach_avoid_probs(&chain, &targets, &avoid, &SolveOptions::default()).unwrap();
+        for (s, &p) in probs.iter().enumerate() {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p), "state {s}: {p}");
+        }
+        prop_assert!((probs[n - 1] - 1.0).abs() < 1e-12);
+        // Fixed-point property: x_s = Σ P(s,t)·x_t on non-target states.
+        for s in 0..n {
+            if targets.contains(s) {
+                continue;
+            }
+            let rhs: f64 = chain
+                .row(s)
+                .entries()
+                .iter()
+                .map(|e| e.prob * probs[e.target])
+                .sum();
+            prop_assert!((probs[s] - rhs).abs() < 1e-9, "fixed point at {s}");
+        }
+    }
+
+    #[test]
+    fn bounded_reach_is_monotone_and_bounded_by_unbounded(chain in arb_dtmc()) {
+        let n = chain.num_states();
+        let targets = StateSet::from_states(n, [n - 1]);
+        let unbounded = reach_avoid_probs(
+            &chain, &targets, &StateSet::new(n), &SolveOptions::default()).unwrap();
+        let mut prev = vec![0.0; n];
+        for k in [0usize, 1, 2, 5, 10, 50] {
+            let bounded = bounded_reach_probs(&chain, &targets, k);
+            for s in 0..n {
+                prop_assert!(bounded[s] >= prev[s] - 1e-12, "monotone at {s}, k={k}");
+                prop_assert!(
+                    bounded[s] <= unbounded[s] + 1e-9,
+                    "bounded exceeds unbounded at {s}, k={k}"
+                );
+            }
+            prev = bounded;
+        }
+    }
+
+    #[test]
+    fn imc_envelope_contains_point_value(chain in arb_dtmc(), eps in 0.0f64..0.2) {
+        let n = chain.num_states();
+        let imc = Imc::from_center(&chain, |_, _| eps).unwrap();
+        let targets = StateSet::from_states(n, [n - 1]);
+        let avoid = StateSet::new(n);
+        let point =
+            reach_avoid_probs(&chain, &targets, &avoid, &SolveOptions::default()).unwrap();
+        let (min, max) = imc_reach_bounds(&imc, &targets, &avoid, &SolveOptions::default())
+            .unwrap();
+        for s in 0..n {
+            prop_assert!(
+                min[s] - 1e-9 <= point[s] && point[s] <= max[s] + 1e-9,
+                "state {s}: {} outside [{}, {}]",
+                point[s], min[s], max[s]
+            );
+            prop_assert!(min[s] <= max[s] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn online_monitor_matches_offline_evaluation(
+        chain in arb_dtmc(),
+        walk_len in 1usize..40,
+        bound in 0usize..20,
+        seed in 0u64..500,
+    ) {
+        let n = chain.num_states();
+        let sampler = ChainSampler::new(&chain);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let path = random_walk(&sampler, 0, walk_len, &mut rng);
+        let property = Property::bounded_reach(StateSet::from_states(n, [n - 1]), bound);
+        // Offline evaluation of the full path...
+        let offline = property.evaluate(&path);
+        // ...must equal driving the monitor state by state.
+        let mut monitor = property.monitor();
+        let mut online = monitor.reset(path.first());
+        for &state in &path.states()[1..] {
+            if online.is_decided() {
+                break;
+            }
+            online = monitor.observe(state);
+        }
+        prop_assert_eq!(offline, online);
+    }
+
+    #[test]
+    fn likelihood_ratio_telescopes(chain in arb_dtmc(), seed in 0u64..500) {
+        // P_A(ω)/P_B(ω) computed from count tables (log space) equals the
+        // direct path-probability ratio.
+        let n = chain.num_states();
+        let sampler = ChainSampler::new(&chain);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let path = random_walk(&sampler, 0, 15, &mut rng);
+        // B: a uniform-mixture distortion of A with identical support.
+        let b = {
+            let rows: Vec<(usize, Vec<imc_markov::RowEntry>)> = (0..n)
+                .map(|s| {
+                    let row = chain.row(s);
+                    let k = row.len() as f64;
+                    let mut entries: Vec<imc_markov::RowEntry> = row
+                        .entries()
+                        .iter()
+                        .map(|e| imc_markov::RowEntry {
+                            target: e.target,
+                            prob: 0.5 * e.prob + 0.5 / k,
+                        })
+                        .collect();
+                    let sum: f64 = entries.iter().map(|e| e.prob).sum();
+                    for e in &mut entries {
+                        e.prob /= sum;
+                    }
+                    (s, entries)
+                })
+                .collect();
+            chain.with_rows(rows).unwrap()
+        };
+        let counts = path.transition_counts();
+        let log_l: f64 = counts
+            .iter()
+            .map(|((from, to), cnt)| {
+                cnt as f64 * (chain.prob(from, to).ln() - b.prob(from, to).ln())
+            })
+            .sum();
+        let direct = chain.path_log_prob(&path) - b.path_log_prob(&path);
+        prop_assert!((log_l - direct).abs() < 1e-9, "{log_l} vs {direct}");
+    }
+
+    #[test]
+    fn is_estimator_brackets_numeric_gamma(chain in arb_dtmc(), seed in 0u64..100) {
+        // Estimate reach(n-1) avoiding nothing, bounded to keep traces
+        // finite, under a mixture IS chain; the 6σ interval must contain
+        // the numeric value (deterministic given the seed).
+        let n = chain.num_states();
+        let targets = StateSet::from_states(n, [n - 1]);
+        let exact = bounded_reach_probs(&chain, &targets, 25)[0];
+        if !(0.01..=0.99).contains(&exact) {
+            // Near-certain or near-impossible events can produce all-hit /
+            // no-hit batches with σ̂ = 0 at this N; the estimator is fine
+            // but the 6σ check is vacuous — skip.
+            return Ok(());
+        }
+        let property = Property::bounded_reach(targets, 25);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let run = sample_is_run(
+            &chain,
+            &property,
+            &IsConfig::new(4000).with_max_steps(30),
+            &mut rng,
+        );
+        let est = is_estimate(&chain, &chain, &run, 0.05);
+        let six_sigma = 6.0 * est.sigma_hat / (run.n_traces as f64).sqrt() + 1e-9;
+        prop_assert!(
+            (est.gamma_hat - exact).abs() <= six_sigma,
+            "γ̂ = {} vs exact {exact} (6σ = {six_sigma})",
+            est.gamma_hat
+        );
+    }
+}
