@@ -23,8 +23,7 @@ fn bench_optimisers(c: &mut Criterion) {
         let mut seed = 0u64;
         bench.iter(|| {
             seed += 1;
-            let mut problem =
-                Problem::new(&setup.imc, &setup.b, &run).expect("problem compiles");
+            let mut problem = Problem::new(&setup.imc, &setup.b, &run).expect("problem compiles");
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             random_search(
                 &mut problem,
@@ -42,8 +41,7 @@ fn bench_optimisers(c: &mut Criterion) {
         let mut seed = 0u64;
         bench.iter(|| {
             seed += 1;
-            let mut problem =
-                Problem::new(&setup.imc, &setup.b, &run).expect("problem compiles");
+            let mut problem = Problem::new(&setup.imc, &setup.b, &run).expect("problem compiles");
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             projected_sgd(
                 &mut problem,

@@ -21,8 +21,7 @@ fn bench_fig3(c: &mut Criterion) {
         let mut seed = 0u64;
         bench.iter(|| {
             seed += 1;
-            let mut problem =
-                Problem::new(&setup.imc, &setup.b, &run).expect("problem compiles");
+            let mut problem = Problem::new(&setup.imc, &setup.b, &run).expect("problem compiles");
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             random_search(
                 &mut problem,

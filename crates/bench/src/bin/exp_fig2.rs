@@ -8,10 +8,10 @@
 //! always strictly inside the IMCIS intervals, and IS frequently misses
 //! the γ line while IMCIS does not.
 
+use imc_stats::coverage;
 use imcis_bench::{setup, Scale};
 use imcis_core::experiment::{repeat_imcis, repeat_is};
 use imcis_core::ImcisConfig;
-use imc_stats::coverage;
 
 fn main() {
     let scale = Scale::from_args();
@@ -26,7 +26,14 @@ fn main() {
     let config = ImcisConfig::new(scale.n_traces, 0.05)
         .with_r_undefeated(scale.r_undefeated)
         .with_r_max(scale.r_max);
-    let is_runs = repeat_is(&s.center, &s.b, &s.property, &config, scale.reps, scale.seed);
+    let is_runs = repeat_is(
+        &s.center,
+        &s.b,
+        &s.property,
+        &config,
+        scale.reps,
+        scale.seed,
+    );
     let imcis_runs = repeat_imcis(&s.imc, &s.b, &s.property, &config, scale.reps, scale.seed)
         .expect("IMCIS runs succeed");
 

@@ -29,7 +29,14 @@ fn main() {
         .with_r_undefeated(scale.r_undefeated)
         .with_r_max(scale.r_max)
         .with_max_steps(10_000);
-    let is_runs = repeat_is(&s.center, &s.b, &s.property, &config, scale.reps, scale.seed);
+    let is_runs = repeat_is(
+        &s.center,
+        &s.b,
+        &s.property,
+        &config,
+        scale.reps,
+        scale.seed,
+    );
     let imcis_runs = repeat_imcis(&s.imc, &s.b, &s.property, &config, scale.reps, scale.seed)
         .expect("IMCIS runs succeed");
 

@@ -19,8 +19,11 @@ fn main() {
     println!("  true parameters      a = 1e-4, c = 0.05");
     println!("  learnt parameters    â = 3e-4, ĉ = 0.0498");
     println!("  γ  = γ(a, c)       = {}", sci(gamma));
-    println!("  γ(Â) = γ(â, ĉ)     = {}  ({}x the exact value)",
-        sci(gamma_center), (gamma_center / gamma).round());
+    println!(
+        "  γ(Â) = γ(â, ĉ)     = {}  ({}x the exact value)",
+        sci(gamma_center),
+        (gamma_center / gamma).round()
+    );
 
     let config = ImcisConfig::new(scale.n_traces, 0.05);
     let mut rng = rand::rngs::StdRng::seed_from_u64(scale.seed);
@@ -28,8 +31,18 @@ fn main() {
     println!("\nPerfect IS for Â over {} traces:", scale.n_traces);
     println!("  γ̂(Â)   = {}", sci(out.gamma_hat));
     println!("  σ̂      = {}", sci(out.sigma_hat));
-    println!("  95%-CI = [{}, {}]  (width {})",
-        sci(out.ci.lo()), sci(out.ci.hi()), sci(out.ci.width()));
-    println!("  covers γ(Â)? {}", out.ci.contains(gamma_center) || out.ci.width() < 1e-12);
-    println!("  covers γ?    {}   <- the §III-B failure mode", out.ci.contains(gamma));
+    println!(
+        "  95%-CI = [{}, {}]  (width {})",
+        sci(out.ci.lo()),
+        sci(out.ci.hi()),
+        sci(out.ci.width())
+    );
+    println!(
+        "  covers γ(Â)? {}",
+        out.ci.contains(gamma_center) || out.ci.width() < 1e-12
+    );
+    println!(
+        "  covers γ?    {}   <- the §III-B failure mode",
+        out.ci.contains(gamma)
+    );
 }

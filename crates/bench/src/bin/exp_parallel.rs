@@ -1,0 +1,166 @@
+//! Engine scaling experiment: traces/sec of the parallel batch sampler at
+//! increasing thread counts, and candidate-evals/sec of the prepared vs
+//! naive estimator hot path — the perf trajectory artefact behind the
+//! parallel-engine PR.
+//!
+//! Emits `BENCH_parallel.json` in the working directory (plus a printed
+//! table) so future changes have a baseline to beat. Accepts the usual
+//! scale flags (`--quick`, `--paper`, `--n N`, `--seed S`).
+
+use std::time::Instant;
+
+use imc_models::group_repair;
+use imc_sampling::{is_estimate, sample_is_run, IsConfig, IsRun, PreparedRun};
+use imc_sim::parallel::available_threads;
+use imcis_bench::setup::{group_repair_setup, GroupRepairIs};
+use imcis_bench::{print_table, sci, Scale};
+use rand::SeedableRng;
+
+fn sample_at(setup: &imcis_bench::setup::Setup, n: usize, threads: usize, seed: u64) -> IsRun {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    sample_is_run(
+        &setup.b,
+        &setup.property,
+        &IsConfig::new(n).with_threads(threads),
+        &mut rng,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let n_traces = scale.n_traces;
+    let setup = group_repair_setup(GroupRepairIs::ZeroVariance, scale.seed);
+    let cores = available_threads();
+
+    // --- Axis 1: batch-engine scaling -----------------------------------
+    let mut thread_counts = vec![1usize, 2, 4, 8, cores];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let reference = sample_at(&setup, n_traces, 1, scale.seed);
+    let mut bit_identical = true;
+    let mut rates: Vec<(usize, f64)> = Vec::new();
+    for &threads in &thread_counts {
+        // Warm-up pass doubles as the bit-identity check.
+        let run = sample_at(&setup, n_traces, threads, scale.seed);
+        bit_identical &= run == reference;
+        let start = Instant::now();
+        let reps = 3.max(20_000 / n_traces.max(1));
+        for r in 0..reps {
+            let run = sample_at(&setup, n_traces, threads, scale.seed.wrapping_add(r as u64));
+            std::hint::black_box(run);
+        }
+        rates.push((
+            threads,
+            (reps * n_traces) as f64 / start.elapsed().as_secs_f64(),
+        ));
+    }
+    // Normalise against the measured 1-thread rate, so speedup_vs_1 is
+    // exactly 1.0 at 1 thread by construction.
+    let base_rate = rates
+        .iter()
+        .find(|&&(t, _)| t == 1)
+        .map(|&(_, r)| r)
+        .expect("1-thread row present");
+    let sampling_rows: Vec<(usize, f64, f64)> = rates
+        .into_iter()
+        .map(|(t, rate)| (t, rate, rate / base_rate))
+        .collect();
+
+    // --- Axis 2: candidate evaluation, prepared vs naive ----------------
+    let run = sample_at(&setup, n_traces, 0, scale.seed);
+    let prepared = PreparedRun::new(&run, &setup.b);
+    // A sweep of genuine candidate chains A(α) around the learnt rate.
+    let candidates: Vec<_> = (0..64)
+        .map(|i| group_repair::jump_chain(0.09 + 0.0003 * i as f64))
+        .collect();
+    let mut eval_identical = true;
+    for a in &candidates {
+        let naive = is_estimate(a, &setup.b, &run, 0.05);
+        let fast = prepared.estimate(a, 0.05);
+        eval_identical &= naive.gamma_hat.to_bits() == fast.gamma_hat.to_bits()
+            && naive.sigma_hat.to_bits() == fast.sigma_hat.to_bits();
+    }
+    let time_evals = |mut f: Box<dyn FnMut(&imc_markov::Dtmc)>| -> f64 {
+        let start = Instant::now();
+        let mut evals = 0usize;
+        while start.elapsed().as_secs_f64() < 1.0 {
+            for a in &candidates {
+                f(a);
+            }
+            evals += candidates.len();
+        }
+        evals as f64 / start.elapsed().as_secs_f64()
+    };
+    let naive_rate = time_evals(Box::new(|a| {
+        std::hint::black_box(is_estimate(a, &setup.b, &run, 0.05));
+    }));
+    let prepared_rate = time_evals(Box::new(|a| {
+        std::hint::black_box(prepared.estimate(a, 0.05));
+    }));
+
+    // --- Report ---------------------------------------------------------
+    println!(
+        "engine scaling on {} ({} traces/run, {} cores available):",
+        setup.name, n_traces, cores
+    );
+    let rows: Vec<Vec<String>> = sampling_rows
+        .iter()
+        .map(|&(t, rate, speedup)| vec![t.to_string(), sci(rate), format!("{speedup:.2}x")])
+        .collect();
+    print_table(&["threads", "traces/sec", "speedup"], &rows);
+    println!(
+        "bit-identical IsRun across thread counts: {}",
+        if bit_identical { "yes" } else { "NO — BUG" }
+    );
+    println!();
+    println!(
+        "candidate evaluation ({} tables, {} distinct transitions):",
+        run.tables.len(),
+        prepared.num_transitions()
+    );
+    print_table(
+        &["path", "evals/sec"],
+        &[
+            vec!["naive".to_string(), sci(naive_rate)],
+            vec!["prepared".to_string(), sci(prepared_rate)],
+        ],
+    );
+    println!(
+        "prepared speedup: {:.2}x; bit-identical estimates: {}",
+        prepared_rate / naive_rate,
+        if eval_identical { "yes" } else { "NO — BUG" }
+    );
+
+    // --- JSON artefact ---------------------------------------------------
+    let sampling_json: Vec<String> = sampling_rows
+        .iter()
+        .map(|&(t, rate, speedup)| {
+            format!(
+                "    {{\"threads\": {t}, \"traces_per_sec\": {rate:.1}, \"speedup_vs_1\": {speedup:.3}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"model\": \"{}\",\n  \"n_traces\": {},\n  \"available_cores\": {},\n  \
+         \"sampling\": [\n{}\n  ],\n  \"bit_identical_across_thread_counts\": {},\n  \
+         \"candidate_eval\": {{\n    \"candidates\": {},\n    \"tables\": {},\n    \
+         \"distinct_transitions\": {},\n    \"naive_evals_per_sec\": {:.1},\n    \
+         \"prepared_evals_per_sec\": {:.1},\n    \"speedup\": {:.3},\n    \
+         \"bit_identical\": {}\n  }}\n}}\n",
+        setup.name,
+        n_traces,
+        cores,
+        sampling_json.join(",\n"),
+        bit_identical,
+        candidates.len(),
+        run.tables.len(),
+        prepared.num_transitions(),
+        naive_rate,
+        prepared_rate,
+        prepared_rate / naive_rate,
+        eval_identical,
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("can write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json");
+}

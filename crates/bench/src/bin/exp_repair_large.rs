@@ -9,10 +9,10 @@
 
 use imc_models::repair;
 use imc_numeric::{linspace, reach_before_return, SolveOptions};
+use imc_stats::ConfidenceInterval;
 use imcis_bench::{sci, setup, Scale};
 use imcis_core::experiment::{repeat_imcis, repeat_is};
 use imcis_core::ImcisConfig;
-use imc_stats::ConfidenceInterval;
 
 fn main() {
     let scale = Scale::from_args();
@@ -46,15 +46,19 @@ fn main() {
             im.ci.hi()
         );
     }
-    let hull = |cis: &[ConfidenceInterval]| {
-        cis.iter()
-            .skip(1)
-            .fold(cis[0], |acc, ci| acc.hull(ci))
-    };
+    let hull = |cis: &[ConfidenceInterval]| cis.iter().skip(1).fold(cis[0], |acc, ci| acc.hull(ci));
     let is_hull = hull(&is_runs.iter().map(|o| o.ci).collect::<Vec<_>>());
     let imcis_hull = hull(&imcis_runs.iter().map(|o| o.ci).collect::<Vec<_>>());
-    eprintln!("IS captured values in    [{}, {}]", sci(is_hull.lo()), sci(is_hull.hi()));
-    eprintln!("IMCIS captured values in [{}, {}]", sci(imcis_hull.lo()), sci(imcis_hull.hi()));
+    eprintln!(
+        "IS captured values in    [{}, {}]",
+        sci(is_hull.lo()),
+        sci(is_hull.hi())
+    );
+    eprintln!(
+        "IMCIS captured values in [{}, {}]",
+        sci(imcis_hull.lo()),
+        sci(imcis_hull.hi())
+    );
 
     // Robustness sweep: for which true α does each hull still contain γ(α)?
     println!("\nalpha\tgamma\tin_is\tin_imcis");

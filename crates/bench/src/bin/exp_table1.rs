@@ -7,9 +7,9 @@
 //! `a_min ≈ 5.02e-5`, `c_min ≈ 0.0496`, `a_max ≈ 5.48e-4`, `c_max ≈ 0.0501`.
 
 use imc_models::illustrative;
+use imc_stats::Summary;
 use imcis_bench::{print_table, sci, setup::illustrative_setup, Scale};
 use imcis_core::{experiment::repeat_imcis, ImcisConfig};
-use imc_stats::Summary;
 
 fn main() {
     let scale = Scale::from_args();
@@ -67,7 +67,13 @@ fn main() {
     };
     let headers = ["", "nr", "a_min", "c_min", "a_max", "c_max"];
     let labels = ["average", "min", "max", "st. dev."];
-    let cols = [stat(&nr), stat(&a_min), stat(&c_min), stat(&a_max), stat(&c_max)];
+    let cols = [
+        stat(&nr),
+        stat(&a_min),
+        stat(&c_min),
+        stat(&a_max),
+        stat(&c_max),
+    ];
     let rows: Vec<Vec<String>> = labels
         .iter()
         .enumerate()

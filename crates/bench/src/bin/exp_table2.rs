@@ -32,7 +32,14 @@ fn main() {
         let gamma_center = if known { s.gamma_center } else { None };
         let gamma_exact = if known { s.gamma_exact } else { None };
 
-        let is_runs = repeat_is(&s.center, &s.b, &s.property, &config, scale.reps, scale.seed);
+        let is_runs = repeat_is(
+            &s.center,
+            &s.b,
+            &s.property,
+            &config,
+            scale.reps,
+            scale.seed,
+        );
         let is_cis: Vec<_> = is_runs.iter().map(|o| o.ci).collect();
         let is_summary = CoverageSummary::from_cis(&is_cis, gamma_center, gamma_exact);
 
@@ -41,9 +48,7 @@ fn main() {
         let imcis_cis: Vec<_> = imcis_runs.iter().map(|o| o.ci).collect();
         let imcis_summary = CoverageSummary::from_cis(&imcis_cis, gamma_center, gamma_exact);
 
-        let pct = |c: Option<f64>| {
-            c.map_or("-".to_string(), |v| format!("{:.0}%", 100.0 * v))
-        };
+        let pct = |c: Option<f64>| c.map_or("-".to_string(), |v| format!("{:.0}%", 100.0 * v));
         for (method, summary) in [("IS", is_summary), ("IMCIS", imcis_summary)] {
             rows.push(vec![
                 s.name.to_string(),
@@ -58,7 +63,14 @@ fn main() {
 
     println!("\nTable II — comparison between IS and IMCIS (95%-CI)");
     print_table(
-        &["model", "method", "95%-CI (mean)", "mid value", "cov γ(Â)", "cov γ"],
+        &[
+            "model",
+            "method",
+            "95%-CI (mean)",
+            "mid value",
+            "cov γ(Â)",
+            "cov γ",
+        ],
         &rows,
     );
     for s in &setups {

@@ -14,6 +14,7 @@
 //! | `exp_fig4`            | Figure 4 (SWaT CIs) |
 //! | `exp_fig5`            | Figure 5 (γ(A(α)) sweep) |
 //! | `exp_repair_large`    | §VI-C text (40320-state repair model) |
+//! | `exp_parallel`        | engine scaling + prepared-estimator perf (`BENCH_parallel.json`) |
 //!
 //! All binaries accept `--paper` (full paper-scale parameters), `--quick`
 //! (CI-friendly minimal scale), and individual overrides

@@ -204,7 +204,11 @@ pub fn swat_setup_with_ce(n_logs: usize, log_len: usize, seed: u64, ce_iteration
     // abstraction is exercised, as testbed logs would.
     let mut counts = CountTable::new(truth.num_states());
     for i in 0..n_logs {
-        let start = if i % 4 == 0 { truth.initial() } else { (i * 7) % truth.num_states() };
+        let start = if i % 4 == 0 {
+            truth.initial()
+        } else {
+            (i * 7) % truth.num_states()
+        };
         counts.record_path(&random_walk(&sampler, start, log_len, &mut rng));
     }
     let imc = learn_imc_with_support(
@@ -235,14 +239,11 @@ pub fn swat_setup_with_ce(n_logs: usize, log_len: usize, seed: u64, ce_iteration
     .expect("cross-entropy update is well-formed")
     .b;
 
-    let gamma_center = bounded_reach_probs(
-        &center,
-        &center.labeled_states("high"),
-        swat::STEP_BOUND,
-    )[center.initial()];
-    let gamma_exact =
-        bounded_reach_probs(&truth, &truth.labeled_states("high"), swat::STEP_BOUND)
-            [truth.initial()];
+    let gamma_center =
+        bounded_reach_probs(&center, &center.labeled_states("high"), swat::STEP_BOUND)
+            [center.initial()];
+    let gamma_exact = bounded_reach_probs(&truth, &truth.labeled_states("high"), swat::STEP_BOUND)
+        [truth.initial()];
     Setup {
         name: "SWaT",
         imc,

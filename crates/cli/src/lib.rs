@@ -77,7 +77,9 @@ options:
   --n N            traces for smc/imcis            [default 10000]
   --delta D        confidence parameter            [default 0.05]
   --seed S         RNG seed                        [default 2018]
-  --r R            undefeated rounds for imcis     [default 1000]";
+  --r R            undefeated rounds for imcis     [default 1000]
+  --threads T      simulation worker threads; 0 = all cores [default 0]
+                   (results are bit-identical for any thread count)";
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +102,8 @@ pub struct Options {
     pub seed: u64,
     /// Undefeated rounds.
     pub r: usize,
+    /// Simulation worker threads (`0` = all cores).
+    pub threads: usize,
 }
 
 /// Parses the argument vector (without the program name).
@@ -124,6 +128,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             delta: 0.05,
             seed: 2018,
             r: 1000,
+            threads: 0,
         });
     }
     let model_path = it
@@ -140,6 +145,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         delta: 0.05,
         seed: 2018,
         r: 1000,
+        threads: 0,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -157,6 +163,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--delta" => options.delta = parse_value(&value("--delta")?, "--delta")?,
             "--seed" => options.seed = parse_value(&value("--seed")?, "--seed")?,
             "--r" => options.r = parse_value(&value("--r")?, "--r")?,
+            "--threads" => {
+                options.threads = parse_value(&value("--threads")?, "--threads")?;
+            }
             other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
         }
     }
@@ -209,7 +218,11 @@ fn run_info(model_text: &str) -> Result<String, CliError> {
             chain.initial(),
             reachable.len(),
             bsccs.len(),
-            if labels.is_empty() { "none".into() } else { labels.join(", ") },
+            if labels.is_empty() {
+                "none".into()
+            } else {
+                labels.join(", ")
+            },
         ));
     }
     let imc = io::parse_imc(model_text).map_err(CliError::Parse)?;
@@ -232,10 +245,7 @@ fn run_info(model_text: &str) -> Result<String, CliError> {
     ))
 }
 
-fn labelled_set(
-    states: StateSet,
-    label: &str,
-) -> Result<StateSet, CliError> {
+fn labelled_set(states: StateSet, label: &str) -> Result<StateSet, CliError> {
     if states.is_empty() {
         Err(CliError::UnknownLabel(label.to_owned()))
     } else {
@@ -265,7 +275,10 @@ fn run_dtmc_command(options: &Options, chain: &Dtmc) -> Result<String, CliError>
                 options
                     .bound
                     .map_or(String::new(), |k| format!("<= {k} steps: ")),
-                options.avoid.as_deref().map_or("true".into(), |a| format!("!{a}")),
+                options
+                    .avoid
+                    .as_deref()
+                    .map_or("true".into(), |a| format!("!{a}")),
                 target_label,
                 chain.initial(),
                 probs[chain.initial()]
@@ -287,7 +300,9 @@ fn run_dtmc_command(options: &Options, chain: &Dtmc) -> Result<String, CliError>
             let result = monte_carlo(
                 chain,
                 &property,
-                &SmcConfig::new(options.n, options.delta).with_max_steps(1_000_000),
+                &SmcConfig::new(options.n, options.delta)
+                    .with_max_steps(1_000_000)
+                    .with_threads(options.threads),
                 &mut rng,
             );
             Ok(format!(
@@ -334,7 +349,9 @@ fn run_imc_command(options: &Options, imc: &Imc) -> Result<String, CliError> {
             let b = zero_variance_is(&center, &target, &avoid, &SolveOptions::default())
                 .map_err(|e| CliError::Analysis(e.to_string()))?;
             let property = build_property(options, target, avoid);
-            let config = ImcisConfig::new(options.n, options.delta).with_r_undefeated(options.r);
+            let config = ImcisConfig::new(options.n, options.delta)
+                .with_r_undefeated(options.r)
+                .with_threads(options.threads);
             let mut rng = rand::rngs::StdRng::seed_from_u64(options.seed);
             let is = standard_is(&center, &b, &property, &config, &mut rng);
             let out = imcis(imc, &b, &property, &config, &mut rng)
@@ -414,15 +431,37 @@ label 2 tails
     #[test]
     fn parses_full_option_set() {
         let opts = parse_args(&args(&[
-            "imcis", "m.imc", "--target", "bad", "--avoid", "ok", "--bound", "30", "--n",
-            "5000", "--delta", "0.01", "--seed", "7", "--r", "250",
+            "imcis",
+            "m.imc",
+            "--target",
+            "bad",
+            "--avoid",
+            "ok",
+            "--bound",
+            "30",
+            "--n",
+            "5000",
+            "--delta",
+            "0.01",
+            "--seed",
+            "7",
+            "--r",
+            "250",
+            "--threads",
+            "4",
         ]))
         .unwrap();
         assert_eq!(opts.command, "imcis");
         assert_eq!(opts.target.as_deref(), Some("bad"));
         assert_eq!(opts.avoid.as_deref(), Some("ok"));
         assert_eq!(opts.bound, Some(30));
-        assert_eq!((opts.n, opts.delta, opts.seed, opts.r), (5000, 0.01, 7, 250));
+        assert_eq!(
+            (opts.n, opts.delta, opts.seed, opts.r, opts.threads),
+            (5000, 0.01, 7, 250, 4)
+        );
+        // Omitted --threads defaults to 0 = all cores.
+        let defaults = parse_args(&args(&["smc", "m.dtmc", "--target", "bad"])).unwrap();
+        assert_eq!(defaults.threads, 0);
     }
 
     #[test]
@@ -527,7 +566,10 @@ mod info_tests {
             "imc\nstates 2\ninterval 0 1 0.8 1.0\ninterval 0 0 0.0 0.2\ninterval 1 1 1.0 1.0\n",
         )
         .unwrap();
-        assert!(report.contains("3 interval transitions (1 exact)"), "{report}");
+        assert!(
+            report.contains("3 interval transitions (1 exact)"),
+            "{report}"
+        );
         assert!(report.contains("widest interval: 0.2"), "{report}");
     }
 

@@ -25,6 +25,9 @@ pub struct ImcisConfig {
     /// Disable the §III-C closed-form fast path and search every visited
     /// row, reproducing the paper's Algorithm 2 verbatim (Table I).
     pub force_sampling: bool,
+    /// Worker threads for the sampling phase (`0` = all cores). For a
+    /// fixed seed the outcome is bit-identical at every thread count.
+    pub threads: usize,
 }
 
 impl ImcisConfig {
@@ -45,6 +48,7 @@ impl ImcisConfig {
             max_steps: 1_000_000,
             record_trace: false,
             force_sampling: false,
+            threads: 0,
         }
     }
 
@@ -75,6 +79,12 @@ impl ImcisConfig {
     /// Disables the closed-form fast path (paper-verbatim Algorithm 2).
     pub fn with_forced_sampling(mut self) -> Self {
         self.force_sampling = true;
+        self
+    }
+
+    /// Replaces the sampling-phase worker-thread budget (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -169,11 +179,13 @@ pub fn imcis<R: Rng + ?Sized>(
     config: &ImcisConfig,
     rng: &mut R,
 ) -> Result<ImcisOutcome, ImcisError> {
-    // Lines 1–16: sampling phase.
+    // Lines 1–16: sampling phase (batch-parallel, deterministic).
     let run = sample_is_run(
         b,
         property,
-        &IsConfig::new(config.n_traces).with_max_steps(config.max_steps),
+        &IsConfig::new(config.n_traces)
+            .with_max_steps(config.max_steps)
+            .with_threads(config.threads),
         rng,
     );
 
@@ -258,7 +270,9 @@ pub fn standard_is<R: Rng + ?Sized>(
     let run = sample_is_run(
         b,
         property,
-        &IsConfig::new(config.n_traces).with_max_steps(config.max_steps),
+        &IsConfig::new(config.n_traces)
+            .with_max_steps(config.max_steps)
+            .with_threads(config.threads),
         rng,
     );
     let est = is_estimate(a_ref, b, &run, config.delta);
@@ -274,10 +288,10 @@ pub fn standard_is<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use imc_markov::StateSet;
     use imc_models::illustrative;
     use imc_numeric::SolveOptions;
     use imc_sampling::zero_variance_is;
-    use imc_markov::StateSet;
     use rand::SeedableRng;
 
     /// The paper's §VI-A setup: perfect IS for the centre chain Â.

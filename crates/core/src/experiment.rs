@@ -38,9 +38,10 @@ pub fn repeat_imcis(
     reps: usize,
     base_seed: u64,
 ) -> Result<Vec<ImcisOutcome>, ImcisError> {
+    let config = config.with_threads(inner_threads(reps));
     parallel_map(reps, |rep| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed_for(base_seed, rep));
-        imcis(imc, b, property, config, &mut rng)
+        imcis(imc, b, property, &config, &mut rng)
     })
 }
 
@@ -53,11 +54,26 @@ pub fn repeat_is(
     reps: usize,
     base_seed: u64,
 ) -> Vec<IsOutcome> {
+    let config = config.with_threads(inner_threads(reps));
     let results: Result<Vec<IsOutcome>, ImcisError> = parallel_map(reps, |rep| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed_for(base_seed, rep));
-        Ok(standard_is(a_ref, b, property, config, &mut rng))
+        Ok(standard_is(a_ref, b, property, &config, &mut rng))
     });
     results.expect("standard IS repetitions are infallible")
+}
+
+/// The sampling-thread budget for each repetition: the harness owns the
+/// core budget at repetition level, so nesting an all-cores batch engine
+/// inside every rep would oversubscribe roughly cores². With fewer reps
+/// than cores, the inner engine gets the idle remainder (`0` = all cores
+/// — outcomes are identical either way, the engine is thread-count
+/// invariant).
+fn inner_threads(reps: usize) -> usize {
+    if reps >= imc_sim::parallel::available_threads() {
+        1
+    } else {
+        0
+    }
 }
 
 /// Fans `reps` jobs out over the available cores, preserving order.
@@ -66,30 +82,8 @@ where
     T: Send,
     F: Fn(usize) -> Result<T, ImcisError> + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(usize::from)
-        .unwrap_or(1)
-        .min(reps.max(1));
-    let mut slots: Vec<Option<Result<T, ImcisError>>> = (0..reps).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots_mutex = std::sync::Mutex::new(&mut slots);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let rep = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if rep >= reps {
-                    break;
-                }
-                let result = job(rep);
-                let mut guard = slots_mutex.lock().expect("result mutex poisoned");
-                guard[rep] = Some(result);
-            });
-        }
-    })
-    .expect("experiment worker panicked");
-    slots
+    imc_sim::parallel::parallel_map(reps, 0, job)
         .into_iter()
-        .map(|slot| slot.expect("every repetition filled"))
         .collect()
 }
 
@@ -166,10 +160,8 @@ mod tests {
             .build()
             .unwrap();
         let imc = Imc::from_center(&center, |_, _| eps).unwrap();
-        let prop = Property::reach_avoid(
-            StateSet::from_states(3, [1]),
-            StateSet::from_states(3, [2]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(3, [1]), StateSet::from_states(3, [2]));
         (imc, center, prop)
     }
 

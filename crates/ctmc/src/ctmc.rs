@@ -68,7 +68,10 @@ impl fmt::Display for CtmcError {
                 write!(f, "rate {rate} on transition {from} -> {to} is invalid")
             }
             CtmcError::SelfLoop { state } => {
-                write!(f, "self-loop rate on state {state} is not allowed in a CTMC")
+                write!(
+                    f,
+                    "self-loop rate on state {state} is not allowed in a CTMC"
+                )
             }
             CtmcError::DuplicateTransition { from, to } => {
                 write!(f, "transition {from} -> {to} specified more than once")

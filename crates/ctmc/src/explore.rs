@@ -88,7 +88,11 @@ impl<S: fmt::Debug> fmt::Debug for CtmcModel<S> {
             )
             .field(
                 "labels",
-                &self.labels.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+                &self
+                    .labels
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -305,12 +309,7 @@ mod tests {
         // Rate grows with the number of healthy components, like (n−k)·α in
         // the paper's modules.
         let model = CtmcModel::new(0u8)
-            .command(
-                "fail",
-                |&s| s < 3,
-                |&s| (3 - s) as f64 * 0.1,
-                |&s| s + 1,
-            )
+            .command("fail", |&s| s < 3, |&s| (3 - s) as f64 * 0.1, |&s| s + 1)
             .label("down", |&s| s == 3);
         let explored = model.explore(10).unwrap();
         assert!((explored.ctmc.exit_rate(0) - 0.3).abs() < 1e-12);

@@ -48,7 +48,10 @@ fn truncation_point(rate_times_t: f64) -> usize {
 /// # }
 /// ```
 pub fn transient_distribution(ctmc: &Ctmc, t: f64) -> Result<Vec<f64>, CtmcError> {
-    assert!(t >= 0.0 && t.is_finite(), "time must be non-negative, got {t}");
+    assert!(
+        t >= 0.0 && t.is_finite(),
+        "time must be non-negative, got {t}"
+    );
     let n = ctmc.num_states();
     let mut pi0 = vec![0.0f64; n];
     pi0[ctmc.initial()] = 1.0;
@@ -76,7 +79,10 @@ pub fn transient_distribution(ctmc: &Ctmc, t: f64) -> Result<Vec<f64>, CtmcError
 ///
 /// Panics if `t` is negative/not finite or the target universe mismatches.
 pub fn time_bounded_reach(ctmc: &Ctmc, target: &StateSet, t: f64) -> Result<f64, CtmcError> {
-    assert!(t >= 0.0 && t.is_finite(), "time must be non-negative, got {t}");
+    assert!(
+        t >= 0.0 && t.is_finite(),
+        "time must be non-negative, got {t}"
+    );
     assert_eq!(
         target.universe(),
         ctmc.num_states(),
@@ -94,7 +100,15 @@ pub fn time_bounded_reach(ctmc: &Ctmc, target: &StateSet, t: f64) -> Result<f64,
     // Make targets absorbing.
     let absorbing: Vec<(usize, Vec<RowEntry>)> = target
         .iter()
-        .map(|s| (s, vec![RowEntry { target: s, prob: 1.0 }]))
+        .map(|s| {
+            (
+                s,
+                vec![RowEntry {
+                    target: s,
+                    prob: 1.0,
+                }],
+            )
+        })
         .collect();
     let chain = uniformised
         .with_rows(absorbing)

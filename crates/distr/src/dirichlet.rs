@@ -102,7 +102,6 @@ impl Dirichlet {
 mod tests {
     use super::*;
     use imc_stats::RunningStats;
-    use proptest::prelude::*;
     use rand::SeedableRng;
 
     #[test]
@@ -148,17 +147,25 @@ mod tests {
         assert!(Dirichlet::new(vec![1.0, -1.0]).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn samples_lie_on_simplex(
-            alphas in prop::collection::vec(0.05f64..50.0, 2..8),
-            seed in 0u64..1000,
-        ) {
-            let d = Dirichlet::new(alphas).unwrap();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    /// Property sweep (seeded, no proptest offline): random concentration
+    /// vectors must always sample onto the simplex.
+    #[test]
+    fn samples_lie_on_simplex() {
+        let mut meta = rand::rngs::StdRng::seed_from_u64(1000);
+        for case in 0..256u64 {
+            let k = meta.gen_range(2..8usize);
+            let alphas: Vec<f64> = (0..k).map(|_| meta.gen_range(0.05..50.0)).collect();
+            let d = Dirichlet::new(alphas.clone()).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(case);
             let x = d.sample(&mut rng);
-            prop_assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-            prop_assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(
+                (x.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+                "case {case} ({alphas:?}): {x:?}"
+            );
+            assert!(
+                x.iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "case {case} ({alphas:?}): {x:?}"
+            );
         }
     }
 }

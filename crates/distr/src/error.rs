@@ -40,7 +40,10 @@ impl fmt::Display for DistrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             DistrError::InvalidParameter { name, value } => {
-                write!(f, "parameter {name} must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter {name} must be positive and finite, got {value}"
+                )
             }
             DistrError::InvalidInterval { lo, hi, center } => write!(
                 f,

@@ -38,7 +38,10 @@ impl CountTable {
     ///
     /// Panics if either state is out of range.
     pub fn record(&mut self, from: State, to: State) {
-        assert!(from < self.n_states && to < self.n_states, "state out of range");
+        assert!(
+            from < self.n_states && to < self.n_states,
+            "state out of range"
+        );
         *self.counts.entry((from, to)).or_insert(0) += 1;
         self.source_totals[from] += 1;
     }

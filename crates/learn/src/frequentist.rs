@@ -249,7 +249,14 @@ mod tests {
     fn point_estimates_are_frequencies() {
         let table = table_from_paths(
             3,
-            &[vec![0, 1], vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 1], vec![2, 2]],
+            &[
+                vec![0, 1],
+                vec![0, 1],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 1],
+                vec![2, 2],
+            ],
         );
         let chain = learn_dtmc(&table, &LearnOptions::default()).unwrap();
         assert!((chain.prob(0, 1) - 0.75).abs() < 1e-12);
@@ -259,7 +266,10 @@ mod tests {
 
     #[test]
     fn laplace_smoothing_shrinks_towards_uniform() {
-        let table = table_from_paths(3, &[vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 1], vec![2, 2]]);
+        let table = table_from_paths(
+            3,
+            &[vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 1], vec![2, 2]],
+        );
         let opts = LearnOptions {
             smoothing: Smoothing::Laplace(1.0),
             ..LearnOptions::default()
@@ -300,8 +310,7 @@ mod tests {
             .build()
             .unwrap();
         let table = table_from_paths(3, &[vec![0, 1], vec![0, 1], vec![0, 2]]);
-        let chain =
-            learn_dtmc_with_support(&table, &support, &LearnOptions::default()).unwrap();
+        let chain = learn_dtmc_with_support(&table, &support, &LearnOptions::default()).unwrap();
         // Learnt where there is data...
         assert!((chain.prob(0, 1) - 2.0 / 3.0).abs() < 1e-12);
         // ...support elsewhere, labels carried over.
@@ -375,8 +384,7 @@ mod tests {
             .build()
             .unwrap();
         let table = table_from_paths(3, &[vec![0, 2], vec![0, 2]]);
-        let imc =
-            learn_imc_with_support(&table, &support, &LearnOptions::default()).unwrap();
+        let imc = learn_imc_with_support(&table, &support, &LearnOptions::default()).unwrap();
         let e = imc.row(1).interval_to(0).unwrap();
         assert_eq!((e.lo, e.hi), (0.0, 1.0));
     }

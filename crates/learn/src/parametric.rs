@@ -28,8 +28,7 @@ impl BernoulliEstimate {
         assert!(trials > 0, "need at least one trial");
         assert!(successes <= trials, "more successes than trials");
         let p_hat = successes as f64 / trials as f64;
-        let ci = ConfidenceInterval::for_bernoulli(p_hat, trials as usize, delta)
-            .clamped_to_unit();
+        let ci = ConfidenceInterval::for_bernoulli(p_hat, trials as usize, delta).clamped_to_unit();
         BernoulliEstimate {
             p_hat,
             n: trials,

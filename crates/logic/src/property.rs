@@ -2,8 +2,8 @@ use imc_markov::{Dtmc, Path, StateSet};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    BoundedReachMonitor, BoundedUntilMonitor, Monitor, PropertyMonitor, ReachAvoidMonitor,
-    Verdict, XReachAvoidMonitor,
+    BoundedReachMonitor, BoundedUntilMonitor, Monitor, PropertyMonitor, ReachAvoidMonitor, Verdict,
+    XReachAvoidMonitor,
 };
 
 /// A declarative bounded temporal property over the states of a chain.
@@ -228,15 +228,10 @@ mod tests {
 
     #[test]
     fn early_decision_is_stable_under_longer_paths() {
-        let prop = Property::reach_avoid(
-            StateSet::from_states(4, [3]),
-            StateSet::from_states(4, [2]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(4, [3]), StateSet::from_states(4, [2]));
         // Decision happens at state 3; the trailing state must not flip it.
-        assert_eq!(
-            prop.evaluate(&Path::new(vec![0, 3, 2])),
-            Verdict::Accepted
-        );
+        assert_eq!(prop.evaluate(&Path::new(vec![0, 3, 2])), Verdict::Accepted);
     }
 
     #[test]

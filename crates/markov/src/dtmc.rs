@@ -412,7 +412,10 @@ mod tests {
             .self_loop(1)
             .build()
             .unwrap_err();
-        assert!(matches!(err, ModelError::StateOutOfRange { state: 5, n: 2 }));
+        assert!(matches!(
+            err,
+            ModelError::StateOutOfRange { state: 5, n: 2 }
+        ));
     }
 
     #[test]
@@ -429,7 +432,10 @@ mod tests {
     #[test]
     fn rejects_missing_row() {
         let err = DtmcBuilder::new(2).self_loop(1).build().unwrap_err();
-        assert!(matches!(err, ModelError::NoOutgoingTransitions { state: 0 }));
+        assert!(matches!(
+            err,
+            ModelError::NoOutgoingTransitions { state: 0 }
+        ));
     }
 
     #[test]
@@ -445,9 +451,7 @@ mod tests {
         let chain = two_state();
         let path = Path::new(vec![0, 0, 1]);
         assert!((chain.path_prob(&path) - 0.25 * 0.75).abs() < 1e-15);
-        assert!(
-            (chain.path_log_prob(&path) - (0.25f64.ln() + 0.75f64.ln())).abs() < 1e-12
-        );
+        assert!((chain.path_log_prob(&path) - (0.25f64.ln() + 0.75f64.ln())).abs() < 1e-12);
     }
 
     #[test]
@@ -465,8 +469,14 @@ mod tests {
             .with_rows([(
                 0,
                 vec![
-                    RowEntry { target: 0, prob: 0.5 },
-                    RowEntry { target: 1, prob: 0.5 },
+                    RowEntry {
+                        target: 0,
+                        prob: 0.5,
+                    },
+                    RowEntry {
+                        target: 1,
+                        prob: 0.5,
+                    },
                 ],
             )])
             .unwrap();
@@ -474,7 +484,13 @@ mod tests {
         // Original untouched.
         assert_eq!(chain.prob(0, 0), 0.25);
 
-        let bad = chain.with_rows([(0, vec![RowEntry { target: 1, prob: 0.5 }])]);
+        let bad = chain.with_rows([(
+            0,
+            vec![RowEntry {
+                target: 1,
+                prob: 0.5,
+            }],
+        )]);
         assert!(matches!(bad, Err(ModelError::NotStochastic { .. })));
     }
 

@@ -92,7 +92,11 @@ impl fmt::Display for ModelError {
                 f,
                 "interval [{lo}, {hi}] on transition {from} -> {to} is invalid"
             ),
-            ModelError::InconsistentIntervalRow { state, lo_sum, hi_sum } => write!(
+            ModelError::InconsistentIntervalRow {
+                state,
+                lo_sum,
+                hi_sum,
+            } => write!(
                 f,
                 "interval row of state {state} is inconsistent: lower bounds sum to \
                  {lo_sum}, upper bounds sum to {hi_sum}, but 1 must be enclosed"

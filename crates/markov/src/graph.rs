@@ -65,11 +65,7 @@ pub fn backward_reachable(chain: &Dtmc, targets: &StateSet) -> StateSet {
 /// This is the qualitative precomputation for reach-avoid probabilities: any
 /// state outside the returned set has probability exactly 0 of satisfying
 /// `¬avoid U target`.
-pub fn backward_reachable_avoiding(
-    chain: &Dtmc,
-    targets: &StateSet,
-    avoid: &StateSet,
-) -> StateSet {
+pub fn backward_reachable_avoiding(chain: &Dtmc, targets: &StateSet, avoid: &StateSet) -> StateSet {
     let preds = chain.predecessors();
     let n = chain.num_states();
     let mut seen = StateSet::new(n);

@@ -457,12 +457,18 @@ mod tests {
             .exact(1, 1, 1.0)
             .build()
             .unwrap_err();
-        assert!(matches!(err, ModelError::InconsistentIntervalRow { state: 0, .. }));
+        assert!(matches!(
+            err,
+            ModelError::InconsistentIntervalRow { state: 0, .. }
+        ));
     }
 
     #[test]
     fn builder_rejects_reversed_bounds() {
-        let err = ImcBuilder::new(1).interval(0, 0, 0.9, 0.2).build().unwrap_err();
+        let err = ImcBuilder::new(1)
+            .interval(0, 0, 0.9, 0.2)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ModelError::InvalidInterval { .. }));
     }
 
@@ -494,7 +500,11 @@ mod tests {
 
     #[test]
     fn interval_entry_helpers() {
-        let e = IntervalEntry { target: 0, lo: 0.2, hi: 0.6 };
+        let e = IntervalEntry {
+            target: 0,
+            lo: 0.2,
+            hi: 0.6,
+        };
         assert!((e.mid() - 0.4).abs() < 1e-15);
         assert!((e.half_width() - 0.2).abs() < 1e-15);
         assert!(e.contains(0.2) && e.contains(0.6) && !e.contains(0.61));

@@ -330,16 +330,20 @@ interval 1 1 1.0 1.0
 
     #[test]
     fn invalid_model_bubbles_up() {
-        let err = parse_dtmc("dtmc\nstates 2\ntransition 0 1 0.5\ntransition 1 1 1.0\n")
-            .unwrap_err();
-        assert!(matches!(err, ParseError::Model(ModelError::NotStochastic { .. })));
+        let err =
+            parse_dtmc("dtmc\nstates 2\ntransition 0 1 0.5\ntransition 1 1 1.0\n").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::Model(ModelError::NotStochastic { .. })
+        ));
     }
 
     #[test]
     fn float_precision_round_trips_exactly() {
         let text = format!(
             "dtmc\nstates 2\ntransition 0 1 {:?}\ntransition 0 0 {:?}\ntransition 1 1 1.0\n",
-            1e-4, 1.0 - 1e-4
+            1e-4,
+            1.0 - 1e-4
         );
         let chain = parse_dtmc(&text).unwrap();
         let back = parse_dtmc(&write_dtmc(&chain)).unwrap();

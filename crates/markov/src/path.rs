@@ -129,12 +129,26 @@ impl TransitionCounts {
         sources
     }
 
+    /// Removes every recorded transition, keeping the allocated capacity —
+    /// batch simulation loops reuse one table across traces.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+
     /// Freezes the table into a canonical sorted vector, suitable for use as
     /// a deduplication key.
     pub fn frozen(&self) -> Vec<((State, State), u64)> {
         let mut v: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
         v.sort_unstable();
         v
+    }
+
+    /// Allocation-free [`TransitionCounts::frozen`]: clears `buf` and fills
+    /// it with the canonical sorted form, reusing its capacity.
+    pub fn frozen_into(&self, buf: &mut Vec<((State, State), u64)>) {
+        buf.clear();
+        buf.extend(self.counts.iter().map(|(&k, &c)| (k, c)));
+        buf.sort_unstable();
     }
 
     /// Merges another table into this one (used to build the union table

@@ -144,10 +144,7 @@ impl StateSet {
 
     /// Returns `true` if `self` and `other` share no state.
     pub fn is_disjoint(&self, other: &StateSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 }
 

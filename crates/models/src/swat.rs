@@ -149,7 +149,11 @@ fn add_level_row(
     switches: &[(Mode, f64)],
 ) -> DtmcBuilder {
     let from = state_of(mode, bucket);
-    let up_target = if bucket + 1 < BUCKETS { bucket + 1 } else { bucket };
+    let up_target = if bucket + 1 < BUCKETS {
+        bucket + 1
+    } else {
+        bucket
+    };
     let down_target = bucket.saturating_sub(1);
     let mut mass = 0.0;
     let mut builder = builder;
@@ -199,8 +203,7 @@ mod tests {
         // land inside (validated numerically, not by simulation).
         let chain = truth();
         let gamma =
-            bounded_reach_probs(&chain, &chain.labeled_states("high"), STEP_BOUND)
-                [chain.initial()];
+            bounded_reach_probs(&chain, &chain.labeled_states("high"), STEP_BOUND)[chain.initial()];
         assert!(
             (5e-3..=2.5e-2).contains(&gamma),
             "γ = {gamma:e} outside the paper's reported range"
@@ -210,10 +213,7 @@ mod tests {
     #[test]
     fn repair_exits_in_about_five_steps() {
         let chain = truth();
-        let p_exit = chain.prob(
-            state_of(Mode::Repair, 6),
-            state_of(Mode::Normal, 6),
-        );
+        let p_exit = chain.prob(state_of(Mode::Repair, 6), state_of(Mode::Normal, 6));
         assert!((p_exit - 0.2).abs() < 1e-12);
     }
 

@@ -72,7 +72,12 @@ pub fn expected_steps_to(
                 // Successors outside the almost-sure set have h = inf but
                 // are unreachable conditioned on hitting: they cannot occur
                 // for a state with reach probability 1.
-                acc += e.prob * if h[e.target].is_finite() { h[e.target] } else { 0.0 };
+                acc += e.prob
+                    * if h[e.target].is_finite() {
+                        h[e.target]
+                    } else {
+                        0.0
+                    };
             }
             let delta = (acc - h[s]).abs();
             if delta > residual {
@@ -81,10 +86,7 @@ pub fn expected_steps_to(
             h[s] = acc;
         }
         // Hitting times can be large; use a relative residual criterion.
-        let scale = unknown
-            .iter()
-            .map(|&s| h[s])
-            .fold(1.0f64, f64::max);
+        let scale = unknown.iter().map(|&s| h[s]).fold(1.0f64, f64::max);
         if residual <= options.tolerance * scale {
             return Ok(h);
         }
@@ -171,7 +173,11 @@ mod tests {
                 &SolveOptions::default(),
             )
             .unwrap();
-            assert!((h[0] - 1.0 / p).abs() / (1.0 / p) < 1e-9, "p = {p}: {}", h[0]);
+            assert!(
+                (h[0] - 1.0 / p).abs() / (1.0 / p) < 1e-9,
+                "p = {p}: {}",
+                h[0]
+            );
             assert_eq!(h[1], 0.0);
         }
     }
@@ -204,9 +210,7 @@ mod tests {
         let n = 5;
         let mut builder = DtmcBuilder::new(n);
         for s in 1..n - 1 {
-            builder = builder
-                .transition(s, s - 1, 0.5)
-                .transition(s, s + 1, 0.5);
+            builder = builder.transition(s, s - 1, 0.5).transition(s, s + 1, 0.5);
         }
         let chain = builder.self_loop(0).self_loop(n - 1).build().unwrap();
         let h = expected_steps_to(

@@ -18,8 +18,12 @@ fn extremal_row_value(row: &IntervalRow, x: &[f64], extremum: Extremum) -> f64 {
     let entries = row.entries();
     let mut order: Vec<usize> = (0..entries.len()).collect();
     match extremum {
-        Extremum::Min => order.sort_by(|&i, &j| x[entries[i].target].total_cmp(&x[entries[j].target])),
-        Extremum::Max => order.sort_by(|&i, &j| x[entries[j].target].total_cmp(&x[entries[i].target])),
+        Extremum::Min => {
+            order.sort_by(|&i, &j| x[entries[i].target].total_cmp(&x[entries[j].target]))
+        }
+        Extremum::Max => {
+            order.sort_by(|&i, &j| x[entries[j].target].total_cmp(&x[entries[i].target]))
+        }
     }
     let lo_sum: f64 = entries.iter().map(|e| e.lo).sum();
     let mut remaining = (1.0 - lo_sum).max(0.0);
@@ -157,8 +161,7 @@ mod tests {
         let imc = Imc::from_center(&chain, |_, _| 0.0).unwrap();
         let target = StateSet::from_states(3, [1]);
         let avoid = StateSet::new(3);
-        let (min, max) =
-            imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
+        let (min, max) = imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
         assert!((min[0] - 0.3).abs() < 1e-12);
         assert!((max[0] - 0.3).abs() < 1e-12);
     }
@@ -169,8 +172,7 @@ mod tests {
         let imc = Imc::from_center(&chain, |_, _| 0.05).unwrap();
         let target = StateSet::from_states(3, [1]);
         let avoid = StateSet::new(3);
-        let (min, max) =
-            imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
+        let (min, max) = imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
         assert!((min[0] - 0.25).abs() < 1e-12, "{}", min[0]);
         assert!((max[0] - 0.35).abs() < 1e-12, "{}", max[0]);
     }
@@ -190,8 +192,7 @@ mod tests {
         let imc = Imc::from_center(&center, |_, _| 0.08).unwrap();
         let target = StateSet::from_states(4, [2]);
         let avoid = StateSet::new(4);
-        let (min, max) =
-            imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
+        let (min, max) = imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
 
         for &(d0, d1) in &[(-0.08, -0.08), (0.0, 0.0), (0.08, 0.08), (-0.08, 0.08)] {
             let member = DtmcBuilder::new(4)
@@ -204,8 +205,8 @@ mod tests {
                 .build()
                 .unwrap();
             assert!(imc.contains(&member));
-            let p = reach_avoid_probs(&member, &target, &avoid, &SolveOptions::default())
-                .unwrap()[0];
+            let p =
+                reach_avoid_probs(&member, &target, &avoid, &SolveOptions::default()).unwrap()[0];
             assert!(
                 min[0] - 1e-12 <= p && p <= max[0] + 1e-12,
                 "member prob {p} outside [{}, {}]",
@@ -246,8 +247,7 @@ mod tests {
         let imc = Imc::from_center(&chain, |_, _| 0.1).unwrap();
         let target = StateSet::from_states(3, [1]);
         let avoid = StateSet::from_states(3, [0]);
-        let (min, max) =
-            imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
+        let (min, max) = imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
         assert_eq!(min[0], 0.0);
         assert_eq!(max[0], 0.0);
         assert_eq!(max[1], 1.0);

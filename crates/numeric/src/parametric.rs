@@ -66,13 +66,16 @@ mod tests {
 
     #[test]
     fn sweep_propagates_errors() {
-        let result = sweep(&[1.0, -1.0], |a| {
-            if a < 0.0 {
-                Err("negative")
-            } else {
-                Ok(a)
-            }
-        });
+        let result = sweep(
+            &[1.0, -1.0],
+            |a| {
+                if a < 0.0 {
+                    Err("negative")
+                } else {
+                    Ok(a)
+                }
+            },
+        );
         assert_eq!(result, Err("negative"));
     }
 }

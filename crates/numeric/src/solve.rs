@@ -223,8 +223,7 @@ mod tests {
     fn target_wins_tie_with_avoid() {
         let chain = illustrative(0.3, 0.4);
         let both = StateSet::from_states(4, [2]);
-        let probs =
-            reach_avoid_probs(&chain, &both, &both, &SolveOptions::default()).unwrap();
+        let probs = reach_avoid_probs(&chain, &both, &both, &SolveOptions::default()).unwrap();
         assert_eq!(probs[2], 1.0);
     }
 

@@ -1,30 +1,23 @@
-use std::collections::HashMap;
-
 use imc_markov::{Dtmc, State};
-use imc_sampling::IsRun;
+use imc_sampling::{IsRun, PreparedRun};
 
 /// The empirical IS objective `f(A)` (and its second moment `g(A)`) of
 /// Algorithm 1, compiled for fast repeated evaluation.
 ///
-/// Transitions observed in successful traces are assigned dense ids;
-/// deduplicated tables become `(id, count)` lists with multiplicities. The
-/// log-ratios `ln b_ij` are baked in, so evaluating a candidate needs only
-/// its `ln a_ij` values (indexed by transition id):
+/// This is a thin optimiser-facing wrapper over
+/// [`imc_sampling::PreparedRun`], which owns all the hot-path machinery:
+/// dense transition ids, CSR `(id, n)` entry slices per deduplicated
+/// table, the baked-in `ln b_ij` values and the cached per-table constant
+/// `Σ n_ij ln b_ij`. Evaluating a candidate needs only its `ln a_ij`
+/// values (indexed by transition id):
 ///
 /// ```text
-/// f(A) = Σ_tables mult · exp( Σ_t n_t (ln a_t − ln b_t) )
+/// f(A) = Σ_tables mult · exp( Σ_t n_t ln a_t − Σ_t n_t ln b_t )
 /// g(A) = Σ_tables mult · exp( 2 Σ_t n_t (ln a_t − ln b_t) )
 /// ```
 #[derive(Debug, Clone)]
 pub struct Objective {
-    /// id -> (from, to).
-    transitions: Vec<(State, State)>,
-    /// Per deduplicated table: exponent list and multiplicity.
-    tables: Vec<(Vec<(u32, u32)>, f64)>,
-    /// `ln b_ij` per transition id.
-    log_b: Vec<f64>,
-    /// Total trace count `N` (including failures).
-    n_traces: usize,
+    prepared: PreparedRun,
 }
 
 impl Objective {
@@ -36,69 +29,45 @@ impl Objective {
     /// trace could not have been sampled under `b`, so this indicates the
     /// run and chain are mismatched.
     pub fn new(run: &IsRun, b: &Dtmc) -> Self {
-        let mut lookup: HashMap<(State, State), u32> = HashMap::new();
-        let mut transitions: Vec<(State, State)> = Vec::new();
-        let mut tables = Vec::with_capacity(run.tables.len());
-        for table in &run.tables {
-            let mut exponents = Vec::with_capacity(table.counts.len());
-            for &((from, to), n) in &table.counts {
-                let id = *lookup.entry((from, to)).or_insert_with(|| {
-                    transitions.push((from, to));
-                    (transitions.len() - 1) as u32
-                });
-                exponents.push((id, n as u32));
-            }
-            tables.push((exponents, table.multiplicity as f64));
-        }
-        let log_b: Vec<f64> = transitions
-            .iter()
-            .map(|&(from, to)| {
-                let p = b.prob(from, to);
-                assert!(
-                    p > 0.0,
-                    "transition {from} -> {to} observed under B but has b = 0"
-                );
-                p.ln()
-            })
-            .collect();
         Objective {
-            transitions,
-            tables,
-            log_b,
-            n_traces: run.n_traces,
+            prepared: PreparedRun::new(run, b),
         }
+    }
+
+    /// The compiled run behind this objective.
+    pub fn prepared(&self) -> &PreparedRun {
+        &self.prepared
     }
 
     /// The indexed transitions, id order.
     pub fn transitions(&self) -> &[(State, State)] {
-        &self.transitions
+        self.prepared.transitions()
     }
 
     /// Number of distinct observed transitions.
     pub fn num_transitions(&self) -> usize {
-        self.transitions.len()
+        self.prepared.num_transitions()
     }
 
     /// Number of deduplicated tables.
     pub fn num_tables(&self) -> usize {
-        self.tables.len()
+        self.prepared.num_tables()
     }
 
     /// The exponent list and multiplicity of table `k` (internal: used by
     /// the SGD baseline to compute per-table gradients).
     pub(crate) fn table(&self, k: usize) -> (&[(u32, u32)], f64) {
-        let (exponents, mult) = &self.tables[k];
-        (exponents, *mult)
+        self.prepared.table(k)
     }
 
     /// `ln b` for transition id `t` (internal).
     pub(crate) fn log_b(&self, t: usize) -> f64 {
-        self.log_b[t]
+        self.prepared.log_b(t)
     }
 
     /// Total trace count `N` behind the run.
     pub fn n_traces(&self) -> usize {
-        self.n_traces
+        self.prepared.n_traces()
     }
 
     /// Evaluates `(f(A), g(A))` for candidate log-probabilities `ln a_ij`
@@ -108,19 +77,7 @@ impl Objective {
     ///
     /// Panics (debug only) if `log_a` has the wrong length.
     pub fn eval(&self, log_a: &[f64]) -> (f64, f64) {
-        debug_assert_eq!(log_a.len(), self.transitions.len());
-        let mut f = 0.0f64;
-        let mut g = 0.0f64;
-        for (exponents, mult) in &self.tables {
-            let mut log_l = 0.0f64;
-            for &(id, n) in exponents {
-                log_l += n as f64 * (log_a[id as usize] - self.log_b[id as usize]);
-            }
-            let l = log_l.exp();
-            f += mult * l;
-            g += mult * l * l;
-        }
-        (f, g)
+        self.prepared.eval_log(log_a)
     }
 
     /// Convenience: evaluates against a concrete chain (used by tests and
@@ -131,7 +88,7 @@ impl Objective {
     /// Panics if the chain assigns probability 0 to an observed transition.
     pub fn eval_chain(&self, a: &Dtmc) -> (f64, f64) {
         let log_a: Vec<f64> = self
-            .transitions
+            .transitions()
             .iter()
             .map(|&(from, to)| {
                 let p = a.prob(from, to);
@@ -145,10 +102,7 @@ impl Objective {
     /// The estimator pair `(γ̂, σ̂)` at the given objective values:
     /// `γ̂ = f/N`, `σ̂ = √(g/N − γ̂²)` (Algorithm 1, lines 20–23).
     pub fn estimate(&self, f: f64, g: f64) -> (f64, f64) {
-        let n = self.n_traces as f64;
-        let gamma = f / n;
-        let variance = (g / n - gamma * gamma).max(0.0);
-        (gamma, variance.sqrt())
+        self.prepared.moments(f, g)
     }
 }
 
@@ -183,10 +137,8 @@ mod tests {
     }
 
     fn run_for(b: &Dtmc) -> IsRun {
-        let prop = Property::reach_avoid(
-            StateSet::from_states(4, [2]),
-            StateSet::from_states(4, [3]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
         let mut rng = rand::rngs::StdRng::seed_from_u64(14);
         sample_is_run(b, &prop, &IsConfig::new(5000), &mut rng)
     }

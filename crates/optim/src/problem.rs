@@ -320,9 +320,7 @@ impl Problem {
             .map(|(idx, row)| {
                 let values: Vec<f64> = match (&row.kind, drawn.get(&idx)) {
                     (RowKind::Sampled(_), Some(values)) => (*values).clone(),
-                    (RowKind::Sampled(_), None) => {
-                        row.specs.iter().map(|s| s.center()).collect()
-                    }
+                    (RowKind::Sampled(_), None) => row.specs.iter().map(|s| s.center()).collect(),
                     (
                         RowKind::ClosedForm {
                             min_values,
@@ -446,10 +444,8 @@ mod tests {
             &imc_numeric::SolveOptions::default(),
         )
         .unwrap();
-        let prop = Property::reach_avoid(
-            StateSet::from_states(4, [2]),
-            StateSet::from_states(4, [3]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         let run = sample_is_run(&b, &prop, &IsConfig::new(2000), &mut rng);
         (imc, b, run)

@@ -195,10 +195,8 @@ mod tests {
             &SolveOptions::default(),
         )
         .unwrap();
-        let prop = Property::reach_avoid(
-            StateSet::from_states(4, [2]),
-            StateSet::from_states(4, [3]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
         let mut rng = rand::rngs::StdRng::seed_from_u64(123);
         let run = sample_is_run(&b, &prop, &IsConfig::new(n_traces), &mut rng);
         (imc, b, run)

@@ -142,7 +142,9 @@ fn descend<R: Rng + ?Sized>(
     for step in 1..=config.steps {
         // Weighted table pick.
         let u: f64 = rng.gen::<f64>() * total;
-        let k = cumulative.partition_point(|&c| c < u).min(objective.num_tables() - 1);
+        let k = cumulative
+            .partition_point(|&c| c < u)
+            .min(objective.num_tables() - 1);
         let (exponents, _) = objective.table(k);
 
         // Gradient of L(ω_k; A) w.r.t. the sampled observed coordinates.
@@ -238,10 +240,8 @@ mod tests {
             &SolveOptions::default(),
         )
         .unwrap();
-        let prop = Property::reach_avoid(
-            StateSet::from_states(4, [2]),
-            StateSet::from_states(4, [3]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
         let mut rng = rand::rngs::StdRng::seed_from_u64(123);
         let run = sample_is_run(&b, &prop, &IsConfig::new(2000), &mut rng);
         (imc, b, run)

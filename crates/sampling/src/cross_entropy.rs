@@ -122,11 +122,7 @@ pub fn cross_entropy_is<R: Rng + ?Sized>(
                 .entries()
                 .iter()
                 .map(|e| {
-                    let ce = w_trans
-                        .get(&(state, e.target))
-                        .copied()
-                        .unwrap_or(0.0)
-                        / total;
+                    let ce = w_trans.get(&(state, e.target)).copied().unwrap_or(0.0) / total;
                     let smoothed =
                         config.smoothing * ce + (1.0 - config.smoothing) * b.prob(state, e.target);
                     // Floor keeps every original transition samplable.
@@ -213,10 +209,8 @@ mod tests {
         let (pa, pc) = (1e-3, 0.05);
         let a = illustrative(pa, pc);
         let gamma = pa * pc / (1.0 - pa * (1.0 - pc));
-        let prop = Property::reach_avoid(
-            StateSet::from_states(4, [2]),
-            StateSet::from_states(4, [3]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
         let config = CrossEntropyConfig {
             iterations: 8,
@@ -254,10 +248,8 @@ mod tests {
     #[test]
     fn ce_history_has_configured_length() {
         let a = illustrative(0.01, 0.1);
-        let prop = Property::reach_avoid(
-            StateSet::from_states(4, [2]),
-            StateSet::from_states(4, [3]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let config = CrossEntropyConfig {
             iterations: 3,
@@ -273,13 +265,10 @@ mod tests {
     fn support_is_preserved() {
         // Every transition of A remains samplable in the CE output (floor).
         let a = illustrative(0.01, 0.1);
-        let prop = Property::reach_avoid(
-            StateSet::from_states(4, [2]),
-            StateSet::from_states(4, [3]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let result =
-            cross_entropy_is(&a, &prop, &CrossEntropyConfig::default(), &mut rng).unwrap();
+        let result = cross_entropy_is(&a, &prop, &CrossEntropyConfig::default(), &mut rng).unwrap();
         for (s, row) in a.rows().iter().enumerate() {
             for e in row.entries() {
                 assert!(

@@ -1,8 +1,8 @@
 use std::collections::HashMap;
 
-use imc_logic::{Property, Verdict};
-use imc_markov::{Dtmc, State};
-use imc_sim::{simulate, ChainSampler};
+use imc_logic::{Property, PropertyMonitor, Verdict};
+use imc_markov::{Dtmc, State, TransitionCounts};
+use imc_sim::{simulate_counts_into, BatchRunner, ChainSampler};
 use imc_stats::ConfidenceInterval;
 use rand::Rng;
 
@@ -13,11 +13,14 @@ pub struct IsConfig {
     pub n_traces: usize,
     /// Per-trace transition budget.
     pub max_steps: usize,
+    /// Worker threads for the batch engine; `0` = all cores. For a fixed
+    /// seed the sampled run is bit-identical at every thread count.
+    pub threads: usize,
 }
 
 impl IsConfig {
     /// Creates a config with a default step budget of one million
-    /// transitions per trace.
+    /// transitions per trace and the batch engine on all cores.
     ///
     /// # Panics
     ///
@@ -27,12 +30,19 @@ impl IsConfig {
         IsConfig {
             n_traces,
             max_steps: 1_000_000,
+            threads: 0,
         }
     }
 
     /// Replaces the per-trace step budget.
     pub fn with_max_steps(mut self, max_steps: usize) -> Self {
         self.max_steps = max_steps;
+        self
+    }
+
+    /// Replaces the worker-thread budget (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -84,12 +94,31 @@ impl IsRun {
 /// Canonical frozen count-table key used for deduplication.
 type FrozenCounts = Vec<((State, State), u64)>;
 
+/// Per-worker state of the batch sampling loop: reusable scratch (monitor,
+/// count table, frozen buffer) plus the worker's share of the reduction.
+struct SampleWorker {
+    monitor: PropertyMonitor,
+    counts: TransitionCounts,
+    scratch: FrozenCounts,
+    dedup: HashMap<FrozenCounts, u64>,
+    n_success: u64,
+    n_undecided: u64,
+}
+
 /// Samples `N` traces of `b` and records the deduplicated transition count
 /// tables of the traces satisfying `property` (Algorithm 1, lines 1–16).
 ///
 /// Traces that fail the property contribute `z(ω)·L(ω) = 0` to every
 /// estimate, so their tables are discarded on the fly — only the verdict
 /// tallies remember them.
+///
+/// Traces are fanned over the batch engine ([`imc_sim::BatchRunner`])
+/// according to `config.threads`; trace `i` always simulates under its own
+/// counter-based RNG stream keyed by one draw from `rng`, so for a seeded
+/// caller the returned [`IsRun`] is **bit-identical at every thread
+/// count**. The dedup hit path allocates nothing: each worker freezes the
+/// trace table into a reusable buffer and only clones it when a new path
+/// shape first appears.
 pub fn sample_is_run<R: Rng + ?Sized>(
     b: &Dtmc,
     property: &Property,
@@ -97,35 +126,67 @@ pub fn sample_is_run<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> IsRun {
     let sampler = ChainSampler::new(b);
-    let mut monitor = property.monitor();
-    let mut dedup: HashMap<FrozenCounts, u64> = HashMap::new();
-    let mut n_success = 0u64;
-    let mut n_undecided = 0u64;
-    for _ in 0..config.n_traces {
-        let outcome = simulate(&sampler, b.initial(), &mut monitor, rng, config.max_steps);
-        match outcome.verdict {
-            Verdict::Accepted => {
-                n_success += 1;
-                *dedup.entry(outcome.counts.frozen()).or_insert(0) += 1;
+    let master_seed = rng.next_u64();
+    let runner = BatchRunner::new(config.threads);
+    let merged = runner.run(
+        config.n_traces,
+        master_seed,
+        || SampleWorker {
+            monitor: property.monitor(),
+            counts: TransitionCounts::new(),
+            scratch: FrozenCounts::new(),
+            dedup: HashMap::new(),
+            n_success: 0,
+            n_undecided: 0,
+        },
+        |w, _i, trace_rng| {
+            let (verdict, _, _) = simulate_counts_into(
+                &sampler,
+                b.initial(),
+                &mut w.monitor,
+                trace_rng,
+                config.max_steps,
+                &mut w.counts,
+            );
+            match verdict {
+                Verdict::Accepted => {
+                    w.n_success += 1;
+                    w.counts.frozen_into(&mut w.scratch);
+                    // Borrow-by-slice lookup: the frozen key is only
+                    // cloned the first time this path shape appears.
+                    if let Some(mult) = w.dedup.get_mut(w.scratch.as_slice()) {
+                        *mult += 1;
+                    } else {
+                        w.dedup.insert(w.scratch.clone(), 1);
+                    }
+                }
+                Verdict::Rejected => {}
+                Verdict::Undecided => w.n_undecided += 1,
             }
-            Verdict::Rejected => {}
-            Verdict::Undecided => n_undecided += 1,
-        }
-    }
-    let mut tables: Vec<WeightedTable> = dedup
+        },
+        |acc, other| {
+            acc.n_success += other.n_success;
+            acc.n_undecided += other.n_undecided;
+            for (counts, mult) in other.dedup {
+                *acc.dedup.entry(counts).or_insert(0) += mult;
+            }
+        },
+    );
+    let mut tables: Vec<WeightedTable> = merged
+        .dedup
         .into_iter()
         .map(|(counts, multiplicity)| WeightedTable {
             counts,
             multiplicity,
         })
         .collect();
-    // Deterministic order regardless of hash-map iteration.
+    // Deterministic order regardless of hash-map iteration and merge order.
     tables.sort_by(|a, b| a.counts.cmp(&b.counts));
     IsRun {
         tables,
         n_traces: config.n_traces,
-        n_success,
-        n_undecided,
+        n_success: merged.n_success,
+        n_undecided: merged.n_undecided,
     }
 }
 
@@ -145,38 +206,242 @@ pub struct IsEstimate {
 /// Evaluates the IS estimator of a sampled run against reference chain `a`.
 ///
 /// Likelihood ratios are computed in log space from the count tables:
-/// `ln L = Σ n_ij (ln a_ij − ln b_ij)` (eq. (6)); a transition of `a` with
-/// zero probability yields `L = 0` for that trace (the path is impossible
-/// under `a`).
+/// `ln L = Σ n_ij ln a_ij − Σ n_ij ln b_ij` (eq. (6)); a transition of `a`
+/// with zero probability yields `L = 0` for that trace (the path is
+/// impossible under `a`).
 ///
-/// The same run may be re-evaluated against many reference chains — this is
-/// exactly what the IMCIS optimiser does with candidate members of the IMC.
+/// This is the one-shot path: every call re-reads both chains' rows and
+/// recomputes every `ln`. When the same run is evaluated against *many*
+/// reference chains — exactly what the IMCIS optimiser does with
+/// candidate members of the IMC — build a [`PreparedRun`] once instead;
+/// [`PreparedRun::estimate`] returns bit-identical values at a fraction of
+/// the per-candidate cost.
 pub fn is_estimate(a: &Dtmc, b: &Dtmc, run: &IsRun, delta: f64) -> IsEstimate {
     let mut sum = 0.0f64;
     let mut sum_sq = 0.0f64;
     for table in &run.tables {
-        let mut log_l = 0.0f64;
+        // Two separate accumulators (ln P_A and ln P_B) rather than a
+        // running difference: PreparedRun caches Σ n ln b per table, and
+        // keeping the same summation shape here makes the two paths
+        // bit-identical, which the determinism tests pin down.
+        let mut log_pa = 0.0f64;
+        let mut log_pb = 0.0f64;
         for &((from, to), n) in &table.counts {
             let pa = a.prob(from, to);
             let pb = b.prob(from, to);
             // pb > 0 is guaranteed: the trace was sampled under b.
-            log_l += n as f64 * (pa.ln() - pb.ln());
+            log_pa += n as f64 * pa.ln();
+            log_pb += n as f64 * pb.ln();
         }
-        let l = log_l.exp();
+        let l = (log_pa - log_pb).exp();
         let m = table.multiplicity as f64;
         sum += m * l;
         sum_sq += m * l * l;
     }
-    let n = run.n_traces as f64;
+    finish_estimate(sum, sum_sq, run.n_traces, delta)
+}
+
+fn finish_estimate(sum: f64, sum_sq: f64, n_traces: usize, delta: f64) -> IsEstimate {
+    let n = n_traces as f64;
     let gamma_hat = sum / n;
     let variance = (sum_sq / n - gamma_hat * gamma_hat).max(0.0);
     let sigma_hat = variance.sqrt();
-    let ci = ConfidenceInterval::for_mean(gamma_hat, sigma_hat, run.n_traces, delta);
+    let ci = ConfidenceInterval::for_mean(gamma_hat, sigma_hat, n_traces, delta);
     IsEstimate {
         gamma_hat,
         sigma_hat,
         ci,
-        n: run.n_traces,
+        n: n_traces,
+    }
+}
+
+/// A sampled run compiled against its (fixed) IS chain `B` for fast
+/// repeated estimator evaluation.
+///
+/// The IMCIS random search evaluates the *same* run against thousands of
+/// candidate reference chains. Everything that depends only on the run and
+/// on `B` is precomputed here, once:
+///
+/// * distinct observed transitions get dense ids (`transitions`);
+/// * each deduplicated table becomes a CSR slice of `(id, n)` pairs;
+/// * `ln b_ij` is taken once per distinct transition (`log_b`), and the
+///   per-table constant `Σ n_ij ln b_ij` is cached (`table_log_pb`).
+///
+/// A candidate evaluation then needs one `Dtmc::prob` lookup and one `ln`
+/// per **distinct** transition (not per table entry), and zero work for
+/// `B` — half the lookups and none of the redundant `ln` calls of the
+/// naive loop, while producing bit-identical `γ̂`/`σ̂` (same summation
+/// order and operands as [`is_estimate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedRun {
+    /// Dense id → observed transition, in first-appearance order.
+    transitions: Vec<(State, State)>,
+    /// Flat `(transition id, multiplicity n_ij)` entries of all tables.
+    entries: Vec<(u32, u32)>,
+    /// Table `k` owns `entries[table_offsets[k]..table_offsets[k + 1]]`.
+    table_offsets: Vec<u32>,
+    /// Trace multiplicity of each table, as `f64`.
+    table_mult: Vec<f64>,
+    /// Cached `Σ n_ij ln b_ij` of each table.
+    table_log_pb: Vec<f64>,
+    /// `ln b_ij` per transition id.
+    log_b: Vec<f64>,
+    /// Total trace count `N` (including failures).
+    n_traces: usize,
+}
+
+impl PreparedRun {
+    /// Compiles `run` against the IS chain `b` it was sampled under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a table references a transition with `b_ij = 0` — such a
+    /// trace could not have been sampled under `b`, so the run and chain
+    /// are mismatched.
+    pub fn new(run: &IsRun, b: &Dtmc) -> Self {
+        let mut lookup: HashMap<(State, State), u32> = HashMap::new();
+        let mut transitions: Vec<(State, State)> = Vec::new();
+        let mut log_b: Vec<f64> = Vec::new();
+        let mut entries = Vec::new();
+        let mut table_offsets = Vec::with_capacity(run.tables.len() + 1);
+        let mut table_mult = Vec::with_capacity(run.tables.len());
+        let mut table_log_pb = Vec::with_capacity(run.tables.len());
+        table_offsets.push(0u32);
+        for table in &run.tables {
+            let mut log_pb = 0.0f64;
+            for &((from, to), n) in &table.counts {
+                let id = *lookup.entry((from, to)).or_insert_with(|| {
+                    let p = b.prob(from, to);
+                    assert!(
+                        p > 0.0,
+                        "transition {from} -> {to} observed under B but has b = 0"
+                    );
+                    transitions.push((from, to));
+                    log_b.push(p.ln());
+                    (transitions.len() - 1) as u32
+                });
+                entries.push((id, n as u32));
+                log_pb += n as f64 * log_b[id as usize];
+            }
+            assert!(
+                entries.len() < u32::MAX as usize,
+                "run too large for u32 entry offsets"
+            );
+            table_offsets.push(entries.len() as u32);
+            table_mult.push(table.multiplicity as f64);
+            table_log_pb.push(log_pb);
+        }
+        PreparedRun {
+            transitions,
+            entries,
+            table_offsets,
+            table_mult,
+            table_log_pb,
+            log_b,
+            n_traces: run.n_traces,
+        }
+    }
+
+    /// The indexed transitions, id order.
+    pub fn transitions(&self) -> &[(State, State)] {
+        &self.transitions
+    }
+
+    /// Number of distinct observed transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Number of deduplicated tables.
+    pub fn num_tables(&self) -> usize {
+        self.table_mult.len()
+    }
+
+    /// Total trace count `N` behind the run.
+    pub fn n_traces(&self) -> usize {
+        self.n_traces
+    }
+
+    /// `ln b` of transition id `t`.
+    pub fn log_b(&self, t: usize) -> f64 {
+        self.log_b[t]
+    }
+
+    /// The `(id, n)` entries and multiplicity of table `k`.
+    pub fn table(&self, k: usize) -> (&[(u32, u32)], f64) {
+        let range = self.table_offsets[k] as usize..self.table_offsets[k + 1] as usize;
+        (&self.entries[range], self.table_mult[k])
+    }
+
+    /// Fills `buf` with `ln a_ij` per transition id (`-inf` where `a`
+    /// assigns probability zero).
+    pub fn log_probs_into(&self, a: &Dtmc, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend(
+            self.transitions
+                .iter()
+                .map(|&(from, to)| a.prob(from, to).ln()),
+        );
+    }
+
+    /// Evaluates `(f(A), g(A))` — the empirical IS objective and its second
+    /// moment — for candidate log-probabilities `ln a_ij` (one per
+    /// transition id, aligned with [`PreparedRun::transitions`]):
+    ///
+    /// ```text
+    /// f(A) = Σ_tables mult · exp( Σ_t n_t ln a_t − Σ_t n_t ln b_t )
+    /// g(A) = Σ_tables mult · exp( … )²
+    /// ```
+    ///
+    /// The second sum is the cached per-table constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if `log_a` has the wrong length.
+    pub fn eval_log(&self, log_a: &[f64]) -> (f64, f64) {
+        debug_assert_eq!(log_a.len(), self.transitions.len());
+        let mut f = 0.0f64;
+        let mut g = 0.0f64;
+        for k in 0..self.table_mult.len() {
+            let range = self.table_offsets[k] as usize..self.table_offsets[k + 1] as usize;
+            let mut log_pa = 0.0f64;
+            for &(id, n) in &self.entries[range] {
+                log_pa += n as f64 * log_a[id as usize];
+            }
+            let l = (log_pa - self.table_log_pb[k]).exp();
+            let mult = self.table_mult[k];
+            f += mult * l;
+            g += mult * l * l;
+        }
+        (f, g)
+    }
+
+    /// The estimator pair `(γ̂, σ̂)` at given objective values:
+    /// `γ̂ = f/N`, `σ̂ = √(g/N − γ̂²)`.
+    pub fn moments(&self, f: f64, g: f64) -> (f64, f64) {
+        let n = self.n_traces as f64;
+        let gamma = f / n;
+        let variance = (g / n - gamma * gamma).max(0.0);
+        (gamma, variance.sqrt())
+    }
+
+    /// Evaluates the IS estimator against reference chain `a` —
+    /// bit-identical to [`is_estimate`]`(a, b, run, delta)` on the run and
+    /// chain this value was built from, at a fraction of the cost per
+    /// candidate.
+    ///
+    /// Allocates one scratch vector per call; tight candidate loops should
+    /// hold a buffer and use [`PreparedRun::estimate_with`] instead.
+    pub fn estimate(&self, a: &Dtmc, delta: f64) -> IsEstimate {
+        self.estimate_with(a, delta, &mut Vec::new())
+    }
+
+    /// Allocation-free [`PreparedRun::estimate`]: reuses `log_a_buf` as
+    /// the per-candidate `ln a` scratch across calls.
+    pub fn estimate_with(&self, a: &Dtmc, delta: f64, log_a_buf: &mut Vec<f64>) -> IsEstimate {
+        self.log_probs_into(a, log_a_buf);
+        let (f, g) = self.eval_log(log_a_buf);
+        finish_estimate(f, g, self.n_traces, delta)
     }
 }
 
@@ -202,10 +467,8 @@ mod tests {
             .self_loop(2)
             .build()
             .unwrap();
-        let prop = Property::reach_avoid(
-            StateSet::from_states(3, [1]),
-            StateSet::from_states(3, [2]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(3, [1]), StateSet::from_states(3, [2]));
         (a, b, prop)
     }
 
@@ -295,10 +558,8 @@ mod tests {
             .self_loop(3)
             .build()
             .unwrap();
-        let prop = Property::reach_avoid(
-            StateSet::from_states(4, [2]),
-            StateSet::from_states(4, [3]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
         let mut rng = rand::rngs::StdRng::seed_from_u64(12);
         let run = sample_is_run(&b, &prop, &IsConfig::new(200_000), &mut rng);
         let est = is_estimate(&a, &b, &run, 0.01);

@@ -125,10 +125,8 @@ mod tests {
         let chain = cascade();
         let gamma = 1e-4; // two independent 1e-2 failures
         let biased = failure_bias(&chain, is_fail, 0.5).unwrap();
-        let prop = Property::reach_avoid(
-            StateSet::from_states(4, [2]),
-            StateSet::from_states(4, [3]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let run = sample_is_run(&biased, &prop, &IsConfig::new(20_000), &mut rng);
         assert!(run.n_success > 3000, "{}", run.n_success);

@@ -60,7 +60,9 @@ mod splitting;
 mod zero_variance;
 
 pub use cross_entropy::{cross_entropy_is, CrossEntropyConfig, CrossEntropyResult};
-pub use estimator::{is_estimate, sample_is_run, IsConfig, IsEstimate, IsRun, WeightedTable};
+pub use estimator::{
+    is_estimate, sample_is_run, IsConfig, IsEstimate, IsRun, PreparedRun, WeightedTable,
+};
 pub use failure_bias::failure_bias;
 pub use splitting::{importance_splitting, SplittingConfig, SplittingResult};
 pub use zero_variance::zero_variance_is;

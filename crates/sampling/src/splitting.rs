@@ -10,8 +10,8 @@
 //! measure is available.
 
 use imc_markov::{Dtmc, State, StateSet};
-use imc_stats::{normal_quantile, ConfidenceInterval};
 use imc_sim::{ChainSampler, StateSampler};
+use imc_stats::{normal_quantile, ConfidenceInterval};
 use rand::Rng;
 
 /// Configuration of a fixed-effort splitting run.
@@ -204,7 +204,11 @@ mod tests {
             &mut rng,
         );
         assert!(result.gamma_hat > 0.0);
-        assert!((result.gamma_hat - 1e-6).abs() / 1e-6 < 0.5, "{:e}", result.gamma_hat);
+        assert!(
+            (result.gamma_hat - 1e-6).abs() / 1e-6 < 0.5,
+            "{:e}",
+            result.gamma_hat
+        );
     }
 
     #[test]

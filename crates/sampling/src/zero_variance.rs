@@ -102,15 +102,14 @@ pub fn zero_variance_is(
         // Rounding guard: force exact stochasticity by adjusting the
         // largest entry.
         let sum: f64 = entries.iter().map(|e| e.prob).sum();
-        if let Some(largest) = entries
-            .iter_mut()
-            .max_by(|a, b| a.prob.total_cmp(&b.prob))
-        {
+        if let Some(largest) = entries.iter_mut().max_by(|a, b| a.prob.total_cmp(&b.prob)) {
             largest.prob += 1.0 - sum;
         }
         replacements.push((state, entries));
     }
-    chain.with_rows(replacements).map_err(ZeroVarianceError::from)
+    chain
+        .with_rows(replacements)
+        .map_err(ZeroVarianceError::from)
 }
 
 #[cfg(test)]
@@ -142,8 +141,8 @@ mod tests {
         let d = 1.0 - c;
         let chain = illustrative(a, c);
         let target = StateSet::from_states(4, [2]);
-        let b = zero_variance_is(&chain, &target, &StateSet::new(4), &SolveOptions::default())
-            .unwrap();
+        let b =
+            zero_variance_is(&chain, &target, &StateSet::new(4), &SolveOptions::default()).unwrap();
         assert!((b.prob(0, 1) - 1.0).abs() < 1e-12);
         assert_eq!(b.prob(0, 3), 0.0);
         assert!((b.prob(1, 2) - (1.0 - a * d)).abs() < 1e-12);
@@ -156,8 +155,8 @@ mod tests {
         let chain = illustrative(a, c);
         let target = StateSet::from_states(4, [2]);
         let prop = Property::reach_avoid(target.clone(), StateSet::from_states(4, [3]));
-        let b = zero_variance_is(&chain, &target, &StateSet::new(4), &SolveOptions::default())
-            .unwrap();
+        let b =
+            zero_variance_is(&chain, &target, &StateSet::new(4), &SolveOptions::default()).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let run = sample_is_run(&b, &prop, &IsConfig::new(2000), &mut rng);
         assert_eq!(run.n_success, 2000); // every trace succeeds
@@ -191,8 +190,7 @@ mod tests {
         let chain = illustrative(0.3, 0.4);
         let target = StateSet::from_states(4, [2]);
         let avoid = StateSet::from_states(4, [3]);
-        let b =
-            zero_variance_is(&chain, &target, &avoid, &SolveOptions::default()).unwrap();
+        let b = zero_variance_is(&chain, &target, &avoid, &SolveOptions::default()).unwrap();
         // s3 is in avoid: untouched self-loop.
         assert_eq!(b.prob(3, 3), 1.0);
     }
@@ -206,8 +204,7 @@ mod tests {
         let mut avoid = StateSet::new(4);
         avoid.insert(chain.initial());
         // x[1] = c = 0.4 (looping back to init is failure).
-        let b =
-            zero_variance_is(&chain, &target, &avoid, &SolveOptions::default()).unwrap();
+        let b = zero_variance_is(&chain, &target, &avoid, &SolveOptions::default()).unwrap();
         assert!((b.prob(0, 1) - 1.0).abs() < 1e-12, "init row biased");
         // From s1, returning to 0 has x=0: the ZV chain drops it.
         assert_eq!(b.prob(1, 0), 0.0);

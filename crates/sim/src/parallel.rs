@@ -1,0 +1,175 @@
+//! Low-level thread fan-out primitives shared by the batch engine and the
+//! experiment harness.
+//!
+//! Everything here is built on [`std::thread::scope`] — the offline build
+//! has no work-stealing runtime (see `vendor/README.md`) and none is
+//! needed: workloads are embarrassingly parallel over trace or repetition
+//! indices, and **static contiguous partitioning** keeps every reduction
+//! deterministic for free (each worker always owns the same index range,
+//! so merge order and merge contents never depend on scheduling).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads the machine offers.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// Resolves a requested thread count: `0` means "all available cores".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// The contiguous index range worker `w` of `k` owns out of `0..n`.
+///
+/// Ranges differ in length by at most one and cover `0..n` exactly.
+pub fn partition(n: usize, workers: usize, w: usize) -> std::ops::Range<usize> {
+    debug_assert!(w < workers);
+    let base = n / workers;
+    let extra = n % workers;
+    let start = w * base + w.min(extra);
+    let len = base + usize::from(w < extra);
+    start..start + len
+}
+
+/// Runs `job(i)` for every `i in 0..n` across up to `threads` workers
+/// (`0` = all cores), returning the results in index order.
+///
+/// Work is handed out dynamically (atomic counter), which is safe here
+/// because each result lands in its own slot — determinism comes from
+/// indexing, not scheduling.
+pub fn parallel_map<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_threads(threads).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let slots_mutex = Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = job(i);
+                let mut guard = slots_mutex.lock().expect("result mutex poisoned");
+                guard[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index filled"))
+        .collect()
+}
+
+/// Statically partitioned fold: worker `w` folds `job` over its
+/// [`partition`] into an accumulator from `init`, and the per-worker
+/// accumulators are merged **in worker order**.
+///
+/// Because the index→worker assignment is a pure function of `(n,
+/// workers)`, the result is identical for every run at a fixed worker
+/// count; when the per-index contribution commutes (counter maps, sums),
+/// it is identical across worker counts too.
+pub fn partitioned_fold<Acc, Init, Step, Merge>(
+    n: usize,
+    threads: usize,
+    init: Init,
+    step: Step,
+    merge: Merge,
+) -> Acc
+where
+    Acc: Send,
+    Init: Fn() -> Acc + Sync,
+    Step: Fn(&mut Acc, usize) + Sync,
+    Merge: Fn(&mut Acc, Acc),
+{
+    let workers = resolve_threads(threads).min(n.max(1));
+    if workers <= 1 {
+        let mut acc = init();
+        for i in 0..n {
+            step(&mut acc, i);
+        }
+        return acc;
+    }
+    let mut partials: Vec<Option<Acc>> = (0..workers).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (w, slot) in partials.iter_mut().enumerate() {
+            let init = &init;
+            let step = &step;
+            scope.spawn(move || {
+                let mut acc = init();
+                for i in partition(n, workers, w) {
+                    step(&mut acc, i);
+                }
+                *slot = Some(acc);
+            });
+        }
+    });
+    let mut iter = partials.into_iter().map(|p| p.expect("worker finished"));
+    let mut acc = iter.next().expect("at least one worker");
+    for partial in iter {
+        merge(&mut acc, partial);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for workers in [1usize, 2, 3, 8] {
+                let mut covered = Vec::new();
+                for w in 0..workers {
+                    covered.extend(partition(n, workers, w));
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} k={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let squares = parallel_map(257, 4, |i| i * i);
+        assert_eq!(squares.len(), 257);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, i * i);
+        }
+    }
+
+    #[test]
+    fn parallel_map_zero_jobs() {
+        let empty: Vec<usize> = parallel_map(0, 4, |i| i);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn partitioned_fold_sums_match_sequential() {
+        for threads in [1usize, 2, 3, 8] {
+            let total = partitioned_fold(
+                10_000,
+                threads,
+                || 0u64,
+                |acc, i| *acc += i as u64,
+                |acc, other| *acc += other,
+            );
+            assert_eq!(total, 10_000u64 * 9_999 / 2, "threads={threads}");
+        }
+    }
+}

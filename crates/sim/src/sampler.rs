@@ -16,94 +16,98 @@ pub trait StateSampler {
 /// Walker alias-method sampler: O(row length) construction, O(1) per draw.
 ///
 /// The standard choice for SMC workloads, where the same rows are sampled
-/// millions of times.
+/// millions of times. All per-state tables live in **contiguous CSR
+/// arrays** (one `prob`/`alias`/`targets` allocation plus row offsets):
+/// the inner simulation loop touches at most four flat arrays per step
+/// and chases no per-row pointers.
 #[derive(Debug, Clone)]
 pub struct ChainSampler {
-    tables: Vec<AliasTable>,
-}
-
-#[derive(Debug, Clone)]
-struct AliasTable {
+    /// Slot range of state `s` is `offsets[s]..offsets[s + 1]`.
+    offsets: Vec<u32>,
     /// Acceptance probability of each slot.
     prob: Vec<f64>,
-    /// Alternative slot index used on rejection.
+    /// Alternative slot (absolute index) used on rejection.
     alias: Vec<u32>,
     /// Target state of each slot.
     targets: Vec<State>,
 }
 
-impl AliasTable {
-    fn new(entries: &[(State, f64)]) -> Self {
-        let k = entries.len();
-        let targets: Vec<State> = entries.iter().map(|&(t, _)| t).collect();
-        let mut prob: Vec<f64> = entries.iter().map(|&(_, p)| p * k as f64).collect();
-        let mut alias = vec![0u32; k];
-        let mut small: Vec<usize> = Vec::with_capacity(k);
-        let mut large: Vec<usize> = Vec::with_capacity(k);
-        for (i, &p) in prob.iter().enumerate() {
-            if p < 1.0 {
-                small.push(i);
-            } else {
-                large.push(i);
+impl ChainSampler {
+    /// Builds the flat alias tables for every state of `chain`.
+    pub fn new(chain: &Dtmc) -> Self {
+        let num_slots = chain.num_transitions();
+        assert!(
+            num_slots < u32::MAX as usize,
+            "chain too large for u32 slot indices"
+        );
+        let mut offsets = Vec::with_capacity(chain.num_states() + 1);
+        let mut prob = Vec::with_capacity(num_slots);
+        let mut alias = Vec::with_capacity(num_slots);
+        let mut targets = Vec::with_capacity(num_slots);
+        offsets.push(0u32);
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for row in chain.rows() {
+            let start = targets.len();
+            let k = row.len();
+            targets.extend(row.entries().iter().map(|e| e.target));
+            prob.extend(row.entries().iter().map(|e| e.prob * k as f64));
+            alias.resize(start + k, 0u32);
+            // Walker's construction over the local slots of this row.
+            let row_prob = &mut prob[start..];
+            let row_alias = &mut alias[start..];
+            small.clear();
+            large.clear();
+            for (i, &p) in row_prob.iter().enumerate() {
+                if p < 1.0 {
+                    small.push(i);
+                } else {
+                    large.push(i);
+                }
             }
-        }
-        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
-            alias[s] = l as u32;
-            prob[l] = (prob[l] + prob[s]) - 1.0;
-            if prob[l] < 1.0 {
-                small.push(l);
-            } else {
-                large.push(l);
+            while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+                row_alias[s] = (start + l) as u32;
+                row_prob[l] = (row_prob[l] + row_prob[s]) - 1.0;
+                if row_prob[l] < 1.0 {
+                    small.push(l);
+                } else {
+                    large.push(l);
+                }
             }
+            // Numerical leftovers: both stacks drain to probability 1.
+            for i in small.drain(..).chain(large.drain(..)) {
+                row_prob[i] = 1.0;
+            }
+            offsets.push(targets.len() as u32);
         }
-        // Numerical leftovers: both stacks drain to probability 1.
-        for i in small.into_iter().chain(large) {
-            prob[i] = 1.0;
-        }
-        AliasTable {
+        ChainSampler {
+            offsets,
             prob,
             alias,
             targets,
         }
     }
+}
 
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> State {
-        let k = self.targets.len();
+impl StateSampler for ChainSampler {
+    #[inline]
+    fn step<R: Rng + ?Sized>(&self, state: State, rng: &mut R) -> State {
+        let start = self.offsets[state] as usize;
+        let end = self.offsets[state + 1] as usize;
+        let k = end - start;
         if k == 1 {
-            return self.targets[0];
+            return self.targets[start];
         }
-        let slot = rng.gen_range(0..k);
+        let slot = start + rng.gen_range(0..k);
         if rng.gen::<f64>() < self.prob[slot] {
             self.targets[slot]
         } else {
             self.targets[self.alias[slot] as usize]
         }
     }
-}
-
-impl ChainSampler {
-    /// Builds alias tables for every state of `chain`.
-    pub fn new(chain: &Dtmc) -> Self {
-        let tables = chain
-            .rows()
-            .iter()
-            .map(|row| {
-                let entries: Vec<(State, f64)> =
-                    row.entries().iter().map(|e| (e.target, e.prob)).collect();
-                AliasTable::new(&entries)
-            })
-            .collect();
-        ChainSampler { tables }
-    }
-}
-
-impl StateSampler for ChainSampler {
-    fn step<R: Rng + ?Sized>(&self, state: State, rng: &mut R) -> State {
-        self.tables[state].sample(rng)
-    }
 
     fn num_states(&self) -> usize {
-        self.tables.len()
+        self.offsets.len() - 1
     }
 }
 
@@ -120,6 +124,14 @@ pub struct CdfSampler {
 
 impl CdfSampler {
     /// Builds cumulative rows for every state of `chain`.
+    ///
+    /// Rows are renormalised by their actual sum at build time: a row is
+    /// only guaranteed stochastic within [`imc_markov::ROW_SUM_TOLERANCE`],
+    /// and clamping just the final bucket to `1.0` would silently dump all
+    /// of that rounding drift onto the last transition. Dividing every
+    /// cumulative value by the true row sum spreads the correction
+    /// proportionally across the row; the final bucket is then pinned to
+    /// exactly `1.0` so every draw of `u ∈ [0, 1)` lands in a bucket.
     pub fn new(chain: &Dtmc) -> Self {
         let mut cumulative = Vec::with_capacity(chain.num_states());
         let mut targets = Vec::with_capacity(chain.num_states());
@@ -132,7 +144,10 @@ impl CdfSampler {
                 cum.push(acc);
                 tgt.push(e.target);
             }
-            // Guard against rounding: the last bucket must cover u -> 1.
+            let total = acc;
+            for c in &mut cum {
+                *c /= total;
+            }
             if let Some(last) = cum.last_mut() {
                 *last = 1.0;
             }
@@ -236,6 +251,90 @@ mod tests {
         let hits = (0..n).filter(|_| sampler.step(0, &mut rng) == 1).count();
         let rate = hits as f64 / n as f64;
         assert!((rate - 1e-4).abs() < 5e-5, "rate {rate}");
+    }
+
+    /// Property test: on randomly generated rows, the alias and CDF
+    /// samplers both reproduce the row distribution (they share RNG
+    /// *quality*, not streams, so agreement is in frequency, not
+    /// draw-by-draw).
+    #[test]
+    fn random_rows_alias_and_cdf_agree_with_the_distribution() {
+        let mut meta_rng = rand::rngs::StdRng::seed_from_u64(2018);
+        for case in 0..20 {
+            let k = meta_rng.gen_range(2..=8usize);
+            // Random positive weights, normalised into a row; exercise
+            // skewed rows by squaring half the time.
+            let mut weights: Vec<f64> = (0..k)
+                .map(|_| {
+                    let w: f64 = meta_rng.gen_range(0.05..1.0);
+                    if case % 2 == 0 {
+                        w * w
+                    } else {
+                        w
+                    }
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= total;
+            }
+            let mut builder = DtmcBuilder::new(k);
+            for (target, &w) in weights.iter().enumerate() {
+                builder = builder.transition(0, target, w);
+            }
+            for s in 1..k {
+                builder = builder.self_loop(s);
+            }
+            let chain = builder.build().unwrap();
+            let alias = ChainSampler::new(&chain);
+            let cdf = CdfSampler::new(&chain);
+            let n = 40_000;
+            let freq_alias = empirical_row(&alias, 0, n);
+            let freq_cdf = empirical_row(&cdf, 0, n);
+            // ~4-sigma binomial tolerance at p <= 1, n = 40k.
+            let tol = 4.0 * (0.25f64 / n as f64).sqrt();
+            for (target, &w) in weights.iter().enumerate() {
+                assert!(
+                    (freq_alias[target] - w).abs() < tol,
+                    "case {case}: alias freq {} vs p {w}",
+                    freq_alias[target]
+                );
+                assert!(
+                    (freq_cdf[target] - w).abs() < tol,
+                    "case {case}: cdf freq {} vs p {w}",
+                    freq_cdf[target]
+                );
+            }
+        }
+    }
+
+    /// The renormalisation regression: a row whose probabilities carry
+    /// rounding drift must not dump the drift onto its last transition.
+    #[test]
+    fn cdf_renormalises_interior_rounding_drift() {
+        // 10 transitions of nominal 0.1 each; accumulated binary rounding
+        // makes the row sum 1 − O(1e-16) without renormalisation.
+        let p = 0.1f64;
+        let mut builder = DtmcBuilder::new(10);
+        for t in 0..10 {
+            builder = builder.transition(0, t, p);
+        }
+        for s in 1..10 {
+            builder = builder.self_loop(s);
+        }
+        let chain = builder.build().unwrap();
+        let cdf = CdfSampler::new(&chain);
+        // The renormalised cumulative row must hit exactly 1.0 and be
+        // strictly increasing.
+        let cum = &cdf.cumulative[0];
+        assert_eq!(*cum.last().unwrap(), 1.0);
+        for pair in cum.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        let freq = empirical_row(&cdf, 0, 100_000);
+        for target in 0..10 {
+            assert!((freq[target] - p).abs() < 0.01, "{freq:?}");
+        }
     }
 
     #[test]

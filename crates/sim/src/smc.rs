@@ -3,7 +3,7 @@ use imc_markov::Dtmc;
 use imc_stats::ConfidenceInterval;
 use rand::Rng;
 
-use crate::{simulate, ChainSampler};
+use crate::{simulate_verdict, BatchRunner, ChainSampler};
 
 /// Configuration of a crude Monte Carlo estimation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,11 +16,15 @@ pub struct SmcConfig {
     /// counted as non-satisfying and reported in
     /// [`SmcResult::undecided`].
     pub max_steps: usize,
+    /// Worker threads for the batch engine; `0` = all cores. Results are
+    /// bit-identical across thread counts for a fixed seed.
+    pub threads: usize,
 }
 
 impl SmcConfig {
-    /// Creates a config with the given trace count and confidence parameter
-    /// and a default step budget of one million transitions per trace.
+    /// Creates a config with the given trace count and confidence parameter,
+    /// a default step budget of one million transitions per trace, and the
+    /// batch engine on all cores.
     ///
     /// # Panics
     ///
@@ -35,12 +39,19 @@ impl SmcConfig {
             n_traces,
             delta,
             max_steps: 1_000_000,
+            threads: 0,
         }
     }
 
     /// Replaces the per-trace step budget.
     pub fn with_max_steps(mut self, max_steps: usize) -> Self {
         self.max_steps = max_steps;
+        self
+    }
+
+    /// Replaces the worker-thread budget (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -73,23 +84,35 @@ pub fn monte_carlo<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> SmcResult {
     let sampler = ChainSampler::new(chain);
-    let mut monitor = property.monitor();
-    let mut hits = 0u64;
-    let mut undecided = 0u64;
-    for _ in 0..config.n_traces {
-        let outcome = simulate(
-            &sampler,
-            chain.initial(),
-            &mut monitor,
-            rng,
-            config.max_steps,
-        );
-        match outcome.verdict {
-            Verdict::Accepted => hits += 1,
-            Verdict::Rejected => {}
-            Verdict::Undecided => undecided += 1,
-        }
-    }
+    // One draw keys the whole batch; per-trace streams derive from it, so
+    // the result depends only on this seed, never on thread scheduling.
+    let master_seed = rng.next_u64();
+    let runner = BatchRunner::new(config.threads);
+    let (_, hits, undecided) = runner.run(
+        config.n_traces,
+        master_seed,
+        || (property.monitor(), 0u64, 0u64),
+        |(monitor, hits, undecided), _i, trace_rng| {
+            // Crude MC needs no count tables — the count-free walk keeps
+            // the inner loop free of hashing and allocation.
+            let (verdict, _, _) = simulate_verdict(
+                &sampler,
+                chain.initial(),
+                monitor,
+                trace_rng,
+                config.max_steps,
+            );
+            match verdict {
+                Verdict::Accepted => *hits += 1,
+                Verdict::Rejected => {}
+                Verdict::Undecided => *undecided += 1,
+            }
+        },
+        |acc, other| {
+            acc.1 += other.1;
+            acc.2 += other.2;
+        },
+    );
     let estimate = hits as f64 / config.n_traces as f64;
     let ci = ConfidenceInterval::for_bernoulli(estimate, config.n_traces, config.delta)
         .clamped_to_unit();

@@ -166,17 +166,19 @@ mod tests {
     }
 
     fn reach_one() -> Property {
-        Property::reach_avoid(
-            StateSet::from_states(3, [1]),
-            StateSet::from_states(3, [2]),
-        )
+        Property::reach_avoid(StateSet::from_states(3, [1]), StateSet::from_states(3, [2]))
     }
 
     #[test]
     fn clear_h0_is_accepted() {
         // γ = 0.5, testing γ ≥ 0.3 vs γ ≤ 0.1: H0 obviously.
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let result = sprt(&coin(0.5), &reach_one(), &SprtConfig::new(0.3, 0.1, 0.01), &mut rng);
+        let result = sprt(
+            &coin(0.5),
+            &reach_one(),
+            &SprtConfig::new(0.3, 0.1, 0.01),
+            &mut rng,
+        );
         assert_eq!(result.decision, SprtDecision::AcceptH0);
         assert!(result.samples_used < 200, "{}", result.samples_used);
     }
@@ -184,7 +186,12 @@ mod tests {
     #[test]
     fn clear_h1_is_accepted() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let result = sprt(&coin(0.01), &reach_one(), &SprtConfig::new(0.3, 0.1, 0.01), &mut rng);
+        let result = sprt(
+            &coin(0.01),
+            &reach_one(),
+            &SprtConfig::new(0.3, 0.1, 0.01),
+            &mut rng,
+        );
         assert_eq!(result.decision, SprtDecision::AcceptH1);
         assert!(result.samples_used < 200, "{}", result.samples_used);
     }
@@ -226,7 +233,12 @@ mod tests {
         // Okamoto fixed-size bound for comparable confidence.
         let fixed = imc_stats::okamoto_sample_size(0.1, 0.01);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let result = sprt(&coin(0.6), &reach_one(), &SprtConfig::new(0.3, 0.1, 0.01), &mut rng);
+        let result = sprt(
+            &coin(0.6),
+            &reach_one(),
+            &SprtConfig::new(0.3, 0.1, 0.01),
+            &mut rng,
+        );
         assert_eq!(result.decision, SprtDecision::AcceptH0);
         assert!(
             result.samples_used * 10 < fixed,

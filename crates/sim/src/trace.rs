@@ -48,6 +48,65 @@ where
     R: Rng + ?Sized,
 {
     let mut counts = TransitionCounts::new();
+    let (verdict, len, last_state) =
+        simulate_counts_into(sampler, initial, monitor, rng, max_steps, &mut counts);
+    TraceOutcome {
+        verdict,
+        counts,
+        len,
+        last_state,
+    }
+}
+
+/// Count-free variant of [`simulate`] for estimators that only need the
+/// verdict (crude Monte Carlo): no table is built, so the inner loop does
+/// zero hashing and zero allocation per trace.
+///
+/// Returns `(verdict, transitions taken, stop state)`.
+pub fn simulate_verdict<S, M, R>(
+    sampler: &S,
+    initial: State,
+    monitor: &mut M,
+    rng: &mut R,
+    max_steps: usize,
+) -> (Verdict, usize, State)
+where
+    S: StateSampler,
+    M: Monitor,
+    R: Rng + ?Sized,
+{
+    let mut verdict = monitor.reset(initial);
+    let mut state = initial;
+    let mut len = 0usize;
+    while !verdict.is_decided() && len < max_steps {
+        let next = sampler.step(state, rng);
+        len += 1;
+        verdict = monitor.observe(next);
+        state = next;
+    }
+    (verdict, len, state)
+}
+
+/// Allocation-free variant of [`simulate`] for batch hot loops: clears and
+/// refills a caller-owned count table instead of returning a fresh one,
+/// so a worker can reuse one table (and its hash buckets) across millions
+/// of traces.
+///
+/// Returns `(verdict, transitions taken, stop state)`.
+pub fn simulate_counts_into<S, M, R>(
+    sampler: &S,
+    initial: State,
+    monitor: &mut M,
+    rng: &mut R,
+    max_steps: usize,
+    counts: &mut TransitionCounts,
+) -> (Verdict, usize, State)
+where
+    S: StateSampler,
+    M: Monitor,
+    R: Rng + ?Sized,
+{
+    counts.clear();
     let mut verdict = monitor.reset(initial);
     let mut state = initial;
     let mut len = 0usize;
@@ -58,12 +117,7 @@ where
         verdict = monitor.observe(next);
         state = next;
     }
-    TraceOutcome {
-        verdict,
-        counts,
-        len,
-        last_state: state,
-    }
+    (verdict, len, state)
 }
 
 /// Simulates one trace and keeps the full [`Path`] — used by the learning
@@ -115,7 +169,7 @@ mod tests {
     use super::*;
     use crate::ChainSampler;
     use imc_logic::Property;
-    use imc_markov::{DtmcBuilder, Dtmc, StateSet};
+    use imc_markov::{Dtmc, DtmcBuilder, StateSet};
     use rand::SeedableRng;
 
     fn coin_chain() -> Dtmc {
@@ -132,10 +186,8 @@ mod tests {
     fn trace_decides_and_counts() {
         let chain = coin_chain();
         let sampler = ChainSampler::new(&chain);
-        let prop = Property::reach_avoid(
-            StateSet::from_states(3, [1]),
-            StateSet::from_states(3, [2]),
-        );
+        let prop =
+            Property::reach_avoid(StateSet::from_states(3, [1]), StateSet::from_states(3, [2]));
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let outcome = simulate(&sampler, 0, &mut prop.monitor(), &mut rng, 100);
         assert!(outcome.verdict.is_decided());
@@ -153,10 +205,7 @@ mod tests {
             .build()
             .unwrap();
         let sampler = ChainSampler::new(&chain);
-        let prop = Property::reach_avoid(
-            StateSet::from_states(2, [1]),
-            StateSet::new(2),
-        );
+        let prop = Property::reach_avoid(StateSet::from_states(2, [1]), StateSet::new(2));
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let outcome = simulate(&sampler, 0, &mut prop.monitor(), &mut rng, 50);
         assert_eq!(outcome.verdict, Verdict::Undecided);

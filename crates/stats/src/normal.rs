@@ -88,14 +88,8 @@ pub fn normal_quantile(p: f64) -> f64 {
     ];
 
     fn rational(r: f64, num: &[f64; 8], den: &[f64; 8]) -> f64 {
-        let p = num
-            .iter()
-            .rev()
-            .fold(0.0, |acc, &coeff| acc * r + coeff);
-        let q = den
-            .iter()
-            .rev()
-            .fold(0.0, |acc, &coeff| acc * r + coeff);
+        let p = num.iter().rev().fold(0.0, |acc, &coeff| acc * r + coeff);
+        let q = den.iter().rev().fold(0.0, |acc, &coeff| acc * r + coeff);
         p / q
     }
 
@@ -146,7 +140,7 @@ fn erfc(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -173,10 +167,7 @@ mod tests {
     fn matches_reference_quantiles() {
         for &(p, z) in KNOWN {
             let got = normal_quantile(p);
-            assert!(
-                (got - z).abs() < 1e-9,
-                "Φ⁻¹({p}) = {got}, expected {z}"
-            );
+            assert!((got - z).abs() < 1e-9, "Φ⁻¹({p}) = {got}, expected {z}");
         }
     }
 
@@ -186,7 +177,10 @@ mod tests {
             let p = i as f64 / 100.0;
             let x = normal_quantile(p);
             let back = normal_cdf(x);
-            assert!((back - p).abs() < 1e-6, "round trip failed at p={p}: {back}");
+            assert!(
+                (back - p).abs() < 1e-6,
+                "round trip failed at p={p}: {back}"
+            );
         }
     }
 

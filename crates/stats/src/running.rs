@@ -147,7 +147,6 @@ impl FromIterator<f64> for RunningStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn empty_is_zeroed() {
@@ -188,30 +187,42 @@ mod tests {
         assert!(stats.mean() > 1e-12 && stats.mean() < 2e-6);
     }
 
-    proptest! {
-        #[test]
-        fn merge_equals_sequential(
-            a in prop::collection::vec(-1e3f64..1e3, 0..50),
-            b in prop::collection::vec(-1e3f64..1e3, 0..50),
-        ) {
+    /// Property sweeps (seeded, no proptest offline).
+    #[test]
+    fn merge_equals_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+        for case in 0..128 {
+            let la = rng.gen_range(0..50usize);
+            let lb = rng.gen_range(0..50usize);
+            let a: Vec<f64> = (0..la).map(|_| rng.gen_range(-1e3..1e3)).collect();
+            let b: Vec<f64> = (0..lb).map(|_| rng.gen_range(-1e3..1e3)).collect();
             let mut merged: RunningStats = a.iter().copied().collect();
             let right: RunningStats = b.iter().copied().collect();
             merged.merge(&right);
-            let sequential: RunningStats =
-                a.iter().chain(b.iter()).copied().collect();
-            prop_assert_eq!(merged.count(), sequential.count());
-            prop_assert!((merged.mean() - sequential.mean()).abs() < 1e-9);
-            prop_assert!(
-                (merged.population_variance() - sequential.population_variance()).abs()
-                    < 1e-7
+            let sequential: RunningStats = a.iter().chain(b.iter()).copied().collect();
+            assert_eq!(merged.count(), sequential.count(), "case {case}");
+            assert!(
+                (merged.mean() - sequential.mean()).abs() < 1e-9,
+                "case {case}"
+            );
+            assert!(
+                (merged.population_variance() - sequential.population_variance()).abs() < 1e-7,
+                "case {case}"
             );
         }
+    }
 
-        #[test]
-        fn variance_is_never_negative(xs in prop::collection::vec(-1e6f64..1e6, 0..100)) {
+    #[test]
+    fn variance_is_never_negative() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+        for case in 0..128 {
+            let len = rng.gen_range(0..100usize);
+            let xs: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e6..1e6)).collect();
             let stats: RunningStats = xs.into_iter().collect();
-            prop_assert!(stats.population_variance() >= 0.0);
-            prop_assert!(stats.sample_variance() >= 0.0);
+            assert!(stats.population_variance() >= 0.0, "case {case}");
+            assert!(stats.sample_variance() >= 0.0, "case {case}");
         }
     }
 }

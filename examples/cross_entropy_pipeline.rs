@@ -72,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         est.ci,
         est.ci.contains(gamma)
     );
-    println!("                  learnt b(0->1) = {:.3} (ZV would be 1.0)", ce.b.prob(0, 1));
+    println!(
+        "                  learnt b(0->1) = {:.3} (ZV would be 1.0)",
+        ce.b.prob(0, 1)
+    );
 
     // Zero-variance: the theoretical optimum, needs the exact solution.
     let zv = zero_variance_is(&chain, &target, &avoid, &SolveOptions::default())?;

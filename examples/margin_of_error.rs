@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example margin_of_error`
 
-use imc_models::illustrative;
 use imc_markov::StateSet;
+use imc_models::illustrative;
 use imc_numeric::{imc_reach_bounds, SolveOptions};
 use imc_sampling::zero_variance_is;
 use imcis_core::{imcis, standard_is, ImcisConfig};
@@ -14,19 +14,34 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The true system (unknown to the analyst):
     let gamma = illustrative::gamma(illustrative::A_TRUE, illustrative::C_TRUE);
-    println!("true system:   a = {}, c = {}", illustrative::A_TRUE, illustrative::C_TRUE);
+    println!(
+        "true system:   a = {}, c = {}",
+        illustrative::A_TRUE,
+        illustrative::C_TRUE
+    );
     println!("               γ = {gamma:.4e}");
 
     // What learning produced: point estimates plus intervals.
     let center = illustrative::dtmc(illustrative::A_HAT, illustrative::C_HAT);
     let gamma_hat = illustrative::gamma(illustrative::A_HAT, illustrative::C_HAT);
-    println!("\nlearnt model:  â = {}, ĉ = {}", illustrative::A_HAT, illustrative::C_HAT);
-    println!("               γ(Â) = {gamma_hat:.4e}  <- {:.1}x the true value!",
-        gamma_hat / gamma);
+    println!(
+        "\nlearnt model:  â = {}, ĉ = {}",
+        illustrative::A_HAT,
+        illustrative::C_HAT
+    );
+    println!(
+        "               γ(Â) = {gamma_hat:.4e}  <- {:.1}x the true value!",
+        gamma_hat / gamma
+    );
 
     // Perfect importance sampling *for the learnt model*.
     let target = StateSet::from_states(4, [illustrative::S2]);
-    let b = zero_variance_is(&center, &target, &StateSet::new(4), &SolveOptions::default())?;
+    let b = zero_variance_is(
+        &center,
+        &target,
+        &StateSet::new(4),
+        &SolveOptions::default(),
+    )?;
     println!("\nperfect IS for Â (Fig. 1c):");
     println!("  b(s0 -> s1) = {:.6}", b.prob(0, 1));
     println!("  b(s1 -> s2) = {:.6}", b.prob(1, 2));
@@ -38,13 +53,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let is = standard_is(&center, &b, &property, &config, &mut rng);
     println!("\nstandard IS over {} traces:", config.n_traces);
     println!("  CI = {}  (zero width: every trace has L = γ(Â))", is.ci);
-    println!("  covers γ? {}  <- confidently wrong", is.ci.contains(gamma));
+    println!(
+        "  covers γ? {}  <- confidently wrong",
+        is.ci.contains(gamma)
+    );
 
     // IMCIS: optimise over every chain the intervals allow.
     let imc = illustrative::paper_imc()?;
     let out = imcis(&imc, &b, &property, &config, &mut rng)?;
-    println!("\nIMCIS over the same traces ({} optimisation rounds):", out.rounds);
-    println!("  γ̂ bracket = [{:.4e}, {:.4e}]", out.gamma_min, out.gamma_max);
+    println!(
+        "\nIMCIS over the same traces ({} optimisation rounds):",
+        out.rounds
+    );
+    println!(
+        "  γ̂ bracket = [{:.4e}, {:.4e}]",
+        out.gamma_min, out.gamma_max
+    );
     println!("  CI = {}", out.ci);
     println!("  covers γ(Â)? {}", out.ci.contains(gamma_hat));
     println!("  covers γ?    {}", out.ci.contains(gamma));

@@ -36,10 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
 
     // The property: reach FAILURE (avoiding the RECOVERED sink).
-    let property = Property::reach_avoid(
-        StateSet::from_states(4, [2]),
-        StateSet::from_states(4, [3]),
-    );
+    let property =
+        Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
 
     // Importance sampling distribution: the zero-variance chain of the
     // learnt model, built from exact reachability probabilities.
@@ -73,6 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gamma_true = 1e-4 * 0.05 / (1.0 - 1e-4 * 0.95);
     println!("\ntrue γ = {gamma_true:.4e}");
     println!("  standard IS CI covers it: {}", is.ci.contains(gamma_true));
-    println!("  IMCIS CI covers it:       {}", out.ci.contains(gamma_true));
+    println!(
+        "  IMCIS CI covers it:       {}",
+        out.ci.contains(gamma_true)
+    );
     Ok(())
 }

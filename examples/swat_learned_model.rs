@@ -5,7 +5,9 @@
 //!
 //! Run with: `cargo run --release --example swat_learned_model`
 
-use imc_learn::{good_turing_unseen_mass, learn_imc_with_support, CountTable, LearnOptions, Smoothing};
+use imc_learn::{
+    good_turing_unseen_mass, learn_imc_with_support, CountTable, LearnOptions, Smoothing,
+};
 use imc_models::swat;
 use imc_numeric::{bounded_reach_probs, imc_bounded_reach_bounds};
 use imc_sampling::{cross_entropy_is, CrossEntropyConfig};
@@ -22,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Collect logs (the paper's authors had weeks of SWaT data).
     let mut counts = CountTable::new(truth.num_states());
     for i in 0..2000 {
-        let start = if i % 4 == 0 { truth.initial() } else { (i * 7) % truth.num_states() };
+        let start = if i % 4 == 0 {
+            truth.initial()
+        } else {
+            (i * 7) % truth.num_states()
+        };
         counts.record_path(&random_walk(&sampler, start, 500, &mut rng));
     }
     println!(
@@ -47,14 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. The property and its exact values (for validation only).
     let property = swat::property(&center);
-    let gamma_center = bounded_reach_probs(
-        &center,
-        &center.labeled_states("high"),
-        swat::STEP_BOUND,
-    )[center.initial()];
-    let gamma_truth =
-        bounded_reach_probs(&truth, &truth.labeled_states("high"), swat::STEP_BOUND)
-            [truth.initial()];
+    let gamma_center =
+        bounded_reach_probs(&center, &center.labeled_states("high"), swat::STEP_BOUND)
+            [center.initial()];
+    let gamma_truth = bounded_reach_probs(&truth, &truth.labeled_states("high"), swat::STEP_BOUND)
+        [truth.initial()];
     println!("γ(Â) = {gamma_center:.4e} (learnt), hidden truth γ = {gamma_truth:.4e}");
 
     // The exact probability envelope of the learnt IMC brackets both.
@@ -91,7 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Estimate: standard IS vs IMCIS (99% CIs as in Fig. 4).
     let config = ImcisConfig::new(10_000, 0.01).with_max_steps(10_000);
     let is = standard_is(&center, &ce.b, &property, &config, &mut rng);
-    println!("\nstandard IS : γ̂ = {:.4e}, 99%-CI = {}", is.gamma_hat, is.ci);
+    println!(
+        "\nstandard IS : γ̂ = {:.4e}, 99%-CI = {}",
+        is.gamma_hat, is.ci
+    );
     let out = imcis(&imc, &ce.b, &property, &config, &mut rng)?;
     println!(
         "IMCIS       : bracket [{:.4e}, {:.4e}], 99%-CI = {}",

@@ -16,11 +16,37 @@
 //! | [`imc_stats`] | normal quantiles, confidence intervals, Okamoto bounds |
 //! | [`imc_learn`] | frequentist model learning, Okamoto IMCs, smoothing |
 //! | [`imc_numeric`] | reachability solvers, interval value iteration, sweeps |
-//! | [`imc_sim`] | alias samplers, trace simulation, crude Monte Carlo |
-//! | [`imc_sampling`] | IS estimator, zero-variance / cross-entropy / failure biasing |
+//! | [`imc_sim`] | CSR alias samplers, trace simulation, the parallel batch engine, crude Monte Carlo |
+//! | [`imc_sampling`] | IS estimator, `PreparedRun` hot-path cache, zero-variance / cross-entropy / failure biasing |
 //! | [`imc_optim`] | the IMCIS optimisation problem, random search, projected SGD |
 //! | [`imc_models`] | the paper's benchmark systems |
 //! | [`imcis_core`] | Algorithm 1 end-to-end plus the experiment harness |
+//!
+//! ## Engine architecture
+//!
+//! The simulation hot path is built from three pieces:
+//!
+//! * **Counter-based RNG streams** — a batch keyed by `master_seed`
+//!   simulates trace `i` under
+//!   `StdRng::seed_from_u64(splitmix64(master_seed + i·φ))`
+//!   ([`imc_sim::stream_seed`]). The stream is a pure function of the
+//!   seed and the trace index, so [`imc_sim::BatchRunner`] produces
+//!   **bit-identical results at every thread count**: threads decide who
+//!   runs a trace, never what the trace is. Workers own static
+//!   contiguous index ranges and their accumulators merge in worker
+//!   order ([`imc_sim::parallel`]).
+//! * **CSR alias tables** — [`imc_sim::ChainSampler`] flattens all
+//!   per-state Walker tables into single `prob`/`alias`/`targets`
+//!   arrays plus row offsets: O(1) per step, no per-row pointer chasing.
+//! * **`PreparedRun`** — [`imc_sampling::PreparedRun`] compiles a
+//!   sampled run against its fixed IS chain `B` once: dense transition
+//!   ids, CSR `(id, n)` table entries, `ln b_ij` per id and the cached
+//!   per-table constant `Σ n_ij ln b_ij`. Re-evaluating the estimator
+//!   against a candidate chain `A` then costs one probability lookup
+//!   and one `ln` per *distinct* transition — and is guaranteed
+//!   bit-identical to the naive [`imc_sampling::is_estimate`] loop
+//!   (same summation order and operands). The optimiser's
+//!   [`imc_optim::Objective`] is a thin wrapper over it.
 //!
 //! ## Thirty-second tour
 //!
@@ -76,8 +102,7 @@ pub mod prelude {
     pub use imc_logic::{Monitor, Property, Verdict};
     pub use imc_markov::{Dtmc, DtmcBuilder, Imc, ImcBuilder, Path, StateSet};
     pub use imc_numeric::{
-        bounded_reach_probs, imc_reach_bounds, reach_avoid_probs, reach_before_return,
-        SolveOptions,
+        bounded_reach_probs, imc_reach_bounds, reach_avoid_probs, reach_before_return, SolveOptions,
     };
     pub use imc_sampling::{
         cross_entropy_is, failure_bias, is_estimate, sample_is_run, zero_variance_is,

@@ -1,0 +1,184 @@
+//! Determinism guarantees of the parallel batch engine and the prepared
+//! estimator:
+//!
+//! * a seeded `sample_is_run` returns a bit-identical [`IsRun`] (tables,
+//!   multiplicities, tallies) at every thread count;
+//! * [`PreparedRun::estimate`] is bit-identical to the naive
+//!   [`is_estimate`] loop (`γ̂`, `σ̂`, CI) on the rare-coin and two-step
+//!   fixtures;
+//! * the whole IMCIS pipeline and crude Monte Carlo inherit both.
+
+use imc_logic::Property;
+use imc_markov::{Dtmc, DtmcBuilder, Imc, StateSet};
+use imc_sampling::{is_estimate, sample_is_run, IsConfig, IsRun, PreparedRun};
+use imc_sim::{monte_carlo, SmcConfig};
+use imcis_core::{imcis, ImcisConfig};
+use rand::SeedableRng;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Rare coin: p(success) = 1e-3 under `A`, biased to 0.5 under `B`.
+fn rare_coin() -> (Dtmc, Dtmc, Property) {
+    let a = DtmcBuilder::new(3)
+        .transition(0, 1, 1e-3)
+        .transition(0, 2, 1.0 - 1e-3)
+        .self_loop(1)
+        .self_loop(2)
+        .build()
+        .unwrap();
+    let b = DtmcBuilder::new(3)
+        .transition(0, 1, 0.5)
+        .transition(0, 2, 0.5)
+        .self_loop(1)
+        .self_loop(2)
+        .build()
+        .unwrap();
+    let prop = Property::reach_avoid(StateSet::from_states(3, [1]), StateSet::from_states(3, [2]));
+    (a, b, prop)
+}
+
+/// Two-step chain: traces accumulate multi-entry count tables, exercising
+/// the summation-order contract between the naive and prepared paths.
+fn two_step() -> (Dtmc, Dtmc, Property) {
+    let a = DtmcBuilder::new(4)
+        .transition(0, 1, 0.1)
+        .transition(0, 3, 0.9)
+        .transition(1, 2, 0.2)
+        .transition(1, 0, 0.7)
+        .transition(1, 3, 0.1)
+        .self_loop(2)
+        .self_loop(3)
+        .build()
+        .unwrap();
+    let b = DtmcBuilder::new(4)
+        .transition(0, 1, 0.5)
+        .transition(0, 3, 0.5)
+        .transition(1, 2, 0.4)
+        .transition(1, 0, 0.4)
+        .transition(1, 3, 0.2)
+        .self_loop(2)
+        .self_loop(3)
+        .build()
+        .unwrap();
+    let prop = Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
+    (a, b, prop)
+}
+
+fn run_at(b: &Dtmc, prop: &Property, threads: usize, seed: u64) -> IsRun {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    sample_is_run(
+        b,
+        prop,
+        &IsConfig::new(5_000).with_threads(threads),
+        &mut rng,
+    )
+}
+
+#[test]
+fn is_run_is_bit_identical_across_thread_counts() {
+    for (name, (_, b, prop)) in [("rare-coin", rare_coin()), ("two-step", two_step())] {
+        let reference = run_at(&b, &prop, 1, 42);
+        assert!(
+            reference.n_success > 0,
+            "{name}: fixture produces successes"
+        );
+        for threads in THREAD_COUNTS {
+            let run = run_at(&b, &prop, threads, 42);
+            // IsRun derives PartialEq over tables, multiplicities and
+            // tallies — full structural equality.
+            assert_eq!(run, reference, "{name}: IsRun differs at {threads} threads");
+        }
+        // A different seed genuinely changes the run (the comparison above
+        // is not vacuous).
+        assert_ne!(run_at(&b, &prop, 1, 43), reference, "{name}");
+    }
+}
+
+#[test]
+fn prepared_estimate_is_bit_identical_to_naive() {
+    for (name, (a, b, prop)) in [("rare-coin", rare_coin()), ("two-step", two_step())] {
+        let run = run_at(&b, &prop, 0, 7);
+        let prepared = PreparedRun::new(&run, &b);
+        for delta in [0.01, 0.05] {
+            let naive = is_estimate(&a, &b, &run, delta);
+            let fast = prepared.estimate(&a, delta);
+            assert_eq!(
+                naive.gamma_hat.to_bits(),
+                fast.gamma_hat.to_bits(),
+                "{name}: γ̂ differs (naive {} vs prepared {})",
+                naive.gamma_hat,
+                fast.gamma_hat
+            );
+            assert_eq!(
+                naive.sigma_hat.to_bits(),
+                fast.sigma_hat.to_bits(),
+                "{name}: σ̂ differs"
+            );
+            assert_eq!(naive.ci.lo().to_bits(), fast.ci.lo().to_bits(), "{name}");
+            assert_eq!(naive.ci.hi().to_bits(), fast.ci.hi().to_bits(), "{name}");
+        }
+        // Evaluating B itself: every likelihood ratio is exactly 1.
+        let self_est = prepared.estimate(&b, 0.05);
+        assert!((self_est.gamma_hat - run.n_success as f64 / run.n_traces as f64).abs() < 1e-15);
+    }
+}
+
+#[test]
+fn monte_carlo_is_bit_identical_across_thread_counts() {
+    let (a, _, prop) = rare_coin();
+    let run = |threads: usize| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        monte_carlo(
+            &a,
+            &prop,
+            &SmcConfig::new(20_000, 0.05).with_threads(threads),
+            &mut rng,
+        )
+    };
+    let reference = run(1);
+    for threads in THREAD_COUNTS {
+        let result = run(threads);
+        assert_eq!(result.hits, reference.hits, "{threads} threads");
+        assert_eq!(result.undecided, reference.undecided);
+        assert_eq!(
+            result.estimate.to_bits(),
+            reference.estimate.to_bits(),
+            "{threads} threads"
+        );
+    }
+}
+
+#[test]
+fn imcis_pipeline_is_deterministic_across_thread_counts() {
+    // End to end: sampling (parallel) + optimisation (sequential, shares
+    // the caller RNG) must give bit-identical confidence intervals.
+    let (_, b, prop) = two_step();
+    let center = DtmcBuilder::new(4)
+        .transition(0, 1, 0.1)
+        .transition(0, 3, 0.9)
+        .transition(1, 2, 0.2)
+        .transition(1, 0, 0.7)
+        .transition(1, 3, 0.1)
+        .self_loop(2)
+        .self_loop(3)
+        .build()
+        .unwrap();
+    let imc = Imc::from_center(&center, |_, _| 0.01).unwrap();
+    let run = |threads: usize| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let config = ImcisConfig::new(2_000, 0.05)
+            .with_r_undefeated(100)
+            .with_r_max(5_000)
+            .with_threads(threads);
+        imcis(&imc, &b, &prop, &config, &mut rng).unwrap()
+    };
+    let reference = run(1);
+    for threads in THREAD_COUNTS {
+        let out = run(threads);
+        assert_eq!(out.ci.lo().to_bits(), reference.ci.lo().to_bits());
+        assert_eq!(out.ci.hi().to_bits(), reference.ci.hi().to_bits());
+        assert_eq!(out.gamma_min.to_bits(), reference.gamma_min.to_bits());
+        assert_eq!(out.gamma_max.to_bits(), reference.gamma_max.to_bits());
+        assert_eq!(out.rounds, reference.rounds);
+    }
+}

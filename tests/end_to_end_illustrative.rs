@@ -37,11 +37,18 @@ fn imcis_covers_truth_where_is_fails() {
 
     let center = illustrative::dtmc(illustrative::A_HAT, illustrative::C_HAT);
     let is = standard_is(&center, &b, &property, &config, &mut rng);
-    assert!(is.ci.width() < 1e-12, "perfect IS CI degenerates to a point");
+    assert!(
+        is.ci.width() < 1e-12,
+        "perfect IS CI degenerates to a point"
+    );
     assert!(!is.ci.contains(gamma), "IS misses the true γ");
 
     let out = imcis(&imc, &b, &property, &config, &mut rng).expect("IMCIS succeeds");
-    assert!(out.ci.contains(gamma), "IMCIS CI {} misses γ = {gamma:e}", out.ci);
+    assert!(
+        out.ci.contains(gamma),
+        "IMCIS CI {} misses γ = {gamma:e}",
+        out.ci
+    );
     assert!(
         out.ci.contains(gamma_center),
         "IMCIS CI {} misses γ(Â) = {gamma_center:e}",
@@ -83,7 +90,9 @@ fn forced_sampling_matches_closed_form_quality() {
         &imc,
         &b,
         &property,
-        &ImcisConfig::new(2000, 0.05).with_r_undefeated(200).with_r_max(20_000),
+        &ImcisConfig::new(2000, 0.05)
+            .with_r_undefeated(200)
+            .with_r_max(20_000),
         &mut rng,
     )
     .expect("fast path succeeds");

@@ -80,10 +80,8 @@ fn optimiser_rejects_support_mismatch() {
         .self_loop(2)
         .build()
         .unwrap();
-    let property = Property::reach_avoid(
-        StateSet::from_states(3, [1]),
-        StateSet::from_states(3, [2]),
-    );
+    let property =
+        Property::reach_avoid(StateSet::from_states(3, [1]), StateSet::from_states(3, [2]));
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let run = sample_is_run(&b, &property, &IsConfig::new(100), &mut rng);
 
@@ -101,7 +99,10 @@ fn optimiser_rejects_support_mismatch() {
     ));
     // And the error propagates through the full pipeline.
     let err = imcis(&imc, &b, &property, &ImcisConfig::new(100, 0.05), &mut rng).unwrap_err();
-    assert!(matches!(err, ImcisError::Optim(OptimError::SupportMismatch { .. })));
+    assert!(matches!(
+        err,
+        ImcisError::Optim(OptimError::SupportMismatch { .. })
+    ));
 }
 
 #[test]
@@ -164,13 +165,17 @@ fn zero_success_imcis_is_well_defined() {
         .build()
         .unwrap();
     let imc = Imc::from_center(&chain, |_, _| 0.01).unwrap();
-    let property = Property::reach_avoid(
-        StateSet::from_states(3, [1]),
-        StateSet::from_states(3, [2]),
-    );
+    let property =
+        Property::reach_avoid(StateSet::from_states(3, [1]), StateSet::from_states(3, [2]));
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let out = imcis(&imc, &chain, &property, &ImcisConfig::new(100, 0.05), &mut rng)
-        .expect("degenerate run still succeeds");
+    let out = imcis(
+        &imc,
+        &chain,
+        &property,
+        &ImcisConfig::new(100, 0.05),
+        &mut rng,
+    )
+    .expect("degenerate run still succeeds");
     assert_eq!((out.ci.lo(), out.ci.hi()), (0.0, 0.0));
     assert_eq!(out.n_success, 0);
 }

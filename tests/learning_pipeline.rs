@@ -1,7 +1,9 @@
 //! The full learning-to-verification pipeline of the paper: logs → learnt
 //! IMC → IMCIS confidence interval that is honest about the hidden truth.
 
-use imc_learn::{learn_dtmc, learn_imc, learn_imc_with_support, CountTable, LearnOptions, Smoothing};
+use imc_learn::{
+    learn_dtmc, learn_imc, learn_imc_with_support, CountTable, LearnOptions, Smoothing,
+};
 use imc_markov::{DtmcBuilder, StateSet};
 use imc_models::swat;
 use imc_numeric::bounded_reach_probs;
@@ -99,9 +101,8 @@ fn swat_pipeline_end_to_end_honest_about_hidden_truth() {
     .expect("biasing succeeds");
 
     let property = swat::property(&center);
-    let gamma_truth =
-        bounded_reach_probs(&truth, &truth.labeled_states("high"), swat::STEP_BOUND)
-            [truth.initial()];
+    let gamma_truth = bounded_reach_probs(&truth, &truth.labeled_states("high"), swat::STEP_BOUND)
+        [truth.initial()];
     let config = ImcisConfig::new(6000, 0.01)
         .with_r_undefeated(300)
         .with_r_max(20_000)

@@ -110,15 +110,17 @@ fn bounded_and_unbounded_reach_consistent() {
     let chain = swat::truth();
     let target = chain.labeled_states("high");
     let avoid = StateSet::new(chain.num_states());
-    let unbounded =
-        reach_avoid_probs(&chain, &target, &avoid, &SolveOptions::default()).unwrap();
+    let unbounded = reach_avoid_probs(&chain, &target, &avoid, &SolveOptions::default()).unwrap();
     // The SWaT chain hits "high" only via rare degradation excursions
     // (~1.4e-2 per 30 steps), so convergence needs tens of thousands of
     // steps — and must be monotone on the way.
     let bounded_2k = bounded_reach_probs(&chain, &target, 2_000);
     let bounded_60k = bounded_reach_probs(&chain, &target, 60_000);
     for s in 0..chain.num_states() {
-        assert!(bounded_2k[s] <= bounded_60k[s] + 1e-12, "monotonicity at {s}");
+        assert!(
+            bounded_2k[s] <= bounded_60k[s] + 1e-12,
+            "monotonicity at {s}"
+        );
         assert!(
             (unbounded[s] - bounded_60k[s]).abs() < 1e-4,
             "state {s}: unbounded {} vs F<=60000 {}",
@@ -134,8 +136,7 @@ fn property_monitor_agrees_with_numeric_bounded_reach() {
     // and compare against value iteration — validates monitor semantics
     // (step counting, initial-state handling) against the numeric engine.
     let chain = swat::truth();
-    let exact = bounded_reach_probs(&chain, &chain.labeled_states("high"), 30)
-        [chain.initial()];
+    let exact = bounded_reach_probs(&chain, &chain.labeled_states("high"), 30)[chain.initial()];
     let property = Property::bounded_reach_label(&chain, "high", 30);
     let mut rng = rand::rngs::StdRng::seed_from_u64(21);
     let result = monte_carlo(

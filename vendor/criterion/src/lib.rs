@@ -1,0 +1,229 @@
+//! Offline stand-in for `criterion`: a small wall-clock benchmark
+//! harness with the subset of the API this workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], [`Bencher::iter`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Each benchmark is warmed up, then timed over `sample_size` samples of
+//! adaptively chosen batch length; the mean and best ns/iteration are
+//! printed. No statistical machinery, plots or baselines — swap in the
+//! real crate for those (see `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    /// Optional substring filter (first CLI argument that is not a flag).
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder-style default sample-size override, criterion-style.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        if self.matches(id) {
+            run_one(id, sample_size, f);
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.sample_size, f);
+        }
+        self
+    }
+
+    /// Finishes the group (report flushing is immediate here; kept for
+    /// API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Measures the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    /// Iterations to run per call of the `iter` closure batch.
+    iters: u64,
+    /// Total elapsed time of the measured batch.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // Calibrate: grow the batch until one batch takes >= 5 ms.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+            break b.elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 4;
+    };
+    // Measure `sample_size` batches sized to ~10 ms each.
+    let batch = ((10e6 / per_iter.max(1.0)).ceil() as u64).clamp(1, 1 << 24);
+    let mut mean_sum = 0.0;
+    let mut best = f64::INFINITY;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / batch as f64;
+        mean_sum += ns;
+        best = best.min(ns);
+    }
+    let mean = mean_sum / sample_size as f64;
+    println!(
+        "{id:<48} mean {:>12}  best {:>12}",
+        fmt_ns(mean),
+        fmt_ns(best)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, criterion-style.
+/// Supports both the terse form (`criterion_group!(benches, f, g)`) and
+/// the long form with a `config = …` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            iters: 1000,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.elapsed > Duration::ZERO || b.iters == 0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion {
+            filter: Some("no-such-bench".into()),
+            sample_size: 1,
+        };
+        // Filtered out: closure must not run.
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .bench_function("other", |b| b.iter(|| ()));
+        group.finish();
+    }
+}

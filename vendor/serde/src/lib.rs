@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: marker traits plus the no-op derives
+//! from the sibling `serde_derive` shim. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` for bound compatibility.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` for bound compatibility.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! Nothing in the workspace serialises values yet — the derives on model
+//! types only need to parse so the annotated sources compile offline.
+//! When real `serde` is swapped in (see `vendor/README.md`), these
+//! derives are replaced by the genuine implementations transparently.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any item `#[derive(Serialize)]` is put on.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any item `#[derive(Deserialize)]` is put on.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
