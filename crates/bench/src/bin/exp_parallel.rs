@@ -1,7 +1,8 @@
 //! Engine scaling experiment: traces/sec of the parallel batch sampler at
-//! increasing thread counts, and candidate-evals/sec of the prepared vs
-//! naive estimator hot path — the perf trajectory artefact behind the
-//! parallel-engine PR.
+//! increasing thread counts, candidate-evals/sec of the prepared vs naive
+//! estimator hot path, and candidate-rounds/sec of the sequential vs
+//! batched random-search engines — the perf trajectory artefact behind
+//! the parallel-engine PRs.
 //!
 //! Emits `BENCH_parallel.json` in the working directory (plus a printed
 //! table) so future changes have a baseline to beat. Accepts the usual
@@ -10,6 +11,7 @@
 use std::time::Instant;
 
 use imc_models::group_repair;
+use imc_optim::{random_search, BatchSearch, Problem, RandomSearchConfig};
 use imc_sampling::{is_estimate, sample_is_run, IsConfig, IsRun, PreparedRun};
 use imc_sim::parallel::available_threads;
 use imcis_bench::setup::{group_repair_setup, GroupRepairIs};
@@ -99,6 +101,65 @@ fn main() {
         std::hint::black_box(prepared.estimate(a, 0.05));
     }));
 
+    // --- Axis 3: candidate search, sequential vs batched ----------------
+    // A fixed candidate budget (no early stopping) so both strategies do
+    // identical amounts of work per search and rounds/sec is comparable.
+    let search_budget = scale.r_undefeated.clamp(100, 2_000);
+    let search_config = RandomSearchConfig {
+        r_undefeated: usize::MAX,
+        r_max: search_budget,
+        record_trace: false,
+    };
+    let batch_size = 64usize;
+
+    // Determinism first: the batched engine must give bit-identical
+    // brackets at every thread count.
+    let problem = Problem::new(&setup.imc, &setup.b, &run).expect("group-repair problem compiles");
+    let search_reference = BatchSearch::new(1, batch_size)
+        .run(&problem, &search_config, scale.seed)
+        .expect("batched search succeeds");
+    let mut search_bit_identical = true;
+    for threads in [2usize, 8] {
+        let out = BatchSearch::new(threads, batch_size)
+            .run(&problem, &search_config, scale.seed)
+            .expect("batched search succeeds");
+        search_bit_identical &= out.f_min.to_bits() == search_reference.f_min.to_bits()
+            && out.f_max.to_bits() == search_reference.f_max.to_bits()
+            && out.min_found_at == search_reference.min_found_at
+            && out.max_found_at == search_reference.max_found_at;
+    }
+
+    // Then throughput: candidate-rounds/sec over repeated full searches.
+    let time_searches = |mut f: Box<dyn FnMut(u64) + '_>| -> f64 {
+        let start = Instant::now();
+        let mut searches = 0u64;
+        while start.elapsed().as_secs_f64() < 1.0 {
+            f(scale.seed.wrapping_add(searches));
+            searches += 1;
+        }
+        (searches * search_budget as u64) as f64 / start.elapsed().as_secs_f64()
+    };
+    // Problem *compilation* is hoisted out of both timed loops (it is
+    // objective construction, not search); each sequential search then
+    // starts from a pristine clone so both engines pay the same cold
+    // λ-adaptation, exactly as in a real `imcis()` call (one fresh
+    // problem per run).
+    let pristine = Problem::new(&setup.imc, &setup.b, &run).expect("group-repair problem compiles");
+    let sequential_rate = time_searches(Box::new(|seed| {
+        let mut problem = pristine.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        std::hint::black_box(
+            random_search(&mut problem, &search_config, &mut rng).expect("search succeeds"),
+        );
+    }));
+    let batched_rate = time_searches(Box::new(|seed| {
+        std::hint::black_box(
+            BatchSearch::new(0, batch_size)
+                .run(&problem, &search_config, seed)
+                .expect("search succeeds"),
+        );
+    }));
+
     // --- Report ---------------------------------------------------------
     println!(
         "engine scaling on {} ({} traces/run, {} cores available):",
@@ -131,6 +192,29 @@ fn main() {
         prepared_rate / naive_rate,
         if eval_identical { "yes" } else { "NO — BUG" }
     );
+    println!();
+    println!(
+        "candidate search ({} sampled rows, budget {} rounds/search, batch {}):",
+        problem.num_sampled_rows(),
+        search_budget,
+        batch_size
+    );
+    print_table(
+        &["strategy", "rounds/sec"],
+        &[
+            vec!["sequential".to_string(), sci(sequential_rate)],
+            vec!["batched".to_string(), sci(batched_rate)],
+        ],
+    );
+    println!(
+        "batched speedup: {:.2}x; bit-identical across search threads: {}",
+        batched_rate / sequential_rate,
+        if search_bit_identical {
+            "yes"
+        } else {
+            "NO — BUG"
+        }
+    );
 
     // --- JSON artefact ---------------------------------------------------
     let sampling_json: Vec<String> = sampling_rows
@@ -147,7 +231,11 @@ fn main() {
          \"candidate_eval\": {{\n    \"candidates\": {},\n    \"tables\": {},\n    \
          \"distinct_transitions\": {},\n    \"naive_evals_per_sec\": {:.1},\n    \
          \"prepared_evals_per_sec\": {:.1},\n    \"speedup\": {:.3},\n    \
-         \"bit_identical\": {}\n  }}\n}}\n",
+         \"bit_identical\": {}\n  }},\n  \
+         \"candidate_search\": {{\n    \"sampled_rows\": {},\n    \"rounds_per_search\": {},\n    \
+         \"batch_size\": {},\n    \"sequential_rounds_per_sec\": {:.1},\n    \
+         \"batched_rounds_per_sec\": {:.1},\n    \"speedup\": {:.3},\n    \
+         \"bit_identical_across_search_threads\": {}\n  }}\n}}\n",
         setup.name,
         n_traces,
         cores,
@@ -160,6 +248,13 @@ fn main() {
         prepared_rate,
         prepared_rate / naive_rate,
         eval_identical,
+        problem.num_sampled_rows(),
+        search_budget,
+        batch_size,
+        sequential_rate,
+        batched_rate,
+        batched_rate / sequential_rate,
+        search_bit_identical,
     );
     std::fs::write("BENCH_parallel.json", &json).expect("can write BENCH_parallel.json");
     println!("\nwrote BENCH_parallel.json");

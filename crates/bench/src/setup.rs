@@ -62,7 +62,7 @@ pub fn illustrative_setup() -> Setup {
 /// How the group-repair IS chain is constructed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GroupRepairIs {
-    /// Cross-entropy optimisation (closest to the paper's reference [24];
+    /// Cross-entropy optimisation (closest to the paper's reference \[24\];
     /// our empirical per-transition CE is heavier-tailed than Ridder's
     /// structured change of measure, so estimates need larger `N`).
     CrossEntropy,

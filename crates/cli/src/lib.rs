@@ -79,7 +79,13 @@ options:
   --seed S         RNG seed                        [default 2018]
   --r R            undefeated rounds for imcis     [default 1000]
   --threads T      simulation worker threads; 0 = all cores [default 0]
-                   (results are bit-identical for any thread count)";
+                   (results are bit-identical for any thread count)
+  --search-batch B imcis candidate search: draw candidates in parallel
+                   rounds of B (0 = sequential Algorithm 2) [default 0]
+  --search-threads T
+                   worker threads for the batched candidate search;
+                   0 = all cores [default 0] (bit-identical for any
+                   thread count)";
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +110,10 @@ pub struct Options {
     pub r: usize,
     /// Simulation worker threads (`0` = all cores).
     pub threads: usize,
+    /// Candidate-search batch size (`0` = sequential Algorithm 2).
+    pub search_batch: usize,
+    /// Candidate-search worker threads (`0` = all cores).
+    pub search_threads: usize,
 }
 
 /// Parses the argument vector (without the program name).
@@ -129,6 +139,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             seed: 2018,
             r: 1000,
             threads: 0,
+            search_batch: 0,
+            search_threads: 0,
         });
     }
     let model_path = it
@@ -146,6 +158,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         seed: 2018,
         r: 1000,
         threads: 0,
+        search_batch: 0,
+        search_threads: 0,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -165,6 +179,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--r" => options.r = parse_value(&value("--r")?, "--r")?,
             "--threads" => {
                 options.threads = parse_value(&value("--threads")?, "--threads")?;
+            }
+            "--search-batch" => {
+                options.search_batch = parse_value(&value("--search-batch")?, "--search-batch")?;
+            }
+            "--search-threads" => {
+                options.search_threads =
+                    parse_value(&value("--search-threads")?, "--search-threads")?;
             }
             other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
         }
@@ -349,9 +370,13 @@ fn run_imc_command(options: &Options, imc: &Imc) -> Result<String, CliError> {
             let b = zero_variance_is(&center, &target, &avoid, &SolveOptions::default())
                 .map_err(|e| CliError::Analysis(e.to_string()))?;
             let property = build_property(options, target, avoid);
-            let config = ImcisConfig::new(options.n, options.delta)
+            let mut config = ImcisConfig::new(options.n, options.delta)
                 .with_r_undefeated(options.r)
-                .with_threads(options.threads);
+                .with_threads(options.threads)
+                .with_search_threads(options.search_threads);
+            if options.search_batch > 0 {
+                config = config.with_batched_search(options.search_batch);
+            }
             let mut rng = rand::rngs::StdRng::seed_from_u64(options.seed);
             let is = standard_is(&center, &b, &property, &config, &mut rng);
             let out = imcis(imc, &b, &property, &config, &mut rng)
@@ -449,6 +474,10 @@ label 2 tails
             "250",
             "--threads",
             "4",
+            "--search-batch",
+            "128",
+            "--search-threads",
+            "2",
         ]))
         .unwrap();
         assert_eq!(opts.command, "imcis");
@@ -459,9 +488,12 @@ label 2 tails
             (opts.n, opts.delta, opts.seed, opts.r, opts.threads),
             (5000, 0.01, 7, 250, 4)
         );
-        // Omitted --threads defaults to 0 = all cores.
+        assert_eq!((opts.search_batch, opts.search_threads), (128, 2));
+        // Omitted thread/batch flags default to 0 (= all cores for the
+        // thread knobs, = sequential search for the batch size).
         let defaults = parse_args(&args(&["smc", "m.dtmc", "--target", "bad"])).unwrap();
         assert_eq!(defaults.threads, 0);
+        assert_eq!((defaults.search_batch, defaults.search_threads), (0, 0));
     }
 
     #[test]
@@ -523,6 +555,36 @@ label 2 tails
         let report = run_on_text(&opts, COIN_IMC).unwrap();
         assert!(report.contains("IMCIS"), "{report}");
         assert!(report.contains("CI ="), "{report}");
+    }
+
+    #[test]
+    fn imcis_batched_search_runs_and_is_thread_invariant() {
+        let report_at = |threads: &str| {
+            let opts = parse_args(&args(&[
+                "imcis",
+                "-",
+                "--target",
+                "heads",
+                "--avoid",
+                "tails",
+                "--n",
+                "500",
+                "--r",
+                "50",
+                "--search-batch",
+                "16",
+                "--search-threads",
+                threads,
+            ]))
+            .unwrap();
+            run_on_text(&opts, COIN_IMC).unwrap()
+        };
+        let reference = report_at("1");
+        assert!(reference.contains("IMCIS"), "{reference}");
+        // The printed report embeds every estimate: textual equality pins
+        // bit-identical results across search thread counts.
+        assert_eq!(report_at("2"), reference);
+        assert_eq!(report_at("8"), reference);
     }
 
     #[test]

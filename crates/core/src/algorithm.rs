@@ -2,7 +2,9 @@ use std::fmt;
 
 use imc_logic::Property;
 use imc_markov::{Dtmc, Imc, State};
-use imc_optim::{random_search, ConvergencePoint, OptimError, Problem, RandomSearchConfig};
+use imc_optim::{
+    search, ConvergencePoint, OptimError, Problem, RandomSearchConfig, SearchStrategy,
+};
 use imc_sampling::{is_estimate, sample_is_run, IsConfig};
 use imc_stats::{normal_quantile, ConfidenceInterval};
 use rand::Rng;
@@ -28,6 +30,13 @@ pub struct ImcisConfig {
     /// Worker threads for the sampling phase (`0` = all cores). For a
     /// fixed seed the outcome is bit-identical at every thread count.
     pub threads: usize,
+    /// Worker threads for the candidate-search phase (`0` = all cores).
+    /// Only consulted by [`SearchStrategy::Batched`]; like the sampling
+    /// phase, the outcome is bit-identical at every thread count.
+    pub search_threads: usize,
+    /// Candidate-search engine: the paper-exact sequential Algorithm 2
+    /// (default) or the batched deterministic engine.
+    pub strategy: SearchStrategy,
 }
 
 impl ImcisConfig {
@@ -49,6 +58,8 @@ impl ImcisConfig {
             record_trace: false,
             force_sampling: false,
             threads: 0,
+            search_threads: 0,
+            strategy: SearchStrategy::Sequential,
         }
     }
 
@@ -85,6 +96,25 @@ impl ImcisConfig {
     /// Replaces the sampling-phase worker-thread budget (`0` = all cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Replaces the search-phase worker-thread budget (`0` = all cores).
+    pub fn with_search_threads(mut self, threads: usize) -> Self {
+        self.search_threads = threads;
+        self
+    }
+
+    /// Replaces the candidate-search strategy.
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Selects the batched search engine (`batch_size == 0` = the engine
+    /// default).
+    pub fn with_batched_search(mut self, batch_size: usize) -> Self {
+        self.strategy = SearchStrategy::Batched { batch_size };
         self
     }
 }
@@ -200,7 +230,13 @@ pub fn imcis<R: Rng + ?Sized>(
         r_max: config.r_max,
         record_trace: config.record_trace,
     };
-    let outcome = random_search(&mut problem, &search_config, rng)?;
+    let outcome = search(
+        &mut problem,
+        &search_config,
+        config.strategy,
+        config.search_threads,
+        rng,
+    )?;
 
     // Lines 20–23: estimates at the extremes.
     let n = config.n_traces as f64;
@@ -380,6 +416,32 @@ mod tests {
         let last = out.trace.last().unwrap();
         assert!((last.f_min - out.gamma_min).abs() < 1e-15);
         assert!((last.f_max - out.gamma_max).abs() < 1e-15);
+    }
+
+    #[test]
+    fn batched_strategy_covers_and_is_search_thread_invariant() {
+        let (imc, b, prop) = paper_setup();
+        let run = |threads: usize| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(36);
+            let config = ImcisConfig::new(1500, 0.05)
+                .with_r_undefeated(150)
+                .with_r_max(10_000)
+                .with_batched_search(32)
+                .with_search_threads(threads);
+            imcis(&imc, &b, &prop, &config, &mut rng).unwrap()
+        };
+        let reference = run(1);
+        let gamma_center = illustrative::gamma(illustrative::A_HAT, illustrative::C_HAT);
+        assert!(reference.ci.contains(gamma_center));
+        assert!(reference.gamma_min < reference.gamma_max);
+        for threads in [2usize, 8] {
+            let out = run(threads);
+            assert_eq!(out.ci.lo().to_bits(), reference.ci.lo().to_bits());
+            assert_eq!(out.ci.hi().to_bits(), reference.ci.hi().to_bits());
+            assert_eq!(out.rounds, reference.rounds);
+            assert_eq!(out.min_found_at, reference.min_found_at);
+            assert_eq!(out.max_found_at, reference.max_found_at);
+        }
     }
 
     #[test]

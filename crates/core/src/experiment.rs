@@ -38,7 +38,11 @@ pub fn repeat_imcis(
     reps: usize,
     base_seed: u64,
 ) -> Result<Vec<ImcisOutcome>, ImcisError> {
-    let config = config.with_threads(inner_threads(reps));
+    // Both inner engines (sampling and batched search) are thread-count
+    // invariant, so capping them to the idle remainder changes nothing
+    // but scheduling.
+    let inner = inner_threads(reps);
+    let config = config.with_threads(inner).with_search_threads(inner);
     parallel_map(reps, |rep| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed_for(base_seed, rep));
         imcis(imc, b, property, &config, &mut rng)

@@ -50,3 +50,6 @@ mod algorithm;
 pub mod experiment;
 
 pub use algorithm::{imcis, standard_is, ImcisConfig, ImcisError, ImcisOutcome, IsOutcome};
+// Re-exported so pipeline callers can pick a search engine without a
+// direct `imc_optim` dependency.
+pub use imc_optim::SearchStrategy;

@@ -227,6 +227,20 @@ impl ConstrainedRowSampler {
         self.stats
     }
 
+    /// Forgets the learnt λ-inflation, restoring the freshly-built
+    /// concentration `K_i`.
+    ///
+    /// [`ConstrainedRowSampler::sample`] adapts `K_i` across calls
+    /// (§IV-C1), which makes each draw depend on the sampler's history.
+    /// Callers that need a draw to be a pure function of the RNG stream —
+    /// the batched candidate search evaluates candidate `i` identically no
+    /// matter which worker thread picks it up — reset before every draw.
+    /// Cumulative [`RejectionStats`] are kept: they are diagnostics, not
+    /// sampling state.
+    pub fn reset_adaptation(&mut self) {
+        self.inflation = 1.0;
+    }
+
     /// Draws one stochastic row: values aligned with the input specs, each
     /// inside its interval, summing to one.
     ///

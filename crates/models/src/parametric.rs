@@ -3,8 +3,8 @@ use imc_markov::{Dtmc, Imc, ModelError};
 /// Builds the IMC `[A(α̂)]` of a globally parametrised model from a
 /// confidence interval `α ∈ [alpha_lo, alpha_hi]` (§II-B of the paper:
 /// "if the transitions are symbolic functions of the global variables, it
-/// is ... [enough] to estimate directly the global variables and to deduce
-/// a DTMC or an IMC from it").
+/// is ... \[enough\] to estimate directly the global variables and to
+/// deduce a DTMC or an IMC from it").
 ///
 /// The chain is evaluated on `grid_points` values of `α` spanning the
 /// interval; each transition's half-width is the maximal deviation from

@@ -16,6 +16,11 @@
 //! * [`random_search`] — the paper's Algorithm 2 (Monte Carlo random
 //!   search with an undefeated-rounds stopping rule), recording the
 //!   convergence trace behind Figure 3;
+//! * [`BatchSearch`] / [`search`] — the batched deterministic engine:
+//!   candidates drawn in rounds across a thread pool with per-candidate
+//!   RNG streams and a `(value, index)` merge rule, bit-identical at every
+//!   thread count; [`SearchStrategy`] selects between it and the exact
+//!   sequential Algorithm 2;
 //! * [`projected_sgd`] — the appendix's projected stochastic gradient
 //!   descent baseline, built on an exact Euclidean
 //!   [`project_row`] projection onto the box-constrained simplex.
@@ -27,14 +32,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch_search;
 mod objective;
 mod problem;
 mod projection;
 mod random_search;
 mod sgd;
 
+pub use batch_search::{search, BatchSearch, SearchStrategy, DEFAULT_BATCH_SIZE};
 pub use objective::Objective;
-pub use problem::{OptimError, Problem, RowAssignment};
+pub use problem::{CandidateScratch, OptimError, Problem, RowAssignment};
 pub use projection::project_row;
 pub use random_search::{random_search, ConvergencePoint, OptimOutcome, RandomSearchConfig};
 pub use sgd::{projected_sgd, SgdConfig};

@@ -304,6 +304,70 @@ impl Problem {
         })
     }
 
+    /// Creates the reusable per-worker state for
+    /// [`Problem::draw_and_eval_with`]: pristine clones of the row
+    /// samplers plus evaluation buffers sized for this problem.
+    pub fn scratch(&self) -> CandidateScratch {
+        CandidateScratch {
+            samplers: self
+                .rows
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, row)| match &row.kind {
+                    RowKind::Sampled(sampler) => Some((idx, sampler.clone())),
+                    RowKind::ClosedForm { .. } => None,
+                })
+                .collect(),
+            log_min: self.template_min.clone(),
+            log_max: self.template_max.clone(),
+        }
+    }
+
+    /// Like [`Problem::draw_and_eval`], but through `&self` and an external
+    /// [`CandidateScratch`], so many workers can evaluate candidates
+    /// against one shared problem without cloning its tables.
+    ///
+    /// Unlike the `&mut self` path, each draw is a **pure function of the
+    /// RNG stream**: the scratch samplers' λ-inflation is reset before
+    /// every draw (see
+    /// [`ConstrainedRowSampler::reset_adaptation`](imc_distr::ConstrainedRowSampler::reset_adaptation)),
+    /// so the result cannot depend on which other candidates the same
+    /// scratch evaluated earlier. This is what makes the batched search
+    /// bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimError::Distr`] if a row sampler exhausts its
+    /// rejection budget.
+    pub fn draw_and_eval_with<R: Rng + ?Sized>(
+        &self,
+        scratch: &mut CandidateScratch,
+        rng: &mut R,
+    ) -> Result<CandidateEval, OptimError> {
+        scratch.log_min.copy_from_slice(&self.template_min);
+        scratch.log_max.copy_from_slice(&self.template_max);
+        let mut draw: Vec<(usize, Vec<f64>)> = Vec::with_capacity(scratch.samplers.len());
+        for (row_idx, sampler) in &mut scratch.samplers {
+            sampler.reset_adaptation();
+            let values = sampler.sample(rng)?;
+            for &(pos, id) in &self.rows[*row_idx].observed {
+                let lv = values[pos].max(f64::MIN_POSITIVE).ln();
+                scratch.log_min[id as usize] = lv;
+                scratch.log_max[id as usize] = lv;
+            }
+            draw.push((*row_idx, values));
+        }
+        let (f_min, g_min) = self.objective.eval(&scratch.log_min);
+        let (f_max, g_max) = self.objective.eval(&scratch.log_max);
+        Ok(CandidateEval {
+            f_min,
+            g_min,
+            f_max,
+            g_max,
+            draw,
+        })
+    }
+
     /// Materialises the full optimised rows for reporting: the drawn values
     /// for sampled rows plus the closed-form values (min or max according
     /// to `minimum`).
@@ -345,6 +409,21 @@ impl Problem {
             })
             .collect()
     }
+}
+
+/// Reusable worker-local state for [`Problem::draw_and_eval_with`]:
+/// pristine row-sampler clones and the two `ln a` evaluation buffers.
+///
+/// One scratch per worker thread amortises the allocations of the
+/// candidate hot path; the scratch never influences *what* is drawn (its
+/// samplers are reset before every draw), only where the intermediate
+/// values live.
+#[derive(Debug, Clone)]
+pub struct CandidateScratch {
+    /// `(row index, sampler)` for each sampled row, row order.
+    samplers: Vec<(usize, ConstrainedRowSampler)>,
+    log_min: Vec<f64>,
+    log_max: Vec<f64>,
 }
 
 /// One candidate draw with its objective values under both closed-form

@@ -53,13 +53,21 @@ pub struct OptimOutcome {
     pub rows_min: Vec<(State, Vec<(State, f64)>)>,
     /// The maximising rows.
     pub rows_max: Vec<(State, Vec<(State, f64)>)>,
-    /// Rounds executed before stopping.
+    /// Rounds executed before stopping. Under the batched strategy this
+    /// counts *candidates drawn*, so budgets stay comparable between
+    /// strategies.
     pub rounds: usize,
-    /// Round at which the final minimum was found.
+    /// Round at which the final minimum was found (1-based). **`0` means
+    /// the centre chain `Â` was never beaten**: the reported minimum is
+    /// the round-0 centre evaluation, not a drawn candidate.
     pub min_found_at: usize,
-    /// Round at which the final maximum was found.
+    /// Round at which the final maximum was found (1-based; `0` = the
+    /// centre chain, as for [`OptimOutcome::min_found_at`]).
     pub max_found_at: usize,
-    /// Convergence trace (empty unless requested).
+    /// Convergence trace (empty unless requested). Starts with the round-0
+    /// centre evaluation and closes with a point at the stopping round
+    /// even when the final rounds brought no improvement, so Figure 3
+    /// plots span the whole search.
     pub trace: Vec<ConvergencePoint>,
 }
 
@@ -144,6 +152,17 @@ pub fn random_search<R: Rng + ?Sized>(
         } else {
             undefeated += 1;
         }
+    }
+
+    if config.record_trace && trace.last().is_none_or(|p| p.round != round) {
+        // Close the trace at the stopping round even when the tail rounds
+        // brought no improvement, so Figure 3 plots span the full search
+        // rather than ending at the last improvement.
+        trace.push(ConvergencePoint {
+            round,
+            f_min: best_min.0,
+            f_max: best_max.0,
+        });
     }
 
     Ok(OptimOutcome {
@@ -284,6 +303,51 @@ mod tests {
         };
         let outcome = random_search(&mut problem, &config, &mut rng).unwrap();
         assert_eq!(outcome.rounds, 50);
+    }
+
+    #[test]
+    fn trace_closes_at_the_stopping_round() {
+        let (imc, b, run) = setup(2000);
+        let mut problem = Problem::new(&imc, &b, &run).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let config = RandomSearchConfig {
+            r_undefeated: 150,
+            r_max: 20_000,
+            record_trace: true,
+        };
+        let outcome = random_search(&mut problem, &config, &mut rng).unwrap();
+        // The search always ends on >= r_undefeated improvement-free
+        // rounds, so without the closing point the trace would stop at
+        // least 150 rounds early.
+        let last = outcome.trace.last().unwrap();
+        assert_eq!(last.round, outcome.rounds);
+        assert_eq!(last.f_min.to_bits(), outcome.f_min.to_bits());
+        assert_eq!(last.f_max.to_bits(), outcome.f_max.to_bits());
+        let penultimate = outcome.trace[outcome.trace.len() - 2];
+        assert!(outcome.rounds >= penultimate.round + config.r_undefeated);
+    }
+
+    #[test]
+    fn found_at_zero_means_the_centre_chain() {
+        // With a zero candidate budget nothing can beat the centre: the
+        // outcome must report found_at == 0 and the centre bracket.
+        let (imc, b, run) = setup(2000);
+        let mut problem = Problem::new(&imc, &b, &run).unwrap();
+        let ((f_min0, _), (f_max0, _)) = problem.eval_center();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let config = RandomSearchConfig {
+            r_undefeated: 10,
+            r_max: 0,
+            record_trace: true,
+        };
+        let outcome = random_search(&mut problem, &config, &mut rng).unwrap();
+        assert_eq!((outcome.min_found_at, outcome.max_found_at), (0, 0));
+        assert_eq!(outcome.f_min.to_bits(), f_min0.to_bits());
+        assert_eq!(outcome.f_max.to_bits(), f_max0.to_bits());
+        // The reported rows are the centre fills, and the trace is the
+        // single round-0 point (no duplicate closing point).
+        assert_eq!(outcome.trace.len(), 1);
+        assert_eq!(outcome.trace[0].round, 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use imc_sim::{simulate, ChainSampler};
 use rand::Rng;
 
 /// Configuration of the cross-entropy optimisation of an IS distribution
-/// (Ridder 2005, the paper's reference [24]).
+/// (Ridder 2005, the paper's reference \[24\]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossEntropyConfig {
     /// Number of CE iterations.

@@ -15,11 +15,11 @@
 //!   `b_ij ∝ a_ij·x_j` built from exact reachability probabilities
 //!   (Fig. 1c);
 //! * [`cross_entropy_is`] — iterative cross-entropy optimisation of `B`
-//!   (Ridder 2005, the paper's reference [24]);
+//!   (Ridder 2005, the paper's reference \[24\]);
 //! * [`failure_bias`] — classic balanced failure biasing, a cheap
 //!   structural IS baseline;
 //! * [`importance_splitting`] — fixed-effort multilevel splitting, the
-//!   other rare-event technique the paper cites [13].
+//!   other rare-event technique the paper cites \[13\].
 //!
 //! # Example
 //!
@@ -65,4 +65,4 @@ pub use estimator::{
 };
 pub use failure_bias::failure_bias;
 pub use splitting::{importance_splitting, SplittingConfig, SplittingResult};
-pub use zero_variance::zero_variance_is;
+pub use zero_variance::{zero_variance_is, ZeroVarianceError};

@@ -19,7 +19,7 @@
 //! * [`monte_carlo`] — crude Monte Carlo SMC with normal confidence
 //!   intervals (§II-C), batch-parallel via the engine;
 //! * [`sprt`] — Wald's sequential probability ratio test, the
-//!   hypothesis-testing flavour of SMC the paper cites [28].
+//!   hypothesis-testing flavour of SMC the paper cites \[28\].
 //!
 //! # Example
 //!
