@@ -1,6 +1,10 @@
 //! Table II kernel: standard IS versus IMCIS on the illustrative model —
 //! the head-to-head cost comparison behind the table's two method rows.
 
+// Deliberately drives the deprecated free-function entry points: these
+// reproduction artefacts pin the legacy API until it is removed (the
+// Session layer shares the same engines bit-for-bit).
+#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use imcis_bench::setup::illustrative_setup;
 use imcis_core::{imcis, standard_is, ImcisConfig};

@@ -5,6 +5,10 @@
 //! Output: TSV — `round  gamma_min  gamma_max` at every improvement of
 //! either extremum, in estimate units (γ = f/N).
 
+// Deliberately drives the deprecated free-function entry points: these
+// reproduction artefacts pin the legacy API until it is removed (the
+// Session layer shares the same engines bit-for-bit).
+#![allow(deprecated)]
 use imcis_bench::{setup, Scale};
 use imcis_core::{imcis, ImcisConfig};
 use rand::SeedableRng;

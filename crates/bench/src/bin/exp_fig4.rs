@@ -6,6 +6,10 @@
 //! intersect each other across repetitions, while the IMCIS intervals are
 //! mutually consistent and typically contain the union of the IS ones.
 
+// Deliberately drives the deprecated free-function entry points: these
+// reproduction artefacts pin the legacy API until it is removed (the
+// Session layer shares the same engines bit-for-bit).
+#![allow(deprecated)]
 use imcis_bench::{setup, Scale};
 use imcis_core::experiment::{repeat_imcis, repeat_is};
 use imcis_core::ImcisConfig;

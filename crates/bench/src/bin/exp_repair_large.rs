@@ -7,6 +7,10 @@
 //! Output: the per-repetition CIs, then a sweep over true `α` marking
 //! which method's hull still contains `γ(A(α))`.
 
+// Deliberately drives the deprecated free-function entry points: these
+// reproduction artefacts pin the legacy API until it is removed (the
+// Session layer shares the same engines bit-for-bit).
+#![allow(deprecated)]
 use imc_models::repair;
 use imc_numeric::{linspace, reach_before_return, SolveOptions};
 use imc_stats::ConfidenceInterval;

@@ -6,6 +6,10 @@
 //! `nr` avg 2181 / min 1244 / max 4119 / sd 580;
 //! `a_min ≈ 5.02e-5`, `c_min ≈ 0.0496`, `a_max ≈ 5.48e-4`, `c_max ≈ 0.0501`.
 
+// Deliberately drives the deprecated free-function entry points: these
+// reproduction artefacts pin the legacy API until it is removed (the
+// Session layer shares the same engines bit-for-bit).
+#![allow(deprecated)]
 use imc_models::illustrative;
 use imc_stats::Summary;
 use imcis_bench::{print_table, sci, setup::illustrative_setup, Scale};

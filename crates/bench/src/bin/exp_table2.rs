@@ -5,6 +5,10 @@
 //! Paper shape: IS covers `γ(Â)` (100%/80%) but `γ` poorly (0%/27%);
 //! IMCIS covers `γ(Â)` at 100% and `γ` far better (100%/75%).
 
+// Deliberately drives the deprecated free-function entry points: these
+// reproduction artefacts pin the legacy API until it is removed (the
+// Session layer shares the same engines bit-for-bit).
+#![allow(deprecated)]
 use imcis_bench::{print_table, sci, setup, Scale};
 use imcis_core::experiment::{repeat_imcis, repeat_is, CoverageSummary};
 use imcis_core::ImcisConfig;

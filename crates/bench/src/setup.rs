@@ -1,287 +1,12 @@
-//! Shared experiment setups: one function per benchmark model, returning
-//! everything an estimation run needs (IMC, IS chain, property, reference
-//! γ values).
+//! Shared experiment setups, re-exported from the scenario registry.
+//!
+//! The per-model construction functions used to live here; they moved to
+//! [`imc_models::scenario`] so the CLI, `RunSpec` manifests, examples and
+//! the benches all resolve models through the same registry. This module
+//! keeps the historical `imcis_bench::setup::*` paths alive for the
+//! Criterion benches and `exp_*` binaries.
 
-use imc_learn::{learn_imc_with_support, CountTable, LearnOptions, Smoothing};
-use imc_logic::Property;
-use imc_markov::{Dtmc, Imc, StateSet};
-use imc_models::{group_repair, illustrative, repair, swat};
-use imc_numeric::{bounded_reach_probs, reach_before_return, SolveOptions};
-use imc_sampling::{cross_entropy_is, zero_variance_is, CrossEntropyConfig};
-use imc_sim::{random_walk, ChainSampler};
-use rand::SeedableRng;
-
-/// Everything needed to run IS/IMCIS experiments on one model.
-#[derive(Debug, Clone)]
-pub struct Setup {
-    /// Human-readable model name.
-    pub name: &'static str,
-    /// The interval model `[Â]`.
-    pub imc: Imc,
-    /// The learnt centre chain `Â`.
-    pub center: Dtmc,
-    /// The importance-sampling chain `B`.
-    pub b: Dtmc,
-    /// The property `φ`.
-    pub property: Property,
-    /// Exact `γ(Â)` (numeric engine), when computable.
-    pub gamma_center: Option<f64>,
-    /// Exact `γ` of the true system, when known.
-    pub gamma_exact: Option<f64>,
-}
-
-/// §VI-A: the illustrative model under the perfect IS distribution for
-/// `Â` (the paper's exact configuration for Tables I–II).
-pub fn illustrative_setup() -> Setup {
-    let center = illustrative::dtmc(illustrative::A_HAT, illustrative::C_HAT);
-    let imc = illustrative::paper_imc().expect("paper IMC is consistent");
-    let b = zero_variance_is(
-        &center,
-        &StateSet::from_states(4, [illustrative::S2]),
-        &StateSet::new(4),
-        &SolveOptions::default(),
-    )
-    .expect("target reachable in the illustrative chain");
-    Setup {
-        name: "illustrative",
-        imc,
-        center,
-        b,
-        property: illustrative::property(),
-        gamma_center: Some(illustrative::gamma(
-            illustrative::A_HAT,
-            illustrative::C_HAT,
-        )),
-        gamma_exact: Some(illustrative::gamma(
-            illustrative::A_TRUE,
-            illustrative::C_TRUE,
-        )),
-    }
-}
-
-/// How the group-repair IS chain is constructed.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum GroupRepairIs {
-    /// Cross-entropy optimisation (closest to the paper's reference \[24\];
-    /// our empirical per-transition CE is heavier-tailed than Ridder's
-    /// structured change of measure, so estimates need larger `N`).
-    CrossEntropy,
-    /// Zero-variance chain from the numeric engine (deterministic, used by
-    /// the Criterion benches; makes the IS baseline's CI degenerate).
-    ZeroVariance,
-    /// `w·ZV + (1−w)·Â` row mixture: a *good but imperfect* IS chain with
-    /// bounded per-step likelihood ratios. This reproduces the paper's
-    /// observed group-repair behaviour — a tight, slightly under-covering
-    /// IS interval — without Ridder's structured CE. Default experiments
-    /// use `Mixture(0.9)`.
-    Mixture(f64),
-}
-
-/// Blends each row of `zv` with the corresponding row of `center`:
-/// `b = w·zv + (1−w)·center`. Keeps every transition of `center`
-/// samplable, so likelihood ratios stay bounded by `1/(1−w)` per step.
-fn mix_chains(zv: &Dtmc, center: &Dtmc, w: f64) -> Dtmc {
-    let rows: Vec<(usize, Vec<imc_markov::RowEntry>)> = (0..center.num_states())
-        .map(|s| {
-            let entries: Vec<imc_markov::RowEntry> = center
-                .row(s)
-                .entries()
-                .iter()
-                .map(|e| imc_markov::RowEntry {
-                    target: e.target,
-                    prob: w * zv.prob(s, e.target) + (1.0 - w) * e.prob,
-                })
-                .collect();
-            (s, entries)
-        })
-        .collect();
-    center
-        .with_rows(rows)
-        .expect("convex combination of stochastic rows is stochastic")
-}
-
-/// §VI-B: the 125-state group repair model.
-pub fn group_repair_setup(is_kind: GroupRepairIs, seed: u64) -> Setup {
-    let center = group_repair::jump_chain(group_repair::ALPHA_HAT);
-    let truth = group_repair::jump_chain(group_repair::ALPHA_TRUE);
-    let imc = group_repair::paper_imc().expect("paper IMC is consistent");
-    let property = group_repair::property(&center);
-
-    let failure = center.labeled_states("failure");
-    let mut avoid = StateSet::new(center.num_states());
-    avoid.insert(center.initial());
-    let b = match is_kind {
-        GroupRepairIs::ZeroVariance => {
-            zero_variance_is(&center, &failure, &avoid, &SolveOptions::default())
-                .expect("failure reachable before return")
-        }
-        GroupRepairIs::Mixture(w) => {
-            let zv = zero_variance_is(&center, &failure, &avoid, &SolveOptions::default())
-                .expect("failure reachable before return");
-            mix_chains(&zv, &center, w)
-        }
-        GroupRepairIs::CrossEntropy => {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            cross_entropy_is(
-                &center,
-                &property,
-                &CrossEntropyConfig {
-                    iterations: 12,
-                    traces_per_iteration: 5_000,
-                    ..CrossEntropyConfig::default()
-                },
-                &mut rng,
-            )
-            .expect("cross-entropy update is well-formed")
-            .b
-        }
-    };
-    let opts = SolveOptions::default();
-    Setup {
-        name: "group repair",
-        gamma_center: Some(
-            reach_before_return(&center, &failure, &opts).expect("solver converges"),
-        ),
-        gamma_exact: Some(
-            reach_before_return(&truth, &truth.labeled_states("failure"), &opts)
-                .expect("solver converges"),
-        ),
-        imc,
-        center,
-        b,
-        property,
-    }
-}
-
-/// §VI-C: the 40320-state repair model at a given `α` interval.
-pub fn repair_setup(alpha_hat: f64, alpha_lo: f64, alpha_hi: f64) -> Setup {
-    let center = repair::jump_chain(alpha_hat);
-    let truth = repair::jump_chain(repair::ALPHA_TRUE);
-    let imc = repair::imc(alpha_hat, alpha_lo, alpha_hi).expect("repair IMC is consistent");
-    let property = repair::property(&center);
-    let failure = center.labeled_states("failure");
-    let mut avoid = StateSet::new(center.num_states());
-    avoid.insert(center.initial());
-    let opts = SolveOptions::default();
-    let b = zero_variance_is(&center, &failure, &avoid, &opts)
-        .expect("failure reachable before return");
-    Setup {
-        name: "repair (large)",
-        gamma_center: Some(
-            reach_before_return(&center, &failure, &opts).expect("solver converges"),
-        ),
-        gamma_exact: Some(
-            reach_before_return(&truth, &truth.labeled_states("failure"), &opts)
-                .expect("solver converges"),
-        ),
-        imc,
-        center,
-        b,
-        property,
-    }
-}
-
-/// §VI-D: the synthetic SWaT pipeline — generate logs from the hidden
-/// ground truth, learn `Â ± ε`, and build an IS chain by cross-entropy.
-///
-/// `n_logs` traces of `log_len` steps are sampled as the "testbed logs";
-/// the paper's authors had weeks of real logs, we default to enough data
-/// for a faithful 70-state abstraction.
-pub fn swat_setup(n_logs: usize, log_len: usize, seed: u64) -> Setup {
-    swat_setup_with_ce(n_logs, log_len, seed, 8)
-}
-
-/// [`swat_setup`] with an explicit cross-entropy iteration budget: fewer
-/// iterations give a rougher IS chain with heavier likelihood-ratio tails,
-/// reproducing the paper's Fig. 4 phenomenon of mutually inconsistent IS
-/// intervals.
-pub fn swat_setup_with_ce(n_logs: usize, log_len: usize, seed: u64, ce_iterations: usize) -> Setup {
-    let truth = swat::truth();
-    let sampler = ChainSampler::new(&truth);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-
-    // Logs: random walks from a mix of starting states so the whole
-    // abstraction is exercised, as testbed logs would.
-    let mut counts = CountTable::new(truth.num_states());
-    for i in 0..n_logs {
-        let start = if i % 4 == 0 {
-            truth.initial()
-        } else {
-            (i * 7) % truth.num_states()
-        };
-        counts.record_path(&random_walk(&sampler, start, log_len, &mut rng));
-    }
-    let imc = learn_imc_with_support(
-        &counts,
-        &truth,
-        &LearnOptions {
-            delta: 1e-3,
-            smoothing: Smoothing::Laplace(0.5),
-            initial: truth.initial(),
-        },
-    )
-    .expect("learning from non-empty logs succeeds");
-    let center = imc.center().expect("learnt IMC is centred").clone();
-    let property = swat::property(&center);
-
-    // IS chain: cross-entropy against the learnt centre (the ground truth
-    // is NOT consulted — exactly the information the paper's tool had).
-    let b = cross_entropy_is(
-        &center,
-        &property,
-        &CrossEntropyConfig {
-            iterations: ce_iterations,
-            traces_per_iteration: 4_000,
-            ..CrossEntropyConfig::default()
-        },
-        &mut rng,
-    )
-    .expect("cross-entropy update is well-formed")
-    .b;
-
-    let gamma_center =
-        bounded_reach_probs(&center, &center.labeled_states("high"), swat::STEP_BOUND)
-            [center.initial()];
-    let gamma_exact = bounded_reach_probs(&truth, &truth.labeled_states("high"), swat::STEP_BOUND)
-        [truth.initial()];
-    Setup {
-        name: "SWaT",
-        imc,
-        center,
-        b,
-        property,
-        gamma_center: Some(gamma_center),
-        gamma_exact: Some(gamma_exact),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn illustrative_setup_is_consistent() {
-        let s = illustrative_setup();
-        assert!(s.imc.contains(&s.center));
-        assert!((s.gamma_center.unwrap() - 1.4944e-5).abs() < 5e-9);
-    }
-
-    #[test]
-    fn group_repair_zv_setup_is_consistent() {
-        let s = group_repair_setup(GroupRepairIs::ZeroVariance, 1);
-        assert!(s.imc.contains(&s.center));
-        // γ(Â) = 1.117e-7, γ = 1.179e-7 (§VI-B).
-        assert!((s.gamma_center.unwrap() - 1.117e-7).abs() / 1.117e-7 < 0.01);
-        assert!((s.gamma_exact.unwrap() - 1.179e-7).abs() / 1.179e-7 < 0.01);
-    }
-
-    #[test]
-    fn swat_setup_learns_a_plausible_model() {
-        let s = swat_setup(400, 300, 7);
-        assert_eq!(s.center.num_states(), 70);
-        assert!(s.imc.contains(&s.center));
-        // γ(Â) in the paper's reported ballpark [5e-3, 2.5e-2].
-        let g = s.gamma_center.unwrap();
-        assert!((1e-3..=5e-2).contains(&g), "γ(Â) = {g:e}");
-    }
-}
+pub use imc_models::scenario::{
+    group_repair_setup, illustrative_setup, repair_setup, swat_setup, swat_setup_with_ce,
+    GroupRepairIs, Setup,
+};

@@ -1,6 +1,17 @@
 //! Command-line front end for the IMCIS workspace.
 //!
-//! Subcommands (`imcis <command> <model-file> [options]`):
+//! The primary entry points drive the `RunSpec → Session → Report` API:
+//!
+//! * `imcis run <spec.json>` — execute a manifest, print the `Report`
+//!   JSON (`imcis.report/1`);
+//! * `imcis run --scenario NAME --method NAME [options]` — build the
+//!   same manifest from flags (add `--dry-run` to print it instead of
+//!   running);
+//! * `imcis scenarios` — list the scenario registry with parameters;
+//! * `imcis help` / `imcis version` (also `--help` / `--version`).
+//!
+//! The classic model-file subcommands remain
+//! (`imcis <command> <model-file> [options]`):
 //!
 //! * `info` — structural summary of a model file (either kind);
 //! * `solve` — exact reach(-avoid) probability of a DTMC (numeric engine);
@@ -9,31 +20,41 @@
 //! * `envelope` — exact min/max reachability over all members of an IMC;
 //! * `imcis` — the paper's Algorithm 1: importance sampling of an IMC.
 //!
-//! Models use the plain-text format of [`imc_markov::io`]. Run
-//! `imcis help` for the option list.
+//! Models use the plain-text format of [`imc_markov::io`]. Every command
+//! is a thin adapter over the same library code paths the benches and
+//! examples use — `imcis run` in particular prints exactly what the
+//! library `Session` computes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::str::FromStr;
 
 use imc_logic::Property;
 use imc_markov::{io, Dtmc, Imc, StateSet};
+use std::sync::Arc;
+
+use imc_models::scenario::setup_from_imc;
+use imc_models::{ScenarioParams, ScenarioRegistry};
 use imc_numeric::{
     bounded_reach_avoid_probs, expected_steps_to, imc_bounded_reach_bounds, imc_reach_bounds,
     reach_avoid_probs, SolveOptions,
 };
-use imc_sampling::zero_variance_is;
 use imc_sim::{monte_carlo, SmcConfig};
-use imcis_core::{imcis, standard_is, ImcisConfig};
+use imcis_core::{
+    CrossEntropySpec, ImcisSpec, Method, OutcomeDetail, RunSpec, SampleSpec, ScenarioRef,
+    SearchSpec, Session, SessionError,
+};
 use rand::SeedableRng;
+use serde::json::Value;
 
 /// Everything that can go wrong while executing a CLI invocation.
 #[derive(Debug)]
 pub enum CliError {
     /// Bad command line.
     Usage(String),
-    /// The model file could not be read.
+    /// The model/spec file could not be read.
     Io(std::io::Error),
     /// The model file could not be parsed.
     Parse(io::ParseError),
@@ -41,37 +62,74 @@ pub enum CliError {
     UnknownLabel(String),
     /// An analysis failed.
     Analysis(String),
+    /// A `RunSpec` manifest or session failed.
+    Session(SessionError),
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
-            CliError::Io(e) => write!(f, "cannot read model file: {e}"),
+            CliError::Io(e) => write!(f, "cannot read file: {e}"),
             CliError::Parse(e) => write!(f, "cannot parse model: {e}"),
             CliError::UnknownLabel(l) => write!(f, "label `{l}` marks no state in the model"),
             CliError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
+            CliError::Session(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for CliError {}
 
+impl From<SessionError> for CliError {
+    fn from(e: SessionError) -> Self {
+        CliError::Session(e)
+    }
+}
+
 /// The usage text shown by `imcis help` and on usage errors.
 pub const USAGE: &str = "\
-usage: imcis <command> <model-file> [options]
+usage: imcis run <spec.json>
+       imcis run --scenario NAME --method NAME [options] [--dry-run]
+       imcis scenarios
+       imcis <command> <model-file> [options]
+       imcis help | version
 
-commands:
+spec runner:
+  run <spec.json>     execute a RunSpec manifest, print the Report JSON
+  run --scenario NAME --method NAME
+                      build the manifest from flags (same Session path);
+                      --dry-run prints the canonical manifest instead
+  scenarios           list registered scenarios and their parameters
+
+run options:
+  --method NAME    smc | standard-is | zero-variance | cross-entropy | imcis
+  --param K=V      scenario parameter (repeatable; V parsed as JSON scalar)
+  --reps K         independent repetitions            [default 1]
+  --n N            traces per estimation run          [default 10000]
+  --delta D        confidence parameter               [default 0.05]
+  --max-steps K    per-trace transition budget        [default 1000000]
+  --seed S         RNG seed                           [default 2018]
+  --r R            undefeated rounds for imcis        [default 1000]
+  --r-max R        optimisation round cap for imcis   [default 100000]
+  --trace          record the imcis convergence trace in the report
+  --threads T      simulation worker threads; 0 = all cores [default 0]
+  --search-batch B imcis candidate search: draw candidates in parallel
+                   rounds of B (0 = sequential Algorithm 2) [default 0]
+  --search-threads T
+                   worker threads for the batched candidate search
+  --dry-run        print the canonical RunSpec JSON, do not run
+
+model-file commands:
   info      summarise a model file (states, transitions, labels, BSCCs)
   solve     exact reach(-avoid) probability of a DTMC
   mttf      expected steps to the target set of a DTMC
   smc       crude Monte Carlo estimation on a DTMC
   envelope  exact min/max reachability over all members of an IMC
   imcis     Algorithm 1 of the DSN'18 paper on an IMC
-  help      print this message
 
-options:
-  --target LABEL   goal states (required except for help)
+model-file options:
+  --target LABEL   goal states (required)
   --avoid LABEL    forbidden states (optional)
   --bound K        step bound (optional; property becomes bounded)
   --n N            traces for smc/imcis            [default 10000]
@@ -80,14 +138,14 @@ options:
   --r R            undefeated rounds for imcis     [default 1000]
   --threads T      simulation worker threads; 0 = all cores [default 0]
                    (results are bit-identical for any thread count)
-  --search-batch B imcis candidate search: draw candidates in parallel
-                   rounds of B (0 = sequential Algorithm 2) [default 0]
-  --search-threads T
-                   worker threads for the batched candidate search;
-                   0 = all cores [default 0] (bit-identical for any
-                   thread count)";
+  --search-batch B / --search-threads T   as above";
 
-/// Parsed command-line options.
+/// `imcis version` output (from the crate metadata).
+pub fn version() -> String {
+    format!("imcis {}", env!("CARGO_PKG_VERSION"))
+}
+
+/// Parsed legacy (model-file) command-line options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Subcommand name.
@@ -116,7 +174,9 @@ pub struct Options {
     pub search_threads: usize,
 }
 
-/// Parses the argument vector (without the program name).
+/// Parses the argument vector of a model-file command (without the
+/// program name). `help`/`version` are handled before this in [`run`];
+/// they need no model argument.
 ///
 /// # Errors
 ///
@@ -127,22 +187,6 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         .next()
         .ok_or_else(|| CliError::Usage("missing command".into()))?
         .clone();
-    if command == "help" {
-        return Ok(Options {
-            command,
-            model_path: String::new(),
-            target: None,
-            avoid: None,
-            bound: None,
-            n: 10_000,
-            delta: 0.05,
-            seed: 2018,
-            r: 1000,
-            threads: 0,
-            search_batch: 0,
-            search_threads: 0,
-        });
-    }
     let model_path = it
         .next()
         .ok_or_else(|| CliError::Usage("missing model file".into()))?
@@ -198,15 +242,216 @@ fn parse_value<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, CliErro
         .map_err(|_| CliError::Usage(format!("{flag}: cannot parse `{raw}`")))
 }
 
-/// Executes a parsed invocation against in-memory model text, returning
-/// the report to print. Separated from file I/O for testability.
+/// `imcis scenarios`: the registry listing.
+pub fn list_scenarios() -> String {
+    let registry = ScenarioRegistry::builtin();
+    let mut out = String::from("registered scenarios:\n");
+    for scenario in registry.iter() {
+        out.push_str(&format!(
+            "\n  {:<18}{}\n",
+            scenario.name(),
+            scenario.summary()
+        ));
+        for param in scenario.params() {
+            out.push_str(&format!(
+                "    --param {:<14}{} [default {}]\n",
+                param.key, param.description, param.default
+            ));
+        }
+    }
+    out.push_str("\nrun one with: imcis run --scenario NAME --method imcis [options]");
+    out
+}
+
+/// Builds a [`RunSpec`] from `imcis run` flags.
+///
+/// The built spec is validated through the same schema checks the
+/// manifest file form uses, so the flag and file paths accept exactly
+/// the same configurations and `--dry-run` output is always runnable.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on malformed flags, out-of-range values, or
+/// IMCIS-only flags combined with another method.
+pub fn spec_from_flags(args: &[String]) -> Result<RunSpec, CliError> {
+    let mut scenario: Option<String> = None;
+    let mut params: Vec<(String, Value)> = Vec::new();
+    let mut method_name: Option<String> = None;
+    let mut sample = SampleSpec::default();
+    let mut seed = 2018u64;
+    let mut threads = 0usize;
+    let mut search_threads = 0usize;
+    let mut search_batch = 0usize;
+    let mut reps = 1usize;
+    let mut r_undefeated = 1000usize;
+    let mut r_max = 100_000usize;
+    let mut record_trace = false;
+    // IMCIS-only flags the user actually passed: rejected loudly with
+    // any other method instead of being silently ignored (same contract
+    // as the manifest form's unknown-key errors).
+    let mut imcis_only: Vec<&'static str> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--scenario" => scenario = Some(value("--scenario")?),
+            "--method" => method_name = Some(value("--method")?),
+            "--param" => {
+                let raw = value("--param")?;
+                let (key, val) = raw
+                    .split_once('=')
+                    .ok_or_else(|| CliError::Usage(format!("--param expects K=V, got `{raw}`")))?;
+                params.push((key.to_string(), parse_param_value(val)));
+            }
+            "--reps" => reps = parse_value(&value("--reps")?, "--reps")?,
+            "--n" => sample.n_traces = parse_value(&value("--n")?, "--n")?,
+            "--delta" => sample.delta = parse_value(&value("--delta")?, "--delta")?,
+            "--max-steps" => sample.max_steps = parse_value(&value("--max-steps")?, "--max-steps")?,
+            "--seed" => seed = parse_value(&value("--seed")?, "--seed")?,
+            "--r" => {
+                r_undefeated = parse_value(&value("--r")?, "--r")?;
+                imcis_only.push("--r");
+            }
+            "--r-max" => {
+                r_max = parse_value(&value("--r-max")?, "--r-max")?;
+                imcis_only.push("--r-max");
+            }
+            "--trace" => {
+                record_trace = true;
+                imcis_only.push("--trace");
+            }
+            "--threads" => threads = parse_value(&value("--threads")?, "--threads")?,
+            "--search-batch" => {
+                search_batch = parse_value(&value("--search-batch")?, "--search-batch")?;
+                imcis_only.push("--search-batch");
+            }
+            "--search-threads" => {
+                search_threads = parse_value(&value("--search-threads")?, "--search-threads")?;
+            }
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
+        }
+    }
+
+    let scenario = scenario.ok_or_else(|| CliError::Usage("--scenario is required".into()))?;
+    let method_name = method_name.ok_or_else(|| CliError::Usage("--method is required".into()))?;
+    if method_name != "imcis" && !imcis_only.is_empty() {
+        return Err(CliError::Usage(format!(
+            "{} only appl{} to --method imcis, not `{method_name}`",
+            imcis_only.join("/"),
+            if imcis_only.len() == 1 { "ies" } else { "y" },
+        )));
+    }
+    let method = match method_name.as_str() {
+        "smc" => Method::Smc(sample),
+        "standard-is" => Method::StandardIs(sample),
+        "zero-variance" => Method::ZeroVarianceIs(sample),
+        "cross-entropy" => Method::CrossEntropyIs(CrossEntropySpec {
+            sample,
+            ..CrossEntropySpec::default()
+        }),
+        "imcis" => Method::Imcis(ImcisSpec {
+            sample,
+            r_undefeated,
+            r_max,
+            force_sampling: false,
+            record_trace,
+            search: if search_batch > 0 {
+                SearchSpec::Batched {
+                    batch_size: search_batch,
+                }
+            } else {
+                SearchSpec::Sequential
+            },
+        }),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown method `{other}` \
+                 (smc | standard-is | zero-variance | cross-entropy | imcis)"
+            )))
+        }
+    };
+    let spec = RunSpec {
+        scenario: ScenarioRef {
+            name: scenario,
+            params: ScenarioParams::from_pairs(params),
+        },
+        method,
+        seed,
+        threads,
+        search_threads,
+        repetitions: reps.max(1),
+    };
+    // Same validation layer as the manifest file form: out-of-range
+    // values (delta ∉ (0,1), n_traces = 0, …) become usage errors here
+    // instead of panics deeper in the engines, and every `--dry-run`
+    // manifest is guaranteed to be runnable.
+    RunSpec::from_json(&spec.to_json()).map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok(spec)
+}
+
+/// `--param` values are JSON scalars: unsigned/signed integers, floats
+/// and booleans parse as such, anything else stays a string.
+fn parse_param_value(raw: &str) -> Value {
+    if let Ok(u) = raw.parse::<u64>() {
+        return Value::UInt(u);
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match raw {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::Str(raw.to_string()),
+    }
+}
+
+/// `imcis run ...`: manifest file or flag form, over the same `Session`.
+fn run_spec_command(args: &[String]) -> Result<String, CliError> {
+    if args.is_empty() {
+        return Err(CliError::Usage(
+            "run needs a spec file or --scenario/--method flags".into(),
+        ));
+    }
+    // File form: a single positional argument.
+    if !args[0].starts_with("--") {
+        if args.len() > 1 {
+            return Err(CliError::Usage(
+                "run takes either one spec file or flags, not both".into(),
+            ));
+        }
+        let text = std::fs::read_to_string(&args[0]).map_err(CliError::Io)?;
+        let spec = RunSpec::from_str(&text).map_err(SessionError::Spec)?;
+        let report = Session::from_spec(spec)?.run()?;
+        return Ok(report.to_json_string());
+    }
+    // Flag form.
+    let dry_run = args.iter().any(|a| a == "--dry-run");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--dry-run").cloned().collect();
+    let spec = spec_from_flags(&args)?;
+    if dry_run {
+        return Ok(spec.to_json_string());
+    }
+    let report = Session::from_spec(spec)?.run()?;
+    Ok(report.to_json_string())
+}
+
+/// Executes a parsed legacy invocation against in-memory model text,
+/// returning the report to print. Separated from file I/O for
+/// testability.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] on unknown labels or failed analyses.
 pub fn run_on_text(options: &Options, model_text: &str) -> Result<String, CliError> {
     match options.command.as_str() {
-        "help" => Ok(USAGE.to_string()),
         "solve" | "mttf" | "smc" => {
             let chain = io::parse_dtmc(model_text).map_err(CliError::Parse)?;
             run_dtmc_command(options, &chain)
@@ -364,29 +609,63 @@ fn run_imc_command(options: &Options, imc: &Imc) -> Result<String, CliError> {
             ))
         }
         "imcis" => {
-            let center = imc
-                .some_member()
-                .map_err(|e| CliError::Analysis(e.to_string()))?;
-            let b = zero_variance_is(&center, &target, &avoid, &SolveOptions::default())
-                .map_err(|e| CliError::Analysis(e.to_string()))?;
-            let property = build_property(options, target, avoid);
-            let mut config = ImcisConfig::new(options.n, options.delta)
-                .with_r_undefeated(options.r)
-                .with_threads(options.threads)
-                .with_search_threads(options.search_threads);
-            if options.search_batch > 0 {
-                config = config.with_batched_search(options.search_batch);
-            }
-            let mut rng = rand::rngs::StdRng::seed_from_u64(options.seed);
-            let is = standard_is(&center, &b, &property, &config, &mut rng);
-            let out = imcis(imc, &b, &property, &config, &mut rng)
-                .map_err(|e| CliError::Analysis(e.to_string()))?;
+            // The legacy text subcommand rides the Session layer: the
+            // `file` scenario's setup builder wires centre/B/property
+            // exactly as `imcis run` with `{"name": "file"}` does, then
+            // standard IS and IMCIS run through the same estimators.
+            let scenario_params = file_scenario_params(options);
+            let setup = Arc::new(
+                setup_from_imc(imc.clone(), &options.model_path, &scenario_params)
+                    .map_err(|e| CliError::Session(SessionError::Scenario(e)))?,
+            );
+            let sample = SampleSpec {
+                n_traces: options.n,
+                delta: options.delta,
+                max_steps: 1_000_000,
+            };
+            let spec_for = |method: Method| {
+                RunSpec::new(
+                    ScenarioRef {
+                        name: "file".into(),
+                        params: scenario_params.clone(),
+                    },
+                    method,
+                    options.seed,
+                )
+                .with_threads(options.threads, options.search_threads)
+            };
+            let is_outcome =
+                Session::from_setup(setup.clone(), spec_for(Method::StandardIs(sample)))
+                    .run_outcomes()?
+                    .remove(0);
+            let imcis_outcome = Session::from_setup(
+                setup,
+                spec_for(Method::Imcis(ImcisSpec {
+                    sample,
+                    r_undefeated: options.r,
+                    r_max: 100_000,
+                    force_sampling: false,
+                    record_trace: false,
+                    search: if options.search_batch > 0 {
+                        SearchSpec::Batched {
+                            batch_size: options.search_batch,
+                        }
+                    } else {
+                        SearchSpec::Sequential
+                    },
+                })),
+            )
+            .run_outcomes()?
+            .remove(0);
+            let OutcomeDetail::Imcis(out) = &imcis_outcome.detail else {
+                unreachable!("Method::Imcis produces IMCIS outcomes");
+            };
             Ok(format!(
                 "standard IS (point model): γ̂ = {:.6e}, CI = {}\n\
                  IMCIS: γ̂ ∈ [{:.6e}, {:.6e}], {:.0}%-CI = {}\n\
                  ({} traces, {} successful, {} optimisation rounds)",
-                is.gamma_hat,
-                is.ci,
+                is_outcome.estimate,
+                is_outcome.ci,
                 out.gamma_min,
                 out.gamma_max,
                 100.0 * (1.0 - options.delta),
@@ -407,18 +686,42 @@ fn build_property(options: &Options, target: StateSet, avoid: StateSet) -> Prope
     }
 }
 
-/// Full entry point: parse arguments, read the model file, run.
+/// The `file` scenario's `target`/`avoid`/`bound` parameters of a legacy
+/// invocation (the model itself is already parsed, so no `path` entry).
+fn file_scenario_params(options: &Options) -> ScenarioParams {
+    let mut pairs = Vec::new();
+    if let Some(target) = &options.target {
+        pairs.push(("target".to_string(), Value::Str(target.clone())));
+    }
+    if let Some(avoid) = &options.avoid {
+        pairs.push(("avoid".to_string(), Value::Str(avoid.clone())));
+    }
+    if let Some(bound) = options.bound {
+        pairs.push(("bound".to_string(), Value::UInt(bound as u64)));
+    }
+    ScenarioParams::from_pairs(pairs)
+}
+
+/// Full entry point: dispatch on the first argument, read files, run.
 ///
 /// # Errors
 ///
 /// Any [`CliError`].
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let options = parse_args(args)?;
-    if options.command == "help" {
-        return Ok(USAGE.to_string());
+    let Some(first) = args.first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    match first.as_str() {
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "version" | "--version" | "-V" => Ok(version()),
+        "scenarios" => Ok(list_scenarios()),
+        "run" => run_spec_command(&args[1..]),
+        _ => {
+            let options = parse_args(args)?;
+            let text = std::fs::read_to_string(&options.model_path).map_err(CliError::Io)?;
+            run_on_text(&options, &text)
+        }
     }
-    let text = std::fs::read_to_string(&options.model_path).map_err(CliError::Io)?;
-    run_on_text(&options, &text)
 }
 
 #[cfg(test)]
@@ -498,7 +801,7 @@ label 2 tails
 
     #[test]
     fn usage_errors_are_reported() {
-        assert!(matches!(parse_args(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
         assert!(matches!(
             parse_args(&args(&["solve"])),
             Err(CliError::Usage(_))
@@ -510,6 +813,160 @@ label 2 tails
         assert!(matches!(
             parse_args(&args(&["solve", "m", "--n", "abc"])),
             Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn help_and_version_need_no_model() {
+        assert_eq!(run(&args(&["help"])).unwrap(), USAGE);
+        assert_eq!(run(&args(&["--help"])).unwrap(), USAGE);
+        let v = run(&args(&["version"])).unwrap();
+        assert_eq!(v, format!("imcis {}", env!("CARGO_PKG_VERSION")));
+        assert_eq!(run(&args(&["--version"])).unwrap(), v);
+    }
+
+    #[test]
+    fn scenarios_lists_the_registry() {
+        let listing = run(&args(&["scenarios"])).unwrap();
+        for name in [
+            "illustrative",
+            "group-repair",
+            "parametric-repair",
+            "repair",
+            "swat",
+            "file",
+        ] {
+            assert!(listing.contains(name), "{listing}");
+        }
+    }
+
+    #[test]
+    fn run_flags_build_a_canonical_spec() {
+        let report = run(&args(&[
+            "run",
+            "--scenario",
+            "group-repair",
+            "--method",
+            "imcis",
+            "--param",
+            "is=zero-variance",
+            "--n",
+            "500",
+            "--r",
+            "50",
+            "--seed",
+            "7",
+            "--dry-run",
+        ]))
+        .unwrap();
+        let spec = RunSpec::from_str(&report).unwrap();
+        assert_eq!(spec.scenario.name, "group-repair");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.method.name(), "imcis");
+        assert_eq!(spec.method.sample().n_traces, 500);
+        // Canonical: reserializing the dry-run output is byte-identical.
+        assert_eq!(spec.to_json_string(), report);
+    }
+
+    #[test]
+    fn run_executes_a_spec_end_to_end() {
+        let report = run(&args(&[
+            "run",
+            "--scenario",
+            "illustrative",
+            "--method",
+            "standard-is",
+            "--n",
+            "400",
+            "--seed",
+            "5",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        let value = serde::json::parse(&report).unwrap();
+        assert_eq!(
+            value.get("schema").and_then(|v| v.as_str()),
+            Some("imcis.report/1")
+        );
+        assert!(value.get("estimate").and_then(Value::as_f64).is_some());
+        assert!(value.get("timing").is_some());
+    }
+
+    #[test]
+    fn run_flag_values_are_validated_like_manifests() {
+        // Out-of-range values go through the manifest schema checks
+        // instead of panicking in the engines...
+        for bad in [
+            vec![
+                "run",
+                "--scenario",
+                "illustrative",
+                "--method",
+                "smc",
+                "--delta",
+                "1.5",
+            ],
+            vec![
+                "run",
+                "--scenario",
+                "illustrative",
+                "--method",
+                "smc",
+                "--n",
+                "0",
+            ],
+            // ...and IMCIS-only flags are rejected with other methods
+            // rather than silently ignored.
+            vec![
+                "run",
+                "--scenario",
+                "illustrative",
+                "--method",
+                "smc",
+                "--r",
+                "50",
+            ],
+            vec![
+                "run",
+                "--scenario",
+                "illustrative",
+                "--method",
+                "standard-is",
+                "--trace",
+                "--search-batch",
+                "8",
+            ],
+        ] {
+            assert!(
+                matches!(run(&args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_rejects_bad_invocations() {
+        assert!(matches!(run(&args(&["run"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["run", "--scenario", "illustrative"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["run", "/definitely/not/here.json"])),
+            Err(CliError::Io(_))
+        ));
+        assert!(matches!(
+            run(&args(&[
+                "run",
+                "--scenario",
+                "nope",
+                "--method",
+                "smc",
+                "--n",
+                "10"
+            ])),
+            Err(CliError::Session(_))
         ));
     }
 

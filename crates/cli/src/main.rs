@@ -3,7 +3,9 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match imcis_cli::run(&args) {
-        Ok(report) => println!("{report}"),
+        // JSON reports already end in a newline; trim so piping the
+        // output to a file yields the canonical byte-identical form.
+        Ok(report) => println!("{}", report.trim_end_matches('\n')),
         Err(error) => {
             eprintln!("imcis: {error}");
             std::process::exit(1);

@@ -198,11 +198,32 @@ fn lookup(rows: &[(State, Vec<(State, f64)>)], from: State, to: State) -> Option
 /// Runs IMCIS (Algorithm 1): samples under `b`, optimises the empirical IS
 /// estimator over `imc`, and returns the widened confidence interval.
 ///
+/// Deprecated front door: [`crate::Session`] with
+/// [`crate::Method::Imcis`] drives this exact engine (same seeds, same
+/// bit-identical results) and additionally handles repetitions, thread
+/// policy and serializable reports.
+///
 /// # Errors
 ///
 /// Returns [`ImcisError::Optim`] if the observed support mismatches the IMC
 /// or candidate generation fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use imcis_core::Session with Method::Imcis (the RunSpec → Session → Report API)"
+)]
 pub fn imcis<R: Rng + ?Sized>(
+    imc: &Imc,
+    b: &Dtmc,
+    property: &Property,
+    config: &ImcisConfig,
+    rng: &mut R,
+) -> Result<ImcisOutcome, ImcisError> {
+    imcis_impl(imc, b, property, config, rng)
+}
+
+/// The IMCIS engine shared by [`imcis`] and the [`crate::Session`]
+/// estimators.
+pub(crate) fn imcis_impl<R: Rng + ?Sized>(
     imc: &Imc,
     b: &Dtmc,
     property: &Property,
@@ -296,7 +317,26 @@ pub struct IsOutcome {
 /// Standard IS (§III-A): samples under `b` and estimates `γ(a_ref)` with a
 /// normal confidence interval — the baseline whose coverage collapses when
 /// `a_ref` is only a point estimate of the true system (§III-B).
+///
+/// Deprecated front door: [`crate::Session`] with
+/// [`crate::Method::StandardIs`] drives this exact engine.
+#[deprecated(
+    since = "0.2.0",
+    note = "use imcis_core::Session with Method::StandardIs (the RunSpec → Session → Report API)"
+)]
 pub fn standard_is<R: Rng + ?Sized>(
+    a_ref: &Dtmc,
+    b: &Dtmc,
+    property: &Property,
+    config: &ImcisConfig,
+    rng: &mut R,
+) -> IsOutcome {
+    standard_is_impl(a_ref, b, property, config, rng)
+}
+
+/// The standard-IS engine shared by [`standard_is`] and the
+/// [`crate::Session`] estimators.
+pub(crate) fn standard_is_impl<R: Rng + ?Sized>(
     a_ref: &Dtmc,
     b: &Dtmc,
     property: &Property,
@@ -322,6 +362,9 @@ pub fn standard_is<R: Rng + ?Sized>(
 }
 
 #[cfg(test)]
+// The deprecated free functions stay under test on purpose: they must
+// remain bit-identical to the Session path until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use imc_markov::StateSet;

@@ -11,14 +11,32 @@
 use imc_logic::Property;
 use imc_markov::{Dtmc, Imc};
 use imc_stats::{coverage, ConfidenceInterval, Summary};
-use rand::SeedableRng;
 
-use crate::{imcis, standard_is, ImcisConfig, ImcisError, ImcisOutcome, IsOutcome};
+use crate::session::{OutcomeDetail, Session, SessionError};
+use crate::spec::{ImcisSpec, Method, RunSpec, SampleSpec, ScenarioRef};
+use crate::{ImcisConfig, ImcisError, ImcisOutcome, IsOutcome};
+use imc_models::Setup;
 
-/// Derives the per-repetition RNG seed: splitmix-style spacing keeps seeds
-/// decorrelated while remaining reproducible.
-fn seed_for(base_seed: u64, rep: usize) -> u64 {
-    base_seed.wrapping_add((rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+/// Wraps ad-hoc components into the [`Setup`] shape a [`Session`] runs.
+/// The legacy repeat harness has no centre chain or reference values, so
+/// `b` doubles as the centre (only IMCIS/standard-IS consult it and both
+/// receive their reference chain explicitly).
+fn adhoc_setup(imc: &Imc, center: &Dtmc, b: &Dtmc, property: &Property) -> Setup {
+    Setup {
+        name: "ad-hoc".into(),
+        imc: imc.clone(),
+        center: center.clone(),
+        b: b.clone(),
+        property: property.clone(),
+        gamma_center: None,
+        gamma_exact: None,
+    }
+}
+
+fn adhoc_spec(method: Method, config: &ImcisConfig, reps: usize, base_seed: u64) -> RunSpec {
+    RunSpec::new(ScenarioRef::named("ad-hoc"), method, base_seed)
+        .with_threads(config.threads, config.search_threads)
+        .with_repetitions(reps)
 }
 
 /// Runs `reps` independent IMCIS experiments in parallel.
@@ -30,6 +48,10 @@ fn seed_for(base_seed: u64, rep: usize) -> u64 {
 /// # Errors
 ///
 /// Returns the first [`ImcisError`] encountered, if any.
+#[deprecated(
+    since = "0.2.0",
+    note = "use imcis_core::Session with Method::Imcis and repetitions = reps"
+)]
 pub fn repeat_imcis(
     imc: &Imc,
     b: &Dtmc,
@@ -38,18 +60,33 @@ pub fn repeat_imcis(
     reps: usize,
     base_seed: u64,
 ) -> Result<Vec<ImcisOutcome>, ImcisError> {
-    // Both inner engines (sampling and batched search) are thread-count
-    // invariant, so capping them to the idle remainder changes nothing
-    // but scheduling.
-    let inner = inner_threads(reps);
-    let config = config.with_threads(inner).with_search_threads(inner);
-    parallel_map(reps, |rep| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed_for(base_seed, rep));
-        imcis(imc, b, property, &config, &mut rng)
-    })
+    let setup = adhoc_setup(imc, b, b, property);
+    let spec = adhoc_spec(
+        Method::Imcis(ImcisSpec::from_config(config)),
+        config,
+        reps,
+        base_seed,
+    );
+    let outcomes = Session::from_setup(setup, spec)
+        .run_outcomes()
+        .map_err(|e| match e {
+            SessionError::Imcis(e) => e,
+            other => unreachable!("IMCIS repetitions only fail in the pipeline: {other}"),
+        })?;
+    Ok(outcomes
+        .into_iter()
+        .map(|o| match o.detail {
+            OutcomeDetail::Imcis(out) => out,
+            _ => unreachable!("Method::Imcis produces IMCIS outcomes"),
+        })
+        .collect())
 }
 
 /// Runs `reps` independent standard-IS experiments in parallel.
+#[deprecated(
+    since = "0.2.0",
+    note = "use imcis_core::Session with Method::StandardIs and repetitions = reps"
+)]
 pub fn repeat_is(
     a_ref: &Dtmc,
     b: &Dtmc,
@@ -58,36 +95,29 @@ pub fn repeat_is(
     reps: usize,
     base_seed: u64,
 ) -> Vec<IsOutcome> {
-    let config = config.with_threads(inner_threads(reps));
-    let results: Result<Vec<IsOutcome>, ImcisError> = parallel_map(reps, |rep| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed_for(base_seed, rep));
-        Ok(standard_is(a_ref, b, property, &config, &mut rng))
-    });
-    results.expect("standard IS repetitions are infallible")
-}
-
-/// The sampling-thread budget for each repetition: the harness owns the
-/// core budget at repetition level, so nesting an all-cores batch engine
-/// inside every rep would oversubscribe roughly cores². With fewer reps
-/// than cores, the inner engine gets the idle remainder (`0` = all cores
-/// — outcomes are identical either way, the engine is thread-count
-/// invariant).
-fn inner_threads(reps: usize) -> usize {
-    if reps >= imc_sim::parallel::available_threads() {
-        1
-    } else {
-        0
-    }
-}
-
-/// Fans `reps` jobs out over the available cores, preserving order.
-fn parallel_map<T, F>(reps: usize, job: F) -> Result<Vec<T>, ImcisError>
-where
-    T: Send,
-    F: Fn(usize) -> Result<T, ImcisError> + Sync,
-{
-    imc_sim::parallel::parallel_map(reps, 0, job)
+    // `a_ref` is the centre chain of the session's setup; the IMC slot is
+    // unused by standard IS, a degenerate point IMC keeps the shape whole.
+    let imc = Imc::from_center(a_ref, |_, _| 0.0).expect("point IMC of a valid chain");
+    let setup = adhoc_setup(&imc, a_ref, b, property);
+    let spec = adhoc_spec(
+        Method::StandardIs(SampleSpec {
+            n_traces: config.n_traces,
+            delta: config.delta,
+            max_steps: config.max_steps,
+        }),
+        config,
+        reps,
+        base_seed,
+    );
+    let outcomes = Session::from_setup(setup, spec)
+        .run_outcomes()
+        .expect("standard IS repetitions are infallible");
+    outcomes
         .into_iter()
+        .map(|o| match o.detail {
+            OutcomeDetail::Is(out) => out,
+            _ => unreachable!("Method::StandardIs produces IS outcomes"),
+        })
         .collect()
 }
 
@@ -151,6 +181,9 @@ impl CoverageSummary {
 }
 
 #[cfg(test)]
+// The deprecated repeat harness stays under test: it must keep producing
+// the per-repetition seed discipline the Session path standardised.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use imc_markov::{DtmcBuilder, StateSet};

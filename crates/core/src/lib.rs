@@ -1,7 +1,31 @@
 //! IMCIS — importance sampling of interval Markov chains.
 //!
 //! The end-to-end implementation of Algorithm 1 of *Importance Sampling of
-//! Interval Markov Chains* (Jegourel, Wang, Sun — DSN 2018):
+//! Interval Markov Chains* (Jegourel, Wang, Sun — DSN 2018), exposed
+//! through a three-layer experiment API:
+//!
+//! 1. **Spec** ([`RunSpec`]) — a strict, canonical JSON manifest naming a
+//!    scenario (a [`ScenarioRegistry`](imc_models::ScenarioRegistry)
+//!    entry plus parameters), an estimation [`Method`] with its full
+//!    typed configuration, the RNG seed, thread budgets and repetition
+//!    count. Every engine underneath is deterministic given its seed and
+//!    bit-identical at every thread count, so a spec is a complete,
+//!    reviewable description of a result.
+//! 2. **Session** ([`Session`]) — resolves the scenario, derives one
+//!    deterministic RNG stream per repetition, fans repetitions over the
+//!    available cores, and drives the method's [`Estimator`]. Crude
+//!    Monte Carlo, standard IS, IMCIS, cross-entropy and zero-variance
+//!    baselines all travel this one path.
+//! 3. **Report** ([`Report`]) — the uniform result: estimate, confidence
+//!    interval, dispersion, per-repetition outcomes with optional
+//!    convergence traces, coverage against the scenario's reference `γ`
+//!    values, and timing — serializable to schema-stable JSON
+//!    (`imcis.report/1`).
+//!
+//! The CLI (`imcis run <spec.json>`), the benchmark binaries and the
+//! examples are thin adapters over the same `Session`.
+//!
+//! Under the hood, one IMCIS repetition still follows the paper exactly:
 //!
 //! 1. sample `N` traces under an importance-sampling chain `B`, recording
 //!    per-trace transition count tables (`imc-sampling`);
@@ -12,33 +36,30 @@
 //! 4. report the `(1−δ)` confidence interval
 //!    `[γ̂(A_min) − q·σ̂(A_min)/√N, γ̂(A_max) + q·σ̂(A_max)/√N]`.
 //!
-//! The crate also provides the *standard* IS baseline ([`standard_is`]) the
-//! paper compares against, and a parallel repetition/coverage harness
-//! ([`experiment`]) used to regenerate Tables I–II and Figures 2–4.
+//! The legacy free functions ([`imcis`], [`standard_is`],
+//! [`experiment::repeat_imcis`], [`experiment::repeat_is`]) remain as
+//! deprecated wrappers over the same engines.
 //!
 //! # Example
 //!
 //! ```
-//! use imc_markov::{DtmcBuilder, Imc, StateSet};
-//! use imc_logic::Property;
-//! use imcis_core::{imcis, ImcisConfig};
-//! use rand::SeedableRng;
+//! use imcis_core::{RunSpec, Session};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // A learnt coin: p(success) = 0.3 ± 0.05; the true coin has p = 0.27.
-//! let learnt = DtmcBuilder::new(3)
-//!     .transition(0, 1, 0.3).transition(0, 2, 0.7)
-//!     .self_loop(1).self_loop(2)
-//!     .build()?;
-//! let imc = Imc::from_center(&learnt, |_, _| 0.05)?;
-//! let property = Property::reach_avoid(
-//!     StateSet::from_states(3, [1]),
-//!     StateSet::from_states(3, [2]),
-//! );
-//! // Sample under the learnt chain itself (B = Â).
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let outcome = imcis(&imc, &learnt, &property, &ImcisConfig::new(4000, 0.05), &mut rng)?;
-//! assert!(outcome.ci.contains(0.27), "IMCIS CI covers the true value");
+//! // A manifest is the complete description of a run. This one estimates
+//! // the paper's illustrative model (§VI-A) with IMCIS at a small scale.
+//! let spec: RunSpec = r#"{
+//!         "scenario": {"name": "illustrative"},
+//!         "method": {"name": "imcis", "n_traces": 500, "r_undefeated": 60,
+//!                    "r_max": 4000},
+//!         "seed": 7
+//!     }"#
+//!     .parse()?;
+//! let report = Session::from_spec(spec)?.run()?;
+//! // The IMCIS interval covers the exact γ(Â) the scenario knows.
+//! assert_eq!(report.coverage_center, Some(1.0));
+//! // ...and the report serializes to schema-stable JSON.
+//! assert!(report.to_json_string().contains("\"schema\": \"imcis.report/1\""));
 //! # Ok(())
 //! # }
 //! ```
@@ -48,8 +69,21 @@
 
 mod algorithm;
 pub mod experiment;
+pub mod report;
+pub mod session;
+pub mod spec;
 
-pub use algorithm::{imcis, standard_is, ImcisConfig, ImcisError, ImcisOutcome, IsOutcome};
+#[allow(deprecated)]
+pub use algorithm::{imcis, standard_is};
+pub use algorithm::{ImcisConfig, ImcisError, ImcisOutcome, IsOutcome};
+pub use report::{Repetition, Report, Timing, REPORT_SCHEMA};
+pub use session::{
+    estimator_for, Estimator, MethodOutcome, OutcomeDetail, RunContext, Session, SessionError,
+};
+pub use spec::{
+    CrossEntropySpec, ImcisSpec, Method, RunSpec, SampleSpec, ScenarioRef, SearchSpec, SpecError,
+    RUNSPEC_SCHEMA,
+};
 // Re-exported so pipeline callers can pick a search engine without a
 // direct `imc_optim` dependency.
 pub use imc_optim::SearchStrategy;

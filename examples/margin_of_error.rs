@@ -2,14 +2,18 @@
 //! against a learnt point model produces confidently wrong answers, and
 //! how the interval model fixes it.
 //!
+//! The experiment setup (IMC, centre chain, IS distribution, property)
+//! comes from the scenario registry — the same `illustrative` entry that
+//! `imcis run --scenario illustrative` resolves.
+//!
 //! Run with: `cargo run --release --example margin_of_error`
 
+use std::sync::Arc;
+
 use imc_markov::StateSet;
-use imc_models::illustrative;
+use imc_models::{illustrative, ScenarioParams, ScenarioRegistry};
 use imc_numeric::{imc_reach_bounds, SolveOptions};
-use imc_sampling::zero_variance_is;
-use imcis_core::{imcis, standard_is, ImcisConfig};
-use rand::SeedableRng;
+use imcis_core::{ImcisSpec, Method, RunSpec, SampleSpec, ScenarioRef, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The true system (unknown to the analyst):
@@ -21,9 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("               γ = {gamma:.4e}");
 
-    // What learning produced: point estimates plus intervals.
-    let center = illustrative::dtmc(illustrative::A_HAT, illustrative::C_HAT);
-    let gamma_hat = illustrative::gamma(illustrative::A_HAT, illustrative::C_HAT);
+    // What learning produced: point estimates plus intervals — the
+    // registry's illustrative scenario wires the whole §VI-A setup.
+    let registry = ScenarioRegistry::builtin();
+    let setup = Arc::new(registry.build("illustrative", &ScenarioParams::empty())?);
+    let gamma_hat = setup.gamma_center.expect("scenario knows γ(Â)");
     println!(
         "\nlearnt model:  â = {}, ĉ = {}",
         illustrative::A_HAT,
@@ -35,23 +41,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Perfect importance sampling *for the learnt model*.
-    let target = StateSet::from_states(4, [illustrative::S2]);
-    let b = zero_variance_is(
-        &center,
-        &target,
-        &StateSet::new(4),
-        &SolveOptions::default(),
-    )?;
     println!("\nperfect IS for Â (Fig. 1c):");
-    println!("  b(s0 -> s1) = {:.6}", b.prob(0, 1));
-    println!("  b(s1 -> s2) = {:.6}", b.prob(1, 2));
-    println!("  b(s1 -> s0) = {:.6}", b.prob(1, 0));
+    println!("  b(s0 -> s1) = {:.6}", setup.b.prob(0, 1));
+    println!("  b(s1 -> s2) = {:.6}", setup.b.prob(1, 2));
+    println!("  b(s1 -> s0) = {:.6}", setup.b.prob(1, 0));
 
-    let property = illustrative::property();
-    let config = ImcisConfig::new(10_000, 0.05);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2018);
-    let is = standard_is(&center, &b, &property, &config, &mut rng);
-    println!("\nstandard IS over {} traces:", config.n_traces);
+    let sample = SampleSpec {
+        n_traces: 10_000,
+        delta: 0.05,
+        max_steps: 1_000_000,
+    };
+    let spec_for = |method: Method| RunSpec::new(ScenarioRef::named("illustrative"), method, 2018);
+
+    let is = Session::from_setup(setup.clone(), spec_for(Method::StandardIs(sample)))
+        .run_outcomes()?
+        .remove(0);
+    println!("\nstandard IS over {} traces:", sample.n_traces);
     println!("  CI = {}  (zero width: every trace has L = γ(Â))", is.ci);
     println!(
         "  covers γ? {}  <- confidently wrong",
@@ -59,15 +64,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // IMCIS: optimise over every chain the intervals allow.
-    let imc = illustrative::paper_imc()?;
-    let out = imcis(&imc, &b, &property, &config, &mut rng)?;
+    let imcis_method = Method::Imcis(ImcisSpec {
+        sample,
+        ..ImcisSpec::default()
+    });
+    let out = Session::from_setup(setup.clone(), spec_for(imcis_method))
+        .run_outcomes()?
+        .remove(0);
     println!(
-        "\nIMCIS over the same traces ({} optimisation rounds):",
-        out.rounds
+        "\nIMCIS over the same trace budget ({} optimisation rounds):",
+        out.rounds.expect("imcis reports rounds")
     );
     println!(
         "  γ̂ bracket = [{:.4e}, {:.4e}]",
-        out.gamma_min, out.gamma_max
+        out.gamma_min.expect("imcis reports a bracket"),
+        out.gamma_max.expect("imcis reports a bracket")
     );
     println!("  CI = {}", out.ci);
     println!("  covers γ(Â)? {}", out.ci.contains(gamma_hat));
@@ -75,7 +86,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sanity check the bracket against the exact extremal probabilities of
     // the interval model (interval value iteration).
-    let (min, max) = imc_reach_bounds(&imc, &target, &StateSet::new(4), &SolveOptions::default())?;
+    let target = StateSet::from_states(4, [illustrative::S2]);
+    let (min, max) = imc_reach_bounds(
+        &setup.imc,
+        &target,
+        &StateSet::new(4),
+        &SolveOptions::default(),
+    )?;
     println!(
         "\nexact envelope over the IMC: γ ∈ [{:.4e}, {:.4e}] (interval value iteration)",
         min[0], max[0]

@@ -1,14 +1,17 @@
 //! Quickstart: estimate a rare-event probability on a *learnt* model with
-//! IMCIS, and see why plain importance sampling is not enough.
+//! IMCIS, and see why plain importance sampling is not enough — driven
+//! through the `RunSpec → Session → Report` API on an ad-hoc model.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use std::sync::Arc;
+
 use imc_logic::Property;
 use imc_markov::{DtmcBuilder, Imc, StateSet};
+use imc_models::Setup;
 use imc_numeric::SolveOptions;
 use imc_sampling::zero_variance_is;
-use imcis_core::{imcis, standard_is, ImcisConfig};
-use rand::SeedableRng;
+use imcis_core::{ImcisSpec, Method, RunSpec, SampleSpec, ScenarioRef, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A protection system: from OK, a fault arrives rarely; an unhandled
@@ -48,22 +51,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &SolveOptions::default(),
     )?;
 
-    let config = ImcisConfig::new(10_000, 0.05);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    // An ad-hoc Setup is the same shape the scenario registry produces —
+    // custom models plug into the Session layer exactly like the
+    // registered benchmarks do.
+    let setup = Arc::new(Setup {
+        name: "protection system".into(),
+        imc,
+        center: learnt,
+        b,
+        property,
+        gamma_center: None,
+        gamma_exact: None,
+    });
+    let sample = SampleSpec {
+        n_traces: 10_000,
+        delta: 0.05,
+        max_steps: 1_000_000,
+    };
+    let spec_for =
+        |method: Method| RunSpec::new(ScenarioRef::named("protection-system"), method, 42);
 
     // Standard IS trusts the learnt point estimates...
-    let is = standard_is(&learnt, &b, &property, &config, &mut rng);
-    println!("standard IS:  γ̂ = {:.4e}, 95%-CI = {}", is.gamma_hat, is.ci);
+    let is = Session::from_setup(setup.clone(), spec_for(Method::StandardIs(sample)))
+        .run_outcomes()?
+        .remove(0);
+    println!("standard IS:  γ̂ = {:.4e}, 95%-CI = {}", is.estimate, is.ci);
 
     // ...IMCIS widens the interval to cover every chain the data allows.
-    let out = imcis(&imc, &b, &property, &config, &mut rng)?;
+    let imcis_method = Method::Imcis(ImcisSpec {
+        sample,
+        ..ImcisSpec::default()
+    });
+    let session = Session::from_setup(setup, spec_for(imcis_method));
+    let report = session.run()?;
+    let run = &report.runs[0];
+    let (gamma_min, gamma_max) = (
+        run.gamma_min.expect("imcis reports a bracket"),
+        run.gamma_max.expect("imcis reports a bracket"),
+    );
     println!(
-        "IMCIS:        γ̂ ∈ [{:.4e}, {:.4e}], 95%-CI = {}",
-        out.gamma_min, out.gamma_max, out.ci
+        "IMCIS:        γ̂ ∈ [{gamma_min:.4e}, {gamma_max:.4e}], 95%-CI = {}",
+        run.ci
     );
     println!(
         "              ({} traces, {} successful, {} optimisation rounds)",
-        config.n_traces, out.n_success, out.rounds
+        report.spec.method.sample().n_traces,
+        run.n_success,
+        run.rounds.expect("imcis reports rounds"),
     );
 
     // If the real system has p(fault) = 1e-4, p(escalate) = 0.05, the true
@@ -73,7 +107,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  standard IS CI covers it: {}", is.ci.contains(gamma_true));
     println!(
         "  IMCIS CI covers it:       {}",
-        out.ci.contains(gamma_true)
+        run.ci.contains(gamma_true)
+    );
+    println!(
+        "\nthe same run as a reviewable manifest (imcis run <spec.json>):\n{}",
+        report.spec.to_json_string()
     );
     Ok(())
 }

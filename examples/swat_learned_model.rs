@@ -3,105 +3,94 @@
 //! probability that the water level exceeds 800 within 30 steps — without
 //! ever consulting the hidden ground truth.
 //!
+//! The log-generation → learning → CE wiring lives in the scenario
+//! registry's `swat` entry (the same one `imcis run --scenario swat`
+//! resolves); this example narrates what the scenario builds and then
+//! drives the estimation through the Session layer.
+//!
 //! Run with: `cargo run --release --example swat_learned_model`
 
-use imc_learn::{
-    good_turing_unseen_mass, learn_imc_with_support, CountTable, LearnOptions, Smoothing,
-};
-use imc_models::swat;
-use imc_numeric::{bounded_reach_probs, imc_bounded_reach_bounds};
-use imc_sampling::{cross_entropy_is, CrossEntropyConfig};
-use imc_sim::{random_walk, ChainSampler};
-use imcis_core::{imcis, standard_is, ImcisConfig};
-use rand::SeedableRng;
+use std::sync::Arc;
+
+use imc_models::{swat, ScenarioParams, ScenarioRegistry};
+use imc_numeric::imc_bounded_reach_bounds;
+use imcis_core::{ImcisSpec, Method, RunSpec, SampleSpec, ScenarioRef, Session};
+use serde::json::Value;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // The "testbed": a hidden ground-truth chain we only observe via logs.
-    let truth = swat::truth();
-    let sampler = ChainSampler::new(&truth);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(301);
-
-    // 1. Collect logs (the paper's authors had weeks of SWaT data).
-    let mut counts = CountTable::new(truth.num_states());
-    for i in 0..2000 {
-        let start = if i % 4 == 0 {
-            truth.initial()
-        } else {
-            (i * 7) % truth.num_states()
-        };
-        counts.record_path(&random_walk(&sampler, start, 500, &mut rng));
-    }
+    // 1. Build the whole pipeline from the registry: sample 2000 logs of
+    //    500 steps from the hidden truth, learn the IMC (point estimates
+    //    ± Okamoto intervals), train a cross-entropy IS chain against the
+    //    learnt centre. The ground truth is *only* used to generate logs
+    //    and validate coverage — exactly the information the paper's
+    //    authors had.
+    let params = ScenarioParams::from_pairs([
+        ("n_logs".to_string(), Value::UInt(2000)),
+        ("log_len".to_string(), Value::UInt(500)),
+        ("seed".to_string(), Value::UInt(301)),
+        ("ce_iterations".to_string(), Value::UInt(8)),
+    ]);
+    let setup = Arc::new(ScenarioRegistry::builtin().build("swat", &params)?);
     println!(
-        "logs: {} traces, {} transitions; Good–Turing unseen mass = {:.4e}",
-        counts.num_paths(),
-        counts.total(),
-        good_turing_unseen_mass(&counts.count_values())
+        "learnt model: {} states ({} buckets x {} modes), step bound {}",
+        setup.center.num_states(),
+        swat::BUCKETS,
+        swat::MODES,
+        swat::STEP_BOUND
     );
 
-    // 2. Learn the IMC (point estimates ± Okamoto intervals).
-    let imc = learn_imc_with_support(
-        &counts,
-        &truth,
-        &LearnOptions {
-            delta: 1e-3,
-            smoothing: Smoothing::Laplace(0.5),
-            initial: truth.initial(),
-        },
-    )?;
-    let center = imc.center().expect("learnt IMC is centred").clone();
-    println!("learnt model: {} states", center.num_states());
-
-    // 3. The property and its exact values (for validation only).
-    let property = swat::property(&center);
-    let gamma_center =
-        bounded_reach_probs(&center, &center.labeled_states("high"), swat::STEP_BOUND)
-            [center.initial()];
-    let gamma_truth = bounded_reach_probs(&truth, &truth.labeled_states("high"), swat::STEP_BOUND)
-        [truth.initial()];
+    // 2. The property and its exact values (for validation only).
+    let gamma_center = setup.gamma_center.expect("scenario knows γ(Â)");
+    let gamma_truth = setup.gamma_exact.expect("scenario knows the hidden γ");
     println!("γ(Â) = {gamma_center:.4e} (learnt), hidden truth γ = {gamma_truth:.4e}");
 
     // The exact probability envelope of the learnt IMC brackets both.
     let (lo, hi) = imc_bounded_reach_bounds(
-        &imc,
-        &center.labeled_states("high"),
-        &imc_markov::StateSet::new(center.num_states()),
+        &setup.imc,
+        &setup.center.labeled_states("high"),
+        &imc_markov::StateSet::new(setup.center.num_states()),
         swat::STEP_BOUND,
     );
     println!(
         "interval envelope over the IMC: [{:.4e}, {:.4e}]",
-        lo[center.initial()],
-        hi[center.initial()]
+        lo[setup.center.initial()],
+        hi[setup.center.initial()]
     );
 
-    // 4. Cross-entropy IS distribution against the learnt centre.
-    let ce = cross_entropy_is(
-        &center,
-        &property,
-        &CrossEntropyConfig {
-            iterations: 8,
-            traces_per_iteration: 4000,
-            ..CrossEntropyConfig::default()
-        },
-        &mut rng,
-    )?;
-    println!(
-        "cross-entropy: success rate grew {} -> {} per {} traces",
-        ce.success_history.first().unwrap(),
-        ce.success_history.last().unwrap(),
-        4000
-    );
-
-    // 5. Estimate: standard IS vs IMCIS (99% CIs as in Fig. 4).
-    let config = ImcisConfig::new(10_000, 0.01).with_max_steps(10_000);
-    let is = standard_is(&center, &ce.b, &property, &config, &mut rng);
+    // 3. Estimate: standard IS vs IMCIS (99% CIs as in Fig. 4), through
+    //    the same Session path as `imcis run --scenario swat`.
+    let sample = SampleSpec {
+        n_traces: 10_000,
+        delta: 0.01,
+        max_steps: 10_000,
+    };
+    let scenario = ScenarioRef {
+        name: "swat".into(),
+        params,
+    };
+    let is = Session::from_setup(
+        setup.clone(),
+        RunSpec::new(scenario.clone(), Method::StandardIs(sample), 301),
+    )
+    .run_outcomes()?
+    .remove(0);
     println!(
         "\nstandard IS : γ̂ = {:.4e}, 99%-CI = {}",
-        is.gamma_hat, is.ci
+        is.estimate, is.ci
     );
-    let out = imcis(&imc, &ce.b, &property, &config, &mut rng)?;
+
+    let imcis_method = Method::Imcis(ImcisSpec {
+        sample,
+        ..ImcisSpec::default()
+    });
+    let out = Session::from_setup(setup, RunSpec::new(scenario, imcis_method, 301))
+        .run_outcomes()?
+        .remove(0);
     println!(
         "IMCIS       : bracket [{:.4e}, {:.4e}], 99%-CI = {}",
-        out.gamma_min, out.gamma_max, out.ci
+        out.gamma_min.expect("imcis reports a bracket"),
+        out.gamma_max.expect("imcis reports a bracket"),
+        out.ci
     );
     println!(
         "\ncovers hidden γ?  IS: {}, IMCIS: {}",

@@ -19,8 +19,26 @@
 //! | [`imc_sim`] | CSR alias samplers, trace simulation, the parallel batch engine, crude Monte Carlo |
 //! | [`imc_sampling`] | IS estimator, `PreparedRun` hot-path cache, zero-variance / cross-entropy / failure biasing |
 //! | [`imc_optim`] | the IMCIS optimisation problem, random search, projected SGD |
-//! | [`imc_models`] | the paper's benchmark systems |
-//! | [`imcis_core`] | Algorithm 1 end-to-end plus the experiment harness |
+//! | [`imc_models`] | the paper's benchmark systems and the scenario registry |
+//! | [`imcis_core`] | the `RunSpec → Session → Report` API over Algorithm 1 end-to-end |
+//!
+//! ## Experiment API
+//!
+//! Every estimation run travels one path:
+//!
+//! 1. a **[`imcis_core::RunSpec`]** manifest (strict, canonical JSON)
+//!    names a scenario from the [`imc_models::ScenarioRegistry`] and a
+//!    method with its full typed configuration;
+//! 2. a **[`imcis_core::Session`]** resolves the scenario, derives one
+//!    deterministic RNG stream per repetition and drives the method's
+//!    [`imcis_core::Estimator`];
+//! 3. a **[`imcis_core::Report`]** carries the uniform result
+//!    (estimate, CI, dispersion, per-repetition traces, coverage,
+//!    timing) and serializes to schema-stable JSON.
+//!
+//! The CLI (`imcis run <spec.json>`), the `exp_*` binaries and the
+//! examples are thin adapters over this; checked-in manifests live in
+//! `specs/`.
 //!
 //! ## Engine architecture
 //!
@@ -52,31 +70,23 @@
 //!
 //! ```
 //! use imcis_repro::prelude::*;
-//! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // 1. A learnt model with interval uncertainty.
-//! let learnt = DtmcBuilder::new(3)
-//!     .transition(0, 1, 0.01).transition(0, 2, 0.99)
-//!     .self_loop(1).self_loop(2)
-//!     .label(1, "bad")
-//!     .build()?;
-//! let imc = Imc::from_center(&learnt, |_, _| 0.002)?;
-//!
-//! // 2. A rare-event property and an importance-sampling chain.
-//! let property = Property::reach_avoid(
-//!     learnt.labeled_states("bad"),
-//!     StateSet::from_states(3, [2]),
-//! );
-//! let b = zero_variance_is(
-//!     &learnt, &learnt.labeled_states("bad"), &StateSet::new(3),
-//!     &SolveOptions::default(),
-//! )?;
-//!
-//! // 3. IMCIS: a confidence interval valid for EVERY chain in the IMC.
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-//! let outcome = imcis(&imc, &b, &property, &ImcisConfig::new(2000, 0.05), &mut rng)?;
-//! assert!(outcome.ci.contains(0.01));
+//! // A RunSpec manifest is the complete description of a run: scenario,
+//! // method, seed. Engines are deterministic and thread-count invariant,
+//! // so this JSON *is* the result, reviewably.
+//! let spec: RunSpec = r#"{
+//!         "scenario": {"name": "illustrative"},
+//!         "method": {"name": "imcis", "n_traces": 600, "r_undefeated": 60,
+//!                    "r_max": 4000},
+//!         "seed": 7
+//!     }"#
+//!     .parse()?;
+//! let report = Session::from_spec(spec)?.run()?;
+//! // IMCIS covers the exact γ(Â) the scenario knows...
+//! assert_eq!(report.coverage_center, Some(1.0));
+//! // ...and the whole result serializes to schema-stable JSON.
+//! assert!(report.to_json_string().starts_with("{\n  \"schema\": \"imcis.report/1\""));
 //! # Ok(())
 //! # }
 //! ```
@@ -101,6 +111,7 @@ pub mod prelude {
     pub use imc_learn::{learn_dtmc, learn_imc, CountTable, LearnOptions};
     pub use imc_logic::{Monitor, Property, Verdict};
     pub use imc_markov::{Dtmc, DtmcBuilder, Imc, ImcBuilder, Path, StateSet};
+    pub use imc_models::{Scenario, ScenarioParams, ScenarioRegistry, Setup};
     pub use imc_numeric::{
         bounded_reach_probs, imc_reach_bounds, reach_avoid_probs, reach_before_return, SolveOptions,
     };
@@ -110,5 +121,7 @@ pub mod prelude {
     };
     pub use imc_sim::{monte_carlo, ChainSampler, SmcConfig};
     pub use imc_stats::{normal_quantile, ConfidenceInterval};
-    pub use imcis_core::{imcis, standard_is, ImcisConfig, ImcisOutcome};
+    #[allow(deprecated)]
+    pub use imcis_core::{imcis, standard_is};
+    pub use imcis_core::{Estimator, ImcisConfig, ImcisOutcome, Method, Report, RunSpec, Session};
 }

@@ -1,6 +1,10 @@
 //! Reduced-scale coverage experiments: the Table II shape — IMCIS coverage
 //! dominates IS coverage — must hold even at smoke-test scale.
 
+// Deliberately drives the deprecated free-function entry points: these
+// reproduction artefacts pin the legacy API until it is removed (the
+// Session layer shares the same engines bit-for-bit).
+#![allow(deprecated)]
 use imc_markov::StateSet;
 use imc_models::illustrative;
 use imc_numeric::SolveOptions;

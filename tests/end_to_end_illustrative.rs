@@ -2,6 +2,10 @@
 //! illustrative model: standard IS is confidently wrong, IMCIS brackets
 //! both the learnt and the true probability.
 
+// Deliberately drives the deprecated free-function entry points: these
+// reproduction artefacts pin the legacy API until it is removed (the
+// Session layer shares the same engines bit-for-bit).
+#![allow(deprecated)]
 use imc_markov::StateSet;
 use imc_models::illustrative;
 use imc_numeric::SolveOptions;

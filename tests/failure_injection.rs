@@ -2,6 +2,10 @@
 //! with precise errors, degenerate inputs are handled gracefully, and
 //! budgets actually bound work.
 
+// Deliberately drives the deprecated free-function entry points: these
+// reproduction artefacts pin the legacy API until it is removed (the
+// Session layer shares the same engines bit-for-bit).
+#![allow(deprecated)]
 use imc_ctmc::{CtmcBuilder, CtmcError, CtmcModel, ExploreError};
 use imc_distr::{ConstrainedRowSampler, DistrError, IntervalSpec};
 use imc_learn::{learn_dtmc, CountTable, LearnError, LearnOptions};

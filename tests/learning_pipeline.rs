@@ -1,6 +1,10 @@
 //! The full learning-to-verification pipeline of the paper: logs → learnt
 //! IMC → IMCIS confidence interval that is honest about the hidden truth.
 
+// Deliberately drives the deprecated free-function entry points: these
+// reproduction artefacts pin the legacy API until it is removed (the
+// Session layer shares the same engines bit-for-bit).
+#![allow(deprecated)]
 use imc_learn::{
     learn_dtmc, learn_imc, learn_imc_with_support, CountTable, LearnOptions, Smoothing,
 };

@@ -1,9 +1,13 @@
 //! Offline stand-in for `serde`: marker traits plus the no-op derives
-//! from the sibling `serde_derive` shim. See `vendor/README.md`.
+//! from the sibling `serde_derive` shim, and a minimal [`json`] document
+//! model used by the workspace's serializable artefacts (`RunSpec`,
+//! `Report`). See `vendor/README.md`.
 
 #![forbid(unsafe_code)]
 
 pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
 
 /// Marker trait mirroring `serde::Serialize` for bound compatibility.
 pub trait Serialize {}
