@@ -59,8 +59,8 @@ fn main() {
                 method.to_string(),
                 format!("[{}, {}]", sci(summary.mean_lo), sci(summary.mean_hi)),
                 sci(summary.mean_mid),
-                pct(summary.coverage_center),
-                pct(summary.coverage_exact),
+                pct(summary.coverage_gamma_hat),
+                pct(summary.coverage_gamma_true),
             ]);
         }
     }

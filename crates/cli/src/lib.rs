@@ -1,9 +1,16 @@
 //! Command-line front end for the IMCIS workspace.
 //!
-//! The primary entry points drive the `RunSpec → Session → Report` API:
+//! The primary entry points drive the
+//! `RunSpec → SuiteSpec → Session → Report/SuiteReport` API:
 //!
 //! * `imcis run <spec.json>` — execute a manifest, print the `Report`
-//!   JSON (`imcis.report/1`);
+//!   JSON (`imcis.report/2`);
+//! * `imcis run --spec a.json --spec b.json` — execute several manifests
+//!   as one suite (shared scenario builds), print the `SuiteReport`
+//!   JSON (`imcis.suitereport/1`);
+//! * `imcis suite <suite.json> [--threads T]` — execute a `SuiteSpec`
+//!   manifest the same way, optionally overriding its session-level
+//!   thread budget (scheduling only; output is bit-identical);
 //! * `imcis run --scenario NAME --method NAME [options]` — build the
 //!   same manifest from flags (add `--dry-run` to print it instead of
 //!   running);
@@ -44,7 +51,7 @@ use imc_numeric::{
 use imc_sim::{monte_carlo, SmcConfig};
 use imcis_core::{
     CrossEntropySpec, ImcisSpec, Method, OutcomeDetail, RunSpec, SampleSpec, ScenarioRef,
-    SearchSpec, Session, SessionError,
+    SearchSpec, Session, SessionError, SpecError, Suite, SuiteSpec,
 };
 use rand::SeedableRng;
 use serde::json::Value;
@@ -90,13 +97,22 @@ impl From<SessionError> for CliError {
 /// The usage text shown by `imcis help` and on usage errors.
 pub const USAGE: &str = "\
 usage: imcis run <spec.json>
+       imcis run --spec a.json --spec b.json [--threads T]
        imcis run --scenario NAME --method NAME [options] [--dry-run]
+       imcis suite <suite.json> [--threads T]
        imcis scenarios
        imcis <command> <model-file> [options]
        imcis help | version
 
 spec runner:
   run <spec.json>     execute a RunSpec manifest, print the Report JSON
+  run --spec F ...    execute several RunSpec manifests as one suite
+                      (scenario builds shared), print the SuiteReport
+                      JSON; --threads bounds concurrent sessions
+  suite <suite.json>  execute a SuiteSpec manifest (embedded or
+                      file-referenced members) the same way; --threads
+                      overrides the manifest's session budget
+                      (scheduling only — output is bit-identical)
   run --scenario NAME --method NAME
                       build the manifest from flags (same Session path);
                       --dry-run prints the canonical manifest instead
@@ -413,12 +429,104 @@ fn parse_param_value(raw: &str) -> Value {
     }
 }
 
+/// `imcis run --spec a.json --spec b.json [--threads T]`: several
+/// manifests as one suite over shared scenario builds.
+fn run_multi_spec_command(args: &[String]) -> Result<String, CliError> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threads = 0usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--spec" => paths.push(value("--spec")?),
+            "--threads" => threads = parse_value(&value("--threads")?, "--threads")?,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "`{other}` cannot be combined with --spec \
+                     (each member manifest carries its own configuration)"
+                )))
+            }
+        }
+    }
+    // Errors name the offending file — with several --spec members, a
+    // bare io/schema message would not say which manifest is broken
+    // (the suite-manifest path gets the same context from its
+    // `suite.runs[i]` prefixes).
+    let mut runs = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            CliError::Session(SessionError::Spec(SpecError::File(format!(
+                "cannot read `{path}`: {e}"
+            ))))
+        })?;
+        let run = RunSpec::from_str(&text).map_err(|e| {
+            SessionError::Spec(match e {
+                SpecError::Schema(msg) => SpecError::Schema(format!("`{path}`: {msg}")),
+                SpecError::Json(msg) => SpecError::Json(format!("`{path}`: {msg}")),
+                other => other,
+            })
+        })?;
+        runs.push(run);
+    }
+    let spec = SuiteSpec::new(runs)
+        .map_err(SessionError::Spec)?
+        .with_threads(threads);
+    let report = Suite::from_spec(spec)?.run()?;
+    Ok(report.to_json_string())
+}
+
+/// `imcis suite <suite.json> [--threads T]`: a SuiteSpec manifest end to
+/// end, optionally overriding the manifest's session-level thread budget
+/// for scheduling only (results are bit-identical at every budget).
+fn run_suite_command(args: &[String]) -> Result<String, CliError> {
+    let mut path: Option<&String> = None;
+    let mut threads: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--threads requires a value".into()))?;
+                threads = Some(parse_value(raw, "--threads")?);
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(arg),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected suite argument `{other}` \
+                     (usage: imcis suite <suite.json> [--threads T])"
+                )))
+            }
+        }
+    }
+    let Some(path) = path else {
+        return Err(CliError::Usage(
+            "suite takes exactly one SuiteSpec manifest file".into(),
+        ));
+    };
+    let spec = SuiteSpec::load(path).map_err(SessionError::Spec)?;
+    let suite = Suite::from_spec(spec)?;
+    let report = match threads {
+        Some(t) => suite.run_with_threads(t)?,
+        None => suite.run()?,
+    };
+    Ok(report.to_json_string())
+}
+
 /// `imcis run ...`: manifest file or flag form, over the same `Session`.
 fn run_spec_command(args: &[String]) -> Result<String, CliError> {
     if args.is_empty() {
         return Err(CliError::Usage(
             "run needs a spec file or --scenario/--method flags".into(),
         ));
+    }
+    // Suite form: one or more --spec files.
+    if args.iter().any(|a| a == "--spec") {
+        return run_multi_spec_command(args);
     }
     // File form: a single positional argument.
     if !args[0].starts_with("--") {
@@ -716,6 +824,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "version" | "--version" | "-V" => Ok(version()),
         "scenarios" => Ok(list_scenarios()),
         "run" => run_spec_command(&args[1..]),
+        "suite" => run_suite_command(&args[1..]),
         _ => {
             let options = parse_args(args)?;
             let text = std::fs::read_to_string(&options.model_path).map_err(CliError::Io)?;
@@ -887,7 +996,7 @@ label 2 tails
         let value = serde::json::parse(&report).unwrap();
         assert_eq!(
             value.get("schema").and_then(|v| v.as_str()),
-            Some("imcis.report/1")
+            Some("imcis.report/2")
         );
         assert!(value.get("estimate").and_then(Value::as_f64).is_some());
         assert!(value.get("timing").is_some());
@@ -943,6 +1052,126 @@ label 2 tails
                 "{bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn run_multi_spec_and_suite_execute_shared_suites() {
+        let dir = std::env::temp_dir().join("imcis_cli_suite_forms");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dry = |method: &str, seed: &str| {
+            run(&args(&[
+                "run",
+                "--scenario",
+                "illustrative",
+                "--method",
+                method,
+                "--n",
+                "200",
+                "--seed",
+                seed,
+                "--threads",
+                "1",
+                "--dry-run",
+            ]))
+            .unwrap()
+        };
+        let spec_a = dir.join("a.json");
+        let spec_b = dir.join("b.json");
+        std::fs::write(&spec_a, dry("smc", "3")).unwrap();
+        std::fs::write(&spec_b, dry("standard-is", "4")).unwrap();
+
+        // `run --spec a --spec b` emits a SuiteReport over both members.
+        let suite_out = run(&args(&[
+            "run",
+            "--spec",
+            spec_a.to_str().unwrap(),
+            "--spec",
+            spec_b.to_str().unwrap(),
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        let value = serde::json::parse(&suite_out).unwrap();
+        assert_eq!(
+            value.get("schema").and_then(Value::as_str),
+            Some("imcis.suitereport/1")
+        );
+        let reports = value.get("reports").and_then(Value::as_array).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(
+            value
+                .get("summary")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+
+        // Member 0 of the suite matches the standalone run, timing aside.
+        let mut single =
+            serde::json::parse(&run(&args(&["run", spec_a.to_str().unwrap()])).unwrap()).unwrap();
+        single.remove("timing");
+        assert_eq!(reports[0], single);
+
+        // `imcis suite` over a file-referenced manifest (paths relative to
+        // the manifest's directory) produces the identical stable report.
+        let manifest = dir.join("suite.json");
+        std::fs::write(
+            &manifest,
+            "{\"runs\": [{\"file\": \"a.json\"}, {\"file\": \"b.json\"}], \"threads\": 1}",
+        )
+        .unwrap();
+        let mut via_suite =
+            serde::json::parse(&run(&args(&["suite", manifest.to_str().unwrap()])).unwrap())
+                .unwrap();
+        via_suite.remove("timing");
+        let mut via_flags = serde::json::parse(&suite_out).unwrap();
+        via_flags.remove("timing");
+        assert_eq!(via_suite, via_flags);
+
+        // `suite --threads T` overrides the manifest budget for
+        // scheduling only: the stable report is byte-identical.
+        for budget in ["2", "8"] {
+            let mut overridden = serde::json::parse(
+                &run(&args(&[
+                    "suite",
+                    manifest.to_str().unwrap(),
+                    "--threads",
+                    budget,
+                ]))
+                .unwrap(),
+            )
+            .unwrap();
+            overridden.remove("timing");
+            assert_eq!(overridden, via_suite);
+        }
+    }
+
+    #[test]
+    fn suite_usage_errors_are_reported() {
+        assert!(matches!(run(&args(&["suite"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["suite", "a.json", "b.json"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["suite", "a.json", "--threads"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["suite", "a.json", "--seed", "1"])),
+            Err(CliError::Usage(_))
+        ));
+        // --spec cannot be mixed with per-run flags: member manifests own
+        // their configuration.
+        assert!(matches!(
+            run(&args(&["run", "--spec", "a.json", "--seed", "1"])),
+            Err(CliError::Usage(_))
+        ));
+        // A missing suite manifest is a spec file error, not a panic.
+        assert!(matches!(
+            run(&args(&["suite", "/definitely/not/here.json"])),
+            Err(CliError::Session(_))
+        ));
     }
 
     #[test]

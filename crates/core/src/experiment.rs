@@ -36,7 +36,10 @@ fn adhoc_setup(imc: &Imc, center: &Dtmc, b: &Dtmc, property: &Property) -> Setup
 fn adhoc_spec(method: Method, config: &ImcisConfig, reps: usize, base_seed: u64) -> RunSpec {
     RunSpec::new(ScenarioRef::named("ad-hoc"), method, base_seed)
         .with_threads(config.threads, config.search_threads)
-        .with_repetitions(reps)
+        // The legacy harness has always treated `reps = 0` as one run;
+        // the Session layer now rejects zero repetitions outright, so
+        // the clamp lives here to keep the deprecated API's contract.
+        .with_repetitions(reps.max(1))
 }
 
 /// Runs `reps` independent IMCIS experiments in parallel.
@@ -132,10 +135,10 @@ pub struct CoverageSummary {
     /// Mean mid-value across repetitions.
     pub mean_mid: f64,
     /// Fraction of repetitions whose CI contains `γ(Â)` (when supplied).
-    pub coverage_center: Option<f64>,
-    /// Fraction of repetitions whose CI contains the exact `γ` (when
-    /// supplied).
-    pub coverage_exact: Option<f64>,
+    pub coverage_gamma_hat: Option<f64>,
+    /// Fraction of repetitions whose CI contains the true system's exact
+    /// `γ` (when supplied).
+    pub coverage_gamma_true: Option<f64>,
     /// Number of repetitions.
     pub reps: usize,
 }
@@ -173,8 +176,8 @@ impl CoverageSummary {
             mean_lo: lo.average(),
             mean_hi: hi.average(),
             mean_mid: mid.average(),
-            coverage_center: gamma_center.map(cover),
-            coverage_exact: gamma_exact.map(cover),
+            coverage_gamma_hat: gamma_center.map(cover),
+            coverage_gamma_true: gamma_exact.map(cover),
             reps: cis.len(),
         }
     }
@@ -242,6 +245,23 @@ mod tests {
     }
 
     #[test]
+    fn legacy_zero_reps_still_yields_one_run() {
+        // The Session layer rejects zero repetitions, but the deprecated
+        // harness has always clamped to one run — that contract holds.
+        let (imc, center, prop) = coin_setup(0.3, 0.05);
+        let config = ImcisConfig::new(200, 0.05)
+            .with_r_undefeated(20)
+            .with_r_max(500);
+        assert_eq!(repeat_is(&center, &center, &prop, &config, 0, 1).len(), 1);
+        assert_eq!(
+            repeat_imcis(&imc, &center, &prop, &config, 0, 1)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
     fn summary_reports_table2_columns() {
         let cis = vec![
             ConfidenceInterval::new(0.1, 0.3),
@@ -251,8 +271,8 @@ mod tests {
         assert!((summary.mean_lo - 0.125).abs() < 1e-12);
         assert!((summary.mean_hi - 0.325).abs() < 1e-12);
         assert!((summary.mean_mid - 0.225).abs() < 1e-12);
-        assert_eq!(summary.coverage_center, Some(1.0));
-        assert_eq!(summary.coverage_exact, Some(0.0));
+        assert_eq!(summary.coverage_gamma_hat, Some(1.0));
+        assert_eq!(summary.coverage_gamma_true, Some(0.0));
         assert_eq!(summary.reps, 2);
     }
 

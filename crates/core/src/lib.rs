@@ -2,28 +2,60 @@
 //!
 //! The end-to-end implementation of Algorithm 1 of *Importance Sampling of
 //! Interval Markov Chains* (Jegourel, Wang, Sun — DSN 2018), exposed
-//! through a three-layer experiment API:
+//! through a four-layer experiment API —
+//! `RunSpec → SuiteSpec → Session → Report/SuiteReport`:
 //!
-//! 1. **Spec** ([`RunSpec`]) — a strict, canonical JSON manifest naming a
-//!    scenario (a [`ScenarioRegistry`](imc_models::ScenarioRegistry)
-//!    entry plus parameters), an estimation [`Method`] with its full
-//!    typed configuration, the RNG seed, thread budgets and repetition
-//!    count. Every engine underneath is deterministic given its seed and
-//!    bit-identical at every thread count, so a spec is a complete,
-//!    reviewable description of a result.
-//! 2. **Session** ([`Session`]) — resolves the scenario, derives one
+//! 1. **Spec** ([`RunSpec`]) — a strict, canonical JSON manifest
+//!    (`imcis.runspec/1`) naming a scenario (a
+//!    [`ScenarioRegistry`](imc_models::ScenarioRegistry) entry plus
+//!    parameters), an estimation [`Method`] with its full typed
+//!    configuration, the RNG seed, thread budgets and repetition count.
+//!    Validation is strict: unknown keys, non-finite numbers and
+//!    out-of-domain values (`delta` outside `(0, 1)`, zero budgets or
+//!    repetitions) are rejected with a precise [`SpecError`] before any
+//!    engine runs. Every engine underneath is deterministic given its
+//!    seed and bit-identical at every thread count, so a spec is a
+//!    complete, reviewable description of a result.
+//! 2. **Suite** ([`SuiteSpec`]) — a manifest of manifests
+//!    (`imcis.suitespec/1`): many run specs (embedded or referenced by
+//!    file) executed as one deterministic job. A [`Suite`] resolves
+//!    members through one [`SetupCache`], so N runs against the same
+//!    `(scenario, params)` build the expensive `Setup` exactly once and
+//!    share it via `Arc`, then fans whole sessions over worker threads.
+//!    This is the paper's own experiment shape — Table/Figure sweeps of
+//!    many (scenario, method, seed) cells — and the unit a serving front
+//!    end batches: a suite in, a report out, no shared mutable state.
+//! 3. **Session** ([`Session`]) — resolves one scenario, derives one
 //!    deterministic RNG stream per repetition, fans repetitions over the
 //!    available cores, and drives the method's [`Estimator`]. Crude
 //!    Monte Carlo, standard IS, IMCIS, cross-entropy and zero-variance
 //!    baselines all travel this one path.
-//! 3. **Report** ([`Report`]) — the uniform result: estimate, confidence
-//!    interval, dispersion, per-repetition outcomes with optional
-//!    convergence traces, coverage against the scenario's reference `γ`
-//!    values, and timing — serializable to schema-stable JSON
-//!    (`imcis.report/1`).
+//! 4. **Report** ([`Report`] / [`SuiteReport`]) — the uniform results:
+//!    estimate, confidence interval, dispersion, per-repetition outcomes
+//!    with optional convergence traces, coverage against the scenario's
+//!    reference `γ` values split into `coverage_gamma_hat` (the learnt
+//!    centre's exact `γ(Â)`) and `coverage_gamma_true` (the true
+//!    system's `γ`), and timing — serializable to schema-stable JSON
+//!    (`imcis.report/2`, `imcis.suitereport/1`); `timing` is the only
+//!    volatile field and the `to_json_stable` forms omit it.
 //!
-//! The CLI (`imcis run <spec.json>`), the benchmark binaries and the
-//! examples are thin adapters over the same `Session`.
+//! # Determinism contract
+//!
+//! Results are pure functions of manifests. For a suite specifically:
+//! [`SuiteReport::to_json_stable`] is byte-identical at every suite
+//! thread budget, and each member report is bit-identical to running
+//! that member's spec through its own [`Session`] — setup sharing and
+//! scheduling affect wall-clock only. The suite scheduler uses the same
+//! splitmix64 stream discipline as the batch engines: an optional
+//! `seed_base` derives member `i`'s seed as `stream_seed(seed_base, i)`
+//! — the golden-ratio step through the full avalanche finaliser, so the
+//! linear per-repetition derivation (`seed + k·φ`) cannot alias streams
+//! across members — and repetition streams derive from member seeds
+//! exactly as before.
+//!
+//! The CLI (`imcis run <spec.json>`, `imcis suite <suite.json>`), the
+//! benchmark binaries and the examples are thin adapters over the same
+//! `Session`/`Suite`.
 //!
 //! Under the hood, one IMCIS repetition still follows the paper exactly:
 //!
@@ -57,9 +89,34 @@
 //!     .parse()?;
 //! let report = Session::from_spec(spec)?.run()?;
 //! // The IMCIS interval covers the exact γ(Â) the scenario knows.
-//! assert_eq!(report.coverage_center, Some(1.0));
+//! assert_eq!(report.coverage_gamma_hat, Some(1.0));
 //! // ...and the report serializes to schema-stable JSON.
-//! assert!(report.to_json_string().contains("\"schema\": \"imcis.report/1\""));
+//! assert!(report.to_json_string().contains("\"schema\": \"imcis.report/2\""));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Many runs batch into one job through the suite layer; duplicated
+//! scenarios share a single build:
+//!
+//! ```
+//! use imcis_core::{Suite, SuiteSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let suite: SuiteSpec = r#"{
+//!         "runs": [
+//!             {"scenario": {"name": "illustrative"},
+//!              "method": {"name": "smc", "n_traces": 300}},
+//!             {"scenario": {"name": "illustrative"},
+//!              "method": {"name": "standard-is", "n_traces": 300}}
+//!         ],
+//!         "threads": 1
+//!     }"#
+//!     .parse()?;
+//! let suite = Suite::from_spec(suite)?;
+//! assert_eq!(suite.unique_setups(), 1); // one shared illustrative build
+//! let report = suite.run()?;
+//! assert_eq!(report.reports.len(), 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -72,6 +129,7 @@ pub mod experiment;
 pub mod report;
 pub mod session;
 pub mod spec;
+pub mod suite;
 
 #[allow(deprecated)]
 pub use algorithm::{imcis, standard_is};
@@ -84,6 +142,7 @@ pub use spec::{
     CrossEntropySpec, ImcisSpec, Method, RunSpec, SampleSpec, ScenarioRef, SearchSpec, SpecError,
     RUNSPEC_SCHEMA,
 };
+pub use suite::{SetupCache, Suite, SuiteReport, SuiteSpec, SUITEREPORT_SCHEMA, SUITESPEC_SCHEMA};
 // Re-exported so pipeline callers can pick a search engine without a
 // direct `imc_optim` dependency.
 pub use imc_optim::SearchStrategy;

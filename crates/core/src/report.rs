@@ -6,7 +6,7 @@
 //! with optional optimisation traces, reference values and coverage when
 //! the scenario knows its exact `γ`s, and wall-clock timing.
 //!
-//! The JSON form is versioned (`"schema": "imcis.report/1"`) and
+//! The JSON form is versioned (`"schema": "imcis.report/2"`) and
 //! deterministic: keys are emitted in a fixed order and every value is a
 //! pure function of the run outcome, except the `timing` object, which
 //! is the *only* volatile part. [`Report::to_json_stable`] omits it, so
@@ -24,7 +24,7 @@ use crate::session::MethodOutcome;
 use crate::spec::RunSpec;
 
 /// Schema tag emitted in every serialized report.
-pub const REPORT_SCHEMA: &str = "imcis.report/1";
+pub const REPORT_SCHEMA: &str = "imcis.report/2";
 
 /// One repetition's outcome in report form.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +75,20 @@ pub struct Timing {
     pub per_run_ms: Vec<f64>,
 }
 
+impl Timing {
+    /// The JSON form — the one volatile object both [`Report::to_json`]
+    /// and `SuiteReport::to_json` append to their stable forms.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("total_ms".into(), Value::Float(self.total_ms)),
+            (
+                "per_run_ms".into(),
+                Value::Array(self.per_run_ms.iter().map(|&ms| Value::Float(ms)).collect()),
+            ),
+        ])
+    }
+}
+
 /// The uniform result of a [`Session`](crate::Session) run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
@@ -93,24 +107,30 @@ pub struct Report {
     pub gamma_center: Option<f64>,
     /// Exact `γ` of the true system, when known.
     pub gamma_exact: Option<f64>,
-    /// Fraction of repetitions whose CI covers `γ(Â)`.
-    pub coverage_center: Option<f64>,
-    /// Fraction of repetitions whose CI covers the exact `γ`.
-    pub coverage_exact: Option<f64>,
+    /// Fraction of repetitions whose CI covers `γ(Â)` — the exact
+    /// probability of the learnt centre chain the estimators target.
+    pub coverage_gamma_hat: Option<f64>,
+    /// Fraction of repetitions whose CI covers the true system's `γ`.
+    /// Reported separately from [`Report::coverage_gamma_hat`] because the
+    /// two genuinely diverge: the pinned group-repair mixture-IS run
+    /// covers `γ(Â)` at 100% while slightly under-covering the true `γ`
+    /// (the paper's §VI-B observation) — one blended number would hide
+    /// that discrepancy.
+    pub coverage_gamma_true: Option<f64>,
     /// Per-repetition outcomes, repetition order.
     pub runs: Vec<Repetition>,
     /// Wall-clock timing (volatile; excluded from the stable JSON form).
     pub timing: Timing,
 }
 
-fn opt_float(value: Option<f64>) -> Value {
+pub(crate) fn opt_float(value: Option<f64>) -> Value {
     match value {
         Some(x) => Value::Float(x),
         None => Value::Null,
     }
 }
 
-fn ci_json(ci: &ConfidenceInterval) -> Value {
+pub(crate) fn ci_json(ci: &ConfidenceInterval) -> Value {
     Value::object([
         ("lo".into(), Value::Float(ci.lo())),
         ("hi".into(), Value::Float(ci.hi())),
@@ -122,22 +142,7 @@ impl Report {
     pub fn to_json(&self) -> Value {
         let mut value = self.to_json_stable();
         if let Value::Object(pairs) = &mut value {
-            pairs.push((
-                "timing".into(),
-                Value::object([
-                    ("total_ms".into(), Value::Float(self.timing.total_ms)),
-                    (
-                        "per_run_ms".into(),
-                        Value::Array(
-                            self.timing
-                                .per_run_ms
-                                .iter()
-                                .map(|&ms| Value::Float(ms))
-                                .collect(),
-                        ),
-                    ),
-                ]),
-            ));
+            pairs.push(("timing".into(), self.timing.to_json()));
         }
         value
     }
@@ -197,8 +202,8 @@ impl Report {
             (
                 "coverage".into(),
                 Value::object([
-                    ("center".into(), opt_float(self.coverage_center)),
-                    ("exact".into(), opt_float(self.coverage_exact)),
+                    ("gamma_hat".into(), opt_float(self.coverage_gamma_hat)),
+                    ("gamma_true".into(), opt_float(self.coverage_gamma_true)),
                 ]),
             ),
             ("runs".into(), Value::Array(runs)),

@@ -223,7 +223,7 @@ impl Session {
     ///
     /// The first [`SessionError`] any repetition produces.
     pub fn run_outcomes(&self) -> Result<Vec<MethodOutcome>, SessionError> {
-        Ok(self.run_timed()?.0)
+        Ok(self.run_timed(0)?.0)
     }
 
     /// Runs the session and folds the outcomes into a [`Report`].
@@ -232,8 +232,21 @@ impl Session {
     ///
     /// As for [`Session::run_outcomes`].
     pub fn run(&self) -> Result<Report, SessionError> {
+        self.run_with_rep_threads(0)
+    }
+
+    /// [`Session::run`] with the repetition fan-out bounded to
+    /// `rep_threads` workers (`0` = all cores). Scheduling only —
+    /// results are bit-identical at every value. The suite scheduler
+    /// uses this to divide the machine between concurrently running
+    /// sessions instead of letting every session claim all cores.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::run`].
+    pub fn run_with_rep_threads(&self, rep_threads: usize) -> Result<Report, SessionError> {
         let started = Instant::now();
-        let (outcomes, per_run_ms) = self.run_timed()?;
+        let (outcomes, per_run_ms) = self.run_timed(rep_threads)?;
         let runs: Vec<Repetition> = outcomes.iter().map(Repetition::from_outcome).collect();
         let cis: Vec<ConfidenceInterval> = runs.iter().map(|r| r.ci).collect();
         let summary =
@@ -247,8 +260,8 @@ impl Session {
             ci: ConfidenceInterval::new(summary.mean_lo, summary.mean_hi),
             gamma_center: self.setup.gamma_center,
             gamma_exact: self.setup.gamma_exact,
-            coverage_center: summary.coverage_center,
-            coverage_exact: summary.coverage_exact,
+            coverage_gamma_hat: summary.coverage_gamma_hat,
+            coverage_gamma_true: summary.coverage_gamma_true,
             runs,
             timing: Timing {
                 total_ms: started.elapsed().as_secs_f64() * 1e3,
@@ -257,25 +270,44 @@ impl Session {
         })
     }
 
-    fn run_timed(&self) -> Result<(Vec<MethodOutcome>, Vec<f64>), SessionError> {
-        let reps = self.spec.repetitions.max(1);
+    fn run_timed(
+        &self,
+        rep_threads: usize,
+    ) -> Result<(Vec<MethodOutcome>, Vec<f64>), SessionError> {
+        // Manifest parsing already rejects `repetitions: 0`, but a
+        // programmatically built spec can still carry it; folding zero
+        // outcomes would divide by zero into a NaN-bearing report, so it
+        // is a validation error here too.
+        if self.spec.repetitions == 0 {
+            return Err(SessionError::Spec(SpecError::Schema(
+                "`spec.repetitions` must be positive (a session cannot fold zero outcomes into a report)".into(),
+            )));
+        }
+        let reps = self.spec.repetitions;
         let estimator = estimator_for(&self.spec.method);
         // The session owns the core budget at repetition level: nesting an
         // all-cores batch engine inside every repetition would
-        // oversubscribe roughly cores². With fewer reps than cores the
-        // inner engines get the spec's budget (outcomes are identical
+        // oversubscribe roughly cores². Divide the resolved repetition
+        // budget between the fan-out workers and their inner engines, so
+        // a bounded budget (e.g. handed down by a suite scheduler running
+        // several sessions at once) also bounds the engines instead of
+        // each repetition claiming all cores (outcomes are identical
         // either way — the engines are thread-count invariant).
-        let saturated = reps >= imc_sim::parallel::available_threads();
-        let ctx = RunContext {
-            threads: if saturated { 1 } else { self.spec.threads },
-            search_threads: if saturated {
-                1
+        let budget = imc_sim::parallel::resolve_threads(rep_threads);
+        let engine_share = (budget / budget.min(reps)).max(1);
+        let capped = |requested: usize| {
+            if requested == 0 {
+                engine_share
             } else {
-                self.spec.search_threads
-            },
+                requested.min(engine_share)
+            }
+        };
+        let ctx = RunContext {
+            threads: capped(self.spec.threads),
+            search_threads: capped(self.spec.search_threads),
         };
         let results: Vec<Result<(MethodOutcome, f64), SessionError>> =
-            imc_sim::parallel::parallel_map(reps, 0, |rep| {
+            imc_sim::parallel::parallel_map(reps, rep_threads, |rep| {
                 let clock = Instant::now();
                 let mut rng = StdRng::seed_from_u64(seed_for(self.spec.seed, rep));
                 estimator
@@ -517,7 +549,7 @@ mod tests {
         assert_eq!(report.runs.len(), 1);
         let gamma_center = illustrative::gamma(illustrative::A_HAT, illustrative::C_HAT);
         assert!(report.ci.contains(gamma_center));
-        assert_eq!(report.coverage_center, Some(1.0));
+        assert_eq!(report.coverage_gamma_hat, Some(1.0));
         let rep = &report.runs[0];
         assert!(rep.gamma_min.unwrap() < rep.gamma_max.unwrap());
         assert!(!rep.trace.is_empty(), "record_trace was requested");
@@ -586,6 +618,23 @@ mod tests {
         // repetition produces the same degenerate estimate, so compare
         // success tallies instead (trace lengths differ by seed).
         assert!(outcomes.iter().all(|o| o.estimate.is_finite()));
+    }
+
+    #[test]
+    fn zero_repetitions_is_a_session_error_not_a_nan_report() {
+        let mut spec = illustrative_spec(Method::StandardIs(SampleSpec {
+            n_traces: 100,
+            delta: 0.05,
+            max_steps: 1_000,
+        }));
+        spec.repetitions = 0;
+        let err = Session::from_spec(spec).unwrap().run().unwrap_err();
+        assert!(matches!(err, SessionError::Spec(_)), "{err}");
+        assert_eq!(
+            err.to_string(),
+            "spec does not match the schema: `spec.repetitions` must be positive \
+             (a session cannot fold zero outcomes into a report)"
+        );
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub enum SpecError {
     Json(String),
     /// The JSON does not match the `RunSpec` schema.
     Schema(String),
+    /// A manifest or referenced spec file could not be read (suite
+    /// manifests may reference member specs by path).
+    File(String),
 }
 
 impl fmt::Display for SpecError {
@@ -43,13 +46,14 @@ impl fmt::Display for SpecError {
         match self {
             SpecError::Json(msg) => write!(f, "spec is not valid JSON: {msg}"),
             SpecError::Schema(msg) => write!(f, "spec does not match the schema: {msg}"),
+            SpecError::File(msg) => write!(f, "spec file error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for SpecError {}
 
-fn schema_err(msg: impl Into<String>) -> SpecError {
+pub(crate) fn schema_err(msg: impl Into<String>) -> SpecError {
     SpecError::Schema(msg.into())
 }
 
@@ -545,21 +549,22 @@ fn method_to_json(method: &Method) -> Value {
 }
 
 /// Strict object-field accessor: tracks the allowed key set and reports
-/// unknown keys with their JSON path.
-struct Fields<'a> {
+/// unknown keys with their JSON path. Shared with the suite manifest
+/// parser in [`crate::suite`].
+pub(crate) struct Fields<'a> {
     pairs: &'a [(String, Value)],
     context: &'static str,
 }
 
 impl<'a> Fields<'a> {
-    fn new(value: &'a Value, context: &'static str) -> Result<Self, SpecError> {
+    pub(crate) fn new(value: &'a Value, context: &'static str) -> Result<Self, SpecError> {
         value
             .as_object()
             .map(|pairs| Fields { pairs, context })
             .ok_or_else(|| schema_err(format!("`{context}` must be a JSON object")))
     }
 
-    fn allow(&self, allowed: &[&str]) -> Result<(), SpecError> {
+    pub(crate) fn allow(&self, allowed: &[&str]) -> Result<(), SpecError> {
         for (key, _) in self.pairs {
             if !allowed.contains(&key.as_str()) {
                 return Err(schema_err(format!(
@@ -572,11 +577,11 @@ impl<'a> Fields<'a> {
         Ok(())
     }
 
-    fn opt(&self, key: &str) -> Option<&'a Value> {
+    pub(crate) fn opt(&self, key: &str) -> Option<&'a Value> {
         self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
-    fn require(&self, key: &str) -> Result<&'a Value, SpecError> {
+    pub(crate) fn require(&self, key: &str) -> Result<&'a Value, SpecError> {
         self.opt(key).ok_or_else(|| {
             schema_err(format!(
                 "`{}` is missing required key `{key}`",
@@ -585,7 +590,7 @@ impl<'a> Fields<'a> {
         })
     }
 
-    fn u64_or(&self, key: &str, default: u64) -> Result<u64, SpecError> {
+    pub(crate) fn u64_or(&self, key: &str, default: u64) -> Result<u64, SpecError> {
         match self.opt(key) {
             None => Ok(default),
             Some(v) => v.as_u64().ok_or_else(|| {
@@ -597,7 +602,7 @@ impl<'a> Fields<'a> {
         }
     }
 
-    fn usize_or(&self, key: &str, default: usize) -> Result<usize, SpecError> {
+    pub(crate) fn usize_or(&self, key: &str, default: usize) -> Result<usize, SpecError> {
         match self.opt(key) {
             None => Ok(default),
             Some(v) => v.as_usize().ok_or_else(|| {
@@ -609,7 +614,7 @@ impl<'a> Fields<'a> {
         }
     }
 
-    fn positive_usize_or(&self, key: &str, default: usize) -> Result<usize, SpecError> {
+    pub(crate) fn positive_usize_or(&self, key: &str, default: usize) -> Result<usize, SpecError> {
         let value = self.usize_or(key, default)?;
         if value == 0 {
             return Err(schema_err(format!(
@@ -620,16 +625,28 @@ impl<'a> Fields<'a> {
         Ok(value)
     }
 
-    fn f64_or(&self, key: &str, default: f64) -> Result<f64, SpecError> {
+    /// Non-finite values are rejected outright: JSON has no NaN/∞
+    /// literal, but an overflowing literal like `1e999` parses to `+∞`
+    /// and a programmatically built `Value::Float(NAN)` would otherwise
+    /// flow straight into the estimators.
+    pub(crate) fn f64_or(&self, key: &str, default: f64) -> Result<f64, SpecError> {
         match self.opt(key) {
             None => Ok(default),
-            Some(v) => v
-                .as_f64()
-                .ok_or_else(|| schema_err(format!("`{}.{key}` must be a number", self.context))),
+            Some(v) => match v.as_f64() {
+                Some(x) if x.is_finite() => Ok(x),
+                Some(_) => Err(schema_err(format!(
+                    "`{}.{key}` must be a finite number",
+                    self.context
+                ))),
+                None => Err(schema_err(format!(
+                    "`{}.{key}` must be a number",
+                    self.context
+                ))),
+            },
         }
     }
 
-    fn bool_or(&self, key: &str, default: bool) -> Result<bool, SpecError> {
+    pub(crate) fn bool_or(&self, key: &str, default: bool) -> Result<bool, SpecError> {
         match self.opt(key) {
             None => Ok(default),
             Some(v) => v
@@ -731,6 +748,66 @@ mod tests {
             RunSpec::from_str("{not json"),
             Err(SpecError::Json(_))
         ));
+    }
+
+    #[test]
+    fn non_finite_and_zero_budget_manifests_are_rejected_with_precise_errors() {
+        let schema_msg = |text: &str| match RunSpec::from_str(text) {
+            Err(SpecError::Schema(msg)) => msg,
+            other => panic!("expected a schema error for {text}, got {other:?}"),
+        };
+        // An overflowing literal parses to +∞; it must die in validation,
+        // not flow into the estimators.
+        assert_eq!(
+            schema_msg(
+                "{\"scenario\": {\"name\": \"x\"}, \
+                 \"method\": {\"name\": \"smc\", \"delta\": 1e999}}"
+            ),
+            "`method.delta` must be a finite number"
+        );
+        assert_eq!(
+            schema_msg(
+                "{\"scenario\": {\"name\": \"x\"}, \
+                 \"method\": {\"name\": \"smc\", \"delta\": 1.0}}"
+            ),
+            "`method.delta` must lie in (0, 1)"
+        );
+        assert_eq!(
+            schema_msg(
+                "{\"scenario\": {\"name\": \"x\"}, \"method\": {\"name\": \"smc\"}, \
+                 \"repetitions\": 0}"
+            ),
+            "`spec.repetitions` must be positive"
+        );
+        assert_eq!(
+            schema_msg(
+                "{\"scenario\": {\"name\": \"x\"}, \
+                 \"method\": {\"name\": \"smc\", \"n_traces\": 0}}"
+            ),
+            "`method.n_traces` must be positive"
+        );
+        // A programmatically built NaN (no JSON literal spells it) is
+        // caught by the same finite check on the value path.
+        let nan = Value::object([
+            (
+                "scenario".into(),
+                Value::object([("name".into(), Value::Str("x".into()))]),
+            ),
+            (
+                "method".into(),
+                Value::object([
+                    ("name".into(), Value::Str("smc".into())),
+                    ("delta".into(), Value::Float(f64::NAN)),
+                ]),
+            ),
+        ]);
+        assert_eq!(
+            match RunSpec::from_json(&nan) {
+                Err(SpecError::Schema(msg)) => msg,
+                other => panic!("expected a schema error, got {other:?}"),
+            },
+            "`method.delta` must be a finite number"
+        );
     }
 
     #[test]

@@ -1,0 +1,691 @@
+//! The suite layer: many [`RunSpec`]s executed as one deterministic job.
+//!
+//! A [`SuiteSpec`] manifest (`imcis.suitespec/1`) lists member run specs
+//! — embedded inline or referenced by file — plus a global thread budget
+//! and an optional shared seed base. [`Suite::from_spec`] resolves every
+//! member scenario through one [`SetupCache`], so N sessions against the
+//! same `(scenario, params)` pair build the expensive [`Setup`] exactly
+//! once and share it behind an [`Arc`] (scenario build dominates for the
+//! 40320-state `repair` model and the learned `swat` models). [`Suite::run`]
+//! then fans whole sessions over [`std::thread::scope`] workers and folds
+//! the per-spec [`Report`]s, in manifest order, into a [`SuiteReport`]
+//! (`imcis.suitereport/1`) with a cross-run summary table.
+//!
+//! # Determinism contract
+//!
+//! A suite result is a pure function of its manifest:
+//!
+//! * every member session is seed-deterministic and thread-count
+//!   invariant, and the suite scheduler assigns results by member index
+//!   (never by completion order), so [`SuiteReport::to_json_stable`] is
+//!   **byte-identical at every suite thread budget**;
+//! * a member's report is **bit-identical to running that spec through
+//!   its own [`Session`]** — sharing a cached `Setup` changes where the
+//!   models live, not what they are;
+//! * the optional `seed_base` rewrites member seeds with the same
+//!   splitmix64 stream derivation the per-trace streams use (member `i`
+//!   gets [`stream_seed`]`(seed_base, i)` — a Weyl step through the full
+//!   avalanche finaliser, so no (member, repetition) pair of RNG streams
+//!   can alias), applied at parse time and — idempotently — when a suite
+//!   is built ([`SuiteSpec::normalized`]), so the echoed specs always
+//!   show their effective seeds;
+//! * `timing` remains the only volatile field, omitted by
+//!   [`SuiteReport::to_json_stable`] exactly as [`Report::to_json_stable`]
+//!   omits it.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use imc_models::{ScenarioError, ScenarioRegistry, Setup};
+use imc_sim::stream_seed;
+use serde::json::{self, Value};
+
+use crate::report::{ci_json, opt_float, Report, Timing};
+use crate::session::{Session, SessionError};
+use crate::spec::{schema_err, Fields, RunSpec, ScenarioRef, SpecError};
+
+/// Schema tag emitted in every serialized suite spec.
+pub const SUITESPEC_SCHEMA: &str = "imcis.suitespec/1";
+
+/// Schema tag emitted in every serialized suite report.
+pub const SUITEREPORT_SCHEMA: &str = "imcis.suitereport/1";
+
+/// The serializable manifest of one suite: member runs plus scheduling
+/// policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteSpec {
+    /// Member run specs, manifest order. Never empty (validated).
+    pub runs: Vec<RunSpec>,
+    /// Sessions executed concurrently (`0` = all cores; results are
+    /// bit-identical at every budget).
+    pub threads: usize,
+    /// When set, member `i`'s seed is replaced by
+    /// [`stream_seed`]`(seed_base, i)` at parse/validation time.
+    pub seed_base: Option<u64>,
+}
+
+impl SuiteSpec {
+    /// A suite over `runs` with the default thread policy and no seed
+    /// rewrite.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Schema`] when `runs` is empty — an empty suite has
+    /// nothing to report and is rejected up front rather than producing
+    /// an empty [`SuiteReport`].
+    pub fn new(runs: Vec<RunSpec>) -> Result<Self, SpecError> {
+        let spec = SuiteSpec {
+            runs,
+            threads: 0,
+            seed_base: None,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Replaces the suite thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Applies the `seed_base` rewrite: when set, member `i`'s seed
+    /// becomes [`stream_seed`]`(seed_base, i)` — a Weyl step through the
+    /// full splitmix64 finaliser, the exact per-stream derivation
+    /// `BatchRunner` uses — regardless of the seed the member carried.
+    /// Idempotent — the rewrite is a pure function of
+    /// `(seed_base, index)`.
+    ///
+    /// The finaliser matters: members then derive *repetition* seeds by
+    /// the linear `seed + k·φ` step, so bare `seed_base + i·φ` member
+    /// seeds would make member `i` repetition `k` collide with member
+    /// `j` repetition `l` whenever `i + k == j + l`. The avalanche mix
+    /// breaks that linearity, keeping every (member, repetition) stream
+    /// distinct.
+    ///
+    /// The JSON parser and [`Suite::from_spec_with`] both normalise, so
+    /// a programmatically assembled spec with `seed_base` set runs with
+    /// exactly the seeds its serialized echo claims.
+    pub fn normalized(mut self) -> Self {
+        if let Some(base_seed) = self.seed_base {
+            for (i, run) in self.runs.iter_mut().enumerate() {
+                run.seed = stream_seed(base_seed, i as u64);
+            }
+        }
+        self
+    }
+
+    /// Checks the structural invariants a well-formed suite obeys.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Schema`] on an empty member list or a member with
+    /// zero repetitions (both would otherwise surface only as a broken
+    /// report much later).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.runs.is_empty() {
+            return Err(schema_err(
+                "`suite.runs` must contain at least one run (an empty suite has no report)",
+            ));
+        }
+        for (i, run) in self.runs.iter().enumerate() {
+            if run.repetitions == 0 {
+                return Err(schema_err(format!(
+                    "`suite.runs[{i}].repetitions` must be positive"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses an already-decoded JSON value. File-referenced members
+    /// (`{"file": "spec.json"}`) resolve relative to `base` (the suite
+    /// manifest's directory; `None` = the current directory).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Schema`] on schema violations (including an empty
+    /// `runs` list), [`SpecError::File`] when a referenced spec file
+    /// cannot be read, and any member spec's own parse error.
+    pub fn from_json_with_base(value: &Value, base: Option<&Path>) -> Result<Self, SpecError> {
+        let fields = Fields::new(value, "suite")?;
+        fields.allow(&["schema", "runs", "threads", "seed_base"])?;
+        if let Some(schema) = fields.opt("schema") {
+            let tag = schema
+                .as_str()
+                .ok_or_else(|| schema_err("`schema` must be a string"))?;
+            if tag != SUITESPEC_SCHEMA {
+                return Err(schema_err(format!(
+                    "unsupported schema `{tag}` (expected `{SUITESPEC_SCHEMA}`)"
+                )));
+            }
+        }
+        let entries = fields
+            .require("runs")?
+            .as_array()
+            .ok_or_else(|| schema_err("`suite.runs` must be an array"))?;
+        let mut runs = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            runs.push(parse_member(entry, i, base)?);
+        }
+        let seed_base = match fields.opt("seed_base") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| schema_err("`suite.seed_base` must be an unsigned integer"))?,
+            ),
+        };
+        let spec = SuiteSpec {
+            runs,
+            threads: fields.usize_or("threads", 0)?,
+            seed_base,
+        }
+        .normalized();
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Reads and parses a suite manifest file; file-referenced members
+    /// resolve relative to the manifest's own directory.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::File`] when the manifest cannot be read, otherwise as
+    /// for [`SuiteSpec::from_json_with_base`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SpecError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::File(format!("cannot read `{}`: {e}", path.display())))?;
+        let value = json::parse(&text).map_err(|e| SpecError::Json(e.to_string()))?;
+        Self::from_json_with_base(&value, path.parent())
+    }
+
+    /// The canonical JSON form: every field emitted, members embedded
+    /// (file references are a load-time convenience, not part of the
+    /// canonical form), fixed key order.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("schema".into(), Value::Str(SUITESPEC_SCHEMA.into())),
+            (
+                "runs".into(),
+                Value::Array(self.runs.iter().map(RunSpec::to_json).collect()),
+            ),
+            ("threads".into(), Value::UInt(self.threads as u64)),
+            (
+                "seed_base".into(),
+                match self.seed_base {
+                    Some(s) => Value::UInt(s),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// The canonical pretty-printed JSON text (the on-disk manifest
+    /// form). Byte-identical across parse/serialize round trips.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+}
+
+/// Parses a JSON suite manifest (`text.parse::<SuiteSpec>()`). File
+/// references resolve relative to the current directory; prefer
+/// [`SuiteSpec::load`] for on-disk manifests.
+impl std::str::FromStr for SuiteSpec {
+    type Err = SpecError;
+
+    /// # Errors
+    ///
+    /// As for [`SuiteSpec::from_json_with_base`].
+    fn from_str(text: &str) -> Result<Self, SpecError> {
+        let value = json::parse(text).map_err(|e| SpecError::Json(e.to_string()))?;
+        Self::from_json_with_base(&value, None)
+    }
+}
+
+fn parse_member(entry: &Value, index: usize, base: Option<&Path>) -> Result<RunSpec, SpecError> {
+    let Some(pairs) = entry.as_object() else {
+        return Err(schema_err(format!(
+            "`suite.runs[{index}]` must be a JSON object"
+        )));
+    };
+    if !pairs.iter().any(|(k, _)| k == "file") {
+        return RunSpec::from_json(entry).map_err(|e| prefix_member_error(e, index));
+    }
+    // A file reference carries only the path; anything else is a typo or
+    // a half-embedded spec, named with its member index.
+    if let Some((key, _)) = pairs.iter().find(|(k, _)| k != "file") {
+        return Err(schema_err(format!(
+            "`suite.runs[{index}]` has unknown key `{key}` alongside `file` \
+             (a file reference carries only the path)"
+        )));
+    }
+    let raw_path = pairs
+        .iter()
+        .find(|(k, _)| k == "file")
+        .map(|(_, v)| v)
+        .expect("checked above")
+        .as_str()
+        .ok_or_else(|| schema_err(format!("`suite.runs[{index}].file` must be a string path")))?;
+    let mut path = PathBuf::from(raw_path);
+    if path.is_relative() {
+        if let Some(base) = base {
+            path = base.join(path);
+        }
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        SpecError::File(format!(
+            "`suite.runs[{index}]`: cannot read `{}`: {e}",
+            path.display()
+        ))
+    })?;
+    text.parse::<RunSpec>()
+        .map_err(|e| prefix_member_error(e, index))
+}
+
+fn prefix_member_error(e: SpecError, index: usize) -> SpecError {
+    match e {
+        SpecError::Schema(msg) => SpecError::Schema(format!("`suite.runs[{index}]`: {msg}")),
+        SpecError::Json(msg) => SpecError::Json(format!("`suite.runs[{index}]`: {msg}")),
+        SpecError::File(msg) => SpecError::File(msg),
+    }
+}
+
+/// Shares built [`Setup`]s across sessions, keyed on the canonical JSON
+/// of `(scenario, params)` ([`ScenarioParams::cache_key`]).
+///
+/// Scenario builds are pure functions of their parameters, so a cache
+/// hit returns a `Setup` identical to a fresh build — sharing changes
+/// where the models live, never what they are. [`SetupCache::builds`]
+/// is the instrumentation for the suite's single-build guarantee (and
+/// its tests).
+///
+/// [`ScenarioParams::cache_key`]: imc_models::ScenarioParams::cache_key
+#[derive(Default)]
+pub struct SetupCache {
+    entries: Vec<(String, Arc<Setup>)>,
+}
+
+impl SetupCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SetupCache::default()
+    }
+
+    /// Returns the cached setup for `scenario`, building it through
+    /// `registry` on first use.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScenarioError`] of the underlying build.
+    pub fn get_or_build(
+        &mut self,
+        registry: &ScenarioRegistry,
+        scenario: &ScenarioRef,
+    ) -> Result<Arc<Setup>, ScenarioError> {
+        let key = scenario.params.cache_key(&scenario.name);
+        if let Some((_, setup)) = self.entries.iter().find(|(k, _)| *k == key) {
+            return Ok(Arc::clone(setup));
+        }
+        let setup = Arc::new(registry.build(&scenario.name, &scenario.params)?);
+        self.entries.push((key, Arc::clone(&setup)));
+        Ok(setup)
+    }
+
+    /// How many setups were actually built (cache misses): every entry
+    /// is built exactly once, so this is the entry count.
+    pub fn builds(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// How many distinct `(scenario, params)` keys are cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A resolved, runnable suite: one [`Session`] per member spec, sharing
+/// cached [`Setup`]s.
+pub struct Suite {
+    spec: SuiteSpec,
+    sessions: Vec<Session>,
+    unique_setups: usize,
+}
+
+impl Suite {
+    /// Resolves every member scenario through the built-in registry,
+    /// building each unique `(scenario, params)` setup exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Spec`] on an invalid suite (empty member list),
+    /// [`SessionError::Scenario`] when a member scenario fails to build.
+    pub fn from_spec(spec: SuiteSpec) -> Result<Self, SessionError> {
+        Self::from_spec_with(spec, &ScenarioRegistry::builtin())
+    }
+
+    /// [`Suite::from_spec`] with a caller-supplied registry.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Suite::from_spec`].
+    pub fn from_spec_with(
+        spec: SuiteSpec,
+        registry: &ScenarioRegistry,
+    ) -> Result<Self, SessionError> {
+        // Normalising here keeps the programmatic path honest: a spec
+        // assembled in code with `seed_base` set runs with the same
+        // rewritten seeds its serialized echo claims.
+        let spec = spec.normalized();
+        spec.validate().map_err(SessionError::Spec)?;
+        let mut cache = SetupCache::new();
+        let mut sessions = Vec::with_capacity(spec.runs.len());
+        for run in &spec.runs {
+            let setup = cache.get_or_build(registry, &run.scenario)?;
+            sessions.push(Session::from_setup(setup, run.clone()));
+        }
+        Ok(Suite {
+            unique_setups: cache.builds(),
+            spec,
+            sessions,
+        })
+    }
+
+    /// The manifest this suite runs.
+    pub fn spec(&self) -> &SuiteSpec {
+        &self.spec
+    }
+
+    /// The member sessions, manifest order.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// How many distinct setups back the member sessions (each built
+    /// exactly once).
+    pub fn unique_setups(&self) -> usize {
+        self.unique_setups
+    }
+
+    /// Runs every member session and folds the reports, in manifest
+    /// order, into a [`SuiteReport`].
+    ///
+    /// Sessions fan out over up to `spec.threads` workers (`0` = all
+    /// cores). Scheduling never leaks into results: reports land in
+    /// member-index slots, and every session is itself deterministic, so
+    /// the stable JSON is byte-identical at every thread budget.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SessionError`] any member produces (in manifest
+    /// order).
+    pub fn run(&self) -> Result<SuiteReport, SessionError> {
+        self.run_with_threads(self.spec.threads)
+    }
+
+    /// [`Suite::run`] under an explicit session-level thread budget,
+    /// overriding the manifest's `threads` for scheduling only — the
+    /// spec echo in the report is untouched. This is the knob the
+    /// determinism tests turn to pin byte-identical output across
+    /// budgets without editing the manifest.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Suite::run`].
+    pub fn run_with_threads(&self, threads: usize) -> Result<SuiteReport, SessionError> {
+        let started = Instant::now();
+        // Divide the machine between concurrently running sessions: with
+        // W suite workers, each session's repetition fan-out gets
+        // ~cores/W workers instead of claiming all cores and
+        // oversubscribing W-fold (the session divides that hand-me-down
+        // budget between its repetition workers and their inner engines
+        // in turn). Scheduling only — results are bit-identical at every
+        // division.
+        let workers = imc_sim::parallel::resolve_threads(threads).min(self.sessions.len().max(1));
+        let rep_threads = (imc_sim::parallel::available_threads() / workers).max(1);
+        let results: Vec<Result<(Report, f64), SessionError>> =
+            imc_sim::parallel::parallel_map(self.sessions.len(), threads, |i| {
+                let clock = Instant::now();
+                self.sessions[i]
+                    .run_with_rep_threads(rep_threads)
+                    .map(|report| (report, clock.elapsed().as_secs_f64() * 1e3))
+            });
+        let mut reports = Vec::with_capacity(results.len());
+        let mut per_run_ms = Vec::with_capacity(results.len());
+        for result in results {
+            let (report, ms) = result?;
+            reports.push(report);
+            per_run_ms.push(ms);
+        }
+        Ok(SuiteReport {
+            spec: self.spec.clone(),
+            reports,
+            timing: Timing {
+                total_ms: started.elapsed().as_secs_f64() * 1e3,
+                per_run_ms,
+            },
+        })
+    }
+}
+
+impl fmt::Debug for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Suite")
+            .field("runs", &self.spec.runs.len())
+            .field("unique_setups", &self.unique_setups)
+            .finish()
+    }
+}
+
+/// The uniform result of a [`Suite`] run: per-spec [`Report`]s in
+/// manifest order plus a cross-run summary table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteReport {
+    /// The manifest that produced this report (canonical echo).
+    pub spec: SuiteSpec,
+    /// Per-member reports, manifest order.
+    pub reports: Vec<Report>,
+    /// Wall-clock timing (volatile; excluded from the stable JSON form).
+    /// `per_run_ms` holds per-member session wall times.
+    pub timing: Timing,
+}
+
+impl SuiteReport {
+    /// The deterministic JSON form: everything except `timing` (member
+    /// reports are embedded in their own stable form). Two runs of the
+    /// same suite manifest produce byte-identical
+    /// `to_json_stable().pretty()` text at every thread budget.
+    pub fn to_json_stable(&self) -> Value {
+        let summary: Vec<Value> = self
+            .reports
+            .iter()
+            .enumerate()
+            .map(|(i, report)| summary_row(i, report))
+            .collect();
+        Value::object([
+            ("schema".into(), Value::Str(SUITEREPORT_SCHEMA.into())),
+            ("spec".into(), self.spec.to_json()),
+            ("summary".into(), Value::Array(summary)),
+            (
+                "reports".into(),
+                Value::Array(self.reports.iter().map(Report::to_json_stable).collect()),
+            ),
+        ])
+    }
+
+    /// The full JSON form, including the volatile `timing` object.
+    pub fn to_json(&self) -> Value {
+        let mut value = self.to_json_stable();
+        if let Value::Object(pairs) = &mut value {
+            pairs.push(("timing".into(), self.timing.to_json()));
+        }
+        value
+    }
+
+    /// Pretty-printed [`SuiteReport::to_json`] — the `imcis suite`
+    /// output form.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+}
+
+/// One row of the cross-run summary table: the columns a paper table
+/// sweep reads off (scenario × method × seed → estimate, CI, coverage).
+fn summary_row(index: usize, report: &Report) -> Value {
+    Value::object([
+        ("run".into(), Value::UInt(index as u64)),
+        (
+            "scenario".into(),
+            Value::Str(report.spec.scenario.name.clone()),
+        ),
+        (
+            "method".into(),
+            Value::Str(report.spec.method.name().into()),
+        ),
+        ("model".into(), Value::Str(report.model.clone())),
+        ("seed".into(), Value::UInt(report.spec.seed)),
+        ("estimate".into(), Value::Float(report.estimate)),
+        ("sigma".into(), Value::Float(report.sigma)),
+        ("ci".into(), ci_json(&report.ci)),
+        (
+            "coverage_gamma_hat".into(),
+            opt_float(report.coverage_gamma_hat),
+        ),
+        (
+            "coverage_gamma_true".into(),
+            opt_float(report.coverage_gamma_true),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Method, SampleSpec};
+    use std::str::FromStr;
+
+    fn smc_run(seed: u64) -> RunSpec {
+        RunSpec::new(
+            ScenarioRef::named("illustrative"),
+            Method::Smc(SampleSpec {
+                n_traces: 200,
+                delta: 0.05,
+                max_steps: 10_000,
+            }),
+            seed,
+        )
+        .with_threads(1, 1)
+    }
+
+    #[test]
+    fn empty_suite_is_rejected_with_a_clear_message() {
+        let err = SuiteSpec::new(Vec::new()).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "spec does not match the schema: `suite.runs` must contain at least one run \
+             (an empty suite has no report)"
+        );
+        let err = SuiteSpec::from_str("{\"runs\": []}").unwrap_err();
+        assert!(matches!(err, SpecError::Schema(_)), "{err}");
+    }
+
+    #[test]
+    fn suite_round_trip_is_byte_identical() {
+        let spec = SuiteSpec::new(vec![smc_run(1), smc_run(2)])
+            .unwrap()
+            .with_threads(2);
+        let text = spec.to_json_string();
+        let reparsed = SuiteSpec::from_str(&text).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.to_json_string(), text);
+    }
+
+    #[test]
+    fn seed_base_rewrites_member_seeds_with_splitmix_spacing() {
+        let mut spec = SuiteSpec::new(vec![smc_run(1), smc_run(1), smc_run(1)]).unwrap();
+        spec.seed_base = Some(77);
+        let reparsed = SuiteSpec::from_str(&spec.to_json_string()).unwrap();
+        for (i, run) in reparsed.runs.iter().enumerate() {
+            assert_eq!(run.seed, stream_seed(77, i as u64));
+        }
+        // The finaliser keeps (member, repetition) streams distinct: the
+        // bare Weyl step would alias member 0 rep 1 with member 1 rep 0
+        // (both `base + 1·φ`), duplicating "independent" repetitions.
+        let phi = 0x9E37_79B9_7F4A_7C15u64;
+        assert_ne!(
+            reparsed.runs[0].seed.wrapping_add(phi),
+            reparsed.runs[1].seed
+        );
+        // Idempotent: the rewrite is a pure function of (base, index).
+        assert_eq!(
+            SuiteSpec::from_str(&reparsed.to_json_string()).unwrap(),
+            reparsed
+        );
+        // The programmatic path normalises too: a suite built from the
+        // un-serialized spec runs with exactly the seeds the echo claims.
+        assert_eq!(spec.clone().normalized(), reparsed);
+        let suite = Suite::from_spec(spec).unwrap();
+        for (i, session) in suite.sessions().iter().enumerate() {
+            assert_eq!(session.spec().seed, stream_seed(77, i as u64));
+        }
+        assert_eq!(suite.spec().runs, reparsed.runs);
+    }
+
+    #[test]
+    fn unknown_suite_keys_are_rejected() {
+        for text in [
+            "{\"runs\": [], \"wat\": 1}",
+            "{\"schema\": \"imcis.suitespec/99\", \"runs\": []}",
+        ] {
+            assert!(
+                matches!(SuiteSpec::from_str(text), Err(SpecError::Schema(_))),
+                "{text}"
+            );
+        }
+        let missing = SuiteSpec::from_str("{\"runs\": [{\"file\": \"/definitely/not/here\"}]}");
+        assert!(matches!(missing, Err(SpecError::File(_))), "{missing:?}");
+        // Extra keys beside a file reference name the member index.
+        let mixed =
+            SuiteSpec::from_str("{\"runs\": [{\"file\": \"a.json\", \"seed\": 3}]}").unwrap_err();
+        assert_eq!(
+            mixed.to_string(),
+            "spec does not match the schema: `suite.runs[0]` has unknown key `seed` \
+             alongside `file` (a file reference carries only the path)"
+        );
+    }
+
+    #[test]
+    fn member_errors_carry_their_index() {
+        let err = SuiteSpec::from_str(
+            "{\"runs\": [{\"scenario\": {\"name\": \"x\"}, \"method\": {\"name\": \"smc\"}}, \
+             {\"scenario\": {\"name\": \"x\"}, \"method\": {\"name\": \"teleport\"}}]}",
+        )
+        .unwrap_err();
+        let SpecError::Schema(msg) = err else {
+            panic!("expected a schema error");
+        };
+        assert!(msg.starts_with("`suite.runs[1]`:"), "{msg}");
+    }
+
+    #[test]
+    fn setup_cache_builds_each_unique_scenario_once() {
+        let registry = ScenarioRegistry::builtin();
+        let mut cache = SetupCache::new();
+        let a = cache
+            .get_or_build(&registry, &ScenarioRef::named("illustrative"))
+            .unwrap();
+        let b = cache
+            .get_or_build(&registry, &ScenarioRef::named("illustrative"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cache hit must share the build");
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -373,11 +373,18 @@ impl ScenarioParams {
         }
     }
 
-    /// Float parameter with a default (integers widen).
+    /// Float parameter with a default (integers widen). Non-finite values
+    /// (NaN, ±∞ — e.g. an overflowing literal like `1e999`) are rejected:
+    /// every numeric scenario parameter feeds a model builder or an
+    /// estimator, and none of them is meaningful at infinity.
     pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ScenarioError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.as_f64().ok_or_else(|| bad(key, "expected a number")),
+            Some(v) => match v.as_f64() {
+                Some(x) if x.is_finite() => Ok(x),
+                Some(_) => Err(bad(key, "expected a finite number")),
+                None => Err(bad(key, "expected a number")),
+            },
         }
     }
 
@@ -430,6 +437,26 @@ impl ScenarioParams {
                 .map(|s| Some(s.to_string()))
                 .ok_or_else(|| bad(key, "expected a string")),
         }
+    }
+
+    /// The canonical cache key of this parameter set under scenario
+    /// `name`: the canonical JSON text of `{"name": …, "params": …}`
+    /// with the parameters sorted by key.
+    ///
+    /// Scenario builds are pure functions of `(name, params)`, so two
+    /// references with equal keys build identical [`Setup`]s — the
+    /// invariant that lets a suite share one build across many sessions
+    /// (see `imcis_core::suite::SetupCache`). Sorting matters: manifests
+    /// preserve insertion order, and two members spelling the same
+    /// parameter set in different key order must still share one build.
+    pub fn cache_key(&self, name: &str) -> String {
+        let mut pairs = self.0.clone();
+        pairs.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Value::object([
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("params".to_string(), Value::object(pairs)),
+        ])
+        .pretty()
     }
 
     /// Rejects any key outside `allowed` — manifests are reviewable
@@ -965,6 +992,57 @@ mod tests {
             registry.build("group-repair", &bad_w),
             Err(ScenarioError::BadParam { .. })
         ));
+    }
+
+    #[test]
+    fn params_reject_non_finite_numbers() {
+        let registry = ScenarioRegistry::builtin();
+        for bad_val in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let params = ScenarioParams::from_pairs([("w".to_string(), Value::Float(bad_val))]);
+            let err = registry.build("group-repair", &params).unwrap_err();
+            assert_eq!(
+                err.to_string(),
+                "scenario parameter `w`: expected a finite number",
+                "{bad_val}"
+            );
+            // The same guard protects the repair-family α intervals, where
+            // +∞ would otherwise satisfy the ordering check.
+            let params =
+                ScenarioParams::from_pairs([("alpha_hi".to_string(), Value::Float(bad_val))]);
+            assert!(matches!(
+                registry.build("repair", &params),
+                Err(ScenarioError::BadParam { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn cache_key_is_canonical_and_discriminates() {
+        let a = ScenarioParams::from_pairs([("w".to_string(), Value::Float(0.9))]);
+        let b = ScenarioParams::from_pairs([("w".to_string(), Value::Float(0.8))]);
+        assert_eq!(
+            a.cache_key("group-repair"),
+            a.clone().cache_key("group-repair")
+        );
+        assert_ne!(a.cache_key("group-repair"), b.cache_key("group-repair"));
+        assert_ne!(
+            a.cache_key("group-repair"),
+            a.cache_key("parametric-repair")
+        );
+        assert!(a
+            .cache_key("group-repair")
+            .contains("\"name\": \"group-repair\""));
+        // Key order in the manifest must not defeat the exactly-once
+        // build guarantee: the key canonicalises by sorting parameters.
+        let xy = ScenarioParams::from_pairs([
+            ("x".to_string(), Value::Float(0.1)),
+            ("y".to_string(), Value::Float(0.2)),
+        ]);
+        let yx = ScenarioParams::from_pairs([
+            ("y".to_string(), Value::Float(0.2)),
+            ("x".to_string(), Value::Float(0.1)),
+        ]);
+        assert_eq!(xy.cache_key("repair"), yx.cache_key("repair"));
     }
 
     #[test]

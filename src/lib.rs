@@ -20,25 +20,33 @@
 //! | [`imc_sampling`] | IS estimator, `PreparedRun` hot-path cache, zero-variance / cross-entropy / failure biasing |
 //! | [`imc_optim`] | the IMCIS optimisation problem, random search, projected SGD |
 //! | [`imc_models`] | the paper's benchmark systems and the scenario registry |
-//! | [`imcis_core`] | the `RunSpec → Session → Report` API over Algorithm 1 end-to-end |
+//! | [`imcis_core`] | the `RunSpec → SuiteSpec → Session → Report/SuiteReport` API over Algorithm 1 end-to-end |
 //!
 //! ## Experiment API
 //!
-//! Every estimation run travels one path:
+//! Every estimation run travels one path, with a suite layer batching
+//! many runs into one deterministic job:
 //!
 //! 1. a **[`imcis_core::RunSpec`]** manifest (strict, canonical JSON)
 //!    names a scenario from the [`imc_models::ScenarioRegistry`] and a
 //!    method with its full typed configuration;
-//! 2. a **[`imcis_core::Session`]** resolves the scenario, derives one
+//! 2. a **[`imcis_core::SuiteSpec`]** lists many run specs (embedded or
+//!    file-referenced); the [`imcis_core::Suite`] executes them as one
+//!    job, building each unique `(scenario, params)` setup exactly once
+//!    through an [`imcis_core::SetupCache`] and sharing it across
+//!    sessions via `Arc`;
+//! 3. a **[`imcis_core::Session`]** resolves one scenario, derives one
 //!    deterministic RNG stream per repetition and drives the method's
 //!    [`imcis_core::Estimator`];
-//! 3. a **[`imcis_core::Report`]** carries the uniform result
-//!    (estimate, CI, dispersion, per-repetition traces, coverage,
-//!    timing) and serializes to schema-stable JSON.
+//! 4. a **[`imcis_core::Report`]** (or, per suite, a
+//!    [`imcis_core::SuiteReport`] with a cross-run summary table)
+//!    carries the uniform result (estimate, CI, dispersion,
+//!    per-repetition traces, coverage against `γ(Â)` and the true `γ`
+//!    separately, timing) and serializes to schema-stable JSON.
 //!
-//! The CLI (`imcis run <spec.json>`), the `exp_*` binaries and the
-//! examples are thin adapters over this; checked-in manifests live in
-//! `specs/`.
+//! The CLI (`imcis run <spec.json>`, `imcis suite <suite.json>`), the
+//! `exp_*` binaries and the examples are thin adapters over this;
+//! checked-in manifests live in `specs/`.
 //!
 //! ## Engine architecture
 //!
@@ -84,9 +92,9 @@
 //!     .parse()?;
 //! let report = Session::from_spec(spec)?.run()?;
 //! // IMCIS covers the exact γ(Â) the scenario knows...
-//! assert_eq!(report.coverage_center, Some(1.0));
+//! assert_eq!(report.coverage_gamma_hat, Some(1.0));
 //! // ...and the whole result serializes to schema-stable JSON.
-//! assert!(report.to_json_string().starts_with("{\n  \"schema\": \"imcis.report/1\""));
+//! assert!(report.to_json_string().starts_with("{\n  \"schema\": \"imcis.report/2\""));
 //! # Ok(())
 //! # }
 //! ```
@@ -123,5 +131,8 @@ pub mod prelude {
     pub use imc_stats::{normal_quantile, ConfidenceInterval};
     #[allow(deprecated)]
     pub use imcis_core::{imcis, standard_is};
-    pub use imcis_core::{Estimator, ImcisConfig, ImcisOutcome, Method, Report, RunSpec, Session};
+    pub use imcis_core::{
+        Estimator, ImcisConfig, ImcisOutcome, Method, Report, RunSpec, Session, Suite, SuiteReport,
+        SuiteSpec,
+    };
 }

@@ -48,8 +48,8 @@ fn table2_shape_on_the_illustrative_model() {
     // The summary counts the degenerate IS intervals as covering γ(Â)
     // (ulp tolerance), as the paper does.
     let is_summary = CoverageSummary::from_cis(&is_cis, Some(gamma_center), Some(gamma));
-    assert_eq!(is_summary.coverage_center, Some(1.0));
-    assert_eq!(is_summary.coverage_exact, Some(0.0));
+    assert_eq!(is_summary.coverage_gamma_hat, Some(1.0));
+    assert_eq!(is_summary.coverage_gamma_true, Some(0.0));
 
     // Every IS interval is inside every IMCIS interval of the same rep
     // (Fig. 2's nesting observation).

@@ -1,0 +1,103 @@
+//! Error paths of the `file` scenario through `Session::from_spec`: a
+//! missing model file, a malformed model, and a property referencing
+//! labels no state carries must all surface as
+//! `SessionError::Scenario(..)` — never a panic — while a valid fixture
+//! runs end to end.
+
+use imc_models::{ScenarioError, ScenarioParams};
+use imcis_core::{Method, RunSpec, SampleSpec, ScenarioRef, Session, SessionError};
+use serde::json::Value;
+
+const COIN_IMC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/coin.imc");
+const MALFORMED: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/malformed_model.txt"
+);
+
+fn file_spec(params: Vec<(&str, Value)>) -> RunSpec {
+    RunSpec::new(
+        ScenarioRef {
+            name: "file".into(),
+            params: ScenarioParams::from_pairs(params.into_iter().map(|(k, v)| (k.to_string(), v))),
+        },
+        Method::Smc(SampleSpec {
+            n_traces: 200,
+            delta: 0.05,
+            max_steps: 10_000,
+        }),
+        7,
+    )
+    .with_threads(1, 1)
+}
+
+fn scenario_error(spec: RunSpec) -> ScenarioError {
+    match Session::from_spec(spec) {
+        Err(SessionError::Scenario(e)) => e,
+        Err(other) => panic!("expected a scenario error, got {other}"),
+        Ok(_) => panic!("expected the session build to fail"),
+    }
+}
+
+#[test]
+fn missing_model_file_is_a_scenario_error() {
+    let err = scenario_error(file_spec(vec![
+        ("path", Value::Str("/definitely/not/here.imc".into())),
+        ("target", Value::Str("heads".into())),
+    ]));
+    assert!(matches!(err, ScenarioError::Build(_)), "{err}");
+    assert!(err.to_string().contains("cannot read"), "{err}");
+}
+
+#[test]
+fn malformed_model_file_is_a_scenario_error() {
+    let err = scenario_error(file_spec(vec![
+        ("path", Value::Str(MALFORMED.into())),
+        ("target", Value::Str("heads".into())),
+    ]));
+    assert!(matches!(err, ScenarioError::Build(_)), "{err}");
+    assert!(err.to_string().contains("cannot parse"), "{err}");
+}
+
+#[test]
+fn property_referencing_unknown_states_is_a_scenario_error() {
+    // Target label marking no state...
+    let err = scenario_error(file_spec(vec![
+        ("path", Value::Str(COIN_IMC.into())),
+        ("target", Value::Str("jackpot".into())),
+    ]));
+    assert!(matches!(err, ScenarioError::BadParam { .. }), "{err}");
+    assert!(err.to_string().contains("marks no state"), "{err}");
+    // ...and likewise for the avoid label.
+    let err = scenario_error(file_spec(vec![
+        ("path", Value::Str(COIN_IMC.into())),
+        ("target", Value::Str("heads".into())),
+        ("avoid", Value::Str("dragons".into())),
+    ]));
+    assert!(matches!(err, ScenarioError::BadParam { .. }), "{err}");
+}
+
+#[test]
+fn missing_required_target_is_a_scenario_error() {
+    let err = scenario_error(file_spec(vec![("path", Value::Str(COIN_IMC.into()))]));
+    assert!(matches!(err, ScenarioError::BadParam { .. }), "{err}");
+    assert!(
+        err.to_string().contains("required parameter is missing"),
+        "{err}"
+    );
+}
+
+#[test]
+fn valid_fixture_runs_end_to_end() {
+    let spec = file_spec(vec![
+        ("path", Value::Str(COIN_IMC.into())),
+        ("target", Value::Str("heads".into())),
+        ("avoid", Value::Str("tails".into())),
+    ]);
+    let report = Session::from_spec(spec).unwrap().run().unwrap();
+    assert_eq!(report.model, COIN_IMC);
+    assert!(report.estimate.is_finite());
+    // The file scenario knows no reference γs: coverage stays unset
+    // rather than pretending.
+    assert_eq!(report.coverage_gamma_hat, None);
+    assert_eq!(report.coverage_gamma_true, None);
+}

@@ -1,0 +1,187 @@
+//! The suite-layer contract, end to end:
+//!
+//! * the checked-in `specs/paper_table1_suite.json` manifest is
+//!   canonical (parse → serialize is byte-identical) and reproduces the
+//!   Table 1 sweep shape — the illustrative scenario under all five
+//!   methods — over a single shared scenario build;
+//! * `SuiteReport::to_json_stable` is **byte-identical across suite
+//!   thread budgets {1, 2, 8}**, and each member report is bit-identical
+//!   to running that member's spec through its own `Session`;
+//! * the `SetupCache` builds each unique `(scenario, params)` pair
+//!   exactly once, asserted through instrumented scenario builders.
+//!
+//! Re-canonicalise the checked-in manifest deliberately with
+//! `IMCIS_BLESS_GOLDEN=1 cargo test --test suite`.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use imc_models::scenario::illustrative_setup;
+use imc_models::{Scenario, ScenarioError, ScenarioParams, ScenarioRegistry, Setup};
+use imcis_core::{Session, Suite, SuiteSpec};
+
+const TABLE1_SUITE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/paper_table1_suite.json");
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// A cheap three-member suite over two distinct scenario references.
+fn small_suite_text() -> &'static str {
+    r#"{
+        "runs": [
+            {"scenario": {"name": "illustrative"},
+             "method": {"name": "smc", "n_traces": 200}, "seed": 3, "threads": 1},
+            {"scenario": {"name": "illustrative"},
+             "method": {"name": "standard-is", "n_traces": 200}, "seed": 4, "threads": 1},
+            {"scenario": {"name": "group-repair", "params": {"is": "zero-variance"}},
+             "method": {"name": "standard-is", "n_traces": 300}, "seed": 5, "threads": 1}
+        ],
+        "threads": 1
+    }"#
+}
+
+#[test]
+fn paper_table1_suite_manifest_is_canonical_and_well_formed() {
+    let text = read(TABLE1_SUITE);
+    let spec = SuiteSpec::from_str(&text).expect("checked-in suite manifest parses");
+    if std::env::var_os("IMCIS_BLESS_GOLDEN").is_some() {
+        std::fs::write(TABLE1_SUITE, spec.to_json_string())
+            .expect("can write the canonical manifest");
+        return;
+    }
+    assert_eq!(
+        spec.to_json_string(),
+        text,
+        "specs/paper_table1_suite.json is not canonical \
+         (IMCIS_BLESS_GOLDEN=1 re-canonicalises it deliberately)"
+    );
+    // The Table 1 sweep: the illustrative scenario under all five methods.
+    let methods: Vec<&str> = spec.runs.iter().map(|r| r.method.name()).collect();
+    assert_eq!(
+        methods,
+        [
+            "smc",
+            "standard-is",
+            "zero-variance",
+            "cross-entropy",
+            "imcis"
+        ]
+    );
+    assert!(spec.runs.iter().all(|r| r.scenario.name == "illustrative"));
+    // One scenario reference → one shared build behind every session.
+    let suite = Suite::from_spec(spec).unwrap();
+    assert_eq!(suite.unique_setups(), 1);
+    let first = suite.sessions()[0].setup() as *const Setup;
+    assert!(suite
+        .sessions()
+        .iter()
+        .all(|s| std::ptr::eq(s.setup(), first)));
+}
+
+#[test]
+fn suite_is_bit_identical_across_thread_budgets_and_to_individual_sessions() {
+    let spec = SuiteSpec::from_str(small_suite_text()).unwrap();
+    let suite = Suite::from_spec(spec.clone()).unwrap();
+
+    // Acceptance criterion 1: byte-identical stable JSON at every suite
+    // thread budget (the budget steers scheduling only; reports land in
+    // member-index slots).
+    let reference = suite.run_with_threads(1).unwrap();
+    let reference_text = reference.to_json_stable().pretty();
+    for threads in [2usize, 8] {
+        let report = suite.run_with_threads(threads).unwrap();
+        assert_eq!(
+            report.to_json_stable().pretty(),
+            reference_text,
+            "suite output drifted at thread budget {threads}"
+        );
+    }
+    // The manifest's own budget takes the same path.
+    assert_eq!(
+        suite.run().unwrap().to_json_stable().pretty(),
+        reference_text
+    );
+
+    // Acceptance criterion 2: report-for-report equality with running
+    // each member spec through its own Session (fresh scenario build, no
+    // cache) — sharing a Setup changes where the models live, not what
+    // they are.
+    assert_eq!(reference.reports.len(), spec.runs.len());
+    for (i, run) in spec.runs.iter().enumerate() {
+        let solo = Session::from_spec(run.clone()).unwrap().run().unwrap();
+        assert_eq!(
+            reference.reports[i].to_json_stable().pretty(),
+            solo.to_json_stable().pretty(),
+            "suite member {i} diverged from its standalone session"
+        );
+    }
+}
+
+/// An instrumented scenario: counts builds, returns the illustrative
+/// setup.
+struct CountingScenario {
+    name: &'static str,
+    builds: Arc<AtomicUsize>,
+}
+
+impl Scenario for CountingScenario {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn summary(&self) -> &'static str {
+        "instrumented illustrative clone (build counter)"
+    }
+    fn build(&self, params: &ScenarioParams) -> Result<Setup, ScenarioError> {
+        params.check_known(&[])?;
+        self.builds.fetch_add(1, Ordering::SeqCst);
+        Ok(illustrative_setup())
+    }
+}
+
+#[test]
+fn setup_cache_builds_each_unique_scenario_exactly_once() {
+    let builds_a = Arc::new(AtomicUsize::new(0));
+    let builds_b = Arc::new(AtomicUsize::new(0));
+    let mut registry = ScenarioRegistry::new();
+    registry.register(Box::new(CountingScenario {
+        name: "counted-a",
+        builds: Arc::clone(&builds_a),
+    }));
+    registry.register(Box::new(CountingScenario {
+        name: "counted-b",
+        builds: Arc::clone(&builds_b),
+    }));
+
+    // Five members over two unique scenario references, duplicates first.
+    let spec = SuiteSpec::from_str(
+        r#"{
+            "runs": [
+                {"scenario": {"name": "counted-a"},
+                 "method": {"name": "smc", "n_traces": 100}, "seed": 1, "threads": 1},
+                {"scenario": {"name": "counted-a"},
+                 "method": {"name": "smc", "n_traces": 100}, "seed": 2, "threads": 1},
+                {"scenario": {"name": "counted-a"},
+                 "method": {"name": "standard-is", "n_traces": 100}, "seed": 3, "threads": 1},
+                {"scenario": {"name": "counted-b"},
+                 "method": {"name": "smc", "n_traces": 100}, "seed": 4, "threads": 1},
+                {"scenario": {"name": "counted-b"},
+                 "method": {"name": "smc", "n_traces": 100}, "seed": 5, "threads": 1}
+            ],
+            "threads": 1
+        }"#,
+    )
+    .unwrap();
+    let suite = Suite::from_spec_with(spec, &registry).unwrap();
+    assert_eq!(builds_a.load(Ordering::SeqCst), 1, "counted-a built once");
+    assert_eq!(builds_b.load(Ordering::SeqCst), 1, "counted-b built once");
+    assert_eq!(suite.unique_setups(), 2);
+
+    // The suite still runs — every member against its shared setup.
+    let report = suite.run().unwrap();
+    assert_eq!(report.reports.len(), 5);
+    // Building sessions and running them never re-enters the builders.
+    assert_eq!(builds_a.load(Ordering::SeqCst), 1);
+    assert_eq!(builds_b.load(Ordering::SeqCst), 1);
+}
