@@ -14,6 +14,13 @@
 //! * `imcis run --scenario NAME --method NAME [options]` — build the
 //!   same manifest from flags (add `--dry-run` to print it instead of
 //!   running);
+//! * `imcis serve [--addr --workers --queue]` — run the suite-serving
+//!   daemon (`imcis.wire/1`, newline-delimited JSON over TCP; see
+//!   [`imcis_core::serve`]);
+//! * `imcis submit <suite.json> [--addr --events]` — submit a manifest
+//!   to a daemon, stream its events, print the stable `SuiteReport`
+//!   (byte-identical to `imcis suite`); `--ping`/`--shutdown` probe and
+//!   stop the daemon;
 //! * `imcis scenarios` — list the scenario registry with parameters;
 //! * `imcis help` / `imcis version` (also `--help` / `--version`).
 //!
@@ -49,6 +56,7 @@ use imc_numeric::{
     reach_avoid_probs, SolveOptions,
 };
 use imc_sim::{monte_carlo, SmcConfig};
+use imcis_core::serve::{Client, ServeConfig, ServeError, Server};
 use imcis_core::{
     CrossEntropySpec, ImcisSpec, Method, OutcomeDetail, RunSpec, SampleSpec, ScenarioRef,
     SearchSpec, Session, SessionError, SpecError, Suite, SuiteSpec,
@@ -71,6 +79,8 @@ pub enum CliError {
     Analysis(String),
     /// A `RunSpec` manifest or session failed.
     Session(SessionError),
+    /// The serve daemon or the submit client failed.
+    Serve(ServeError),
 }
 
 impl fmt::Display for CliError {
@@ -82,6 +92,7 @@ impl fmt::Display for CliError {
             CliError::UnknownLabel(l) => write!(f, "label `{l}` marks no state in the model"),
             CliError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
             CliError::Session(e) => write!(f, "{e}"),
+            CliError::Serve(e) => write!(f, "{e}"),
         }
     }
 }
@@ -94,12 +105,21 @@ impl From<SessionError> for CliError {
     }
 }
 
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        CliError::Serve(e)
+    }
+}
+
 /// The usage text shown by `imcis help` and on usage errors.
 pub const USAGE: &str = "\
 usage: imcis run <spec.json>
        imcis run --spec a.json --spec b.json [--threads T]
        imcis run --scenario NAME --method NAME [options] [--dry-run]
        imcis suite <suite.json> [--threads T]
+       imcis serve [--addr A] [--workers N] [--queue N]
+       imcis submit <suite.json> [--addr A] [--events FILE] [--retry-ms T]
+       imcis submit --ping | --shutdown [--addr A]
        imcis scenarios
        imcis <command> <model-file> [options]
        imcis help | version
@@ -117,6 +137,27 @@ spec runner:
                       build the manifest from flags (same Session path);
                       --dry-run prints the canonical manifest instead
   scenarios           list registered scenarios and their parameters
+
+serving (imcis.wire/1 — newline-delimited JSON over TCP):
+  serve               run the suite-serving daemon: a persistent worker
+                      pool executes submitted suites over one shared
+                      scenario cache and streams member reports as they
+                      complete
+  submit <suite.json> submit a SuiteSpec manifest to a daemon, stream its
+                      events, print the stable SuiteReport JSON
+                      (byte-identical to `imcis suite` on the manifest)
+
+serve options:
+  --addr A         listen address                  [default 127.0.0.1:7414]
+  --workers N      persistent session workers; 0 = all cores  [default 0]
+  --queue N        bounded member-task queue capacity        [default 64]
+
+submit options:
+  --addr A         daemon address                  [default 127.0.0.1:7414]
+  --events FILE    write every received wire event (raw NDJSON) to FILE
+  --retry-ms T     keep retrying the connection for T ms      [default 0]
+  --ping           liveness probe only (expects a pong)
+  --shutdown       ask the daemon to drain active jobs and exit
 
 run options:
   --method NAME    smc | standard-is | zero-variance | cross-entropy | imcis
@@ -517,6 +558,145 @@ fn run_suite_command(args: &[String]) -> Result<String, CliError> {
     Ok(report.to_json_string())
 }
 
+/// `imcis serve [--addr A] [--workers N] [--queue N]`: the suite-serving
+/// daemon. Blocks until a client sends `shutdown`; a readiness line goes
+/// to stderr so scripts can background the process and wait for it.
+fn serve_command(args: &[String]) -> Result<String, CliError> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => config.workers = parse_value(&value("--workers")?, "--workers")?,
+            "--queue" => config.queue = parse_value(&value("--queue")?, "--queue")?,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected serve argument `{other}` \
+                     (usage: imcis serve [--addr A] [--workers N] [--queue N])"
+                )))
+            }
+        }
+    }
+    let server = Server::bind(config)?;
+    let addr = server.local_addr();
+    eprintln!("imcis serve: listening on {addr} (wire protocol imcis.wire/1)");
+    server.run()?;
+    Ok(format!("imcis serve: {addr} shut down cleanly"))
+}
+
+/// Connects to a daemon, retrying for `retry_ms` milliseconds (daemon
+/// startup races in scripts; `0` = a single attempt). Only the
+/// *connection* is retried: a malformed or unresolvable address is
+/// permanent and surfaces immediately instead of waiting out the
+/// deadline.
+fn connect_with_retry(addr: &str, retry_ms: u64) -> Result<Client, CliError> {
+    use std::net::ToSocketAddrs;
+    let resolved: Vec<std::net::SocketAddr> = addr
+        .to_socket_addrs()
+        .map_err(|e| CliError::Serve(ServeError::Io(format!("cannot resolve `{addr}`: {e}"))))?
+        .collect();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(retry_ms);
+    loop {
+        match Client::connect(&resolved[..]) {
+            Ok(client) => return Ok(client),
+            Err(e) if std::time::Instant::now() >= deadline => return Err(e.into()),
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
+        }
+    }
+}
+
+/// `imcis submit <suite.json> [--addr A] [--events FILE] [--retry-ms T]`
+/// (or `--ping` / `--shutdown`): the wire-protocol client. The manifest
+/// is loaded locally — file-referenced members resolve relative to the
+/// manifest, exactly as `imcis suite` resolves them — and submitted
+/// embedded, so the daemon needs no access to the client's filesystem.
+fn submit_command(args: &[String]) -> Result<String, CliError> {
+    let mut path: Option<&String> = None;
+    let mut addr = ServeConfig::default().addr;
+    let mut events_path: Option<String> = None;
+    let mut retry_ms = 0u64;
+    let mut ping = false;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--events" => events_path = Some(value("--events")?),
+            "--retry-ms" => retry_ms = parse_value(&value("--retry-ms")?, "--retry-ms")?,
+            "--ping" => ping = true,
+            "--shutdown" => shutdown = true,
+            other if !other.starts_with("--") && path.is_none() => path = Some(arg),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected submit argument `{other}` (usage: imcis submit \
+                     <suite.json> [--addr A] [--events FILE] [--retry-ms T], \
+                     or --ping / --shutdown)"
+                )))
+            }
+        }
+    }
+    if ping && shutdown {
+        return Err(CliError::Usage(
+            "--ping and --shutdown are mutually exclusive".into(),
+        ));
+    }
+    if (ping || shutdown) && path.is_some() {
+        return Err(CliError::Usage(
+            "--ping/--shutdown take no manifest argument".into(),
+        ));
+    }
+    if (ping || shutdown) && events_path.is_some() {
+        return Err(CliError::Usage(
+            "--events only applies to a manifest submission".into(),
+        ));
+    }
+    if !(ping || shutdown) && path.is_none() {
+        return Err(CliError::Usage(
+            "submit takes exactly one SuiteSpec manifest file".into(),
+        ));
+    }
+    // Load and validate the manifest before touching the network: a bad
+    // path or spec is knowable instantly and must not wait out a
+    // --retry-ms connection loop.
+    let spec = match path {
+        Some(path) => Some(SuiteSpec::load(path).map_err(SessionError::Spec)?),
+        None => None,
+    };
+    let mut client = connect_with_retry(&addr, retry_ms)?;
+    if ping {
+        client.ping()?;
+        return Ok(format!("pong from {addr}"));
+    }
+    if shutdown {
+        client.shutdown()?;
+        return Ok(format!("daemon at {addr} is shutting down"));
+    }
+    let spec = spec.expect("checked above");
+    let mut events_file = match &events_path {
+        Some(p) => Some(std::fs::File::create(p).map_err(CliError::Io)?),
+        None => None,
+    };
+    let outcome = client.submit(&spec, |line, _event| {
+        if let Some(file) = &mut events_file {
+            use std::io::Write;
+            // Event-log writes are best-effort: losing the side log must
+            // not abort a submission that is already streaming results.
+            let _ = writeln!(file, "{line}");
+        }
+    })?;
+    Ok(outcome.suite_report.pretty())
+}
+
 /// `imcis run ...`: manifest file or flag form, over the same `Session`.
 fn run_spec_command(args: &[String]) -> Result<String, CliError> {
     if args.is_empty() {
@@ -825,6 +1005,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "scenarios" => Ok(list_scenarios()),
         "run" => run_spec_command(&args[1..]),
         "suite" => run_suite_command(&args[1..]),
+        "serve" => serve_command(&args[1..]),
+        "submit" => submit_command(&args[1..]),
         _ => {
             let options = parse_args(args)?;
             let text = std::fs::read_to_string(&options.model_path).map_err(CliError::Io)?;
@@ -1172,6 +1354,49 @@ label 2 tails
             run(&args(&["suite", "/definitely/not/here.json"])),
             Err(CliError::Session(_))
         ));
+    }
+
+    #[test]
+    fn submit_usage_errors_are_reported_before_any_network_io() {
+        // Flag combinations that can never do useful work fail as usage
+        // errors without touching the network.
+        for bad in [
+            vec!["submit"],
+            vec!["submit", "--ping", "--shutdown"],
+            vec!["submit", "a.json", "--ping"],
+            vec!["submit", "--ping", "--events", "x.ndjson"],
+            vec!["submit", "--shutdown", "--events", "x.ndjson"],
+        ] {
+            assert!(
+                matches!(run(&args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?}"
+            );
+        }
+        // A missing manifest is knowable instantly — reported before the
+        // --retry-ms connection loop could stall on it.
+        let started = std::time::Instant::now();
+        let err = run(&args(&[
+            "submit",
+            "/definitely/not/here.json",
+            "--retry-ms",
+            "30000",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Session(_)), "{err}");
+        assert!(started.elapsed() < std::time::Duration::from_secs(5));
+        // An unresolvable address is permanent: no retry loop either.
+        let started = std::time::Instant::now();
+        let err = run(&args(&[
+            "submit",
+            "--ping",
+            "--addr",
+            "definitely not an address",
+            "--retry-ms",
+            "30000",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Serve(_)), "{err}");
+        assert!(started.elapsed() < std::time::Duration::from_secs(5));
     }
 
     #[test]

@@ -53,9 +53,24 @@
 //! across members — and repetition streams derive from member seeds
 //! exactly as before.
 //!
-//! The CLI (`imcis run <spec.json>`, `imcis suite <suite.json>`), the
-//! benchmark binaries and the examples are thin adapters over the same
-//! `Session`/`Suite`.
+//! # The serving layer
+//!
+//! On top of the suite layer sits [`serve`]: a `std`-only TCP daemon
+//! (`imcis serve`) that accepts suite manifests over a newline-delimited
+//! JSON protocol (`imcis.wire/1`), schedules member sessions across a
+//! persistent worker pool fed by a bounded queue, shares one
+//! process-wide [`SetupCache`] across jobs and clients, and streams
+//! `member_report` events as sessions complete — tagged `(job_id,
+//! member_index)` so clients reassemble manifest order from completion
+//! order — followed by the terminal `suite_report`. The embedded
+//! payloads are the stable JSON forms, so a daemon-served suite is
+//! byte-identical to `imcis suite` at every worker count; timing travels
+//! only in event envelopes. See the [`serve`] module docs for the
+//! protocol and `docs/FORMATS.md` for the normative schema reference.
+//!
+//! The CLI (`imcis run <spec.json>`, `imcis suite <suite.json>`,
+//! `imcis serve` / `imcis submit`), the benchmark binaries and the
+//! examples are thin adapters over the same `Session`/`Suite`.
 //!
 //! Under the hood, one IMCIS repetition still follows the paper exactly:
 //!
@@ -127,6 +142,7 @@
 mod algorithm;
 pub mod experiment;
 pub mod report;
+pub mod serve;
 pub mod session;
 pub mod spec;
 pub mod suite;
@@ -134,7 +150,8 @@ pub mod suite;
 #[allow(deprecated)]
 pub use algorithm::{imcis, standard_is};
 pub use algorithm::{ImcisConfig, ImcisError, ImcisOutcome, IsOutcome};
-pub use report::{Repetition, Report, Timing, REPORT_SCHEMA};
+pub use report::{validate_report_json, Repetition, Report, Timing, REPORT_SCHEMA};
+pub use serve::{Client, ServeConfig, ServeError, Server, SubmitOutcome, WIRE_SCHEMA};
 pub use session::{
     estimator_for, Estimator, MethodOutcome, OutcomeDetail, RunContext, Session, SessionError,
 };
@@ -142,7 +159,10 @@ pub use spec::{
     CrossEntropySpec, ImcisSpec, Method, RunSpec, SampleSpec, ScenarioRef, SearchSpec, SpecError,
     RUNSPEC_SCHEMA,
 };
-pub use suite::{SetupCache, Suite, SuiteReport, SuiteSpec, SUITEREPORT_SCHEMA, SUITESPEC_SCHEMA};
+pub use suite::{
+    validate_suite_report_json, SetupCache, Suite, SuiteReport, SuiteSpec, SUITEREPORT_SCHEMA,
+    SUITESPEC_SCHEMA,
+};
 // Re-exported so pipeline callers can pick a search engine without a
 // direct `imc_optim` dependency.
 pub use imc_optim::SearchStrategy;

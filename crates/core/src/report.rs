@@ -215,3 +215,126 @@ impl Report {
         self.to_json().pretty()
     }
 }
+
+fn number_or_null(value: Option<&Value>, what: &str) -> Result<(), String> {
+    match value {
+        Some(Value::Null) => Ok(()),
+        Some(v) if v.as_f64().is_some() => Ok(()),
+        _ => Err(format!("{what} must be a number or null")),
+    }
+}
+
+fn ci_checked(value: Option<&Value>, what: &str) -> Result<(), String> {
+    let ci = value.ok_or(format!("{what} is missing"))?;
+    let lo = ci.get("lo").and_then(Value::as_f64);
+    let hi = ci.get("hi").and_then(Value::as_f64);
+    match (lo, hi) {
+        (Some(lo), Some(hi)) if lo <= hi => Ok(()),
+        (Some(_), Some(_)) => Err(format!("{what}: `lo` must not exceed `hi`")),
+        _ => Err(format!("{what} must be an object with numeric `lo`/`hi`")),
+    }
+}
+
+/// Validates a JSON value against the `imcis.report/2` shape using the
+/// real spec parser underneath: the `spec` echo must parse as a
+/// [`RunSpec`] (so a stale or hand-edited echo fails exactly like a bad
+/// manifest would), the aggregate fields must be shaped and ordered
+/// correctly, and every repetition row must carry the full column set.
+/// Accepts both the stable form and the full form (with the volatile
+/// `timing` object).
+///
+/// This is the validator behind the `imcis submit` client's event checks
+/// and the `docs/FORMATS.md` example tests.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_report_json(value: &Value) -> Result<(), String> {
+    let pairs = value.as_object().ok_or("report must be a JSON object")?;
+    for (key, _) in pairs {
+        if !matches!(
+            key.as_str(),
+            "schema"
+                | "spec"
+                | "model"
+                | "estimate"
+                | "sigma"
+                | "ci"
+                | "references"
+                | "coverage"
+                | "runs"
+                | "timing"
+        ) {
+            return Err(format!("unknown report key `{key}`"));
+        }
+    }
+    match value.get("schema").and_then(Value::as_str) {
+        Some(REPORT_SCHEMA) => {}
+        Some(other) => return Err(format!("unexpected schema `{other}`")),
+        None => return Err("missing `schema` tag".into()),
+    }
+    let spec = value.get("spec").ok_or("missing `spec` echo")?;
+    RunSpec::from_json(spec).map_err(|e| format!("`spec` echo does not validate: {e}"))?;
+    if value.get("model").and_then(Value::as_str).is_none() {
+        return Err("`model` must be a string".into());
+    }
+    for key in ["estimate", "sigma"] {
+        if value.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("`{key}` must be a number"));
+        }
+    }
+    ci_checked(value.get("ci"), "`ci`")?;
+    let references = value.get("references").ok_or("missing `references`")?;
+    number_or_null(references.get("gamma_center"), "`references.gamma_center`")?;
+    number_or_null(references.get("gamma_exact"), "`references.gamma_exact`")?;
+    let coverage = value.get("coverage").ok_or("missing `coverage`")?;
+    number_or_null(coverage.get("gamma_hat"), "`coverage.gamma_hat`")?;
+    number_or_null(coverage.get("gamma_true"), "`coverage.gamma_true`")?;
+    let runs = value
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("`runs` must be an array")?;
+    if runs.is_empty() {
+        return Err("`runs` must contain at least one repetition".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let context = |msg: String| format!("`runs[{i}]`: {msg}");
+        for key in ["estimate", "sigma"] {
+            if run.get(key).and_then(Value::as_f64).is_none() {
+                return Err(context(format!("`{key}` must be a number")));
+            }
+        }
+        ci_checked(run.get("ci"), "`ci`").map_err(context)?;
+        number_or_null(run.get("gamma_min"), "`gamma_min`").map_err(context)?;
+        number_or_null(run.get("gamma_max"), "`gamma_max`").map_err(context)?;
+        for key in ["n_success", "n_undecided"] {
+            if run.get(key).and_then(Value::as_u64).is_none() {
+                return Err(context(format!("`{key}` must be an unsigned integer")));
+            }
+        }
+        match run.get("rounds") {
+            Some(Value::Null) => {}
+            Some(v) if v.as_u64().is_some() => {}
+            _ => {
+                return Err(context(
+                    "`rounds` must be an unsigned integer or null".into(),
+                ))
+            }
+        }
+        let trace = run
+            .get("trace")
+            .and_then(Value::as_array)
+            .ok_or_else(|| context("`trace` must be an array".into()))?;
+        for point in trace {
+            let ok = point.get("round").and_then(Value::as_u64).is_some()
+                && point.get("f_min").and_then(Value::as_f64).is_some()
+                && point.get("f_max").and_then(Value::as_f64).is_some();
+            if !ok {
+                return Err(context(
+                    "trace points need `round`, `f_min` and `f_max`".into(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,1093 @@
+//! The serving layer: a long-running daemon that executes [`SuiteSpec`]s
+//! over a shared scenario cache and streams results over TCP.
+//!
+//! [`Server`] turns the batch suite layer into a front end: clients
+//! connect over plain TCP, `submit` a suite manifest, and receive the
+//! member [`Report`]s as newline-delimited JSON events while the suite is
+//! still running, followed by the complete [`SuiteReport`]. A persistent
+//! worker pool executes member sessions from a bounded job queue, and
+//! every job resolves scenarios through one process-wide [`SetupCache`]
+//! — so repeated scenarios never rebuild their `Setup`, even across
+//! clients and jobs (the expensive step for the 40320-state `repair`
+//! model and the learned `swat` models).
+//!
+//! Everything here is `std`-only ([`std::net`] + [`std::thread`]),
+//! consistent with the workspace's vendored-shim policy: no async
+//! runtime, no registry access.
+//!
+//! # The wire protocol (`imcis.wire/1`)
+//!
+//! Both directions speak **newline-delimited JSON**: every message is one
+//! compact JSON object on one line, tagged `"wire": "imcis.wire/1"` and
+//! `"type": ...`. The full field-by-field reference lives in
+//! `docs/FORMATS.md`; in short:
+//!
+//! **Requests** (client → server):
+//!
+//! * `{"wire": "imcis.wire/1", "type": "submit", "suite": {...}}` —
+//!   execute an embedded `imcis.suitespec/1` manifest. A server-side
+//!   path may be used instead of an embedded object:
+//!   `{"type": "submit", "file": "specs/suite.json"}`.
+//! * `{"type": "ping"}` — liveness probe, answered with `pong`.
+//! * `{"type": "shutdown"}` — stop accepting connections, drain active
+//!   jobs, exit.
+//!
+//! **Events** (server → client), per submitted job:
+//!
+//! * `accepted` — the manifest validated and the job was enqueued:
+//!   carries `job_id`, the `members` count, and the shared-cache
+//!   observables `setups_built` (scenario builds this job caused) and
+//!   `cache_size`.
+//! * `member_report` — one member session finished: `(job_id,
+//!   member_index)` plus the member's **stable** report JSON
+//!   (`imcis.report/2`, no `timing`). Events arrive in *completion*
+//!   order; the index lets the client reassemble manifest order.
+//! * `suite_report` — terminal: the assembled `imcis.suitereport/1`
+//!   stable JSON, byte-identical to what `imcis suite` computes for the
+//!   same manifest.
+//! * `error` — a wire/spec/session failure (`error` names the class,
+//!   `message` carries the pinned human-readable text). Spec errors keep
+//!   the connection open; the client may submit again.
+//!
+//! Timing is the only volatile data and travels **in event envelopes
+//! only** (`elapsed_ms`): the embedded report payloads are the stable
+//! forms, so the determinism contract survives the network hop.
+//!
+//! # Determinism contract
+//!
+//! The daemon adds scheduling, not semantics: member sessions land in
+//! member-index slots exactly as in [`Suite::run`], every session is
+//! seed-deterministic and thread-count invariant, and the worker count
+//! only steers wall-clock. The `suite_report` payload is therefore
+//! **byte-identical to `imcis suite <manifest>`'s stable output at every
+//! worker count** (pinned by `tests/serve.rs` at {1, 2, 8}).
+//!
+//! # Example
+//!
+//! ```
+//! use imcis_core::serve::{Client, ServeConfig, Server};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Bind on an ephemeral port and serve in the background.
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     workers: 2,
+//!     queue: 16,
+//! })?;
+//! let addr = server.local_addr();
+//! let handle = server.spawn();
+//!
+//! // Submit a tiny two-member suite and collect the streamed reports.
+//! let suite = r#"{
+//!         "runs": [
+//!             {"scenario": {"name": "illustrative"},
+//!              "method": {"name": "smc", "n_traces": 200}, "threads": 1},
+//!             {"scenario": {"name": "illustrative"},
+//!              "method": {"name": "standard-is", "n_traces": 200}, "threads": 1}
+//!         ],
+//!         "threads": 1
+//!     }"#
+//!     .parse()?;
+//! let mut client = Client::connect(addr)?;
+//! let outcome = client.submit(&suite, |_line, _event| {})?;
+//! assert_eq!(outcome.member_reports.len(), 2);
+//! // One illustrative build serves both members.
+//! assert_eq!(outcome.setups_built, 1);
+//!
+//! // Shut the daemon down cleanly.
+//! client.shutdown()?;
+//! handle.join().expect("server thread")?;
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use imc_models::ScenarioRegistry;
+use serde::json::{self, Value};
+
+use crate::report::{Report, Timing};
+use crate::session::{Session, SessionError};
+use crate::suite::{SetupCache, Suite, SuiteReport, SuiteSpec};
+
+/// Schema tag carried by every wire message, both directions.
+pub const WIRE_SCHEMA: &str = "imcis.wire/1";
+
+/// Everything that can go wrong while serving or talking to a server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io(String),
+    /// The peer violated the wire protocol (bad JSON, missing fields,
+    /// out-of-order events).
+    Protocol(String),
+    /// The server reported an error event (`error` carries the class,
+    /// `message` the pinned text).
+    Remote {
+        /// Error class (`wire` | `spec` | `session` | `queue`).
+        error: String,
+        /// Human-readable message (pinned by the failure-path tests).
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(msg) => write!(f, "serve i/o error: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "wire protocol violation: {msg}"),
+            ServeError::Remote { error, message } => {
+                write!(f, "server reported {error} error: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+/// Daemon configuration: where to listen and how much to run at once.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port `0` binds an ephemeral port).
+    pub addr: String,
+    /// Persistent worker threads executing member sessions
+    /// (`0` = all cores). Scheduling only — results are byte-identical
+    /// at every count.
+    pub workers: usize,
+    /// Bounded member-task queue capacity; submissions beyond it block
+    /// the submitting connection (backpressure), never the workers.
+    pub queue: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7414".into(),
+            workers: 0,
+            queue: 64,
+        }
+    }
+}
+
+/// One member session queued for the worker pool.
+struct MemberTask {
+    member_index: usize,
+    session: Arc<Session>,
+    rep_threads: usize,
+    reply: mpsc::Sender<MemberDone>,
+}
+
+/// A finished member session, routed back to the submitting connection.
+struct MemberDone {
+    member_index: usize,
+    elapsed_ms: f64,
+    result: Result<Report, SessionError>,
+}
+
+/// State shared by the accept loop, connection handlers and workers.
+struct ServerState {
+    registry: ScenarioRegistry,
+    /// The process-wide scenario cache: every job on every connection
+    /// resolves setups here, so repeated scenarios build exactly once
+    /// for the server's whole lifetime.
+    cache: Mutex<SetupCache>,
+    next_job: AtomicU64,
+    next_connection: AtomicU64,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    /// Repetition-fanout budget handed to each member session so the
+    /// pool divides the machine instead of oversubscribing it.
+    rep_threads: usize,
+    /// Open connections: `(id, read handle)`. The count drives the
+    /// drain-on-shutdown wait; the handles let the drain read-shutdown
+    /// idle connections (a handler parked in `read_line` would otherwise
+    /// hold the drain forever, while handlers mid-job keep streaming —
+    /// write halves are untouched).
+    connections: Mutex<Vec<(u64, TcpStream)>>,
+    idle: Condvar,
+}
+
+impl ServerState {
+    /// Registers a connection for the shutdown drain. `None` means the
+    /// drain handle could not be cloned (fd pressure) — the caller must
+    /// refuse the connection: serving it untracked would leave the
+    /// drain unable to unblock its reader, hanging shutdown forever.
+    fn register_connection(&self, stream: &TcpStream) -> Option<u64> {
+        let handle = stream.try_clone().ok()?;
+        let id = self.next_connection.fetch_add(1, Ordering::SeqCst);
+        self.connections
+            .lock()
+            .expect("connection list poisoned")
+            .push((id, handle));
+        Some(id)
+    }
+
+    fn deregister_connection(&self, id: u64) {
+        let mut connections = self.connections.lock().expect("connection list poisoned");
+        connections.retain(|(conn, _)| *conn != id);
+        if connections.is_empty() {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Unblocks every handler parked in a read, then waits for all
+    /// connections to finish (in-flight jobs stream to completion —
+    /// only the read halves are closed).
+    fn drain_connections(&self) {
+        let mut connections = self.connections.lock().expect("connection list poisoned");
+        for (_, stream) in connections.iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        while !connections.is_empty() {
+            connections = self
+                .idle
+                .wait(connections)
+                .expect("connection list poisoned");
+        }
+    }
+}
+
+/// The suite-serving daemon. See the [module docs](self) for the wire
+/// protocol and determinism contract.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    tasks: SyncSender<MemberTask>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listen socket and starts the persistent worker pool.
+    /// The server does not accept connections until [`Server::run`] (or
+    /// [`Server::spawn`]) is called.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the address cannot be bound.
+    pub fn bind(config: ServeConfig) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::Io(format!("cannot bind `{}`: {e}", config.addr)))?;
+        let local_addr = listener.local_addr()?;
+        let workers = imc_sim::parallel::resolve_threads(config.workers);
+        let state = Arc::new(ServerState {
+            registry: ScenarioRegistry::builtin(),
+            cache: Mutex::new(SetupCache::new()),
+            next_job: AtomicU64::new(1),
+            next_connection: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            rep_threads: (imc_sim::parallel::available_threads() / workers).max(1),
+            connections: Mutex::new(Vec::new()),
+            idle: Condvar::new(),
+        });
+        let (tasks, task_rx) = mpsc::sync_channel::<MemberTask>(config.queue.max(1));
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let pool = (0..workers)
+            .map(|_| {
+                let task_rx = Arc::clone(&task_rx);
+                std::thread::spawn(move || worker_loop(&task_rx))
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            state,
+            tasks,
+            workers: pool,
+        })
+    }
+
+    /// The bound listen address (resolves port `0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Accepts and serves connections until a client sends `shutdown`,
+    /// then drains active jobs and joins the worker pool.
+    ///
+    /// Transient accept failures (a queued connection reset before it
+    /// was accepted, momentary fd exhaustion) never kill the daemon —
+    /// in-flight jobs must stream to completion. Only a persistently
+    /// failing listener gives up, and even then the drain runs first.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the accept loop fails irrecoverably.
+    pub fn run(self) -> Result<(), ServeError> {
+        let mut accept_result = Ok(());
+        let mut consecutive_errors = 0u32;
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => {
+                    consecutive_errors = 0;
+                    stream
+                }
+                Err(e) => {
+                    if self.state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    consecutive_errors += 1;
+                    if consecutive_errors >= 100 {
+                        accept_result = Err(ServeError::Io(format!(
+                            "accept failed {consecutive_errors} times in a row: {e}"
+                        )));
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let state = Arc::clone(&self.state);
+            let tasks = self.tasks.clone();
+            let Some(id) = state.register_connection(&stream) else {
+                drop(stream); // untrackable (fd pressure): refuse it
+                continue;
+            };
+            std::thread::spawn(move || {
+                handle_connection(stream, &state, &tasks);
+                state.deregister_connection(id);
+            });
+        }
+        // Drain: unblock idle handlers, wait for every open connection
+        // (and hence every enqueued job) to finish, then retire the pool
+        // by dropping the last task sender. Runs on the error path too —
+        // a dying listener must not cut off streams mid-job.
+        self.state.drain_connections();
+        drop(self.tasks);
+        for worker in self.workers {
+            worker.join().expect("worker thread panicked");
+        }
+        accept_result
+    }
+
+    /// Runs the server on a background thread (tests, in-process use).
+    /// Join the handle after a client sends `shutdown`.
+    pub fn spawn(self) -> std::thread::JoinHandle<Result<(), ServeError>> {
+        std::thread::spawn(move || self.run())
+    }
+}
+
+/// A worker: pull one member task at a time, run it, route the result
+/// back to the submitting connection. Send failures mean the submitter
+/// disconnected mid-stream — the result is discarded and the worker
+/// lives on.
+fn worker_loop(tasks: &Mutex<Receiver<MemberTask>>) {
+    loop {
+        let task = {
+            let guard = tasks.lock().expect("task queue poisoned");
+            guard.recv()
+        };
+        let Ok(task) = task else {
+            return; // all senders gone: server shut down
+        };
+        let clock = Instant::now();
+        let result = task.session.run_with_rep_threads(task.rep_threads);
+        let _ = task.reply.send(MemberDone {
+            member_index: task.member_index,
+            elapsed_ms: clock.elapsed().as_secs_f64() * 1e3,
+            result,
+        });
+    }
+}
+
+/// A parsed wire request.
+#[derive(Debug)]
+pub enum Request {
+    /// Execute a suite manifest.
+    Submit(SuiteSpec),
+    /// Liveness probe.
+    Ping,
+    /// Stop the server after draining active jobs.
+    Shutdown,
+}
+
+/// Parses and validates one request line's JSON value. This is the
+/// server's own entry point, public so the format-reference tests can
+/// run the documented examples through the real validator.
+///
+/// # Errors
+///
+/// A `(class, message)` pair matching the `error` event the server would
+/// emit: class `wire` for malformed envelopes, `spec` for submit bodies
+/// that fail [`SuiteSpec`] validation.
+pub fn parse_request(value: &Value) -> Result<Request, (String, String)> {
+    let wire_err = |msg: String| ("wire".to_string(), msg);
+    let Some(pairs) = value.as_object() else {
+        return Err(wire_err("request must be a JSON object".into()));
+    };
+    if let Some(tag) = value.get("wire") {
+        let tag = tag
+            .as_str()
+            .ok_or_else(|| wire_err("`wire` must be a string".into()))?;
+        if tag != WIRE_SCHEMA {
+            return Err(wire_err(format!(
+                "unsupported wire schema `{tag}` (expected `{WIRE_SCHEMA}`)"
+            )));
+        }
+    }
+    let kind = value
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| wire_err("request needs a string `type`".into()))?;
+    match kind {
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "submit" => {
+            if let Some((key, _)) = pairs
+                .iter()
+                .find(|(k, _)| !matches!(k.as_str(), "wire" | "type" | "suite" | "file"))
+            {
+                return Err(wire_err(format!("unknown submit key `{key}`")));
+            }
+            let spec = match (value.get("suite"), value.get("file")) {
+                (Some(suite), None) => SuiteSpec::from_json_with_base(suite, None)
+                    .map_err(|e| ("spec".to_string(), e.to_string()))?,
+                (None, Some(path)) => {
+                    let path = path
+                        .as_str()
+                        .ok_or_else(|| wire_err("`file` must be a string path".into()))?;
+                    SuiteSpec::load(path).map_err(|e| ("spec".to_string(), e.to_string()))?
+                }
+                _ => {
+                    return Err(wire_err(
+                        "submit needs exactly one of `suite` (embedded manifest) \
+                         or `file` (server-side path)"
+                            .into(),
+                    ))
+                }
+            };
+            Ok(Request::Submit(spec))
+        }
+        other => Err(wire_err(format!(
+            "unknown request type `{other}` (submit | ping | shutdown)"
+        ))),
+    }
+}
+
+/// Builds one compact single-line event with the common envelope.
+fn event(kind: &str, fields: impl IntoIterator<Item = (String, Value)>) -> String {
+    let mut pairs = vec![
+        ("wire".to_string(), Value::Str(WIRE_SCHEMA.into())),
+        ("type".to_string(), Value::Str(kind.into())),
+    ];
+    pairs.extend(fields);
+    format!("{}\n", Value::Object(pairs))
+}
+
+fn error_event(class: &str, message: &str) -> String {
+    event(
+        "error",
+        [
+            ("error".to_string(), Value::Str(class.into())),
+            ("message".to_string(), Value::Str(message.into())),
+        ],
+    )
+}
+
+/// The address the shutdown handler connects to so the blocking accept
+/// loop wakes up and observes the flag: the bound address itself, with
+/// a wildcard IP (`0.0.0.0` / `::`) replaced by the matching loopback —
+/// a wildcard is a *listen* address, not a connectable destination on
+/// every platform.
+fn wake_addr(local: SocketAddr) -> SocketAddr {
+    let mut addr = local;
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
+}
+
+/// Serves one connection: a loop of requests, each answered by one or
+/// more events. Returns when the client disconnects or after handling
+/// `shutdown`.
+fn handle_connection(stream: TcpStream, state: &ServerState, tasks: &SyncSender<MemberTask>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return; // connection torn down mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match json::parse(&line) {
+            Ok(value) => parse_request(&value),
+            Err(e) => Err((
+                "wire".to_string(),
+                format!("request is not valid JSON: {e}"),
+            )),
+        };
+        let keep_going = match request {
+            Err((class, message)) => writer
+                .write_all(error_event(&class, &message).as_bytes())
+                .is_ok(),
+            Ok(Request::Ping) => writer.write_all(event("pong", []).as_bytes()).is_ok(),
+            Ok(Request::Shutdown) => {
+                state.shutdown.store(true, Ordering::SeqCst);
+                let _ = writer.write_all(event("shutting_down", []).as_bytes());
+                // Wake the accept loop so it observes the flag. A
+                // wildcard bind (0.0.0.0/::) is not a connectable
+                // destination everywhere, so aim at loopback instead.
+                let _ = TcpStream::connect(wake_addr(state.local_addr));
+                false
+            }
+            Ok(Request::Submit(spec)) => run_job(&spec, &mut writer, state, tasks),
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+/// Executes one submitted suite: resolve through the shared cache,
+/// enqueue member tasks, stream events as members complete, emit the
+/// terminal report. Returns `false` when the client vanished and the
+/// connection should be dropped.
+fn run_job(
+    spec: &SuiteSpec,
+    writer: &mut TcpStream,
+    state: &ServerState,
+    tasks: &SyncSender<MemberTask>,
+) -> bool {
+    let started = Instant::now();
+    // Resolve every member against the process-wide cache. The lock is
+    // held across builds so concurrent jobs never build the same
+    // scenario twice; builds are deterministic, so serializing them
+    // changes wall-clock only.
+    let (suite, cache_size) = {
+        let mut cache = state.cache.lock().expect("setup cache poisoned");
+        let suite = match Suite::from_spec_with_cache(spec.clone(), &state.registry, &mut cache) {
+            Ok(suite) => suite,
+            Err(e) => {
+                return writer
+                    .write_all(error_event("session", &e.to_string()).as_bytes())
+                    .is_ok()
+            }
+        };
+        (suite, cache.len())
+    };
+    let sessions = suite.sessions();
+    let setups_built = suite.unique_setups();
+    let job_id = state.next_job.fetch_add(1, Ordering::SeqCst);
+    let accepted = event(
+        "accepted",
+        [
+            ("job_id".to_string(), Value::UInt(job_id)),
+            ("members".to_string(), Value::UInt(sessions.len() as u64)),
+            ("setups_built".to_string(), Value::UInt(setups_built as u64)),
+            ("cache_size".to_string(), Value::UInt(cache_size as u64)),
+        ],
+    );
+    if writer.write_all(accepted.as_bytes()).is_err() {
+        return false;
+    }
+    // Enqueue into the bounded queue. `send` blocks when the queue is
+    // full — backpressure lands on the submitting connection, never on
+    // the pool (no task ever waits on another task, so this cannot
+    // deadlock).
+    let (reply, done_rx) = mpsc::channel::<MemberDone>();
+    for (member_index, session) in sessions.iter().enumerate() {
+        let task = MemberTask {
+            member_index,
+            session: Arc::clone(session),
+            rep_threads: state.rep_threads,
+            reply: reply.clone(),
+        };
+        if tasks.send(task).is_err() {
+            // Pool retired under us (server shutting down).
+            return writer
+                .write_all(error_event("queue", "server is shutting down").as_bytes())
+                .is_ok();
+        }
+    }
+    drop(reply); // done_rx ends after the last member reports
+    let mut slots: Vec<Option<Report>> = (0..sessions.len()).map(|_| None).collect();
+    let mut per_run_ms = vec![0.0f64; sessions.len()];
+    let mut failure: Option<(usize, SessionError)> = None;
+    // If the client disconnects mid-stream we stop writing but keep
+    // draining: the workers still hold reply senders for this job.
+    let mut client_alive = true;
+    for done in done_rx {
+        per_run_ms[done.member_index] = done.elapsed_ms;
+        match done.result {
+            Ok(report) => {
+                if client_alive {
+                    let line = event(
+                        "member_report",
+                        [
+                            ("job_id".to_string(), Value::UInt(job_id)),
+                            (
+                                "member_index".to_string(),
+                                Value::UInt(done.member_index as u64),
+                            ),
+                            ("elapsed_ms".to_string(), Value::Float(done.elapsed_ms)),
+                            ("report".to_string(), report.to_json_stable()),
+                        ],
+                    );
+                    client_alive = writer.write_all(line.as_bytes()).is_ok();
+                }
+                slots[done.member_index] = Some(report);
+            }
+            Err(e) => {
+                // Keep the failure with the smallest member index, not
+                // the first to *complete*: `Suite::run` reports the
+                // first failure in manifest order, and the daemon must
+                // not let worker scheduling change which error a client
+                // sees ("scheduling, never semantics").
+                if failure
+                    .as_ref()
+                    .is_none_or(|(index, _)| done.member_index < *index)
+                {
+                    failure = Some((done.member_index, e));
+                }
+            }
+        }
+    }
+    if !client_alive {
+        return false;
+    }
+    if let Some((member_index, e)) = failure {
+        let line = event(
+            "error",
+            [
+                ("error".to_string(), Value::Str("session".into())),
+                ("job_id".to_string(), Value::UInt(job_id)),
+                ("member_index".to_string(), Value::UInt(member_index as u64)),
+                ("message".to_string(), Value::Str(e.to_string())),
+            ],
+        );
+        return writer.write_all(line.as_bytes()).is_ok();
+    }
+    let report = SuiteReport {
+        spec: suite.spec().clone(),
+        reports: slots
+            .into_iter()
+            .map(|slot| slot.expect("every member reported"))
+            .collect(),
+        timing: Timing {
+            total_ms: started.elapsed().as_secs_f64() * 1e3,
+            per_run_ms,
+        },
+    };
+    let line = event(
+        "suite_report",
+        [
+            ("job_id".to_string(), Value::UInt(job_id)),
+            (
+                "elapsed_ms".to_string(),
+                Value::Float(report.timing.total_ms),
+            ),
+            ("suite_report".to_string(), report.to_json_stable()),
+        ],
+    );
+    writer.write_all(line.as_bytes()).is_ok()
+}
+
+/// Validates one server event value against the `imcis.wire/1` shape.
+/// Used by [`Client`] on every received event and by the format-reference
+/// tests on the documented examples.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_event(value: &Value) -> Result<(), String> {
+    if value.as_object().is_none() {
+        return Err("event must be a JSON object".into());
+    }
+    match value.get("wire").and_then(Value::as_str) {
+        Some(WIRE_SCHEMA) => {}
+        Some(other) => return Err(format!("unexpected wire schema `{other}`")),
+        None => return Err("event is missing the `wire` schema tag".into()),
+    }
+    let kind = value
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or("event needs a string `type`")?;
+    let need_u64 = |key: &str| {
+        value
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or(format!("`{kind}` event needs an unsigned `{key}`"))
+    };
+    match kind {
+        "accepted" => {
+            need_u64("job_id")?;
+            need_u64("members")?;
+            need_u64("setups_built")?;
+            need_u64("cache_size")?;
+        }
+        "member_report" => {
+            need_u64("job_id")?;
+            need_u64("member_index")?;
+            value
+                .get("elapsed_ms")
+                .and_then(Value::as_f64)
+                .ok_or("`member_report` event needs a numeric `elapsed_ms`")?;
+            let report = value
+                .get("report")
+                .ok_or("`member_report` event needs a `report` payload")?;
+            crate::report::validate_report_json(report)
+                .map_err(|e| format!("embedded report: {e}"))?;
+        }
+        "suite_report" => {
+            need_u64("job_id")?;
+            let report = value
+                .get("suite_report")
+                .ok_or("`suite_report` event needs a `suite_report` payload")?;
+            crate::suite::validate_suite_report_json(report)
+                .map_err(|e| format!("embedded suite report: {e}"))?;
+        }
+        "error" => {
+            value
+                .get("error")
+                .and_then(Value::as_str)
+                .ok_or("`error` event needs a string `error` class")?;
+            value
+                .get("message")
+                .and_then(Value::as_str)
+                .ok_or("`error` event needs a string `message`")?;
+        }
+        "pong" | "shutting_down" => {}
+        other => return Err(format!("unknown event type `{other}`")),
+    }
+    Ok(())
+}
+
+/// The result of one [`Client::submit`]: the terminal suite report plus
+/// the per-member reports in manifest order, reassembled from the
+/// streamed events.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// Server-assigned job id.
+    pub job_id: u64,
+    /// Scenario builds this job caused on the server (0 = everything was
+    /// already cached from earlier jobs).
+    pub setups_built: u64,
+    /// The stable `imcis.suitereport/1` JSON — byte-identical to the
+    /// stable output of `imcis suite` on the same manifest.
+    pub suite_report: Value,
+    /// Stable member reports in manifest order, reassembled from the
+    /// completion-order `member_report` events.
+    pub member_reports: Vec<Value>,
+}
+
+/// A wire-protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    fn send(&mut self, kind: &str, fields: Vec<(String, Value)>) -> Result<(), ServeError> {
+        // The client frames requests exactly as the server frames
+        // events — one shared envelope builder, so the two sides cannot
+        // drift.
+        self.writer.write_all(event(kind, fields).as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads one event line, validating it against the wire schema.
+    /// `error` events are returned as values, not yet converted to
+    /// [`ServeError::Remote`] — callers log them first (the `--events`
+    /// file must contain every received line, errors included).
+    fn read_event(&mut self) -> Result<(String, Value), ServeError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ServeError::Protocol(
+                "server closed the connection mid-stream".into(),
+            ));
+        }
+        let value = json::parse(line.trim_end())
+            .map_err(|e| ServeError::Protocol(format!("event is not valid JSON: {e}")))?;
+        validate_event(&value).map_err(ServeError::Protocol)?;
+        Ok((line.trim_end().to_string(), value))
+    }
+
+    /// The [`ServeError::Remote`] equivalent of an `error` event, if
+    /// this is one.
+    fn remote_error(event: &Value) -> Option<ServeError> {
+        if event.get("type").and_then(Value::as_str) != Some("error") {
+            return None;
+        }
+        Some(ServeError::Remote {
+            error: event
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            message: event
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        })
+    }
+
+    /// Liveness probe: sends `ping`, waits for `pong`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on socket or protocol failures.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.send("ping", Vec::new())?;
+        let (_, event) = self.read_event()?;
+        if let Some(err) = Self::remote_error(&event) {
+            return Err(err);
+        }
+        match event.get("type").and_then(Value::as_str) {
+            Some("pong") => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "expected `pong`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and exit; waits for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on socket or protocol failures.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.send("shutdown", Vec::new())?;
+        let (_, event) = self.read_event()?;
+        if let Some(err) = Self::remote_error(&event) {
+            return Err(err);
+        }
+        match event.get("type").and_then(Value::as_str) {
+            Some("shutting_down") => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "expected `shutting_down`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits a suite and blocks until the terminal `suite_report`
+    /// event, reassembling the member reports into manifest order along
+    /// the way. `on_event` sees every raw event line (for logging or
+    /// `--events` files) before it is interpreted.
+    ///
+    /// The reassembled reports are cross-checked against the terminal
+    /// report's embedded members, so a [`SubmitOutcome`] is proof the
+    /// stream arrived complete and consistent regardless of completion
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] when the server reports a spec/session
+    /// failure, [`ServeError::Protocol`] on wire violations.
+    pub fn submit(
+        &mut self,
+        spec: &SuiteSpec,
+        mut on_event: impl FnMut(&str, &Value),
+    ) -> Result<SubmitOutcome, ServeError> {
+        self.send("submit", vec![("suite".to_string(), spec.to_json())])?;
+        let (line, accepted) = self.read_event()?;
+        on_event(&line, &accepted);
+        if let Some(err) = Self::remote_error(&accepted) {
+            return Err(err);
+        }
+        if accepted.get("type").and_then(Value::as_str) != Some("accepted") {
+            return Err(ServeError::Protocol(format!(
+                "expected `accepted`, got `{}`",
+                accepted
+                    .get("type")
+                    .and_then(Value::as_str)
+                    .unwrap_or("<none>")
+            )));
+        }
+        let job_id = accepted
+            .get("job_id")
+            .and_then(Value::as_u64)
+            .expect("validated");
+        let members = accepted
+            .get("members")
+            .and_then(Value::as_usize)
+            .expect("validated");
+        let setups_built = accepted
+            .get("setups_built")
+            .and_then(Value::as_u64)
+            .expect("validated");
+        let mut slots: Vec<Option<Value>> = (0..members).map(|_| None).collect();
+        loop {
+            let (line, event) = self.read_event()?;
+            on_event(&line, &event);
+            if let Some(err) = Self::remote_error(&event) {
+                return Err(err);
+            }
+            match event.get("type").and_then(Value::as_str) {
+                Some("member_report") => {
+                    let index = event
+                        .get("member_index")
+                        .and_then(Value::as_usize)
+                        .expect("validated");
+                    if event.get("job_id").and_then(Value::as_u64) != Some(job_id) {
+                        return Err(ServeError::Protocol("event for a different job".into()));
+                    }
+                    let slot = slots.get_mut(index).ok_or_else(|| {
+                        ServeError::Protocol(format!(
+                            "member index {index} out of range (members = {members})"
+                        ))
+                    })?;
+                    if slot.is_some() {
+                        return Err(ServeError::Protocol(format!(
+                            "duplicate report for member {index}"
+                        )));
+                    }
+                    *slot = Some(event.get("report").expect("validated").clone());
+                }
+                Some("suite_report") => {
+                    let suite_report = event.get("suite_report").expect("validated").clone();
+                    let member_reports: Vec<Value> = slots
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, slot)| {
+                            slot.ok_or_else(|| {
+                                ServeError::Protocol(format!(
+                                    "terminal report arrived before member {i}"
+                                ))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    // The reassembly is the point of the (job_id, index)
+                    // tagging: manifest order from completion order.
+                    let embedded = suite_report
+                        .get("reports")
+                        .and_then(Value::as_array)
+                        .expect("validated");
+                    if embedded != member_reports.as_slice() {
+                        return Err(ServeError::Protocol(
+                            "reassembled member reports disagree with the terminal suite report"
+                                .into(),
+                        ));
+                    }
+                    return Ok(SubmitOutcome {
+                        job_id,
+                        setups_built,
+                        suite_report,
+                        member_reports,
+                    });
+                }
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "unexpected mid-stream event {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    fn tiny_suite() -> SuiteSpec {
+        SuiteSpec::from_str(
+            r#"{
+                "runs": [
+                    {"scenario": {"name": "illustrative"},
+                     "method": {"name": "smc", "n_traces": 150}, "seed": 9, "threads": 1}
+                ],
+                "threads": 1
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn request_parser_accepts_the_three_kinds_and_rejects_garbage() {
+        let submit = json::parse(&format!(
+            "{{\"wire\": \"imcis.wire/1\", \"type\": \"submit\", \"suite\": {}}}",
+            tiny_suite().to_json()
+        ))
+        .unwrap();
+        assert!(matches!(parse_request(&submit), Ok(Request::Submit(_))));
+        let ping = json::parse("{\"type\": \"ping\"}").unwrap();
+        assert!(matches!(parse_request(&ping), Ok(Request::Ping)));
+        let down = json::parse("{\"type\": \"shutdown\"}").unwrap();
+        assert!(matches!(parse_request(&down), Ok(Request::Shutdown)));
+
+        for (text, class) in [
+            ("{\"type\": \"teleport\"}", "wire"),
+            ("{\"wire\": \"imcis.wire/9\", \"type\": \"ping\"}", "wire"),
+            ("{\"type\": \"submit\"}", "wire"),
+            ("{\"type\": \"submit\", \"suite\": {\"runs\": []}}", "spec"),
+            ("[1, 2]", "wire"),
+        ] {
+            let value = json::parse(text).unwrap();
+            let (got, _) = parse_request(&value).unwrap_err();
+            assert_eq!(got, class, "{text}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_submit_matches_the_direct_suite_run() {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue: 4,
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = server.spawn();
+
+        let spec = tiny_suite();
+        let direct = crate::suite::Suite::from_spec(spec.clone())
+            .unwrap()
+            .run()
+            .unwrap()
+            .to_json_stable()
+            .pretty();
+
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+        let mut events = Vec::new();
+        let outcome = client
+            .submit(&spec, |line, _| events.push(line.to_string()))
+            .unwrap();
+        assert_eq!(outcome.suite_report.pretty(), direct);
+        assert_eq!(outcome.member_reports.len(), 1);
+        assert!(events.iter().any(|l| l.contains("\"member_report\"")));
+
+        // Second job over the same scenario: served from the shared cache.
+        let again = client.submit(&spec, |_, _| {}).unwrap();
+        assert_eq!(again.setups_built, 0);
+        assert_eq!(again.suite_report.pretty(), direct);
+        assert!(again.job_id > outcome.job_id);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

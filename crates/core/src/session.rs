@@ -15,6 +15,28 @@
 //! `RunSpec` (and the scenario it names). Thread budgets affect
 //! scheduling only; every engine underneath is bit-identical at every
 //! thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use imcis_core::{RunSpec, Session};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Parse a manifest, resolve its scenario, run, fold the report.
+//! let spec: RunSpec = r#"{
+//!         "scenario": {"name": "illustrative"},
+//!         "method": {"name": "standard-is", "n_traces": 300},
+//!         "seed": 11,
+//!         "repetitions": 2
+//!     }"#
+//!     .parse()?;
+//! let report = Session::from_spec(spec)?.run()?;
+//! assert_eq!(report.runs.len(), 2); // one row per repetition
+//! assert!(report.estimate.is_finite());
+//! // Rerunning the same manifest reproduces the stable JSON exactly.
+//! # Ok(())
+//! # }
+//! ```
 
 use std::fmt;
 use std::sync::Arc;

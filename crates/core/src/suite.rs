@@ -32,6 +32,37 @@
 //! * `timing` remains the only volatile field, omitted by
 //!   [`SuiteReport::to_json_stable`] exactly as [`Report::to_json_stable`]
 //!   omits it.
+//!
+//! # Example
+//!
+//! ```
+//! use imcis_core::{Suite, SuiteSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two members, one scenario: the illustrative setup is built once
+//! // and shared; the report embeds both members in manifest order.
+//! let spec: SuiteSpec = r#"{
+//!         "runs": [
+//!             {"scenario": {"name": "illustrative"},
+//!              "method": {"name": "smc", "n_traces": 250}, "seed": 1},
+//!             {"scenario": {"name": "illustrative"},
+//!              "method": {"name": "standard-is", "n_traces": 250}, "seed": 2}
+//!         ],
+//!         "threads": 1
+//!     }"#
+//!     .parse()?;
+//! let suite = Suite::from_spec(spec)?;
+//! assert_eq!(suite.unique_setups(), 1);
+//! let report = suite.run()?;
+//! assert_eq!(report.reports.len(), 2);
+//! // The stable form is byte-identical at every thread budget.
+//! assert_eq!(
+//!     report.to_json_stable().pretty(),
+//!     suite.run_with_threads(8)?.to_json_stable().pretty(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -353,9 +384,13 @@ impl SetupCache {
 
 /// A resolved, runnable suite: one [`Session`] per member spec, sharing
 /// cached [`Setup`]s.
+///
+/// Sessions are held behind [`Arc`]s so schedulers that hand members to
+/// long-lived workers (the `imcis serve` daemon) can share them without
+/// cloning the specs.
 pub struct Suite {
     spec: SuiteSpec,
-    sessions: Vec<Session>,
+    sessions: Vec<Arc<Session>>,
     unique_setups: usize,
 }
 
@@ -380,19 +415,36 @@ impl Suite {
         spec: SuiteSpec,
         registry: &ScenarioRegistry,
     ) -> Result<Self, SessionError> {
+        Self::from_spec_with_cache(spec, registry, &mut SetupCache::new())
+    }
+
+    /// [`Suite::from_spec_with`] resolving setups through a
+    /// caller-owned, possibly pre-warmed [`SetupCache`] — the constructor
+    /// the serving daemon uses so scenarios stay built across jobs and
+    /// clients. [`Suite::unique_setups`] then counts only the builds
+    /// *this* call caused (`0` = everything was already cached).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Suite::from_spec`].
+    pub fn from_spec_with_cache(
+        spec: SuiteSpec,
+        registry: &ScenarioRegistry,
+        cache: &mut SetupCache,
+    ) -> Result<Self, SessionError> {
         // Normalising here keeps the programmatic path honest: a spec
         // assembled in code with `seed_base` set runs with the same
         // rewritten seeds its serialized echo claims.
         let spec = spec.normalized();
         spec.validate().map_err(SessionError::Spec)?;
-        let mut cache = SetupCache::new();
+        let builds_before = cache.builds();
         let mut sessions = Vec::with_capacity(spec.runs.len());
         for run in &spec.runs {
             let setup = cache.get_or_build(registry, &run.scenario)?;
-            sessions.push(Session::from_setup(setup, run.clone()));
+            sessions.push(Arc::new(Session::from_setup(setup, run.clone())));
         }
         Ok(Suite {
-            unique_setups: cache.builds(),
+            unique_setups: cache.builds() - builds_before,
             spec,
             sessions,
         })
@@ -403,13 +455,15 @@ impl Suite {
         &self.spec
     }
 
-    /// The member sessions, manifest order.
-    pub fn sessions(&self) -> &[Session] {
+    /// The member sessions, manifest order (shared — clone an `Arc` to
+    /// hand a member to another scheduler).
+    pub fn sessions(&self) -> &[Arc<Session>] {
         &self.sessions
     }
 
-    /// How many distinct setups back the member sessions (each built
-    /// exactly once).
+    /// How many setups this suite's construction actually built (each
+    /// unique `(scenario, params)` at most once; fewer when the
+    /// construction reused a pre-warmed [`SetupCache`]).
     pub fn unique_setups(&self) -> usize {
         self.unique_setups
     }
@@ -534,6 +588,98 @@ impl SuiteReport {
     pub fn to_json_string(&self) -> String {
         self.to_json().pretty()
     }
+}
+
+/// Validates a JSON value against the `imcis.suitereport/1` shape using
+/// the real spec parsers underneath: the `spec` echo must parse as a
+/// [`SuiteSpec`], every member report must pass
+/// [`validate_report_json`](crate::report::validate_report_json), and
+/// the summary table must be consistent with the member reports. Accepts
+/// both the stable form and the full form (with the volatile `timing`
+/// object).
+///
+/// This is the validator behind the `imcis submit` client's event checks
+/// and the `docs/FORMATS.md` example tests.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_suite_report_json(value: &Value) -> Result<(), String> {
+    let pairs = value
+        .as_object()
+        .ok_or("suite report must be a JSON object")?;
+    for (key, _) in pairs {
+        if !matches!(
+            key.as_str(),
+            "schema" | "spec" | "summary" | "reports" | "timing"
+        ) {
+            return Err(format!("unknown suite report key `{key}`"));
+        }
+    }
+    match value.get("schema").and_then(Value::as_str) {
+        Some(SUITEREPORT_SCHEMA) => {}
+        Some(other) => return Err(format!("unexpected schema `{other}`")),
+        None => return Err("missing `schema` tag".into()),
+    }
+    let spec_value = value.get("spec").ok_or("missing `spec` echo")?;
+    let spec = SuiteSpec::from_json_with_base(spec_value, None)
+        .map_err(|e| format!("`spec` echo does not validate: {e}"))?;
+    let reports = value
+        .get("reports")
+        .and_then(Value::as_array)
+        .ok_or("`reports` must be an array")?;
+    if reports.len() != spec.runs.len() {
+        return Err(format!(
+            "{} member reports for {} manifest runs",
+            reports.len(),
+            spec.runs.len()
+        ));
+    }
+    for (i, report) in reports.iter().enumerate() {
+        crate::report::validate_report_json(report).map_err(|e| format!("`reports[{i}]`: {e}"))?;
+    }
+    let summary = value
+        .get("summary")
+        .and_then(Value::as_array)
+        .ok_or("`summary` must be an array")?;
+    if summary.len() != reports.len() {
+        return Err(format!(
+            "{} summary rows for {} member reports",
+            summary.len(),
+            reports.len()
+        ));
+    }
+    for (i, (row, report)) in summary.iter().zip(reports).enumerate() {
+        let context = |msg: String| format!("`summary[{i}]`: {msg}");
+        if row.get("run").and_then(Value::as_usize) != Some(i) {
+            return Err(context("`run` must equal the member index".into()));
+        }
+        for key in ["scenario", "method", "model"] {
+            if row.get(key).and_then(Value::as_str).is_none() {
+                return Err(context(format!("`{key}` must be a string")));
+            }
+        }
+        // Cross-check the row against the member report it summarises.
+        let consistent = row.get("method").and_then(Value::as_str)
+            == report
+                .get("spec")
+                .and_then(|s| s.get("method"))
+                .and_then(|m| m.get("name"))
+                .and_then(Value::as_str)
+            && row.get("seed").and_then(Value::as_u64)
+                == report
+                    .get("spec")
+                    .and_then(|s| s.get("seed"))
+                    .and_then(Value::as_u64)
+            && row.get("estimate").and_then(Value::as_f64)
+                == report.get("estimate").and_then(Value::as_f64);
+        if !consistent {
+            return Err(context(
+                "row disagrees with `reports` at the same index".into(),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// One row of the cross-run summary table: the columns a paper table

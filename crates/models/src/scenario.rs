@@ -14,6 +14,28 @@
 //! [`repair_setup`], [`swat_setup`]) remain available for callers that
 //! want a specific setup without going through names and parameters; the
 //! registry entries are thin parameter-parsing adapters over them.
+//!
+//! # Example
+//!
+//! ```
+//! use imc_models::{ScenarioParams, ScenarioRegistry};
+//!
+//! # fn main() -> Result<(), imc_models::ScenarioError> {
+//! let registry = ScenarioRegistry::builtin();
+//! // Every named scenario builds a complete Setup: IMC, centre chain,
+//! // IS chain, property and reference γ values.
+//! let setup = registry.build("illustrative", &ScenarioParams::empty())?;
+//! assert_eq!(setup.name, "illustrative");
+//! assert!(setup.gamma_center.is_some());
+//! // Unknown parameters fail loudly instead of being ignored.
+//! let params = ScenarioParams::from_pairs([(
+//!     "wat".to_string(),
+//!     serde::json::Value::UInt(1),
+//! )]);
+//! assert!(registry.build("illustrative", &params).is_err());
+//! # Ok(())
+//! # }
+//! ```
 
 use imc_learn::{learn_imc_with_support, CountTable, LearnOptions, Smoothing};
 use imc_logic::Property;

@@ -20,7 +20,11 @@
 //! | [`imc_sampling`] | IS estimator, `PreparedRun` hot-path cache, zero-variance / cross-entropy / failure biasing |
 //! | [`imc_optim`] | the IMCIS optimisation problem, random search, projected SGD |
 //! | [`imc_models`] | the paper's benchmark systems and the scenario registry |
-//! | [`imcis_core`] | the `RunSpec → SuiteSpec → Session → Report/SuiteReport` API over Algorithm 1 end-to-end |
+//! | [`imcis_core`] | the `RunSpec → SuiteSpec → Session → Report/SuiteReport` API over Algorithm 1 end-to-end, plus [`imcis_core::serve`] — the suite-serving daemon |
+//!
+//! (Two more crates complete the workspace without being library
+//! dependencies of this root crate: `imcis_cli` — the `imcis` binary —
+//! and `imcis_bench`, the criterion benches and `exp_*` binaries.)
 //!
 //! ## Experiment API
 //!
@@ -44,9 +48,21 @@
 //!    per-repetition traces, coverage against `γ(Â)` and the true `γ`
 //!    separately, timing) and serializes to schema-stable JSON.
 //!
-//! The CLI (`imcis run <spec.json>`, `imcis suite <suite.json>`), the
-//! `exp_*` binaries and the examples are thin adapters over this;
-//! checked-in manifests live in `specs/`.
+//! On top sits the **serving layer** ([`imcis_core::serve`]): `imcis
+//! serve` is a `std`-only TCP daemon speaking newline-delimited JSON
+//! (`imcis.wire/1`). Clients submit suite manifests; a persistent
+//! worker pool executes member sessions from a bounded queue over one
+//! process-wide [`imcis_core::SetupCache`] shared across jobs and
+//! clients, streaming `member_report` events as sessions complete and a
+//! terminal `suite_report` that is byte-identical to the batch `imcis
+//! suite` output. The normative schema reference for all five JSON
+//! formats is `docs/FORMATS.md`, whose examples are parsed through the
+//! real validators by `tests/formats_doc.rs`.
+//!
+//! The CLI (`imcis run <spec.json>`, `imcis suite <suite.json>`,
+//! `imcis serve` / `imcis submit`), the `exp_*` binaries and the
+//! examples are thin adapters over this; checked-in manifests live in
+//! `specs/`.
 //!
 //! ## Engine architecture
 //!

@@ -1,0 +1,191 @@
+//! Help-text drift gates: `imcis help` is pinned byte-for-byte against a
+//! golden file, and every `--flag` the help text documents is
+//! cross-checked against the real parsers (and vice versa), so the
+//! usage text and the argument handling cannot drift apart silently.
+//!
+//! Re-bless the golden deliberately with
+//! `IMCIS_BLESS_GOLDEN=1 cargo test --test cli_help`.
+
+use imcis_cli::{parse_args, run, CliError, USAGE};
+
+const GOLDEN_USAGE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/usage.txt");
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(ToString::to_string).collect()
+}
+
+#[test]
+fn help_output_matches_the_golden_file() {
+    let help = run(&args(&["help"])).unwrap();
+    if std::env::var_os("IMCIS_BLESS_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_USAGE, format!("{help}\n")).expect("can write the golden usage");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_USAGE).expect("golden usage file exists");
+    assert_eq!(
+        format!("{help}\n"),
+        golden,
+        "`imcis help` drifted from tests/golden/usage.txt \
+         (IMCIS_BLESS_GOLDEN=1 re-blesses it deliberately)"
+    );
+    // `--help`/`-h` and usage errors print the same text.
+    assert_eq!(run(&args(&["--help"])).unwrap(), help);
+    assert_eq!(help, USAGE);
+}
+
+/// Every subcommand the help text names actually dispatches (none fall
+/// through to the legacy model-file parser's "missing model file").
+#[test]
+fn documented_subcommands_dispatch() {
+    // Spec-layer subcommands: an empty invocation is a *subcommand
+    // specific* usage error, not "unknown command".
+    for (command, expect) in [
+        ("run", "run needs a spec file"),
+        ("suite", "suite takes exactly one"),
+        ("submit", "submit takes exactly one"),
+    ] {
+        let err = run(&args(&[command])).unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("`imcis {command}` should be a usage error");
+        };
+        assert!(msg.contains(expect), "`imcis {command}`: {msg}");
+    }
+    // `serve` rejects unknown flags with its own usage message (binding a
+    // socket is not needed to prove dispatch).
+    let err = run(&args(&["serve", "--wat"])).unwrap_err();
+    let CliError::Usage(msg) = err else {
+        panic!("`imcis serve --wat` should be a usage error");
+    };
+    assert!(msg.contains("unexpected serve argument"), "{msg}");
+    // Model-file subcommands parse through the legacy options parser.
+    for command in ["info", "solve", "mttf", "smc", "envelope", "imcis"] {
+        assert!(
+            parse_args(&args(&[command, "model.txt"])).is_ok(),
+            "`imcis {command}` is documented but does not parse"
+        );
+    }
+    assert!(run(&args(&["scenarios"])).is_ok());
+    assert!(run(&args(&["version"])).is_ok());
+}
+
+/// Every `--flag` token in the help text is accepted by the matching
+/// parser, and every flag the parsers accept appears in the help text.
+#[test]
+fn documented_flags_match_the_parsers() {
+    // The complete flag vocabulary, by parser. Adding a flag to a parser
+    // without documenting it (or vice versa) fails the audit below.
+    let run_flags = [
+        "--scenario",
+        "--method",
+        "--param",
+        "--reps",
+        "--n",
+        "--delta",
+        "--max-steps",
+        "--seed",
+        "--r",
+        "--r-max",
+        "--trace",
+        "--threads",
+        "--search-batch",
+        "--search-threads",
+        "--dry-run",
+        "--spec",
+    ];
+    let model_flags = [
+        "--target",
+        "--avoid",
+        "--bound",
+        "--n",
+        "--delta",
+        "--seed",
+        "--r",
+        "--threads",
+        "--search-batch",
+        "--search-threads",
+    ];
+    let serve_flags = ["--addr", "--workers", "--queue"];
+    let submit_flags = ["--addr", "--events", "--retry-ms", "--ping", "--shutdown"];
+
+    // Forward direction: the parsers recognise each documented flag.
+    // A recognised value-flag with a missing value yields "requires a
+    // value" — never "unknown option"/"unexpected argument".
+    for flag in [
+        "--scenario",
+        "--method",
+        "--param",
+        "--reps",
+        "--n",
+        "--delta",
+        "--max-steps",
+        "--seed",
+        "--r",
+        "--r-max",
+        "--threads",
+        "--search-batch",
+        "--search-threads",
+        "--spec",
+    ] {
+        let err = run(&args(&["run", flag])).unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("run {flag}: expected usage error");
+        };
+        assert!(msg.contains("requires a value"), "run {flag}: {msg}");
+    }
+    // Boolean run flags need no value; with a scenario/method they build
+    // a manifest (--trace is imcis-only, --dry-run prints the spec).
+    assert!(run(&args(&[
+        "run",
+        "--scenario",
+        "illustrative",
+        "--method",
+        "imcis",
+        "--trace",
+        "--dry-run"
+    ]))
+    .is_ok());
+    for flag in model_flags {
+        let err = parse_args(&args(&["solve", "m.txt", flag])).unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("solve {flag}: expected usage error");
+        };
+        assert!(msg.contains("requires a value"), "solve {flag}: {msg}");
+    }
+    for flag in serve_flags {
+        let err = run(&args(&["serve", flag])).unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("serve {flag}: expected usage error");
+        };
+        assert!(msg.contains("requires a value"), "serve {flag}: {msg}");
+    }
+    for flag in ["--addr", "--events", "--retry-ms"] {
+        let err = run(&args(&["submit", flag])).unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("submit {flag}: expected usage error");
+        };
+        assert!(msg.contains("requires a value"), "submit {flag}: {msg}");
+    }
+    // --ping/--shutdown are boolean and mutually exclusive.
+    let err = run(&args(&["submit", "--ping", "--shutdown"])).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)));
+
+    // Reverse direction: the help text documents no flag the parsers
+    // would reject — every `--token` in USAGE is in the vocabulary.
+    let vocabulary: std::collections::BTreeSet<&str> = run_flags
+        .iter()
+        .chain(&model_flags)
+        .chain(&serve_flags)
+        .chain(&submit_flags)
+        .chain(["--help", "--version"].iter())
+        .copied()
+        .collect();
+    for token in USAGE.split(|c: char| c.is_whitespace() || c == '/') {
+        let flag = token.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '-');
+        if flag.starts_with("--") {
+            assert!(
+                vocabulary.contains(flag),
+                "help text documents `{flag}`, which no parser accepts"
+            );
+        }
+    }
+}

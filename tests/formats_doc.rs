@@ -1,0 +1,139 @@
+//! `docs/FORMATS.md` is normative and must not rot: every ```json code
+//! block in it is parsed through the *real* validators — manifests
+//! through the strict `RunSpec`/`SuiteSpec` parsers, reports through
+//! `validate_report_json`/`validate_suite_report_json`, wire messages
+//! through `parse_request`/`validate_event`. A documented example that
+//! the implementation would reject fails this test.
+
+use imcis_core::serve::{parse_request, validate_event, Request};
+use imcis_core::{
+    validate_report_json, validate_suite_report_json, RunSpec, SuiteSpec, REPORT_SCHEMA,
+    RUNSPEC_SCHEMA, SUITEREPORT_SCHEMA, SUITESPEC_SCHEMA,
+};
+use serde::json::{self, Value};
+
+const FORMATS_MD: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/FORMATS.md");
+
+/// Extracts the contents of every ```json fenced block.
+fn json_blocks(markdown: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in markdown.lines() {
+        match &mut current {
+            None if line.trim() == "```json" => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if line.trim() == "```" {
+                    blocks.push(current.take().expect("block in progress"));
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```json block");
+    blocks
+}
+
+#[test]
+fn every_documented_example_passes_the_real_validators() {
+    let markdown = std::fs::read_to_string(FORMATS_MD).expect("docs/FORMATS.md exists");
+    let blocks = json_blocks(&markdown);
+
+    // Tallies per category: a refactor that silently drops examples (or
+    // the extractor breaking) fails the floor assertions below.
+    let (mut runspecs, mut suitespecs, mut reports, mut suitereports) = (0, 0, 0, 0);
+    let (mut requests, mut events) = (0, 0);
+
+    for (i, block) in blocks.iter().enumerate() {
+        let value = json::parse(block)
+            .unwrap_or_else(|e| panic!("docs/FORMATS.md json block #{i} is not valid JSON: {e}"));
+        let context = |what: &str, e: String| {
+            panic!("docs/FORMATS.md json block #{i} fails the {what} validator: {e}")
+        };
+        if value.get("wire").is_some() {
+            // Wire messages: requests go through the server's own parser,
+            // events through the client's validator.
+            let kind = value.get("type").and_then(Value::as_str).unwrap_or("");
+            if matches!(kind, "submit" | "ping" | "shutdown") {
+                match parse_request(&value) {
+                    Ok(Request::Submit(_)) | Ok(Request::Ping) | Ok(Request::Shutdown) => {}
+                    Err((class, message)) => {
+                        context("wire request", format!("[{class}] {message}"))
+                    }
+                }
+                requests += 1;
+            } else {
+                validate_event(&value).unwrap_or_else(|e| context("wire event", e));
+                events += 1;
+                // Embedded payloads were already validated transitively;
+                // tally the deep ones so the floors below stay honest.
+                if kind == "member_report" {
+                    reports += 1;
+                }
+            }
+            continue;
+        }
+        match value.get("schema").and_then(Value::as_str) {
+            Some(RUNSPEC_SCHEMA) => {
+                if let Err(e) = RunSpec::from_json(&value) {
+                    context("RunSpec", e.to_string());
+                }
+                runspecs += 1;
+            }
+            Some(SUITESPEC_SCHEMA) => {
+                if let Err(e) = SuiteSpec::from_json_with_base(&value, None) {
+                    context("SuiteSpec", e.to_string());
+                }
+                suitespecs += 1;
+            }
+            Some(REPORT_SCHEMA) => {
+                validate_report_json(&value).unwrap_or_else(|e| context("Report", e));
+                reports += 1;
+            }
+            Some(SUITEREPORT_SCHEMA) => {
+                validate_suite_report_json(&value).unwrap_or_else(|e| context("SuiteReport", e));
+                suitereports += 1;
+            }
+            other => panic!("docs/FORMATS.md json block #{i} has no known schema tag: {other:?}"),
+        }
+    }
+
+    // One complete example per schema is the documented contract.
+    assert!(runspecs >= 1, "no imcis.runspec/1 example found");
+    assert!(suitespecs >= 1, "no imcis.suitespec/1 example found");
+    assert!(reports >= 1, "no imcis.report/2 example found");
+    assert!(suitereports >= 1, "no imcis.suitereport/1 example found");
+    assert!(requests >= 3, "wire request examples missing");
+    assert!(events >= 4, "wire event examples missing");
+}
+
+/// The documented round-trip claim: canonical examples reserialize
+/// byte-identically.
+#[test]
+fn documented_manifest_examples_are_canonical() {
+    let markdown = std::fs::read_to_string(FORMATS_MD).expect("docs/FORMATS.md exists");
+    for block in json_blocks(&markdown) {
+        let value = json::parse(&block).unwrap();
+        match value.get("schema").and_then(Value::as_str) {
+            Some(RUNSPEC_SCHEMA) => {
+                let spec = RunSpec::from_json(&value).unwrap();
+                assert_eq!(
+                    spec.to_json_string(),
+                    block,
+                    "the runspec example is not in canonical form"
+                );
+            }
+            Some(SUITESPEC_SCHEMA) => {
+                let spec = SuiteSpec::from_json_with_base(&value, None).unwrap();
+                assert_eq!(
+                    spec.to_json_string(),
+                    block,
+                    "the suitespec example is not in canonical form"
+                );
+            }
+            _ => {}
+        }
+    }
+}

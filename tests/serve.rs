@@ -1,0 +1,317 @@
+//! The serving-layer contract, end to end:
+//!
+//! * a suite executed through `imcis serve` + the wire client yields a
+//!   `SuiteReport` **byte-identical** to the direct `imcis suite` path,
+//!   at worker counts {1, 2, 8} (the acceptance criterion — the daemon
+//!   adds scheduling, never semantics);
+//! * the process-wide `SetupCache` persists across jobs, clients and
+//!   even client disconnects;
+//! * failure paths are typed and pinned: malformed wire JSON and invalid
+//!   `SuiteSpec`s produce `error` events (with the same `SpecError`
+//!   messages the batch path prints) and leave the connection usable;
+//! * a client disconnecting mid-stream never wedges the server;
+//! * concurrent clients each get reports bit-identical to standalone
+//!   runs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use imcis_core::serve::{Client, ServeConfig, ServeError, Server};
+use imcis_core::{Suite, SuiteSpec};
+use serde::json::{self, Value};
+
+const TABLE1_SUITE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/paper_table1_suite.json");
+
+fn spawn_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<Result<(), ServeError>>) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue: 8,
+    })
+    .expect("ephemeral bind");
+    let addr = server.local_addr();
+    (addr, server.spawn())
+}
+
+fn shut_down(addr: SocketAddr, handle: std::thread::JoinHandle<Result<(), ServeError>>) {
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+/// A raw wire connection for tests that need to send invalid bytes or
+/// hang up at a precise point in the stream.
+struct RawWire {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawWire {
+    fn connect(addr: SocketAddr) -> Self {
+        let writer = TcpStream::connect(addr).unwrap();
+        let reader = BufReader::new(writer.try_clone().unwrap());
+        RawWire { reader, writer }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+    }
+
+    fn read_event(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "server closed the connection unexpectedly");
+        json::parse(line.trim_end()).expect("events are valid JSON")
+    }
+}
+
+fn event_type(event: &Value) -> &str {
+    event
+        .get("type")
+        .and_then(Value::as_str)
+        .unwrap_or("<none>")
+}
+
+fn tiny_suite(seed: u64) -> SuiteSpec {
+    format!(
+        r#"{{
+            "runs": [
+                {{"scenario": {{"name": "illustrative"}},
+                 "method": {{"name": "smc", "n_traces": 200}},
+                 "seed": {seed}, "threads": 1}},
+                {{"scenario": {{"name": "illustrative"}},
+                 "method": {{"name": "standard-is", "n_traces": 200}},
+                 "seed": {seed}, "threads": 1}}
+            ],
+            "threads": 1
+        }}"#
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Acceptance criterion: the daemon-served Table 1 suite is
+/// byte-identical to `imcis suite specs/paper_table1_suite.json`, at
+/// worker counts 1, 2 and 8 — and the member reports reassembled from
+/// completion-order events match the direct run member-for-member.
+#[test]
+fn daemon_table1_suite_is_byte_identical_at_worker_counts_1_2_8() {
+    let text = std::fs::read_to_string(TABLE1_SUITE).unwrap();
+    let spec: SuiteSpec = text.parse().unwrap();
+    let direct = Suite::from_spec(spec.clone()).unwrap().run().unwrap();
+    let direct_stable = direct.to_json_stable().pretty();
+
+    for workers in [1usize, 2, 8] {
+        let (addr, handle) = spawn_server(workers);
+        let mut client = Client::connect(addr).unwrap();
+        let outcome = client.submit(&spec, |_, _| {}).unwrap();
+        assert_eq!(
+            outcome.suite_report.pretty(),
+            direct_stable,
+            "daemon output drifted from `imcis suite` at {workers} workers"
+        );
+        for (i, member) in outcome.member_reports.iter().enumerate() {
+            assert_eq!(
+                member.pretty(),
+                direct.reports[i].to_json_stable().pretty(),
+                "member {i} drifted at {workers} workers"
+            );
+        }
+        shut_down(addr, handle);
+    }
+}
+
+#[test]
+fn malformed_wire_json_is_an_error_event_and_the_connection_survives() {
+    let (addr, handle) = spawn_server(1);
+    let mut wire = RawWire::connect(addr);
+
+    // Not JSON at all: framing is line-based, so the server reports the
+    // parse failure and keeps reading.
+    wire.send("this is not json");
+    let event = wire.read_event();
+    assert_eq!(event_type(&event), "error");
+    assert_eq!(event.get("error").and_then(Value::as_str), Some("wire"));
+    let message = event.get("message").and_then(Value::as_str).unwrap();
+    assert!(message.contains("not valid JSON"), "{message}");
+
+    // Valid JSON, wrong shape.
+    wire.send("{\"type\": \"teleport\"}");
+    let event = wire.read_event();
+    assert_eq!(event_type(&event), "error");
+    assert_eq!(
+        event.get("message").and_then(Value::as_str),
+        Some("unknown request type `teleport` (submit | ping | shutdown)")
+    );
+
+    // A wrong wire schema tag is refused by name.
+    wire.send("{\"wire\": \"imcis.wire/9\", \"type\": \"ping\"}");
+    let event = wire.read_event();
+    assert_eq!(
+        event.get("message").and_then(Value::as_str),
+        Some("unsupported wire schema `imcis.wire/9` (expected `imcis.wire/1`)")
+    );
+
+    // The same connection still serves real requests afterwards —
+    // including a server-side file-referenced submit.
+    wire.send("{\"type\": \"ping\"}");
+    assert_eq!(event_type(&wire.read_event()), "pong");
+    wire.send(&format!(
+        "{{\"type\": \"submit\", \"file\": {}}}",
+        Value::Str(TABLE1_SUITE.into())
+    ));
+    let event = wire.read_event();
+    assert_eq!(event_type(&event), "accepted");
+    assert_eq!(event.get("members").and_then(Value::as_u64), Some(5));
+    let mut seen_members = 0;
+    loop {
+        let event = wire.read_event();
+        match event_type(&event) {
+            "member_report" => seen_members += 1,
+            "suite_report" => break,
+            other => panic!("unexpected event `{other}`"),
+        }
+    }
+    assert_eq!(seen_members, 5);
+
+    shut_down(addr, handle);
+}
+
+#[test]
+fn invalid_suite_specs_reuse_the_pinned_spec_errors() {
+    let (addr, handle) = spawn_server(1);
+    let mut wire = RawWire::connect(addr);
+
+    // An empty suite: the exact message the batch path pins.
+    wire.send("{\"type\": \"submit\", \"suite\": {\"runs\": []}}");
+    let event = wire.read_event();
+    assert_eq!(event.get("error").and_then(Value::as_str), Some("spec"));
+    assert_eq!(
+        event.get("message").and_then(Value::as_str),
+        Some(
+            "spec does not match the schema: `suite.runs` must contain at least one run \
+             (an empty suite has no report)"
+        )
+    );
+
+    // A broken member carries its index, exactly as `imcis suite` would
+    // report it.
+    wire.send(
+        "{\"type\": \"submit\", \"suite\": {\"runs\": [\
+         {\"scenario\": {\"name\": \"illustrative\"}, \"method\": {\"name\": \"teleport\"}}]}}",
+    );
+    let event = wire.read_event();
+    assert_eq!(event.get("error").and_then(Value::as_str), Some("spec"));
+    let message = event.get("message").and_then(Value::as_str).unwrap();
+    assert!(message.contains("`suite.runs[0]`"), "{message}");
+
+    // An unknown scenario passes spec validation but fails the build —
+    // reported as a `session` error, connection still usable.
+    wire.send(
+        "{\"type\": \"submit\", \"suite\": {\"runs\": [\
+         {\"scenario\": {\"name\": \"atlantis\"}, \"method\": {\"name\": \"smc\"}}]}}",
+    );
+    let event = wire.read_event();
+    assert_eq!(event.get("error").and_then(Value::as_str), Some("session"));
+
+    // The typed client surfaces the same failure as `ServeError::Remote`
+    // — and the error event still reaches the on_event hook first, so an
+    // `--events` file always contains the line that explains the failure.
+    drop(wire);
+    let empty: Result<SuiteSpec, _> = "{\"runs\": []}".parse();
+    assert!(empty.is_err(), "client-side parse already rejects it");
+    let unknown_scenario: SuiteSpec = r#"{
+        "runs": [{"scenario": {"name": "atlantis"}, "method": {"name": "smc"}}]
+    }"#
+    .parse()
+    .expect("spec validation does not know scenario names");
+    let mut client = Client::connect(addr).unwrap();
+    let mut events = Vec::new();
+    let err = client
+        .submit(&unknown_scenario, |line, _| events.push(line.to_string()))
+        .unwrap_err();
+    match err {
+        ServeError::Remote { error, .. } => assert_eq!(error, "session"),
+        other => panic!("expected a remote session error, got {other}"),
+    }
+    assert!(
+        events.iter().any(|l| l.contains("\"error\":\"session\"")),
+        "the error event must reach on_event before being converted: {events:?}"
+    );
+    client.ping().unwrap();
+
+    shut_down(addr, handle);
+}
+
+#[test]
+fn disconnecting_mid_stream_leaves_the_server_serving_and_the_cache_warm() {
+    let (addr, handle) = spawn_server(1);
+
+    // Client A submits and hangs up right after `accepted` — member
+    // reports have nowhere to go.
+    let spec = tiny_suite(41);
+    {
+        let mut wire = RawWire::connect(addr);
+        wire.send(&format!(
+            "{{\"type\": \"submit\", \"suite\": {}}}",
+            spec.to_json()
+        ));
+        let event = wire.read_event();
+        assert_eq!(event_type(&event), "accepted");
+        assert_eq!(event.get("setups_built").and_then(Value::as_u64), Some(1));
+        // Hang up without reading another byte.
+    }
+
+    // Client B gets full service from the same daemon; the scenario A's
+    // aborted job built is already cached (setups_built == 0).
+    let direct = Suite::from_spec(spec.clone())
+        .unwrap()
+        .run()
+        .unwrap()
+        .to_json_stable()
+        .pretty();
+    let mut client = Client::connect(addr).unwrap();
+    let outcome = client.submit(&spec, |_, _| {}).unwrap();
+    assert_eq!(outcome.setups_built, 0, "cache survived the disconnect");
+    assert_eq!(outcome.suite_report.pretty(), direct);
+
+    shut_down(addr, handle);
+}
+
+#[test]
+fn concurrent_clients_get_reports_bit_identical_to_standalone_runs() {
+    let (addr, handle) = spawn_server(2);
+
+    let specs = [tiny_suite(7), tiny_suite(8)];
+    let outcomes: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client
+                        .submit(spec, |_, _| {})
+                        .unwrap()
+                        .suite_report
+                        .pretty()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (spec, served) in specs.iter().zip(&outcomes) {
+        let standalone = Suite::from_spec(spec.clone())
+            .unwrap()
+            .run()
+            .unwrap()
+            .to_json_stable()
+            .pretty();
+        assert_eq!(
+            served, &standalone,
+            "a concurrently served suite drifted from its standalone run"
+        );
+    }
+
+    shut_down(addr, handle);
+}
