@@ -7,7 +7,7 @@
 //!   JSON (`imcis.report/2`);
 //! * `imcis run --spec a.json --spec b.json` — execute several manifests
 //!   as one suite (shared scenario builds), print the `SuiteReport`
-//!   JSON (`imcis.suitereport/1`);
+//!   JSON (`imcis.suitereport/2`);
 //! * `imcis suite <suite.json> [--threads T]` — execute a `SuiteSpec`
 //!   manifest the same way, optionally overriding its session-level
 //!   thread budget (scheduling only; output is bit-identical);
@@ -15,12 +15,14 @@
 //!   same manifest from flags (add `--dry-run` to print it instead of
 //!   running);
 //! * `imcis serve [--addr --workers --queue]` — run the suite-serving
-//!   daemon (`imcis.wire/1`, newline-delimited JSON over TCP; see
+//!   daemon (`imcis.wire/2`, newline-delimited JSON over TCP; see
 //!   [`imcis_core::serve`]);
-//! * `imcis submit <suite.json> [--addr --events]` — submit a manifest
-//!   to a daemon, stream its events, print the stable `SuiteReport`
-//!   (byte-identical to `imcis suite`); `--ping`/`--shutdown` probe and
-//!   stop the daemon;
+//! * `imcis submit <suite.json> [--addr --events --deadline-ms]` —
+//!   submit a manifest to a daemon, stream its events, print the stable
+//!   `SuiteReport` (byte-identical to `imcis suite`);
+//!   `--ping`/`--status`/`--shutdown` probe, inspect and stop the
+//!   daemon; `--retry-ms` arms capped exponential backoff with seeded
+//!   jitter for connection failures and `rejected` backpressure;
 //! * `imcis scenarios` — list the scenario registry with parameters;
 //! * `imcis help` / `imcis version` (also `--help` / `--version`).
 //!
@@ -119,7 +121,8 @@ usage: imcis run <spec.json>
        imcis suite <suite.json> [--threads T]
        imcis serve [--addr A] [--workers N] [--queue N]
        imcis submit <suite.json> [--addr A] [--events FILE] [--retry-ms T]
-       imcis submit --ping | --shutdown [--addr A]
+                    [--deadline-ms D]
+       imcis submit --ping | --status | --shutdown [--addr A]
        imcis scenarios
        imcis <command> <model-file> [options]
        imcis help | version
@@ -138,11 +141,12 @@ spec runner:
                       --dry-run prints the canonical manifest instead
   scenarios           list registered scenarios and their parameters
 
-serving (imcis.wire/1 — newline-delimited JSON over TCP):
-  serve               run the suite-serving daemon: a persistent worker
+serving (imcis.wire/2 — newline-delimited JSON over TCP):
+  serve               run the suite-serving daemon: a supervised worker
                       pool executes submitted suites over one shared
                       scenario cache and streams member reports as they
-                      complete
+                      complete; a panicking member becomes a typed
+                      member_error entry, never a dead worker
   submit <suite.json> submit a SuiteSpec manifest to a daemon, stream its
                       events, print the stable SuiteReport JSON
                       (byte-identical to `imcis suite` on the manifest)
@@ -155,8 +159,16 @@ serve options:
 submit options:
   --addr A         daemon address                  [default 127.0.0.1:7414]
   --events FILE    write every received wire event (raw NDJSON) to FILE
-  --retry-ms T     keep retrying the connection for T ms      [default 0]
+  --retry-ms T     retry failed connections and `rejected` submissions
+                   with capped exponential backoff: delays start at T ms,
+                   double per attempt up to 5000 ms, over at most 8
+                   retries, with deterministic seeded jitter (+/-25%).
+                   Omit the flag for a single attempt; 0 is an error.
+  --deadline-ms D  job deadline: members not started D ms after the
+                   daemon accepts the job report typed `timeout` entries
   --ping           liveness probe only (expects a pong)
+  --status         print the daemon's load snapshot (queue depth, active
+                   jobs, workers, cache size, uptime) and exit
   --shutdown       ask the daemon to drain active jobs and exit
 
 run options:
@@ -584,43 +596,85 @@ fn serve_command(args: &[String]) -> Result<String, CliError> {
     }
     let server = Server::bind(config)?;
     let addr = server.local_addr();
-    eprintln!("imcis serve: listening on {addr} (wire protocol imcis.wire/1)");
+    eprintln!("imcis serve: listening on {addr} (wire protocol imcis.wire/2)");
     server.run()?;
     Ok(format!("imcis serve: {addr} shut down cleanly"))
 }
 
-/// Connects to a daemon, retrying for `retry_ms` milliseconds (daemon
-/// startup races in scripts; `0` = a single attempt). Only the
-/// *connection* is retried: a malformed or unresolvable address is
-/// permanent and surfaces immediately instead of waiting out the
-/// deadline.
-fn connect_with_retry(addr: &str, retry_ms: u64) -> Result<Client, CliError> {
+/// Backoff delay ceiling: exponential doubling from the `--retry-ms`
+/// base stops growing here.
+const BACKOFF_CAP_MS: u64 = 5_000;
+/// Retry budget: at most this many *re*tries after the first attempt,
+/// for connections and `rejected` submissions alike.
+const BACKOFF_MAX_RETRIES: u32 = 8;
+/// Seed of the deterministic jitter stream (the paper's year, like every
+/// other default seed in the workspace).
+const BACKOFF_JITTER_SEED: u64 = 2018;
+
+/// The backoff delay before retry `attempt` (0-based): the `--retry-ms`
+/// base doubled per attempt, capped at [`BACKOFF_CAP_MS`], then jittered
+/// by ±25% — deterministically, via the same `stream_seed` derivation
+/// the engines use, so a given (base, attempt) always waits the same
+/// amount and tests can pin the schedule.
+fn backoff_delay_ms(base_ms: u64, attempt: u32) -> u64 {
+    let doubled = base_ms.saturating_mul(1u64 << attempt.min(32));
+    let capped = doubled.clamp(1, BACKOFF_CAP_MS);
+    // Map the stream word onto [-25%, +25%] of the capped delay.
+    let jitter_word = imc_sim::stream_seed(BACKOFF_JITTER_SEED, u64::from(attempt)) % 501;
+    let offset = (capped * jitter_word / 1000) as i64 - (capped / 4) as i64;
+    capped.saturating_add_signed(offset).max(1)
+}
+
+/// Connects to a daemon. With `retry_base_ms` set (the `--retry-ms`
+/// flag), connection failures retry with capped exponential backoff and
+/// seeded jitter ([`backoff_delay_ms`]); `None` means a single attempt
+/// (daemon startup races in scripts are the use case for retrying).
+/// Only the *connection* is retried: a malformed or unresolvable address
+/// is permanent and surfaces immediately instead of waiting out the
+/// backoff schedule.
+fn connect_with_retry(addr: &str, retry_base_ms: Option<u64>) -> Result<Client, CliError> {
     use std::net::ToSocketAddrs;
     let resolved: Vec<std::net::SocketAddr> = addr
         .to_socket_addrs()
         .map_err(|e| CliError::Serve(ServeError::Io(format!("cannot resolve `{addr}`: {e}"))))?
         .collect();
-    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(retry_ms);
+    let mut attempt = 0u32;
     loop {
         match Client::connect(&resolved[..]) {
             Ok(client) => return Ok(client),
-            Err(e) if std::time::Instant::now() >= deadline => return Err(e.into()),
-            Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
+            Err(e) => {
+                let Some(base) = retry_base_ms else {
+                    return Err(e.into());
+                };
+                if attempt >= BACKOFF_MAX_RETRIES {
+                    return Err(e.into());
+                }
+                std::thread::sleep(std::time::Duration::from_millis(backoff_delay_ms(
+                    base, attempt,
+                )));
+                attempt += 1;
+            }
         }
     }
 }
 
-/// `imcis submit <suite.json> [--addr A] [--events FILE] [--retry-ms T]`
-/// (or `--ping` / `--shutdown`): the wire-protocol client. The manifest
-/// is loaded locally — file-referenced members resolve relative to the
-/// manifest, exactly as `imcis suite` resolves them — and submitted
-/// embedded, so the daemon needs no access to the client's filesystem.
+/// `imcis submit <suite.json> [--addr A] [--events FILE] [--retry-ms T]
+/// [--deadline-ms D]` (or `--ping` / `--status` / `--shutdown`): the
+/// wire-protocol client. The manifest is loaded locally —
+/// file-referenced members resolve relative to the manifest, exactly as
+/// `imcis suite` resolves them — and submitted embedded, so the daemon
+/// needs no access to the client's filesystem. With `--retry-ms`, a
+/// `rejected {retry_after_ms}` backpressure answer re-submits on a fresh
+/// connection after the larger of the server's hint and the backoff
+/// schedule.
 fn submit_command(args: &[String]) -> Result<String, CliError> {
     let mut path: Option<&String> = None;
     let mut addr = ServeConfig::default().addr;
     let mut events_path: Option<String> = None;
-    let mut retry_ms = 0u64;
+    let mut retry_ms: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut ping = false;
+    let mut status = false;
     let mut shutdown = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -632,35 +686,57 @@ fn submit_command(args: &[String]) -> Result<String, CliError> {
         match arg.as_str() {
             "--addr" => addr = value("--addr")?,
             "--events" => events_path = Some(value("--events")?),
-            "--retry-ms" => retry_ms = parse_value(&value("--retry-ms")?, "--retry-ms")?,
+            "--retry-ms" => retry_ms = Some(parse_value(&value("--retry-ms")?, "--retry-ms")?),
+            "--deadline-ms" => {
+                deadline_ms = Some(parse_value(&value("--deadline-ms")?, "--deadline-ms")?)
+            }
             "--ping" => ping = true,
+            "--status" => status = true,
             "--shutdown" => shutdown = true,
             other if !other.starts_with("--") && path.is_none() => path = Some(arg),
             other => {
                 return Err(CliError::Usage(format!(
                     "unexpected submit argument `{other}` (usage: imcis submit \
-                     <suite.json> [--addr A] [--events FILE] [--retry-ms T], \
-                     or --ping / --shutdown)"
+                     <suite.json> [--addr A] [--events FILE] [--retry-ms T] \
+                     [--deadline-ms D], or --ping / --status / --shutdown)"
                 )))
             }
         }
     }
-    if ping && shutdown {
+    if retry_ms == Some(0) {
+        // The old fixed-interval loop treated 0 as "one attempt"; under
+        // backoff a zero base would be a busy-loop. Pin it as an error.
         return Err(CliError::Usage(
-            "--ping and --shutdown are mutually exclusive".into(),
+            "--retry-ms 0 would retry without backing off; omit the flag \
+             for a single attempt, or pass a positive backoff base"
+                .into(),
         ));
     }
-    if (ping || shutdown) && path.is_some() {
+    if deadline_ms == Some(0) {
+        return Err(CliError::Usage("--deadline-ms must be positive".into()));
+    }
+    let probes = u32::from(ping) + u32::from(status) + u32::from(shutdown);
+    if probes > 1 {
         return Err(CliError::Usage(
-            "--ping/--shutdown take no manifest argument".into(),
+            "--ping, --status and --shutdown are mutually exclusive".into(),
         ));
     }
-    if (ping || shutdown) && events_path.is_some() {
+    if probes == 1 && path.is_some() {
+        return Err(CliError::Usage(
+            "--ping/--status/--shutdown take no manifest argument".into(),
+        ));
+    }
+    if probes == 1 && events_path.is_some() {
         return Err(CliError::Usage(
             "--events only applies to a manifest submission".into(),
         ));
     }
-    if !(ping || shutdown) && path.is_none() {
+    if probes == 1 && deadline_ms.is_some() {
+        return Err(CliError::Usage(
+            "--deadline-ms only applies to a manifest submission".into(),
+        ));
+    }
+    if probes == 0 && path.is_none() {
         return Err(CliError::Usage(
             "submit takes exactly one SuiteSpec manifest file".into(),
         ));
@@ -677,6 +753,14 @@ fn submit_command(args: &[String]) -> Result<String, CliError> {
         client.ping()?;
         return Ok(format!("pong from {addr}"));
     }
+    if status {
+        let s = client.status()?;
+        return Ok(format!(
+            "daemon at {addr}: queue {}/{}, {} active job(s), {} worker(s), \
+             {} cached setup(s), up {} ms",
+            s.queue_depth, s.queue_capacity, s.active_jobs, s.workers, s.cache_size, s.uptime_ms
+        ));
+    }
     if shutdown {
         client.shutdown()?;
         return Ok(format!("daemon at {addr} is shutting down"));
@@ -686,14 +770,31 @@ fn submit_command(args: &[String]) -> Result<String, CliError> {
         Some(p) => Some(std::fs::File::create(p).map_err(CliError::Io)?),
         None => None,
     };
-    let outcome = client.submit(&spec, |line, _event| {
+    let mut on_event = |line: &str, _event: &Value| {
         if let Some(file) = &mut events_file {
             use std::io::Write;
             // Event-log writes are best-effort: losing the side log must
             // not abort a submission that is already streaming results.
             let _ = writeln!(file, "{line}");
         }
-    })?;
+    };
+    let mut attempt = 0u32;
+    let outcome = loop {
+        match client.submit_with_deadline(&spec, deadline_ms, &mut on_event) {
+            Ok(outcome) => break outcome,
+            Err(ServeError::Rejected { retry_after_ms })
+                if retry_ms.is_some() && attempt < BACKOFF_MAX_RETRIES =>
+            {
+                // Backpressure: honour the server's hint, but never back
+                // off *less* than the deterministic schedule.
+                let base = retry_ms.expect("guarded above");
+                let delay = backoff_delay_ms(base, attempt).max(retry_after_ms);
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+                attempt += 1;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
     Ok(outcome.suite_report.pretty())
 }
 
@@ -1276,7 +1377,7 @@ label 2 tails
         let value = serde::json::parse(&suite_out).unwrap();
         assert_eq!(
             value.get("schema").and_then(Value::as_str),
-            Some("imcis.suitereport/1")
+            Some("imcis.suitereport/2")
         );
         let reports = value.get("reports").and_then(Value::as_array).unwrap();
         assert_eq!(reports.len(), 2);
@@ -1288,11 +1389,14 @@ label 2 tails
             Some(2)
         );
 
-        // Member 0 of the suite matches the standalone run, timing aside.
+        // Member 0 of the suite matches the standalone run, timing
+        // aside; since suitereport/2 the entry wraps the report in a
+        // per-member status envelope.
         let mut single =
             serde::json::parse(&run(&args(&["run", spec_a.to_str().unwrap()])).unwrap()).unwrap();
         single.remove("timing");
-        assert_eq!(reports[0], single);
+        assert_eq!(reports[0].get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(reports[0].get("report"), Some(&single));
 
         // `imcis suite` over a file-referenced manifest (paths relative to
         // the manifest's directory) produces the identical stable report.
@@ -1363,14 +1467,29 @@ label 2 tails
         for bad in [
             vec!["submit"],
             vec!["submit", "--ping", "--shutdown"],
+            vec!["submit", "--ping", "--status"],
             vec!["submit", "a.json", "--ping"],
+            vec!["submit", "a.json", "--status"],
             vec!["submit", "--ping", "--events", "x.ndjson"],
             vec!["submit", "--shutdown", "--events", "x.ndjson"],
+            vec!["submit", "--status", "--deadline-ms", "100"],
+            vec!["submit", "a.json", "--deadline-ms", "0"],
         ] {
             assert!(
                 matches!(run(&args(&bad)), Err(CliError::Usage(_))),
                 "{bad:?}"
             );
+        }
+        // --retry-ms 0 was the old "single attempt" spelling; under
+        // capped exponential backoff it would be a busy-loop, so it is a
+        // pinned usage error now.
+        let err = run(&args(&["submit", "a.json", "--retry-ms", "0"])).unwrap_err();
+        match err {
+            CliError::Usage(msg) => assert!(
+                msg.contains("--retry-ms 0 would retry without backing off"),
+                "{msg}"
+            ),
+            other => panic!("expected a usage error, got {other}"),
         }
         // A missing manifest is knowable instantly — reported before the
         // --retry-ms connection loop could stall on it.
@@ -1397,6 +1516,32 @@ label 2 tails
         .unwrap_err();
         assert!(matches!(err, CliError::Serve(_)), "{err}");
         assert!(started.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_capped_and_jittered() {
+        // Deterministic: the jitter comes from a seeded stream, not a
+        // clock, so the schedule is a pure function of (base, attempt).
+        for attempt in 0..BACKOFF_MAX_RETRIES {
+            assert_eq!(backoff_delay_ms(50, attempt), backoff_delay_ms(50, attempt));
+        }
+        // Exponential base: the un-jittered delay doubles per attempt
+        // until the cap, and jitter stays within +/-25% of that.
+        for (attempt, nominal) in [(0u32, 50u64), (1, 100), (2, 200), (3, 400), (4, 800)] {
+            let delay = backoff_delay_ms(50, attempt);
+            assert!(
+                delay >= nominal - nominal / 4 && delay <= nominal + nominal / 4,
+                "attempt {attempt}: {delay} outside +/-25% of {nominal}"
+            );
+        }
+        // Capped: far into the schedule the delay never exceeds the cap
+        // plus its jitter band, regardless of the base.
+        for attempt in 7..10 {
+            assert!(backoff_delay_ms(4_000, attempt) <= BACKOFF_CAP_MS + BACKOFF_CAP_MS / 4);
+        }
+        // A zero base cannot produce a zero (busy-loop) delay even if it
+        // slips past the flag validation.
+        assert!(backoff_delay_ms(0, 0) >= 1);
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Deterministic fault injection for the suite and serving layers.
+//!
+//! A [`FaultPlan`] is an optional `fault` block in a
+//! [`SuiteSpec`](crate::SuiteSpec) manifest: a list of member-indexed
+//! injections — a panic, artificial latency, or a transient I/O error —
+//! applied when that member session runs. Injection is **deterministic**:
+//! every injected failure message embeds the member's *fault point*,
+//! [`stream_seed`]`(fault_seed, member_index)` — the same Weyl-step +
+//! splitmix64-avalanche derivation the engines use for RNG streams — so
+//! a failure-path `SuiteReport` is as bit-reproducible as a clean one,
+//! at every thread and worker count.
+//!
+//! Fault injection is a test-harness feature, not a production one: a
+//! suite carrying a `fault` block is refused unless the process runs
+//! with `IMCIS_FAULT_INJECTION=1` ([`enabled`]). The plan travels in the
+//! manifest (strict, canonical JSON like every other block), so the
+//! daemon and the batch path inject identically and their failure
+//! reports stay byte-identical.
+
+use std::fmt;
+
+use imc_sim::stream_seed;
+use serde::json::Value;
+
+use crate::spec::{schema_err, Fields, SpecError};
+
+/// The environment variable gating fault injection. Suites carrying a
+/// `fault` block are refused unless it is set to `1`.
+pub const FAULT_ENV: &str = "IMCIS_FAULT_INJECTION";
+
+/// `true` when the process opted into fault injection
+/// (`IMCIS_FAULT_INJECTION=1`).
+pub fn enabled() -> bool {
+    std::env::var_os(FAULT_ENV).is_some_and(|v| v == "1")
+}
+
+/// What to inject when the targeted member runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the member session (exercises `catch_unwind`
+    /// supervision: the worker must survive and report a typed
+    /// `panic` member entry).
+    Panic,
+    /// Sleep for `delay_ms` before running the member normally (drives
+    /// deadline/backpressure tests; the member's report is unchanged).
+    Delay {
+        /// Artificial latency in milliseconds.
+        delay_ms: u64,
+    },
+    /// Fail the member with a transient-I/O-shaped error (typed `error`
+    /// member entry; nothing runs).
+    IoError,
+}
+
+impl FaultKind {
+    /// The wire/manifest name of this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Delay { .. } => "delay",
+            FaultKind::IoError => "io-error",
+        }
+    }
+}
+
+/// One injection: a member index plus what to do to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Manifest index of the targeted member.
+    pub member: usize,
+    /// The injected fault.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault-injection plan: seeded, member-indexed
+/// injections. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Base seed for the fault-point derivation
+    /// ([`FaultPlan::fault_point`]).
+    pub seed: u64,
+    /// The injections, at most one per member (validated).
+    pub injections: Vec<FaultRule>,
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault plan (seed {}, {} injections)",
+            self.seed,
+            self.injections.len()
+        )
+    }
+}
+
+impl FaultPlan {
+    /// The injection targeting `member`, if any.
+    pub fn rule_for(&self, member: usize) -> Option<&FaultRule> {
+        self.injections.iter().find(|r| r.member == member)
+    }
+
+    /// The deterministic fault point for `member`:
+    /// [`stream_seed`]`(seed, member)`. Every injected failure message
+    /// embeds it, so failure reports are pure functions of
+    /// `(plan, member index)`.
+    pub fn fault_point(&self, member: usize) -> u64 {
+        stream_seed(self.seed, member as u64)
+    }
+
+    /// The message an injected panic carries (embedded in the typed
+    /// member entry by the supervisor that catches it).
+    pub fn panic_message(&self, member: usize) -> String {
+        format!(
+            "injected panic (fault point {:#018x})",
+            self.fault_point(member)
+        )
+    }
+
+    /// The message an injected transient I/O error carries.
+    pub fn io_error_message(&self, member: usize) -> String {
+        format!(
+            "injected transient i/o error (fault point {:#018x})",
+            self.fault_point(member)
+        )
+    }
+
+    /// Parses the strict `fault` block of a suite manifest. Member
+    /// indices are range-checked later by
+    /// [`SuiteSpec::validate`](crate::SuiteSpec::validate), which knows
+    /// the member count.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Schema`] on unknown keys, missing fields, a
+    /// non-positive `delay_ms`, a `delay_ms` on a non-delay kind, an
+    /// empty injection list, or duplicate member targets.
+    pub fn from_json(value: &Value) -> Result<Self, SpecError> {
+        let fields = Fields::new(value, "suite.fault")?;
+        fields.allow(&["seed", "injections"])?;
+        let seed = fields.u64_or("seed", 0)?;
+        let entries = fields
+            .require("injections")?
+            .as_array()
+            .ok_or_else(|| schema_err("`suite.fault.injections` must be an array"))?;
+        if entries.is_empty() {
+            return Err(schema_err(
+                "`suite.fault.injections` must contain at least one injection \
+                 (drop the `fault` block for a clean run)",
+            ));
+        }
+        let mut injections = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            injections.push(parse_injection(entry, i)?);
+        }
+        for (i, rule) in injections.iter().enumerate() {
+            if injections[..i].iter().any(|r| r.member == rule.member) {
+                return Err(schema_err(format!(
+                    "`suite.fault.injections[{i}]` targets member {} twice",
+                    rule.member
+                )));
+            }
+        }
+        Ok(FaultPlan { seed, injections })
+    }
+
+    /// The canonical JSON form (`delay_ms` present exactly on `delay`
+    /// injections); byte-identical across parse/serialize round trips.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("seed".into(), Value::UInt(self.seed)),
+            (
+                "injections".into(),
+                Value::Array(
+                    self.injections
+                        .iter()
+                        .map(|rule| {
+                            let mut pairs = vec![
+                                ("member".to_string(), Value::UInt(rule.member as u64)),
+                                ("kind".to_string(), Value::Str(rule.kind.name().into())),
+                            ];
+                            if let FaultKind::Delay { delay_ms } = rule.kind {
+                                pairs.push(("delay_ms".to_string(), Value::UInt(delay_ms)));
+                            }
+                            Value::Object(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn parse_injection(entry: &Value, index: usize) -> Result<FaultRule, SpecError> {
+    let context = |msg: String| schema_err(format!("`suite.fault.injections[{index}]`: {msg}"));
+    let fields = Fields::new(entry, "suite.fault.injections[..]")
+        .map_err(|_| context("must be a JSON object".into()))?;
+    fields
+        .allow(&["member", "kind", "delay_ms"])
+        .map_err(|e| context(e.to_string()))?;
+    let member = fields
+        .require("member")
+        .ok()
+        .and_then(Value::as_usize)
+        .ok_or_else(|| context("`member` must be an unsigned member index".into()))?;
+    let kind = fields
+        .require("kind")
+        .ok()
+        .and_then(Value::as_str)
+        .ok_or_else(|| context("`kind` must be a string (panic | delay | io-error)".into()))?;
+    let delay_ms = fields.opt("delay_ms");
+    let kind = match kind {
+        "panic" | "io-error" => {
+            if delay_ms.is_some() {
+                return Err(context("`delay_ms` only applies to kind `delay`".into()));
+            }
+            if kind == "panic" {
+                FaultKind::Panic
+            } else {
+                FaultKind::IoError
+            }
+        }
+        "delay" => {
+            let delay_ms = delay_ms
+                .and_then(Value::as_u64)
+                .ok_or_else(|| context("kind `delay` needs an unsigned `delay_ms`".into()))?;
+            if delay_ms == 0 {
+                return Err(context("`delay_ms` must be positive".into()));
+            }
+            FaultKind::Delay { delay_ms }
+        }
+        other => {
+            return Err(context(format!(
+                "unknown kind `{other}` (panic | delay | io-error)"
+            )))
+        }
+    };
+    Ok(FaultRule { member, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::json;
+
+    fn parse(text: &str) -> Result<FaultPlan, SpecError> {
+        FaultPlan::from_json(&json::parse(text).unwrap())
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let plan = parse(
+            r#"{"seed": 7, "injections": [
+                {"member": 1, "kind": "panic"},
+                {"member": 2, "kind": "delay", "delay_ms": 250},
+                {"member": 0, "kind": "io-error"}
+            ]}"#,
+        )
+        .unwrap();
+        let text = plan.to_json().pretty();
+        let reparsed = FaultPlan::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(reparsed, plan);
+        assert_eq!(reparsed.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn fault_points_use_the_stream_seed_derivation() {
+        let plan = parse(r#"{"seed": 9, "injections": [{"member": 3, "kind": "panic"}]}"#).unwrap();
+        assert_eq!(plan.fault_point(3), stream_seed(9, 3));
+        // The messages embed the point, so failure output is pinned.
+        assert_eq!(
+            plan.panic_message(3),
+            format!("injected panic (fault point {:#018x})", stream_seed(9, 3))
+        );
+    }
+
+    #[test]
+    fn strict_parsing_rejects_malformed_blocks() {
+        for (text, needle) in [
+            (r#"{"injections": []}"#, "at least one injection"),
+            (r#"{"seed": 1}"#, "missing"),
+            (
+                r#"{"seed": 1, "wat": 2, "injections": [{"member": 0, "kind": "panic"}]}"#,
+                "unknown key `wat`",
+            ),
+            (
+                r#"{"injections": [{"member": 0, "kind": "teleport"}]}"#,
+                "unknown kind `teleport`",
+            ),
+            (
+                r#"{"injections": [{"member": 0, "kind": "delay"}]}"#,
+                "needs an unsigned `delay_ms`",
+            ),
+            (
+                r#"{"injections": [{"member": 0, "kind": "delay", "delay_ms": 0}]}"#,
+                "`delay_ms` must be positive",
+            ),
+            (
+                r#"{"injections": [{"member": 0, "kind": "panic", "delay_ms": 5}]}"#,
+                "only applies to kind `delay`",
+            ),
+            (
+                r#"{"injections": [{"member": 0, "kind": "panic"}, {"member": 0, "kind": "io-error"}]}"#,
+                "targets member 0 twice",
+            ),
+        ] {
+            let err = parse(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text}: {err}");
+        }
+    }
+}

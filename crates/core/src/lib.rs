@@ -36,8 +36,12 @@
 //!    reference `γ` values split into `coverage_gamma_hat` (the learnt
 //!    centre's exact `γ(Â)`) and `coverage_gamma_true` (the true
 //!    system's `γ`), and timing — serializable to schema-stable JSON
-//!    (`imcis.report/2`, `imcis.suitereport/1`); `timing` is the only
-//!    volatile field and the `to_json_stable` forms omit it.
+//!    (`imcis.report/2`, `imcis.suitereport/2`); `timing` is the only
+//!    volatile field and the `to_json_stable` forms omit it. Suite
+//!    members are supervised: a panicking or erroring member becomes a
+//!    typed, manifest-ordered [`MemberOutcome`] entry instead of taking
+//!    the suite down ([`fault`] provides the deterministic
+//!    fault-injection harness that proves it).
 //!
 //! # Determinism contract
 //!
@@ -57,16 +61,19 @@
 //!
 //! On top of the suite layer sits [`serve`]: a `std`-only TCP daemon
 //! (`imcis serve`) that accepts suite manifests over a newline-delimited
-//! JSON protocol (`imcis.wire/1`), schedules member sessions across a
-//! persistent worker pool fed by a bounded queue, shares one
-//! process-wide [`SetupCache`] across jobs and clients, and streams
-//! `member_report` events as sessions complete — tagged `(job_id,
-//! member_index)` so clients reassemble manifest order from completion
-//! order — followed by the terminal `suite_report`. The embedded
-//! payloads are the stable JSON forms, so a daemon-served suite is
-//! byte-identical to `imcis suite` at every worker count; timing travels
-//! only in event envelopes. See the [`serve`] module docs for the
-//! protocol and `docs/FORMATS.md` for the normative schema reference.
+//! JSON protocol (`imcis.wire/2`), schedules member sessions across a
+//! persistent *supervised* worker pool fed by a bounded queue, shares
+//! one process-wide [`SetupCache`] across jobs and clients, and streams
+//! `member_report` / `member_error` events as sessions complete — tagged
+//! `(job_id, member_index)` so clients reassemble manifest order from
+//! completion order — followed by the terminal `suite_report`. Jobs can
+//! carry deadlines, be cancelled at member boundaries, and a full queue
+//! answers `rejected {retry_after_ms}` instead of blocking the accept
+//! loop. The embedded payloads are the stable JSON forms, so a
+//! daemon-served suite is byte-identical to `imcis suite` at every
+//! worker count; timing travels only in event envelopes. See the
+//! [`serve`] module docs for the protocol and `docs/FORMATS.md` for the
+//! normative schema reference.
 //!
 //! The CLI (`imcis run <spec.json>`, `imcis suite <suite.json>`,
 //! `imcis serve` / `imcis submit`), the benchmark binaries and the
@@ -131,7 +138,7 @@
 //! let suite = Suite::from_spec(suite)?;
 //! assert_eq!(suite.unique_setups(), 1); // one shared illustrative build
 //! let report = suite.run()?;
-//! assert_eq!(report.reports.len(), 2);
+//! assert_eq!(report.members.len(), 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -141,6 +148,7 @@
 
 mod algorithm;
 pub mod experiment;
+pub mod fault;
 pub mod report;
 pub mod serve;
 pub mod session;
@@ -150,8 +158,11 @@ pub mod suite;
 #[allow(deprecated)]
 pub use algorithm::{imcis, standard_is};
 pub use algorithm::{ImcisConfig, ImcisError, ImcisOutcome, IsOutcome};
+pub use fault::{FaultKind, FaultPlan, FaultRule, FAULT_ENV};
 pub use report::{validate_report_json, Repetition, Report, Timing, REPORT_SCHEMA};
-pub use serve::{Client, ServeConfig, ServeError, Server, SubmitOutcome, WIRE_SCHEMA};
+pub use serve::{
+    Client, ServeConfig, ServeError, Server, ServerStatus, SubmitOutcome, WIRE_SCHEMA,
+};
 pub use session::{
     estimator_for, Estimator, MethodOutcome, OutcomeDetail, RunContext, Session, SessionError,
 };
@@ -160,8 +171,8 @@ pub use spec::{
     RUNSPEC_SCHEMA,
 };
 pub use suite::{
-    validate_suite_report_json, SetupCache, Suite, SuiteReport, SuiteSpec, SUITEREPORT_SCHEMA,
-    SUITESPEC_SCHEMA,
+    validate_suite_report_json, MemberOutcome, MemberStatus, SetupCache, Suite, SuiteReport,
+    SuiteSpec, SUITEREPORT_SCHEMA, SUITESPEC_SCHEMA,
 };
 // Re-exported so pipeline callers can pick a search engine without a
 // direct `imc_optim` dependency.

@@ -3,31 +3,42 @@
 //!
 //! [`Server`] turns the batch suite layer into a front end: clients
 //! connect over plain TCP, `submit` a suite manifest, and receive the
-//! member [`Report`]s as newline-delimited JSON events while the suite is
+//! member outcomes as newline-delimited JSON events while the suite is
 //! still running, followed by the complete [`SuiteReport`]. A persistent
-//! worker pool executes member sessions from a bounded job queue, and
-//! every job resolves scenarios through one process-wide [`SetupCache`]
-//! — so repeated scenarios never rebuild their `Setup`, even across
-//! clients and jobs (the expensive step for the 40320-state `repair`
-//! model and the learned `swat` models).
+//! **supervised** worker pool executes member sessions from a bounded
+//! job queue, and every job resolves scenarios through one process-wide
+//! [`SetupCache`] — so repeated scenarios never rebuild their `Setup`,
+//! even across clients and jobs (the expensive step for the
+//! 40320-state `repair` model and the learned `swat` models).
 //!
 //! Everything here is `std`-only ([`std::net`] + [`std::thread`]),
 //! consistent with the workspace's vendored-shim policy: no async
 //! runtime, no registry access.
 //!
-//! # The wire protocol (`imcis.wire/1`)
+//! # The wire protocol (`imcis.wire/2`)
 //!
 //! Both directions speak **newline-delimited JSON**: every message is one
-//! compact JSON object on one line, tagged `"wire": "imcis.wire/1"` and
+//! compact JSON object on one line, tagged `"wire": "imcis.wire/2"` and
 //! `"type": ...`. The full field-by-field reference lives in
 //! `docs/FORMATS.md`; in short:
 //!
 //! **Requests** (client → server):
 //!
-//! * `{"wire": "imcis.wire/1", "type": "submit", "suite": {...}}` —
+//! * `{"wire": "imcis.wire/2", "type": "submit", "suite": {...}}` —
 //!   execute an embedded `imcis.suitespec/1` manifest. A server-side
 //!   path may be used instead of an embedded object:
-//!   `{"type": "submit", "file": "specs/suite.json"}`.
+//!   `{"type": "submit", "file": "specs/suite.json"}`. An optional
+//!   positive `deadline_ms` bounds the job: members not yet started
+//!   when the deadline passes are reported as typed `timeout` member
+//!   errors (running members always finish — deadlines are enforced at
+//!   member boundaries).
+//! * `{"type": "cancel", "job_id": N}` — cancel an active job at the
+//!   next member boundary (usually sent on a second connection while
+//!   the first streams). Acknowledged with `cancelled`; members not yet
+//!   started become typed `cancelled` member errors.
+//! * `{"type": "status"}` — load snapshot, answered with a `status`
+//!   event (queue depth/capacity, active jobs, workers, cache size,
+//!   uptime).
 //! * `{"type": "ping"}` — liveness probe, answered with `pong`.
 //! * `{"type": "shutdown"}` — stop accepting connections, drain active
 //!   jobs, exit.
@@ -42,16 +53,42 @@
 //!   member_index)` plus the member's **stable** report JSON
 //!   (`imcis.report/2`, no `timing`). Events arrive in *completion*
 //!   order; the index lets the client reassemble manifest order.
-//! * `suite_report` — terminal: the assembled `imcis.suitereport/1`
-//!   stable JSON, byte-identical to what `imcis suite` computes for the
-//!   same manifest.
-//! * `error` — a wire/spec/session failure (`error` names the class,
-//!   `message` carries the pinned human-readable text). Spec errors keep
-//!   the connection open; the client may submit again.
+//! * `member_error` — one member failed: `(job_id, member_index)` plus
+//!   the typed `status` (`error` | `panic` | `timeout` | `cancelled`)
+//!   and its deterministic `message`. The job keeps going — a failing
+//!   member never takes its suite (or a worker) down.
+//! * `suite_report` — terminal: the assembled `imcis.suitereport/2`
+//!   stable JSON (member outcomes embedded, failures included),
+//!   byte-identical to what `imcis suite` computes for the same
+//!   manifest.
+//! * `rejected` — the bounded queue is full: carries `retry_after_ms`.
+//!   The job was **not** enqueued; back off and resubmit (the `imcis
+//!   submit` client does capped exponential backoff automatically).
+//! * `cancelled` — acknowledges a `cancel` request for an active job.
+//! * `status` — answers a `status` request.
+//! * `error` — a wire/spec/session/queue failure (`error` names the
+//!   class, `message` carries the pinned human-readable text). Spec
+//!   errors keep the connection open; the client may submit again.
+//! * `pong` / `shutting_down` — answers to `ping` / `shutdown`;
+//!   `shutting_down` lists in-flight job dispositions (`jobs`: id,
+//!   member count, members done so far — those jobs still drain to
+//!   completion).
 //!
 //! Timing is the only volatile data and travels **in event envelopes
 //! only** (`elapsed_ms`): the embedded report payloads are the stable
 //! forms, so the determinism contract survives the network hop.
+//!
+//! # Supervision and degradation
+//!
+//! Member sessions run under `catch_unwind`
+//! ([`run_member_supervised`](crate::suite)): a panicking member becomes
+//! a typed `member_error` event and a `status: "panic"` entry in the
+//! suite report — the worker survives and the [`SetupCache`] stays warm.
+//! Transient `accept()` and write failures are survived; reads carry a
+//! poll deadline so a stalled client can never pin the shutdown drain.
+//! The deterministic fault-injection harness ([`crate::fault`], gated
+//! behind `IMCIS_FAULT_INJECTION=1`) exists to prove all of this
+//! reproducibly — see `tests/fault.rs`.
 //!
 //! # Determinism contract
 //!
@@ -60,7 +97,8 @@
 //! seed-deterministic and thread-count invariant, and the worker count
 //! only steers wall-clock. The `suite_report` payload is therefore
 //! **byte-identical to `imcis suite <manifest>`'s stable output at every
-//! worker count** (pinned by `tests/serve.rs` at {1, 2, 8}).
+//! worker count** (pinned by `tests/serve.rs` at {1, 2, 8}) — including
+//! suites with injected faults (pinned by `tests/fault.rs`).
 //!
 //! # Example
 //!
@@ -90,7 +128,7 @@
 //!     .parse()?;
 //! let mut client = Client::connect(addr)?;
 //! let outcome = client.submit(&suite, |_line, _event| {})?;
-//! assert_eq!(outcome.member_reports.len(), 2);
+//! assert_eq!(outcome.members.len(), 2);
 //! // One illustrative build serves both members.
 //! assert_eq!(outcome.setups_built, 1);
 //!
@@ -103,20 +141,31 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use imc_models::ScenarioRegistry;
 use serde::json::{self, Value};
 
-use crate::report::{Report, Timing};
-use crate::session::{Session, SessionError};
-use crate::suite::{SetupCache, Suite, SuiteReport, SuiteSpec};
+use crate::fault::FaultPlan;
+use crate::report::Timing;
+use crate::session::Session;
+use crate::suite::{
+    run_member_supervised, MemberOutcome, MemberStatus, SetupCache, Suite, SuiteReport, SuiteSpec,
+};
 
 /// Schema tag carried by every wire message, both directions.
-pub const WIRE_SCHEMA: &str = "imcis.wire/1";
+pub const WIRE_SCHEMA: &str = "imcis.wire/2";
+
+/// The backoff hint a `rejected` event carries when the queue is full.
+pub const RETRY_AFTER_MS: u64 = 100;
+
+/// Poll interval for connection reads: a handler blocked on a silent
+/// client re-checks the shutdown flag this often, so a stalled client
+/// can never pin the drain.
+const READ_POLL_MS: u64 = 200;
 
 /// Everything that can go wrong while serving or talking to a server.
 #[derive(Debug)]
@@ -134,6 +183,12 @@ pub enum ServeError {
         /// Human-readable message (pinned by the failure-path tests).
         message: String,
     },
+    /// The server's queue was full and the job was not enqueued;
+    /// resubmit after the hinted backoff.
+    Rejected {
+        /// Server-suggested minimum backoff before resubmitting.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -143,6 +198,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Protocol(msg) => write!(f, "wire protocol violation: {msg}"),
             ServeError::Remote { error, message } => {
                 write!(f, "server reported {error} error: {message}")
+            }
+            ServeError::Rejected { retry_after_ms } => {
+                write!(f, "server queue is full (retry after {retry_after_ms} ms)")
             }
         }
     }
@@ -165,8 +223,10 @@ pub struct ServeConfig {
     /// (`0` = all cores). Scheduling only — results are byte-identical
     /// at every count.
     pub workers: usize,
-    /// Bounded member-task queue capacity; submissions beyond it block
-    /// the submitting connection (backpressure), never the workers.
+    /// Bounded member-task queue capacity. A submit whose members do not
+    /// fit the remaining capacity is answered with `rejected
+    /// {retry_after_ms}` — backpressure is explicit, never a blocked
+    /// connection.
     pub queue: usize,
 }
 
@@ -180,19 +240,61 @@ impl Default for ServeConfig {
     }
 }
 
+/// Cancellation/deadline state shared between one job's submitter, the
+/// workers running its members, and `cancel`/`status`/`shutdown`
+/// handlers on other connections.
+struct JobControl {
+    job_id: u64,
+    cancelled: AtomicBool,
+    /// Absolute member-start cutoff, measured from request receipt.
+    deadline: Option<Instant>,
+    /// The requested bound, kept for the deterministic timeout message.
+    deadline_ms: Option<u64>,
+    members_total: usize,
+    members_done: AtomicUsize,
+}
+
+impl JobControl {
+    /// The typed disposition a member gets *instead of running* when its
+    /// job was cancelled or its deadline has passed — `None` means run
+    /// it. Checked at member start only: running members always finish.
+    fn skip_disposition(&self) -> Option<(MemberStatus, String)> {
+        if self.cancelled.load(Ordering::SeqCst) {
+            return Some((
+                MemberStatus::Cancelled,
+                "job cancelled by request".to_string(),
+            ));
+        }
+        if let (Some(deadline), Some(ms)) = (self.deadline, self.deadline_ms) {
+            if Instant::now() >= deadline {
+                return Some((
+                    MemberStatus::Timeout,
+                    format!("job deadline of {ms} ms exceeded"),
+                ));
+            }
+        }
+        None
+    }
+}
+
 /// One member session queued for the worker pool.
 struct MemberTask {
     member_index: usize,
     session: Arc<Session>,
     rep_threads: usize,
+    fault: Option<Arc<FaultPlan>>,
+    control: Arc<JobControl>,
+    /// The server-wide queue depth this task holds one reservation in;
+    /// released when the task finishes.
+    queue_depth: Arc<AtomicUsize>,
     reply: mpsc::Sender<MemberDone>,
 }
 
-/// A finished member session, routed back to the submitting connection.
+/// A finished member, routed back to the submitting connection.
 struct MemberDone {
     member_index: usize,
     elapsed_ms: f64,
-    result: Result<Report, SessionError>,
+    outcome: MemberOutcome,
 }
 
 /// State shared by the accept loop, connection handlers and workers.
@@ -209,11 +311,21 @@ struct ServerState {
     /// Repetition-fanout budget handed to each member session so the
     /// pool divides the machine instead of oversubscribing it.
     rep_threads: usize,
+    workers: usize,
+    started: Instant,
+    /// Enqueued-but-unfinished member tasks across all jobs. Submits
+    /// reserve their member count up front (or get `rejected`); workers
+    /// release one reservation per finished task.
+    queue_depth: Arc<AtomicUsize>,
+    queue_capacity: usize,
+    /// Active jobs, registration order — the `cancel`/`status`/
+    /// `shutdown` handlers' view of in-flight work.
+    jobs: Mutex<Vec<Arc<JobControl>>>,
     /// Open connections: `(id, read handle)`. The count drives the
     /// drain-on-shutdown wait; the handles let the drain read-shutdown
-    /// idle connections (a handler parked in `read_line` would otherwise
-    /// hold the drain forever, while handlers mid-job keep streaming —
-    /// write halves are untouched).
+    /// idle connections (the fast path — the read poll interval is the
+    /// backstop for connections the sweep misses), while handlers
+    /// mid-job keep streaming — write halves are untouched.
     connections: Mutex<Vec<(u64, TcpStream)>>,
     idle: Condvar,
 }
@@ -256,6 +368,49 @@ impl ServerState {
                 .expect("connection list poisoned");
         }
     }
+
+    fn register_job(&self, control: Arc<JobControl>) {
+        self.jobs.lock().expect("job list poisoned").push(control);
+    }
+
+    fn deregister_job(&self, job_id: u64) {
+        self.jobs
+            .lock()
+            .expect("job list poisoned")
+            .retain(|job| job.job_id != job_id);
+    }
+
+    /// Flags an active job for cancellation at its next member
+    /// boundary; `false` when no such job is active.
+    fn cancel_job(&self, job_id: u64) -> bool {
+        let jobs = self.jobs.lock().expect("job list poisoned");
+        match jobs.iter().find(|job| job.job_id == job_id) {
+            Some(job) => {
+                job.cancelled.store(true, Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The in-flight job dispositions reported by `shutting_down`.
+    fn job_dispositions(&self) -> Vec<Value> {
+        self.jobs
+            .lock()
+            .expect("job list poisoned")
+            .iter()
+            .map(|job| {
+                Value::object([
+                    ("job_id".into(), Value::UInt(job.job_id)),
+                    ("members".into(), Value::UInt(job.members_total as u64)),
+                    (
+                        "members_done".into(),
+                        Value::UInt(job.members_done.load(Ordering::SeqCst) as u64),
+                    ),
+                ])
+            })
+            .collect()
+    }
 }
 
 /// The suite-serving daemon. See the [module docs](self) for the wire
@@ -280,6 +435,7 @@ impl Server {
             .map_err(|e| ServeError::Io(format!("cannot bind `{}`: {e}", config.addr)))?;
         let local_addr = listener.local_addr()?;
         let workers = imc_sim::parallel::resolve_threads(config.workers);
+        let queue_capacity = config.queue.max(1);
         let state = Arc::new(ServerState {
             registry: ScenarioRegistry::builtin(),
             cache: Mutex::new(SetupCache::new()),
@@ -288,10 +444,17 @@ impl Server {
             shutdown: AtomicBool::new(false),
             local_addr,
             rep_threads: (imc_sim::parallel::available_threads() / workers).max(1),
+            workers,
+            started: Instant::now(),
+            queue_depth: Arc::new(AtomicUsize::new(0)),
+            queue_capacity,
+            jobs: Mutex::new(Vec::new()),
             connections: Mutex::new(Vec::new()),
             idle: Condvar::new(),
         });
-        let (tasks, task_rx) = mpsc::sync_channel::<MemberTask>(config.queue.max(1));
+        // The channel is as deep as the advertised capacity and submits
+        // reserve their members before sending, so `send` never blocks.
+        let (tasks, task_rx) = mpsc::sync_channel::<MemberTask>(queue_capacity);
         let task_rx = Arc::new(Mutex::new(task_rx));
         let pool = (0..workers)
             .map(|_| {
@@ -343,7 +506,7 @@ impl Server {
                         )));
                         break;
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    std::thread::sleep(Duration::from_millis(10));
                     continue;
                 }
             };
@@ -380,10 +543,12 @@ impl Server {
     }
 }
 
-/// A worker: pull one member task at a time, run it, route the result
-/// back to the submitting connection. Send failures mean the submitter
-/// disconnected mid-stream — the result is discarded and the worker
-/// lives on.
+/// A worker: pull one member task at a time, check its job's
+/// cancellation/deadline disposition, run it **supervised**, route the
+/// outcome back to the submitting connection. A panicking member is
+/// caught inside [`run_member_supervised`] — the worker survives every
+/// member. Send failures mean the submitter disconnected mid-stream —
+/// the outcome is discarded and the worker lives on.
 fn worker_loop(tasks: &Mutex<Receiver<MemberTask>>) {
     loop {
         let task = {
@@ -394,11 +559,21 @@ fn worker_loop(tasks: &Mutex<Receiver<MemberTask>>) {
             return; // all senders gone: server shut down
         };
         let clock = Instant::now();
-        let result = task.session.run_with_rep_threads(task.rep_threads);
+        let outcome = match task.control.skip_disposition() {
+            Some((status, message)) => MemberOutcome::Failed { status, message },
+            None => run_member_supervised(
+                &task.session,
+                task.rep_threads,
+                task.fault.as_deref(),
+                task.member_index,
+            ),
+        };
+        task.control.members_done.fetch_add(1, Ordering::SeqCst);
+        task.queue_depth.fetch_sub(1, Ordering::SeqCst);
         let _ = task.reply.send(MemberDone {
             member_index: task.member_index,
             elapsed_ms: clock.elapsed().as_secs_f64() * 1e3,
-            result,
+            outcome,
         });
     }
 }
@@ -406,8 +581,20 @@ fn worker_loop(tasks: &Mutex<Receiver<MemberTask>>) {
 /// A parsed wire request.
 #[derive(Debug)]
 pub enum Request {
-    /// Execute a suite manifest.
-    Submit(SuiteSpec),
+    /// Execute a suite manifest, optionally bounded by a deadline.
+    Submit {
+        /// The validated manifest.
+        spec: SuiteSpec,
+        /// Optional member-start cutoff in milliseconds from receipt.
+        deadline_ms: Option<u64>,
+    },
+    /// Cancel an active job at its next member boundary.
+    Cancel {
+        /// The job to cancel (from its `accepted` event).
+        job_id: u64,
+    },
+    /// Load snapshot request.
+    Status,
     /// Liveness probe.
     Ping,
     /// Stop the server after draining active jobs.
@@ -445,13 +632,41 @@ pub fn parse_request(value: &Value) -> Result<Request, (String, String)> {
     match kind {
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
-        "submit" => {
+        "status" => Ok(Request::Status),
+        "cancel" => {
             if let Some((key, _)) = pairs
                 .iter()
-                .find(|(k, _)| !matches!(k.as_str(), "wire" | "type" | "suite" | "file"))
+                .find(|(k, _)| !matches!(k.as_str(), "wire" | "type" | "job_id"))
             {
+                return Err(wire_err(format!("unknown cancel key `{key}`")));
+            }
+            let job_id = value
+                .get("job_id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| wire_err("cancel needs an unsigned `job_id`".into()))?;
+            Ok(Request::Cancel { job_id })
+        }
+        "submit" => {
+            if let Some((key, _)) = pairs.iter().find(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "wire" | "type" | "suite" | "file" | "deadline_ms"
+                )
+            }) {
                 return Err(wire_err(format!("unknown submit key `{key}`")));
             }
+            let deadline_ms = match value.get("deadline_ms") {
+                None | Some(Value::Null) => None,
+                Some(v) => {
+                    let ms = v.as_u64().ok_or_else(|| {
+                        wire_err("`deadline_ms` must be an unsigned integer".into())
+                    })?;
+                    if ms == 0 {
+                        return Err(wire_err("`deadline_ms` must be positive".into()));
+                    }
+                    Some(ms)
+                }
+            };
             let spec = match (value.get("suite"), value.get("file")) {
                 (Some(suite), None) => SuiteSpec::from_json_with_base(suite, None)
                     .map_err(|e| ("spec".to_string(), e.to_string()))?,
@@ -469,10 +684,10 @@ pub fn parse_request(value: &Value) -> Result<Request, (String, String)> {
                     ))
                 }
             };
-            Ok(Request::Submit(spec))
+            Ok(Request::Submit { spec, deadline_ms })
         }
         other => Err(wire_err(format!(
-            "unknown request type `{other}` (submit | ping | shutdown)"
+            "unknown request type `{other}` (submit | cancel | status | ping | shutdown)"
         ))),
     }
 }
@@ -513,23 +728,59 @@ fn wake_addr(local: SocketAddr) -> SocketAddr {
     addr
 }
 
+/// Reads one request line under the connection's poll deadline. Retries
+/// timeouts **without clearing** `line` — `read_line` may already have
+/// buffered a partial line, and clearing would drop those bytes —
+/// re-checking the shutdown flag on every poll. Returns `false` when
+/// the connection should close (EOF, hard error, or shutdown).
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    state: &ServerState,
+    line: &mut String,
+) -> bool {
+    line.clear();
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return false,
+            Ok(_) => return true,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
 /// Serves one connection: a loop of requests, each answered by one or
-/// more events. Returns when the client disconnects or after handling
-/// `shutdown`.
+/// more events. Returns when the client disconnects, the shutdown drain
+/// begins, or after handling `shutdown`.
 fn handle_connection(stream: TcpStream, state: &ServerState, tasks: &SyncSender<MemberTask>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // A finite read timeout turns a blocked reader into a poll: a client
+    // that connects and never sends a line cannot delay the shutdown
+    // drain (the drain's read-shutdown sweep is the fast path; this is
+    // the backstop for connections the sweep misses).
+    let _ = read_half.set_read_timeout(Some(Duration::from_millis(READ_POLL_MS)));
     let mut writer = stream;
-    let reader = BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else {
-            return; // connection torn down mid-line
-        };
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        if !read_request_line(&mut reader, state, &mut line) {
+            return;
+        }
         if line.trim().is_empty() {
             continue;
         }
-        let request = match json::parse(&line) {
+        let request = match json::parse(line.trim_end()) {
             Ok(value) => parse_request(&value),
             Err(e) => Err((
                 "wire".to_string(),
@@ -541,16 +792,55 @@ fn handle_connection(stream: TcpStream, state: &ServerState, tasks: &SyncSender<
                 .write_all(error_event(&class, &message).as_bytes())
                 .is_ok(),
             Ok(Request::Ping) => writer.write_all(event("pong", []).as_bytes()).is_ok(),
+            Ok(Request::Status) => {
+                let cache_size = state.cache.lock().expect("setup cache poisoned").len();
+                let active_jobs = state.jobs.lock().expect("job list poisoned").len();
+                let line = event(
+                    "status",
+                    [
+                        (
+                            "queue_depth".to_string(),
+                            Value::UInt(state.queue_depth.load(Ordering::SeqCst) as u64),
+                        ),
+                        (
+                            "queue_capacity".to_string(),
+                            Value::UInt(state.queue_capacity as u64),
+                        ),
+                        ("active_jobs".to_string(), Value::UInt(active_jobs as u64)),
+                        ("workers".to_string(), Value::UInt(state.workers as u64)),
+                        ("cache_size".to_string(), Value::UInt(cache_size as u64)),
+                        (
+                            "uptime_ms".to_string(),
+                            Value::UInt(state.started.elapsed().as_millis() as u64),
+                        ),
+                    ],
+                );
+                writer.write_all(line.as_bytes()).is_ok()
+            }
+            Ok(Request::Cancel { job_id }) => {
+                let line = if state.cancel_job(job_id) {
+                    event("cancelled", [("job_id".to_string(), Value::UInt(job_id))])
+                } else {
+                    error_event("queue", &format!("job {job_id} is not active"))
+                };
+                writer.write_all(line.as_bytes()).is_ok()
+            }
             Ok(Request::Shutdown) => {
                 state.shutdown.store(true, Ordering::SeqCst);
-                let _ = writer.write_all(event("shutting_down", []).as_bytes());
+                let line = event(
+                    "shutting_down",
+                    [("jobs".to_string(), Value::Array(state.job_dispositions()))],
+                );
+                let _ = writer.write_all(line.as_bytes());
                 // Wake the accept loop so it observes the flag. A
                 // wildcard bind (0.0.0.0/::) is not a connectable
                 // destination everywhere, so aim at loopback instead.
                 let _ = TcpStream::connect(wake_addr(state.local_addr));
                 false
             }
-            Ok(Request::Submit(spec)) => run_job(&spec, &mut writer, state, tasks),
+            Ok(Request::Submit { spec, deadline_ms }) => {
+                run_job(&spec, deadline_ms, &mut writer, state, tasks)
+            }
         };
         if !keep_going {
             return;
@@ -559,11 +849,13 @@ fn handle_connection(stream: TcpStream, state: &ServerState, tasks: &SyncSender<
 }
 
 /// Executes one submitted suite: resolve through the shared cache,
-/// enqueue member tasks, stream events as members complete, emit the
-/// terminal report. Returns `false` when the client vanished and the
-/// connection should be dropped.
+/// reserve queue capacity (or reject), enqueue member tasks, stream
+/// events as members complete, emit the terminal report. Returns
+/// `false` when the client vanished and the connection should be
+/// dropped.
 fn run_job(
     spec: &SuiteSpec,
+    deadline_ms: Option<u64>,
     writer: &mut TcpStream,
     state: &ServerState,
     tasks: &SyncSender<MemberTask>,
@@ -585,101 +877,154 @@ fn run_job(
         };
         (suite, cache.len())
     };
-    let sessions = suite.sessions();
-    let setups_built = suite.unique_setups();
+    let members = suite.sessions().len();
+    // Backpressure: reserve every member's queue slot up front. A full
+    // queue answers `rejected` instead of parking the connection in a
+    // blocking `send`; an oversized suite can never fit and is a typed
+    // `queue` error.
+    if members > state.queue_capacity {
+        return writer
+            .write_all(
+                error_event(
+                    "queue",
+                    &format!(
+                        "suite has {members} members but the queue capacity is {}",
+                        state.queue_capacity
+                    ),
+                )
+                .as_bytes(),
+            )
+            .is_ok();
+    }
+    if state
+        .queue_depth
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |depth| {
+            (depth + members <= state.queue_capacity).then_some(depth + members)
+        })
+        .is_err()
+    {
+        let line = event(
+            "rejected",
+            [("retry_after_ms".to_string(), Value::UInt(RETRY_AFTER_MS))],
+        );
+        return writer.write_all(line.as_bytes()).is_ok();
+    }
     let job_id = state.next_job.fetch_add(1, Ordering::SeqCst);
+    let control = Arc::new(JobControl {
+        job_id,
+        cancelled: AtomicBool::new(false),
+        deadline: deadline_ms.map(|ms| started + Duration::from_millis(ms)),
+        deadline_ms,
+        members_total: members,
+        members_done: AtomicUsize::new(0),
+    });
+    state.register_job(Arc::clone(&control));
+    let alive = stream_job(
+        &suite, job_id, cache_size, &control, started, writer, state, tasks,
+    );
+    state.deregister_job(job_id);
+    alive
+}
+
+/// The streaming phase of [`run_job`]: `accepted`, member events in
+/// completion order, terminal `suite_report`. Queue reservations are
+/// already held; workers release them task by task.
+#[allow(clippy::too_many_arguments)]
+fn stream_job(
+    suite: &Suite,
+    job_id: u64,
+    cache_size: usize,
+    control: &Arc<JobControl>,
+    started: Instant,
+    writer: &mut TcpStream,
+    state: &ServerState,
+    tasks: &SyncSender<MemberTask>,
+) -> bool {
+    let sessions = suite.sessions();
+    let members = sessions.len();
     let accepted = event(
         "accepted",
         [
             ("job_id".to_string(), Value::UInt(job_id)),
-            ("members".to_string(), Value::UInt(sessions.len() as u64)),
-            ("setups_built".to_string(), Value::UInt(setups_built as u64)),
+            ("members".to_string(), Value::UInt(members as u64)),
+            (
+                "setups_built".to_string(),
+                Value::UInt(suite.unique_setups() as u64),
+            ),
             ("cache_size".to_string(), Value::UInt(cache_size as u64)),
         ],
     );
     if writer.write_all(accepted.as_bytes()).is_err() {
+        // Nothing was enqueued: hand the reservations back.
+        state.queue_depth.fetch_sub(members, Ordering::SeqCst);
         return false;
     }
-    // Enqueue into the bounded queue. `send` blocks when the queue is
-    // full — backpressure lands on the submitting connection, never on
-    // the pool (no task ever waits on another task, so this cannot
-    // deadlock).
+    let fault = suite.spec().fault.clone().map(Arc::new);
     let (reply, done_rx) = mpsc::channel::<MemberDone>();
     for (member_index, session) in sessions.iter().enumerate() {
         let task = MemberTask {
             member_index,
             session: Arc::clone(session),
             rep_threads: state.rep_threads,
+            fault: fault.clone(),
+            control: Arc::clone(control),
+            queue_depth: Arc::clone(&state.queue_depth),
             reply: reply.clone(),
         };
         if tasks.send(task).is_err() {
-            // Pool retired under us (server shutting down).
+            // Pool retired under us (server terminating); hand back the
+            // reservations that never reached the queue.
+            state
+                .queue_depth
+                .fetch_sub(members - member_index, Ordering::SeqCst);
             return writer
                 .write_all(error_event("queue", "server is shutting down").as_bytes())
                 .is_ok();
         }
     }
     drop(reply); // done_rx ends after the last member reports
-    let mut slots: Vec<Option<Report>> = (0..sessions.len()).map(|_| None).collect();
-    let mut per_run_ms = vec![0.0f64; sessions.len()];
-    let mut failure: Option<(usize, SessionError)> = None;
+    let mut slots: Vec<Option<MemberOutcome>> = (0..members).map(|_| None).collect();
+    let mut per_run_ms = vec![0.0f64; members];
     // If the client disconnects mid-stream we stop writing but keep
     // draining: the workers still hold reply senders for this job.
     let mut client_alive = true;
     for done in done_rx {
         per_run_ms[done.member_index] = done.elapsed_ms;
-        match done.result {
-            Ok(report) => {
-                if client_alive {
-                    let line = event(
-                        "member_report",
-                        [
-                            ("job_id".to_string(), Value::UInt(job_id)),
-                            (
-                                "member_index".to_string(),
-                                Value::UInt(done.member_index as u64),
-                            ),
-                            ("elapsed_ms".to_string(), Value::Float(done.elapsed_ms)),
-                            ("report".to_string(), report.to_json_stable()),
-                        ],
-                    );
-                    client_alive = writer.write_all(line.as_bytes()).is_ok();
-                }
-                slots[done.member_index] = Some(report);
-            }
-            Err(e) => {
-                // Keep the failure with the smallest member index, not
-                // the first to *complete*: `Suite::run` reports the
-                // first failure in manifest order, and the daemon must
-                // not let worker scheduling change which error a client
-                // sees ("scheduling, never semantics").
-                if failure
-                    .as_ref()
-                    .is_none_or(|(index, _)| done.member_index < *index)
-                {
-                    failure = Some((done.member_index, e));
-                }
-            }
+        if client_alive {
+            let line = match &done.outcome {
+                MemberOutcome::Ok(report) => event(
+                    "member_report",
+                    [
+                        ("job_id".to_string(), Value::UInt(job_id)),
+                        (
+                            "member_index".to_string(),
+                            Value::UInt(done.member_index as u64),
+                        ),
+                        ("elapsed_ms".to_string(), Value::Float(done.elapsed_ms)),
+                        ("report".to_string(), report.to_json_stable()),
+                    ],
+                ),
+                MemberOutcome::Failed { status, message } => event(
+                    "member_error",
+                    [
+                        ("job_id".to_string(), Value::UInt(job_id)),
+                        (
+                            "member_index".to_string(),
+                            Value::UInt(done.member_index as u64),
+                        ),
+                        ("elapsed_ms".to_string(), Value::Float(done.elapsed_ms)),
+                        ("status".to_string(), Value::Str(status.as_str().into())),
+                        ("message".to_string(), Value::Str(message.clone())),
+                    ],
+                ),
+            };
+            client_alive = writer.write_all(line.as_bytes()).is_ok();
         }
-    }
-    if !client_alive {
-        return false;
-    }
-    if let Some((member_index, e)) = failure {
-        let line = event(
-            "error",
-            [
-                ("error".to_string(), Value::Str("session".into())),
-                ("job_id".to_string(), Value::UInt(job_id)),
-                ("member_index".to_string(), Value::UInt(member_index as u64)),
-                ("message".to_string(), Value::Str(e.to_string())),
-            ],
-        );
-        return writer.write_all(line.as_bytes()).is_ok();
+        slots[done.member_index] = Some(done.outcome);
     }
     let report = SuiteReport {
         spec: suite.spec().clone(),
-        reports: slots
+        members: slots
             .into_iter()
             .map(|slot| slot.expect("every member reported"))
             .collect(),
@@ -688,6 +1033,9 @@ fn run_job(
             per_run_ms,
         },
     };
+    if !client_alive {
+        return false;
+    }
     let line = event(
         "suite_report",
         [
@@ -702,14 +1050,67 @@ fn run_job(
     writer.write_all(line.as_bytes()).is_ok()
 }
 
-/// Validates one server event value against the `imcis.wire/1` shape.
-/// Used by [`Client`] on every received event and by the format-reference
-/// tests on the documented examples.
-///
-/// # Errors
-///
-/// A human-readable description of the first violation.
-pub fn validate_event(value: &Value) -> Result<(), String> {
+/// A snapshot of daemon load, answered to a `status` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStatus {
+    /// Enqueued-but-unfinished member tasks across all jobs.
+    pub queue_depth: u64,
+    /// The bounded queue's capacity ([`ServeConfig::queue`]).
+    pub queue_capacity: u64,
+    /// Jobs accepted and not yet terminal.
+    pub active_jobs: u64,
+    /// Persistent worker threads.
+    pub workers: u64,
+    /// Distinct `(scenario, params)` setups in the shared cache.
+    pub cache_size: u64,
+    /// Milliseconds since the server was bound.
+    pub uptime_ms: u64,
+}
+
+/// A parsed, validated server event — the single decode path shared by
+/// [`validate_event`] (docs/examples) and [`Client`] (live streams), so
+/// every `imcis.wire/2` event is validated in exactly one place.
+#[derive(Debug)]
+pub(crate) enum Event {
+    Accepted {
+        job_id: u64,
+        members: usize,
+        setups_built: u64,
+    },
+    MemberReport {
+        job_id: u64,
+        member_index: usize,
+        report: Value,
+    },
+    MemberError {
+        job_id: u64,
+        member_index: usize,
+        status: MemberStatus,
+        message: String,
+    },
+    SuiteReport {
+        job_id: u64,
+        suite_report: Value,
+    },
+    Error {
+        class: String,
+        message: String,
+    },
+    Rejected {
+        retry_after_ms: u64,
+    },
+    Cancelled {
+        #[allow(dead_code)] // decoded for validation; Client::cancel checks it
+        job_id: u64,
+    },
+    Status(ServerStatus),
+    Pong,
+    ShuttingDown,
+}
+
+/// Parses one server event value against the `imcis.wire/2` shape,
+/// validating embedded payloads with the real report validators.
+pub(crate) fn parse_event(value: &Value) -> Result<Event, String> {
     if value.as_object().is_none() {
         return Err("event must be a JSON object".into());
     }
@@ -728,16 +1129,27 @@ pub fn validate_event(value: &Value) -> Result<(), String> {
             .and_then(Value::as_u64)
             .ok_or(format!("`{kind}` event needs an unsigned `{key}`"))
     };
+    let need_str = |key: &str| {
+        value
+            .get(key)
+            .and_then(Value::as_str)
+            .ok_or(format!("`{kind}` event needs a string `{key}`"))
+    };
     match kind {
         "accepted" => {
-            need_u64("job_id")?;
-            need_u64("members")?;
-            need_u64("setups_built")?;
+            let job_id = need_u64("job_id")?;
+            let members = need_u64("members")? as usize;
+            let setups_built = need_u64("setups_built")?;
             need_u64("cache_size")?;
+            Ok(Event::Accepted {
+                job_id,
+                members,
+                setups_built,
+            })
         }
         "member_report" => {
-            need_u64("job_id")?;
-            need_u64("member_index")?;
+            let job_id = need_u64("job_id")?;
+            let member_index = need_u64("member_index")? as usize;
             value
                 .get("elapsed_ms")
                 .and_then(Value::as_f64)
@@ -747,34 +1159,104 @@ pub fn validate_event(value: &Value) -> Result<(), String> {
                 .ok_or("`member_report` event needs a `report` payload")?;
             crate::report::validate_report_json(report)
                 .map_err(|e| format!("embedded report: {e}"))?;
+            Ok(Event::MemberReport {
+                job_id,
+                member_index,
+                report: report.clone(),
+            })
+        }
+        "member_error" => {
+            let job_id = need_u64("job_id")?;
+            let member_index = need_u64("member_index")? as usize;
+            value
+                .get("elapsed_ms")
+                .and_then(Value::as_f64)
+                .ok_or("`member_error` event needs a numeric `elapsed_ms`")?;
+            let tag = need_str("status")?;
+            let status = MemberStatus::from_tag(tag)
+                .filter(|s| *s != MemberStatus::Ok)
+                .ok_or(format!(
+                    "`member_error` status must be one of error | panic | timeout | cancelled, \
+                     got `{tag}`"
+                ))?;
+            let message = need_str("message")?;
+            if message.is_empty() {
+                return Err("`member_error` event needs a non-empty `message`".into());
+            }
+            Ok(Event::MemberError {
+                job_id,
+                member_index,
+                status,
+                message: message.to_string(),
+            })
         }
         "suite_report" => {
-            need_u64("job_id")?;
+            let job_id = need_u64("job_id")?;
             let report = value
                 .get("suite_report")
                 .ok_or("`suite_report` event needs a `suite_report` payload")?;
             crate::suite::validate_suite_report_json(report)
                 .map_err(|e| format!("embedded suite report: {e}"))?;
+            Ok(Event::SuiteReport {
+                job_id,
+                suite_report: report.clone(),
+            })
         }
-        "error" => {
-            value
-                .get("error")
-                .and_then(Value::as_str)
-                .ok_or("`error` event needs a string `error` class")?;
-            value
-                .get("message")
-                .and_then(Value::as_str)
-                .ok_or("`error` event needs a string `message`")?;
+        "error" => Ok(Event::Error {
+            class: need_str("error")?.to_string(),
+            message: need_str("message")?.to_string(),
+        }),
+        "rejected" => Ok(Event::Rejected {
+            retry_after_ms: need_u64("retry_after_ms")?,
+        }),
+        "cancelled" => Ok(Event::Cancelled {
+            job_id: need_u64("job_id")?,
+        }),
+        "status" => Ok(Event::Status(ServerStatus {
+            queue_depth: need_u64("queue_depth")?,
+            queue_capacity: need_u64("queue_capacity")?,
+            active_jobs: need_u64("active_jobs")?,
+            workers: need_u64("workers")?,
+            cache_size: need_u64("cache_size")?,
+            uptime_ms: need_u64("uptime_ms")?,
+        })),
+        "pong" => Ok(Event::Pong),
+        "shutting_down" => {
+            let jobs = value
+                .get("jobs")
+                .and_then(Value::as_array)
+                .ok_or("`shutting_down` event needs a `jobs` disposition array")?;
+            for (i, job) in jobs.iter().enumerate() {
+                for key in ["job_id", "members", "members_done"] {
+                    if job.get(key).and_then(Value::as_u64).is_none() {
+                        return Err(format!(
+                            "`shutting_down` jobs[{i}] needs an unsigned `{key}`"
+                        ));
+                    }
+                }
+            }
+            Ok(Event::ShuttingDown)
         }
-        "pong" | "shutting_down" => {}
-        other => return Err(format!("unknown event type `{other}`")),
+        other => Err(format!("unknown event type `{other}`")),
     }
-    Ok(())
+}
+
+/// Validates one server event value against the `imcis.wire/2` shape.
+/// Used by [`Client`] on every received event and by the format-reference
+/// tests on the documented examples. (A thin wrapper over the shared
+/// typed parser, so docs examples and live streams go through the same
+/// validation.)
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_event(value: &Value) -> Result<(), String> {
+    parse_event(value).map(|_| ())
 }
 
 /// The result of one [`Client::submit`]: the terminal suite report plus
-/// the per-member reports in manifest order, reassembled from the
-/// streamed events.
+/// the per-member outcome entries in manifest order, reassembled from
+/// the streamed events.
 #[derive(Debug)]
 pub struct SubmitOutcome {
     /// Server-assigned job id.
@@ -782,12 +1264,13 @@ pub struct SubmitOutcome {
     /// Scenario builds this job caused on the server (0 = everything was
     /// already cached from earlier jobs).
     pub setups_built: u64,
-    /// The stable `imcis.suitereport/1` JSON — byte-identical to the
+    /// The stable `imcis.suitereport/2` JSON — byte-identical to the
     /// stable output of `imcis suite` on the same manifest.
     pub suite_report: Value,
-    /// Stable member reports in manifest order, reassembled from the
-    /// completion-order `member_report` events.
-    pub member_reports: Vec<Value>,
+    /// Stable member outcome entries (`{"status": "ok", "report": …}` /
+    /// `{"status": …, "message": …}`) in manifest order, reassembled
+    /// from the completion-order `member_report`/`member_error` events.
+    pub members: Vec<Value>,
 }
 
 /// A wire-protocol client over one TCP connection.
@@ -816,11 +1299,12 @@ impl Client {
         Ok(())
     }
 
-    /// Reads one event line, validating it against the wire schema.
-    /// `error` events are returned as values, not yet converted to
-    /// [`ServeError::Remote`] — callers log them first (the `--events`
-    /// file must contain every received line, errors included).
-    fn read_event(&mut self) -> Result<(String, Value), ServeError> {
+    /// Reads one event line, decoding it through the shared typed
+    /// parser. `error` events are returned as values, not yet converted
+    /// to [`ServeError::Remote`] — callers log them first (the
+    /// `--events` file must contain every received line, errors
+    /// included).
+    fn read_event(&mut self) -> Result<(String, Value, Event), ServeError> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;
         if n == 0 {
@@ -830,28 +1314,8 @@ impl Client {
         }
         let value = json::parse(line.trim_end())
             .map_err(|e| ServeError::Protocol(format!("event is not valid JSON: {e}")))?;
-        validate_event(&value).map_err(ServeError::Protocol)?;
-        Ok((line.trim_end().to_string(), value))
-    }
-
-    /// The [`ServeError::Remote`] equivalent of an `error` event, if
-    /// this is one.
-    fn remote_error(event: &Value) -> Option<ServeError> {
-        if event.get("type").and_then(Value::as_str) != Some("error") {
-            return None;
-        }
-        Some(ServeError::Remote {
-            error: event
-                .get("error")
-                .and_then(Value::as_str)
-                .unwrap_or("unknown")
-                .to_string(),
-            message: event
-                .get("message")
-                .and_then(Value::as_str)
-                .unwrap_or_default()
-                .to_string(),
-        })
+        let event = parse_event(&value).map_err(ServeError::Protocol)?;
+        Ok((line.trim_end().to_string(), value, event))
     }
 
     /// Liveness probe: sends `ping`, waits for `pong`.
@@ -861,14 +1325,55 @@ impl Client {
     /// [`ServeError`] on socket or protocol failures.
     pub fn ping(&mut self) -> Result<(), ServeError> {
         self.send("ping", Vec::new())?;
-        let (_, event) = self.read_event()?;
-        if let Some(err) = Self::remote_error(&event) {
-            return Err(err);
-        }
-        match event.get("type").and_then(Value::as_str) {
-            Some("pong") => Ok(()),
+        match self.read_event()?.2 {
+            Event::Pong => Ok(()),
+            Event::Error { class, message } => Err(ServeError::Remote {
+                error: class,
+                message,
+            }),
             other => Err(ServeError::Protocol(format!(
                 "expected `pong`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests a load snapshot: sends `status`, waits for the typed
+    /// answer.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on socket or protocol failures.
+    pub fn status(&mut self) -> Result<ServerStatus, ServeError> {
+        self.send("status", Vec::new())?;
+        match self.read_event()?.2 {
+            Event::Status(status) => Ok(status),
+            Event::Error { class, message } => Err(ServeError::Remote {
+                error: class,
+                message,
+            }),
+            other => Err(ServeError::Protocol(format!(
+                "expected `status`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Cancels an active job at its next member boundary (typically
+    /// from a second connection while the first streams the job).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] (class `queue`) when no such job is
+    /// active; [`ServeError`] on socket or protocol failures.
+    pub fn cancel(&mut self, job_id: u64) -> Result<(), ServeError> {
+        self.send("cancel", vec![("job_id".to_string(), Value::UInt(job_id))])?;
+        match self.read_event()?.2 {
+            Event::Cancelled { .. } => Ok(()),
+            Event::Error { class, message } => Err(ServeError::Remote {
+                error: class,
+                message,
+            }),
+            other => Err(ServeError::Protocol(format!(
+                "expected `cancelled`, got {other:?}"
             ))),
         }
     }
@@ -880,12 +1385,12 @@ impl Client {
     /// [`ServeError`] on socket or protocol failures.
     pub fn shutdown(&mut self) -> Result<(), ServeError> {
         self.send("shutdown", Vec::new())?;
-        let (_, event) = self.read_event()?;
-        if let Some(err) = Self::remote_error(&event) {
-            return Err(err);
-        }
-        match event.get("type").and_then(Value::as_str) {
-            Some("shutting_down") => Ok(()),
+        match self.read_event()?.2 {
+            Event::ShuttingDown => Ok(()),
+            Event::Error { class, message } => Err(ServeError::Remote {
+                error: class,
+                message,
+            }),
             other => Err(ServeError::Protocol(format!(
                 "expected `shutting_down`, got {other:?}"
             ))),
@@ -893,82 +1398,129 @@ impl Client {
     }
 
     /// Submits a suite and blocks until the terminal `suite_report`
-    /// event, reassembling the member reports into manifest order along
-    /// the way. `on_event` sees every raw event line (for logging or
-    /// `--events` files) before it is interpreted.
+    /// event, reassembling the member outcome entries into manifest
+    /// order along the way. `on_event` sees every raw event line (for
+    /// logging or `--events` files) before it is interpreted.
     ///
-    /// The reassembled reports are cross-checked against the terminal
+    /// The reassembled entries are cross-checked against the terminal
     /// report's embedded members, so a [`SubmitOutcome`] is proof the
     /// stream arrived complete and consistent regardless of completion
     /// order.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Remote`] when the server reports a spec/session
-    /// failure, [`ServeError::Protocol`] on wire violations.
+    /// [`ServeError::Remote`] when the server reports a
+    /// spec/session/queue failure, [`ServeError::Rejected`] when the
+    /// queue was full (back off and resubmit),
+    /// [`ServeError::Protocol`] on wire violations.
     pub fn submit(
         &mut self,
         spec: &SuiteSpec,
+        on_event: impl FnMut(&str, &Value),
+    ) -> Result<SubmitOutcome, ServeError> {
+        self.submit_with_deadline(spec, None, on_event)
+    }
+
+    /// [`Client::submit`] with an optional job deadline: members not yet
+    /// started `deadline_ms` after the server receives the job are
+    /// reported as typed `timeout` member errors.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::submit`].
+    pub fn submit_with_deadline(
+        &mut self,
+        spec: &SuiteSpec,
+        deadline_ms: Option<u64>,
         mut on_event: impl FnMut(&str, &Value),
     ) -> Result<SubmitOutcome, ServeError> {
-        self.send("submit", vec![("suite".to_string(), spec.to_json())])?;
-        let (line, accepted) = self.read_event()?;
-        on_event(&line, &accepted);
-        if let Some(err) = Self::remote_error(&accepted) {
-            return Err(err);
+        let mut fields = vec![("suite".to_string(), spec.to_json())];
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms".to_string(), Value::UInt(ms)));
         }
-        if accepted.get("type").and_then(Value::as_str) != Some("accepted") {
-            return Err(ServeError::Protocol(format!(
-                "expected `accepted`, got `{}`",
-                accepted
-                    .get("type")
-                    .and_then(Value::as_str)
-                    .unwrap_or("<none>")
-            )));
-        }
-        let job_id = accepted
-            .get("job_id")
-            .and_then(Value::as_u64)
-            .expect("validated");
-        let members = accepted
-            .get("members")
-            .and_then(Value::as_usize)
-            .expect("validated");
-        let setups_built = accepted
-            .get("setups_built")
-            .and_then(Value::as_u64)
-            .expect("validated");
-        let mut slots: Vec<Option<Value>> = (0..members).map(|_| None).collect();
-        loop {
-            let (line, event) = self.read_event()?;
-            on_event(&line, &event);
-            if let Some(err) = Self::remote_error(&event) {
-                return Err(err);
+        self.send("submit", fields)?;
+        let (line, value, first) = self.read_event()?;
+        on_event(&line, &value);
+        let (job_id, members, setups_built) = match first {
+            Event::Accepted {
+                job_id,
+                members,
+                setups_built,
+            } => (job_id, members, setups_built),
+            Event::Error { class, message } => {
+                return Err(ServeError::Remote {
+                    error: class,
+                    message,
+                })
             }
-            match event.get("type").and_then(Value::as_str) {
-                Some("member_report") => {
-                    let index = event
-                        .get("member_index")
-                        .and_then(Value::as_usize)
-                        .expect("validated");
-                    if event.get("job_id").and_then(Value::as_u64) != Some(job_id) {
+            Event::Rejected { retry_after_ms } => {
+                return Err(ServeError::Rejected { retry_after_ms })
+            }
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "expected `accepted`, got {other:?}"
+                )))
+            }
+        };
+        let mut slots: Vec<Option<Value>> = (0..members).map(|_| None).collect();
+        let fill = |slots: &mut Vec<Option<Value>>,
+                    event_job: u64,
+                    index: usize,
+                    entry: Value|
+         -> Result<(), ServeError> {
+            if event_job != job_id {
+                return Err(ServeError::Protocol("event for a different job".into()));
+            }
+            let slot = slots.get_mut(index).ok_or_else(|| {
+                ServeError::Protocol(format!(
+                    "member index {index} out of range (members = {members})"
+                ))
+            })?;
+            if slot.is_some() {
+                return Err(ServeError::Protocol(format!(
+                    "duplicate outcome for member {index}"
+                )));
+            }
+            *slot = Some(entry);
+            Ok(())
+        };
+        loop {
+            let (line, value, event) = self.read_event()?;
+            on_event(&line, &value);
+            match event {
+                Event::MemberReport {
+                    job_id: event_job,
+                    member_index,
+                    report,
+                } => {
+                    // Rebuild the wrapped stable entry, exactly as the
+                    // suite report embeds it.
+                    let entry = Value::object([
+                        ("status".into(), Value::Str("ok".into())),
+                        ("report".into(), report),
+                    ]);
+                    fill(&mut slots, event_job, member_index, entry)?;
+                }
+                Event::MemberError {
+                    job_id: event_job,
+                    member_index,
+                    status,
+                    message,
+                } => {
+                    let entry = Value::object([
+                        ("status".into(), Value::Str(status.as_str().into())),
+                        ("message".into(), Value::Str(message)),
+                    ]);
+                    fill(&mut slots, event_job, member_index, entry)?;
+                }
+                Event::SuiteReport {
+                    job_id: event_job,
+                    suite_report,
+                } => {
+                    if event_job != job_id {
                         return Err(ServeError::Protocol("event for a different job".into()));
                     }
-                    let slot = slots.get_mut(index).ok_or_else(|| {
-                        ServeError::Protocol(format!(
-                            "member index {index} out of range (members = {members})"
-                        ))
-                    })?;
-                    if slot.is_some() {
-                        return Err(ServeError::Protocol(format!(
-                            "duplicate report for member {index}"
-                        )));
-                    }
-                    *slot = Some(event.get("report").expect("validated").clone());
-                }
-                Some("suite_report") => {
-                    let suite_report = event.get("suite_report").expect("validated").clone();
-                    let member_reports: Vec<Value> = slots
+                    let member_entries: Vec<Value> = slots
                         .into_iter()
                         .enumerate()
                         .map(|(i, slot)| {
@@ -985,9 +1537,9 @@ impl Client {
                         .get("reports")
                         .and_then(Value::as_array)
                         .expect("validated");
-                    if embedded != member_reports.as_slice() {
+                    if embedded != member_entries.as_slice() {
                         return Err(ServeError::Protocol(
-                            "reassembled member reports disagree with the terminal suite report"
+                            "reassembled member outcomes disagree with the terminal suite report"
                                 .into(),
                         ));
                     }
@@ -995,8 +1547,14 @@ impl Client {
                         job_id,
                         setups_built,
                         suite_report,
-                        member_reports,
+                        members: member_entries,
                     });
+                }
+                Event::Error { class, message } => {
+                    return Err(ServeError::Remote {
+                        error: class,
+                        message,
+                    })
                 }
                 other => {
                     return Err(ServeError::Protocol(format!(
@@ -1027,29 +1585,66 @@ mod tests {
     }
 
     #[test]
-    fn request_parser_accepts_the_three_kinds_and_rejects_garbage() {
+    fn request_parser_accepts_the_five_kinds_and_rejects_garbage() {
         let submit = json::parse(&format!(
-            "{{\"wire\": \"imcis.wire/1\", \"type\": \"submit\", \"suite\": {}}}",
+            "{{\"wire\": \"imcis.wire/2\", \"type\": \"submit\", \"suite\": {}}}",
             tiny_suite().to_json()
         ))
         .unwrap();
-        assert!(matches!(parse_request(&submit), Ok(Request::Submit(_))));
+        assert!(matches!(
+            parse_request(&submit),
+            Ok(Request::Submit {
+                deadline_ms: None,
+                ..
+            })
+        ));
+        let bounded = json::parse(&format!(
+            "{{\"type\": \"submit\", \"deadline_ms\": 250, \"suite\": {}}}",
+            tiny_suite().to_json()
+        ))
+        .unwrap();
+        assert!(matches!(
+            parse_request(&bounded),
+            Ok(Request::Submit {
+                deadline_ms: Some(250),
+                ..
+            })
+        ));
         let ping = json::parse("{\"type\": \"ping\"}").unwrap();
         assert!(matches!(parse_request(&ping), Ok(Request::Ping)));
         let down = json::parse("{\"type\": \"shutdown\"}").unwrap();
         assert!(matches!(parse_request(&down), Ok(Request::Shutdown)));
+        let status = json::parse("{\"type\": \"status\"}").unwrap();
+        assert!(matches!(parse_request(&status), Ok(Request::Status)));
+        let cancel = json::parse("{\"type\": \"cancel\", \"job_id\": 3}").unwrap();
+        assert!(matches!(
+            parse_request(&cancel),
+            Ok(Request::Cancel { job_id: 3 })
+        ));
 
         for (text, class) in [
             ("{\"type\": \"teleport\"}", "wire"),
             ("{\"wire\": \"imcis.wire/9\", \"type\": \"ping\"}", "wire"),
             ("{\"type\": \"submit\"}", "wire"),
             ("{\"type\": \"submit\", \"suite\": {\"runs\": []}}", "spec"),
+            ("{\"type\": \"cancel\"}", "wire"),
+            ("{\"type\": \"cancel\", \"job_id\": 1, \"wat\": 2}", "wire"),
             ("[1, 2]", "wire"),
         ] {
             let value = json::parse(text).unwrap();
             let (got, _) = parse_request(&value).unwrap_err();
             assert_eq!(got, class, "{text}");
         }
+        // `deadline_ms: 0` is a pinned usage error, not an instant
+        // timeout for every member.
+        let zero = json::parse(&format!(
+            "{{\"type\": \"submit\", \"deadline_ms\": 0, \"suite\": {}}}",
+            tiny_suite().to_json()
+        ))
+        .unwrap();
+        let (class, message) = parse_request(&zero).unwrap_err();
+        assert_eq!(class, "wire");
+        assert_eq!(message, "`deadline_ms` must be positive");
     }
 
     #[test]
@@ -1073,12 +1668,17 @@ mod tests {
 
         let mut client = Client::connect(addr).unwrap();
         client.ping().unwrap();
+        let status = client.status().unwrap();
+        assert_eq!(status.queue_capacity, 4);
+        assert_eq!(status.workers, 2);
+        assert_eq!(status.active_jobs, 0);
+        assert_eq!(status.cache_size, 0);
         let mut events = Vec::new();
         let outcome = client
             .submit(&spec, |line, _| events.push(line.to_string()))
             .unwrap();
         assert_eq!(outcome.suite_report.pretty(), direct);
-        assert_eq!(outcome.member_reports.len(), 1);
+        assert_eq!(outcome.members.len(), 1);
         assert!(events.iter().any(|l| l.contains("\"member_report\"")));
 
         // Second job over the same scenario: served from the shared cache.
@@ -1086,6 +1686,17 @@ mod tests {
         assert_eq!(again.setups_built, 0);
         assert_eq!(again.suite_report.pretty(), direct);
         assert!(again.job_id > outcome.job_id);
+        assert_eq!(client.status().unwrap().cache_size, 1);
+
+        // Cancelling a finished job is a typed `queue` error.
+        let err = client.cancel(outcome.job_id).unwrap_err();
+        match err {
+            ServeError::Remote { error, message } => {
+                assert_eq!(error, "queue");
+                assert_eq!(message, format!("job {} is not active", outcome.job_id));
+            }
+            other => panic!("expected a remote queue error, got {other}"),
+        }
 
         client.shutdown().unwrap();
         handle.join().unwrap().unwrap();

@@ -8,8 +8,20 @@
 //! once and share it behind an [`Arc`] (scenario build dominates for the
 //! 40320-state `repair` model and the learned `swat` models). [`Suite::run`]
 //! then fans whole sessions over [`std::thread::scope`] workers and folds
-//! the per-spec [`Report`]s, in manifest order, into a [`SuiteReport`]
-//! (`imcis.suitereport/1`) with a cross-run summary table.
+//! the per-member [`MemberOutcome`]s, in manifest order, into a
+//! [`SuiteReport`] (`imcis.suitereport/2`) with a cross-run summary
+//! table.
+//!
+//! # Supervision
+//!
+//! Member sessions run under [`std::panic::catch_unwind`]: a panicking
+//! or erroring member never takes the suite (or a serving worker) down
+//! with it — it becomes a typed, manifest-ordered member entry in the
+//! report (`status` of `error` / `panic` / `timeout` / `cancelled`),
+//! and every other member's report is byte-identical to a clean run.
+//! The deterministic fault-injection layer ([`crate::fault`], the
+//! optional `fault` manifest block, gated behind
+//! `IMCIS_FAULT_INJECTION=1`) exists to prove exactly that.
 //!
 //! # Determinism contract
 //!
@@ -54,7 +66,7 @@
 //! let suite = Suite::from_spec(spec)?;
 //! assert_eq!(suite.unique_setups(), 1);
 //! let report = suite.run()?;
-//! assert_eq!(report.reports.len(), 2);
+//! assert_eq!(report.members.len(), 2);
 //! // The stable form is byte-identical at every thread budget.
 //! assert_eq!(
 //!     report.to_json_stable().pretty(),
@@ -65,14 +77,16 @@
 //! ```
 
 use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use imc_models::{ScenarioError, ScenarioRegistry, Setup};
 use imc_sim::stream_seed;
 use serde::json::{self, Value};
 
+use crate::fault::{self, FaultKind, FaultPlan};
 use crate::report::{ci_json, opt_float, Report, Timing};
 use crate::session::{Session, SessionError};
 use crate::spec::{schema_err, Fields, RunSpec, ScenarioRef, SpecError};
@@ -81,7 +95,7 @@ use crate::spec::{schema_err, Fields, RunSpec, ScenarioRef, SpecError};
 pub const SUITESPEC_SCHEMA: &str = "imcis.suitespec/1";
 
 /// Schema tag emitted in every serialized suite report.
-pub const SUITEREPORT_SCHEMA: &str = "imcis.suitereport/1";
+pub const SUITEREPORT_SCHEMA: &str = "imcis.suitereport/2";
 
 /// The serializable manifest of one suite: member runs plus scheduling
 /// policy.
@@ -95,6 +109,11 @@ pub struct SuiteSpec {
     /// When set, member `i`'s seed is replaced by
     /// [`stream_seed`]`(seed_base, i)` at parse/validation time.
     pub seed_base: Option<u64>,
+    /// Optional deterministic fault-injection plan (test harness only;
+    /// refused at suite construction unless `IMCIS_FAULT_INJECTION=1`).
+    /// Omitted from the canonical form when absent, so fault-free
+    /// manifests are unchanged from earlier versions.
+    pub fault: Option<FaultPlan>,
 }
 
 impl SuiteSpec {
@@ -111,6 +130,7 @@ impl SuiteSpec {
             runs,
             threads: 0,
             seed_base: None,
+            fault: None,
         };
         spec.validate()?;
         Ok(spec)
@@ -119,6 +139,13 @@ impl SuiteSpec {
     /// Replaces the suite thread budget.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches a fault-injection plan (test harness only — running the
+    /// suite still requires `IMCIS_FAULT_INJECTION=1`).
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 
@@ -152,9 +179,10 @@ impl SuiteSpec {
     ///
     /// # Errors
     ///
-    /// [`SpecError::Schema`] on an empty member list or a member with
+    /// [`SpecError::Schema`] on an empty member list, a member with
     /// zero repetitions (both would otherwise surface only as a broken
-    /// report much later).
+    /// report much later), or a fault injection targeting a member
+    /// index the suite does not have.
     pub fn validate(&self) -> Result<(), SpecError> {
         if self.runs.is_empty() {
             return Err(schema_err(
@@ -166,6 +194,18 @@ impl SuiteSpec {
                 return Err(schema_err(format!(
                     "`suite.runs[{i}].repetitions` must be positive"
                 )));
+            }
+        }
+        if let Some(plan) = &self.fault {
+            for (i, rule) in plan.injections.iter().enumerate() {
+                if rule.member >= self.runs.len() {
+                    return Err(schema_err(format!(
+                        "`suite.fault.injections[{i}]` targets member {} \
+                         but the suite has {} members",
+                        rule.member,
+                        self.runs.len()
+                    )));
+                }
             }
         }
         Ok(())
@@ -182,7 +222,7 @@ impl SuiteSpec {
     /// cannot be read, and any member spec's own parse error.
     pub fn from_json_with_base(value: &Value, base: Option<&Path>) -> Result<Self, SpecError> {
         let fields = Fields::new(value, "suite")?;
-        fields.allow(&["schema", "runs", "threads", "seed_base"])?;
+        fields.allow(&["schema", "runs", "threads", "seed_base", "fault"])?;
         if let Some(schema) = fields.opt("schema") {
             let tag = schema
                 .as_str()
@@ -208,10 +248,15 @@ impl SuiteSpec {
                     .ok_or_else(|| schema_err("`suite.seed_base` must be an unsigned integer"))?,
             ),
         };
+        let fault = match fields.opt("fault") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(FaultPlan::from_json(v)?),
+        };
         let spec = SuiteSpec {
             runs,
             threads: fields.usize_or("threads", 0)?,
             seed_base,
+            fault,
         }
         .normalized();
         spec.validate()?;
@@ -235,23 +280,29 @@ impl SuiteSpec {
 
     /// The canonical JSON form: every field emitted, members embedded
     /// (file references are a load-time convenience, not part of the
-    /// canonical form), fixed key order.
+    /// canonical form), fixed key order. The one exception is `fault`:
+    /// the diagnostic-only block is omitted entirely when absent, so
+    /// fault-free manifests keep their pre-fault canonical bytes.
     pub fn to_json(&self) -> Value {
-        Value::object([
-            ("schema".into(), Value::Str(SUITESPEC_SCHEMA.into())),
+        let mut pairs = vec![
+            ("schema".to_string(), Value::Str(SUITESPEC_SCHEMA.into())),
             (
-                "runs".into(),
+                "runs".to_string(),
                 Value::Array(self.runs.iter().map(RunSpec::to_json).collect()),
             ),
-            ("threads".into(), Value::UInt(self.threads as u64)),
+            ("threads".to_string(), Value::UInt(self.threads as u64)),
             (
-                "seed_base".into(),
+                "seed_base".to_string(),
                 match self.seed_base {
                     Some(s) => Value::UInt(s),
                     None => Value::Null,
                 },
             ),
-        ])
+        ];
+        if let Some(plan) = &self.fault {
+            pairs.push(("fault".to_string(), plan.to_json()));
+        }
+        Value::Object(pairs)
     }
 
     /// The canonical pretty-printed JSON text (the on-disk manifest
@@ -437,6 +488,13 @@ impl Suite {
         // rewritten seeds its serialized echo claims.
         let spec = spec.normalized();
         spec.validate().map_err(SessionError::Spec)?;
+        if spec.fault.is_some() && !fault::enabled() {
+            return Err(SessionError::Spec(schema_err(format!(
+                "suite has a `fault` block but fault injection is disabled \
+                 (set {}=1)",
+                fault::FAULT_ENV
+            ))));
+        }
         let builds_before = cache.builds();
         let mut sessions = Vec::with_capacity(spec.runs.len());
         for run in &spec.runs {
@@ -468,18 +526,23 @@ impl Suite {
         self.unique_setups
     }
 
-    /// Runs every member session and folds the reports, in manifest
-    /// order, into a [`SuiteReport`].
+    /// Runs every member session under supervision and folds the
+    /// outcomes, in manifest order, into a [`SuiteReport`].
     ///
     /// Sessions fan out over up to `spec.threads` workers (`0` = all
-    /// cores). Scheduling never leaks into results: reports land in
+    /// cores). Scheduling never leaks into results: outcomes land in
     /// member-index slots, and every session is itself deterministic, so
     /// the stable JSON is byte-identical at every thread budget.
     ///
+    /// A failing member does **not** fail the suite: panics and session
+    /// errors are caught (`run_member_supervised`) and become typed
+    /// [`MemberOutcome::Failed`] entries — every other member's report
+    /// is byte-identical to a fully clean run.
+    ///
     /// # Errors
     ///
-    /// The first [`SessionError`] any member produces (in manifest
-    /// order).
+    /// None at run time (member failures are folded into the report);
+    /// the `Result` is kept for API stability.
     pub fn run(&self) -> Result<SuiteReport, SessionError> {
         self.run_with_threads(self.spec.threads)
     }
@@ -504,28 +567,90 @@ impl Suite {
         // division.
         let workers = imc_sim::parallel::resolve_threads(threads).min(self.sessions.len().max(1));
         let rep_threads = (imc_sim::parallel::available_threads() / workers).max(1);
-        let results: Vec<Result<(Report, f64), SessionError>> =
+        let fault = self.spec.fault.as_ref();
+        let results: Vec<(MemberOutcome, f64)> =
             imc_sim::parallel::parallel_map(self.sessions.len(), threads, |i| {
                 let clock = Instant::now();
-                self.sessions[i]
-                    .run_with_rep_threads(rep_threads)
-                    .map(|report| (report, clock.elapsed().as_secs_f64() * 1e3))
+                let outcome = run_member_supervised(&self.sessions[i], rep_threads, fault, i);
+                (outcome, clock.elapsed().as_secs_f64() * 1e3)
             });
-        let mut reports = Vec::with_capacity(results.len());
+        let mut members = Vec::with_capacity(results.len());
         let mut per_run_ms = Vec::with_capacity(results.len());
-        for result in results {
-            let (report, ms) = result?;
-            reports.push(report);
+        for (outcome, ms) in results {
+            members.push(outcome);
             per_run_ms.push(ms);
         }
         Ok(SuiteReport {
             spec: self.spec.clone(),
-            reports,
+            members,
             timing: Timing {
                 total_ms: started.elapsed().as_secs_f64() * 1e3,
                 per_run_ms,
             },
         })
+    }
+}
+
+/// Runs one member session under [`catch_unwind`](std::panic::catch_unwind)
+/// supervision, applying the suite's fault plan (if any) to `member_index`:
+/// a `delay` rule sleeps before the run, an `io-error` rule fails the
+/// member without running it, a `panic` rule panics *inside* the
+/// supervised closure. A panicking or erroring member becomes a typed
+/// [`MemberOutcome::Failed`] — never an unwind into the scheduler, so a
+/// suite worker (batch or daemon) always survives its member.
+pub(crate) fn run_member_supervised(
+    session: &Arc<Session>,
+    rep_threads: usize,
+    fault: Option<&FaultPlan>,
+    member_index: usize,
+) -> MemberOutcome {
+    let rule = fault
+        .and_then(|plan| plan.rule_for(member_index))
+        .map(|r| r.kind);
+    if let Some(FaultKind::IoError) = rule {
+        return MemberOutcome::Failed {
+            status: MemberStatus::Error,
+            message: fault
+                .expect("rule implies plan")
+                .io_error_message(member_index),
+        };
+    }
+    if let Some(FaultKind::Delay { delay_ms }) = rule {
+        std::thread::sleep(Duration::from_millis(delay_ms));
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        if let Some(FaultKind::Panic) = rule {
+            panic!(
+                "{}",
+                fault
+                    .expect("rule implies plan")
+                    .panic_message(member_index)
+            );
+        }
+        session.run_with_rep_threads(rep_threads)
+    }));
+    match result {
+        Ok(Ok(report)) => MemberOutcome::Ok(Box::new(report)),
+        Ok(Err(e)) => MemberOutcome::Failed {
+            status: MemberStatus::Error,
+            message: e.to_string(),
+        },
+        Err(payload) => MemberOutcome::Failed {
+            status: MemberStatus::Panic,
+            message: panic_payload_message(payload),
+        },
+    }
+}
+
+/// Extracts the human-readable message from an unwind payload (`panic!`
+/// with a literal yields `&str`, with a format string yields `String`).
+fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
     }
 }
 
@@ -538,30 +663,154 @@ impl fmt::Debug for Suite {
     }
 }
 
-/// The uniform result of a [`Suite`] run: per-spec [`Report`]s in
-/// manifest order plus a cross-run summary table.
+/// The terminal status of one suite member: `ok`, or one of the four
+/// typed failure classes a supervised run can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberStatus {
+    /// The member ran to completion and carries a [`Report`].
+    Ok,
+    /// The member failed with a typed [`SessionError`] (or an injected
+    /// transient I/O error).
+    Error,
+    /// The member panicked; the supervisor caught the unwind.
+    Panic,
+    /// The member was skipped because its job's deadline had passed
+    /// (serving layer only).
+    Timeout,
+    /// The member was skipped because its job was cancelled (serving
+    /// layer only).
+    Cancelled,
+}
+
+impl MemberStatus {
+    /// The wire/report tag of this status.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MemberStatus::Ok => "ok",
+            MemberStatus::Error => "error",
+            MemberStatus::Panic => "panic",
+            MemberStatus::Timeout => "timeout",
+            MemberStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a report/wire tag back into a status.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "ok" => MemberStatus::Ok,
+            "error" => MemberStatus::Error,
+            "panic" => MemberStatus::Panic,
+            "timeout" => MemberStatus::Timeout,
+            "cancelled" => MemberStatus::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for MemberStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The supervised outcome of one suite member: a [`Report`], or a typed
+/// failure with a deterministic message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberOutcome {
+    /// The member completed; its stable report is embedded in the suite
+    /// report. Boxed: a [`Report`] is an order of magnitude larger than
+    /// the failure variant, and suites hold one outcome per member.
+    Ok(Box<Report>),
+    /// The member failed; the suite (and the daemon) survive, and the
+    /// report carries the failure in manifest order.
+    Failed {
+        /// The failure class (never [`MemberStatus::Ok`]).
+        status: MemberStatus,
+        /// The deterministic failure message (a [`SessionError`]
+        /// rendering, a caught panic payload, or a typed
+        /// timeout/cancellation notice).
+        message: String,
+    },
+}
+
+impl MemberOutcome {
+    /// This outcome's status tag.
+    pub fn status(&self) -> MemberStatus {
+        match self {
+            MemberOutcome::Ok(_) => MemberStatus::Ok,
+            MemberOutcome::Failed { status, .. } => *status,
+        }
+    }
+
+    /// The member report, when the member completed.
+    pub fn report(&self) -> Option<&Report> {
+        match self {
+            MemberOutcome::Ok(report) => Some(report.as_ref()),
+            MemberOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The failure message, when the member failed.
+    pub fn message(&self) -> Option<&str> {
+        match self {
+            MemberOutcome::Ok(_) => None,
+            MemberOutcome::Failed { message, .. } => Some(message),
+        }
+    }
+
+    /// The deterministic JSON form of one `reports[]` entry:
+    /// `{"status": "ok", "report": {…}}` for a completed member,
+    /// `{"status": <class>, "message": …}` for a failed one.
+    pub fn to_json_stable(&self) -> Value {
+        match self {
+            MemberOutcome::Ok(report) => Value::object([
+                ("status".into(), Value::Str("ok".into())),
+                ("report".into(), report.to_json_stable()),
+            ]),
+            MemberOutcome::Failed { status, message } => Value::object([
+                ("status".into(), Value::Str(status.as_str().into())),
+                ("message".into(), Value::Str(message.clone())),
+            ]),
+        }
+    }
+}
+
+/// The uniform result of a [`Suite`] run: per-member [`MemberOutcome`]s
+/// in manifest order plus a cross-run summary table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuiteReport {
     /// The manifest that produced this report (canonical echo).
     pub spec: SuiteSpec,
-    /// Per-member reports, manifest order.
-    pub reports: Vec<Report>,
+    /// Per-member outcomes, manifest order.
+    pub members: Vec<MemberOutcome>,
     /// Wall-clock timing (volatile; excluded from the stable JSON form).
     /// `per_run_ms` holds per-member session wall times.
     pub timing: Timing,
 }
 
 impl SuiteReport {
+    /// The failed members, manifest order: `(member index, status,
+    /// message)`.
+    pub fn failures(&self) -> impl Iterator<Item = (usize, MemberStatus, &str)> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| match m {
+                MemberOutcome::Ok(_) => None,
+                MemberOutcome::Failed { status, message } => Some((i, *status, message.as_str())),
+            })
+    }
+
     /// The deterministic JSON form: everything except `timing` (member
-    /// reports are embedded in their own stable form). Two runs of the
+    /// outcomes are embedded in their own stable form). Two runs of the
     /// same suite manifest produce byte-identical
     /// `to_json_stable().pretty()` text at every thread budget.
     pub fn to_json_stable(&self) -> Value {
         let summary: Vec<Value> = self
-            .reports
+            .members
             .iter()
             .enumerate()
-            .map(|(i, report)| summary_row(i, report))
+            .map(|(i, member)| summary_row(i, &self.spec.runs[i], member))
             .collect();
         Value::object([
             ("schema".into(), Value::Str(SUITEREPORT_SCHEMA.into())),
@@ -569,7 +818,12 @@ impl SuiteReport {
             ("summary".into(), Value::Array(summary)),
             (
                 "reports".into(),
-                Value::Array(self.reports.iter().map(Report::to_json_stable).collect()),
+                Value::Array(
+                    self.members
+                        .iter()
+                        .map(MemberOutcome::to_json_stable)
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -590,13 +844,14 @@ impl SuiteReport {
     }
 }
 
-/// Validates a JSON value against the `imcis.suitereport/1` shape using
+/// Validates a JSON value against the `imcis.suitereport/2` shape using
 /// the real spec parsers underneath: the `spec` echo must parse as a
-/// [`SuiteSpec`], every member report must pass
-/// [`validate_report_json`](crate::report::validate_report_json), and
-/// the summary table must be consistent with the member reports. Accepts
-/// both the stable form and the full form (with the volatile `timing`
-/// object).
+/// [`SuiteSpec`], every `reports[]` entry must be a typed
+/// [`MemberOutcome`] (a completed member's embedded report passes
+/// [`validate_report_json`](crate::report::validate_report_json)), and
+/// the summary table must be consistent with the member entries and the
+/// spec echo. Accepts both the stable form and the full form (with the
+/// volatile `timing` object).
 ///
 /// This is the validator behind the `imcis submit` client's event checks
 /// and the `docs/FORMATS.md` example tests.
@@ -630,13 +885,14 @@ pub fn validate_suite_report_json(value: &Value) -> Result<(), String> {
         .ok_or("`reports` must be an array")?;
     if reports.len() != spec.runs.len() {
         return Err(format!(
-            "{} member reports for {} manifest runs",
+            "{} member entries for {} manifest runs",
             reports.len(),
             spec.runs.len()
         ));
     }
-    for (i, report) in reports.iter().enumerate() {
-        crate::report::validate_report_json(report).map_err(|e| format!("`reports[{i}]`: {e}"))?;
+    let mut statuses = Vec::with_capacity(reports.len());
+    for (i, entry) in reports.iter().enumerate() {
+        statuses.push(validate_member_entry(entry).map_err(|e| format!("`reports[{i}]`: {e}"))?);
     }
     let summary = value
         .get("summary")
@@ -644,69 +900,147 @@ pub fn validate_suite_report_json(value: &Value) -> Result<(), String> {
         .ok_or("`summary` must be an array")?;
     if summary.len() != reports.len() {
         return Err(format!(
-            "{} summary rows for {} member reports",
+            "{} summary rows for {} member entries",
             summary.len(),
             reports.len()
         ));
     }
-    for (i, (row, report)) in summary.iter().zip(reports).enumerate() {
+    for (i, (row, entry)) in summary.iter().zip(reports).enumerate() {
         let context = |msg: String| format!("`summary[{i}]`: {msg}");
         if row.get("run").and_then(Value::as_usize) != Some(i) {
             return Err(context("`run` must equal the member index".into()));
         }
-        for key in ["scenario", "method", "model"] {
-            if row.get(key).and_then(Value::as_str).is_none() {
-                return Err(context(format!("`{key}` must be a string")));
-            }
-        }
-        // Cross-check the row against the member report it summarises.
-        let consistent = row.get("method").and_then(Value::as_str)
-            == report
-                .get("spec")
-                .and_then(|s| s.get("method"))
-                .and_then(|m| m.get("name"))
-                .and_then(Value::as_str)
-            && row.get("seed").and_then(Value::as_u64)
-                == report
-                    .get("spec")
-                    .and_then(|s| s.get("seed"))
-                    .and_then(Value::as_u64)
-            && row.get("estimate").and_then(Value::as_f64)
-                == report.get("estimate").and_then(Value::as_f64);
-        if !consistent {
+        if row.get("status").and_then(Value::as_str) != Some(statuses[i].as_str()) {
             return Err(context(
-                "row disagrees with `reports` at the same index".into(),
+                "`status` disagrees with `reports` at the same index".into(),
             ));
+        }
+        // Scenario, method and seed come from the spec echo, so they are
+        // present even for members that never produced a report.
+        let run = &spec.runs[i];
+        let consistent = row.get("scenario").and_then(Value::as_str)
+            == Some(run.scenario.name.as_str())
+            && row.get("method").and_then(Value::as_str) == Some(run.method.name())
+            && row.get("seed").and_then(Value::as_u64) == Some(run.seed);
+        if !consistent {
+            return Err(context("row disagrees with the `spec` echo".into()));
+        }
+        if statuses[i] == MemberStatus::Ok {
+            let report = entry.get("report").expect("validated above");
+            let consistent = row.get("model").and_then(Value::as_str)
+                == report.get("model").and_then(Value::as_str)
+                && row.get("estimate").and_then(Value::as_f64)
+                    == report.get("estimate").and_then(Value::as_f64);
+            if !consistent {
+                return Err(context(
+                    "row disagrees with `reports` at the same index".into(),
+                ));
+            }
+        } else {
+            for key in ["model", "estimate", "sigma", "ci"] {
+                if !matches!(row.get(key), Some(Value::Null)) {
+                    return Err(context(format!(
+                        "failed members carry a null `{key}` column"
+                    )));
+                }
+            }
         }
     }
     Ok(())
 }
 
+/// Validates one `reports[]` entry of a suite report (a serialized
+/// [`MemberOutcome`]) and returns its status.
+fn validate_member_entry(entry: &Value) -> Result<MemberStatus, String> {
+    let pairs = entry.as_object().ok_or("must be a JSON object")?;
+    let tag = entry
+        .get("status")
+        .and_then(Value::as_str)
+        .ok_or("`status` must be a string")?;
+    let status = MemberStatus::from_tag(tag).ok_or_else(|| {
+        format!("unknown status `{tag}` (ok | error | panic | timeout | cancelled)")
+    })?;
+    if status == MemberStatus::Ok {
+        for (key, _) in pairs {
+            if !matches!(key.as_str(), "status" | "report") {
+                return Err(format!("unknown key `{key}`"));
+            }
+        }
+        let report = entry
+            .get("report")
+            .ok_or("status `ok` requires an embedded `report`")?;
+        crate::report::validate_report_json(report)?;
+    } else {
+        for (key, _) in pairs {
+            if !matches!(key.as_str(), "status" | "message") {
+                return Err(format!("unknown key `{key}`"));
+            }
+        }
+        let message = entry
+            .get("message")
+            .and_then(Value::as_str)
+            .ok_or("failed members require a string `message`")?;
+        if message.is_empty() {
+            return Err("`message` must not be empty".into());
+        }
+    }
+    Ok(status)
+}
+
 /// One row of the cross-run summary table: the columns a paper table
-/// sweep reads off (scenario × method × seed → estimate, CI, coverage).
-fn summary_row(index: usize, report: &Report) -> Value {
+/// sweep reads off (scenario × method × seed → status, estimate, CI,
+/// coverage). Identity columns come from the manifest run, so failed
+/// members keep their row — with null result columns — in manifest
+/// order.
+fn summary_row(index: usize, run: &RunSpec, member: &MemberOutcome) -> Value {
+    let report = member.report();
     Value::object([
         ("run".into(), Value::UInt(index as u64)),
+        ("status".into(), Value::Str(member.status().as_str().into())),
+        ("scenario".into(), Value::Str(run.scenario.name.clone())),
+        ("method".into(), Value::Str(run.method.name().into())),
         (
-            "scenario".into(),
-            Value::Str(report.spec.scenario.name.clone()),
+            "model".into(),
+            match report {
+                Some(r) => Value::Str(r.model.clone()),
+                None => Value::Null,
+            },
+        ),
+        ("seed".into(), Value::UInt(run.seed)),
+        (
+            "estimate".into(),
+            match report {
+                Some(r) => Value::Float(r.estimate),
+                None => Value::Null,
+            },
         ),
         (
-            "method".into(),
-            Value::Str(report.spec.method.name().into()),
+            "sigma".into(),
+            match report {
+                Some(r) => Value::Float(r.sigma),
+                None => Value::Null,
+            },
         ),
-        ("model".into(), Value::Str(report.model.clone())),
-        ("seed".into(), Value::UInt(report.spec.seed)),
-        ("estimate".into(), Value::Float(report.estimate)),
-        ("sigma".into(), Value::Float(report.sigma)),
-        ("ci".into(), ci_json(&report.ci)),
+        (
+            "ci".into(),
+            match report {
+                Some(r) => ci_json(&r.ci),
+                None => Value::Null,
+            },
+        ),
         (
             "coverage_gamma_hat".into(),
-            opt_float(report.coverage_gamma_hat),
+            match report {
+                Some(r) => opt_float(r.coverage_gamma_hat),
+                None => Value::Null,
+            },
         ),
         (
             "coverage_gamma_true".into(),
-            opt_float(report.coverage_gamma_true),
+            match report {
+                Some(r) => opt_float(r.coverage_gamma_true),
+                None => Value::Null,
+            },
         ),
     ])
 }
@@ -818,6 +1152,109 @@ mod tests {
             panic!("expected a schema error");
         };
         assert!(msg.starts_with("`suite.runs[1]`:"), "{msg}");
+    }
+
+    #[test]
+    fn fault_blocks_round_trip_and_are_range_checked() {
+        let text = r#"{
+            "runs": [
+                {"scenario": {"name": "illustrative"},
+                 "method": {"name": "smc", "n_traces": 200}, "seed": 1}
+            ],
+            "fault": {"seed": 9, "injections": [{"member": 0, "kind": "panic"}]}
+        }"#;
+        let spec = SuiteSpec::from_str(text).unwrap();
+        assert!(spec.fault.is_some());
+        let canonical = spec.to_json_string();
+        let reparsed = SuiteSpec::from_str(&canonical).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.to_json_string(), canonical);
+        // A fault-free spec's canonical bytes never mention `fault`.
+        let clean = SuiteSpec::new(vec![smc_run(1)]).unwrap();
+        assert!(!clean.to_json_string().contains("fault"));
+        // Out-of-range targets are named with their injection index.
+        let err = SuiteSpec::from_str(
+            r#"{"runs": [{"scenario": {"name": "illustrative"},
+                          "method": {"name": "smc"}}],
+                "fault": {"injections": [{"member": 3, "kind": "panic"}]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "spec does not match the schema: `suite.fault.injections[0]` targets member 3 \
+             but the suite has 1 members"
+        );
+    }
+
+    #[test]
+    fn fault_blocks_are_refused_unless_injection_is_enabled() {
+        if fault::enabled() {
+            return; // the harness opted in; the gate is open by design
+        }
+        let spec = SuiteSpec::new(vec![smc_run(1)])
+            .unwrap()
+            .with_fault(FaultPlan {
+                seed: 1,
+                injections: vec![crate::fault::FaultRule {
+                    member: 0,
+                    kind: FaultKind::Panic,
+                }],
+            });
+        let err = Suite::from_spec(spec).unwrap_err();
+        assert!(err.to_string().contains("IMCIS_FAULT_INJECTION"), "{err}");
+    }
+
+    #[test]
+    fn supervised_member_runs_capture_injected_faults_as_typed_outcomes() {
+        let suite = Suite::from_spec(SuiteSpec::new(vec![smc_run(1)]).unwrap()).unwrap();
+        let session = &suite.sessions()[0];
+        let plan = |kind| FaultPlan {
+            seed: 5,
+            injections: vec![crate::fault::FaultRule { member: 0, kind }],
+        };
+
+        // A clean supervised run matches the unsupervised session run.
+        let clean = run_member_supervised(session, 1, None, 0);
+        assert_eq!(clean.status(), MemberStatus::Ok);
+        assert_eq!(
+            clean.report().unwrap().to_json_stable().pretty(),
+            session
+                .run_with_rep_threads(1)
+                .unwrap()
+                .to_json_stable()
+                .pretty()
+        );
+
+        // An injected panic is caught, not propagated, with its pinned
+        // fault-point message.
+        let panic_plan = plan(FaultKind::Panic);
+        let outcome = run_member_supervised(session, 1, Some(&panic_plan), 0);
+        assert_eq!(outcome.status(), MemberStatus::Panic);
+        assert_eq!(
+            outcome.message(),
+            Some(panic_plan.panic_message(0).as_str())
+        );
+
+        // An injected transient I/O error never runs the session.
+        let io_plan = plan(FaultKind::IoError);
+        let outcome = run_member_supervised(session, 1, Some(&io_plan), 0);
+        assert_eq!(outcome.status(), MemberStatus::Error);
+        assert_eq!(
+            outcome.message(),
+            Some(io_plan.io_error_message(0).as_str())
+        );
+
+        // A delay changes wall time only: the report stays byte-identical.
+        let delayed = run_member_supervised(
+            session,
+            1,
+            Some(&plan(FaultKind::Delay { delay_ms: 10 })),
+            0,
+        );
+        assert_eq!(
+            delayed.report().unwrap().to_json_stable().pretty(),
+            clean.report().unwrap().to_json_stable().pretty()
+        );
     }
 
     #[test]

@@ -105,7 +105,15 @@ fn documented_flags_match_the_parsers() {
         "--search-threads",
     ];
     let serve_flags = ["--addr", "--workers", "--queue"];
-    let submit_flags = ["--addr", "--events", "--retry-ms", "--ping", "--shutdown"];
+    let submit_flags = [
+        "--addr",
+        "--events",
+        "--retry-ms",
+        "--deadline-ms",
+        "--ping",
+        "--status",
+        "--shutdown",
+    ];
 
     // Forward direction: the parsers recognise each documented flag.
     // A recognised value-flag with a missing value yields "requires a
@@ -158,16 +166,22 @@ fn documented_flags_match_the_parsers() {
         };
         assert!(msg.contains("requires a value"), "serve {flag}: {msg}");
     }
-    for flag in ["--addr", "--events", "--retry-ms"] {
+    for flag in ["--addr", "--events", "--retry-ms", "--deadline-ms"] {
         let err = run(&args(&["submit", flag])).unwrap_err();
         let CliError::Usage(msg) = err else {
             panic!("submit {flag}: expected usage error");
         };
         assert!(msg.contains("requires a value"), "submit {flag}: {msg}");
     }
-    // --ping/--shutdown are boolean and mutually exclusive.
-    let err = run(&args(&["submit", "--ping", "--shutdown"])).unwrap_err();
-    assert!(matches!(err, CliError::Usage(_)));
+    // --ping/--status/--shutdown are boolean and mutually exclusive.
+    for pair in [
+        ["--ping", "--shutdown"],
+        ["--ping", "--status"],
+        ["--status", "--shutdown"],
+    ] {
+        let err = run(&args(&["submit", pair[0], pair[1]])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{pair:?}");
+    }
 
     // Reverse direction: the help text documents no flag the parsers
     // would reject — every `--token` in USAGE is in the vocabulary.

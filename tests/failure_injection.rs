@@ -1,6 +1,12 @@
 //! Failure injection across the workspace: invalid models are rejected
 //! with precise errors, degenerate inputs are handled gracefully, and
-//! budgets actually bound work.
+//! budgets actually bound work — and the same failure matrix driven
+//! through the modern `RunSpec → Session` and `SuiteSpec → Suite` paths
+//! yields typed errors with the same root causes as the legacy
+//! free-function entry points.
+//!
+//! This binary deliberately never sets `IMCIS_FAULT_INJECTION`: it also
+//! pins the refusal of `fault` blocks without the opt-in.
 
 // Deliberately drives the deprecated free-function entry points: these
 // reproduction artefacts pin the legacy API until it is removed (the
@@ -10,11 +16,11 @@ use imc_ctmc::{CtmcBuilder, CtmcError, CtmcModel, ExploreError};
 use imc_distr::{ConstrainedRowSampler, DistrError, IntervalSpec};
 use imc_learn::{learn_dtmc, CountTable, LearnError, LearnOptions};
 use imc_logic::Property;
-use imc_markov::{DtmcBuilder, Imc, ImcBuilder, ModelError, StateSet};
+use imc_markov::{io, DtmcBuilder, Imc, ImcBuilder, ModelError, StateSet};
 use imc_numeric::{reach_avoid_probs, SolveError, SolveOptions};
 use imc_optim::{OptimError, Problem};
 use imc_sampling::{sample_is_run, IsConfig};
-use imcis_core::{imcis, ImcisConfig, ImcisError};
+use imcis_core::{imcis, ImcisConfig, ImcisError, RunSpec, Session, Suite, SuiteSpec};
 use rand::SeedableRng;
 
 #[test]
@@ -157,6 +163,136 @@ fn learning_from_nothing_fails_cleanly() {
     assert_eq!(
         learn_dtmc(&counts, &LearnOptions::default()).unwrap_err(),
         LearnError::NoObservations
+    );
+}
+
+/// The spec layer reports the same schema violations whether a run spec
+/// travels alone or embedded as a suite member — the member form only
+/// adds its index.
+#[test]
+fn spec_errors_have_parity_between_run_and_suite_paths() {
+    let bad_run = r#"{"scenario": {"name": "illustrative"},
+                      "method": {"name": "smc", "delta": 2.0}}"#;
+    let run_err = bad_run.parse::<RunSpec>().unwrap_err().to_string();
+    assert!(
+        run_err.contains("`method.delta` must lie in (0, 1)"),
+        "{run_err}"
+    );
+
+    let suite_err = format!("{{\"runs\": [{bad_run}]}}")
+        .parse::<SuiteSpec>()
+        .unwrap_err()
+        .to_string();
+    assert!(suite_err.contains("`suite.runs[0]`"), "{suite_err}");
+    assert!(
+        suite_err.contains("`method.delta` must lie in (0, 1)"),
+        "{suite_err}"
+    );
+}
+
+/// A broken model file produces the same root-cause message through the
+/// legacy parser, the `Session` path and the `Suite` path: the scenario
+/// layer wraps, never rewrites.
+#[test]
+fn model_errors_have_parity_between_legacy_and_session_paths() {
+    let malformed = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/malformed_model.txt"
+    );
+    let text = std::fs::read_to_string(malformed).unwrap();
+    let legacy = io::parse_imc(&text).unwrap_err().to_string();
+
+    let spec_text = format!(
+        r#"{{"scenario": {{"name": "file",
+                           "params": {{"path": {path}, "target": "heads"}}}},
+            "method": {{"name": "smc", "n_traces": 100}}}}"#,
+        path = serde::json::Value::Str(malformed.into())
+    );
+    let spec: RunSpec = spec_text.parse().unwrap();
+    let session_err = match Session::from_spec(spec) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("a malformed model file must not build"),
+    };
+    assert!(
+        session_err.contains(&legacy),
+        "session error {session_err:?} lost the legacy root cause {legacy:?}"
+    );
+
+    let suite_spec: SuiteSpec = format!("{{\"runs\": [{spec_text}]}}").parse().unwrap();
+    let suite_err = match Suite::from_spec(suite_spec) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("a malformed member model must not build"),
+    };
+    assert!(
+        suite_err.contains(&legacy),
+        "suite error {suite_err:?} lost the legacy root cause {legacy:?}"
+    );
+}
+
+/// The degenerate zero-success estimation the legacy test pins above is
+/// equally well-defined through the Session and Suite paths — and the
+/// two modern paths agree byte-for-byte.
+#[test]
+fn zero_success_estimation_is_well_defined_through_the_session_path() {
+    // The goal needs two steps but the property is bounded at one:
+    // structurally reachable (so the scenario builds), yet every trace
+    // decides negatively — the zero-success regime.
+    let dir = std::env::temp_dir().join("imcis_failure_injection");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("out_of_reach_goal.imc");
+    std::fs::write(
+        &model,
+        "imc\nstates 3\ninitial 0\n\
+         interval 0 1 1.0 1.0\n\
+         interval 1 2 1.0 1.0\n\
+         interval 2 2 1.0 1.0\n\
+         label 2 goal\n",
+    )
+    .unwrap();
+    let spec_text = format!(
+        r#"{{"scenario": {{"name": "file",
+                           "params": {{"path": {path}, "target": "goal",
+                                       "bound": 1}}}},
+            "method": {{"name": "smc", "n_traces": 100}}, "seed": 5}}"#,
+        path = serde::json::Value::Str(model.to_str().unwrap().into())
+    );
+    let spec: RunSpec = spec_text.parse().unwrap();
+    let report = Session::from_spec(spec).unwrap().run().unwrap();
+    assert_eq!(report.estimate, 0.0);
+
+    let suite: SuiteSpec = format!("{{\"runs\": [{spec_text}]}}").parse().unwrap();
+    let suite_report = Suite::from_spec(suite).unwrap().run().unwrap();
+    assert_eq!(
+        suite_report.members[0]
+            .report()
+            .expect("degenerate but clean")
+            .to_json_stable()
+            .pretty(),
+        report.to_json_stable().pretty(),
+        "the suite path drifted from the session path on a degenerate run"
+    );
+}
+
+/// Without `IMCIS_FAULT_INJECTION=1`, a manifest carrying a `fault`
+/// block is refused with a pinned message (this test binary never sets
+/// the variable).
+#[test]
+fn fault_blocks_are_refused_without_the_opt_in() {
+    assert!(
+        !imcis_core::fault::enabled(),
+        "this binary must not enable fault injection"
+    );
+    let spec: SuiteSpec = r#"{
+        "runs": [{"scenario": {"name": "illustrative"},
+                  "method": {"name": "smc", "n_traces": 100}}],
+        "fault": {"seed": 1, "injections": [{"member": 0, "kind": "panic"}]}
+    }"#
+    .parse()
+    .expect("the block parses; only building is gated");
+    let err = Suite::from_spec(spec).unwrap_err().to_string();
+    assert!(
+        err.contains("fault injection is disabled (set IMCIS_FAULT_INJECTION=1)"),
+        "{err}"
     );
 }
 

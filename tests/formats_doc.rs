@@ -54,17 +54,13 @@ fn every_documented_example_passes_the_real_validators() {
         };
         if value.get("wire").is_some() {
             // Wire messages: requests go through the server's own parser,
-            // events through the client's validator.
+            // events through the client's validator. `status` names both
+            // a request and an event — the event carries the load
+            // fields, so whichever validator accepts it decides.
             let kind = value.get("type").and_then(Value::as_str).unwrap_or("");
-            if matches!(kind, "submit" | "ping" | "shutdown") {
-                match parse_request(&value) {
-                    Ok(Request::Submit(_)) | Ok(Request::Ping) | Ok(Request::Shutdown) => {}
-                    Err((class, message)) => {
-                        context("wire request", format!("[{class}] {message}"))
-                    }
-                }
-                requests += 1;
-            } else {
+            let is_request_kind =
+                matches!(kind, "submit" | "cancel" | "status" | "ping" | "shutdown");
+            if !is_request_kind || (kind == "status" && validate_event(&value).is_ok()) {
                 validate_event(&value).unwrap_or_else(|e| context("wire event", e));
                 events += 1;
                 // Embedded payloads were already validated transitively;
@@ -72,6 +68,20 @@ fn every_documented_example_passes_the_real_validators() {
                 if kind == "member_report" {
                     reports += 1;
                 }
+            } else {
+                match parse_request(&value) {
+                    Ok(
+                        Request::Submit { .. }
+                        | Request::Cancel { .. }
+                        | Request::Status
+                        | Request::Ping
+                        | Request::Shutdown,
+                    ) => {}
+                    Err((class, message)) => {
+                        context("wire request", format!("[{class}] {message}"))
+                    }
+                }
+                requests += 1;
             }
             continue;
         }
@@ -100,13 +110,18 @@ fn every_documented_example_passes_the_real_validators() {
         }
     }
 
-    // One complete example per schema is the documented contract.
+    // One complete example per schema is the documented contract; the
+    // wire/2 floors cover the robustness surface (cancel, status,
+    // deadline_ms, rejected, member_error, shutting_down).
     assert!(runspecs >= 1, "no imcis.runspec/1 example found");
-    assert!(suitespecs >= 1, "no imcis.suitespec/1 example found");
+    assert!(
+        suitespecs >= 2,
+        "imcis.suitespec/1 examples missing (plain + fault)"
+    );
     assert!(reports >= 1, "no imcis.report/2 example found");
-    assert!(suitereports >= 1, "no imcis.suitereport/1 example found");
-    assert!(requests >= 3, "wire request examples missing");
-    assert!(events >= 4, "wire event examples missing");
+    assert!(suitereports >= 1, "no imcis.suitereport/2 example found");
+    assert!(requests >= 5, "wire request examples missing");
+    assert!(events >= 8, "wire event examples missing");
 }
 
 /// The documented round-trip claim: canonical examples reserialize

@@ -11,22 +11,35 @@
 //!   messages the batch path prints) and leave the connection usable;
 //! * a client disconnecting mid-stream never wedges the server;
 //! * concurrent clients each get reports bit-identical to standalone
-//!   runs.
+//!   runs;
+//! * the `imcis.wire/2` robustness surface is pinned at the wire level:
+//!   `cancel` stops a job at its next member boundary, `deadline_ms`
+//!   turns not-yet-started members into typed `timeout` entries, a full
+//!   queue answers `rejected {retry_after_ms}` instead of blocking, an
+//!   idle client cannot delay a drain, and `shutting_down` reports
+//!   in-flight job dispositions.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 
-use imcis_core::serve::{Client, ServeConfig, ServeError, Server};
+use imcis_core::serve::{Client, ServeConfig, ServeError, Server, RETRY_AFTER_MS};
 use imcis_core::{Suite, SuiteSpec};
 use serde::json::{self, Value};
 
 const TABLE1_SUITE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/paper_table1_suite.json");
 
 fn spawn_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<Result<(), ServeError>>) {
+    spawn_server_with_queue(workers, 8)
+}
+
+fn spawn_server_with_queue(
+    workers: usize,
+    queue: usize,
+) -> (SocketAddr, std::thread::JoinHandle<Result<(), ServeError>>) {
     let server = Server::bind(ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers,
-        queue: 8,
+        queue,
     })
     .expect("ephemeral bind");
     let addr = server.local_addr();
@@ -110,10 +123,10 @@ fn daemon_table1_suite_is_byte_identical_at_worker_counts_1_2_8() {
             direct_stable,
             "daemon output drifted from `imcis suite` at {workers} workers"
         );
-        for (i, member) in outcome.member_reports.iter().enumerate() {
+        for (i, member) in outcome.members.iter().enumerate() {
             assert_eq!(
                 member.pretty(),
-                direct.reports[i].to_json_stable().pretty(),
+                direct.members[i].to_json_stable().pretty(),
                 "member {i} drifted at {workers} workers"
             );
         }
@@ -141,7 +154,7 @@ fn malformed_wire_json_is_an_error_event_and_the_connection_survives() {
     assert_eq!(event_type(&event), "error");
     assert_eq!(
         event.get("message").and_then(Value::as_str),
-        Some("unknown request type `teleport` (submit | ping | shutdown)")
+        Some("unknown request type `teleport` (submit | cancel | status | ping | shutdown)")
     );
 
     // A wrong wire schema tag is refused by name.
@@ -149,7 +162,7 @@ fn malformed_wire_json_is_an_error_event_and_the_connection_survives() {
     let event = wire.read_event();
     assert_eq!(
         event.get("message").and_then(Value::as_str),
-        Some("unsupported wire schema `imcis.wire/9` (expected `imcis.wire/1`)")
+        Some("unsupported wire schema `imcis.wire/9` (expected `imcis.wire/2`)")
     );
 
     // The same connection still serves real requests afterwards —
@@ -276,6 +289,271 @@ fn disconnecting_mid_stream_leaves_the_server_serving_and_the_cache_warm() {
     assert_eq!(outcome.suite_report.pretty(), direct);
 
     shut_down(addr, handle);
+}
+
+/// A 3-member suite whose member 0 sleeps `delay_ms` before running —
+/// the knob the cancellation/deadline/backpressure tests turn to hold a
+/// worker busy at a known member boundary. Requires
+/// `IMCIS_FAULT_INJECTION=1`.
+fn delayed_suite(seed: u64, delay_ms: u64) -> SuiteSpec {
+    format!(
+        r#"{{
+            "runs": [
+                {{"scenario": {{"name": "illustrative"}},
+                 "method": {{"name": "smc", "n_traces": 200}},
+                 "seed": {seed}, "threads": 1}},
+                {{"scenario": {{"name": "illustrative"}},
+                 "method": {{"name": "smc", "n_traces": 200}},
+                 "seed": {}, "threads": 1}},
+                {{"scenario": {{"name": "illustrative"}},
+                 "method": {{"name": "smc", "n_traces": 200}},
+                 "seed": {}, "threads": 1}}
+            ],
+            "threads": 1,
+            "fault": {{"seed": 1, "injections": [
+                {{"member": 0, "kind": "delay", "delay_ms": {delay_ms}}}
+            ]}}
+        }}"#,
+        seed + 1,
+        seed + 2,
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Drains one job's event stream on a raw wire, returning the
+/// manifest-ordered member statuses and the terminal report.
+fn drain_job(wire: &mut RawWire, members: usize) -> (Vec<String>, Value) {
+    let mut statuses = vec![String::new(); members];
+    loop {
+        let event = wire.read_event();
+        match event_type(&event) {
+            "member_report" => {
+                let i = event.get("member_index").and_then(Value::as_usize).unwrap();
+                statuses[i] = "ok".into();
+            }
+            "member_error" => {
+                let i = event.get("member_index").and_then(Value::as_usize).unwrap();
+                statuses[i] = event
+                    .get("status")
+                    .and_then(Value::as_str)
+                    .unwrap()
+                    .to_string();
+            }
+            "suite_report" => {
+                return (statuses, event.get("suite_report").unwrap().clone());
+            }
+            other => panic!("unexpected event `{other}`"),
+        }
+    }
+}
+
+#[test]
+fn cancel_stops_a_job_at_the_next_member_boundary() {
+    std::env::set_var(imcis_core::FAULT_ENV, "1");
+    let (addr, handle) = spawn_server(1);
+
+    // Member 0 sleeps for a second: with one worker, members 1 and 2
+    // cannot start until it finishes — a wide-open cancellation window.
+    let spec = delayed_suite(50, 1_000);
+    let mut wire = RawWire::connect(addr);
+    wire.send(&format!(
+        "{{\"type\": \"submit\", \"suite\": {}}}",
+        spec.to_json()
+    ));
+    let accepted = wire.read_event();
+    assert_eq!(event_type(&accepted), "accepted");
+    let job_id = accepted.get("job_id").and_then(Value::as_u64).unwrap();
+
+    // Cancel from a second connection while member 0 is still sleeping
+    // (the short sleep guarantees the worker has dequeued member 0, so
+    // exactly the trailing members are cancelled).
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let mut client = Client::connect(addr).unwrap();
+    client.cancel(job_id).unwrap();
+
+    // The running member finishes (cancellation is honoured at member
+    // boundaries, never mid-session); the rest become typed `cancelled`
+    // entries with the pinned message.
+    let (statuses, report) = drain_job(&mut wire, 3);
+    assert_eq!(statuses, ["ok", "cancelled", "cancelled"]);
+    let entries = report.get("reports").and_then(Value::as_array).unwrap();
+    assert_eq!(
+        entries[1].get("message").and_then(Value::as_str),
+        Some("job cancelled by request")
+    );
+
+    // Cancelling a finished job is a typed queue error.
+    let err = client.cancel(job_id).unwrap_err();
+    match err {
+        ServeError::Remote { error, message } => {
+            assert_eq!(error, "queue");
+            assert_eq!(message, format!("job {job_id} is not active"));
+        }
+        other => panic!("expected a remote queue error, got {other}"),
+    }
+
+    shut_down(addr, handle);
+}
+
+#[test]
+fn deadlines_turn_unstarted_members_into_typed_timeouts() {
+    std::env::set_var(imcis_core::FAULT_ENV, "1");
+    let (addr, handle) = spawn_server(1);
+
+    // Member 0 starts inside the 100 ms deadline but sleeps 400 ms, so
+    // the deadline has passed by the time members 1 and 2 would start.
+    // Deadlines are checked at member start only: the running member
+    // still completes.
+    let spec = delayed_suite(60, 400);
+    let mut wire = RawWire::connect(addr);
+    wire.send(&format!(
+        "{{\"type\": \"submit\", \"deadline_ms\": 100, \"suite\": {}}}",
+        spec.to_json()
+    ));
+    assert_eq!(event_type(&wire.read_event()), "accepted");
+    let (statuses, report) = drain_job(&mut wire, 3);
+    assert_eq!(statuses, ["ok", "timeout", "timeout"]);
+    let entries = report.get("reports").and_then(Value::as_array).unwrap();
+    assert_eq!(
+        entries[2].get("message").and_then(Value::as_str),
+        Some("job deadline of 100 ms exceeded")
+    );
+    // The summary rows carry the same statuses.
+    let summary = report.get("summary").and_then(Value::as_array).unwrap();
+    let row_statuses: Vec<&str> = summary
+        .iter()
+        .map(|row| row.get("status").and_then(Value::as_str).unwrap())
+        .collect();
+    assert_eq!(row_statuses, ["ok", "timeout", "timeout"]);
+
+    // A non-positive deadline is a pinned wire error.
+    wire.send(&format!(
+        "{{\"type\": \"submit\", \"deadline_ms\": 0, \"suite\": {}}}",
+        spec.to_json()
+    ));
+    let event = wire.read_event();
+    assert_eq!(event.get("error").and_then(Value::as_str), Some("wire"));
+    assert_eq!(
+        event.get("message").and_then(Value::as_str),
+        Some("`deadline_ms` must be positive")
+    );
+
+    shut_down(addr, handle);
+}
+
+#[test]
+fn a_full_queue_answers_rejected_instead_of_blocking() {
+    std::env::set_var(imcis_core::FAULT_ENV, "1");
+    // Queue capacity 2: the delayed 3-member suite can never fit, and a
+    // 2-member suite fills the queue completely while it runs.
+    let (addr, handle) = spawn_server_with_queue(1, 2);
+
+    // Oversized: a typed queue error, not a hang.
+    let mut wire = RawWire::connect(addr);
+    wire.send(&format!(
+        "{{\"type\": \"submit\", \"suite\": {}}}",
+        delayed_suite(70, 10).to_json()
+    ));
+    let event = wire.read_event();
+    assert_eq!(event.get("error").and_then(Value::as_str), Some("queue"));
+    assert_eq!(
+        event.get("message").and_then(Value::as_str),
+        Some("suite has 3 members but the queue capacity is 2")
+    );
+
+    // Fill the queue with a slow 2-member job...
+    let slow: SuiteSpec = r#"{
+        "runs": [
+            {"scenario": {"name": "illustrative"},
+             "method": {"name": "smc", "n_traces": 200}, "seed": 71,
+             "threads": 1},
+            {"scenario": {"name": "illustrative"},
+             "method": {"name": "smc", "n_traces": 200}, "seed": 72,
+             "threads": 1}
+        ],
+        "threads": 1,
+        "fault": {"seed": 1, "injections": [
+            {"member": 0, "kind": "delay", "delay_ms": 800}
+        ]}
+    }"#
+    .parse()
+    .unwrap();
+    wire.send(&format!(
+        "{{\"type\": \"submit\", \"suite\": {}}}",
+        slow.to_json()
+    ));
+    assert_eq!(event_type(&wire.read_event()), "accepted");
+
+    // ...and watch a concurrent submission bounce with the retry hint.
+    let spec = tiny_suite(73);
+    let mut client = Client::connect(addr).unwrap();
+    let err = client.submit(&spec, |_, _| {}).unwrap_err();
+    match err {
+        ServeError::Rejected { retry_after_ms } => assert_eq!(retry_after_ms, RETRY_AFTER_MS),
+        other => panic!("expected a rejection, got {other}"),
+    }
+
+    // Once the slow job drains, the same connection resubmits cleanly
+    // and the report is byte-identical to the batch path.
+    let (statuses, _) = drain_job(&mut wire, 2);
+    assert_eq!(statuses, ["ok", "ok"]);
+    let direct = Suite::from_spec(spec.clone())
+        .unwrap()
+        .run()
+        .unwrap()
+        .to_json_stable()
+        .pretty();
+    let outcome = client.submit(&spec, |_, _| {}).unwrap();
+    assert_eq!(outcome.suite_report.pretty(), direct);
+
+    shut_down(addr, handle);
+}
+
+#[test]
+fn an_idle_client_cannot_delay_the_shutdown_drain() {
+    std::env::set_var(imcis_core::FAULT_ENV, "1");
+    let (addr, handle) = spawn_server(1);
+
+    // A client that connects and never sends a line: without read
+    // deadlines its handler thread would block in read_line forever and
+    // the drain would wait on it.
+    let idle = TcpStream::connect(addr).unwrap();
+
+    // Shutdown arrives while a delayed job is still in flight, so the
+    // `shutting_down` event reports its disposition.
+    let spec = delayed_suite(80, 400);
+    let mut wire = RawWire::connect(addr);
+    wire.send(&format!(
+        "{{\"type\": \"submit\", \"suite\": {}}}",
+        spec.to_json()
+    ));
+    let accepted = wire.read_event();
+    assert_eq!(event_type(&accepted), "accepted");
+    let job_id = accepted.get("job_id").and_then(Value::as_u64).unwrap();
+
+    let mut shutdown_wire = RawWire::connect(addr);
+    shutdown_wire.send("{\"type\": \"shutdown\"}");
+    let event = shutdown_wire.read_event();
+    assert_eq!(event_type(&event), "shutting_down");
+    let jobs = event.get("jobs").and_then(Value::as_array).unwrap();
+    assert_eq!(jobs.len(), 1, "the in-flight job must be reported");
+    assert_eq!(jobs[0].get("job_id").and_then(Value::as_u64), Some(job_id));
+    assert_eq!(jobs[0].get("members").and_then(Value::as_u64), Some(3));
+
+    // The in-flight job still drains to completion for its client...
+    let (statuses, _) = drain_job(&mut wire, 3);
+    assert_eq!(statuses, ["ok", "ok", "ok"]);
+
+    // ...and the server exits promptly despite the idle connection.
+    let started = std::time::Instant::now();
+    handle.join().unwrap().unwrap();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "an idle client delayed the drain: {:?}",
+        started.elapsed()
+    );
+    drop(idle);
 }
 
 #[test]

@@ -108,11 +108,15 @@ fn suite_is_bit_identical_across_thread_budgets_and_to_individual_sessions() {
     // each member spec through its own Session (fresh scenario build, no
     // cache) — sharing a Setup changes where the models live, not what
     // they are.
-    assert_eq!(reference.reports.len(), spec.runs.len());
+    assert_eq!(reference.members.len(), spec.runs.len());
     for (i, run) in spec.runs.iter().enumerate() {
         let solo = Session::from_spec(run.clone()).unwrap().run().unwrap();
         assert_eq!(
-            reference.reports[i].to_json_stable().pretty(),
+            reference.members[i]
+                .report()
+                .expect("clean suite runs have ok members")
+                .to_json_stable()
+                .pretty(),
             solo.to_json_stable().pretty(),
             "suite member {i} diverged from its standalone session"
         );
@@ -180,7 +184,7 @@ fn setup_cache_builds_each_unique_scenario_exactly_once() {
 
     // The suite still runs — every member against its shared setup.
     let report = suite.run().unwrap();
-    assert_eq!(report.reports.len(), 5);
+    assert_eq!(report.members.len(), 5);
     // Building sessions and running them never re-enters the builders.
     assert_eq!(builds_a.load(Ordering::SeqCst), 1);
     assert_eq!(builds_b.load(Ordering::SeqCst), 1);
