@@ -1,8 +1,9 @@
 //! Engine scaling experiment: traces/sec of the parallel batch sampler at
 //! increasing thread counts, candidate-evals/sec of the prepared vs naive
-//! estimator hot path, and candidate-rounds/sec of the sequential vs
-//! batched random-search engines — the perf trajectory artefact behind
-//! the parallel-engine PRs.
+//! estimator hot path, candidate-rounds/sec of the sequential vs
+//! batched random-search engines, and the streaming CSR build throughput
+//! of the million-state repair fleet (states/sec + peak RSS) — the perf
+//! trajectory artefact behind the parallel-engine and sparse-kernel PRs.
 //!
 //! Emits `BENCH_parallel.json` in the working directory (plus a printed
 //! table) so future changes have a baseline to beat. Accepts the usual
@@ -26,6 +27,22 @@ fn sample_at(setup: &imcis_bench::setup::Setup, n: usize, threads: usize, seed: 
         &IsConfig::new(n).with_threads(threads),
         &mut rng,
     )
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
 }
 
 fn main() {
@@ -160,6 +177,24 @@ fn main() {
         );
     }));
 
+    // --- Axis 4: sparse million-state build ------------------------------
+    // Streaming CSR construction throughput of the 10^6-state repair
+    // fleet, the memory-pressure witness of the sparse kernel: the peak
+    // RSS recorded below bounds the whole process including this build.
+    let build_start = Instant::now();
+    let fleet = imc_models::fleet::jump_chain(
+        imc_models::fleet::COMPONENTS,
+        imc_models::fleet::LEVELS,
+        imc_models::fleet::ALPHA,
+        imc_models::fleet::BETA,
+    )
+    .expect("default fleet parameters are valid");
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let fleet_states = fleet.num_states();
+    let fleet_transitions = fleet.num_transitions();
+    let states_per_sec = fleet_states as f64 / build_secs;
+    drop(fleet);
+
     // --- Report ---------------------------------------------------------
     println!(
         "engine scaling on {} ({} traces/run, {} cores available):",
@@ -216,6 +251,18 @@ fn main() {
         }
     );
 
+    let peak_rss = peak_rss_bytes();
+    println!();
+    println!(
+        "sparse build: {} states / {} transitions streamed in {:.2}s ({} states/sec); \
+         peak RSS {:.1} MiB",
+        fleet_states,
+        fleet_transitions,
+        build_secs,
+        sci(states_per_sec),
+        peak_rss as f64 / (1024.0 * 1024.0),
+    );
+
     // --- JSON artefact ---------------------------------------------------
     let sampling_json: Vec<String> = sampling_rows
         .iter()
@@ -235,7 +282,10 @@ fn main() {
          \"candidate_search\": {{\n    \"sampled_rows\": {},\n    \"rounds_per_search\": {},\n    \
          \"batch_size\": {},\n    \"sequential_rounds_per_sec\": {:.1},\n    \
          \"batched_rounds_per_sec\": {:.1},\n    \"speedup\": {:.3},\n    \
-         \"bit_identical_across_search_threads\": {}\n  }}\n}}\n",
+         \"bit_identical_across_search_threads\": {}\n  }},\n  \
+         \"large_model\": {{\n    \"states\": {},\n    \"transitions\": {},\n    \
+         \"build_secs\": {:.3},\n    \"states_per_sec\": {:.1}\n  }},\n  \
+         \"peak_rss_bytes\": {}\n}}\n",
         setup.name,
         n_traces,
         cores,
@@ -255,6 +305,11 @@ fn main() {
         batched_rate,
         batched_rate / sequential_rate,
         search_bit_identical,
+        fleet_states,
+        fleet_transitions,
+        build_secs,
+        states_per_sec,
+        peak_rss,
     );
     std::fs::write("BENCH_parallel.json", &json).expect("can write BENCH_parallel.json");
     println!("\nwrote BENCH_parallel.json");

@@ -883,8 +883,7 @@ fn run_info(model_text: &str) -> Result<String, CliError> {
     let imc = io::parse_imc(model_text).map_err(CliError::Parse)?;
     let widths: Vec<f64> = imc
         .rows()
-        .iter()
-        .flat_map(|row| row.entries().iter().map(|e| e.hi - e.lo))
+        .flat_map(|row| row.iter().map(|e| e.hi - e.lo))
         .collect();
     let max_width = widths.iter().copied().fold(0.0, f64::max);
     let n_intervals = widths.len();
@@ -900,11 +899,11 @@ fn run_info(model_text: &str) -> Result<String, CliError> {
     ))
 }
 
-fn labelled_set(states: StateSet, label: &str) -> Result<StateSet, CliError> {
+fn labelled_set(states: &StateSet, label: &str) -> Result<StateSet, CliError> {
     if states.is_empty() {
         Err(CliError::UnknownLabel(label.to_owned()))
     } else {
-        Ok(states)
+        Ok(states.clone())
     }
 }
 

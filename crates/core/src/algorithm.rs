@@ -492,14 +492,13 @@ mod tests {
         // B that never reaches the target: a chain routing everything to
         // the sink. IMCIS reports [0, 0] rather than failing.
         let imc = illustrative::paper_imc().unwrap();
-        let never = imc_markov::DtmcBuilder::new(4)
-            .initial(0)
-            .transition(0, 3, 1.0)
-            .transition(1, 0, 1.0)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap();
+        let mut nb = imc_markov::DtmcBuilder::new(4);
+        nb.set_initial(0)
+            .add_transition(0, 3, 1.0)
+            .add_transition(1, 0, 1.0)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        let never = nb.build().unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(35);
         let out = imcis(
             &imc,

@@ -192,13 +192,12 @@ mod tests {
     use imc_markov::{DtmcBuilder, StateSet};
 
     fn coin_setup(p_center: f64, eps: f64) -> (Imc, Dtmc, Property) {
-        let center = DtmcBuilder::new(3)
-            .transition(0, 1, p_center)
-            .transition(0, 2, 1.0 - p_center)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap();
+        let mut cb = DtmcBuilder::new(3);
+        cb.add_transition(0, 1, p_center)
+            .add_transition(0, 2, 1.0 - p_center)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        let center = cb.build().unwrap();
         let imc = Imc::from_center(&center, |_, _| eps).unwrap();
         let prop =
             Property::reach_avoid(StateSet::from_states(3, [1]), StateSet::from_states(3, [2]));

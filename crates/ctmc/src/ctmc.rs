@@ -153,21 +153,22 @@ impl Ctmc {
     /// Propagates validation errors from the derived chain (cannot occur
     /// for a validated CTMC; kept for defence in depth).
     pub fn embedded_dtmc(&self) -> Result<Dtmc, CtmcError> {
-        let mut builder = DtmcBuilder::new(self.num_states()).initial(self.initial);
+        let mut builder = DtmcBuilder::new(self.num_states());
+        builder.set_initial(self.initial);
         for (from, row) in self.rows.iter().enumerate() {
             let exit = self.exit_rate(from);
             if exit <= 0.0 {
-                builder = builder.self_loop(from);
+                builder.add_self_loop(from);
                 continue;
             }
             // Rounding guard: make the row sum exactly one by scaling.
             for entry in row {
-                builder = builder.transition(from, entry.target, entry.rate / exit);
+                builder.add_transition(from, entry.target, entry.rate / exit);
             }
         }
         for (name, set) in &self.labels {
             for state in set.iter() {
-                builder = builder.label(state, name);
+                builder.add_label(state, name);
             }
         }
         builder.build().map_err(CtmcError::from)
@@ -190,19 +191,20 @@ impl Ctmc {
                 max_exit,
             });
         }
-        let mut builder = DtmcBuilder::new(self.num_states()).initial(self.initial);
+        let mut builder = DtmcBuilder::new(self.num_states());
+        builder.set_initial(self.initial);
         for (from, row) in self.rows.iter().enumerate() {
             let mut stay = 1.0;
             for entry in row {
                 let p = entry.rate / lambda;
                 stay -= p;
-                builder = builder.transition(from, entry.target, p);
+                builder.add_transition(from, entry.target, p);
             }
-            builder = builder.transition(from, from, stay.max(0.0));
+            builder.add_transition(from, from, stay.max(0.0));
         }
         for (name, set) in &self.labels {
             for state in set.iter() {
-                builder = builder.label(state, name);
+                builder.add_label(state, name);
             }
         }
         builder.build().map_err(CtmcError::from)
@@ -236,7 +238,7 @@ impl CtmcBuilder {
     }
 
     /// Adds transition `from -> to` with the given rate. Zero rates are
-    /// dropped, mirroring [`DtmcBuilder::transition`].
+    /// dropped, mirroring [`DtmcBuilder::add_transition`].
     pub fn rate(mut self, from: State, to: State, rate: f64) -> Self {
         if rate != 0.0 {
             self.rates.push((from, to, rate));

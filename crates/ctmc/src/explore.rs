@@ -300,7 +300,7 @@ mod tests {
         let explored = two_component_model().explore(100).unwrap();
         let jump = explored.ctmc.embedded_dtmc().unwrap();
         for s in 0..jump.num_states() {
-            assert!((jump.row(s).sum() - 1.0).abs() < 1e-9);
+            assert!((jump.row(s).unwrap().sum() - 1.0).abs() < 1e-9);
         }
     }
 

@@ -136,11 +136,11 @@ fn poisson_mixture(chain: &Dtmc, pi0: &[f64], q: f64) -> Vec<f64> {
             log_w += q.ln() - (k as f64).ln();
             // Advance the distribution one uniformised step.
             let mut next = vec![0.0f64; n];
-            for (s, row) in chain.rows().iter().enumerate() {
+            for (s, row) in chain.rows().enumerate() {
                 if current[s] == 0.0 {
                     continue;
                 }
-                for e in row.entries() {
+                for e in row.iter() {
                     next[e.target] += current[s] * e.prob;
                 }
             }

@@ -89,7 +89,8 @@ pub fn learn_dtmc(counts: &CountTable, options: &LearnOptions) -> Result<Dtmc, L
         return Err(LearnError::NoObservations);
     }
     let n = counts.num_states();
-    let mut builder = DtmcBuilder::new(n).initial(options.initial);
+    let mut builder = DtmcBuilder::new(n);
+    builder.set_initial(options.initial);
     for state in 0..n {
         let successors = counts.successors(state);
         if successors.is_empty() {
@@ -98,11 +99,11 @@ pub fn learn_dtmc(counts: &CountTable, options: &LearnOptions) -> Result<Dtmc, L
             if touched(counts, state) {
                 return Err(LearnError::UnvisitedState { state });
             }
-            builder = builder.self_loop(state);
+            builder.add_self_loop(state);
             continue;
         }
         let total = counts.source_total(state);
-        builder = add_row(builder, state, &successors, total, options.smoothing);
+        add_row(&mut builder, state, &successors, total, options.smoothing);
     }
     builder.build().map_err(LearnError::from)
 }
@@ -125,39 +126,39 @@ pub fn learn_dtmc_with_support(
         return Err(LearnError::NoObservations);
     }
     let n = support.num_states();
-    let mut builder = DtmcBuilder::new(n).initial(support.initial());
+    let mut builder = DtmcBuilder::new(n);
+    builder.set_initial(support.initial());
     for state in 0..n {
         let total = counts.source_total(state);
+        let support_row = support.row(state).expect("support state is in range");
         if total == 0 {
-            for e in support.row(state).entries() {
-                builder = builder.transition(state, e.target, e.prob);
+            for e in support_row.iter() {
+                builder.add_transition(state, e.target, e.prob);
             }
             continue;
         }
         // Successor set = the support row; counts may miss some of them.
-        let successors: Vec<(State, u64)> = support
-            .row(state)
-            .entries()
+        let successors: Vec<(State, u64)> = support_row
             .iter()
             .map(|e| (e.target, counts.count(state, e.target)))
             .collect();
-        builder = add_row(builder, state, &successors, total, options.smoothing);
+        add_row(&mut builder, state, &successors, total, options.smoothing);
     }
     for label in support.label_names() {
         for s in support.labeled_states(label).iter() {
-            builder = builder.label(s, label);
+            builder.add_label(s, label);
         }
     }
     builder.build().map_err(LearnError::from)
 }
 
 fn add_row(
-    builder: DtmcBuilder,
+    builder: &mut DtmcBuilder,
     state: State,
     successors: &[(State, u64)],
     total: u64,
     smoothing: Smoothing,
-) -> DtmcBuilder {
+) {
     let k = successors.len() as f64;
     let total = total as f64;
     let probs: Vec<f64> = match smoothing {
@@ -169,16 +170,14 @@ fn add_row(
     };
     // Force exact stochasticity against rounding.
     let sum: f64 = probs.iter().sum();
-    let mut builder = builder;
     for (i, (&(target, _), &p)) in successors.iter().zip(&probs).enumerate() {
         let p = if i == successors.len() - 1 {
             p + (1.0 - sum)
         } else {
             p
         };
-        builder = builder.transition(state, target, p);
+        builder.add_transition(state, target, p);
     }
-    builder
 }
 
 /// Whether `state` appears anywhere in the data (as a source or target).
@@ -301,14 +300,13 @@ mod tests {
 
     #[test]
     fn support_fallback_fills_unvisited_rows() {
-        let support = DtmcBuilder::new(3)
-            .transition(0, 1, 0.5)
-            .transition(0, 2, 0.5)
-            .transition(1, 0, 1.0)
-            .self_loop(2)
-            .label(2, "sink")
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, 0.5)
+            .add_transition(0, 2, 0.5)
+            .add_transition(1, 0, 1.0)
+            .add_self_loop(2)
+            .add_label(2, "sink");
+        let support = b.build().unwrap();
         let table = table_from_paths(3, &[vec![0, 1], vec![0, 1], vec![0, 2]]);
         let chain = learn_dtmc_with_support(&table, &support, &LearnOptions::default()).unwrap();
         // Learnt where there is data...
@@ -321,13 +319,12 @@ mod tests {
 
     #[test]
     fn smoothing_keeps_unobserved_support_transitions_positive() {
-        let support = DtmcBuilder::new(3)
-            .transition(0, 1, 0.5)
-            .transition(0, 2, 0.5)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, 0.5)
+            .add_transition(0, 2, 0.5)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        let support = b.build().unwrap();
         // Only 0 -> 1 ever observed.
         let table = table_from_paths(3, &[vec![0, 1], vec![0, 1]]);
         let opts = LearnOptions {
@@ -336,7 +333,7 @@ mod tests {
         };
         let chain = learn_dtmc_with_support(&table, &support, &opts).unwrap();
         assert!(chain.prob(0, 2) > 0.0);
-        assert!((chain.row(0).sum() - 1.0).abs() < 1e-12);
+        assert!((chain.row(0).unwrap().sum() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -352,8 +349,13 @@ mod tests {
         let opts = LearnOptions::default();
         let imc_few = learn_imc(&few, &opts).unwrap();
         let imc_many = learn_imc(&many, &opts).unwrap();
-        let w_few = imc_few.row(0).interval_to(1).unwrap().half_width();
-        let w_many = imc_many.row(0).interval_to(1).unwrap().half_width();
+        let w_few = imc_few.row(0).unwrap().interval_to(1).unwrap().half_width();
+        let w_many = imc_many
+            .row(0)
+            .unwrap()
+            .interval_to(1)
+            .unwrap()
+            .half_width();
         assert!(w_many < w_few / 5.0, "{w_many} vs {w_few}");
     }
 
@@ -370,22 +372,21 @@ mod tests {
         paths.push(vec![1, 1]);
         let table = table_from_paths(2, &paths);
         let imc = learn_imc(&table, &LearnOptions::default()).unwrap();
-        assert!(imc.row(0).interval_to(1).unwrap().contains(0.3));
+        assert!(imc.row(0).unwrap().interval_to(1).unwrap().contains(0.3));
         assert!(imc.center().is_some());
     }
 
     #[test]
     fn unvisited_row_in_support_imc_is_fully_uncertain() {
-        let support = DtmcBuilder::new(3)
-            .transition(0, 1, 0.5)
-            .transition(0, 2, 0.5)
-            .transition(1, 0, 1.0)
-            .self_loop(2)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, 0.5)
+            .add_transition(0, 2, 0.5)
+            .add_transition(1, 0, 1.0)
+            .add_self_loop(2);
+        let support = b.build().unwrap();
         let table = table_from_paths(3, &[vec![0, 2], vec![0, 2]]);
         let imc = learn_imc_with_support(&table, &support, &LearnOptions::default()).unwrap();
-        let e = imc.row(1).interval_to(0).unwrap();
+        let e = imc.row(1).unwrap().interval_to(0).unwrap();
         assert_eq!((e.lo, e.hi), (0.0, 1.0));
     }
 }

@@ -30,7 +30,7 @@
 //!     counts.record_path(&Path::new(vec![0, 1, 1]));
 //! }
 //! let learned = learn_imc(&counts, &LearnOptions::default())?;
-//! let interval = learned.row(0).interval_to(1).unwrap();
+//! let interval = learned.row(0)?.interval_to(1).unwrap();
 //! assert!(interval.contains(0.4)); // truth within the learnt interval
 //! # Ok(())
 //! # }

@@ -6,6 +6,19 @@ use crate::{
     XReachAvoidMonitor,
 };
 
+/// Clones a borrowed label set into an owned set over the model's universe.
+///
+/// Unknown labels resolve to the shared empty set over the empty universe;
+/// widening it here keeps set algebra (union, complement) over the model's
+/// states well-defined.
+fn owned_label_set(set: &StateSet, n: usize) -> StateSet {
+    if set.universe() == n {
+        set.clone()
+    } else {
+        StateSet::new(n)
+    }
+}
+
 /// A declarative bounded temporal property over the states of a chain.
 ///
 /// Properties are plain data (serialisable, comparable) and compile to an
@@ -75,7 +88,7 @@ impl Property {
     /// `F≤bound "label"`, resolving the label against `model`.
     pub fn bounded_reach_label(model: &Dtmc, label: &str, bound: usize) -> Self {
         Property::BoundedReach {
-            target: model.labeled_states(label),
+            target: owned_label_set(model.labeled_states(label), model.num_states()),
             bound,
         }
     }
@@ -109,7 +122,7 @@ impl Property {
         let mut avoid = StateSet::new(model.num_states());
         avoid.insert(model.initial());
         Property::XReachAvoid {
-            target: model.labeled_states(failure_label),
+            target: owned_label_set(model.labeled_states(failure_label), model.num_states()),
             avoid,
         }
     }
@@ -211,17 +224,17 @@ mod tests {
     use imc_markov::DtmcBuilder;
 
     fn labelled_chain() -> Dtmc {
-        DtmcBuilder::new(4)
-            .initial(0)
-            .transition(0, 1, 0.5)
-            .transition(0, 2, 0.5)
-            .transition(1, 3, 1.0)
-            .self_loop(2)
-            .self_loop(3)
-            .label(3, "goal")
-            .label(2, "sink")
-            .build()
-            .unwrap()
+        let mut builder = DtmcBuilder::new(4);
+        builder
+            .set_initial(0)
+            .add_transition(0, 1, 0.5)
+            .add_transition(0, 2, 0.5)
+            .add_transition(1, 3, 1.0)
+            .add_self_loop(2)
+            .add_self_loop(3)
+            .add_label(3, "goal")
+            .add_label(2, "sink");
+        builder.build().unwrap()
     }
 
     #[test]

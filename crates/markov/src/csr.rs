@@ -1,0 +1,172 @@
+//! The shared sorted-triplet CSR construction core.
+//!
+//! Both model builders ([`crate::DtmcBuilder`], [`crate::ImcBuilder`]) and
+//! both streaming builders ([`crate::DtmcStreamBuilder`],
+//! [`crate::ImcStreamBuilder`]) funnel through this one kernel: entries
+//! arrive as `(from, to, value)` triplets in ascending `(from, to)` order
+//! and are appended directly to contiguous `(row_ptr, col_idx, values)`
+//! arrays. Range, ordering and duplicate violations are typed
+//! [`ModelError`]s raised at push time; per-row numeric validation
+//! (stochasticity, interval consistency) is performed by the caller on the
+//! completed row slice each time a row closes, so construction is a single
+//! pass with no intermediate per-row maps.
+
+use crate::{ModelError, State};
+
+/// Outcome of pushing one triplet: either the entry joined the row under
+/// construction, or it opened a new row and the previous one is complete.
+pub(crate) enum Push {
+    /// The entry extended the current row.
+    SameRow,
+    /// The entry opened row `state + 1`'s successor; `start..end` is the
+    /// half-open slot range of the just-completed row `state`.
+    ClosedRow {
+        /// The state whose row just completed.
+        state: State,
+        /// First slot of the completed row.
+        start: usize,
+        /// One past the last slot of the completed row.
+        end: usize,
+    },
+}
+
+/// Incremental CSR assembly from ascending `(from, to, value)` triplets.
+#[derive(Debug, Clone)]
+pub(crate) struct CsrAssembler<V> {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<V>,
+    /// The row currently being filled.
+    current: State,
+    /// First slot index of the current row.
+    row_start: usize,
+}
+
+impl<V> CsrAssembler<V> {
+    pub(crate) fn new(n: usize) -> Self {
+        assert!(
+            n < u32::MAX as usize,
+            "models are limited to fewer than 2^32 - 1 states"
+        );
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0);
+        CsrAssembler {
+            n,
+            row_ptr,
+            col_idx: Vec::new(),
+            values: Vec::new(),
+            current: 0,
+            row_start: 0,
+        }
+    }
+
+    pub(crate) fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// The values pushed so far; closed-row ranges index into this slice.
+    pub(crate) fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Appends one triplet; `(from, to)` must be strictly ascending.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::StateOutOfRange`] if `from` or `to` is `>= n`;
+    /// * [`ModelError::DuplicateTransition`] on a repeated `(from, to)`;
+    /// * [`ModelError::OutOfOrderTransition`] if the pair sorts before the
+    ///   previous one;
+    /// * [`ModelError::NoOutgoingTransitions`] if advancing `from` would
+    ///   skip a state without any entries.
+    pub(crate) fn push(&mut self, from: State, to: State, value: V) -> Result<Push, ModelError> {
+        let n = self.n;
+        if from >= n {
+            return Err(ModelError::StateOutOfRange { state: from, n });
+        }
+        if to >= n {
+            return Err(ModelError::StateOutOfRange { state: to, n });
+        }
+        if from < self.current {
+            return Err(ModelError::OutOfOrderTransition { from, to });
+        }
+        if from == self.current {
+            if self.col_idx.len() > self.row_start {
+                let last_to = self.col_idx[self.col_idx.len() - 1] as State;
+                if to == last_to {
+                    return Err(ModelError::DuplicateTransition { from, to });
+                }
+                if to < last_to {
+                    return Err(ModelError::OutOfOrderTransition { from, to });
+                }
+            }
+            self.col_idx.push(to as u32);
+            self.values.push(value);
+            return Ok(Push::SameRow);
+        }
+        // `from > current`: the current row closes. It must be non-empty,
+        // and `from` must be the immediate successor (a gap would leave a
+        // state with no outgoing transitions).
+        if self.col_idx.len() == self.row_start {
+            return Err(ModelError::NoOutgoingTransitions {
+                state: self.current,
+            });
+        }
+        if from > self.current + 1 {
+            return Err(ModelError::NoOutgoingTransitions {
+                state: self.current + 1,
+            });
+        }
+        let closed = Push::ClosedRow {
+            state: self.current,
+            start: self.row_start,
+            end: self.col_idx.len(),
+        };
+        self.row_ptr.push(self.col_idx.len());
+        self.current = from;
+        self.row_start = self.col_idx.len();
+        self.col_idx.push(to as u32);
+        self.values.push(value);
+        Ok(closed)
+    }
+
+    /// Closes the final row and returns the finished arrays.
+    ///
+    /// The returned range is the slot range of the last row, for the
+    /// caller's numeric validation.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyModel`] if `n == 0`;
+    /// * [`ModelError::NoOutgoingTransitions`] if the last filled row is
+    ///   empty or any trailing state received no entries.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn finish(
+        mut self,
+    ) -> Result<(Vec<usize>, Vec<u32>, Vec<V>, State, usize, usize), ModelError> {
+        if self.n == 0 {
+            return Err(ModelError::EmptyModel);
+        }
+        if self.col_idx.len() == self.row_start {
+            return Err(ModelError::NoOutgoingTransitions {
+                state: self.current,
+            });
+        }
+        if self.current + 1 < self.n {
+            return Err(ModelError::NoOutgoingTransitions {
+                state: self.current + 1,
+            });
+        }
+        let (start, end) = (self.row_start, self.col_idx.len());
+        self.row_ptr.push(end);
+        Ok((
+            self.row_ptr,
+            self.col_idx,
+            self.values,
+            self.current,
+            start,
+            end,
+        ))
+    }
+}

@@ -1,8 +1,30 @@
+//! Discrete-time Markov chains on the sparse CSR kernel.
+//!
+//! A [`Dtmc`] stores its transition matrix as three contiguous arrays —
+//! `row_ptr` (row offsets), `col_idx` (target states) and `probs`
+//! (probabilities) — the classic compressed-sparse-row layout. Rows are
+//! borrowed as [`RowView`]s; no per-row allocations exist anywhere in the
+//! model.
+//!
+//! Construction funnels through one sorted-triplet kernel:
+//!
+//! * [`DtmcBuilder`] collects `(from, to, prob)` triplets in any order and
+//!   sorts them once at [`DtmcBuilder::build`];
+//! * [`DtmcStreamBuilder`] accepts triplets already in ascending
+//!   `(from, to)` order and appends them straight into the CSR arrays —
+//!   the streaming path used by the `file` scenario loader.
+//!
+//! Both validate eagerly with typed [`ModelError`]s: duplicate transitions,
+//! out-of-range states, non-stochastic rows and (for the streaming path)
+//! out-of-order triplets are all construction-time errors, never silent
+//! last-write-wins.
+
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{ModelError, Path, State, StateSet, ROW_SUM_TOLERANCE};
+use crate::csr::{CsrAssembler, Push};
+use crate::{LabelTable, ModelError, Path, State, StateSet, ROW_SUM_TOLERANCE};
 
 /// A single sparse transition: target state and probability.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -13,57 +35,86 @@ pub struct RowEntry {
     pub prob: f64,
 }
 
-/// The sparse probability distribution out of one state.
+/// A borrowed view of one probability row of a [`Dtmc`].
 ///
-/// Entries are sorted by target state and carry strictly positive
-/// probabilities summing to one (within [`ROW_SUM_TOLERANCE`]).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct Row {
-    entries: Vec<RowEntry>,
+/// The view borrows the model's CSR arrays directly: `targets()` and
+/// `probs()` are slices of the shared `col_idx` / value storage, sorted by
+/// target state. The view is `Copy`; iterate with [`RowView::iter`].
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    targets: &'a [u32],
+    probs: &'a [f64],
 }
 
-impl Row {
-    /// The entries of the row, sorted by target state.
-    pub fn entries(&self) -> &[RowEntry] {
-        &self.entries
-    }
-
+impl<'a> RowView<'a> {
     /// Number of outgoing transitions.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.targets.len()
     }
 
     /// Returns `true` if the row has no transitions.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.targets.is_empty()
+    }
+
+    /// Iterates the entries of the row, sorted by target state.
+    pub fn iter(self) -> impl Iterator<Item = RowEntry> + 'a {
+        self.targets
+            .iter()
+            .zip(self.probs.iter())
+            .map(|(&target, &prob)| RowEntry {
+                target: target as State,
+                prob,
+            })
+    }
+
+    /// The target state of the `i`-th entry.
+    pub fn target(&self, i: usize) -> State {
+        self.targets[i] as State
+    }
+
+    /// The probability of the `i`-th entry.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// The target states of the row, as raw CSR column indices.
+    pub fn targets(&self) -> &'a [u32] {
+        self.targets
+    }
+
+    /// The probabilities of the row, aligned with [`RowView::targets`].
+    pub fn probs(&self) -> &'a [f64] {
+        self.probs
     }
 
     /// Probability of moving to `target`, or `0.0` if there is no transition.
     pub fn prob_to(&self, target: State) -> f64 {
-        self.entries
-            .binary_search_by_key(&target, |e| e.target)
-            .map_or(0.0, |i| self.entries[i].prob)
+        if target >= u32::MAX as usize {
+            return 0.0;
+        }
+        self.targets
+            .binary_search(&(target as u32))
+            .map_or(0.0, |i| self.probs[i])
     }
 
     /// Sum of the row's probabilities.
     pub fn sum(&self) -> f64 {
-        self.entries.iter().map(|e| e.prob).sum()
-    }
-
-    pub(crate) fn from_sorted(entries: Vec<RowEntry>) -> Self {
-        debug_assert!(entries.windows(2).all(|w| w[0].target < w[1].target));
-        Row { entries }
+        self.probs.iter().sum()
     }
 }
 
 /// A discrete-time Markov chain (Definition 2.1 of the paper).
 ///
-/// States are dense indices `0..n`. Each state carries a sparse probability
-/// row; rows are validated to be stochastic at construction time, so every
-/// `Dtmc` value is well formed. Atomic propositions are modelled as named
-/// labels attached to states.
+/// States are dense indices `0..n`. The transition matrix is stored in
+/// compressed-sparse-row form — contiguous `(row_ptr, col_idx, probs)`
+/// arrays — so million-state sparse chains fit in memory and the hot
+/// sampling loops stream through flat arrays. Rows are validated to be
+/// stochastic at construction time, so every `Dtmc` value is well formed.
+/// Atomic propositions are interned in a [`LabelTable`].
 ///
-/// Construct via [`DtmcBuilder`].
+/// Construct via [`DtmcBuilder`] (triplets in any order) or
+/// [`DtmcStreamBuilder`] (pre-sorted triplets, zero intermediate state).
 ///
 /// # Example
 ///
@@ -71,33 +122,36 @@ impl Row {
 /// use imc_markov::DtmcBuilder;
 ///
 /// # fn main() -> Result<(), imc_markov::ModelError> {
-/// let chain = DtmcBuilder::new(2)
-///     .transition(0, 0, 0.25)
-///     .transition(0, 1, 0.75)
-///     .self_loop(1)
-///     .label(1, "done")
-///     .build()?;
-/// assert_eq!(chain.row(0).prob_to(1), 0.75);
+/// let mut builder = DtmcBuilder::new(2);
+/// builder
+///     .add_transition(0, 0, 0.25)
+///     .add_transition(0, 1, 0.75)
+///     .add_self_loop(1)
+///     .add_label(1, "done");
+/// let chain = builder.build()?;
+/// assert_eq!(chain.row(0)?.prob_to(1), 0.75);
 /// assert!(chain.labeled_states("done").contains(1));
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dtmc {
-    rows: Vec<Row>,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    probs: Vec<f64>,
     initial: State,
-    labels: BTreeMap<String, StateSet>,
+    labels: LabelTable,
 }
 
 impl Dtmc {
     /// Number of states.
     pub fn num_states(&self) -> usize {
-        self.rows.len()
+        self.row_ptr.len() - 1
     }
 
     /// Total number of transitions (non-zero matrix entries).
     pub fn num_transitions(&self) -> usize {
-        self.rows.iter().map(Row::len).sum()
+        self.col_idx.len()
     }
 
     /// The initial state `s0`.
@@ -107,40 +161,80 @@ impl Dtmc {
 
     /// The probability row of `state`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `state` is out of range.
-    pub fn row(&self, state: State) -> &Row {
-        &self.rows[state]
+    /// Returns [`ModelError::StateOutOfRange`] if `state >= num_states()`;
+    /// this accessor never panics.
+    pub fn row(&self, state: State) -> Result<RowView<'_>, ModelError> {
+        if state >= self.num_states() {
+            return Err(ModelError::StateOutOfRange {
+                state,
+                n: self.num_states(),
+            });
+        }
+        Ok(self.row_view(state))
     }
 
-    /// All rows, indexed by state.
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    #[inline]
+    fn row_view(&self, state: State) -> RowView<'_> {
+        let (start, end) = (self.row_ptr[state], self.row_ptr[state + 1]);
+        RowView {
+            targets: &self.col_idx[start..end],
+            probs: &self.probs[start..end],
+        }
+    }
+
+    /// Iterates all rows in state order.
+    pub fn rows(&self) -> impl Iterator<Item = RowView<'_>> + '_ {
+        (0..self.num_states()).map(move |s| self.row_view(s))
+    }
+
+    /// The CSR row-offset array: the slot range of state `s` is
+    /// `row_offsets()[s]..row_offsets()[s + 1]`.
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The CSR column-index array (target state of every slot).
+    pub fn transition_targets(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The CSR value array (probability of every slot), aligned with
+    /// [`Dtmc::transition_targets`].
+    pub fn transition_probs(&self) -> &[f64] {
+        &self.probs
     }
 
     /// One-step transition probability `A(from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range. Out-of-range `to` yields `0.0`.
     pub fn prob(&self, from: State, to: State) -> f64 {
-        self.rows[from].prob_to(to)
+        self.row_view(from).prob_to(to)
     }
 
-    /// The set of states carrying `label`, or an empty set if the label is
-    /// unknown.
-    pub fn labeled_states(&self, label: &str) -> StateSet {
-        self.labels
-            .get(label)
-            .cloned()
-            .unwrap_or_else(|| StateSet::new(self.num_states()))
+    /// The set of states carrying `label`, borrowed from the interned
+    /// label table. Unknown labels resolve to a shared empty set (over the
+    /// empty universe), so no allocation or clone happens per call.
+    pub fn labeled_states(&self, label: &str) -> &StateSet {
+        self.labels.get(label)
+    }
+
+    /// The interned label table.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
     }
 
     /// All label names, sorted.
     pub fn label_names(&self) -> impl Iterator<Item = &str> {
-        self.labels.keys().map(String::as_str)
+        self.labels.names()
     }
 
     /// Returns `true` if `state` carries `label`.
     pub fn has_label(&self, state: State, label: &str) -> bool {
-        self.labels.get(label).is_some_and(|s| s.contains(state))
+        self.labels.get(label).contains(state)
     }
 
     /// Probability of a finite path, `P_A(ω) = Π A(ω_{i-1}, ω_i)` (eq. (1)).
@@ -166,7 +260,8 @@ impl Dtmc {
     /// Replaces the probability rows of selected states, revalidating them.
     ///
     /// This is how optimisers materialise a candidate `A ∈ [Â]`: start from
-    /// the centre chain and substitute the rows under optimisation.
+    /// the centre chain and substitute the rows under optimisation. The CSR
+    /// arrays are reassembled in one linear pass.
     ///
     /// # Errors
     ///
@@ -177,15 +272,37 @@ impl Dtmc {
         new_rows: impl IntoIterator<Item = (State, Vec<RowEntry>)>,
     ) -> Result<Dtmc, ModelError> {
         let n = self.num_states();
-        let mut rows = self.rows.clone();
+        let mut repl: BTreeMap<State, Vec<RowEntry>> = BTreeMap::new();
         for (state, entries) in new_rows {
             if state >= n {
                 return Err(ModelError::StateOutOfRange { state, n });
             }
-            rows[state] = validate_row(state, entries, n)?;
+            repl.insert(state, validate_entries(state, entries, n)?);
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(self.col_idx.len());
+        let mut probs = Vec::with_capacity(self.probs.len());
+        row_ptr.push(0);
+        for s in 0..n {
+            match repl.get(&s) {
+                Some(entries) => {
+                    for e in entries {
+                        col_idx.push(e.target as u32);
+                        probs.push(e.prob);
+                    }
+                }
+                None => {
+                    let (start, end) = (self.row_ptr[s], self.row_ptr[s + 1]);
+                    col_idx.extend_from_slice(&self.col_idx[start..end]);
+                    probs.extend_from_slice(&self.probs[start..end]);
+                }
+            }
+            row_ptr.push(col_idx.len());
         }
         Ok(Dtmc {
-            rows,
+            row_ptr,
+            col_idx,
+            probs,
             initial: self.initial,
             labels: self.labels.clone(),
         })
@@ -194,19 +311,22 @@ impl Dtmc {
     /// The states with a transition *into* `state` (predecessors).
     pub fn predecessors(&self) -> Vec<Vec<State>> {
         let mut preds = vec![Vec::new(); self.num_states()];
-        for (from, row) in self.rows.iter().enumerate() {
-            for entry in row.entries() {
-                preds[entry.target].push(from);
+        for from in 0..self.num_states() {
+            for &to in &self.col_idx[self.row_ptr[from]..self.row_ptr[from + 1]] {
+                preds[to as usize].push(from);
             }
         }
         preds
     }
 }
 
-/// Builder for [`Dtmc`] (C-BUILDER).
+/// Builder for [`Dtmc`] accepting triplets in any order (C-BUILDER).
 ///
-/// Transitions may be added in any order; `build` validates that every row is
-/// a probability distribution and that the initial state is in range.
+/// Collects `(from, to, prob)` triplets, sorts them once at
+/// [`DtmcBuilder::build`], and feeds them through the same sorted-triplet
+/// CSR kernel as [`DtmcStreamBuilder`]. Methods take `&mut self` and
+/// return `&mut Self` for optional chaining; the old chained-by-value
+/// methods remain as thin `#[deprecated]` wrappers.
 #[derive(Debug, Clone)]
 pub struct DtmcBuilder {
     n: usize,
@@ -227,7 +347,7 @@ impl DtmcBuilder {
     }
 
     /// Sets the initial state (default 0).
-    pub fn initial(mut self, state: State) -> Self {
+    pub fn set_initial(&mut self, state: State) -> &mut Self {
         self.initial = state;
         self
     }
@@ -236,7 +356,7 @@ impl DtmcBuilder {
     ///
     /// Zero-probability transitions are dropped silently, which lets callers
     /// write parameterised models without special-casing vanishing terms.
-    pub fn transition(mut self, from: State, to: State, prob: f64) -> Self {
+    pub fn add_transition(&mut self, from: State, to: State, prob: f64) -> &mut Self {
         if prob != 0.0 {
             self.transitions.push((from, to, prob));
         }
@@ -244,25 +364,67 @@ impl DtmcBuilder {
     }
 
     /// Adds a probability-1 self loop on `state` (an absorbing state).
-    pub fn self_loop(self, state: State) -> Self {
-        self.transition(state, state, 1.0)
+    pub fn add_self_loop(&mut self, state: State) -> &mut Self {
+        self.add_transition(state, state, 1.0)
     }
 
     /// Attaches `label` to `state`. A state may carry many labels.
-    pub fn label(mut self, state: State, label: &str) -> Self {
+    pub fn add_label(&mut self, state: State, label: &str) -> &mut Self {
         self.labels.entry(label.to_owned()).or_default().push(state);
         self
     }
 
     /// Adds an entire probability row at once.
-    pub fn row(mut self, from: State, entries: impl IntoIterator<Item = (State, f64)>) -> Self {
+    pub fn add_row(
+        &mut self,
+        from: State,
+        entries: impl IntoIterator<Item = (State, f64)>,
+    ) -> &mut Self {
         for (to, prob) in entries {
-            self = self.transition(from, to, prob);
+            self.add_transition(from, to, prob);
         }
         self
     }
 
+    /// Sets the initial state (default 0).
+    #[deprecated(note = "use `set_initial` (`&mut self` construction API)")]
+    pub fn initial(mut self, state: State) -> Self {
+        self.set_initial(state);
+        self
+    }
+
+    /// Adds transition `from -> to` with probability `prob`.
+    #[deprecated(note = "use `add_transition` (`&mut self` construction API)")]
+    pub fn transition(mut self, from: State, to: State, prob: f64) -> Self {
+        self.add_transition(from, to, prob);
+        self
+    }
+
+    /// Adds a probability-1 self loop on `state` (an absorbing state).
+    #[deprecated(note = "use `add_self_loop` (`&mut self` construction API)")]
+    pub fn self_loop(mut self, state: State) -> Self {
+        self.add_self_loop(state);
+        self
+    }
+
+    /// Attaches `label` to `state`.
+    #[deprecated(note = "use `add_label` (`&mut self` construction API)")]
+    pub fn label(mut self, state: State, label: &str) -> Self {
+        self.add_label(state, label);
+        self
+    }
+
+    /// Adds an entire probability row at once.
+    #[deprecated(note = "use `add_row` (`&mut self` construction API)")]
+    pub fn row(mut self, from: State, entries: impl IntoIterator<Item = (State, f64)>) -> Self {
+        self.add_row(from, entries);
+        self
+    }
+
     /// Validates and constructs the [`Dtmc`].
+    ///
+    /// Triplets are sorted by `(from, to)` and streamed through the CSR
+    /// kernel; validation is single-pass over the sorted triplets.
     ///
     /// # Errors
     ///
@@ -276,45 +438,175 @@ impl DtmcBuilder {
         if self.n == 0 {
             return Err(ModelError::EmptyModel);
         }
-        let n = self.n;
+        if self.initial >= self.n {
+            return Err(ModelError::StateOutOfRange {
+                state: self.initial,
+                n: self.n,
+            });
+        }
+        let mut triplets = self.transitions;
+        triplets.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut stream = DtmcStreamBuilder::new(self.n);
+        stream.set_initial(self.initial);
+        stream.labels = self.labels;
+        for (from, to, prob) in triplets {
+            stream.push_transition(from, to, prob)?;
+        }
+        stream.finish()
+    }
+}
+
+/// Streaming builder for [`Dtmc`]: triplets arrive in ascending
+/// `(from, to)` order and are appended directly to the CSR arrays.
+///
+/// This is the zero-intermediate-state construction path: no triplet
+/// buffer, no sort, no per-row maps. Each completed row is validated as
+/// soon as the next row starts. Out-of-order input is a typed
+/// [`ModelError::OutOfOrderTransition`].
+///
+/// # Example
+///
+/// ```
+/// use imc_markov::DtmcStreamBuilder;
+///
+/// # fn main() -> Result<(), imc_markov::ModelError> {
+/// let mut b = DtmcStreamBuilder::new(2);
+/// b.push_transition(0, 0, 0.25)?;
+/// b.push_transition(0, 1, 0.75)?;
+/// b.push_transition(1, 1, 1.0)?;
+/// b.add_label(1, "done");
+/// let chain = b.finish()?;
+/// assert_eq!(chain.num_transitions(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DtmcStreamBuilder {
+    core: CsrAssembler<f64>,
+    initial: State,
+    labels: BTreeMap<String, Vec<State>>,
+}
+
+impl DtmcStreamBuilder {
+    /// Starts a streaming builder for a chain with `n` states.
+    pub fn new(n: usize) -> Self {
+        DtmcStreamBuilder {
+            core: CsrAssembler::new(n),
+            initial: 0,
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the initial state (default 0); validated at
+    /// [`DtmcStreamBuilder::finish`].
+    pub fn set_initial(&mut self, state: State) -> &mut Self {
+        self.initial = state;
+        self
+    }
+
+    /// Attaches `label` to `state`; validated at
+    /// [`DtmcStreamBuilder::finish`].
+    pub fn add_label(&mut self, state: State, label: &str) -> &mut Self {
+        self.labels.entry(label.to_owned()).or_default().push(state);
+        self
+    }
+
+    /// Appends transition `from -> to` with probability `prob`.
+    ///
+    /// `(from, to)` must be strictly greater (lexicographically) than the
+    /// previous transition. Zero-probability transitions are dropped
+    /// silently, as in [`DtmcBuilder::add_transition`].
+    ///
+    /// # Errors
+    ///
+    /// Range, ordering, duplicate and probability violations are reported
+    /// immediately; a completed row that is not stochastic is reported on
+    /// the first transition of the next row.
+    pub fn push_transition(&mut self, from: State, to: State, prob: f64) -> Result<(), ModelError> {
+        if prob == 0.0 {
+            return Ok(());
+        }
+        if let Push::ClosedRow { state, start, end } = self.core.push(from, to, prob)? {
+            check_row_stochastic(state, start, end, &self.core)?;
+        }
+        if !prob.is_finite() || prob < 0.0 || prob > 1.0 {
+            return Err(ModelError::ProbabilityOutOfRange {
+                from,
+                to,
+                value: prob,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates the final row, the initial state and the labels, and
+    /// returns the finished [`Dtmc`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyModel`] if the builder was created with `n == 0`;
+    /// * [`ModelError::StateOutOfRange`] if the initial state or a labelled
+    ///   state is out of range;
+    /// * [`ModelError::NoOutgoingTransitions`] if any state received no
+    ///   transitions;
+    /// * [`ModelError::NotStochastic`] if the final row does not sum to one.
+    pub fn finish(self) -> Result<Dtmc, ModelError> {
+        let n = self.core.num_states();
+        if n == 0 {
+            return Err(ModelError::EmptyModel);
+        }
         if self.initial >= n {
             return Err(ModelError::StateOutOfRange {
                 state: self.initial,
                 n,
             });
         }
-        let mut per_state: Vec<Vec<RowEntry>> = vec![Vec::new(); n];
-        for (from, to, prob) in self.transitions {
-            if from >= n {
-                return Err(ModelError::StateOutOfRange { state: from, n });
-            }
-            per_state[from].push(RowEntry { target: to, prob });
+        let (row_ptr, col_idx, probs, last_state, start, end) = self.core.finish()?;
+        let mut sum = 0.0;
+        for &p in &probs[start..end] {
+            sum += p;
         }
-        let mut rows = Vec::with_capacity(n);
-        for (state, entries) in per_state.into_iter().enumerate() {
-            rows.push(validate_row(state, entries, n)?);
+        if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+            return Err(ModelError::NotStochastic {
+                state: last_state,
+                sum,
+            });
         }
-        let mut labels = BTreeMap::new();
-        for (name, states) in self.labels {
-            let mut set = StateSet::new(n);
-            for state in states {
-                if state >= n {
-                    return Err(ModelError::StateOutOfRange { state, n });
-                }
-                set.insert(state);
-            }
-            labels.insert(name, set);
-        }
+        let labels = LabelTable::from_map(n, self.labels)?;
         Ok(Dtmc {
-            rows,
+            row_ptr,
+            col_idx,
+            probs,
             initial: self.initial,
             labels,
         })
     }
 }
 
-/// Sorts, checks ranges/duplicates, and verifies the row is stochastic.
-fn validate_row(state: State, mut entries: Vec<RowEntry>, n: usize) -> Result<Row, ModelError> {
+/// Validates the row that just closed in the assembler.
+fn check_row_stochastic(
+    state: State,
+    start: usize,
+    end: usize,
+    core: &CsrAssembler<f64>,
+) -> Result<(), ModelError> {
+    let mut sum = 0.0;
+    for &p in &core.values()[start..end] {
+        sum += p;
+    }
+    if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+        return Err(ModelError::NotStochastic { state, sum });
+    }
+    Ok(())
+}
+
+/// Sorts, checks ranges/duplicates, and verifies a replacement row is
+/// stochastic (the [`Dtmc::with_rows`] path).
+fn validate_entries(
+    state: State,
+    mut entries: Vec<RowEntry>,
+    n: usize,
+) -> Result<Vec<RowEntry>, ModelError> {
     if entries.is_empty() {
         return Err(ModelError::NoOutgoingTransitions { state });
     }
@@ -351,7 +643,7 @@ fn validate_row(state: State, mut entries: Vec<RowEntry>, n: usize) -> Result<Ro
     if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
         return Err(ModelError::NotStochastic { state, sum });
     }
-    Ok(Row::from_sorted(entries))
+    Ok(entries)
 }
 
 #[cfg(test)]
@@ -360,13 +652,12 @@ mod tests {
     use crate::Path;
 
     fn two_state() -> Dtmc {
-        DtmcBuilder::new(2)
-            .transition(0, 0, 0.25)
-            .transition(0, 1, 0.75)
-            .self_loop(1)
-            .label(1, "done")
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(2);
+        b.add_transition(0, 0, 0.25)
+            .add_transition(0, 1, 0.75)
+            .add_self_loop(1)
+            .add_label(1, "done");
+        b.build().unwrap()
     }
 
     #[test]
@@ -382,23 +673,87 @@ mod tests {
     }
 
     #[test]
+    fn csr_arrays_are_exposed() {
+        let chain = two_state();
+        assert_eq!(chain.row_offsets(), &[0, 2, 3]);
+        assert_eq!(chain.transition_targets(), &[0, 1, 1]);
+        assert_eq!(chain.transition_probs(), &[0.25, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn row_is_a_checked_accessor() {
+        let chain = two_state();
+        assert_eq!(chain.row(0).unwrap().prob_to(1), 0.75);
+        assert!(matches!(
+            chain.row(7),
+            Err(ModelError::StateOutOfRange { state: 7, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn labeled_states_is_borrowed() {
+        let chain = two_state();
+        let a: &StateSet = chain.labeled_states("done");
+        let b: &StateSet = chain.labeled_states("done");
+        assert!(std::ptr::eq(a, b), "lookups must not clone");
+        assert_eq!(chain.labeled_states("missing").universe(), 0);
+    }
+
+    #[test]
+    fn streaming_builder_matches_batch_builder() {
+        let mut s = DtmcStreamBuilder::new(2);
+        s.push_transition(0, 0, 0.25).unwrap();
+        s.push_transition(0, 1, 0.75).unwrap();
+        s.push_transition(1, 1, 1.0).unwrap();
+        s.add_label(1, "done");
+        assert_eq!(s.finish().unwrap(), two_state());
+    }
+
+    #[test]
+    fn streaming_builder_rejects_out_of_order() {
+        let mut s = DtmcStreamBuilder::new(3);
+        s.push_transition(0, 2, 0.5).unwrap();
+        let err = s.push_transition(0, 1, 0.5).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::OutOfOrderTransition { from: 0, to: 1 }
+        ));
+        let mut s = DtmcStreamBuilder::new(3);
+        s.push_transition(0, 0, 1.0).unwrap();
+        s.push_transition(1, 1, 1.0).unwrap();
+        let err = s.push_transition(0, 0, 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::OutOfOrderTransition { from: 0, to: 0 }
+        ));
+    }
+
+    #[test]
+    fn streaming_builder_reports_skipped_rows() {
+        let mut s = DtmcStreamBuilder::new(3);
+        s.push_transition(0, 0, 1.0).unwrap();
+        let err = s.push_transition(2, 2, 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::NoOutgoingTransitions { state: 1 }
+        ));
+    }
+
+    #[test]
     fn rejects_non_stochastic_row() {
-        let err = DtmcBuilder::new(2)
-            .transition(0, 1, 0.5)
-            .self_loop(1)
-            .build()
-            .unwrap_err();
+        let mut b = DtmcBuilder::new(2);
+        b.add_transition(0, 1, 0.5).add_self_loop(1);
+        let err = b.build().unwrap_err();
         assert!(matches!(err, ModelError::NotStochastic { state: 0, .. }));
     }
 
     #[test]
     fn rejects_duplicate_transition() {
-        let err = DtmcBuilder::new(2)
-            .transition(0, 1, 0.5)
-            .transition(0, 1, 0.5)
-            .self_loop(1)
-            .build()
-            .unwrap_err();
+        let mut b = DtmcBuilder::new(2);
+        b.add_transition(0, 1, 0.5)
+            .add_transition(0, 1, 0.5)
+            .add_self_loop(1);
+        let err = b.build().unwrap_err();
         assert!(matches!(
             err,
             ModelError::DuplicateTransition { from: 0, to: 1 }
@@ -407,11 +762,9 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_target() {
-        let err = DtmcBuilder::new(2)
-            .transition(0, 5, 1.0)
-            .self_loop(1)
-            .build()
-            .unwrap_err();
+        let mut b = DtmcBuilder::new(2);
+        b.add_transition(0, 5, 1.0).add_self_loop(1);
+        let err = b.build().unwrap_err();
         assert!(matches!(
             err,
             ModelError::StateOutOfRange { state: 5, n: 2 }
@@ -420,18 +773,19 @@ mod tests {
 
     #[test]
     fn rejects_negative_probability() {
-        let err = DtmcBuilder::new(2)
-            .transition(0, 0, -0.5)
-            .transition(0, 1, 1.5)
-            .self_loop(1)
-            .build()
-            .unwrap_err();
+        let mut b = DtmcBuilder::new(2);
+        b.add_transition(0, 0, -0.5)
+            .add_transition(0, 1, 1.5)
+            .add_self_loop(1);
+        let err = b.build().unwrap_err();
         assert!(matches!(err, ModelError::ProbabilityOutOfRange { .. }));
     }
 
     #[test]
     fn rejects_missing_row() {
-        let err = DtmcBuilder::new(2).self_loop(1).build().unwrap_err();
+        let mut b = DtmcBuilder::new(2);
+        b.add_self_loop(1);
+        let err = b.build().unwrap_err();
         assert!(matches!(
             err,
             ModelError::NoOutgoingTransitions { state: 0 }
@@ -444,6 +798,20 @@ mod tests {
             DtmcBuilder::new(0).build().unwrap_err(),
             ModelError::EmptyModel
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_chained_builder_still_works() {
+        let chained = DtmcBuilder::new(2)
+            .initial(0)
+            .transition(0, 0, 0.25)
+            .transition(0, 1, 0.75)
+            .self_loop(1)
+            .label(1, "done")
+            .build()
+            .unwrap();
+        assert_eq!(chained, two_state());
     }
 
     #[test]
@@ -504,12 +872,11 @@ mod tests {
 
     #[test]
     fn zero_probability_transitions_are_dropped() {
-        let chain = DtmcBuilder::new(2)
-            .transition(0, 0, 0.0)
-            .transition(0, 1, 1.0)
-            .self_loop(1)
-            .build()
-            .unwrap();
-        assert_eq!(chain.row(0).len(), 1);
+        let mut b = DtmcBuilder::new(2);
+        b.add_transition(0, 0, 0.0)
+            .add_transition(0, 1, 1.0)
+            .add_self_loop(1);
+        let chain = b.build().unwrap();
+        assert_eq!(chain.row(0).unwrap().len(), 1);
     }
 }

@@ -44,6 +44,17 @@ pub enum ModelError {
         /// Target state.
         to: usize,
     },
+    /// A streaming builder received a transition that sorts before the
+    /// previous one; streaming construction requires ascending `(from, to)`
+    /// order.
+    OutOfOrderTransition {
+        /// Source state of the offending transition.
+        from: usize,
+        /// Target state of the offending transition.
+        to: usize,
+    },
+    /// A chain attached as an IMC's centre is not a member of the IMC.
+    CenterNotMember,
     /// An interval had `lo > hi`, or a bound was outside `[0, 1]`.
     InvalidInterval {
         /// Source state.
@@ -87,6 +98,14 @@ impl fmt::Display for ModelError {
             }
             ModelError::DuplicateTransition { from, to } => {
                 write!(f, "transition {from} -> {to} specified more than once")
+            }
+            ModelError::OutOfOrderTransition { from, to } => write!(
+                f,
+                "transition {from} -> {to} is out of order: streaming construction \
+                 requires ascending (from, to) pairs"
+            ),
+            ModelError::CenterNotMember => {
+                write!(f, "centre chain is not a member of the interval chain")
             }
             ModelError::InvalidInterval { from, to, lo, hi } => write!(
                 f,

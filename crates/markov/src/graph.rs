@@ -2,7 +2,9 @@
 //!
 //! These operate purely on the support of the transition matrix (which
 //! transitions have non-zero probability), so they apply unchanged to every
-//! member of an IMC with the same support.
+//! member of an IMC with the same support. All traversals walk the chain's
+//! CSR arrays directly — successor lists are contiguous `u32` slices, with
+//! no per-row indirection.
 
 use crate::{Dtmc, State, StateSet};
 
@@ -15,11 +17,9 @@ use crate::{Dtmc, State, StateSet};
 /// use imc_markov::{DtmcBuilder, graph};
 ///
 /// # fn main() -> Result<(), imc_markov::ModelError> {
-/// let chain = DtmcBuilder::new(3)
-///     .transition(0, 1, 1.0)
-///     .self_loop(1)
-///     .self_loop(2)
-///     .build()?;
+/// let mut b = DtmcBuilder::new(3);
+/// b.add_transition(0, 1, 1.0).add_self_loop(1).add_self_loop(2);
+/// let chain = b.build()?;
 /// let reach = graph::forward_reachable(&chain, 0);
 /// assert!(reach.contains(1) && !reach.contains(2));
 /// # Ok(())
@@ -27,13 +27,15 @@ use crate::{Dtmc, State, StateSet};
 /// ```
 pub fn forward_reachable(chain: &Dtmc, from: State) -> StateSet {
     let n = chain.num_states();
+    let (ptr, idx) = (chain.row_offsets(), chain.transition_targets());
     let mut seen = StateSet::new(n);
     let mut stack = vec![from];
     seen.insert(from);
     while let Some(s) = stack.pop() {
-        for entry in chain.row(s).entries() {
-            if seen.insert(entry.target) {
-                stack.push(entry.target);
+        for &t in &idx[ptr[s]..ptr[s + 1]] {
+            let t = t as State;
+            if seen.insert(t) {
+                stack.push(t);
             }
         }
     }
@@ -90,6 +92,7 @@ pub fn backward_reachable_avoiding(chain: &Dtmc, targets: &StateSet, avoid: &Sta
 /// Iterative Tarjan so deep chains do not overflow the stack.
 pub fn sccs(chain: &Dtmc) -> Vec<Vec<State>> {
     let n = chain.num_states();
+    let (ptr, idx) = (chain.row_offsets(), chain.transition_targets());
     const UNVISITED: usize = usize::MAX;
     let mut index = vec![UNVISITED; n];
     let mut lowlink = vec![0usize; n];
@@ -112,9 +115,9 @@ pub fn sccs(chain: &Dtmc) -> Vec<Vec<State>> {
         on_stack[root] = true;
 
         while let Some(&mut (v, ref mut child)) = call_stack.last_mut() {
-            let entries = chain.row(v).entries();
-            if *child < entries.len() {
-                let w = entries[*child].target;
+            let children = &idx[ptr[v]..ptr[v + 1]];
+            if *child < children.len() {
+                let w = children[*child] as State;
                 *child += 1;
                 if index[w] == UNVISITED {
                     index[w] = next_index;
@@ -157,6 +160,7 @@ pub fn sccs(chain: &Dtmc) -> Vec<Vec<State>> {
 pub fn bsccs(chain: &Dtmc) -> Vec<Vec<State>> {
     let comps = sccs(chain);
     let n = chain.num_states();
+    let (ptr, idx) = (chain.row_offsets(), chain.transition_targets());
     let mut comp_of = vec![usize::MAX; n];
     for (ci, comp) in comps.iter().enumerate() {
         for &s in comp {
@@ -168,11 +172,9 @@ pub fn bsccs(chain: &Dtmc) -> Vec<Vec<State>> {
         .enumerate()
         .filter(|(ci, comp)| {
             comp.iter().all(|&s| {
-                chain
-                    .row(s)
-                    .entries()
+                idx[ptr[s]..ptr[s + 1]]
                     .iter()
-                    .all(|e| comp_of[e.target] == *ci)
+                    .all(|&t| comp_of[t as usize] == *ci)
             })
         })
         .map(|(_, comp)| comp.clone())
@@ -215,15 +217,14 @@ mod tests {
     /// s0 -b-> s3 (sink); s2, s3 absorbing.
     fn illustrative() -> Dtmc {
         let (a, c) = (0.2, 0.3);
-        DtmcBuilder::new(4)
-            .transition(0, 1, a)
-            .transition(0, 3, 1.0 - a)
-            .transition(1, 2, c)
-            .transition(1, 0, 1.0 - c)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(4);
+        b.add_transition(0, 1, a)
+            .add_transition(0, 3, 1.0 - a)
+            .add_transition(1, 2, c)
+            .add_transition(1, 0, 1.0 - c)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        b.build().unwrap()
     }
 
     #[test]
@@ -286,13 +287,12 @@ mod tests {
     #[test]
     fn almost_sure_reach_absorbing() {
         // Single absorbing goal reached from everywhere.
-        let chain = DtmcBuilder::new(3)
-            .transition(0, 1, 0.5)
-            .transition(0, 2, 0.5)
-            .transition(1, 2, 1.0)
-            .self_loop(2)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, 0.5)
+            .add_transition(0, 2, 0.5)
+            .add_transition(1, 2, 1.0)
+            .add_self_loop(2);
+        let chain = b.build().unwrap();
         let p1 = almost_sure_reach(&chain, &StateSet::from_states(3, [2]));
         assert_eq!(p1.len(), 3);
     }
@@ -307,11 +307,12 @@ mod tests {
 
     #[test]
     fn large_cycle_does_not_overflow() {
-        // A 100k-state ring exercises the iterative Tarjan.
+        // A 100k-state ring exercises the iterative Tarjan; built through the
+        // streaming path since the ring is naturally in ascending row order.
         let n = 100_000;
         let mut builder = DtmcBuilder::new(n);
         for s in 0..n {
-            builder = builder.transition(s, (s + 1) % n, 1.0);
+            builder.add_transition(s, (s + 1) % n, 1.0);
         }
         let chain = builder.build().unwrap();
         let comps = sccs(&chain);

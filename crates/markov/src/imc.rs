@@ -1,8 +1,18 @@
+//! Interval Markov chains on the sparse CSR kernel.
+//!
+//! An [`Imc`] stores its interval transition matrix as contiguous
+//! `(row_ptr, col_idx, lo, hi)` arrays — the same compressed-sparse-row
+//! layout as [`Dtmc`], with two value arrays for the probability bounds.
+//! Rows are borrowed as [`IntervalRowView`]s. Construction goes through
+//! [`ImcBuilder`] (triplets in any order, sorted once) or
+//! [`ImcStreamBuilder`] (pre-sorted triplets appended directly).
+
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Dtmc, DtmcBuilder, ModelError, State, ROW_SUM_TOLERANCE};
+use crate::csr::{CsrAssembler, Push};
+use crate::{Dtmc, DtmcStreamBuilder, LabelTable, ModelError, State, StateSet, ROW_SUM_TOLERANCE};
 
 /// A single interval transition: target state plus `[lo, hi]` bounds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,44 +42,78 @@ impl IntervalEntry {
     }
 }
 
-/// The sparse interval distribution out of one state.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct IntervalRow {
-    entries: Vec<IntervalEntry>,
+/// A borrowed view of one interval row of an [`Imc`].
+///
+/// Borrows the model's CSR arrays directly; entries are sorted by target
+/// state. The view is `Copy`; iterate with [`IntervalRowView::iter`].
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalRowView<'a> {
+    targets: &'a [u32],
+    lo: &'a [f64],
+    hi: &'a [f64],
 }
 
-impl IntervalRow {
-    /// The entries of the row, sorted by target state.
-    pub fn entries(&self) -> &[IntervalEntry] {
-        &self.entries
-    }
-
+impl<'a> IntervalRowView<'a> {
     /// Number of interval transitions.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.targets.len()
     }
 
     /// Returns `true` if the row has no transitions.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.targets.is_empty()
+    }
+
+    /// Iterates the entries of the row, sorted by target state.
+    pub fn iter(self) -> impl Iterator<Item = IntervalEntry> + 'a {
+        self.targets
+            .iter()
+            .zip(self.lo.iter().zip(self.hi.iter()))
+            .map(|(&target, (&lo, &hi))| IntervalEntry {
+                target: target as State,
+                lo,
+                hi,
+            })
+    }
+
+    /// The target states of the row, as raw CSR column indices.
+    pub fn targets(&self) -> &'a [u32] {
+        self.targets
+    }
+
+    /// The lower bounds of the row, aligned with [`IntervalRowView::targets`].
+    pub fn lo(&self) -> &'a [f64] {
+        self.lo
+    }
+
+    /// The upper bounds of the row, aligned with [`IntervalRowView::targets`].
+    pub fn hi(&self) -> &'a [f64] {
+        self.hi
     }
 
     /// The interval towards `target`, or `None` if there is no transition.
     pub fn interval_to(&self, target: State) -> Option<IntervalEntry> {
-        self.entries
-            .binary_search_by_key(&target, |e| e.target)
+        if target >= u32::MAX as usize {
+            return None;
+        }
+        self.targets
+            .binary_search(&(target as u32))
             .ok()
-            .map(|i| self.entries[i])
+            .map(|i| IntervalEntry {
+                target,
+                lo: self.lo[i],
+                hi: self.hi[i],
+            })
     }
 
     /// Sum of lower bounds.
     pub fn lo_sum(&self) -> f64 {
-        self.entries.iter().map(|e| e.lo).sum()
+        self.lo.iter().sum()
     }
 
     /// Sum of upper bounds.
     pub fn hi_sum(&self) -> f64 {
-        self.entries.iter().map(|e| e.hi).sum()
+        self.hi.iter().sum()
     }
 }
 
@@ -87,23 +131,26 @@ impl IntervalRow {
 /// use imc_markov::{DtmcBuilder, Imc};
 ///
 /// # fn main() -> Result<(), imc_markov::ModelError> {
-/// let centre = DtmcBuilder::new(2)
-///     .transition(0, 0, 0.3)
-///     .transition(0, 1, 0.7)
-///     .self_loop(1)
-///     .build()?;
+/// let mut b = DtmcBuilder::new(2);
+/// b.add_transition(0, 0, 0.3)
+///     .add_transition(0, 1, 0.7)
+///     .add_self_loop(1);
+/// let centre = b.build()?;
 /// let imc = Imc::from_center(&centre, |_, _| 0.05)?;
 /// assert!(imc.contains(&centre));
-/// let widest = imc.row(0).interval_to(1).unwrap();
+/// let widest = imc.row(0)?.interval_to(1).unwrap();
 /// assert!((widest.lo - 0.65).abs() < 1e-12 && (widest.hi - 0.75).abs() < 1e-12);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Imc {
-    rows: Vec<IntervalRow>,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
     initial: State,
-    labels: BTreeMap<String, crate::StateSet>,
+    labels: LabelTable,
     /// The centre chain `Â` when this IMC was learnt as `Â ± ε`; used as the
     /// optimiser's starting point and as the IS reference chain.
     center: Option<Dtmc>,
@@ -115,7 +162,8 @@ impl Imc {
     ///
     /// This is the `[Â] = [Â − ε, Â + ε]` construction of §II-B of the paper.
     /// Transitions absent from `center` stay absent (support is fixed by the
-    /// learnt chain).
+    /// learnt chain). The centre's CSR rows stream straight into the IMC's
+    /// CSR arrays — no intermediate maps.
     ///
     /// # Errors
     ///
@@ -125,28 +173,34 @@ impl Imc {
         center: &Dtmc,
         mut eps: impl FnMut(State, State) -> f64,
     ) -> Result<Imc, ModelError> {
-        let mut builder = ImcBuilder::new(center.num_states()).initial(center.initial());
-        for (from, row) in center.rows().iter().enumerate() {
-            for entry in row.entries() {
+        let mut builder = ImcStreamBuilder::new(center.num_states());
+        builder.set_initial(center.initial());
+        for (from, row) in center.rows().enumerate() {
+            for entry in row.iter() {
                 let e = eps(from, entry.target).max(0.0);
                 let lo = (entry.prob - e).max(0.0);
                 let hi = (entry.prob + e).min(1.0);
-                builder = builder.interval(from, entry.target, lo, hi);
+                builder.push_interval(from, entry.target, lo, hi)?;
             }
         }
-        for label in center.label_names() {
-            for state in center.labeled_states(label).iter() {
-                builder = builder.label(state, label);
+        for (label, set) in center.labels().iter() {
+            for state in set.iter() {
+                builder.add_label(state, label);
             }
         }
-        let mut imc = builder.build()?;
+        let mut imc = builder.finish()?;
         imc.center = Some(center.clone());
         Ok(imc)
     }
 
     /// Number of states.
     pub fn num_states(&self) -> usize {
-        self.rows.len()
+        self.row_ptr.len() - 1
+    }
+
+    /// Total number of interval transitions (non-zero support entries).
+    pub fn num_transitions(&self) -> usize {
+        self.col_idx.len()
     }
 
     /// The initial state `s0`.
@@ -156,16 +210,53 @@ impl Imc {
 
     /// The interval row of `state`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `state` is out of range.
-    pub fn row(&self, state: State) -> &IntervalRow {
-        &self.rows[state]
+    /// Returns [`ModelError::StateOutOfRange`] if `state >= num_states()`;
+    /// this accessor never panics.
+    pub fn row(&self, state: State) -> Result<IntervalRowView<'_>, ModelError> {
+        if state >= self.num_states() {
+            return Err(ModelError::StateOutOfRange {
+                state,
+                n: self.num_states(),
+            });
+        }
+        Ok(self.row_view(state))
     }
 
-    /// All interval rows, indexed by state.
-    pub fn rows(&self) -> &[IntervalRow] {
-        &self.rows
+    #[inline]
+    fn row_view(&self, state: State) -> IntervalRowView<'_> {
+        let (start, end) = (self.row_ptr[state], self.row_ptr[state + 1]);
+        IntervalRowView {
+            targets: &self.col_idx[start..end],
+            lo: &self.lo[start..end],
+            hi: &self.hi[start..end],
+        }
+    }
+
+    /// Iterates all interval rows in state order.
+    pub fn rows(&self) -> impl Iterator<Item = IntervalRowView<'_>> + '_ {
+        (0..self.num_states()).map(move |s| self.row_view(s))
+    }
+
+    /// The CSR row-offset array.
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The CSR column-index array (target state of every slot).
+    pub fn transition_targets(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The CSR lower-bound array, aligned with [`Imc::transition_targets`].
+    pub fn bounds_lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// The CSR upper-bound array, aligned with [`Imc::transition_targets`].
+    pub fn bounds_hi(&self) -> &[f64] {
+        &self.hi
     }
 
     /// The centre chain `Â`, if this IMC was built around one.
@@ -173,12 +264,34 @@ impl Imc {
         self.center.as_ref()
     }
 
-    /// The set of states carrying `label`.
-    pub fn labeled_states(&self, label: &str) -> crate::StateSet {
-        self.labels
-            .get(label)
-            .cloned()
-            .unwrap_or_else(|| crate::StateSet::new(self.num_states()))
+    /// Attaches `center` as the IMC's centre chain after verifying
+    /// membership.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CenterNotMember`] if `center ∉ [Â]`.
+    pub fn with_center(mut self, center: Dtmc) -> Result<Imc, ModelError> {
+        if !self.contains(&center) {
+            return Err(ModelError::CenterNotMember);
+        }
+        self.center = Some(center);
+        Ok(self)
+    }
+
+    /// The set of states carrying `label`, borrowed from the interned
+    /// label table. Unknown labels resolve to a shared empty set.
+    pub fn labeled_states(&self, label: &str) -> &StateSet {
+        self.labels.get(label)
+    }
+
+    /// The interned label table.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// All label names, sorted.
+    pub fn label_names(&self) -> impl Iterator<Item = &str> {
+        self.labels.names()
     }
 
     /// Membership test: is `chain ∈ [Â]`?
@@ -196,9 +309,10 @@ impl Imc {
         if chain.num_states() != self.num_states() {
             return false;
         }
-        for (state, row) in chain.rows().iter().enumerate() {
-            for entry in row.entries() {
-                match self.rows[state].interval_to(entry.target) {
+        for (state, row) in chain.rows().enumerate() {
+            let interval_row = self.row_view(state);
+            for entry in row.iter() {
+                match interval_row.interval_to(entry.target) {
                     Some(interval)
                         if entry.prob >= interval.lo - TOLERANCE
                             && entry.prob <= interval.hi + TOLERANCE => {}
@@ -207,7 +321,7 @@ impl Imc {
             }
             // Support equality in the other direction: interval transitions
             // with lo > 0 must be present in the chain.
-            for interval in self.rows[state].entries() {
+            for interval in interval_row.iter() {
                 if interval.lo > 0.0 && row.prob_to(interval.target) == 0.0 {
                     return false;
                 }
@@ -231,12 +345,13 @@ impl Imc {
         }
         // Start from interval midpoints and waterfill the defect onto entries
         // with slack so every coordinate stays inside its interval.
-        let mut builder = DtmcBuilder::new(self.num_states()).initial(self.initial);
-        for (state, row) in self.rows.iter().enumerate() {
-            let mut probs: Vec<f64> = row.entries().iter().map(|e| e.mid()).collect();
+        let mut builder = DtmcStreamBuilder::new(self.num_states());
+        builder.set_initial(self.initial);
+        for (state, row) in self.rows().enumerate() {
+            let mut probs: Vec<f64> = row.iter().map(|e| e.mid()).collect();
             let sum: f64 = probs.iter().sum();
             let mut defect = 1.0 - sum;
-            for (p, e) in probs.iter_mut().zip(row.entries()) {
+            for (p, e) in probs.iter_mut().zip(row.iter()) {
                 if defect.abs() <= ROW_SUM_TOLERANCE {
                     break;
                 }
@@ -256,20 +371,25 @@ impl Imc {
                     hi_sum: row.hi_sum(),
                 });
             }
-            for (p, e) in probs.iter().zip(row.entries()) {
-                builder = builder.transition(state, e.target, *p);
+            for (p, e) in probs.iter().zip(row.iter()) {
+                builder.push_transition(state, e.target, *p)?;
             }
         }
-        for (name, set) in &self.labels {
+        for (name, set) in self.labels.iter() {
             for state in set.iter() {
-                builder = builder.label(state, name);
+                builder.add_label(state, name);
             }
         }
-        builder.build()
+        builder.finish()
     }
 }
 
-/// Builder for [`Imc`] (C-BUILDER).
+/// Builder for [`Imc`] accepting triplets in any order (C-BUILDER).
+///
+/// Methods take `&mut self` and return `&mut Self` for optional chaining;
+/// the old chained-by-value methods remain as thin `#[deprecated]`
+/// wrappers. [`ImcBuilder::build`] sorts the triplets once and streams
+/// them through the same CSR kernel as [`ImcStreamBuilder`].
 #[derive(Debug, Clone)]
 pub struct ImcBuilder {
     n: usize,
@@ -290,25 +410,53 @@ impl ImcBuilder {
     }
 
     /// Sets the initial state (default 0).
-    pub fn initial(mut self, state: State) -> Self {
+    pub fn set_initial(&mut self, state: State) -> &mut Self {
         self.initial = state;
         self
     }
 
     /// Adds the interval transition `from -> to` with bounds `[lo, hi]`.
-    pub fn interval(mut self, from: State, to: State, lo: f64, hi: f64) -> Self {
+    pub fn add_interval(&mut self, from: State, to: State, lo: f64, hi: f64) -> &mut Self {
         self.intervals.push((from, to, lo, hi));
         self
     }
 
     /// Adds a point (degenerate) transition `from -> to` of probability `p`.
-    pub fn exact(self, from: State, to: State, p: f64) -> Self {
-        self.interval(from, to, p, p)
+    pub fn add_exact(&mut self, from: State, to: State, p: f64) -> &mut Self {
+        self.add_interval(from, to, p, p)
     }
 
     /// Attaches `label` to `state`.
-    pub fn label(mut self, state: State, label: &str) -> Self {
+    pub fn add_label(&mut self, state: State, label: &str) -> &mut Self {
         self.labels.entry(label.to_owned()).or_default().push(state);
+        self
+    }
+
+    /// Sets the initial state (default 0).
+    #[deprecated(note = "use `set_initial` (`&mut self` construction API)")]
+    pub fn initial(mut self, state: State) -> Self {
+        self.set_initial(state);
+        self
+    }
+
+    /// Adds the interval transition `from -> to` with bounds `[lo, hi]`.
+    #[deprecated(note = "use `add_interval` (`&mut self` construction API)")]
+    pub fn interval(mut self, from: State, to: State, lo: f64, hi: f64) -> Self {
+        self.add_interval(from, to, lo, hi);
+        self
+    }
+
+    /// Adds a point (degenerate) transition `from -> to` of probability `p`.
+    #[deprecated(note = "use `add_exact` (`&mut self` construction API)")]
+    pub fn exact(mut self, from: State, to: State, p: f64) -> Self {
+        self.add_exact(from, to, p);
+        self
+    }
+
+    /// Attaches `label` to `state`.
+    #[deprecated(note = "use `add_label` (`&mut self` construction API)")]
+    pub fn label(mut self, state: State, label: &str) -> Self {
+        self.add_label(state, label);
         self
     }
 
@@ -323,64 +471,110 @@ impl ImcBuilder {
         if self.n == 0 {
             return Err(ModelError::EmptyModel);
         }
-        let n = self.n;
+        if self.initial >= self.n {
+            return Err(ModelError::StateOutOfRange {
+                state: self.initial,
+                n: self.n,
+            });
+        }
+        let mut triplets = self.intervals;
+        triplets.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut stream = ImcStreamBuilder::new(self.n);
+        stream.set_initial(self.initial);
+        stream.labels = self.labels;
+        for (from, to, lo, hi) in triplets {
+            stream.push_interval(from, to, lo, hi)?;
+        }
+        stream.finish()
+    }
+}
+
+/// Streaming builder for [`Imc`]: interval triplets arrive in ascending
+/// `(from, to)` order and are appended directly to the CSR arrays.
+///
+/// The zero-intermediate-state construction path used by the `file`
+/// scenario loader and the large generated scenarios. Out-of-order input
+/// is a typed [`ModelError::OutOfOrderTransition`].
+#[derive(Debug, Clone)]
+pub struct ImcStreamBuilder {
+    core: CsrAssembler<(f64, f64)>,
+    initial: State,
+    labels: BTreeMap<String, Vec<State>>,
+}
+
+impl ImcStreamBuilder {
+    /// Starts a streaming builder for an IMC with `n` states.
+    pub fn new(n: usize) -> Self {
+        ImcStreamBuilder {
+            core: CsrAssembler::new(n),
+            initial: 0,
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the initial state (default 0); validated at
+    /// [`ImcStreamBuilder::finish`].
+    pub fn set_initial(&mut self, state: State) -> &mut Self {
+        self.initial = state;
+        self
+    }
+
+    /// Attaches `label` to `state`; validated at
+    /// [`ImcStreamBuilder::finish`].
+    pub fn add_label(&mut self, state: State, label: &str) -> &mut Self {
+        self.labels.entry(label.to_owned()).or_default().push(state);
+        self
+    }
+
+    /// Appends the interval transition `from -> to` with bounds `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Range, ordering, duplicate and interval violations are reported
+    /// immediately; an inconsistent completed row is reported on the first
+    /// transition of the next row.
+    pub fn push_interval(
+        &mut self,
+        from: State,
+        to: State,
+        lo: f64,
+        hi: f64,
+    ) -> Result<(), ModelError> {
+        if let Push::ClosedRow { state, start, end } = self.core.push(from, to, (lo, hi))? {
+            check_row_consistent(state, start, end, &self.core)?;
+        }
+        if !(lo.is_finite() && hi.is_finite()) || lo > hi || lo < 0.0 || hi > 1.0 {
+            return Err(ModelError::InvalidInterval { from, to, lo, hi });
+        }
+        Ok(())
+    }
+
+    /// Validates the final row, the initial state and the labels, and
+    /// returns the finished [`Imc`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ImcBuilder::build`].
+    pub fn finish(self) -> Result<Imc, ModelError> {
+        let n = self.core.num_states();
+        if n == 0 {
+            return Err(ModelError::EmptyModel);
+        }
         if self.initial >= n {
             return Err(ModelError::StateOutOfRange {
                 state: self.initial,
                 n,
             });
         }
-        let mut per_state: Vec<Vec<IntervalEntry>> = vec![Vec::new(); n];
-        for (from, to, lo, hi) in self.intervals {
-            if from >= n {
-                return Err(ModelError::StateOutOfRange { state: from, n });
-            }
-            if to >= n {
-                return Err(ModelError::StateOutOfRange { state: to, n });
-            }
-            if !(lo.is_finite() && hi.is_finite()) || lo > hi || lo < 0.0 || hi > 1.0 {
-                return Err(ModelError::InvalidInterval { from, to, lo, hi });
-            }
-            per_state[from].push(IntervalEntry { target: to, lo, hi });
-        }
-        let mut rows = Vec::with_capacity(n);
-        for (state, mut entries) in per_state.into_iter().enumerate() {
-            if entries.is_empty() {
-                return Err(ModelError::NoOutgoingTransitions { state });
-            }
-            entries.sort_by_key(|e| e.target);
-            for pair in entries.windows(2) {
-                if pair[0].target == pair[1].target {
-                    return Err(ModelError::DuplicateTransition {
-                        from: state,
-                        to: pair[0].target,
-                    });
-                }
-            }
-            let lo_sum: f64 = entries.iter().map(|e| e.lo).sum();
-            let hi_sum: f64 = entries.iter().map(|e| e.hi).sum();
-            if lo_sum > 1.0 + ROW_SUM_TOLERANCE || hi_sum < 1.0 - ROW_SUM_TOLERANCE {
-                return Err(ModelError::InconsistentIntervalRow {
-                    state,
-                    lo_sum,
-                    hi_sum,
-                });
-            }
-            rows.push(IntervalRow { entries });
-        }
-        let mut labels = BTreeMap::new();
-        for (name, states) in self.labels {
-            let mut set = crate::StateSet::new(n);
-            for state in states {
-                if state >= n {
-                    return Err(ModelError::StateOutOfRange { state, n });
-                }
-                set.insert(state);
-            }
-            labels.insert(name, set);
-        }
+        let (row_ptr, col_idx, bounds, last_state, start, end) = self.core.finish()?;
+        check_bounds_consistent(last_state, &bounds[start..end])?;
+        let (lo, hi): (Vec<f64>, Vec<f64>) = bounds.into_iter().unzip();
+        let labels = LabelTable::from_map(n, self.labels)?;
         Ok(Imc {
-            rows,
+            row_ptr,
+            col_idx,
+            lo,
+            hi,
             initial: self.initial,
             labels,
             center: None,
@@ -388,28 +582,55 @@ impl ImcBuilder {
     }
 }
 
+/// Validates the interval row that just closed in the assembler.
+fn check_row_consistent(
+    state: State,
+    start: usize,
+    end: usize,
+    core: &CsrAssembler<(f64, f64)>,
+) -> Result<(), ModelError> {
+    check_bounds_consistent(state, &core.values()[start..end])
+}
+
+fn check_bounds_consistent(state: State, bounds: &[(f64, f64)]) -> Result<(), ModelError> {
+    let mut lo_sum = 0.0;
+    let mut hi_sum = 0.0;
+    for &(lo, hi) in bounds {
+        lo_sum += lo;
+        hi_sum += hi;
+    }
+    if lo_sum > 1.0 + ROW_SUM_TOLERANCE || hi_sum < 1.0 - ROW_SUM_TOLERANCE {
+        return Err(ModelError::InconsistentIntervalRow {
+            state,
+            lo_sum,
+            hi_sum,
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::DtmcBuilder;
 
     fn centre() -> Dtmc {
-        DtmcBuilder::new(3)
-            .transition(0, 1, 0.3)
-            .transition(0, 2, 0.7)
-            .self_loop(1)
-            .self_loop(2)
-            .label(2, "goal")
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, 0.3)
+            .add_transition(0, 2, 0.7)
+            .add_self_loop(1)
+            .add_self_loop(2)
+            .add_label(2, "goal");
+        b.build().unwrap()
     }
 
     #[test]
     fn from_center_clamps_to_unit_interval() {
         let imc = Imc::from_center(&centre(), |_, _| 0.5).unwrap();
-        let e = imc.row(0).interval_to(1).unwrap();
+        let e = imc.row(0).unwrap().interval_to(1).unwrap();
         assert_eq!(e.lo, 0.0);
         assert!((e.hi - 0.8).abs() < 1e-12);
-        let loop1 = imc.row(1).interval_to(1).unwrap();
+        let loop1 = imc.row(1).unwrap().interval_to(1).unwrap();
         assert_eq!(loop1.hi, 1.0);
     }
 
@@ -423,40 +644,68 @@ mod tests {
     }
 
     #[test]
+    fn row_is_a_checked_accessor() {
+        let imc = Imc::from_center(&centre(), |_, _| 0.01).unwrap();
+        assert!(imc.row(0).is_ok());
+        assert!(matches!(
+            imc.row(3),
+            Err(ModelError::StateOutOfRange { state: 3, n: 3 })
+        ));
+    }
+
+    #[test]
     fn membership_rejects_out_of_interval() {
         let imc = Imc::from_center(&centre(), |_, _| 0.01).unwrap();
-        let outside = DtmcBuilder::new(3)
-            .transition(0, 1, 0.35)
-            .transition(0, 2, 0.65)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, 0.35)
+            .add_transition(0, 2, 0.65)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        let outside = b.build().unwrap();
         assert!(!imc.contains(&outside));
     }
 
     #[test]
     fn membership_rejects_support_mismatch() {
         let imc = Imc::from_center(&centre(), |_, _| 0.01).unwrap();
-        let different_support = DtmcBuilder::new(3)
-            .transition(0, 0, 0.3)
-            .transition(0, 2, 0.7)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 0, 0.3)
+            .add_transition(0, 2, 0.7)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        let different_support = b.build().unwrap();
         assert!(!imc.contains(&different_support));
+    }
+
+    #[test]
+    fn with_center_validates_membership() {
+        let c = centre();
+        let imc = Imc::from_center(&c, |_, _| 0.01).unwrap();
+        let mut bare = imc.clone();
+        bare.center = None;
+        let again = bare.clone().with_center(c).unwrap();
+        assert!(again.center().is_some());
+
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, 0.5)
+            .add_transition(0, 2, 0.5)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        let outside = b.build().unwrap();
+        assert!(matches!(
+            bare.with_center(outside),
+            Err(ModelError::CenterNotMember)
+        ));
     }
 
     #[test]
     fn builder_rejects_inconsistent_row() {
         // Σ hi = 0.8 < 1: no distribution fits.
-        let err = ImcBuilder::new(2)
-            .interval(0, 0, 0.1, 0.4)
-            .interval(0, 1, 0.1, 0.4)
-            .exact(1, 1, 1.0)
-            .build()
-            .unwrap_err();
+        let mut b = ImcBuilder::new(2);
+        b.add_interval(0, 0, 0.1, 0.4)
+            .add_interval(0, 1, 0.1, 0.4)
+            .add_exact(1, 1, 1.0);
+        let err = b.build().unwrap_err();
         assert!(matches!(
             err,
             ModelError::InconsistentIntervalRow { state: 0, .. }
@@ -465,21 +714,50 @@ mod tests {
 
     #[test]
     fn builder_rejects_reversed_bounds() {
-        let err = ImcBuilder::new(1)
-            .interval(0, 0, 0.9, 0.2)
-            .build()
-            .unwrap_err();
+        let mut b = ImcBuilder::new(1);
+        b.add_interval(0, 0, 0.9, 0.2);
+        let err = b.build().unwrap_err();
         assert!(matches!(err, ModelError::InvalidInterval { .. }));
     }
 
     #[test]
-    fn some_member_without_center_is_consistent() {
-        let imc = ImcBuilder::new(2)
+    #[allow(deprecated)]
+    fn deprecated_chained_builder_still_works() {
+        let chained = ImcBuilder::new(2)
+            .initial(0)
             .interval(0, 0, 0.1, 0.3)
             .interval(0, 1, 0.5, 0.95)
             .exact(1, 1, 1.0)
+            .label(1, "sink")
             .build()
             .unwrap();
+        let mut b = ImcBuilder::new(2);
+        b.set_initial(0)
+            .add_interval(0, 0, 0.1, 0.3)
+            .add_interval(0, 1, 0.5, 0.95)
+            .add_exact(1, 1, 1.0)
+            .add_label(1, "sink");
+        assert_eq!(chained, b.build().unwrap());
+    }
+
+    #[test]
+    fn streaming_builder_rejects_out_of_order() {
+        let mut s = ImcStreamBuilder::new(2);
+        s.push_interval(0, 1, 0.5, 1.0).unwrap();
+        let err = s.push_interval(0, 0, 0.0, 0.5).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::OutOfOrderTransition { from: 0, to: 0 }
+        ));
+    }
+
+    #[test]
+    fn some_member_without_center_is_consistent() {
+        let mut b = ImcBuilder::new(2);
+        b.add_interval(0, 0, 0.1, 0.3)
+            .add_interval(0, 1, 0.5, 0.95)
+            .add_exact(1, 1, 1.0);
+        let imc = b.build().unwrap();
         let member = imc.some_member().unwrap();
         assert!(imc.contains(&member));
     }
@@ -487,15 +765,14 @@ mod tests {
     #[test]
     fn some_member_waterfills_when_midpoints_do_not_sum_to_one() {
         // Midpoints: 0.2 and 0.5 => defect 0.3 pushed into the second entry.
-        let imc = ImcBuilder::new(2)
-            .interval(0, 0, 0.1, 0.3)
-            .interval(0, 1, 0.2, 0.9)
-            .exact(1, 1, 1.0)
-            .build()
-            .unwrap();
+        let mut b = ImcBuilder::new(2);
+        b.add_interval(0, 0, 0.1, 0.3)
+            .add_interval(0, 1, 0.2, 0.9)
+            .add_exact(1, 1, 1.0);
+        let imc = b.build().unwrap();
         let member = imc.some_member().unwrap();
         assert!(imc.contains(&member));
-        assert!((member.row(0).sum() - 1.0).abs() < 1e-12);
+        assert!((member.row(0).unwrap().sum() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -15,10 +15,21 @@
 //!
 //! Writers emit the same format, so `parse(write(m)) == m` up to float
 //! formatting (writers use `{:?}`, which round-trips `f64` exactly).
+//!
+//! Two loaders are provided per model kind:
+//!
+//! * [`parse_dtmc`] / [`parse_imc`] accept a full in-memory string with
+//!   directives in **any order**; transitions are buffered and sorted once.
+//! * [`read_dtmc`] / [`read_imc`] stream from any [`BufRead`] and build the
+//!   CSR arrays **incrementally** — no intermediate maps and no whole-file
+//!   buffer, at the price of requiring transitions in ascending
+//!   `(from, to)` order (the order the writers emit). Out-of-order input is
+//!   a typed [`ModelError::OutOfOrderTransition`].
 
 use std::fmt;
+use std::io::BufRead;
 
-use crate::{Dtmc, DtmcBuilder, Imc, ImcBuilder, ModelError};
+use crate::{Dtmc, DtmcBuilder, DtmcStreamBuilder, Imc, ImcBuilder, ImcStreamBuilder, ModelError};
 
 /// Errors raised when parsing the text format.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +58,8 @@ pub enum ParseError {
     MissingStates,
     /// The assembled model failed validation.
     Model(ModelError),
+    /// The underlying reader failed (streaming loaders only).
+    Io(String),
 }
 
 impl fmt::Display for ParseError {
@@ -65,6 +78,7 @@ impl fmt::Display for ParseError {
                 write!(f, "`states N` must precede transitions and labels")
             }
             ParseError::Model(e) => write!(f, "invalid model: {e}"),
+            ParseError::Io(msg) => write!(f, "read failed: {msg}"),
         }
     }
 }
@@ -77,7 +91,7 @@ impl From<ModelError> for ParseError {
     }
 }
 
-/// Tokenised line stream shared by both parsers.
+/// Tokenised line stream shared by both in-memory parsers.
 fn lines(text: &str) -> impl Iterator<Item = (usize, Vec<&str>)> {
     text.lines().enumerate().filter_map(|(i, raw)| {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -101,7 +115,7 @@ fn parse_num<T: std::str::FromStr>(
         .ok_or(ParseError::Malformed { line, expected })
 }
 
-/// Parses a DTMC from the text format.
+/// Parses a DTMC from the text format (directives in any order).
 ///
 /// # Errors
 ///
@@ -121,25 +135,25 @@ pub fn parse_dtmc(text: &str) -> Result<Dtmc, ParseError> {
                 builder = Some(DtmcBuilder::new(n));
             }
             "initial" => {
-                let b = builder.ok_or(ParseError::MissingStates)?;
+                let b = builder.as_mut().ok_or(ParseError::MissingStates)?;
                 let s: usize = parse_num(&fields, 1, line, "initial S")?;
-                builder = Some(b.initial(s));
+                b.set_initial(s);
             }
             "transition" => {
-                let b = builder.ok_or(ParseError::MissingStates)?;
+                let b = builder.as_mut().ok_or(ParseError::MissingStates)?;
                 let from: usize = parse_num(&fields, 1, line, "transition FROM TO P")?;
                 let to: usize = parse_num(&fields, 2, line, "transition FROM TO P")?;
                 let p: f64 = parse_num(&fields, 3, line, "transition FROM TO P")?;
-                builder = Some(b.transition(from, to, p));
+                b.add_transition(from, to, p);
             }
             "label" => {
-                let b = builder.ok_or(ParseError::MissingStates)?;
+                let b = builder.as_mut().ok_or(ParseError::MissingStates)?;
                 let s: usize = parse_num(&fields, 1, line, "label STATE NAME")?;
                 let name = fields.get(2).ok_or(ParseError::Malformed {
                     line,
                     expected: "label STATE NAME",
                 })?;
-                builder = Some(b.label(s, name));
+                b.add_label(s, name);
             }
             other => {
                 return Err(ParseError::UnknownDirective {
@@ -155,7 +169,7 @@ pub fn parse_dtmc(text: &str) -> Result<Dtmc, ParseError> {
         .map_err(ParseError::from)
 }
 
-/// Parses an IMC from the text format.
+/// Parses an IMC from the text format (directives in any order).
 ///
 /// # Errors
 ///
@@ -175,26 +189,26 @@ pub fn parse_imc(text: &str) -> Result<Imc, ParseError> {
                 builder = Some(ImcBuilder::new(n));
             }
             "initial" => {
-                let b = builder.ok_or(ParseError::MissingStates)?;
+                let b = builder.as_mut().ok_or(ParseError::MissingStates)?;
                 let s: usize = parse_num(&fields, 1, line, "initial S")?;
-                builder = Some(b.initial(s));
+                b.set_initial(s);
             }
             "interval" => {
-                let b = builder.ok_or(ParseError::MissingStates)?;
+                let b = builder.as_mut().ok_or(ParseError::MissingStates)?;
                 let from: usize = parse_num(&fields, 1, line, "interval FROM TO LO HI")?;
                 let to: usize = parse_num(&fields, 2, line, "interval FROM TO LO HI")?;
                 let lo: f64 = parse_num(&fields, 3, line, "interval FROM TO LO HI")?;
                 let hi: f64 = parse_num(&fields, 4, line, "interval FROM TO LO HI")?;
-                builder = Some(b.interval(from, to, lo, hi));
+                b.add_interval(from, to, lo, hi);
             }
             "label" => {
-                let b = builder.ok_or(ParseError::MissingStates)?;
+                let b = builder.as_mut().ok_or(ParseError::MissingStates)?;
                 let s: usize = parse_num(&fields, 1, line, "label STATE NAME")?;
                 let name = fields.get(2).ok_or(ParseError::Malformed {
                     line,
                     expected: "label STATE NAME",
                 })?;
-                builder = Some(b.label(s, name));
+                b.add_label(s, name);
             }
             other => {
                 return Err(ParseError::UnknownDirective {
@@ -210,13 +224,177 @@ pub fn parse_imc(text: &str) -> Result<Imc, ParseError> {
         .map_err(ParseError::from)
 }
 
+/// One tokenised line delivered to a streaming directive handler.
+struct StreamLine {
+    line: usize,
+    fields: Vec<String>,
+}
+
+/// Drives a [`BufRead`] through the shared tokeniser: strips comments,
+/// skips blank lines, checks the header, and hands every remaining line to
+/// `handle`. Reads one line at a time — the whole file is never buffered.
+fn stream_lines<R: BufRead>(
+    reader: R,
+    header: &'static str,
+    mut handle: impl FnMut(StreamLine) -> Result<(), ParseError>,
+) -> Result<(), ParseError> {
+    let mut saw_header = false;
+    for (i, raw) in reader.lines().enumerate() {
+        let raw = raw.map_err(|e| ParseError::Io(e.to_string()))?;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+        if !saw_header {
+            if fields.len() == 1 && fields[0] == header {
+                saw_header = true;
+                continue;
+            }
+            return Err(ParseError::WrongHeader { expected: header });
+        }
+        handle(StreamLine {
+            line: i + 1,
+            fields,
+        })?;
+    }
+    if !saw_header {
+        return Err(ParseError::WrongHeader { expected: header });
+    }
+    Ok(())
+}
+
+fn fields_ref(fields: &[String]) -> Vec<&str> {
+    fields.iter().map(String::as_str).collect()
+}
+
+/// Streams a DTMC from `reader`, building the CSR arrays incrementally.
+///
+/// Unlike [`parse_dtmc`], which buffers and sorts, this loader appends each
+/// transition directly to the model's sparse arrays and therefore requires
+/// transitions in ascending `(from, to)` order — exactly the order
+/// [`write_dtmc`] emits. `initial` and `label` directives may appear
+/// anywhere after `states N`.
+///
+/// # Errors
+///
+/// All [`parse_dtmc`] errors, plus [`ParseError::Io`] if the reader fails
+/// and [`ModelError::OutOfOrderTransition`] (wrapped in
+/// [`ParseError::Model`]) on out-of-order transitions.
+pub fn read_dtmc<R: BufRead>(reader: R) -> Result<Dtmc, ParseError> {
+    let mut builder: Option<DtmcStreamBuilder> = None;
+    stream_lines(reader, "dtmc", |l| {
+        let fields = fields_ref(&l.fields);
+        let line = l.line;
+        match fields[0] {
+            "states" => {
+                let n: usize = parse_num(&fields, 1, line, "states N")?;
+                builder = Some(DtmcStreamBuilder::new(n));
+            }
+            "initial" => {
+                let b = builder.as_mut().ok_or(ParseError::MissingStates)?;
+                let s: usize = parse_num(&fields, 1, line, "initial S")?;
+                b.set_initial(s);
+            }
+            "transition" => {
+                let b = builder.as_mut().ok_or(ParseError::MissingStates)?;
+                let from: usize = parse_num(&fields, 1, line, "transition FROM TO P")?;
+                let to: usize = parse_num(&fields, 2, line, "transition FROM TO P")?;
+                let p: f64 = parse_num(&fields, 3, line, "transition FROM TO P")?;
+                b.push_transition(from, to, p)?;
+            }
+            "label" => {
+                let b = builder.as_mut().ok_or(ParseError::MissingStates)?;
+                let s: usize = parse_num(&fields, 1, line, "label STATE NAME")?;
+                let name = fields.get(2).ok_or(ParseError::Malformed {
+                    line,
+                    expected: "label STATE NAME",
+                })?;
+                b.add_label(s, name);
+            }
+            other => {
+                return Err(ParseError::UnknownDirective {
+                    line,
+                    keyword: other.to_owned(),
+                })
+            }
+        }
+        Ok(())
+    })?;
+    builder
+        .ok_or(ParseError::MissingStates)?
+        .finish()
+        .map_err(ParseError::from)
+}
+
+/// Streams an IMC from `reader`, building the CSR arrays incrementally.
+///
+/// The interval-model counterpart of [`read_dtmc`]: intervals must arrive
+/// in ascending `(from, to)` order (the order [`write_imc`] emits);
+/// `initial` and `label` directives may appear anywhere after `states N`.
+///
+/// # Errors
+///
+/// All [`parse_imc`] errors, plus [`ParseError::Io`] if the reader fails
+/// and [`ModelError::OutOfOrderTransition`] (wrapped in
+/// [`ParseError::Model`]) on out-of-order intervals.
+pub fn read_imc<R: BufRead>(reader: R) -> Result<Imc, ParseError> {
+    let mut builder: Option<ImcStreamBuilder> = None;
+    stream_lines(reader, "imc", |l| {
+        let fields = fields_ref(&l.fields);
+        let line = l.line;
+        match fields[0] {
+            "states" => {
+                let n: usize = parse_num(&fields, 1, line, "states N")?;
+                builder = Some(ImcStreamBuilder::new(n));
+            }
+            "initial" => {
+                let b = builder.as_mut().ok_or(ParseError::MissingStates)?;
+                let s: usize = parse_num(&fields, 1, line, "initial S")?;
+                b.set_initial(s);
+            }
+            "interval" => {
+                let b = builder.as_mut().ok_or(ParseError::MissingStates)?;
+                let from: usize = parse_num(&fields, 1, line, "interval FROM TO LO HI")?;
+                let to: usize = parse_num(&fields, 2, line, "interval FROM TO LO HI")?;
+                let lo: f64 = parse_num(&fields, 3, line, "interval FROM TO LO HI")?;
+                let hi: f64 = parse_num(&fields, 4, line, "interval FROM TO LO HI")?;
+                b.push_interval(from, to, lo, hi)?;
+            }
+            "label" => {
+                let b = builder.as_mut().ok_or(ParseError::MissingStates)?;
+                let s: usize = parse_num(&fields, 1, line, "label STATE NAME")?;
+                let name = fields.get(2).ok_or(ParseError::Malformed {
+                    line,
+                    expected: "label STATE NAME",
+                })?;
+                b.add_label(s, name);
+            }
+            other => {
+                return Err(ParseError::UnknownDirective {
+                    line,
+                    keyword: other.to_owned(),
+                })
+            }
+        }
+        Ok(())
+    })?;
+    builder
+        .ok_or(ParseError::MissingStates)?
+        .finish()
+        .map_err(ParseError::from)
+}
+
 /// Serialises a DTMC to the text format.
+///
+/// Transitions are emitted in ascending `(from, to)` order, so the output
+/// is always loadable by the streaming [`read_dtmc`].
 pub fn write_dtmc(chain: &Dtmc) -> String {
     let mut out = String::from("dtmc\n");
     out.push_str(&format!("states {}\n", chain.num_states()));
     out.push_str(&format!("initial {}\n", chain.initial()));
-    for (from, row) in chain.rows().iter().enumerate() {
-        for e in row.entries() {
+    for (from, row) in chain.rows().enumerate() {
+        for e in row.iter() {
             out.push_str(&format!("transition {from} {} {:?}\n", e.target, e.prob));
         }
     }
@@ -230,18 +408,25 @@ pub fn write_dtmc(chain: &Dtmc) -> String {
 
 /// Serialises an IMC to the text format.
 ///
-/// Note: the centre chain of [`Imc::from_center`] is not part of the
-/// format; a round-tripped IMC has `center() == None`.
+/// Intervals are emitted in ascending `(from, to)` order, so the output is
+/// always loadable by the streaming [`read_imc`]. Labels are included; the
+/// centre chain of [`Imc::from_center`] is not part of the format, so a
+/// round-tripped IMC has `center() == None`.
 pub fn write_imc(imc: &Imc) -> String {
     let mut out = String::from("imc\n");
     out.push_str(&format!("states {}\n", imc.num_states()));
     out.push_str(&format!("initial {}\n", imc.initial()));
-    for (from, row) in imc.rows().iter().enumerate() {
-        for e in row.entries() {
+    for (from, row) in imc.rows().enumerate() {
+        for e in row.iter() {
             out.push_str(&format!(
                 "interval {from} {} {:?} {:?}\n",
                 e.target, e.lo, e.hi
             ));
+        }
+    }
+    for label in imc.label_names() {
+        for s in imc.labeled_states(label).iter() {
+            out.push_str(&format!("label {s} {label}\n"));
         }
     }
     out
@@ -288,12 +473,102 @@ initial 0
 interval 0 0 0.1 0.3
 interval 0 1 0.7 0.9
 interval 1 1 1.0 1.0
+label 1 sink
 ";
         let imc = parse_imc(text).unwrap();
-        let e = imc.row(0).interval_to(1).unwrap();
+        let e = imc.row(0).unwrap().interval_to(1).unwrap();
         assert_eq!((e.lo, e.hi), (0.7, 0.9));
         let back = parse_imc(&write_imc(&imc)).unwrap();
         assert_eq!(imc, back);
+        assert!(back.labeled_states("sink").contains(1));
+    }
+
+    #[test]
+    fn streaming_reader_matches_parser() {
+        let chain = parse_dtmc(DTMC_TEXT).unwrap();
+        let streamed = read_dtmc(DTMC_TEXT.as_bytes()).unwrap();
+        assert_eq!(chain, streamed);
+
+        let imc_text = "\
+imc
+states 2
+initial 0
+interval 0 0 0.1 0.3
+interval 0 1 0.7 0.9
+interval 1 1 1.0 1.0
+label 0 init
+";
+        assert_eq!(
+            parse_imc(imc_text).unwrap(),
+            read_imc(imc_text.as_bytes()).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_reader_rejects_out_of_order() {
+        let text = "\
+dtmc
+states 2
+transition 0 1 0.5
+transition 0 0 0.5
+transition 1 1 1.0
+";
+        // The lenient parser sorts and accepts...
+        assert!(parse_dtmc(text).is_ok());
+        // ...the streaming reader reports the violation as a typed error.
+        let err = read_dtmc(text.as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::Model(ModelError::OutOfOrderTransition { from: 0, to: 0 })
+        );
+    }
+
+    #[test]
+    fn streaming_reader_reports_truncated_input() {
+        // File ends before state 1's row arrives.
+        let truncated = "imc\nstates 2\ninterval 0 1 1.0 1.0\n";
+        let err = read_imc(truncated.as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::Model(ModelError::NoOutgoingTransitions { state: 1 })
+        );
+        // File ends before any model content at all.
+        assert_eq!(
+            read_imc("imc\n".as_bytes()).unwrap_err(),
+            ParseError::MissingStates
+        );
+        assert_eq!(
+            read_imc("".as_bytes()).unwrap_err(),
+            ParseError::WrongHeader { expected: "imc" }
+        );
+    }
+
+    #[test]
+    fn streaming_reader_rejects_unknown_label_state() {
+        let text = "\
+dtmc
+states 2
+transition 0 1 1.0
+transition 1 1 1.0
+label 7 ghost
+";
+        let err = read_dtmc(text.as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::Model(ModelError::StateOutOfRange { state: 7, n: 2 })
+        );
+    }
+
+    #[test]
+    fn streaming_reader_surfaces_io_errors() {
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::Other, "disk gone"))
+            }
+        }
+        let err = read_dtmc(std::io::BufReader::new(FailingReader)).unwrap_err();
+        assert!(matches!(err, ParseError::Io(ref m) if m.contains("disk gone")));
     }
 
     #[test]
@@ -325,6 +600,8 @@ interval 1 1 1.0 1.0
     #[test]
     fn transitions_before_states_are_rejected() {
         let err = parse_dtmc("dtmc\ntransition 0 1 1.0\n").unwrap_err();
+        assert_eq!(err, ParseError::MissingStates);
+        let err = read_dtmc("dtmc\ntransition 0 1 1.0\n".as_bytes()).unwrap_err();
         assert_eq!(err, ParseError::MissingStates);
     }
 

@@ -10,11 +10,37 @@
 //!   per-transition intervals ([Definition 2.2]);
 //! * [`Path`] and [`TransitionCounts`] — finite paths and the per-path
 //!   transition count tables `n_ij(ω)` used by the likelihood-ratio machinery;
-//! * [`StateSet`] — a compact bit-set over state indices;
+//! * [`StateSet`] — a compact bit-set over state indices, and [`LabelTable`]
+//!   — interned label names resolving to borrowed `StateSet`s;
 //! * graph analyses ([`graph`]) — forward/backward reachability, strongly
 //!   connected components and bottom SCCs;
-//! * a plain-text exchange format ([`io`]) for shipping models to the
-//!   command-line tool.
+//! * a plain-text exchange format ([`io`]) with both buffering parsers and
+//!   streaming [`io::read_dtmc`] / [`io::read_imc`] loaders.
+//!
+//! # Storage layout
+//!
+//! Both model types store their transition structure in compressed sparse
+//! row (CSR) form: one `row_ptr` offset array of length `n + 1`, plus
+//! contiguous `col_idx` (`u32` target states) and value arrays holding
+//! every transition, sorted by `(from, to)`. Row lookups are two offset
+//! reads; downstream samplers and solvers borrow the arrays directly via
+//! [`Dtmc::row_offsets`], [`Dtmc::transition_targets`] and
+//! [`Dtmc::transition_probs`] (and the `bounds_lo`/`bounds_hi` pair on
+//! [`Imc`]) instead of re-flattening per row.
+//!
+//! # Construction
+//!
+//! Models are built from `(from, to, value)` triplets, validated eagerly:
+//!
+//! * [`DtmcBuilder`] / [`ImcBuilder`] accept triplets in **any order**
+//!   through `&mut self` methods (`add_transition`, `add_interval`, ...),
+//!   sort them once at [`DtmcBuilder::build`], and reject duplicates and
+//!   malformed rows with typed [`ModelError`]s. The pre-PR-7 chained
+//!   by-value methods remain as `#[deprecated]` wrappers.
+//! * [`DtmcStreamBuilder`] / [`ImcStreamBuilder`] require ascending
+//!   `(from, to)` order and append straight to the CSR arrays — the
+//!   constant-memory path used by the streaming file loaders and the large
+//!   generated scenarios.
 //!
 //! # Example
 //!
@@ -24,16 +50,17 @@
 //! # fn main() -> Result<(), imc_markov::ModelError> {
 //! // The paper's illustrative chain: s0 -a-> s1 -c-> s2, s1 -d-> s0, s0 -b-> s3.
 //! let (a, c) = (1e-4, 0.05);
-//! let dtmc = DtmcBuilder::new(4)
-//!     .initial(0)
-//!     .transition(0, 1, a)
-//!     .transition(0, 3, 1.0 - a)
-//!     .transition(1, 2, c)
-//!     .transition(1, 0, 1.0 - c)
-//!     .self_loop(2)
-//!     .self_loop(3)
-//!     .label(2, "goal")
-//!     .build()?;
+//! let mut builder = DtmcBuilder::new(4);
+//! builder
+//!     .set_initial(0)
+//!     .add_transition(0, 1, a)
+//!     .add_transition(0, 3, 1.0 - a)
+//!     .add_transition(1, 2, c)
+//!     .add_transition(1, 0, 1.0 - c)
+//!     .add_self_loop(2)
+//!     .add_self_loop(3)
+//!     .add_label(2, "goal");
+//! let dtmc = builder.build()?;
 //!
 //! // Widen every transition into an interval of half-width 1e-5.
 //! let imc = Imc::from_center(&dtmc, |_, _| 1e-5)?;
@@ -45,18 +72,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod dtmc;
 mod error;
 mod imc;
+mod labels;
 mod path;
 mod state_set;
 
 pub mod graph;
 pub mod io;
 
-pub use dtmc::{Dtmc, DtmcBuilder, Row, RowEntry};
+pub use dtmc::{Dtmc, DtmcBuilder, DtmcStreamBuilder, RowEntry, RowView};
 pub use error::ModelError;
-pub use imc::{Imc, ImcBuilder, IntervalEntry, IntervalRow};
+pub use imc::{Imc, ImcBuilder, ImcStreamBuilder, IntervalEntry, IntervalRowView};
+pub use labels::LabelTable;
 pub use path::{Path, TransitionCounts};
 pub use state_set::StateSet;
 

@@ -23,6 +23,17 @@ pub struct StateSet {
     n: usize,
 }
 
+/// The canonical empty set over the empty universe.
+///
+/// Returned by borrowed label lookups ([`crate::Dtmc::labeled_states`]) when
+/// the label is unknown: `contains` is `false` for every state and `iter` is
+/// empty, so it behaves like an empty set over any universe for read-only
+/// use.
+pub(crate) static EMPTY_STATE_SET: StateSet = StateSet {
+    words: Vec::new(),
+    n: 0,
+};
+
 impl StateSet {
     /// Creates an empty set over the universe `0..n`.
     pub fn new(n: usize) -> Self {

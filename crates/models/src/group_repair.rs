@@ -198,12 +198,15 @@ mod tests {
     fn jump_chain_rows_are_stochastic() {
         let chain = jump_chain(ALPHA_TRUE);
         for s in 0..chain.num_states() {
-            assert!((chain.row(s).sum() - 1.0).abs() < 1e-9, "state {s}");
+            assert!(
+                (chain.row(s).unwrap().sum() - 1.0).abs() < 1e-9,
+                "state {s}"
+            );
         }
         // The failure state is NOT absorbing in the CTMC (repairs fire),
         // so the property needs the avoid/target monitor, not absorption.
         let failure = chain.labeled_states("failure").iter().next().unwrap();
-        assert!(!chain.row(failure).is_empty());
+        assert!(!chain.row(failure).unwrap().is_empty());
     }
 
     #[test]

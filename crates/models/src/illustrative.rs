@@ -42,16 +42,18 @@ pub const C_TRUE: f64 = 0.05;
 pub fn dtmc(a: f64, c: f64) -> Dtmc {
     assert!(a > 0.0 && a < 1.0, "a must be in (0, 1), got {a}");
     assert!(c > 0.0 && c < 1.0, "c must be in (0, 1), got {c}");
-    DtmcBuilder::new(4)
-        .initial(S0)
-        .transition(S0, S1, a)
-        .transition(S0, S3, 1.0 - a)
-        .transition(S1, S2, c)
-        .transition(S1, S0, 1.0 - c)
-        .self_loop(S2)
-        .self_loop(S3)
-        .label(S2, "goal")
-        .label(S3, "sink")
+    let mut builder = DtmcBuilder::new(4);
+    builder
+        .set_initial(S0)
+        .add_transition(S0, S1, a)
+        .add_transition(S0, S3, 1.0 - a)
+        .add_transition(S1, S2, c)
+        .add_transition(S1, S0, 1.0 - c)
+        .add_self_loop(S2)
+        .add_self_loop(S3)
+        .add_label(S2, "goal")
+        .add_label(S3, "sink");
+    builder
         .build()
         .expect("illustrative chain is well-formed by construction")
 }

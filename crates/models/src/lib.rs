@@ -12,6 +12,9 @@
 //!   the proprietary SWaT testbed logs (§VI-D, Fig. 4); the ground truth is
 //!   *only* used to generate logs and validate coverage, mirroring how the
 //!   paper's authors learnt their model from testbed data;
+//! * [`fleet`] — the parametric repair fleet: `levels^components` states
+//!   (10⁶ at the default scale) streamed into the sparse CSR kernel, the
+//!   scale test of the model core;
 //! * [`parametric_imc`] — builds the IMC `[A(α̂)]` of a globally
 //!   parametrised model from a confidence interval on `α` (§II-B);
 //! * [`scenario`] — the **scenario registry**: every benchmark plus
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod group_repair;
 pub mod illustrative;
 pub mod repair;

@@ -48,8 +48,8 @@ pub fn parametric_imc(
             n,
             "state space must not depend on the parameter"
         );
-        for (state, row) in chain.rows().iter().enumerate() {
-            for entry in row.entries() {
+        for (state, row) in chain.rows().enumerate() {
+            for entry in row.iter() {
                 let c = center_chain.prob(state, entry.target);
                 let dev = (entry.prob - c).abs();
                 let slot = eps.entry((state, entry.target)).or_insert(0.0);
@@ -70,19 +70,18 @@ mod tests {
     use imc_markov::DtmcBuilder;
 
     fn coin(p: f64) -> Dtmc {
-        DtmcBuilder::new(3)
-            .transition(0, 1, p)
-            .transition(0, 2, 1.0 - p)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, p)
+            .add_transition(0, 2, 1.0 - p)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        b.build().unwrap()
     }
 
     #[test]
     fn interval_spans_the_parameter_range() {
         let imc = parametric_imc(coin, 0.3, 0.2, 0.4, 5).unwrap();
-        let e = imc.row(0).interval_to(1).unwrap();
+        let e = imc.row(0).unwrap().interval_to(1).unwrap();
         assert!((e.lo - 0.2).abs() < 1e-12);
         assert!((e.hi - 0.4).abs() < 1e-12);
         for &p in &[0.2, 0.25, 0.3, 0.4] {
@@ -96,7 +95,7 @@ mod tests {
         // centre 0.25 in [0.2, 0.4]: max deviation 0.15, so interval
         // [0.1, 0.4] ⊇ the parameter range (symmetric around the centre).
         let imc = parametric_imc(coin, 0.25, 0.2, 0.4, 5).unwrap();
-        let e = imc.row(0).interval_to(1).unwrap();
+        let e = imc.row(0).unwrap().interval_to(1).unwrap();
         assert!((e.lo - 0.1).abs() < 1e-12);
         assert!((e.hi - 0.4).abs() < 1e-12);
     }

@@ -41,13 +41,13 @@ use imc_learn::{learn_imc_with_support, CountTable, LearnOptions, Smoothing};
 use imc_logic::Property;
 use imc_markov::{io, Dtmc, Imc, StateSet};
 use imc_numeric::{bounded_reach_probs, reach_before_return, SolveOptions};
-use imc_sampling::{cross_entropy_is, zero_variance_is, CrossEntropyConfig};
+use imc_sampling::{cross_entropy_is, failure_bias, zero_variance_is, CrossEntropyConfig};
 use imc_sim::{random_walk, ChainSampler};
 use rand::SeedableRng;
 use serde::json::Value;
 use std::fmt;
 
-use crate::{group_repair, illustrative, parametric_imc, repair, swat};
+use crate::{fleet, group_repair, illustrative, parametric_imc, repair, swat};
 
 /// Everything needed to run IS/IMCIS experiments on one model.
 #[derive(Debug, Clone)]
@@ -123,7 +123,7 @@ fn mix_chains(zv: &Dtmc, center: &Dtmc, w: f64) -> Dtmc {
         .map(|s| {
             let entries: Vec<imc_markov::RowEntry> = center
                 .row(s)
-                .entries()
+                .expect("state index is in range")
                 .iter()
                 .map(|e| imc_markov::RowEntry {
                     target: e.target,
@@ -555,6 +555,7 @@ impl ScenarioRegistry {
         registry.register(Box::new(GroupRepair));
         registry.register(Box::new(ParametricRepair));
         registry.register(Box::new(Repair));
+        registry.register(Box::new(RepairFleet));
         registry.register(Box::new(Swat));
         registry.register(Box::new(FromFile));
         registry
@@ -804,6 +805,116 @@ impl Scenario for Repair {
     }
 }
 
+/// Builds the repair-fleet setup at a given scale: streaming-built jump
+/// chain, relative-ε IMC, and a balanced failure-biased IS chain (the
+/// degrade moves are exactly the transitions with `to > from` under the
+/// mixed-radix encoding). No numeric reference γ is computed — the whole
+/// point of the scenario is to exceed the numeric engine's comfort zone.
+pub fn fleet_setup(
+    components: u32,
+    levels: usize,
+    alpha: f64,
+    beta: f64,
+    eps_rel: f64,
+    bias: f64,
+) -> Result<Setup, ScenarioError> {
+    let center = fleet::jump_chain(components, levels, alpha, beta)
+        .map_err(|e| ScenarioError::Build(e.to_string()))?;
+    let imc = fleet::imc(&center, eps_rel).map_err(|e| ScenarioError::Build(e.to_string()))?;
+    let b = failure_bias(&center, |from, to| to > from, bias)
+        .map_err(|e| ScenarioError::Build(e.to_string()))?;
+    let property = fleet::property(&center);
+    Ok(Setup {
+        name: format!("repair fleet ({components}x{levels})"),
+        imc,
+        center,
+        b,
+        property,
+        gamma_center: None,
+        gamma_exact: None,
+    })
+}
+
+struct RepairFleet;
+
+impl Scenario for RepairFleet {
+    fn name(&self) -> &'static str {
+        "repair-fleet"
+    }
+    fn summary(&self) -> &'static str {
+        "parametric repair fleet, levels^components states streamed into the sparse CSR kernel"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[
+            ParamSpec {
+                key: "components",
+                description: "machine groups (state count = levels^components)",
+                default: "6",
+            },
+            ParamSpec {
+                key: "levels",
+                description: "wear levels per group (levels - 1 = failed)",
+                default: "10",
+            },
+            ParamSpec {
+                key: "alpha",
+                description: "degradation weight per wear level",
+                default: "1e-3",
+            },
+            ParamSpec {
+                key: "beta",
+                description: "repair weight of the single crew",
+                default: "1.0",
+            },
+            ParamSpec {
+                key: "eps",
+                description: "relative interval half-width of the IMC",
+                default: "0.05",
+            },
+            ParamSpec {
+                key: "bias",
+                description: "failure-biasing weight of the IS chain",
+                default: "0.3",
+            },
+        ];
+        PARAMS
+    }
+    fn build(&self, params: &ScenarioParams) -> Result<Setup, ScenarioError> {
+        params.check_known(&["components", "levels", "alpha", "beta", "eps", "bias"])?;
+        let components = params.usize_or("components", 6)?;
+        let levels = params.usize_or("levels", fleet::LEVELS)?;
+        let alpha = params.f64_or("alpha", fleet::ALPHA)?;
+        let beta = params.f64_or("beta", fleet::BETA)?;
+        let eps_rel = params.f64_or("eps", 0.05)?;
+        let bias = params.f64_or("bias", 0.3)?;
+        if components == 0 || components > 16 {
+            return Err(bad("components", "must lie in 1..=16"));
+        }
+        if levels < 2 {
+            return Err(bad("levels", "need at least two wear levels"));
+        }
+        if fleet::num_states(components as u32, levels).is_none() {
+            return Err(bad(
+                "levels",
+                &format!(
+                    "levels^components exceeds the {}-state cap",
+                    fleet::MAX_STATES
+                ),
+            ));
+        }
+        if alpha <= 0.0 || beta <= 0.0 {
+            return Err(bad("alpha", "rates must be strictly positive"));
+        }
+        if !(0.0..=1.0).contains(&eps_rel) {
+            return Err(bad("eps", "relative half-width must lie in [0, 1]"));
+        }
+        if !(0.0 < bias && bias < 1.0) {
+            return Err(bad("bias", "must lie strictly inside (0, 1)"));
+        }
+        fleet_setup(components as u32, levels, alpha, beta, eps_rel, bias)
+    }
+}
+
 struct Swat;
 
 impl Scenario for Swat {
@@ -888,9 +999,12 @@ impl Scenario for FromFile {
     fn build(&self, params: &ScenarioParams) -> Result<Setup, ScenarioError> {
         params.check_known(&["path", "target", "avoid", "bound"])?;
         let path = params.str_required("path")?;
-        let text = std::fs::read_to_string(&path)
+        // Stream the model straight into CSR storage: no whole-file buffer
+        // and no intermediate triplet maps, so ≥10⁶-state models load in
+        // one bounded pass.
+        let file = std::fs::File::open(&path)
             .map_err(|e| ScenarioError::Build(format!("cannot read `{path}`: {e}")))?;
-        let imc = io::parse_imc(&text)
+        let imc = io::read_imc(std::io::BufReader::new(file))
             .map_err(|e| ScenarioError::Build(format!("cannot parse `{path}` as an IMC: {e}")))?;
         setup_from_imc(imc, &path, params)
     }
@@ -906,7 +1020,7 @@ pub fn setup_from_imc(
     params: &ScenarioParams,
 ) -> Result<Setup, ScenarioError> {
     let target_label = params.str_required("target")?;
-    let target = imc.labeled_states(&target_label);
+    let target = imc.labeled_states(&target_label).clone();
     if target.is_empty() {
         return Err(bad(
             "target",
@@ -922,7 +1036,7 @@ pub fn setup_from_imc(
                     &format!("label `{label}` marks no state in the model"),
                 ));
             }
-            set
+            set.clone()
         }
         None => StateSet::new(imc.num_states()),
     };

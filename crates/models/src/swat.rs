@@ -68,15 +68,16 @@ pub fn level_of_bucket(bucket: usize) -> f64 {
 /// about 5 step units, as the paper describes. Per-bucket heterogeneity is
 /// deterministic (no RNG), so the ground truth is reproducible.
 pub fn truth() -> Dtmc {
-    let mut builder = DtmcBuilder::new(NUM_STATES).initial(state_of(Mode::Repair, 6));
+    let mut builder = DtmcBuilder::new(NUM_STATES);
+    builder.set_initial(state_of(Mode::Repair, 6));
 
     for b in 0..BUCKETS {
         // Mild deterministic heterogeneity so learning is non-trivial.
         let tilt = 1.0 + 0.015 * (b as f64 - 6.0);
         // (up, down, mode switches): the remainder is "stay".
         // Normal: downward mean reversion + rare degradations.
-        builder = add_level_row(
-            builder,
+        add_level_row(
+            &mut builder,
             Mode::Normal,
             b,
             0.14 * tilt,
@@ -88,8 +89,8 @@ pub fn truth() -> Dtmc {
             ],
         );
         // Pump degradation: upward drift, eventually repaired.
-        builder = add_level_row(
-            builder,
+        add_level_row(
+            &mut builder,
             Mode::PumpDegraded,
             b,
             0.38 * tilt,
@@ -97,8 +98,8 @@ pub fn truth() -> Dtmc {
             &[(Mode::Repair, 0.09)],
         );
         // Valve stuck: strongest upward drift.
-        builder = add_level_row(
-            builder,
+        add_level_row(
+            &mut builder,
             Mode::ValveStuck,
             b,
             0.48 * tilt,
@@ -106,8 +107,8 @@ pub fn truth() -> Dtmc {
             &[(Mode::Repair, 0.09)],
         );
         // Sensor drift: mild upward bias, quickly detected.
-        builder = add_level_row(
-            builder,
+        add_level_row(
+            &mut builder,
             Mode::SensorDrift,
             b,
             0.28 * tilt,
@@ -115,8 +116,8 @@ pub fn truth() -> Dtmc {
             &[(Mode::Repair, 0.08)],
         );
         // Repair: drains the tank, exits to Normal w.p. 0.2 (≈5 steps).
-        builder = add_level_row(
-            builder,
+        add_level_row(
+            &mut builder,
             Mode::Repair,
             b,
             0.02,
@@ -128,12 +129,12 @@ pub fn truth() -> Dtmc {
     for b in 0..BUCKETS {
         for m in 0..MODES {
             if b == BUCKETS - 1 {
-                builder = builder.label(m * BUCKETS + b, "high");
+                builder.add_label(m * BUCKETS + b, "high");
             }
         }
     }
+    builder.add_label(state_of(Mode::Repair, 6), "init_failure");
     builder
-        .label(state_of(Mode::Repair, 6), "init_failure")
         .build()
         .expect("synthetic SWaT chain is well-formed by construction")
 }
@@ -141,13 +142,13 @@ pub fn truth() -> Dtmc {
 /// Adds one state's row: up/down level moves within the mode plus mode
 /// switches at the same bucket; leftover mass stays put.
 fn add_level_row(
-    builder: DtmcBuilder,
+    builder: &mut DtmcBuilder,
     mode: Mode,
     bucket: usize,
     up: f64,
     down: f64,
     switches: &[(Mode, f64)],
-) -> DtmcBuilder {
+) {
     let from = state_of(mode, bucket);
     let up_target = if bucket + 1 < BUCKETS {
         bucket + 1
@@ -156,20 +157,19 @@ fn add_level_row(
     };
     let down_target = bucket.saturating_sub(1);
     let mut mass = 0.0;
-    let mut builder = builder;
     if up_target != bucket {
-        builder = builder.transition(from, state_of(mode, up_target), up);
+        builder.add_transition(from, state_of(mode, up_target), up);
         mass += up;
     }
     if down_target != bucket {
-        builder = builder.transition(from, state_of(mode, down_target), down);
+        builder.add_transition(from, state_of(mode, down_target), down);
         mass += down;
     }
     for &(to_mode, p) in switches {
-        builder = builder.transition(from, state_of(to_mode, bucket), p);
+        builder.add_transition(from, state_of(to_mode, bucket), p);
         mass += p;
     }
-    builder.transition(from, from, 1.0 - mass)
+    builder.add_transition(from, from, 1.0 - mass);
 }
 
 /// The paper's property: LIT301 exceeds 800 (bucket 13) within 30 steps.
@@ -221,7 +221,10 @@ mod tests {
     fn rows_are_stochastic_everywhere() {
         let chain = truth();
         for s in 0..chain.num_states() {
-            assert!((chain.row(s).sum() - 1.0).abs() < 1e-9, "state {s}");
+            assert!(
+                (chain.row(s).unwrap().sum() - 1.0).abs() < 1e-9,
+                "state {s}"
+            );
         }
     }
 }

@@ -13,11 +13,11 @@ use imc_markov::{Dtmc, StateSet};
 /// use imc_numeric::bounded_reach_probs;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let chain = DtmcBuilder::new(2)
-///     .transition(0, 0, 0.5)
-///     .transition(0, 1, 0.5)
-///     .self_loop(1)
-///     .build()?;
+/// let mut b = DtmcBuilder::new(2);
+/// b.add_transition(0, 0, 0.5)
+///     .add_transition(0, 1, 0.5)
+///     .add_self_loop(1);
+/// let chain = b.build()?;
 /// let probs = bounded_reach_probs(&chain, &StateSet::from_states(2, [1]), 2);
 /// assert!((probs[0] - 0.75).abs() < 1e-12); // 1 - 0.5^2
 /// # Ok(())
@@ -38,6 +38,11 @@ pub fn bounded_reach_avoid_probs(
     bound: usize,
 ) -> Vec<f64> {
     let n = chain.num_states();
+    let (ptr, idx, probs) = (
+        chain.row_offsets(),
+        chain.transition_targets(),
+        chain.transition_probs(),
+    );
     let mut x = vec![0.0f64; n];
     for s in target.iter() {
         x[s] = 1.0;
@@ -51,11 +56,11 @@ pub fn bounded_reach_avoid_probs(
             } else if avoid.contains(s) {
                 next[s] = 0.0;
             } else {
-                next[s] = chain
-                    .row(s)
-                    .entries()
+                let (start, end) = (ptr[s], ptr[s + 1]);
+                next[s] = idx[start..end]
                     .iter()
-                    .map(|e| e.prob * x[e.target])
+                    .zip(&probs[start..end])
+                    .map(|(&t, &p)| p * x[t as usize])
                     .sum();
             }
         }
@@ -71,14 +76,13 @@ mod tests {
 
     fn coin_walk() -> Dtmc {
         // 0 -> 1 -> 2 with p=0.5 forward, 0.5 stay.
-        DtmcBuilder::new(3)
-            .transition(0, 0, 0.5)
-            .transition(0, 1, 0.5)
-            .transition(1, 1, 0.5)
-            .transition(1, 2, 0.5)
-            .self_loop(2)
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 0, 0.5)
+            .add_transition(0, 1, 0.5)
+            .add_transition(1, 1, 0.5)
+            .add_transition(1, 2, 0.5)
+            .add_self_loop(2);
+        b.build().unwrap()
     }
 
     #[test]
@@ -113,14 +117,13 @@ mod tests {
     #[test]
     fn avoid_states_block_mass() {
         // 0 -> {1 or 2}; paths through 1 are forbidden.
-        let chain = DtmcBuilder::new(4)
-            .transition(0, 1, 0.5)
-            .transition(0, 2, 0.5)
-            .transition(1, 3, 1.0)
-            .transition(2, 3, 1.0)
-            .self_loop(3)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(4);
+        b.add_transition(0, 1, 0.5)
+            .add_transition(0, 2, 0.5)
+            .add_transition(1, 3, 1.0)
+            .add_transition(2, 3, 1.0)
+            .add_self_loop(3);
+        let chain = b.build().unwrap();
         let probs = bounded_reach_avoid_probs(
             &chain,
             &StateSet::from_states(4, [3]),
@@ -135,12 +138,11 @@ mod tests {
     fn matches_monitor_semantics_on_simulated_truth() {
         // Cross-check against the closed form for a two-step geometric:
         // P(F≤k hit) with per-step hit probability 0.3 from a self-loop.
-        let chain = DtmcBuilder::new(2)
-            .transition(0, 0, 0.7)
-            .transition(0, 1, 0.3)
-            .self_loop(1)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(2);
+        b.add_transition(0, 0, 0.7)
+            .add_transition(0, 1, 0.3)
+            .add_self_loop(1);
+        let chain = b.build().unwrap();
         for k in 0..10 {
             let expected = 1.0 - 0.7f64.powi(k as i32);
             let got = bounded_reach_probs(&chain, &StateSet::from_states(2, [1]), k)[0];

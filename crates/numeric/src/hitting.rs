@@ -32,11 +32,11 @@ use crate::{SolveError, SolveOptions};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// // Geometric with p = 0.25: mean 4 steps to absorb.
-/// let chain = DtmcBuilder::new(2)
-///     .transition(0, 0, 0.75)
-///     .transition(0, 1, 0.25)
-///     .self_loop(1)
-///     .build()?;
+/// let mut b = DtmcBuilder::new(2);
+/// b.add_transition(0, 0, 0.75)
+///     .add_transition(0, 1, 0.25)
+///     .add_self_loop(1);
+/// let chain = b.build()?;
 /// let h = expected_steps_to(&chain, &StateSet::from_states(2, [1]),
 ///                           &SolveOptions::default())?;
 /// assert!((h[0] - 4.0).abs() < 1e-9);
@@ -63,21 +63,23 @@ pub fn expected_steps_to(
     if unknown.is_empty() {
         return Ok(h);
     }
+    let (ptr, idx, probs) = (
+        chain.row_offsets(),
+        chain.transition_targets(),
+        chain.transition_probs(),
+    );
     let mut residual = f64::INFINITY;
     for _ in 0..options.max_iterations {
         residual = 0.0;
         for &s in &unknown {
             let mut acc = 1.0;
-            for e in chain.row(s).entries() {
+            let (start, end) = (ptr[s], ptr[s + 1]);
+            for (&t, &p) in idx[start..end].iter().zip(&probs[start..end]) {
                 // Successors outside the almost-sure set have h = inf but
                 // are unreachable conditioned on hitting: they cannot occur
                 // for a state with reach probability 1.
-                acc += e.prob
-                    * if h[e.target].is_finite() {
-                        h[e.target]
-                    } else {
-                        0.0
-                    };
+                let ht = h[t as usize];
+                acc += p * if ht.is_finite() { ht } else { 0.0 };
             }
             let delta = (acc - h[s]).abs();
             if delta > residual {
@@ -113,10 +115,10 @@ pub fn expected_steps_to(
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// // Two-state chain: π ∝ (repair rate, failure rate).
-/// let chain = DtmcBuilder::new(2)
-///     .transition(0, 0, 0.9).transition(0, 1, 0.1)
-///     .transition(1, 0, 0.5).transition(1, 1, 0.5)
-///     .build()?;
+/// let mut b = DtmcBuilder::new(2);
+/// b.add_transition(0, 0, 0.9).add_transition(0, 1, 0.1)
+///     .add_transition(1, 0, 0.5).add_transition(1, 1, 0.5);
+/// let chain = b.build()?;
 /// let pi = stationary_distribution(&chain, &SolveOptions::default())?;
 /// assert!((pi[0] - 5.0 / 6.0).abs() < 1e-9);
 /// # Ok(())
@@ -132,8 +134,8 @@ pub fn stationary_distribution(
     let mut residual = f64::INFINITY;
     for _ in 0..options.max_iterations {
         next.iter_mut().for_each(|x| *x = 0.0);
-        for (s, row) in chain.rows().iter().enumerate() {
-            for e in row.entries() {
+        for (s, row) in chain.rows().enumerate() {
+            for e in row.iter() {
                 next[e.target] += pi[s] * e.prob;
             }
         }
@@ -161,12 +163,11 @@ mod tests {
     #[test]
     fn geometric_hitting_time() {
         for &p in &[0.5, 0.1, 0.01] {
-            let chain = DtmcBuilder::new(2)
-                .transition(0, 0, 1.0 - p)
-                .transition(0, 1, p)
-                .self_loop(1)
-                .build()
-                .unwrap();
+            let mut b = DtmcBuilder::new(2);
+            b.add_transition(0, 0, 1.0 - p)
+                .add_transition(0, 1, p)
+                .add_self_loop(1);
+            let chain = b.build().unwrap();
             let h = expected_steps_to(
                 &chain,
                 &StateSet::from_states(2, [1]),
@@ -184,13 +185,12 @@ mod tests {
 
     #[test]
     fn unreachable_target_has_infinite_hitting_time() {
-        let chain = DtmcBuilder::new(3)
-            .transition(0, 1, 0.5)
-            .transition(0, 2, 0.5)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, 0.5)
+            .add_transition(0, 2, 0.5)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        let chain = b.build().unwrap();
         let h = expected_steps_to(
             &chain,
             &StateSet::from_states(3, [2]),
@@ -210,9 +210,12 @@ mod tests {
         let n = 5;
         let mut builder = DtmcBuilder::new(n);
         for s in 1..n - 1 {
-            builder = builder.transition(s, s - 1, 0.5).transition(s, s + 1, 0.5);
+            builder
+                .add_transition(s, s - 1, 0.5)
+                .add_transition(s, s + 1, 0.5);
         }
-        let chain = builder.self_loop(0).self_loop(n - 1).build().unwrap();
+        builder.add_self_loop(0).add_self_loop(n - 1);
+        let chain = builder.build().unwrap();
         let h = expected_steps_to(
             &chain,
             &StateSet::from_states(n, [0, n - 1]),
@@ -228,16 +231,15 @@ mod tests {
     #[test]
     fn stationary_of_birth_death() {
         // Birth-death chain with known stationary distribution.
-        let chain = DtmcBuilder::new(3)
-            .transition(0, 0, 0.5)
-            .transition(0, 1, 0.5)
-            .transition(1, 0, 0.25)
-            .transition(1, 1, 0.25)
-            .transition(1, 2, 0.5)
-            .transition(2, 1, 0.5)
-            .transition(2, 2, 0.5)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 0, 0.5)
+            .add_transition(0, 1, 0.5)
+            .add_transition(1, 0, 0.25)
+            .add_transition(1, 1, 0.25)
+            .add_transition(1, 2, 0.5)
+            .add_transition(2, 1, 0.5)
+            .add_transition(2, 2, 0.5);
+        let chain = b.build().unwrap();
         let pi = stationary_distribution(&chain, &SolveOptions::default()).unwrap();
         assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Detailed balance: π0·0.5 = π1·0.25, π1·0.5 = π2·0.5.
@@ -252,15 +254,14 @@ mod tests {
         // and every step swaps the two masses — the period-2 eigenvalue
         // −1 never damps. (A balanced bipartite chain would not exhibit
         // this: uniform splits 1/2 / 1/2, killing the oscillating mode.)
-        let chain = DtmcBuilder::new(4)
-            .transition(0, 1, 1.0 / 3.0)
-            .transition(0, 2, 1.0 / 3.0)
-            .transition(0, 3, 1.0 / 3.0)
-            .transition(1, 0, 1.0)
-            .transition(2, 0, 1.0)
-            .transition(3, 0, 1.0)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(4);
+        b.add_transition(0, 1, 1.0 / 3.0)
+            .add_transition(0, 2, 1.0 / 3.0)
+            .add_transition(0, 3, 1.0 / 3.0)
+            .add_transition(1, 0, 1.0)
+            .add_transition(2, 0, 1.0)
+            .add_transition(3, 0, 1.0);
+        let chain = b.build().unwrap();
         let result = stationary_distribution(
             &chain,
             &SolveOptions {

@@ -1,4 +1,4 @@
-use imc_markov::{Imc, IntervalRow, StateSet};
+use imc_markov::{Imc, StateSet};
 
 use crate::{SolveError, SolveOptions};
 
@@ -14,24 +14,30 @@ pub enum Extremum {
 /// Extremal expected value of one interval row against a value vector:
 /// optimise `Σ_t a_t x_t` over `lo ≤ a ≤ hi, Σ a = 1` by greedy mass
 /// assignment in value order (the standard IMC row optimisation).
-fn extremal_row_value(row: &IntervalRow, x: &[f64], extremum: Extremum) -> f64 {
-    let entries = row.entries();
-    let mut order: Vec<usize> = (0..entries.len()).collect();
+///
+/// Operates on the IMC's raw CSR row slices (`targets`/`lo`/`hi` aligned).
+fn extremal_row_value(
+    targets: &[u32],
+    lo: &[f64],
+    hi: &[f64],
+    x: &[f64],
+    extremum: Extremum,
+) -> f64 {
+    let mut order: Vec<usize> = (0..targets.len()).collect();
     match extremum {
         Extremum::Min => {
-            order.sort_by(|&i, &j| x[entries[i].target].total_cmp(&x[entries[j].target]))
+            order.sort_by(|&i, &j| x[targets[i] as usize].total_cmp(&x[targets[j] as usize]))
         }
         Extremum::Max => {
-            order.sort_by(|&i, &j| x[entries[j].target].total_cmp(&x[entries[i].target]))
+            order.sort_by(|&i, &j| x[targets[j] as usize].total_cmp(&x[targets[i] as usize]))
         }
     }
-    let lo_sum: f64 = entries.iter().map(|e| e.lo).sum();
-    let mut remaining = (1.0 - lo_sum).max(0.0);
+    let lo_sum: f64 = lo.iter().sum();
+    let mut remaining = (1.0f64 - lo_sum).max(0.0);
     let mut value = 0.0;
     for &i in &order {
-        let e = &entries[i];
-        let extra = remaining.min(e.hi - e.lo);
-        value += (e.lo + extra) * x[e.target];
+        let extra = remaining.min(hi[i] - lo[i]);
+        value += (lo[i] + extra) * x[targets[i] as usize];
         remaining -= extra;
     }
     value
@@ -69,6 +75,12 @@ fn iterate_unbounded(
     options: &SolveOptions,
 ) -> Result<Vec<f64>, SolveError> {
     let n = imc.num_states();
+    let (ptr, idx, lo, hi) = (
+        imc.row_offsets(),
+        imc.transition_targets(),
+        imc.bounds_lo(),
+        imc.bounds_hi(),
+    );
     let mut x = vec![0.0f64; n];
     for s in target.iter() {
         x[s] = 1.0;
@@ -80,7 +92,8 @@ fn iterate_unbounded(
             if target.contains(s) || avoid.contains(s) {
                 continue;
             }
-            let v = extremal_row_value(imc.row(s), &x, extremum);
+            let r = ptr[s]..ptr[s + 1];
+            let v = extremal_row_value(&idx[r.clone()], &lo[r.clone()], &hi[r], &x, extremum);
             let delta = (v - x[s]).abs();
             if delta > residual {
                 residual = delta;
@@ -118,6 +131,12 @@ fn iterate_bounded(
     bound: usize,
 ) -> Vec<f64> {
     let n = imc.num_states();
+    let (ptr, idx, lo, hi) = (
+        imc.row_offsets(),
+        imc.transition_targets(),
+        imc.bounds_lo(),
+        imc.bounds_hi(),
+    );
     let mut x = vec![0.0f64; n];
     for s in target.iter() {
         x[s] = 1.0;
@@ -131,7 +150,8 @@ fn iterate_bounded(
             } else if avoid.contains(s) {
                 0.0
             } else {
-                extremal_row_value(imc.row(s), &x, extremum)
+                let r = ptr[s]..ptr[s + 1];
+                extremal_row_value(&idx[r.clone()], &lo[r.clone()], &hi[r], &x, extremum)
             };
         }
         std::mem::swap(&mut x, &mut next);
@@ -146,13 +166,12 @@ mod tests {
     use imc_markov::{Dtmc, DtmcBuilder, Imc};
 
     fn coin(p: f64) -> Dtmc {
-        DtmcBuilder::new(3)
-            .transition(0, 1, p)
-            .transition(0, 2, 1.0 - p)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, p)
+            .add_transition(0, 2, 1.0 - p)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        b.build().unwrap()
     }
 
     #[test]
@@ -180,30 +199,28 @@ mod tests {
     #[test]
     fn bounds_bracket_every_member() {
         // Multi-step chain with a loop: check several member chains.
-        let center = DtmcBuilder::new(4)
-            .transition(0, 1, 0.5)
-            .transition(0, 3, 0.5)
-            .transition(1, 0, 0.4)
-            .transition(1, 2, 0.6)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap();
+        let mut cb = DtmcBuilder::new(4);
+        cb.add_transition(0, 1, 0.5)
+            .add_transition(0, 3, 0.5)
+            .add_transition(1, 0, 0.4)
+            .add_transition(1, 2, 0.6)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        let center = cb.build().unwrap();
         let imc = Imc::from_center(&center, |_, _| 0.08).unwrap();
         let target = StateSet::from_states(4, [2]);
         let avoid = StateSet::new(4);
         let (min, max) = imc_reach_bounds(&imc, &target, &avoid, &SolveOptions::default()).unwrap();
 
         for &(d0, d1) in &[(-0.08, -0.08), (0.0, 0.0), (0.08, 0.08), (-0.08, 0.08)] {
-            let member = DtmcBuilder::new(4)
-                .transition(0, 1, 0.5 + d0)
-                .transition(0, 3, 0.5 - d0)
-                .transition(1, 0, 0.4 + d1)
-                .transition(1, 2, 0.6 - d1)
-                .self_loop(2)
-                .self_loop(3)
-                .build()
-                .unwrap();
+            let mut mb = DtmcBuilder::new(4);
+            mb.add_transition(0, 1, 0.5 + d0)
+                .add_transition(0, 3, 0.5 - d0)
+                .add_transition(1, 0, 0.4 + d1)
+                .add_transition(1, 2, 0.6 - d1)
+                .add_self_loop(2)
+                .add_self_loop(3);
+            let member = mb.build().unwrap();
             assert!(imc.contains(&member));
             let p =
                 reach_avoid_probs(&member, &target, &avoid, &SolveOptions::default()).unwrap()[0];
@@ -218,14 +235,13 @@ mod tests {
 
     #[test]
     fn bounded_bounds_are_monotone_in_k_and_nested() {
-        let chain = DtmcBuilder::new(3)
-            .transition(0, 0, 0.6)
-            .transition(0, 1, 0.3)
-            .transition(0, 2, 0.1)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 0, 0.6)
+            .add_transition(0, 1, 0.3)
+            .add_transition(0, 2, 0.1)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        let chain = b.build().unwrap();
         let imc = Imc::from_center(&chain, |_, _| 0.05).unwrap();
         let target = StateSet::from_states(3, [1]);
         let avoid = StateSet::new(3);

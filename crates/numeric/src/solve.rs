@@ -83,13 +83,21 @@ pub fn reach_avoid_probs(
         return Ok(x);
     }
 
+    // Gauss–Seidel over the raw CSR arrays: the inner loop reads two offset
+    // bounds and walks two contiguous slices per state.
+    let (ptr, idx, probs) = (
+        chain.row_offsets(),
+        chain.transition_targets(),
+        chain.transition_probs(),
+    );
     let mut residual = f64::INFINITY;
     for iteration in 0..options.max_iterations {
         residual = 0.0;
         for &s in &unknown {
             let mut acc = 0.0;
-            for e in chain.row(s).entries() {
-                acc += e.prob * x[e.target];
+            let (start, end) = (ptr[s], ptr[s + 1]);
+            for (&t, &p) in idx[start..end].iter().zip(&probs[start..end]) {
+                acc += p * x[t as usize];
             }
             let delta = (acc - x[s]).abs();
             if delta > residual {
@@ -127,12 +135,10 @@ pub fn reach_before_return(
     let mut avoid = StateSet::new(chain.num_states());
     avoid.insert(init);
     let x = reach_avoid_probs(chain, target, &avoid, options)?;
-    Ok(chain
+    let row = chain
         .row(init)
-        .entries()
-        .iter()
-        .map(|e| e.prob * x[e.target])
-        .sum())
+        .expect("initial state is validated in range");
+    Ok(row.iter().map(|e| e.prob * x[e.target]).sum())
 }
 
 #[cfg(test)]
@@ -142,16 +148,15 @@ mod tests {
 
     /// The paper's illustrative chain with closed-form γ = ac/(1−ad).
     fn illustrative(a: f64, c: f64) -> Dtmc {
-        DtmcBuilder::new(4)
-            .initial(0)
-            .transition(0, 1, a)
-            .transition(0, 3, 1.0 - a)
-            .transition(1, 2, c)
-            .transition(1, 0, 1.0 - c)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(4);
+        b.set_initial(0)
+            .add_transition(0, 1, a)
+            .add_transition(0, 3, 1.0 - a)
+            .add_transition(1, 2, c)
+            .add_transition(1, 0, 1.0 - c)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        b.build().unwrap()
     }
 
     #[test]
@@ -245,15 +250,14 @@ mod tests {
     #[test]
     fn tight_cap_reports_non_convergence() {
         // A slowly mixing chain with a tiny iteration cap.
-        let chain = DtmcBuilder::new(3)
-            .initial(0)
-            .transition(0, 0, 0.999_999)
-            .transition(0, 1, 0.000_000_5)
-            .transition(0, 2, 0.000_000_5)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(3);
+        b.set_initial(0)
+            .add_transition(0, 0, 0.999_999)
+            .add_transition(0, 1, 0.000_000_5)
+            .add_transition(0, 2, 0.000_000_5)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        let chain = b.build().unwrap();
         let result = reach_avoid_probs(
             &chain,
             &StateSet::from_states(3, [1]),
@@ -272,13 +276,15 @@ mod tests {
         // P(hit 10 before 0) = (1−(q/p)^5)/(1−(q/p)^10), q/p = 1.5.
         let n = 11;
         let p = 0.4;
-        let mut builder = DtmcBuilder::new(n).initial(5);
+        let mut builder = DtmcBuilder::new(n);
+        builder.set_initial(5);
         for s in 1..n - 1 {
-            builder = builder
-                .transition(s, s + 1, p)
-                .transition(s, s - 1, 1.0 - p);
+            builder
+                .add_transition(s, s + 1, p)
+                .add_transition(s, s - 1, 1.0 - p);
         }
-        let chain = builder.self_loop(0).self_loop(n - 1).build().unwrap();
+        builder.add_self_loop(0).add_self_loop(n - 1);
+        let chain = builder.build().unwrap();
         let probs = reach_avoid_probs(
             &chain,
             &StateSet::from_states(n, [n - 1]),

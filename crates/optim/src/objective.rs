@@ -115,24 +115,22 @@ mod tests {
     use rand::SeedableRng;
 
     fn chains() -> (Dtmc, Dtmc) {
-        let a = DtmcBuilder::new(4)
-            .transition(0, 1, 0.01)
-            .transition(0, 3, 0.99)
-            .transition(1, 2, 0.3)
-            .transition(1, 0, 0.7)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap();
-        let b = DtmcBuilder::new(4)
-            .transition(0, 1, 0.5)
-            .transition(0, 3, 0.5)
-            .transition(1, 2, 0.6)
-            .transition(1, 0, 0.4)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap();
+        let mut ab = DtmcBuilder::new(4);
+        ab.add_transition(0, 1, 0.01)
+            .add_transition(0, 3, 0.99)
+            .add_transition(1, 2, 0.3)
+            .add_transition(1, 0, 0.7)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        let a = ab.build().unwrap();
+        let mut bb = DtmcBuilder::new(4);
+        bb.add_transition(0, 1, 0.5)
+            .add_transition(0, 3, 0.5)
+            .add_transition(1, 2, 0.6)
+            .add_transition(1, 0, 0.4)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        let b = bb.build().unwrap();
         (a, b)
     }
 

@@ -148,10 +148,9 @@ impl Problem {
         states.sort_unstable();
         for state in states {
             let observed_raw = &by_state[&state];
-            let interval_row = imc.row(state);
-            let targets: Vec<State> = interval_row.entries().iter().map(|e| e.target).collect();
+            let interval_row = imc.row(state).expect("observed state is in range");
+            let targets: Vec<State> = interval_row.iter().map(|e| e.target).collect();
             let specs: Vec<IntervalSpec> = interval_row
-                .entries()
                 .iter()
                 .map(|e| {
                     IntervalSpec::new(e.lo, e.hi, center.prob(state, e.target))
@@ -499,16 +498,15 @@ mod tests {
         // probability b(1→0) = â·d ≈ 2.85e-2 shows up reliably in a
         // 2000-trace run, making row 1 a genuinely sampled row.
         let (a_hat, c_hat) = (3e-2, 0.0498);
-        let center = DtmcBuilder::new(4)
-            .initial(0)
-            .transition(0, 1, a_hat)
-            .transition(0, 3, 1.0 - a_hat)
-            .transition(1, 2, c_hat)
-            .transition(1, 0, 1.0 - c_hat)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap();
+        let mut cb = DtmcBuilder::new(4);
+        cb.set_initial(0)
+            .add_transition(0, 1, a_hat)
+            .add_transition(0, 3, 1.0 - a_hat)
+            .add_transition(1, 2, c_hat)
+            .add_transition(1, 0, 1.0 - c_hat)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        let center = cb.build().unwrap();
         let imc = Imc::from_center(&center, |from, _| match from {
             0 => 2.5e-3,
             1 => 5e-4,
@@ -598,15 +596,14 @@ mod tests {
     fn support_mismatch_is_reported() {
         let (_, b, run) = setup();
         // An IMC whose row 0 lacks the observed 0 -> 1 transition.
-        let bad_center = DtmcBuilder::new(4)
-            .initial(0)
-            .transition(0, 3, 1.0)
-            .transition(1, 2, 0.05)
-            .transition(1, 0, 0.95)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap();
+        let mut bad = DtmcBuilder::new(4);
+        bad.set_initial(0)
+            .add_transition(0, 3, 1.0)
+            .add_transition(1, 2, 0.05)
+            .add_transition(1, 0, 0.95)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        let bad_center = bad.build().unwrap();
         let bad_imc = Imc::from_center(&bad_center, |_, _| 1e-3).unwrap();
         let err = Problem::new(&bad_imc, &b, &run).unwrap_err();
         assert!(matches!(

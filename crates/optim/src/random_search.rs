@@ -191,16 +191,15 @@ mod tests {
     /// Illustrative chain IMC with both rows genuinely searchable.
     fn setup(n_traces: usize) -> (Imc, Dtmc, IsRun) {
         let (a_hat, c_hat) = (3e-2, 0.0498);
-        let center = DtmcBuilder::new(4)
-            .initial(0)
-            .transition(0, 1, a_hat)
-            .transition(0, 3, 1.0 - a_hat)
-            .transition(1, 2, c_hat)
-            .transition(1, 0, 1.0 - c_hat)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap();
+        let mut cb = DtmcBuilder::new(4);
+        cb.set_initial(0)
+            .add_transition(0, 1, a_hat)
+            .add_transition(0, 3, 1.0 - a_hat)
+            .add_transition(1, 2, c_hat)
+            .add_transition(1, 0, 1.0 - c_hat)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        let center = cb.build().unwrap();
         let imc = Imc::from_center(&center, |from, _| match from {
             0 => 2.5e-3,
             1 => 5e-4,
@@ -257,7 +256,7 @@ mod tests {
         let outcome = random_search(&mut problem, &config, &mut rng).unwrap();
         for rows in [&outcome.rows_min, &outcome.rows_max] {
             for (state, pairs) in rows {
-                let interval_row = imc.row(*state);
+                let interval_row = imc.row(*state).unwrap();
                 let sum: f64 = pairs.iter().map(|&(_, v)| v).sum();
                 assert!((sum - 1.0).abs() < 1e-9);
                 for &(target, v) in pairs {

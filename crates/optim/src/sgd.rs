@@ -217,16 +217,15 @@ mod tests {
 
     fn setup() -> (Imc, Dtmc, IsRun) {
         let (a_hat, c_hat) = (3e-2, 0.0498);
-        let center = DtmcBuilder::new(4)
-            .initial(0)
-            .transition(0, 1, a_hat)
-            .transition(0, 3, 1.0 - a_hat)
-            .transition(1, 2, c_hat)
-            .transition(1, 0, 1.0 - c_hat)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap();
+        let mut cb = DtmcBuilder::new(4);
+        cb.set_initial(0)
+            .add_transition(0, 1, a_hat)
+            .add_transition(0, 3, 1.0 - a_hat)
+            .add_transition(1, 2, c_hat)
+            .add_transition(1, 0, 1.0 - c_hat)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        let center = cb.build().unwrap();
         let imc = Imc::from_center(&center, |from, _| match from {
             0 => 2.5e-3,
             1 => 5e-4,
@@ -270,7 +269,7 @@ mod tests {
                 let sum: f64 = pairs.iter().map(|&(_, v)| v).sum();
                 assert!((sum - 1.0).abs() < 1e-8);
                 for &(target, v) in pairs {
-                    let e = imc.row(*state).interval_to(target).unwrap();
+                    let e = imc.row(*state).unwrap().interval_to(target).unwrap();
                     assert!(v >= e.lo - 1e-9 && v <= e.hi + 1e-9);
                 }
             }

@@ -117,9 +117,8 @@ pub fn cross_entropy_is<R: Rng + ?Sized>(
             if total <= 0.0 {
                 continue;
             }
-            let mut entries: Vec<RowEntry> = a
-                .row(state)
-                .entries()
+            let a_row = a.row(state).expect("visited state is in range");
+            let mut entries: Vec<RowEntry> = a_row
                 .iter()
                 .map(|e| {
                     let ce = w_trans.get(&(state, e.target)).copied().unwrap_or(0.0) / total;
@@ -155,10 +154,9 @@ pub fn cross_entropy_is<R: Rng + ?Sized>(
 /// `B₀ = (1−w)·A + w·Uniform(support of A)`.
 fn initial_chain(a: &Dtmc, uniform_weight: f64) -> Result<Dtmc, ModelError> {
     let mut replacements: Vec<(State, Vec<RowEntry>)> = Vec::new();
-    for (state, row) in a.rows().iter().enumerate() {
+    for (state, row) in a.rows().enumerate() {
         let k = row.len() as f64;
         let mut entries: Vec<RowEntry> = row
-            .entries()
             .iter()
             .map(|e| RowEntry {
                 target: e.target,
@@ -183,16 +181,15 @@ mod tests {
 
     /// The paper's illustrative chain with a rare loop-protected target.
     fn illustrative(a: f64, c: f64) -> Dtmc {
-        DtmcBuilder::new(4)
-            .initial(0)
-            .transition(0, 1, a)
-            .transition(0, 3, 1.0 - a)
-            .transition(1, 2, c)
-            .transition(1, 0, 1.0 - c)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(4);
+        b.set_initial(0)
+            .add_transition(0, 1, a)
+            .add_transition(0, 3, 1.0 - a)
+            .add_transition(1, 2, c)
+            .add_transition(1, 0, 1.0 - c)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        b.build().unwrap()
     }
 
     #[test]
@@ -201,7 +198,7 @@ mod tests {
         let b0 = initial_chain(&a, 0.5).unwrap();
         // 0 -> 1: 0.5·1e-4 + 0.5/2 = 0.25005.
         assert!((b0.prob(0, 1) - 0.250_05).abs() < 1e-9);
-        assert!((b0.row(0).sum() - 1.0).abs() < 1e-12);
+        assert!((b0.row(0).unwrap().sum() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -269,8 +266,8 @@ mod tests {
             Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let result = cross_entropy_is(&a, &prop, &CrossEntropyConfig::default(), &mut rng).unwrap();
-        for (s, row) in a.rows().iter().enumerate() {
-            for e in row.entries() {
+        for (s, row) in a.rows().enumerate() {
+            for e in row.iter() {
                 assert!(
                     result.b.prob(s, e.target) > 0.0,
                     "transition {s} -> {} lost",

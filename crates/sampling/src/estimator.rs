@@ -286,6 +286,10 @@ pub struct PreparedRun {
     table_log_pb: Vec<f64>,
     /// `ln b_ij` per transition id.
     log_b: Vec<f64>,
+    /// Transition ids sorted by `(from, to)`: lets the candidate
+    /// log-prob fill walk each CSR row of `A` exactly once instead of
+    /// binary-searching per transition.
+    sorted_ids: Vec<u32>,
     /// Total trace count `N` (including failures).
     n_traces: usize,
 }
@@ -331,6 +335,8 @@ impl PreparedRun {
             table_mult.push(table.multiplicity as f64);
             table_log_pb.push(log_pb);
         }
+        let mut sorted_ids: Vec<u32> = (0..transitions.len() as u32).collect();
+        sorted_ids.sort_unstable_by_key(|&id| transitions[id as usize]);
         PreparedRun {
             transitions,
             entries,
@@ -338,6 +344,7 @@ impl PreparedRun {
             table_mult,
             table_log_pb,
             log_b,
+            sorted_ids,
             n_traces: run.n_traces,
         }
     }
@@ -375,13 +382,46 @@ impl PreparedRun {
 
     /// Fills `buf` with `ln a_ij` per transition id (`-inf` where `a`
     /// assigns probability zero).
+    ///
+    /// Walks the borrowed CSR arrays of `a` directly: transition ids are
+    /// visited in `(from, to)` order, so each touched row's
+    /// `col_idx`/`probs` slice is scanned once front to back — no
+    /// per-transition row lookup or binary search. The filled values are
+    /// identical to `a.prob(from, to).ln()` per id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an observed source state is out of range for `a`.
     pub fn log_probs_into(&self, a: &Dtmc, buf: &mut Vec<f64>) {
         buf.clear();
-        buf.extend(
-            self.transitions
-                .iter()
-                .map(|&(from, to)| a.prob(from, to).ln()),
-        );
+        buf.resize(self.transitions.len(), 0.0);
+        let row_ptr = a.row_offsets();
+        let col_idx = a.transition_targets();
+        let probs = a.transition_probs();
+        let mut i = 0;
+        while i < self.sorted_ids.len() {
+            let from = self.transitions[self.sorted_ids[i] as usize].0;
+            let targets = &col_idx[row_ptr[from]..row_ptr[from + 1]];
+            let row_probs = &probs[row_ptr[from]..row_ptr[from + 1]];
+            let mut j = 0;
+            while i < self.sorted_ids.len() {
+                let id = self.sorted_ids[i] as usize;
+                let (f, to) = self.transitions[id];
+                if f != from {
+                    break;
+                }
+                while j < targets.len() && (targets[j] as usize) < to {
+                    j += 1;
+                }
+                let p = if j < targets.len() && targets[j] as usize == to {
+                    row_probs[j]
+                } else {
+                    0.0
+                };
+                buf[id] = p.ln();
+                i += 1;
+            }
+        }
     }
 
     /// Evaluates `(f(A), g(A))` — the empirical IS objective and its second
@@ -453,20 +493,20 @@ mod tests {
 
     /// Rare coin: p(success) = 1e-3; biased to 0.5 under B.
     fn rare_coin() -> (Dtmc, Dtmc, Property) {
-        let a = DtmcBuilder::new(3)
-            .transition(0, 1, 1e-3)
-            .transition(0, 2, 1.0 - 1e-3)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap();
-        let b = DtmcBuilder::new(3)
-            .transition(0, 1, 0.5)
-            .transition(0, 2, 0.5)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap();
+        let mut builder = DtmcBuilder::new(3);
+        builder
+            .add_transition(0, 1, 1e-3)
+            .add_transition(0, 2, 1.0 - 1e-3)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        let a = builder.build().unwrap();
+        let mut builder = DtmcBuilder::new(3);
+        builder
+            .add_transition(0, 1, 0.5)
+            .add_transition(0, 2, 0.5)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        let b = builder.build().unwrap();
         let prop =
             Property::reach_avoid(StateSet::from_states(3, [1]), StateSet::from_states(3, [2]));
         (a, b, prop)
@@ -515,12 +555,12 @@ mod tests {
         let (_, b, prop) = rare_coin();
         // Reference chain where the success transition has probability 0:
         // support mismatch is modelled by a chain routing 0 -> 2 only.
-        let a0 = DtmcBuilder::new(3)
-            .transition(0, 2, 1.0)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap();
+        let mut builder = DtmcBuilder::new(3);
+        builder
+            .add_transition(0, 2, 1.0)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        let a0 = builder.build().unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let run = sample_is_run(&b, &prop, &IsConfig::new(1000), &mut rng);
         let est = is_estimate(&a0, &b, &run, 0.05);
@@ -540,24 +580,24 @@ mod tests {
     fn multi_step_likelihood_ratio_telescopes() {
         // Two-step chain where LRs must multiply across steps:
         // A: 0 -(0.1)-> 1 -(0.2)-> 2 ; B doubles both.
-        let a = DtmcBuilder::new(4)
-            .transition(0, 1, 0.1)
-            .transition(0, 3, 0.9)
-            .transition(1, 2, 0.2)
-            .transition(1, 3, 0.8)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap();
-        let b = DtmcBuilder::new(4)
-            .transition(0, 1, 0.2)
-            .transition(0, 3, 0.8)
-            .transition(1, 2, 0.4)
-            .transition(1, 3, 0.6)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap();
+        let mut builder = DtmcBuilder::new(4);
+        builder
+            .add_transition(0, 1, 0.1)
+            .add_transition(0, 3, 0.9)
+            .add_transition(1, 2, 0.2)
+            .add_transition(1, 3, 0.8)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        let a = builder.build().unwrap();
+        let mut builder = DtmcBuilder::new(4);
+        builder
+            .add_transition(0, 1, 0.2)
+            .add_transition(0, 3, 0.8)
+            .add_transition(1, 2, 0.4)
+            .add_transition(1, 3, 0.6)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        let b = builder.build().unwrap();
         let prop =
             Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
         let mut rng = rand::rngs::StdRng::seed_from_u64(12);

@@ -28,12 +28,12 @@ use imc_markov::{Dtmc, ModelError, RowEntry, State};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// // Failures go "up" (to higher state indices).
-/// let chain = DtmcBuilder::new(3)
-///     .transition(0, 1, 0.001)
-///     .transition(0, 2, 0.999)
-///     .self_loop(1)
-///     .self_loop(2)
-///     .build()?;
+/// let mut b = DtmcBuilder::new(3);
+/// b.add_transition(0, 1, 0.001)
+///     .add_transition(0, 2, 0.999)
+///     .add_self_loop(1)
+///     .add_self_loop(2);
+/// let chain = b.build()?;
 /// let biased = failure_bias(&chain, |from, to| to > from && to == 1, 0.5)?;
 /// assert!((biased.prob(0, 1) - 0.5).abs() < 1e-12);
 /// # Ok(())
@@ -49,19 +49,21 @@ pub fn failure_bias(
         "bias must lie strictly inside (0, 1), got {bias}"
     );
     let mut replacements: Vec<(State, Vec<RowEntry>)> = Vec::new();
-    for (state, row) in chain.rows().iter().enumerate() {
+    for (state, row) in chain.rows().enumerate() {
         let failure_mass: f64 = row
-            .entries()
             .iter()
             .filter(|e| is_failure(state, e.target))
             .map(|e| e.prob)
             .sum();
         let other_mass = 1.0 - failure_mass;
-        if failure_mass <= 0.0 || other_mass <= 0.0 {
+        // The tolerance matters: a row whose transitions are *all*
+        // classified as failures can sum to 1 − O(1e-16) in floating
+        // point, and rebalancing against that residual would scale the
+        // whole row down to `bias`.
+        if failure_mass <= 0.0 || other_mass <= 1e-12 {
             continue; // nothing to rebalance
         }
         let entries: Vec<RowEntry> = row
-            .entries()
             .iter()
             .map(|e| {
                 let prob = if is_failure(state, e.target) {
@@ -90,15 +92,14 @@ mod tests {
 
     /// Three-stage failure chain: each "fail" step has probability 1e-2.
     fn cascade() -> Dtmc {
-        DtmcBuilder::new(4)
-            .transition(0, 1, 1e-2)
-            .transition(0, 3, 1.0 - 1e-2)
-            .transition(1, 2, 1e-2)
-            .transition(1, 3, 1.0 - 1e-2)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(4);
+        b.add_transition(0, 1, 1e-2)
+            .add_transition(0, 3, 1.0 - 1e-2)
+            .add_transition(1, 2, 1e-2)
+            .add_transition(1, 3, 1.0 - 1e-2)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        b.build().unwrap()
     }
 
     fn is_fail(from: State, to: State) -> bool {

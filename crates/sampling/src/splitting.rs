@@ -151,11 +151,12 @@ mod tests {
         let sink = k + 1;
         let mut builder = DtmcBuilder::new(n);
         for stage in 0..k {
-            builder = builder
-                .transition(stage, stage + 1, p)
-                .transition(stage, sink, 1.0 - p);
+            builder
+                .add_transition(stage, stage + 1, p)
+                .add_transition(stage, sink, 1.0 - p);
         }
-        let chain = builder.self_loop(k).self_loop(sink).build().unwrap();
+        builder.add_self_loop(k).add_self_loop(sink);
+        let chain = builder.build().unwrap();
         (chain, StateSet::from_states(n, [sink]))
     }
 

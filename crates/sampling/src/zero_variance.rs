@@ -68,30 +68,27 @@ pub fn zero_variance_is(
     options: &SolveOptions,
 ) -> Result<Dtmc, ZeroVarianceError> {
     let x = reach_avoid_probs(chain, target, avoid, options)?;
-    let init_value: f64 = chain
+    let init_row = chain
         .row(chain.initial())
-        .entries()
-        .iter()
-        .map(|e| e.prob * x[e.target])
-        .sum();
+        .expect("initial state is validated in range");
+    let init_value: f64 = init_row.iter().map(|e| e.prob * x[e.target]).sum();
     if init_value <= 0.0 && !target.contains(chain.initial()) {
         return Err(ZeroVarianceError::UnreachableTarget);
     }
 
     let mut replacements: Vec<(usize, Vec<RowEntry>)> = Vec::new();
-    for (state, row) in chain.rows().iter().enumerate() {
+    for (state, row) in chain.rows().enumerate() {
         // Avoid rows are never left by an accepted trace, so they keep the
         // original measure — except the *initial* state, which may be in the
         // avoid set for reach-before-return properties and must be biased.
         if target.contains(state) || (avoid.contains(state) && state != chain.initial()) {
             continue;
         }
-        let denom: f64 = row.entries().iter().map(|e| e.prob * x[e.target]).sum();
+        let denom: f64 = row.iter().map(|e| e.prob * x[e.target]).sum();
         if denom <= 0.0 {
             continue; // unreachable-from-here row: keep original measure
         }
         let mut entries: Vec<RowEntry> = row
-            .entries()
             .iter()
             .filter(|e| x[e.target] > 0.0)
             .map(|e| RowEntry {
@@ -122,16 +119,15 @@ mod tests {
 
     /// The paper's illustrative chain (Fig. 1a).
     fn illustrative(a: f64, c: f64) -> Dtmc {
-        DtmcBuilder::new(4)
-            .initial(0)
-            .transition(0, 1, a)
-            .transition(0, 3, 1.0 - a)
-            .transition(1, 2, c)
-            .transition(1, 0, 1.0 - c)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(4);
+        b.set_initial(0)
+            .add_transition(0, 1, a)
+            .add_transition(0, 3, 1.0 - a)
+            .add_transition(1, 2, c)
+            .add_transition(1, 0, 1.0 - c)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        b.build().unwrap()
     }
 
     #[test]

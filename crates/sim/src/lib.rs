@@ -30,12 +30,13 @@
 //! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let chain = DtmcBuilder::new(3)
-//!     .transition(0, 1, 0.3)
-//!     .transition(0, 2, 0.7)
-//!     .self_loop(1)
-//!     .self_loop(2)
-//!     .build()?;
+//! let mut builder = DtmcBuilder::new(3);
+//! builder
+//!     .add_transition(0, 1, 0.3)
+//!     .add_transition(0, 2, 0.7)
+//!     .add_self_loop(1)
+//!     .add_self_loop(2);
+//! let chain = builder.build()?;
 //! let prop = Property::bounded_reach(StateSet::from_states(3, [1]), 5);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let result = monte_carlo(&chain, &prop, &SmcConfig::new(10_000, 0.05), &mut rng);

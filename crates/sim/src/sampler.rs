@@ -4,7 +4,9 @@ use rand::Rng;
 /// Draws successor states of a chain, one transition at a time.
 ///
 /// Implementations precompute per-state lookup structures from a [`Dtmc`];
-/// the chain is borrowed only during construction.
+/// whether the chain stays borrowed afterwards depends on the
+/// implementation ([`ChainSampler`] borrows the chain's CSR arrays,
+/// [`CdfSampler`] owns its tables).
 pub trait StateSampler {
     /// Samples a successor of `state`.
     fn step<R: Rng + ?Sized>(&self, state: State, rng: &mut R) -> State;
@@ -16,46 +18,46 @@ pub trait StateSampler {
 /// Walker alias-method sampler: O(row length) construction, O(1) per draw.
 ///
 /// The standard choice for SMC workloads, where the same rows are sampled
-/// millions of times. All per-state tables live in **contiguous CSR
-/// arrays** (one `prob`/`alias`/`targets` allocation plus row offsets):
-/// the inner simulation loop touches at most four flat arrays per step
-/// and chases no per-row pointers.
+/// millions of times. The slot layout **is** the chain's CSR layout: the
+/// sampler borrows the chain's `row_offsets` and `transition_targets`
+/// arrays directly and owns only the computed acceptance/alias tables, so
+/// construction copies nothing per row and the inner simulation loop
+/// touches four flat arrays per step.
 #[derive(Debug, Clone)]
-pub struct ChainSampler {
-    /// Slot range of state `s` is `offsets[s]..offsets[s + 1]`.
-    offsets: Vec<u32>,
+pub struct ChainSampler<'a> {
+    /// Slot range of state `s` is `offsets[s]..offsets[s + 1]` (borrowed
+    /// from the chain's CSR row offsets).
+    offsets: &'a [usize],
+    /// Target state of each slot (borrowed CSR column indices).
+    targets: &'a [u32],
     /// Acceptance probability of each slot.
     prob: Vec<f64>,
     /// Alternative slot (absolute index) used on rejection.
     alias: Vec<u32>,
-    /// Target state of each slot.
-    targets: Vec<State>,
 }
 
-impl ChainSampler {
+impl<'a> ChainSampler<'a> {
     /// Builds the flat alias tables for every state of `chain`.
-    pub fn new(chain: &Dtmc) -> Self {
+    pub fn new(chain: &'a Dtmc) -> Self {
         let num_slots = chain.num_transitions();
         assert!(
             num_slots < u32::MAX as usize,
             "chain too large for u32 slot indices"
         );
-        let mut offsets = Vec::with_capacity(chain.num_states() + 1);
+        let offsets = chain.row_offsets();
+        let targets = chain.transition_targets();
+        let probs = chain.transition_probs();
         let mut prob = Vec::with_capacity(num_slots);
-        let mut alias = Vec::with_capacity(num_slots);
-        let mut targets = Vec::with_capacity(num_slots);
-        offsets.push(0u32);
+        let mut alias = vec![0u32; num_slots];
         let mut small: Vec<usize> = Vec::new();
         let mut large: Vec<usize> = Vec::new();
-        for row in chain.rows() {
-            let start = targets.len();
-            let k = row.len();
-            targets.extend(row.entries().iter().map(|e| e.target));
-            prob.extend(row.entries().iter().map(|e| e.prob * k as f64));
-            alias.resize(start + k, 0u32);
+        for s in 0..chain.num_states() {
+            let (start, end) = (offsets[s], offsets[s + 1]);
+            let k = end - start;
+            prob.extend(probs[start..end].iter().map(|&p| p * k as f64));
             // Walker's construction over the local slots of this row.
             let row_prob = &mut prob[start..];
-            let row_alias = &mut alias[start..];
+            let row_alias = &mut alias[start..end];
             small.clear();
             large.clear();
             for (i, &p) in row_prob.iter().enumerate() {
@@ -78,31 +80,30 @@ impl ChainSampler {
             for i in small.drain(..).chain(large.drain(..)) {
                 row_prob[i] = 1.0;
             }
-            offsets.push(targets.len() as u32);
         }
         ChainSampler {
             offsets,
+            targets,
             prob,
             alias,
-            targets,
         }
     }
 }
 
-impl StateSampler for ChainSampler {
+impl StateSampler for ChainSampler<'_> {
     #[inline]
     fn step<R: Rng + ?Sized>(&self, state: State, rng: &mut R) -> State {
-        let start = self.offsets[state] as usize;
-        let end = self.offsets[state + 1] as usize;
+        let start = self.offsets[state];
+        let end = self.offsets[state + 1];
         let k = end - start;
         if k == 1 {
-            return self.targets[start];
+            return self.targets[start] as State;
         }
         let slot = start + rng.gen_range(0..k);
         if rng.gen::<f64>() < self.prob[slot] {
-            self.targets[slot]
+            self.targets[slot] as State
         } else {
-            self.targets[self.alias[slot] as usize]
+            self.targets[self.alias[slot] as usize] as State
         }
     }
 
@@ -115,11 +116,13 @@ impl StateSampler for ChainSampler {
 ///
 /// O(log row length) per draw; kept as the ablation baseline for the
 /// row-sampling bench and as a reference implementation for testing the
-/// alias tables.
+/// alias tables. Tables are owned, flattened into CSR-shaped arrays.
 #[derive(Debug, Clone)]
 pub struct CdfSampler {
-    cumulative: Vec<Vec<f64>>,
-    targets: Vec<Vec<State>>,
+    /// Slot range of state `s` is `offsets[s]..offsets[s + 1]`.
+    offsets: Vec<usize>,
+    cumulative: Vec<f64>,
+    targets: Vec<u32>,
 }
 
 impl CdfSampler {
@@ -133,28 +136,28 @@ impl CdfSampler {
     /// proportionally across the row; the final bucket is then pinned to
     /// exactly `1.0` so every draw of `u ∈ [0, 1)` lands in a bucket.
     pub fn new(chain: &Dtmc) -> Self {
-        let mut cumulative = Vec::with_capacity(chain.num_states());
-        let mut targets = Vec::with_capacity(chain.num_states());
-        for row in chain.rows() {
+        let offsets = chain.row_offsets().to_vec();
+        let targets = chain.transition_targets().to_vec();
+        let mut cumulative = Vec::with_capacity(chain.num_transitions());
+        let probs = chain.transition_probs();
+        for s in 0..chain.num_states() {
+            let (start, end) = (offsets[s], offsets[s + 1]);
             let mut acc = 0.0;
-            let mut cum = Vec::with_capacity(row.len());
-            let mut tgt = Vec::with_capacity(row.len());
-            for e in row.entries() {
-                acc += e.prob;
-                cum.push(acc);
-                tgt.push(e.target);
+            for &p in &probs[start..end] {
+                acc += p;
+                cumulative.push(acc);
             }
             let total = acc;
-            for c in &mut cum {
+            let cum = &mut cumulative[start..];
+            for c in cum.iter_mut() {
                 *c /= total;
             }
             if let Some(last) = cum.last_mut() {
                 *last = 1.0;
             }
-            cumulative.push(cum);
-            targets.push(tgt);
         }
         CdfSampler {
+            offsets,
             cumulative,
             targets,
         }
@@ -163,17 +166,18 @@ impl CdfSampler {
 
 impl StateSampler for CdfSampler {
     fn step<R: Rng + ?Sized>(&self, state: State, rng: &mut R) -> State {
-        let cum = &self.cumulative[state];
+        let (start, end) = (self.offsets[state], self.offsets[state + 1]);
+        let cum = &self.cumulative[start..end];
         if cum.len() == 1 {
-            return self.targets[state][0];
+            return self.targets[start] as State;
         }
         let u: f64 = rng.gen();
         let idx = cum.partition_point(|&c| c < u);
-        self.targets[state][idx.min(cum.len() - 1)]
+        self.targets[start + idx.min(cum.len() - 1)] as State
     }
 
     fn num_states(&self) -> usize {
-        self.cumulative.len()
+        self.offsets.len() - 1
     }
 }
 
@@ -184,15 +188,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn test_chain() -> Dtmc {
-        DtmcBuilder::new(4)
-            .transition(0, 1, 0.1)
-            .transition(0, 2, 0.2)
-            .transition(0, 3, 0.7)
-            .self_loop(1)
-            .self_loop(2)
-            .self_loop(3)
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(4);
+        b.add_transition(0, 1, 0.1)
+            .add_transition(0, 2, 0.2)
+            .add_transition(0, 3, 0.7)
+            .add_self_loop(1)
+            .add_self_loop(2)
+            .add_self_loop(3);
+        b.build().unwrap()
     }
 
     fn empirical_row<S: StateSampler>(sampler: &S, state: State, n: usize) -> Vec<f64> {
@@ -212,6 +215,14 @@ mod tests {
         assert!((freq[1] - 0.1).abs() < 0.005, "{freq:?}");
         assert!((freq[2] - 0.2).abs() < 0.005, "{freq:?}");
         assert!((freq[3] - 0.7).abs() < 0.005, "{freq:?}");
+    }
+
+    #[test]
+    fn alias_tables_borrow_the_chain_csr() {
+        let chain = test_chain();
+        let sampler = ChainSampler::new(&chain);
+        assert!(std::ptr::eq(sampler.offsets, chain.row_offsets()));
+        assert!(std::ptr::eq(sampler.targets, chain.transition_targets()));
     }
 
     #[test]
@@ -238,13 +249,12 @@ mod tests {
     #[test]
     fn rare_transition_is_sampled_eventually() {
         // A 1e-4 transition: both samplers must produce it at plausible rate.
-        let chain = DtmcBuilder::new(3)
-            .transition(0, 1, 1e-4)
-            .transition(0, 2, 1.0 - 1e-4)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, 1e-4)
+            .add_transition(0, 2, 1.0 - 1e-4)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        let chain = b.build().unwrap();
         let sampler = ChainSampler::new(&chain);
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let n = 2_000_000;
@@ -280,10 +290,10 @@ mod tests {
             }
             let mut builder = DtmcBuilder::new(k);
             for (target, &w) in weights.iter().enumerate() {
-                builder = builder.transition(0, target, w);
+                builder.add_transition(0, target, w);
             }
             for s in 1..k {
-                builder = builder.self_loop(s);
+                builder.add_self_loop(s);
             }
             let chain = builder.build().unwrap();
             let alias = ChainSampler::new(&chain);
@@ -317,16 +327,16 @@ mod tests {
         let p = 0.1f64;
         let mut builder = DtmcBuilder::new(10);
         for t in 0..10 {
-            builder = builder.transition(0, t, p);
+            builder.add_transition(0, t, p);
         }
         for s in 1..10 {
-            builder = builder.self_loop(s);
+            builder.add_self_loop(s);
         }
         let chain = builder.build().unwrap();
         let cdf = CdfSampler::new(&chain);
         // The renormalised cumulative row must hit exactly 1.0 and be
         // strictly increasing.
-        let cum = &cdf.cumulative[0];
+        let cum = &cdf.cumulative[cdf.offsets[0]..cdf.offsets[1]];
         assert_eq!(*cum.last().unwrap(), 1.0);
         for pair in cum.windows(2) {
             assert!(pair[0] < pair[1]);

@@ -156,13 +156,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn coin(p: f64) -> Dtmc {
-        DtmcBuilder::new(3)
-            .transition(0, 1, p)
-            .transition(0, 2, 1.0 - p)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, p)
+            .add_transition(0, 2, 1.0 - p)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        b.build().unwrap()
     }
 
     fn reach_one() -> Property {

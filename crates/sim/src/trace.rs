@@ -173,13 +173,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn coin_chain() -> Dtmc {
-        DtmcBuilder::new(3)
-            .transition(0, 1, 0.5)
-            .transition(0, 2, 0.5)
-            .self_loop(1)
-            .self_loop(2)
-            .build()
-            .unwrap()
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, 0.5)
+            .add_transition(0, 2, 0.5)
+            .add_self_loop(1)
+            .add_self_loop(2);
+        b.build().unwrap()
     }
 
     #[test]
@@ -199,11 +198,9 @@ mod tests {
     #[test]
     fn max_steps_leaves_undecided() {
         // Property whose target is unreachable: the budget must bound work.
-        let chain = DtmcBuilder::new(2)
-            .transition(0, 0, 1.0)
-            .self_loop(1)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(2);
+        b.add_transition(0, 0, 1.0).add_self_loop(1);
+        let chain = b.build().unwrap();
         let sampler = ChainSampler::new(&chain);
         let prop = Property::reach_avoid(StateSet::from_states(2, [1]), StateSet::new(2));
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
@@ -250,13 +247,12 @@ mod random_walk_tests {
 
     #[test]
     fn walk_has_exact_length_and_valid_steps() {
-        let chain = DtmcBuilder::new(3)
-            .transition(0, 1, 0.5)
-            .transition(0, 2, 0.5)
-            .transition(1, 0, 1.0)
-            .transition(2, 0, 1.0)
-            .build()
-            .unwrap();
+        let mut b = DtmcBuilder::new(3);
+        b.add_transition(0, 1, 0.5)
+            .add_transition(0, 2, 0.5)
+            .add_transition(1, 0, 1.0)
+            .add_transition(2, 0, 1.0);
+        let chain = b.build().unwrap();
         let sampler = ChainSampler::new(&chain);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let path = random_walk(&sampler, 0, 200, &mut rng);
@@ -268,7 +264,9 @@ mod random_walk_tests {
 
     #[test]
     fn zero_length_walk_is_the_initial_state() {
-        let chain = DtmcBuilder::new(1).self_loop(0).build().unwrap();
+        let mut b = DtmcBuilder::new(1);
+        b.add_self_loop(0);
+        let chain = b.build().unwrap();
         let sampler = ChainSampler::new(&chain);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let path = random_walk(&sampler, 0, 0, &mut rng);

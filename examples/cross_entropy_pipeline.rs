@@ -18,20 +18,20 @@ use rand::SeedableRng;
 /// otherwise the system resets. γ = (2e-2)^3 = 8e-6 for a 3-deep failure.
 fn cascade() -> Dtmc {
     let p = 2e-2;
-    DtmcBuilder::new(5)
-        .initial(0)
-        .transition(0, 1, p)
-        .transition(0, 4, 1.0 - p)
-        .transition(1, 2, p)
-        .transition(1, 4, 1.0 - p)
-        .transition(2, 3, p)
-        .transition(2, 4, 1.0 - p)
-        .self_loop(3)
-        .self_loop(4)
-        .label(3, "meltdown")
-        .label(4, "reset")
-        .build()
-        .expect("cascade chain is well-formed")
+    let mut builder = DtmcBuilder::new(5);
+    builder
+        .set_initial(0)
+        .add_transition(0, 1, p)
+        .add_transition(0, 4, 1.0 - p)
+        .add_transition(1, 2, p)
+        .add_transition(1, 4, 1.0 - p)
+        .add_transition(2, 3, p)
+        .add_transition(2, 4, 1.0 - p)
+        .add_self_loop(3)
+        .add_self_loop(4)
+        .add_label(3, "meltdown")
+        .add_label(4, "reset");
+    builder.build().expect("cascade chain is well-formed")
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -22,16 +22,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The *learnt* model (from logs) believes p(fault) = 3e-4 and
     // p(escalate) = 0.0498 — but the learning process only pins them down
     // to intervals.
-    let learnt = DtmcBuilder::new(4)
-        .initial(0)
-        .transition(0, 1, 3e-4)
-        .transition(0, 3, 1.0 - 3e-4)
-        .transition(1, 2, 0.0498)
-        .transition(1, 0, 1.0 - 0.0498)
-        .self_loop(2)
-        .self_loop(3)
-        .label(2, "failure")
-        .build()?;
+    let mut builder = DtmcBuilder::new(4);
+    builder
+        .set_initial(0)
+        .add_transition(0, 1, 3e-4)
+        .add_transition(0, 3, 1.0 - 3e-4)
+        .add_transition(1, 2, 0.0498)
+        .add_transition(1, 0, 1.0 - 0.0498)
+        .add_self_loop(2)
+        .add_self_loop(3)
+        .add_label(2, "failure");
+    let learnt = builder.build()?;
     let imc = Imc::from_center(&learnt, |from, _| match from {
         0 => 2.5e-4, // p(fault) ∈ [0.5e-4, 5.5e-4]
         1 => 5e-4,   // p(escalate) ∈ [0.0493, 0.0503]

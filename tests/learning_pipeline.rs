@@ -20,16 +20,16 @@ use rand::SeedableRng;
 fn learnt_imc_contains_the_generating_chain() {
     // Sample logs from a known chain; the learnt IMC (Okamoto δ = 1e-3)
     // contains the generator with overwhelming probability.
-    let truth = DtmcBuilder::new(4)
-        .transition(0, 1, 0.2)
-        .transition(0, 2, 0.5)
-        .transition(0, 3, 0.3)
-        .transition(1, 0, 1.0)
-        .transition(2, 0, 1.0)
-        .transition(3, 0, 0.9)
-        .transition(3, 3, 0.1)
-        .build()
-        .expect("truth chain valid");
+    let mut builder = DtmcBuilder::new(4);
+    builder
+        .add_transition(0, 1, 0.2)
+        .add_transition(0, 2, 0.5)
+        .add_transition(0, 3, 0.3)
+        .add_transition(1, 0, 1.0)
+        .add_transition(2, 0, 1.0)
+        .add_transition(3, 0, 0.9)
+        .add_transition(3, 3, 0.1);
+    let truth = builder.build().expect("truth chain valid");
     let sampler = ChainSampler::new(&truth);
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
     let mut counts = CountTable::new(4);
@@ -124,17 +124,17 @@ fn swat_pipeline_end_to_end_honest_about_hidden_truth() {
 fn more_data_narrows_the_imcis_interval() {
     // Okamoto widths shrink as 1/sqrt(n): the IMCIS interval must narrow
     // as log volume grows.
-    let truth = DtmcBuilder::new(3)
-        .transition(0, 1, 0.05)
-        .transition(0, 2, 0.95)
-        .self_loop(1)
-        .self_loop(2)
-        .label(1, "bad")
-        .build()
-        .expect("truth chain valid");
+    let mut builder = DtmcBuilder::new(3);
+    builder
+        .add_transition(0, 1, 0.05)
+        .add_transition(0, 2, 0.95)
+        .add_self_loop(1)
+        .add_self_loop(2)
+        .add_label(1, "bad");
+    let truth = builder.build().expect("truth chain valid");
     let sampler = ChainSampler::new(&truth);
     let property = imc_logic::Property::reach_avoid(
-        truth.labeled_states("bad"),
+        truth.labeled_states("bad").clone(),
         StateSet::from_states(3, [2]),
     );
     let mut widths = Vec::new();

@@ -85,14 +85,14 @@ fn interval_envelope_brackets_imcis_targets() {
         // combination of successor values, each within [min, max].
         let lo: f64 = chain
             .row(chain.initial())
-            .entries()
+            .unwrap()
             .iter()
             .map(|e| e.prob * min[e.target])
             .sum::<f64>()
             * 0.95; // slack: member rows differ from the centre's weights
         let hi: f64 = chain
             .row(chain.initial())
-            .entries()
+            .unwrap()
             .iter()
             .map(|e| e.prob * max[e.target])
             .sum::<f64>()

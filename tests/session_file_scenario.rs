@@ -13,6 +13,11 @@ const MALFORMED: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/fixtures/malformed_model.txt"
 );
+const TRUNCATED: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/truncated.imc");
+const OUT_OF_ORDER: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/out_of_order.imc"
+);
 
 fn file_spec(params: Vec<(&str, Value)>) -> RunSpec {
     RunSpec::new(
@@ -56,6 +61,36 @@ fn malformed_model_file_is_a_scenario_error() {
     ]));
     assert!(matches!(err, ScenarioError::Build(_)), "{err}");
     assert!(err.to_string().contains("cannot parse"), "{err}");
+}
+
+#[test]
+fn truncated_model_file_is_a_typed_scenario_error() {
+    // The file ends before state 1's row: the streaming loader surfaces
+    // `ModelError::NoOutgoingTransitions` through the scenario error.
+    let err = scenario_error(file_spec(vec![
+        ("path", Value::Str(TRUNCATED.into())),
+        ("target", Value::Str("heads".into())),
+    ]));
+    assert!(matches!(err, ScenarioError::Build(_)), "{err}");
+    let msg = err.to_string();
+    assert!(msg.contains("cannot parse"), "{msg}");
+    assert!(msg.contains("state 1 has no outgoing transitions"), "{msg}");
+}
+
+#[test]
+fn out_of_order_model_file_is_a_typed_scenario_error() {
+    // `interval 0 2` arrives before `interval 0 1`: the lenient in-memory
+    // parser would accept this, but the streaming loader used by the
+    // `file` scenario requires ascending `(from, to)` order and reports
+    // `ModelError::OutOfOrderTransition`.
+    let err = scenario_error(file_spec(vec![
+        ("path", Value::Str(OUT_OF_ORDER.into())),
+        ("target", Value::Str("heads".into())),
+    ]));
+    assert!(matches!(err, ScenarioError::Build(_)), "{err}");
+    let msg = err.to_string();
+    assert!(msg.contains("cannot parse"), "{msg}");
+    assert!(msg.contains("out of order"), "{msg}");
 }
 
 #[test]

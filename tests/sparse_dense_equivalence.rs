@@ -1,0 +1,173 @@
+//! Seeded sparse-vs-dense construction equivalence: the same random model
+//! pushed through the batch builder (arbitrary insertion order, sorted at
+//! `build()`) and the streaming builder (ascending `(from, to)` pushes
+//! straight into CSR) must be *equal* — CSR arrays, labels, initial state
+//! — and must drive the session layer to byte-identical stable `Report`s.
+//!
+//! Like `property_invariants.rs`, cases come from a deterministic seeded
+//! family instead of proptest (offline build), so failures reproduce by
+//! seed.
+
+use std::sync::Arc;
+
+use imc_logic::Property;
+use imc_markov::{
+    Dtmc, DtmcBuilder, DtmcStreamBuilder, Imc, ImcBuilder, ImcStreamBuilder, StateSet,
+};
+use imc_models::Setup;
+use imcis_core::{Method, RunSpec, SampleSpec, ScenarioRef, Session};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 24;
+
+/// Random sorted stochastic rows: for each state, up to `n` deduplicated
+/// targets with normalised weights (last entry takes the residual).
+fn arb_rows(rng: &mut StdRng) -> Vec<Vec<(usize, f64)>> {
+    let n = rng.gen_range(2..=6usize);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..=n);
+            let mut entries: Vec<(usize, f64)> = (0..len)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0.05..1.0)))
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.total_cmp(&a.1)));
+            entries.dedup_by_key(|e| e.0);
+            let total: f64 = entries.iter().map(|e| e.1).sum();
+            let k = entries.len();
+            let mut acc = 0.0;
+            for (i, entry) in entries.iter_mut().enumerate() {
+                entry.1 = if i == k - 1 {
+                    1.0 - acc
+                } else {
+                    let p = entry.1 / total;
+                    acc += p;
+                    p
+                };
+            }
+            entries
+        })
+        .collect()
+}
+
+fn for_each_case(test_tag: u64, check: impl Fn(u64, &mut StdRng)) {
+    for case in 0..CASES {
+        let seed = test_tag
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        check(seed, &mut rng);
+    }
+}
+
+/// Builds the chain through the batch builder with the rows pushed in
+/// *reverse* row order (exercising the sort) plus labels on the last state.
+fn batch_dtmc(rows: &[Vec<(usize, f64)>]) -> Dtmc {
+    let n = rows.len();
+    let mut builder = DtmcBuilder::new(n);
+    builder.set_initial(0).add_label(n - 1, "goal");
+    for (state, row) in rows.iter().enumerate().rev() {
+        for &(target, p) in row {
+            builder.add_transition(state, target, p);
+        }
+    }
+    builder.build().expect("normalised rows are stochastic")
+}
+
+/// Builds the same chain through the streaming builder, ascending order.
+fn stream_dtmc(rows: &[Vec<(usize, f64)>]) -> Dtmc {
+    let n = rows.len();
+    let mut builder = DtmcStreamBuilder::new(n);
+    builder.set_initial(0);
+    builder.add_label(n - 1, "goal");
+    for (state, row) in rows.iter().enumerate() {
+        for &(target, p) in row {
+            builder
+                .push_transition(state, target, p)
+                .expect("pushes arrive pre-sorted");
+        }
+    }
+    builder.finish().expect("normalised rows are stochastic")
+}
+
+#[test]
+fn batch_and_stream_builders_agree_exactly() {
+    for_each_case(11, |seed, rng| {
+        let rows = arb_rows(rng);
+        let batch = batch_dtmc(&rows);
+        let stream = stream_dtmc(&rows);
+        // Equality covers the CSR arrays, initial state and label table.
+        assert_eq!(batch, stream, "case {seed}");
+        assert_eq!(batch.row_offsets(), stream.row_offsets(), "case {seed}");
+    });
+}
+
+#[test]
+fn imc_batch_and_stream_builders_agree_exactly() {
+    for_each_case(12, |seed, rng| {
+        let rows = arb_rows(rng);
+        let n = rows.len();
+        let eps = rng.gen_range(0.0..0.04);
+        let mut batch = ImcBuilder::new(n);
+        batch.set_initial(0).add_label(n - 1, "goal");
+        for (state, row) in rows.iter().enumerate().rev() {
+            for &(target, p) in row {
+                batch.add_interval(state, target, (p - eps).max(0.0), (p + eps).min(1.0));
+            }
+        }
+        let mut stream = ImcStreamBuilder::new(n);
+        stream.set_initial(0);
+        stream.add_label(n - 1, "goal");
+        for (state, row) in rows.iter().enumerate() {
+            for &(target, p) in row {
+                stream
+                    .push_interval(state, target, (p - eps).max(0.0), (p + eps).min(1.0))
+                    .expect("pushes arrive pre-sorted");
+            }
+        }
+        let batch = batch.build().expect("intervals are consistent");
+        let stream = stream.finish().expect("intervals are consistent");
+        assert_eq!(batch, stream, "case {seed}");
+    });
+}
+
+#[test]
+fn reports_are_bit_identical_across_construction_paths() {
+    // The end-to-end pin: a Session run over the batch-built model and
+    // over the stream-built model produces byte-identical stable reports.
+    for_each_case(13, |seed, rng| {
+        let rows = arb_rows(rng);
+        let report_of = |chain: Dtmc| {
+            let n = chain.num_states();
+            let imc = Imc::from_center(&chain, |_, _| 0.01).expect("valid envelope");
+            let property = Property::bounded_reach(StateSet::from_states(n, [n - 1]), 12);
+            let setup = Arc::new(Setup {
+                name: "sparse-vs-dense".into(),
+                imc,
+                b: chain.clone(),
+                center: chain,
+                property,
+                gamma_center: None,
+                gamma_exact: None,
+            });
+            let spec = RunSpec::new(
+                ScenarioRef::named("sparse-vs-dense"),
+                Method::StandardIs(SampleSpec {
+                    n_traces: 300,
+                    delta: 0.05,
+                    max_steps: 50,
+                }),
+                seed,
+            )
+            .with_threads(1, 1);
+            Session::from_setup(setup, spec)
+                .run()
+                .expect("session runs")
+                .to_json_stable()
+                .pretty()
+        };
+        let batch_report = report_of(batch_dtmc(&rows));
+        let stream_report = report_of(stream_dtmc(&rows));
+        assert_eq!(batch_report, stream_report, "case {seed}");
+    });
+}
