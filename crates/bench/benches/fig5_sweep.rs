@@ -16,7 +16,7 @@ fn bench_fig5(c: &mut Criterion) {
     let failure = chain.labeled_states("failure");
     group.bench_function("solve_reach_before_return", |bench| {
         bench.iter(|| {
-            reach_before_return(&chain, &failure, &SolveOptions::default())
+            reach_before_return(&chain, failure, &SolveOptions::default())
                 .expect("solver converges")
         });
     });

@@ -23,7 +23,7 @@ fn main() {
         let chain = group_repair::jump_chain(alpha);
         reach_before_return(
             &chain,
-            &chain.labeled_states("failure"),
+            chain.labeled_states("failure"),
             &SolveOptions::default(),
         )
     })

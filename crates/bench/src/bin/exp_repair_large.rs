@@ -73,7 +73,7 @@ fn main() {
         let chain = repair::jump_chain(alpha);
         let gamma = reach_before_return(
             &chain,
-            &chain.labeled_states("failure"),
+            chain.labeled_states("failure"),
             &SolveOptions::default(),
         )
         .expect("solver converges");

@@ -58,7 +58,8 @@ use imc_numeric::{
     reach_avoid_probs, SolveOptions,
 };
 use imc_sim::{monte_carlo, SmcConfig};
-use imcis_core::serve::{Client, ServeConfig, ServeError, Server};
+use imcis_core::router::{Router, RouterConfig};
+use imcis_core::serve::{Client, ServeConfig, ServeError, Server, StatusSnapshot};
 use imcis_core::{
     CrossEntropySpec, ImcisSpec, Method, OutcomeDetail, RunSpec, SampleSpec, ScenarioRef,
     SearchSpec, Session, SessionError, SpecError, Suite, SuiteSpec,
@@ -119,7 +120,9 @@ usage: imcis run <spec.json>
        imcis run --spec a.json --spec b.json [--threads T]
        imcis run --scenario NAME --method NAME [options] [--dry-run]
        imcis suite <suite.json> [--threads T]
-       imcis serve [--addr A] [--workers N] [--queue N]
+       imcis serve [--addr A] [--workers N] [--queue N] [--rate R]
+       imcis router --backend ADDR [--backend ADDR ...] [--addr A]
+                    [--queue N] [--heartbeat-ms T]
        imcis submit <suite.json> [--addr A] [--events FILE] [--retry-ms T]
                     [--deadline-ms D]
        imcis submit --ping | --status | --shutdown [--addr A]
@@ -147,14 +150,30 @@ serving (imcis.wire/2 — newline-delimited JSON over TCP):
                       scenario cache and streams member reports as they
                       complete; a panicking member becomes a typed
                       member_error entry, never a dead worker
-  submit <suite.json> submit a SuiteSpec manifest to a daemon, stream its
-                      events, print the stable SuiteReport JSON
-                      (byte-identical to `imcis suite` on the manifest)
+  router              front a fleet of daemons behind one wire endpoint:
+                      jobs are placed by their dominant scenario cache
+                      key on a consistent-hash ring (cache affinity),
+                      spill to the next backend on rejection, and fail
+                      over mid-job if a backend dies — the streamed
+                      SuiteReport stays byte-identical throughout
+  submit <suite.json> submit a SuiteSpec manifest to a daemon or router,
+                      stream its events, print the stable SuiteReport
+                      JSON (byte-identical to `imcis suite` on the
+                      manifest)
 
 serve options:
   --addr A         listen address                  [default 127.0.0.1:7414]
   --workers N      persistent session workers; 0 = all cores  [default 0]
   --queue N        bounded member-task queue capacity        [default 64]
+  --rate R         per-connection submit rate limit (token bucket,
+                   submits/second); over-limit submits are answered
+                   `rejected {retry_after_ms}`; 0 disables  [default 0]
+
+router options:
+  --backend ADDR   a daemon to front (repeatable, at least one required)
+  --addr A         listen address                  [default 127.0.0.1:7400]
+  --queue N        maximum concurrently proxied jobs         [default 64]
+  --heartbeat-ms T backend health-probe interval            [default 500]
 
 submit options:
   --addr A         daemon address                  [default 127.0.0.1:7414]
@@ -167,8 +186,10 @@ submit options:
   --deadline-ms D  job deadline: members not started D ms after the
                    daemon accepts the job report typed `timeout` entries
   --ping           liveness probe only (expects a pong)
-  --status         print the daemon's load snapshot (queue depth, active
-                   jobs, workers, cache size, uptime) and exit
+  --status         print the peer's load snapshot and exit: a daemon
+                   answers one line (queue depth, active jobs, workers,
+                   cache size, uptime); a router answers the aggregated
+                   per-backend table
   --shutdown       ask the daemon to drain active jobs and exit
 
 run options:
@@ -586,10 +607,11 @@ fn serve_command(args: &[String]) -> Result<String, CliError> {
             "--addr" => config.addr = value("--addr")?,
             "--workers" => config.workers = parse_value(&value("--workers")?, "--workers")?,
             "--queue" => config.queue = parse_value(&value("--queue")?, "--queue")?,
+            "--rate" => config.rate = parse_value(&value("--rate")?, "--rate")?,
             other => {
                 return Err(CliError::Usage(format!(
                     "unexpected serve argument `{other}` \
-                     (usage: imcis serve [--addr A] [--workers N] [--queue N])"
+                     (usage: imcis serve [--addr A] [--workers N] [--queue N] [--rate R])"
                 )))
             }
         }
@@ -599,6 +621,99 @@ fn serve_command(args: &[String]) -> Result<String, CliError> {
     eprintln!("imcis serve: listening on {addr} (wire protocol imcis.wire/2)");
     server.run()?;
     Ok(format!("imcis serve: {addr} shut down cleanly"))
+}
+
+/// `imcis router --backend ADDR [--backend ADDR ...] [--addr A]
+/// [--queue N] [--heartbeat-ms T]`: the cache-affinity front-line
+/// router. Speaks the same `imcis.wire/2` protocol as the daemon, so
+/// `imcis submit` (and any other wire client) works against it
+/// unchanged; see `imcis_core::router` for the routing, spill and
+/// failover semantics. Blocks until a client sends `shutdown` (which is
+/// fanned out to the fleet first).
+fn router_command(args: &[String]) -> Result<String, CliError> {
+    let mut config = RouterConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--backend" => config.backends.push(value("--backend")?),
+            "--addr" => config.addr = value("--addr")?,
+            "--queue" => config.queue = parse_value(&value("--queue")?, "--queue")?,
+            "--heartbeat-ms" => {
+                config.heartbeat_ms = parse_value(&value("--heartbeat-ms")?, "--heartbeat-ms")?
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected router argument `{other}` \
+                     (usage: imcis router --backend ADDR [--backend ADDR ...] \
+                     [--addr A] [--queue N] [--heartbeat-ms T])"
+                )))
+            }
+        }
+    }
+    if config.backends.is_empty() {
+        return Err(CliError::Usage(
+            "router needs at least one --backend address".into(),
+        ));
+    }
+    if config.heartbeat_ms == 0 {
+        return Err(CliError::Usage("--heartbeat-ms must be positive".into()));
+    }
+    let backends = config.backends.len();
+    let router = Router::bind(config)?;
+    let addr = router.local_addr();
+    eprintln!(
+        "imcis router: listening on {addr} (wire protocol imcis.wire/2), \
+         fronting {backends} backend(s)"
+    );
+    router.run()?;
+    Ok(format!("imcis router: {addr} shut down cleanly"))
+}
+
+/// Renders a `--status` answer for humans — shape-tolerantly: a daemon
+/// prints the familiar one-liner, a router prints the aggregated
+/// per-backend table (both pinned by `tests/cli_help.rs` /
+/// `tests/router.rs`).
+fn format_status(addr: &str, snapshot: &StatusSnapshot) -> String {
+    match snapshot {
+        StatusSnapshot::Daemon(s) => format!(
+            "daemon at {addr}: queue {}/{}, {} active job(s), {} worker(s), \
+             {} cached setup(s), up {} ms",
+            s.queue_depth, s.queue_capacity, s.active_jobs, s.workers, s.cache_size, s.uptime_ms
+        ),
+        StatusSnapshot::Router(r) => {
+            let healthy = r.backends.iter().filter(|b| b.healthy).count();
+            let mut out = format!(
+                "router at {addr}: {healthy}/{} backend(s) healthy, {} active job(s), \
+                 {} routed, up {} ms",
+                r.backends.len(),
+                r.active_jobs,
+                r.jobs_routed,
+                r.uptime_ms
+            );
+            for backend in &r.backends {
+                match &backend.status {
+                    Some(s) => out.push_str(&format!(
+                        "\n  {}: healthy, queue {}/{}, {} active job(s), {} worker(s), \
+                         {} cached setup(s), up {} ms",
+                        backend.addr,
+                        s.queue_depth,
+                        s.queue_capacity,
+                        s.active_jobs,
+                        s.workers,
+                        s.cache_size,
+                        s.uptime_ms
+                    )),
+                    None => out.push_str(&format!("\n  {}: unreachable", backend.addr)),
+                }
+            }
+            out
+        }
+    }
 }
 
 /// Backoff delay ceiling: exponential doubling from the `--retry-ms`
@@ -754,12 +869,8 @@ fn submit_command(args: &[String]) -> Result<String, CliError> {
         return Ok(format!("pong from {addr}"));
     }
     if status {
-        let s = client.status()?;
-        return Ok(format!(
-            "daemon at {addr}: queue {}/{}, {} active job(s), {} worker(s), \
-             {} cached setup(s), up {} ms",
-            s.queue_depth, s.queue_capacity, s.active_jobs, s.workers, s.cache_size, s.uptime_ms
-        ));
+        let snapshot = client.status()?;
+        return Ok(format_status(&addr, &snapshot));
     }
     if shutdown {
         client.shutdown()?;
@@ -1106,6 +1217,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "run" => run_spec_command(&args[1..]),
         "suite" => run_suite_command(&args[1..]),
         "serve" => serve_command(&args[1..]),
+        "router" => router_command(&args[1..]),
         "submit" => submit_command(&args[1..]),
         _ => {
             let options = parse_args(args)?;
@@ -1515,6 +1627,82 @@ label 2 tails
         .unwrap_err();
         assert!(matches!(err, CliError::Serve(_)), "{err}");
         assert!(started.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn router_usage_errors_are_reported_before_any_network_io() {
+        for bad in [
+            vec!["router"],
+            vec!["router", "--backend"],
+            vec!["router", "--addr", "127.0.0.1:0"],
+            vec![
+                "router",
+                "--backend",
+                "127.0.0.1:7501",
+                "--heartbeat-ms",
+                "0",
+            ],
+            vec!["router", "--backend", "127.0.0.1:7501", "--wat"],
+            vec!["router", "--backend", "127.0.0.1:7501", "--queue", "x"],
+        ] {
+            assert!(
+                matches!(run(&args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?}"
+            );
+        }
+        let err = run(&args(&["router"])).unwrap_err();
+        match err {
+            CliError::Usage(msg) => {
+                assert!(msg.contains("at least one --backend"), "{msg}")
+            }
+            other => panic!("expected a usage error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn status_printer_handles_both_wire_shapes() {
+        use imcis_core::serve::{BackendStatus, RouterStatus, ServerStatus};
+        let daemon_shape = ServerStatus {
+            queue_depth: 3,
+            queue_capacity: 64,
+            active_jobs: 1,
+            workers: 4,
+            cache_size: 2,
+            uptime_ms: 1234,
+        };
+        // The single-daemon one-liner is unchanged by the router work.
+        assert_eq!(
+            format_status("127.0.0.1:7414", &StatusSnapshot::Daemon(daemon_shape)),
+            "daemon at 127.0.0.1:7414: queue 3/64, 1 active job(s), 4 worker(s), \
+             2 cached setup(s), up 1234 ms"
+        );
+        // A router answer prints the aggregated per-backend table, one
+        // line per backend, unreachable backends included.
+        let router_shape = StatusSnapshot::Router(RouterStatus {
+            active_jobs: 1,
+            jobs_routed: 7,
+            uptime_ms: 900,
+            backends: vec![
+                BackendStatus {
+                    addr: "127.0.0.1:7501".into(),
+                    healthy: true,
+                    status: Some(daemon_shape),
+                },
+                BackendStatus {
+                    addr: "127.0.0.1:7502".into(),
+                    healthy: false,
+                    status: None,
+                },
+            ],
+        });
+        assert_eq!(
+            format_status("127.0.0.1:7400", &router_shape),
+            "router at 127.0.0.1:7400: 1/2 backend(s) healthy, 1 active job(s), \
+             7 routed, up 900 ms\n  \
+             127.0.0.1:7501: healthy, queue 3/64, 1 active job(s), 4 worker(s), \
+             2 cached setup(s), up 1234 ms\n  \
+             127.0.0.1:7502: unreachable"
+        );
     }
 
     #[test]

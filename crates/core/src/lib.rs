@@ -150,6 +150,7 @@ mod algorithm;
 pub mod experiment;
 pub mod fault;
 pub mod report;
+pub mod router;
 pub mod serve;
 pub mod session;
 pub mod spec;
@@ -160,8 +161,10 @@ pub use algorithm::{imcis, standard_is};
 pub use algorithm::{ImcisConfig, ImcisError, ImcisOutcome, IsOutcome};
 pub use fault::{FaultKind, FaultPlan, FaultRule, FAULT_ENV};
 pub use report::{validate_report_json, Repetition, Report, Timing, REPORT_SCHEMA};
+pub use router::{dominant_cache_fingerprint, HashRing, Router, RouterConfig};
 pub use serve::{
-    Client, ServeConfig, ServeError, Server, ServerStatus, SubmitOutcome, WIRE_SCHEMA,
+    BackendStatus, Client, HealthInfo, RouterStatus, ServeConfig, ServeError, Server, ServerStatus,
+    StatusSnapshot, SubmitOutcome, WIRE_SCHEMA,
 };
 pub use session::{
     estimator_for, Estimator, MethodOutcome, OutcomeDetail, RunContext, Session, SessionError,

@@ -1,0 +1,1035 @@
+//! The front-line router: one `imcis.wire/2` endpoint fanning jobs out
+//! over a fleet of [`Server`](crate::serve::Server) daemons with
+//! **cache affinity**.
+//!
+//! The daemon's expensive asset is its process-wide
+//! [`SetupCache`](crate::suite::SetupCache): a scenario built once is
+//! free for every later job. A generic load balancer destroys that —
+//! spreading identical `(scenario, params)` jobs round-robin rebuilds
+//! the same `Setup` on every backend. [`Router`] instead places each
+//! job by the **dominant cache key of its manifest** (the most frequent
+//! [`ScenarioRef::cache_key`](crate::spec::ScenarioRef::cache_key)
+//! among its members, ties broken by the lexicographically smallest
+//! key) on a consistent-hash ring of backends: identical workloads land
+//! on the same daemon and find its cache warm, and adding or removing a
+//! backend only moves the keys adjacent to its ring points.
+//!
+//! Clients need no new protocol: the router speaks `imcis.wire/2` on
+//! both sides, so `imcis submit` works against a router unchanged.
+//! Per request:
+//!
+//! * `submit` — validated router-side (a `file` path resolves on the
+//!   router's filesystem), then proxied to the job's preferred live
+//!   backend. A backend answering `rejected {retry_after_ms}` makes the
+//!   job **spill** to the next distinct backend on the ring walk; only
+//!   when every live backend rejects does the client see `rejected`
+//!   (with the largest hint). The backend's event stream —
+//!   `accepted`, `member_report` / `member_error` in completion order,
+//!   terminal `suite_report` — is proxied back verbatim except for the
+//!   `job_id`, which is relabelled to the router's own id space.
+//! * `cancel` — mapped from the router job id to the owning backend and
+//!   forwarded there; the acknowledgement is relabelled back.
+//! * `status` — answered as the **aggregated** router shape
+//!   (`"role": "router"`): per-backend health + freshly polled load
+//!   snapshots ([`StatusSnapshot::Router`](crate::serve::StatusSnapshot)
+//!   decodes it).
+//! * `health` — answered by the router itself; `workers` counts live
+//!   backends.
+//! * `shutdown` — fanned out to every live backend, then the router
+//!   drains its own connections and exits.
+//!
+//! # Failover
+//!
+//! A heartbeat thread probes every backend with the lightweight
+//! `health` request. A backend that stops answering is marked dead and
+//! thereby evicted from routing (ring *walks* simply skip it); when it
+//! answers again it rejoins — with a cold cache, which costs wall-clock
+//! only, never bytes. If a backend dies **mid-job**, the router
+//! resubmits the whole manifest to the next live backend on the ring
+//! walk, swallows the duplicate `accepted`, and suppresses member
+//! events for indices the client already received. Because every member
+//! session is a pure function of the manifest, the re-run members are
+//! byte-identical to what the dead backend would have sent — the
+//! determinism contract is exactly what makes transparent re-routing
+//! sound, and the terminal `suite_report` stays `cmp`-identical to the
+//! batch artefact (pinned by `tests/router.rs` and the CI router smoke
+//! step).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use imc_models::fnv1a64;
+use serde::json::{self, Value};
+
+use crate::serve::{
+    error_event, event, health_event, parse_event, parse_request, wake_addr, Event, Request,
+    ServeError, READ_POLL_MS, RETRY_AFTER_MS,
+};
+use crate::suite::SuiteSpec;
+
+/// Virtual ring points per backend: enough to spread keys evenly at
+/// small fleet sizes without making ring construction noticeable.
+const VNODES: usize = 64;
+
+/// Connect timeout for every router→backend connection (probes and
+/// proxies alike): a dead host must fail fast, not hang a heartbeat.
+const CONNECT_TIMEOUT_MS: u64 = 1_000;
+
+/// Read timeout for *probe* connections (health polls, status
+/// aggregation). Proxy streams deliberately read without a deadline —
+/// a long member session is progress, and a killed backend surfaces as
+/// EOF, not silence.
+const PROBE_TIMEOUT_MS: u64 = 2_000;
+
+/// Router configuration: where to listen and which fleet to front.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address (`host:port`; port `0` binds an ephemeral port).
+    pub addr: String,
+    /// Backend daemon addresses, in the order `status` reports them.
+    pub backends: Vec<String>,
+    /// Maximum concurrently proxied jobs; a submit beyond it is
+    /// answered `rejected {retry_after_ms}` without contacting any
+    /// backend.
+    pub queue: usize,
+    /// Heartbeat interval: every backend is `health`-probed this often.
+    pub heartbeat_ms: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:7400".into(),
+            backends: Vec::new(),
+            queue: 64,
+            heartbeat_ms: 500,
+        }
+    }
+}
+
+/// A consistent-hash ring over backend indices. Public so tests can
+/// predict placements (e.g. arrange for a particular backend to be a
+/// key's first choice).
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring point, backend index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl HashRing {
+    /// Builds the ring: `VNODES` (64) points per backend, each at
+    /// `splitmix64(fnv1a64("{addr}#{vnode}"))`. The splitmix finaliser
+    /// matters: raw FNV of near-identical short strings (adjacent
+    /// ports, consecutive vnode suffixes) clusters on the ring and
+    /// starves backends. Deterministic in the address list, so every
+    /// router process fronting the same fleet places every key
+    /// identically.
+    pub fn new(backends: &[String]) -> Self {
+        let mut points = Vec::with_capacity(backends.len() * VNODES);
+        for (index, addr) in backends.iter().enumerate() {
+            for vnode in 0..VNODES {
+                let point = imc_sim::splitmix64(fnv1a64(format!("{addr}#{vnode}").as_bytes()));
+                points.push((point, index));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            backends: backends.len(),
+        }
+    }
+
+    /// The full preference order for `key`: every distinct backend
+    /// index, in the order a clockwise ring walk from `key`'s point
+    /// first meets them. The head is the affinity target; the tail is
+    /// the spill/failover order.
+    pub fn preference(&self, key: u64) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.backends);
+        if self.points.is_empty() {
+            return order;
+        }
+        let start = self.points.partition_point(|(point, _)| *point < key);
+        for offset in 0..self.points.len() {
+            let (_, index) = self.points[(start + offset) % self.points.len()];
+            if !order.contains(&index) {
+                order.push(index);
+                if order.len() == self.backends {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+/// The dominant cache key of a manifest: the most frequent member
+/// cache key, ties broken by the lexicographically smallest key — a
+/// pure function of the manifest, so every router places a given suite
+/// identically. Returns the key's stable fingerprint for the ring.
+pub fn dominant_cache_fingerprint(spec: &SuiteSpec) -> u64 {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for run in &spec.runs {
+        let key = run.scenario.cache_key();
+        match counts.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((key, 1)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|(ka, na), (kb, nb)| na.cmp(nb).then_with(|| kb.cmp(ka)))
+        .map(|(key, _)| fnv1a64(key.as_bytes()))
+        .unwrap_or(0)
+}
+
+/// One backend's routing state.
+struct Backend {
+    addr: String,
+    /// The heartbeat's verdict; dead backends are skipped by every ring
+    /// walk (the "eviction") and rejoin as soon as they answer again.
+    alive: AtomicBool,
+}
+
+/// One job currently proxied through the router.
+struct RouterJob {
+    /// Router-side id (what the client sees and cancels with).
+    job_id: u64,
+    /// The owning backend's address — updated on failover so a late
+    /// `cancel` reaches the backend actually running the job.
+    backend: String,
+    /// The backend-side job id to forward in `cancel`.
+    backend_job: u64,
+    members_total: usize,
+    members_done: Arc<AtomicUsize>,
+}
+
+/// State shared by the accept loop, connection handlers and the
+/// heartbeat thread.
+struct RouterState {
+    backends: Vec<Backend>,
+    ring: HashRing,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    started: Instant,
+    next_job: AtomicU64,
+    next_connection: AtomicU64,
+    jobs_routed: AtomicU64,
+    active_jobs: AtomicUsize,
+    queue_capacity: usize,
+    jobs: Mutex<Vec<RouterJob>>,
+    connections: Mutex<Vec<(u64, TcpStream)>>,
+    idle: Condvar,
+}
+
+impl RouterState {
+    fn live_backends(&self) -> u64 {
+        self.backends
+            .iter()
+            .filter(|b| b.alive.load(Ordering::SeqCst))
+            .count() as u64
+    }
+
+    fn register_connection(&self, stream: &TcpStream) -> Option<u64> {
+        let handle = stream.try_clone().ok()?;
+        let id = self.next_connection.fetch_add(1, Ordering::SeqCst);
+        self.connections
+            .lock()
+            .expect("connection list poisoned")
+            .push((id, handle));
+        Some(id)
+    }
+
+    fn deregister_connection(&self, id: u64) {
+        let mut connections = self.connections.lock().expect("connection list poisoned");
+        connections.retain(|(conn, _)| *conn != id);
+        if connections.is_empty() {
+            self.idle.notify_all();
+        }
+    }
+
+    fn drain_connections(&self) {
+        let mut connections = self.connections.lock().expect("connection list poisoned");
+        for (_, stream) in connections.iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        while !connections.is_empty() {
+            connections = self
+                .idle
+                .wait(connections)
+                .expect("connection list poisoned");
+        }
+    }
+
+    fn job_dispositions(&self) -> Vec<Value> {
+        self.jobs
+            .lock()
+            .expect("job list poisoned")
+            .iter()
+            .map(|job| {
+                Value::object([
+                    ("job_id".into(), Value::UInt(job.job_id)),
+                    ("members".into(), Value::UInt(job.members_total as u64)),
+                    (
+                        "members_done".into(),
+                        Value::UInt(job.members_done.load(Ordering::SeqCst) as u64),
+                    ),
+                ])
+            })
+            .collect()
+    }
+}
+
+/// One raw wire connection from the router to a backend. Unlike
+/// [`Client`](crate::serve::Client) this keeps the *decoded value*
+/// of every event so the proxy can forward lines verbatim (modulo the
+/// `job_id` relabel) without re-serialising payloads.
+struct BackendConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl BackendConn {
+    /// Connects with the router's connect timeout; `probe` additionally
+    /// bounds reads (heartbeats must never hang on a wedged backend).
+    fn connect(addr: &str, probe: bool) -> Result<Self, ServeError> {
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| ServeError::Io(format!("cannot resolve `{addr}`: {e}")))?
+            .next()
+            .ok_or_else(|| ServeError::Io(format!("`{addr}` resolves to no address")))?;
+        let writer =
+            TcpStream::connect_timeout(&resolved, Duration::from_millis(CONNECT_TIMEOUT_MS))
+                .map_err(|e| ServeError::Io(format!("cannot connect to `{addr}`: {e}")))?;
+        if probe {
+            writer.set_read_timeout(Some(Duration::from_millis(PROBE_TIMEOUT_MS)))?;
+        }
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(BackendConn { reader, writer })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ServeError> {
+        self.writer.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and decodes one event line, returning the raw value (for
+    /// relabelled forwarding) alongside the typed view.
+    fn read_event(&mut self) -> Result<(Value, Event), ServeError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ServeError::Protocol(
+                "backend closed the connection mid-stream".into(),
+            ));
+        }
+        let value = json::parse(line.trim_end())
+            .map_err(|e| ServeError::Protocol(format!("backend event is not valid JSON: {e}")))?;
+        let event = parse_event(&value).map_err(ServeError::Protocol)?;
+        Ok((value, event))
+    }
+}
+
+/// Probes one backend with `health`; used by the heartbeat thread and
+/// the initial aliveness sweep.
+fn probe_health(addr: &str) -> bool {
+    let Ok(mut conn) = BackendConn::connect(addr, true) else {
+        return false;
+    };
+    if conn.send(&event("health", [])).is_err() {
+        return false;
+    }
+    matches!(conn.read_event(), Ok((_, Event::Health(_))))
+}
+
+/// Re-serialises an event value with its `job_id` replaced — the
+/// vendored JSON value is deliberately immutable, so relabelling
+/// rebuilds the pair list (payloads are cloned references, not
+/// re-encoded text, and insertion order is preserved).
+fn relabel_job_id(value: &Value, job_id: u64) -> String {
+    let pairs: Vec<(String, Value)> = value
+        .as_object()
+        .unwrap_or(&[])
+        .iter()
+        .map(|(key, field)| {
+            if key == "job_id" {
+                (key.clone(), Value::UInt(job_id))
+            } else {
+                (key.clone(), field.clone())
+            }
+        })
+        .collect();
+    format!("{}\n", Value::Object(pairs))
+}
+
+/// The cache-affinity front-line router. See the [module docs](self)
+/// for the routing, spill and failover semantics.
+pub struct Router {
+    listener: TcpListener,
+    state: Arc<RouterState>,
+    heartbeat_ms: u64,
+}
+
+impl Router {
+    /// Binds the listen socket and sweeps the fleet once so routing
+    /// starts from real liveness, not optimism. The heartbeat thread
+    /// starts with [`Router::run`] / [`Router::spawn`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when no backend is configured or the address
+    /// cannot be bound.
+    pub fn bind(config: RouterConfig) -> Result<Self, ServeError> {
+        if config.backends.is_empty() {
+            return Err(ServeError::Io(
+                "router needs at least one --backend address".into(),
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::Io(format!("cannot bind `{}`: {e}", config.addr)))?;
+        let local_addr = listener.local_addr()?;
+        let ring = HashRing::new(&config.backends);
+        let backends = config
+            .backends
+            .iter()
+            .map(|addr| Backend {
+                alive: AtomicBool::new(probe_health(addr)),
+                addr: addr.clone(),
+            })
+            .collect();
+        let state = Arc::new(RouterState {
+            backends,
+            ring,
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            started: Instant::now(),
+            next_job: AtomicU64::new(1),
+            next_connection: AtomicU64::new(1),
+            jobs_routed: AtomicU64::new(0),
+            active_jobs: AtomicUsize::new(0),
+            queue_capacity: config.queue.max(1),
+            jobs: Mutex::new(Vec::new()),
+            connections: Mutex::new(Vec::new()),
+            idle: Condvar::new(),
+        });
+        Ok(Router {
+            listener,
+            state,
+            heartbeat_ms: config.heartbeat_ms.max(1),
+        })
+    }
+
+    /// The bound listen address (resolves port `0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Accepts and serves connections until a client sends `shutdown`
+    /// (which is fanned out to the fleet first), then drains.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the accept loop fails irrecoverably.
+    pub fn run(self) -> Result<(), ServeError> {
+        // The heartbeat: probe every backend, flip its aliveness, sleep
+        // in short slices so shutdown is prompt. A dead backend is
+        // evicted from routing on the next walk; a recovered one
+        // rejoins (cold cache — wall-clock, never bytes).
+        let heartbeat = {
+            let state = Arc::clone(&self.state);
+            let interval = Duration::from_millis(self.heartbeat_ms);
+            std::thread::spawn(move || {
+                while !state.shutdown.load(Ordering::SeqCst) {
+                    for backend in &state.backends {
+                        backend
+                            .alive
+                            .store(probe_health(&backend.addr), Ordering::SeqCst);
+                        if state.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                    }
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !state.shutdown.load(Ordering::SeqCst) {
+                        let slice = (interval - slept).min(Duration::from_millis(50));
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                }
+            })
+        };
+        let mut accept_result = Ok(());
+        let mut consecutive_errors = 0u32;
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => {
+                    consecutive_errors = 0;
+                    stream
+                }
+                Err(e) => {
+                    if self.state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    consecutive_errors += 1;
+                    if consecutive_errors >= 100 {
+                        accept_result = Err(ServeError::Io(format!(
+                            "accept failed {consecutive_errors} times in a row: {e}"
+                        )));
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let state = Arc::clone(&self.state);
+            let Some(id) = state.register_connection(&stream) else {
+                drop(stream);
+                continue;
+            };
+            std::thread::spawn(move || {
+                handle_connection(stream, &state);
+                state.deregister_connection(id);
+            });
+        }
+        self.state.drain_connections();
+        heartbeat.join().expect("heartbeat thread panicked");
+        accept_result
+    }
+
+    /// Runs the router on a background thread (tests, in-process use).
+    pub fn spawn(self) -> std::thread::JoinHandle<Result<(), ServeError>> {
+        std::thread::spawn(move || self.run())
+    }
+}
+
+/// Reads one request line under the poll deadline, re-checking the
+/// shutdown flag (same discipline as the daemon's reader).
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    state: &RouterState,
+    line: &mut String,
+) -> bool {
+    line.clear();
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return false,
+            Ok(_) => return true,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Serves one client connection on the router.
+fn handle_connection(stream: TcpStream, state: &RouterState) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let _ = read_half.set_read_timeout(Some(Duration::from_millis(READ_POLL_MS)));
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        if !read_request_line(&mut reader, state, &mut line) {
+            return;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match json::parse(line.trim_end()) {
+            Ok(value) => parse_request(&value),
+            Err(e) => Err((
+                "wire".to_string(),
+                format!("request is not valid JSON: {e}"),
+            )),
+        };
+        let keep_going = match request {
+            Err((class, message)) => writer
+                .write_all(error_event(&class, &message).as_bytes())
+                .is_ok(),
+            Ok(Request::Ping) => writer.write_all(event("pong", []).as_bytes()).is_ok(),
+            Ok(Request::Health) => writer
+                .write_all(health_event(state.live_backends(), &state.started).as_bytes())
+                .is_ok(),
+            Ok(Request::Status) => writer.write_all(aggregate_status(state).as_bytes()).is_ok(),
+            Ok(Request::Cancel { job_id }) => writer
+                .write_all(forward_cancel(state, job_id).as_bytes())
+                .is_ok(),
+            Ok(Request::Shutdown) => {
+                state.shutdown.store(true, Ordering::SeqCst);
+                // Fan the shutdown out to every live backend before
+                // acknowledging: the fleet drains as one unit.
+                for backend in &state.backends {
+                    if !backend.alive.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    if let Ok(mut conn) = BackendConn::connect(&backend.addr, true) {
+                        let _ = conn.send(&event("shutdown", []));
+                        let _ = conn.read_event();
+                    }
+                }
+                let line = event(
+                    "shutting_down",
+                    [("jobs".to_string(), Value::Array(state.job_dispositions()))],
+                );
+                let _ = writer.write_all(line.as_bytes());
+                let _ = TcpStream::connect(wake_addr(state.local_addr));
+                false
+            }
+            Ok(Request::Submit { spec, deadline_ms }) => {
+                route_job(&spec, deadline_ms, &mut writer, state)
+            }
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+/// Builds the router's aggregated `status` answer: per-backend health
+/// (heartbeat verdict refreshed by this very poll) plus each reachable
+/// backend's own load snapshot, flattened into its entry.
+fn aggregate_status(state: &RouterState) -> String {
+    let mut backends = Vec::with_capacity(state.backends.len());
+    for backend in &state.backends {
+        let mut fields = vec![("addr".to_string(), Value::Str(backend.addr.clone()))];
+        let snapshot = poll_backend_status(&backend.addr);
+        let healthy = snapshot.is_some();
+        backend.alive.store(healthy, Ordering::SeqCst);
+        fields.push(("healthy".to_string(), Value::Bool(healthy)));
+        if let Some(status) = snapshot {
+            fields.extend(status);
+        }
+        backends.push(Value::Object(fields));
+    }
+    event(
+        "status",
+        [
+            ("role".to_string(), Value::Str("router".into())),
+            (
+                "active_jobs".to_string(),
+                Value::UInt(state.active_jobs.load(Ordering::SeqCst) as u64),
+            ),
+            (
+                "jobs_routed".to_string(),
+                Value::UInt(state.jobs_routed.load(Ordering::SeqCst)),
+            ),
+            (
+                "uptime_ms".to_string(),
+                Value::UInt(state.started.elapsed().as_millis() as u64),
+            ),
+            ("backends".to_string(), Value::Array(backends)),
+        ],
+    )
+}
+
+/// Polls one backend's `status`, returning its raw field pairs (to be
+/// flattened into the aggregation entry) or `None` when unreachable.
+fn poll_backend_status(addr: &str) -> Option<Vec<(String, Value)>> {
+    let mut conn = BackendConn::connect(addr, true).ok()?;
+    conn.send(&event("status", [])).ok()?;
+    let (value, decoded) = conn.read_event().ok()?;
+    match decoded {
+        Event::Status(_) => Some(
+            value
+                .as_object()?
+                .iter()
+                .filter(|(key, _)| !matches!(key.as_str(), "wire" | "type"))
+                .cloned()
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+/// Forwards a `cancel` to the backend owning the router job, answering
+/// the relabelled acknowledgement (or the pinned `queue` error when no
+/// such job is proxied).
+fn forward_cancel(state: &RouterState, job_id: u64) -> String {
+    let target = {
+        let jobs = state.jobs.lock().expect("job list poisoned");
+        jobs.iter()
+            .find(|job| job.job_id == job_id)
+            .map(|job| (job.backend.clone(), job.backend_job))
+    };
+    let Some((backend, backend_job)) = target else {
+        return error_event("queue", &format!("job {job_id} is not active"));
+    };
+    let attempt = (|| -> Result<(Value, Event), ServeError> {
+        let mut conn = BackendConn::connect(&backend, true)?;
+        conn.send(&event(
+            "cancel",
+            [("job_id".to_string(), Value::UInt(backend_job))],
+        ))?;
+        conn.read_event()
+    })();
+    match attempt {
+        Ok((value, Event::Cancelled { .. })) => relabel_job_id(&value, job_id),
+        Ok((value, Event::Error { .. })) => format!("{value}\n"),
+        _ => error_event(
+            "queue",
+            &format!("backend `{backend}` did not acknowledge the cancel"),
+        ),
+    }
+}
+
+/// The submit path: place the job on the ring, spill past rejections,
+/// proxy the stream, fail over mid-job if the backend dies. Returns
+/// `false` when the client vanished.
+fn route_job(
+    spec: &SuiteSpec,
+    deadline_ms: Option<u64>,
+    writer: &mut TcpStream,
+    state: &RouterState,
+) -> bool {
+    if state
+        .active_jobs
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |active| {
+            (active < state.queue_capacity).then_some(active + 1)
+        })
+        .is_err()
+    {
+        let line = event(
+            "rejected",
+            [("retry_after_ms".to_string(), Value::UInt(RETRY_AFTER_MS))],
+        );
+        return writer.write_all(line.as_bytes()).is_ok();
+    }
+    let alive = proxy_job(spec, deadline_ms, writer, state);
+    state.active_jobs.fetch_sub(1, Ordering::SeqCst);
+    alive
+}
+
+/// The submit request line forwarded to backends: the validated spec
+/// re-embedded (a router-side `file` submit reaches the backend as an
+/// embedded manifest — backends need no shared filesystem).
+fn submit_line(spec: &SuiteSpec, deadline_ms: Option<u64>) -> String {
+    let mut fields = vec![("suite".to_string(), spec.to_json())];
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms".to_string(), Value::UInt(ms)));
+    }
+    event("submit", fields)
+}
+
+/// Opens the stream on the first backend that accepts: walks the
+/// preference order, spills past `rejected`, marks connect/read
+/// failures dead. `Ok` carries the open connection, its backend index
+/// and the backend-side `accepted` (value + decoded fields).
+#[allow(clippy::type_complexity)]
+fn open_stream(
+    spec: &SuiteSpec,
+    deadline_ms: Option<u64>,
+    state: &RouterState,
+    exclude: &[usize],
+) -> Result<(BackendConn, usize, Value, u64, usize, u64), RouteFailure> {
+    let fingerprint = dominant_cache_fingerprint(spec);
+    let mut rejected_hint: Option<u64> = None;
+    for index in state.ring.preference(fingerprint) {
+        if exclude.contains(&index) {
+            continue;
+        }
+        let backend = &state.backends[index];
+        if !backend.alive.load(Ordering::SeqCst) {
+            continue;
+        }
+        let mut conn = match BackendConn::connect(&backend.addr, false) {
+            Ok(conn) => conn,
+            Err(_) => {
+                backend.alive.store(false, Ordering::SeqCst);
+                continue;
+            }
+        };
+        if conn.send(&submit_line(spec, deadline_ms)).is_err() {
+            backend.alive.store(false, Ordering::SeqCst);
+            continue;
+        }
+        match conn.read_event() {
+            Ok((
+                value,
+                Event::Accepted {
+                    job_id,
+                    members,
+                    setups_built,
+                },
+            )) => return Ok((conn, index, value, job_id, members, setups_built)),
+            Ok((_, Event::Rejected { retry_after_ms })) => {
+                // Spill: the next distinct ring node gets the job. Keep
+                // the largest hint in case everybody rejects.
+                rejected_hint =
+                    Some(rejected_hint.map_or(retry_after_ms, |h| h.max(retry_after_ms)));
+                continue;
+            }
+            Ok((value, Event::Error { .. })) => {
+                // Deterministic refusals (bad spec, oversized suite)
+                // fail identically on every backend: forward verbatim,
+                // never spill.
+                return Err(RouteFailure::Terminal(format!("{value}\n")));
+            }
+            _ => {
+                backend.alive.store(false, Ordering::SeqCst);
+                continue;
+            }
+        }
+    }
+    Err(match rejected_hint {
+        Some(hint) => RouteFailure::Terminal(event(
+            "rejected",
+            [("retry_after_ms".to_string(), Value::UInt(hint))],
+        )),
+        None => RouteFailure::Terminal(error_event("queue", "no live backend can take the job")),
+    })
+}
+
+/// Why a routing attempt produced no stream: a terminal line to answer
+/// the client with.
+enum RouteFailure {
+    Terminal(String),
+}
+
+/// Proxies one accepted job: forward the relabelled stream, dedup
+/// member indices across failovers, resubmit on backend death.
+fn proxy_job(
+    spec: &SuiteSpec,
+    deadline_ms: Option<u64>,
+    writer: &mut TcpStream,
+    state: &RouterState,
+) -> bool {
+    let (mut conn, mut backend_index, accepted_value, mut backend_job, members, _) =
+        match open_stream(spec, deadline_ms, state, &[]) {
+            Ok(opened) => opened,
+            Err(RouteFailure::Terminal(line)) => return writer.write_all(line.as_bytes()).is_ok(),
+        };
+    let job_id = state.next_job.fetch_add(1, Ordering::SeqCst);
+    state.jobs_routed.fetch_add(1, Ordering::SeqCst);
+    let members_done = Arc::new(AtomicUsize::new(0));
+    state
+        .jobs
+        .lock()
+        .expect("job list poisoned")
+        .push(RouterJob {
+            job_id,
+            backend: state.backends[backend_index].addr.clone(),
+            backend_job,
+            members_total: members,
+            members_done: Arc::clone(&members_done),
+        });
+    let mut client_alive = writer
+        .write_all(relabel_job_id(&accepted_value, job_id).as_bytes())
+        .is_ok();
+    let mut delivered = vec![false; members];
+    let mut dead_backends: Vec<usize> = Vec::new();
+    loop {
+        match conn.read_event() {
+            Ok((value, decoded)) => match decoded {
+                Event::MemberReport { member_index, .. }
+                | Event::MemberError { member_index, .. }
+                    // After a failover the replacement backend re-runs
+                    // every member; indices the client already has are
+                    // suppressed (determinism makes the re-run
+                    // byte-identical, so dropping duplicates is exact).
+                    if member_index < members && !delivered[member_index] => {
+                        delivered[member_index] = true;
+                        members_done.fetch_add(1, Ordering::SeqCst);
+                        if client_alive {
+                            client_alive = writer
+                                .write_all(relabel_job_id(&value, job_id).as_bytes())
+                                .is_ok();
+                        }
+                    }
+                Event::SuiteReport { .. } => {
+                    if client_alive {
+                        client_alive = writer
+                            .write_all(relabel_job_id(&value, job_id).as_bytes())
+                            .is_ok();
+                    }
+                    break;
+                }
+                Event::Error { .. } => {
+                    if client_alive {
+                        client_alive = writer.write_all(format!("{value}\n").as_bytes()).is_ok();
+                    }
+                    break;
+                }
+                // Unsolicited event kinds on a submit stream: drop them
+                // rather than poison the client's reassembly.
+                _ => {}
+            },
+            Err(_) => {
+                // The backend died mid-job. Evict it, resubmit the
+                // whole manifest to the next live preference, and keep
+                // the client's stream seamless: the duplicate
+                // `accepted` is swallowed, already-delivered members
+                // are suppressed above.
+                state.backends[backend_index]
+                    .alive
+                    .store(false, Ordering::SeqCst);
+                dead_backends.push(backend_index);
+                match open_stream(spec, deadline_ms, state, &dead_backends) {
+                    Ok((next_conn, next_index, _, next_job, _, _)) => {
+                        conn = next_conn;
+                        backend_index = next_index;
+                        backend_job = next_job;
+                        let mut jobs = state.jobs.lock().expect("job list poisoned");
+                        if let Some(job) = jobs.iter_mut().find(|job| job.job_id == job_id) {
+                            job.backend = state.backends[backend_index].addr.clone();
+                            job.backend_job = backend_job;
+                        }
+                    }
+                    Err(RouteFailure::Terminal(_)) => {
+                        if client_alive {
+                            client_alive = writer
+                                .write_all(
+                                    error_event(
+                                        "queue",
+                                        "backend died mid-job and no live backend can \
+                                         take the re-route",
+                                    )
+                                    .as_bytes(),
+                                )
+                                .is_ok();
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    state
+        .jobs
+        .lock()
+        .expect("job list poisoned")
+        .retain(|job| job.job_id != job_id);
+    client_alive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::WIRE_SCHEMA;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 7500 + i)).collect()
+    }
+
+    #[test]
+    fn ring_walks_are_deterministic_and_cover_every_backend() {
+        let backends = addrs(3);
+        let ring = HashRing::new(&backends);
+        for key in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let order = ring.preference(key);
+            assert_eq!(order.len(), 3, "every distinct backend appears");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+            assert_eq!(order, ring.preference(key), "walks are pure");
+        }
+        // The ring is a function of the address list, not of process
+        // state: a rebuilt ring places keys identically.
+        assert_eq!(HashRing::new(&backends).preference(42), ring.preference(42));
+    }
+
+    #[test]
+    fn ring_spreads_keys_across_backends() {
+        let ring = HashRing::new(&addrs(3));
+        let mut first_choice = [0usize; 3];
+        for key in 0..300u64 {
+            first_choice[ring.preference(fnv1a64(&key.to_le_bytes()))[0]] += 1;
+        }
+        for (index, count) in first_choice.iter().enumerate() {
+            assert!(
+                *count > 30,
+                "backend {index} got only {count}/300 keys — ring badly unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn dominant_fingerprint_prefers_frequency_then_smallest_key() {
+        let spec: SuiteSpec = r#"{
+            "runs": [
+                {"scenario": {"name": "illustrative"},
+                 "method": {"name": "smc", "n_traces": 100}, "threads": 1},
+                {"scenario": {"name": "repair"},
+                 "method": {"name": "smc", "n_traces": 100}, "threads": 1},
+                {"scenario": {"name": "repair"},
+                 "method": {"name": "standard-is", "n_traces": 100}, "threads": 1}
+            ],
+            "threads": 1
+        }"#
+        .parse()
+        .unwrap();
+        let repair_key = spec.runs[1].scenario.cache_key();
+        assert_eq!(
+            dominant_cache_fingerprint(&spec),
+            fnv1a64(repair_key.as_bytes()),
+            "`repair` appears twice and must dominate"
+        );
+        // A frequency tie resolves to the lexicographically smallest
+        // key — a pure manifest property, identical on every router.
+        let tied: SuiteSpec = r#"{
+            "runs": [
+                {"scenario": {"name": "repair"},
+                 "method": {"name": "smc", "n_traces": 100}, "threads": 1},
+                {"scenario": {"name": "illustrative"},
+                 "method": {"name": "smc", "n_traces": 100}, "threads": 1}
+            ],
+            "threads": 1
+        }"#
+        .parse()
+        .unwrap();
+        let keys = [
+            tied.runs[0].scenario.cache_key(),
+            tied.runs[1].scenario.cache_key(),
+        ];
+        let smallest = keys.iter().min().unwrap();
+        assert_eq!(
+            dominant_cache_fingerprint(&tied),
+            fnv1a64(smallest.as_bytes())
+        );
+    }
+
+    #[test]
+    fn relabelling_rewrites_only_the_job_id() {
+        let value = json::parse(
+            r#"{"wire": "imcis.wire/2", "type": "accepted", "job_id": 7,
+                "members": 3, "setups_built": 1, "cache_size": 1}"#,
+        )
+        .unwrap();
+        let line = relabel_job_id(&value, 42);
+        let relabelled = json::parse(line.trim_end()).unwrap();
+        assert_eq!(relabelled.get("job_id").and_then(Value::as_u64), Some(42));
+        assert_eq!(relabelled.get("members").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            relabelled.get("wire").and_then(Value::as_str),
+            Some(WIRE_SCHEMA)
+        );
+    }
+
+    #[test]
+    fn binding_without_backends_is_refused() {
+        let err = match Router::bind(RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            backends: Vec::new(),
+            queue: 4,
+            heartbeat_ms: 100,
+        }) {
+            Err(err) => err,
+            Ok(_) => panic!("binding with no backends must fail"),
+        };
+        assert!(err.to_string().contains("at least one --backend"));
+    }
+}

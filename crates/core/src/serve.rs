@@ -39,6 +39,10 @@
 //! * `{"type": "status"}` — load snapshot, answered with a `status`
 //!   event (queue depth/capacity, active jobs, workers, cache size,
 //!   uptime).
+//! * `{"type": "health"}` — lightweight liveness/identity probe,
+//!   answered with a `health` event (`version`, `workers`,
+//!   `uptime_ms`) without touching the job queue or any lock — the
+//!   heartbeat primitive of the [router](crate::router) tier.
 //! * `{"type": "ping"}` — liveness probe, answered with `pong`.
 //! * `{"type": "shutdown"}` — stop accepting connections, drain active
 //!   jobs, exit.
@@ -61,11 +65,18 @@
 //!   stable JSON (member outcomes embedded, failures included),
 //!   byte-identical to what `imcis suite` computes for the same
 //!   manifest.
-//! * `rejected` — the bounded queue is full: carries `retry_after_ms`.
-//!   The job was **not** enqueued; back off and resubmit (the `imcis
-//!   submit` client does capped exponential backoff automatically).
+//! * `rejected` — the bounded queue is full, **or** the connection is
+//!   over its per-client rate limit ([`ServeConfig::rate`]): carries
+//!   `retry_after_ms`. The job was **not** enqueued; back off and
+//!   resubmit (the `imcis submit` client does capped exponential
+//!   backoff automatically).
 //! * `cancelled` — acknowledges a `cancel` request for an active job.
-//! * `status` — answers a `status` request.
+//! * `status` — answers a `status` request. Two shapes share the tag:
+//!   a daemon answers the flat load snapshot; a router
+//!   (`"role": "router"`) answers the aggregated per-backend view —
+//!   [`StatusSnapshot`] decodes both.
+//! * `health` — answers a `health` request (`version`, `workers`,
+//!   `uptime_ms`).
 //! * `error` — a wire/spec/session/queue failure (`error` names the
 //!   class, `message` carries the pinned human-readable text). Spec
 //!   errors keep the connection open; the client may submit again.
@@ -111,6 +122,7 @@
 //!     addr: "127.0.0.1:0".into(),
 //!     workers: 2,
 //!     queue: 16,
+//!     rate: 0,
 //! })?;
 //! let addr = server.local_addr();
 //! let handle = server.spawn();
@@ -165,7 +177,7 @@ pub const RETRY_AFTER_MS: u64 = 100;
 /// Poll interval for connection reads: a handler blocked on a silent
 /// client re-checks the shutdown flag this often, so a stalled client
 /// can never pin the drain.
-const READ_POLL_MS: u64 = 200;
+pub(crate) const READ_POLL_MS: u64 = 200;
 
 /// Everything that can go wrong while serving or talking to a server.
 #[derive(Debug)]
@@ -228,6 +240,12 @@ pub struct ServeConfig {
     /// {retry_after_ms}` — backpressure is explicit, never a blocked
     /// connection.
     pub queue: usize,
+    /// Per-connection submit rate limit in submits/second (token
+    /// bucket, burst capacity = the rate). Over-limit submits are
+    /// answered with the same `rejected {retry_after_ms}` shape a full
+    /// queue produces. `0` disables rate limiting (the default).
+    /// Probes (`ping` / `status` / `health`) are never limited.
+    pub rate: u64,
 }
 
 impl Default for ServeConfig {
@@ -236,6 +254,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7414".into(),
             workers: 0,
             queue: 64,
+            rate: 0,
         }
     }
 }
@@ -312,6 +331,9 @@ struct ServerState {
     /// pool divides the machine instead of oversubscribing it.
     rep_threads: usize,
     workers: usize,
+    /// Per-connection submit rate limit ([`ServeConfig::rate`]); `0`
+    /// disables.
+    rate: u64,
     started: Instant,
     /// Enqueued-but-unfinished member tasks across all jobs. Submits
     /// reserve their member count up front (or get `rejected`); workers
@@ -445,6 +467,7 @@ impl Server {
             local_addr,
             rep_threads: (imc_sim::parallel::available_threads() / workers).max(1),
             workers,
+            rate: config.rate,
             started: Instant::now(),
             queue_depth: Arc::new(AtomicUsize::new(0)),
             queue_capacity,
@@ -595,6 +618,9 @@ pub enum Request {
     },
     /// Load snapshot request.
     Status,
+    /// Lightweight liveness/identity probe: answered without touching
+    /// the job queue or any lock (the router heartbeat primitive).
+    Health,
     /// Liveness probe.
     Ping,
     /// Stop the server after draining active jobs.
@@ -633,6 +659,7 @@ pub fn parse_request(value: &Value) -> Result<Request, (String, String)> {
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         "status" => Ok(Request::Status),
+        "health" => Ok(Request::Health),
         "cancel" => {
             if let Some((key, _)) = pairs
                 .iter()
@@ -687,13 +714,14 @@ pub fn parse_request(value: &Value) -> Result<Request, (String, String)> {
             Ok(Request::Submit { spec, deadline_ms })
         }
         other => Err(wire_err(format!(
-            "unknown request type `{other}` (submit | cancel | status | ping | shutdown)"
+            "unknown request type `{other}` \
+             (submit | cancel | status | health | ping | shutdown)"
         ))),
     }
 }
 
 /// Builds one compact single-line event with the common envelope.
-fn event(kind: &str, fields: impl IntoIterator<Item = (String, Value)>) -> String {
+pub(crate) fn event(kind: &str, fields: impl IntoIterator<Item = (String, Value)>) -> String {
     let mut pairs = vec![
         ("wire".to_string(), Value::Str(WIRE_SCHEMA.into())),
         ("type".to_string(), Value::Str(kind.into())),
@@ -702,7 +730,7 @@ fn event(kind: &str, fields: impl IntoIterator<Item = (String, Value)>) -> Strin
     format!("{}\n", Value::Object(pairs))
 }
 
-fn error_event(class: &str, message: &str) -> String {
+pub(crate) fn error_event(class: &str, message: &str) -> String {
     event(
         "error",
         [
@@ -712,12 +740,53 @@ fn error_event(class: &str, message: &str) -> String {
     )
 }
 
+/// Builds the `health` answer: version + worker count + uptime, shared
+/// by the daemon and the router (whose "workers" are its live
+/// backends).
+pub(crate) fn health_event(workers: u64, started: &Instant) -> String {
+    event(
+        "health",
+        [
+            (
+                "version".to_string(),
+                Value::Str(env!("CARGO_PKG_VERSION").into()),
+            ),
+            ("workers".to_string(), Value::UInt(workers)),
+            (
+                "uptime_ms".to_string(),
+                Value::UInt(started.elapsed().as_millis() as u64),
+            ),
+        ],
+    )
+}
+
+/// Takes one token from a per-connection submit bucket. `None` means
+/// the submit may proceed; `Some(retry_after_ms)` is the backoff hint
+/// to answer with (`rejected`). `rate == 0` disables limiting.
+fn take_rate_token(rate: u64, tokens: &mut f64, refilled: &mut Instant) -> Option<u64> {
+    if rate == 0 {
+        return None;
+    }
+    let now = Instant::now();
+    *tokens =
+        (*tokens + now.duration_since(*refilled).as_secs_f64() * rate as f64).min(rate as f64);
+    *refilled = now;
+    if *tokens >= 1.0 {
+        *tokens -= 1.0;
+        return None;
+    }
+    // Time until the bucket holds one full token again, rounded up so
+    // a client honouring the hint is never rejected twice in a row.
+    let deficit_ms = ((1.0 - *tokens) / rate as f64 * 1e3).ceil() as u64;
+    Some(deficit_ms.max(1))
+}
+
 /// The address the shutdown handler connects to so the blocking accept
 /// loop wakes up and observes the flag: the bound address itself, with
 /// a wildcard IP (`0.0.0.0` / `::`) replaced by the matching loopback —
 /// a wildcard is a *listen* address, not a connectable destination on
 /// every platform.
-fn wake_addr(local: SocketAddr) -> SocketAddr {
+pub(crate) fn wake_addr(local: SocketAddr) -> SocketAddr {
     let mut addr = local;
     if addr.ip().is_unspecified() {
         addr.set_ip(match addr {
@@ -773,6 +842,12 @@ fn handle_connection(stream: TcpStream, state: &ServerState, tasks: &SyncSender<
     let mut writer = stream;
     let mut reader = BufReader::new(read_half);
     let mut line = String::new();
+    // Per-connection token bucket (capacity = refill rate = submits per
+    // second). A fresh connection starts full, so bursts up to the rate
+    // go through; beyond that, submits cost a token each and the
+    // deficit converts directly into the `retry_after_ms` hint.
+    let mut rate_tokens = state.rate as f64;
+    let mut rate_refilled = Instant::now();
     loop {
         if !read_request_line(&mut reader, state, &mut line) {
             return;
@@ -792,6 +867,9 @@ fn handle_connection(stream: TcpStream, state: &ServerState, tasks: &SyncSender<
                 .write_all(error_event(&class, &message).as_bytes())
                 .is_ok(),
             Ok(Request::Ping) => writer.write_all(event("pong", []).as_bytes()).is_ok(),
+            Ok(Request::Health) => writer
+                .write_all(health_event(state.workers as u64, &state.started).as_bytes())
+                .is_ok(),
             Ok(Request::Status) => {
                 let cache_size = state.cache.lock().expect("setup cache poisoned").len();
                 let active_jobs = state.jobs.lock().expect("job list poisoned").len();
@@ -839,7 +917,16 @@ fn handle_connection(stream: TcpStream, state: &ServerState, tasks: &SyncSender<
                 false
             }
             Ok(Request::Submit { spec, deadline_ms }) => {
-                run_job(&spec, deadline_ms, &mut writer, state, tasks)
+                match take_rate_token(state.rate, &mut rate_tokens, &mut rate_refilled) {
+                    Some(retry_after_ms) => {
+                        let line = event(
+                            "rejected",
+                            [("retry_after_ms".to_string(), Value::UInt(retry_after_ms))],
+                        );
+                        writer.write_all(line.as_bytes()).is_ok()
+                    }
+                    None => run_job(&spec, deadline_ms, &mut writer, state, tasks),
+                }
             }
         };
         if !keep_going {
@@ -1067,6 +1154,55 @@ pub struct ServerStatus {
     pub uptime_ms: u64,
 }
 
+/// The answer to a `health` request: identity and liveness, no load
+/// data (and, server-side, no lock acquisition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// The serving process's crate version.
+    pub version: String,
+    /// Worker threads (daemon) or live backends (router).
+    pub workers: u64,
+    /// Milliseconds since the process started serving.
+    pub uptime_ms: u64,
+}
+
+/// One backend's entry in a router `status` aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendStatus {
+    /// The backend's configured address.
+    pub addr: String,
+    /// Whether the router's heartbeat currently considers the backend
+    /// alive (dead backends are evicted from the hash ring).
+    pub healthy: bool,
+    /// The backend's own load snapshot, freshly polled for the
+    /// aggregation; `None` when the backend is unreachable.
+    pub status: Option<ServerStatus>,
+}
+
+/// The aggregated `status` answer of a router (`"role": "router"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterStatus {
+    /// Jobs currently proxied through the router.
+    pub active_jobs: u64,
+    /// Jobs routed since the router started.
+    pub jobs_routed: u64,
+    /// Milliseconds since the router started.
+    pub uptime_ms: u64,
+    /// Per-backend health + load, in configured backend order.
+    pub backends: Vec<BackendStatus>,
+}
+
+/// A decoded `status` answer: daemons and routers share the event tag
+/// but not the shape — this is the single type clients branch on (the
+/// `imcis submit --status` printer is shape-tolerant through it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatusSnapshot {
+    /// A single daemon's flat load snapshot.
+    Daemon(ServerStatus),
+    /// A router's aggregated per-backend view.
+    Router(RouterStatus),
+}
+
 /// A parsed, validated server event — the single decode path shared by
 /// [`validate_event`] (docs/examples) and [`Client`] (live streams), so
 /// every `imcis.wire/2` event is validated in exactly one place.
@@ -1103,7 +1239,8 @@ pub(crate) enum Event {
         #[allow(dead_code)] // decoded for validation; Client::cancel checks it
         job_id: u64,
     },
-    Status(ServerStatus),
+    Status(StatusSnapshot),
+    Health(HealthInfo),
     Pong,
     ShuttingDown,
 }
@@ -1212,14 +1349,77 @@ pub(crate) fn parse_event(value: &Value) -> Result<Event, String> {
         "cancelled" => Ok(Event::Cancelled {
             job_id: need_u64("job_id")?,
         }),
-        "status" => Ok(Event::Status(ServerStatus {
-            queue_depth: need_u64("queue_depth")?,
-            queue_capacity: need_u64("queue_capacity")?,
-            active_jobs: need_u64("active_jobs")?,
-            workers: need_u64("workers")?,
-            cache_size: need_u64("cache_size")?,
-            uptime_ms: need_u64("uptime_ms")?,
-        })),
+        "status" => match value.get("role").and_then(Value::as_str) {
+            None => Ok(Event::Status(StatusSnapshot::Daemon(ServerStatus {
+                queue_depth: need_u64("queue_depth")?,
+                queue_capacity: need_u64("queue_capacity")?,
+                active_jobs: need_u64("active_jobs")?,
+                workers: need_u64("workers")?,
+                cache_size: need_u64("cache_size")?,
+                uptime_ms: need_u64("uptime_ms")?,
+            }))),
+            Some("router") => {
+                let backends = value
+                    .get("backends")
+                    .and_then(Value::as_array)
+                    .ok_or("router `status` event needs a `backends` array")?;
+                let mut parsed = Vec::with_capacity(backends.len());
+                for (i, backend) in backends.iter().enumerate() {
+                    let field = |key: &str| {
+                        backend
+                            .get(key)
+                            .and_then(Value::as_u64)
+                            .ok_or(format!("`status` backends[{i}] needs an unsigned `{key}`"))
+                    };
+                    let addr = backend
+                        .get("addr")
+                        .and_then(Value::as_str)
+                        .ok_or(format!("`status` backends[{i}] needs a string `addr`"))?
+                        .to_string();
+                    let healthy = backend
+                        .get("healthy")
+                        .and_then(Value::as_bool)
+                        .ok_or(format!("`status` backends[{i}] needs a boolean `healthy`"))?;
+                    let status = if backend.get("queue_depth").is_some() {
+                        Some(ServerStatus {
+                            queue_depth: field("queue_depth")?,
+                            queue_capacity: field("queue_capacity")?,
+                            active_jobs: field("active_jobs")?,
+                            workers: field("workers")?,
+                            cache_size: field("cache_size")?,
+                            uptime_ms: field("uptime_ms")?,
+                        })
+                    } else {
+                        None
+                    };
+                    parsed.push(BackendStatus {
+                        addr,
+                        healthy,
+                        status,
+                    });
+                }
+                Ok(Event::Status(StatusSnapshot::Router(RouterStatus {
+                    active_jobs: need_u64("active_jobs")?,
+                    jobs_routed: need_u64("jobs_routed")?,
+                    uptime_ms: need_u64("uptime_ms")?,
+                    backends: parsed,
+                })))
+            }
+            Some(other) => Err(format!(
+                "`status` role must be absent (daemon) or `router`, got `{other}`"
+            )),
+        },
+        "health" => {
+            let version = need_str("version")?;
+            if version.is_empty() {
+                return Err("`health` event needs a non-empty `version`".into());
+            }
+            Ok(Event::Health(HealthInfo {
+                version: version.to_string(),
+                workers: need_u64("workers")?,
+                uptime_ms: need_u64("uptime_ms")?,
+            }))
+        }
         "pong" => Ok(Event::Pong),
         "shutting_down" => {
             let jobs = value
@@ -1338,12 +1538,14 @@ impl Client {
     }
 
     /// Requests a load snapshot: sends `status`, waits for the typed
-    /// answer.
+    /// answer. A daemon answers [`StatusSnapshot::Daemon`]; a router
+    /// answers [`StatusSnapshot::Router`] — callers that only ever talk
+    /// to daemons can use [`Client::daemon_status`] instead.
     ///
     /// # Errors
     ///
     /// [`ServeError`] on socket or protocol failures.
-    pub fn status(&mut self) -> Result<ServerStatus, ServeError> {
+    pub fn status(&mut self) -> Result<StatusSnapshot, ServeError> {
         self.send("status", Vec::new())?;
         match self.read_event()?.2 {
             Event::Status(status) => Ok(status),
@@ -1353,6 +1555,43 @@ impl Client {
             }),
             other => Err(ServeError::Protocol(format!(
                 "expected `status`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// [`Client::status`] against a known daemon: unwraps the flat
+    /// snapshot, treating a router answer as a protocol violation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::status`], plus [`ServeError::Protocol`] when
+    /// the peer turns out to be a router.
+    pub fn daemon_status(&mut self) -> Result<ServerStatus, ServeError> {
+        match self.status()? {
+            StatusSnapshot::Daemon(status) => Ok(status),
+            StatusSnapshot::Router(_) => Err(ServeError::Protocol(
+                "expected a daemon status, got a router aggregation".into(),
+            )),
+        }
+    }
+
+    /// Lightweight liveness/identity probe: sends `health`, waits for
+    /// the typed answer. The daemon answers without touching the job
+    /// queue, so this is safe to poll at heartbeat frequency.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on socket or protocol failures.
+    pub fn health(&mut self) -> Result<HealthInfo, ServeError> {
+        self.send("health", Vec::new())?;
+        match self.read_event()?.2 {
+            Event::Health(info) => Ok(info),
+            Event::Error { class, message } => Err(ServeError::Remote {
+                error: class,
+                message,
+            }),
+            other => Err(ServeError::Protocol(format!(
+                "expected `health`, got {other:?}"
             ))),
         }
     }
@@ -1612,6 +1851,8 @@ mod tests {
         ));
         let ping = json::parse("{\"type\": \"ping\"}").unwrap();
         assert!(matches!(parse_request(&ping), Ok(Request::Ping)));
+        let health = json::parse("{\"type\": \"health\"}").unwrap();
+        assert!(matches!(parse_request(&health), Ok(Request::Health)));
         let down = json::parse("{\"type\": \"shutdown\"}").unwrap();
         assert!(matches!(parse_request(&down), Ok(Request::Shutdown)));
         let status = json::parse("{\"type\": \"status\"}").unwrap();
@@ -1653,6 +1894,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             queue: 4,
+            rate: 0,
         })
         .unwrap();
         let addr = server.local_addr();
@@ -1668,7 +1910,10 @@ mod tests {
 
         let mut client = Client::connect(addr).unwrap();
         client.ping().unwrap();
-        let status = client.status().unwrap();
+        let health = client.health().unwrap();
+        assert_eq!(health.version, env!("CARGO_PKG_VERSION"));
+        assert_eq!(health.workers, 2);
+        let status = client.daemon_status().unwrap();
         assert_eq!(status.queue_capacity, 4);
         assert_eq!(status.workers, 2);
         assert_eq!(status.active_jobs, 0);
@@ -1686,7 +1931,7 @@ mod tests {
         assert_eq!(again.setups_built, 0);
         assert_eq!(again.suite_report.pretty(), direct);
         assert!(again.job_id > outcome.job_id);
-        assert_eq!(client.status().unwrap().cache_size, 1);
+        assert_eq!(client.daemon_status().unwrap().cache_size, 1);
 
         // Cancelling a finished job is a typed `queue` error.
         let err = client.cancel(outcome.job_id).unwrap_err();

@@ -74,6 +74,20 @@ impl ScenarioRef {
             params: ScenarioParams::empty(),
         }
     }
+
+    /// The canonical `(scenario, params)` cache key this reference
+    /// resolves to — the identity under which
+    /// [`SetupCache`](crate::suite::SetupCache) shares builds, and the
+    /// key a cache-affinity router shards on.
+    pub fn cache_key(&self) -> String {
+        self.params.cache_key(&self.name)
+    }
+
+    /// The stable 64-bit fingerprint of [`ScenarioRef::cache_key`]
+    /// (see [`ScenarioParams::cache_fingerprint`]).
+    pub fn cache_fingerprint(&self) -> u64 {
+        self.params.cache_fingerprint(&self.name)
+    }
 }
 
 /// Sampling-phase configuration shared by every method.

@@ -445,7 +445,7 @@ impl DtmcBuilder {
             });
         }
         let mut triplets = self.transitions;
-        triplets.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        triplets.sort_unstable_by_key(|t| (t.0, t.1));
         let mut stream = DtmcStreamBuilder::new(self.n);
         stream.set_initial(self.initial);
         stream.labels = self.labels;
@@ -529,7 +529,7 @@ impl DtmcStreamBuilder {
         if let Push::ClosedRow { state, start, end } = self.core.push(from, to, prob)? {
             check_row_stochastic(state, start, end, &self.core)?;
         }
-        if !prob.is_finite() || prob < 0.0 || prob > 1.0 {
+        if !prob.is_finite() || !(0.0..=1.0).contains(&prob) {
             return Err(ModelError::ProbabilityOutOfRange {
                 from,
                 to,

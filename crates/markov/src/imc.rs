@@ -478,7 +478,7 @@ impl ImcBuilder {
             });
         }
         let mut triplets = self.intervals;
-        triplets.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        triplets.sort_unstable_by_key(|t| (t.0, t.1));
         let mut stream = ImcStreamBuilder::new(self.n);
         stream.set_initial(self.initial);
         stream.labels = self.labels;

@@ -564,7 +564,7 @@ label 7 ghost
         struct FailingReader;
         impl std::io::Read for FailingReader {
             fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
-                Err(std::io::Error::new(std::io::ErrorKind::Other, "disk gone"))
+                Err(std::io::Error::other("disk gone"))
             }
         }
         let err = read_dtmc(std::io::BufReader::new(FailingReader)).unwrap_err();

@@ -99,7 +99,7 @@ pub fn jump_chain(
             rest /= levels;
             digits[i] = d;
             any_failed |= d == failed;
-            if d > 0 && most_degraded.map_or(true, |j| d > digits[j]) {
+            if d > 0 && most_degraded.is_none_or(|j| d > digits[j]) {
                 most_degraded = Some(i);
             }
         }

@@ -157,7 +157,7 @@ mod tests {
         let chain = jump_chain(ALPHA_TRUE);
         let gamma = reach_before_return(
             &chain,
-            &chain.labeled_states("failure"),
+            chain.labeled_states("failure"),
             &SolveOptions::default(),
         )
         .unwrap();
@@ -173,7 +173,7 @@ mod tests {
         let chain = jump_chain(ALPHA_HAT);
         let gamma = reach_before_return(
             &chain,
-            &chain.labeled_states("failure"),
+            chain.labeled_states("failure"),
             &SolveOptions::default(),
         )
         .unwrap();
@@ -223,7 +223,7 @@ mod tests {
         // Sanity: γ > 0 (failure reachable before return).
         let gamma = reach_before_return(
             &chain,
-            &chain.labeled_states("failure"),
+            chain.labeled_states("failure"),
             &SolveOptions::default(),
         )
         .unwrap();

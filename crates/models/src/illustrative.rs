@@ -107,7 +107,7 @@ mod tests {
             let chain = dtmc(a, c);
             let solved = reach_avoid_probs(
                 &chain,
-                &chain.labeled_states("goal"),
+                chain.labeled_states("goal"),
                 &StateSet::new(4),
                 &SolveOptions::default(),
             )

@@ -36,5 +36,6 @@ mod parametric;
 
 pub use parametric::parametric_imc;
 pub use scenario::{
-    GroupRepairIs, ParamSpec, Scenario, ScenarioError, ScenarioParams, ScenarioRegistry, Setup,
+    fnv1a64, GroupRepairIs, ParamSpec, Scenario, ScenarioError, ScenarioParams, ScenarioRegistry,
+    Setup,
 };

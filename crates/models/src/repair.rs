@@ -135,7 +135,7 @@ mod tests {
         let chain = jump_chain(ALPHA_TRUE);
         let gamma = reach_before_return(
             &chain,
-            &chain.labeled_states("failure"),
+            chain.labeled_states("failure"),
             &SolveOptions::default(),
         )
         .unwrap();

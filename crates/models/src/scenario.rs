@@ -163,11 +163,11 @@ pub fn group_repair_setup_with_imc(
     avoid.insert(center.initial());
     let b = match is_kind {
         GroupRepairIs::ZeroVariance => {
-            zero_variance_is(&center, &failure, &avoid, &SolveOptions::default())
+            zero_variance_is(&center, failure, &avoid, &SolveOptions::default())
                 .expect("failure reachable before return")
         }
         GroupRepairIs::Mixture(w) => {
-            let zv = zero_variance_is(&center, &failure, &avoid, &SolveOptions::default())
+            let zv = zero_variance_is(&center, failure, &avoid, &SolveOptions::default())
                 .expect("failure reachable before return");
             mix_chains(&zv, &center, w)
         }
@@ -190,11 +190,9 @@ pub fn group_repair_setup_with_imc(
     let opts = SolveOptions::default();
     Setup {
         name: name.into(),
-        gamma_center: Some(
-            reach_before_return(&center, &failure, &opts).expect("solver converges"),
-        ),
+        gamma_center: Some(reach_before_return(&center, failure, &opts).expect("solver converges")),
         gamma_exact: Some(
-            reach_before_return(&truth, &truth.labeled_states("failure"), &opts)
+            reach_before_return(&truth, truth.labeled_states("failure"), &opts)
                 .expect("solver converges"),
         ),
         imc,
@@ -214,15 +212,13 @@ pub fn repair_setup(alpha_hat: f64, alpha_lo: f64, alpha_hi: f64) -> Setup {
     let mut avoid = StateSet::new(center.num_states());
     avoid.insert(center.initial());
     let opts = SolveOptions::default();
-    let b = zero_variance_is(&center, &failure, &avoid, &opts)
-        .expect("failure reachable before return");
+    let b =
+        zero_variance_is(&center, failure, &avoid, &opts).expect("failure reachable before return");
     Setup {
         name: "repair (large)".into(),
-        gamma_center: Some(
-            reach_before_return(&center, &failure, &opts).expect("solver converges"),
-        ),
+        gamma_center: Some(reach_before_return(&center, failure, &opts).expect("solver converges")),
         gamma_exact: Some(
-            reach_before_return(&truth, &truth.labeled_states("failure"), &opts)
+            reach_before_return(&truth, truth.labeled_states("failure"), &opts)
                 .expect("solver converges"),
         ),
         imc,
@@ -291,9 +287,9 @@ pub fn swat_setup_with_ce(n_logs: usize, log_len: usize, seed: u64, ce_iteration
     .b;
 
     let gamma_center =
-        bounded_reach_probs(&center, &center.labeled_states("high"), swat::STEP_BOUND)
+        bounded_reach_probs(&center, center.labeled_states("high"), swat::STEP_BOUND)
             [center.initial()];
-    let gamma_exact = bounded_reach_probs(&truth, &truth.labeled_states("high"), swat::STEP_BOUND)
+    let gamma_exact = bounded_reach_probs(&truth, truth.labeled_states("high"), swat::STEP_BOUND)
         [truth.initial()];
     Setup {
         name: "SWaT".into(),
@@ -337,6 +333,20 @@ impl fmt::Display for ScenarioError {
 }
 
 impl std::error::Error for ScenarioError {}
+
+/// FNV-1a over `bytes`: the deterministic, dependency-free 64-bit hash
+/// behind [`ScenarioParams::cache_fingerprint`] (and the router's hash
+/// ring, which must place equal cache keys identically across
+/// processes — `std`'s `DefaultHasher` is per-process seeded and
+/// explicitly unstable, so it cannot serve here).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// Typed key/value parameters of a scenario, preserving insertion order
 /// (the order is significant for byte-identical manifest round-trips).
@@ -479,6 +489,17 @@ impl ScenarioParams {
             ("params".to_string(), Value::object(pairs)),
         ])
         .pretty()
+    }
+
+    /// A stable 64-bit fingerprint of [`ScenarioParams::cache_key`]
+    /// (FNV-1a over the canonical key text): the hash a cache-affinity
+    /// router places on its ring, so "same `(scenario, params)`" and
+    /// "same shard" are by construction the same predicate. Equal keys
+    /// hash equal on every platform and in every process — the
+    /// fingerprint is a pure function of the canonical text, with no
+    /// per-process seeding.
+    pub fn cache_fingerprint(&self, name: &str) -> u64 {
+        fnv1a64(self.cache_key(name).as_bytes())
     }
 
     /// Rejects any key outside `allowed` — manifests are reviewable
@@ -1179,6 +1200,35 @@ mod tests {
             ("x".to_string(), Value::Float(0.1)),
         ]);
         assert_eq!(xy.cache_key("repair"), yx.cache_key("repair"));
+    }
+
+    #[test]
+    fn cache_fingerprint_follows_the_canonical_key() {
+        let xy = ScenarioParams::from_pairs([
+            ("x".to_string(), Value::Float(0.1)),
+            ("y".to_string(), Value::Float(0.2)),
+        ]);
+        let yx = ScenarioParams::from_pairs([
+            ("y".to_string(), Value::Float(0.2)),
+            ("x".to_string(), Value::Float(0.1)),
+        ]);
+        // Same canonical key → same shard placement, regardless of
+        // manifest spelling; different key → (almost surely) different.
+        assert_eq!(
+            xy.cache_fingerprint("repair"),
+            yx.cache_fingerprint("repair")
+        );
+        assert_eq!(
+            xy.cache_fingerprint("repair"),
+            fnv1a64(xy.cache_key("repair").as_bytes())
+        );
+        assert_ne!(
+            xy.cache_fingerprint("repair"),
+            xy.cache_fingerprint("group-repair")
+        );
+        // The FNV-1a test vectors pin cross-process stability.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 
     #[test]

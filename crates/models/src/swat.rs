@@ -203,7 +203,7 @@ mod tests {
         // land inside (validated numerically, not by simulation).
         let chain = truth();
         let gamma =
-            bounded_reach_probs(&chain, &chain.labeled_states("high"), STEP_BOUND)[chain.initial()];
+            bounded_reach_probs(&chain, chain.labeled_states("high"), STEP_BOUND)[chain.initial()];
         assert!(
             (5e-3..=2.5e-2).contains(&gamma),
             "γ = {gamma:e} outside the paper's reported range"

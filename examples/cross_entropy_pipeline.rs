@@ -78,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Zero-variance: the theoretical optimum, needs the exact solution.
-    let zv = zero_variance_is(&chain, &target, &avoid, &SolveOptions::default())?;
+    let zv = zero_variance_is(&chain, target, avoid, &SolveOptions::default())?;
     let run = sample_is_run(&zv, &property, &IsConfig::new(n), &mut rng);
     let est = is_estimate(&chain, &zv, &run, 0.05);
     println!(

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The exact probability envelope of the learnt IMC brackets both.
     let (lo, hi) = imc_bounded_reach_bounds(
         &setup.imc,
-        &setup.center.labeled_states("high"),
+        setup.center.labeled_states("high"),
         &imc_markov::StateSet::new(setup.center.num_states()),
         swat::STEP_BOUND,
     );

@@ -50,13 +50,18 @@ fn documented_subcommands_dispatch() {
         };
         assert!(msg.contains(expect), "`imcis {command}`: {msg}");
     }
-    // `serve` rejects unknown flags with its own usage message (binding a
-    // socket is not needed to prove dispatch).
+    // `serve`/`router` reject unknown flags with their own usage
+    // messages (binding a socket is not needed to prove dispatch).
     let err = run(&args(&["serve", "--wat"])).unwrap_err();
     let CliError::Usage(msg) = err else {
         panic!("`imcis serve --wat` should be a usage error");
     };
     assert!(msg.contains("unexpected serve argument"), "{msg}");
+    let err = run(&args(&["router", "--wat"])).unwrap_err();
+    let CliError::Usage(msg) = err else {
+        panic!("`imcis router --wat` should be a usage error");
+    };
+    assert!(msg.contains("unexpected router argument"), "{msg}");
     // Model-file subcommands parse through the legacy options parser.
     for command in ["info", "solve", "mttf", "smc", "envelope", "imcis"] {
         assert!(
@@ -104,7 +109,8 @@ fn documented_flags_match_the_parsers() {
         "--search-batch",
         "--search-threads",
     ];
-    let serve_flags = ["--addr", "--workers", "--queue"];
+    let serve_flags = ["--addr", "--workers", "--queue", "--rate"];
+    let router_flags = ["--backend", "--addr", "--queue", "--heartbeat-ms"];
     let submit_flags = [
         "--addr",
         "--events",
@@ -166,6 +172,13 @@ fn documented_flags_match_the_parsers() {
         };
         assert!(msg.contains("requires a value"), "serve {flag}: {msg}");
     }
+    for flag in router_flags {
+        let err = run(&args(&["router", flag])).unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("router {flag}: expected usage error");
+        };
+        assert!(msg.contains("requires a value"), "router {flag}: {msg}");
+    }
     for flag in ["--addr", "--events", "--retry-ms", "--deadline-ms"] {
         let err = run(&args(&["submit", flag])).unwrap_err();
         let CliError::Usage(msg) = err else {
@@ -189,6 +202,7 @@ fn documented_flags_match_the_parsers() {
         .iter()
         .chain(&model_flags)
         .chain(&serve_flags)
+        .chain(&router_flags)
         .chain(&submit_flags)
         .chain(["--help", "--version"].iter())
         .copied()

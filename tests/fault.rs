@@ -29,6 +29,7 @@ fn spawn_server(
         addr: "127.0.0.1:0".into(),
         workers,
         queue: 16,
+        rate: 0,
     })
     .expect("ephemeral bind");
     let addr = server.local_addr();

@@ -54,13 +54,17 @@ fn every_documented_example_passes_the_real_validators() {
         };
         if value.get("wire").is_some() {
             // Wire messages: requests go through the server's own parser,
-            // events through the client's validator. `status` names both
-            // a request and an event — the event carries the load
-            // fields, so whichever validator accepts it decides.
+            // events through the client's validator. `status` and
+            // `health` each name both a request and an event — the event
+            // carries the payload fields (load data, identity), so
+            // whichever validator accepts it decides.
             let kind = value.get("type").and_then(Value::as_str).unwrap_or("");
-            let is_request_kind =
-                matches!(kind, "submit" | "cancel" | "status" | "ping" | "shutdown");
-            if !is_request_kind || (kind == "status" && validate_event(&value).is_ok()) {
+            let is_request_kind = matches!(
+                kind,
+                "submit" | "cancel" | "status" | "health" | "ping" | "shutdown"
+            );
+            let dual_role = matches!(kind, "status" | "health");
+            if !is_request_kind || (dual_role && validate_event(&value).is_ok()) {
                 validate_event(&value).unwrap_or_else(|e| context("wire event", e));
                 events += 1;
                 // Embedded payloads were already validated transitively;
@@ -74,6 +78,7 @@ fn every_documented_example_passes_the_real_validators() {
                         Request::Submit { .. }
                         | Request::Cancel { .. }
                         | Request::Status
+                        | Request::Health
                         | Request::Ping
                         | Request::Shutdown,
                     ) => {}
@@ -120,8 +125,8 @@ fn every_documented_example_passes_the_real_validators() {
     );
     assert!(reports >= 1, "no imcis.report/2 example found");
     assert!(suitereports >= 1, "no imcis.suitereport/2 example found");
-    assert!(requests >= 5, "wire request examples missing");
-    assert!(events >= 8, "wire event examples missing");
+    assert!(requests >= 6, "wire request examples missing");
+    assert!(events >= 10, "wire event examples missing");
 }
 
 /// The documented round-trip claim: canonical examples reserialize

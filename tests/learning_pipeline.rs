@@ -105,7 +105,7 @@ fn swat_pipeline_end_to_end_honest_about_hidden_truth() {
     .expect("biasing succeeds");
 
     let property = swat::property(&center);
-    let gamma_truth = bounded_reach_probs(&truth, &truth.labeled_states("high"), swat::STEP_BOUND)
+    let gamma_truth = bounded_reach_probs(&truth, truth.labeled_states("high"), swat::STEP_BOUND)
         [truth.initial()];
     let config = ImcisConfig::new(6000, 0.01)
         .with_r_undefeated(300)

@@ -15,7 +15,7 @@ use rand::SeedableRng;
 fn monte_carlo_agrees_with_numeric_on_swat() {
     let chain = swat::truth();
     let property = swat::property(&chain);
-    let exact = bounded_reach_probs(&chain, &chain.labeled_states("high"), swat::STEP_BOUND)
+    let exact = bounded_reach_probs(&chain, chain.labeled_states("high"), swat::STEP_BOUND)
         [chain.initial()];
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let result = monte_carlo(
@@ -38,9 +38,9 @@ fn importance_sampling_agrees_with_numeric_on_group_repair() {
     let mut avoid = StateSet::new(chain.num_states());
     avoid.insert(chain.initial());
     let opts = SolveOptions::default();
-    let exact = reach_before_return(&chain, &failure, &opts).expect("solver converges");
+    let exact = reach_before_return(&chain, failure, &opts).expect("solver converges");
 
-    let b = zero_variance_is(&chain, &failure, &avoid, &opts).expect("ZV exists");
+    let b = zero_variance_is(&chain, failure, &avoid, &opts).expect("ZV exists");
     let property = group_repair::property(&chain);
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let run = sample_is_run(&b, &property, &IsConfig::new(20_000), &mut rng);
@@ -68,7 +68,7 @@ fn interval_envelope_brackets_imcis_targets() {
     let mut avoid = StateSet::new(center.num_states());
     avoid.insert(center.initial());
     let opts = SolveOptions::default();
-    let (min, max) = imc_reach_bounds(&imc, &failure, &avoid, &opts).expect("IVI converges");
+    let (min, max) = imc_reach_bounds(&imc, failure, &avoid, &opts).expect("IVI converges");
     // One-step expectation from the initial row brackets the property
     // value; here we conservatively check at the successor level by
     // computing the full reach-before-return for the endpoint chains.
@@ -79,7 +79,7 @@ fn interval_envelope_brackets_imcis_targets() {
         group_repair::ALPHA_HI,
     ] {
         let chain = group_repair::jump_chain(alpha);
-        let gamma = reach_before_return(&chain, &chain.labeled_states("failure"), &opts)
+        let gamma = reach_before_return(&chain, chain.labeled_states("failure"), &opts)
             .expect("solver converges");
         // Envelope at the initial state's successors: γ is a convex
         // combination of successor values, each within [min, max].
@@ -110,12 +110,12 @@ fn bounded_and_unbounded_reach_consistent() {
     let chain = swat::truth();
     let target = chain.labeled_states("high");
     let avoid = StateSet::new(chain.num_states());
-    let unbounded = reach_avoid_probs(&chain, &target, &avoid, &SolveOptions::default()).unwrap();
+    let unbounded = reach_avoid_probs(&chain, target, &avoid, &SolveOptions::default()).unwrap();
     // The SWaT chain hits "high" only via rare degradation excursions
     // (~1.4e-2 per 30 steps), so convergence needs tens of thousands of
     // steps — and must be monotone on the way.
-    let bounded_2k = bounded_reach_probs(&chain, &target, 2_000);
-    let bounded_60k = bounded_reach_probs(&chain, &target, 60_000);
+    let bounded_2k = bounded_reach_probs(&chain, target, 2_000);
+    let bounded_60k = bounded_reach_probs(&chain, target, 60_000);
     for s in 0..chain.num_states() {
         assert!(
             bounded_2k[s] <= bounded_60k[s] + 1e-12,
@@ -136,7 +136,7 @@ fn property_monitor_agrees_with_numeric_bounded_reach() {
     // and compare against value iteration — validates monitor semantics
     // (step counting, initial-state handling) against the numeric engine.
     let chain = swat::truth();
-    let exact = bounded_reach_probs(&chain, &chain.labeled_states("high"), 30)[chain.initial()];
+    let exact = bounded_reach_probs(&chain, chain.labeled_states("high"), 30)[chain.initial()];
     let property = Property::bounded_reach_label(&chain, "high", 30);
     let mut rng = rand::rngs::StdRng::seed_from_u64(21);
     let result = monte_carlo(

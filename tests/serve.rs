@@ -36,12 +36,18 @@ fn spawn_server_with_queue(
     workers: usize,
     queue: usize,
 ) -> (SocketAddr, std::thread::JoinHandle<Result<(), ServeError>>) {
-    let server = Server::bind(ServeConfig {
+    spawn_server_with_config(ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers,
         queue,
+        rate: 0,
     })
-    .expect("ephemeral bind");
+}
+
+fn spawn_server_with_config(
+    config: ServeConfig,
+) -> (SocketAddr, std::thread::JoinHandle<Result<(), ServeError>>) {
+    let server = Server::bind(config).expect("ephemeral bind");
     let addr = server.local_addr();
     (addr, server.spawn())
 }
@@ -154,7 +160,9 @@ fn malformed_wire_json_is_an_error_event_and_the_connection_survives() {
     assert_eq!(event_type(&event), "error");
     assert_eq!(
         event.get("message").and_then(Value::as_str),
-        Some("unknown request type `teleport` (submit | cancel | status | ping | shutdown)")
+        Some(
+            "unknown request type `teleport` (submit | cancel | status | health | ping | shutdown)"
+        )
     );
 
     // A wrong wire schema tag is refused by name.
@@ -554,6 +562,122 @@ fn an_idle_client_cannot_delay_the_shutdown_drain() {
         started.elapsed()
     );
     drop(idle);
+}
+
+/// Satellite pin: the `health` request/response pair, at the wire
+/// level. The response carries exactly the documented envelope —
+/// `wire`, `type`, `version`, `workers`, `uptime_ms` — and answering it
+/// must not require the job queue (pinned here by probing *while* a
+/// 1-worker daemon is busy with a delayed member).
+#[test]
+fn health_request_answers_identity_without_touching_the_queue() {
+    std::env::set_var(imcis_core::FAULT_ENV, "1");
+    let (addr, handle) = spawn_server(1);
+
+    let mut wire = RawWire::connect(addr);
+    wire.send("{\"wire\": \"imcis.wire/2\", \"type\": \"health\"}");
+    let event = wire.read_event();
+    assert_eq!(event_type(&event), "health");
+    assert_eq!(
+        event.get("wire").and_then(Value::as_str),
+        Some("imcis.wire/2")
+    );
+    let version = event.get("version").and_then(Value::as_str).unwrap();
+    assert!(!version.is_empty());
+    assert_eq!(event.get("workers").and_then(Value::as_u64), Some(1));
+    assert!(event.get("uptime_ms").and_then(Value::as_u64).is_some());
+    let keys: Vec<&str> = event
+        .as_object()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        keys,
+        ["wire", "type", "version", "workers", "uptime_ms"],
+        "the health answer shape is pinned field-for-field"
+    );
+
+    // Hold the only worker busy, then probe from a second connection:
+    // health answers immediately because it never touches the queue.
+    let mut busy = RawWire::connect(addr);
+    busy.send(&format!(
+        "{{\"type\": \"submit\", \"suite\": {}}}",
+        delayed_suite(90, 1_500).to_json()
+    ));
+    assert_eq!(event_type(&busy.read_event()), "accepted");
+    let started = std::time::Instant::now();
+    let mut probe = Client::connect(addr).unwrap();
+    let health = probe.health().unwrap();
+    assert!(
+        started.elapsed() < std::time::Duration::from_millis(500),
+        "health blocked behind a busy worker: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(health.workers, 1);
+    let (statuses, _) = drain_job(&mut busy, 3);
+    assert_eq!(statuses, ["ok", "ok", "ok"]);
+
+    shut_down(addr, handle);
+}
+
+/// Satellite pin: per-connection token-bucket rate limiting. With
+/// `--rate 1`, the first submit on a connection passes, an immediate
+/// second submit is answered with the existing `rejected
+/// {retry_after_ms}` shape, a *different* connection is unaffected
+/// (the bucket is per connection), probes are never limited, and after
+/// honouring the hint the same connection submits successfully again.
+#[test]
+fn rate_limited_submits_answer_rejected_with_a_retry_hint() {
+    let (addr, handle) = spawn_server_with_config(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue: 8,
+        rate: 1,
+    });
+    let spec = tiny_suite(95);
+    let direct = Suite::from_spec(spec.clone())
+        .unwrap()
+        .run()
+        .unwrap()
+        .to_json_stable()
+        .pretty();
+
+    let mut client = Client::connect(addr).unwrap();
+    let outcome = client.submit(&spec, |_, _| {}).unwrap();
+    assert_eq!(outcome.suite_report.pretty(), direct);
+
+    // The bucket is empty now: the next submit on this connection
+    // bounces with the same `rejected` shape a full queue produces.
+    let retry_after_ms = match client.submit(&spec, |_, _| {}).unwrap_err() {
+        ServeError::Rejected { retry_after_ms } => retry_after_ms,
+        other => panic!("expected a rate-limit rejection, got {other}"),
+    };
+    assert!(
+        (1..=1_000).contains(&retry_after_ms),
+        "the hint must be the time until the bucket refills, got {retry_after_ms}"
+    );
+
+    // Per connection, not per server: a fresh connection has its own
+    // full bucket, and probes on the limited connection still answer.
+    let mut other = Client::connect(addr).unwrap();
+    assert_eq!(
+        other
+            .submit(&spec, |_, _| {})
+            .unwrap()
+            .suite_report
+            .pretty(),
+        direct
+    );
+    client.ping().unwrap();
+    client.health().unwrap();
+
+    // Honouring the hint makes the original connection usable again.
+    std::thread::sleep(std::time::Duration::from_millis(retry_after_ms + 100));
+    let outcome = client.submit(&spec, |_, _| {}).unwrap();
+    assert_eq!(outcome.suite_report.pretty(), direct);
+
+    shut_down(addr, handle);
 }
 
 #[test]
