@@ -61,8 +61,8 @@ use imc_sim::{monte_carlo, SmcConfig};
 use imcis_core::router::{Router, RouterConfig};
 use imcis_core::serve::{Client, ServeConfig, ServeError, Server, StatusSnapshot};
 use imcis_core::{
-    CrossEntropySpec, ImcisSpec, Method, OutcomeDetail, RunSpec, SampleSpec, ScenarioRef,
-    SearchSpec, Session, SessionError, SpecError, Suite, SuiteSpec,
+    AdaptiveSpec, CrossEntropySpec, ImcisSpec, Method, OutcomeDetail, RunSpec, SampleSpec,
+    ScenarioRef, SearchSpec, Session, SessionError, SpecError, Suite, SuiteSpec,
 };
 use rand::SeedableRng;
 use serde::json::Value;
@@ -135,10 +135,12 @@ spec runner:
   run --spec F ...    execute several RunSpec manifests as one suite
                       (scenario builds shared), print the SuiteReport
                       JSON; --threads bounds concurrent sessions
-  suite <suite.json>  execute a SuiteSpec manifest (embedded or
-                      file-referenced members) the same way; --threads
-                      overrides the manifest's session budget
-                      (scheduling only — output is bit-identical)
+  suite <suite.json>  execute a SuiteSpec manifest (embedded, file-
+                      referenced or campaign members) the same way;
+                      campaign members run a staged estimator over one
+                      cached scenario build; --threads overrides the
+                      manifest's session budget (scheduling only —
+                      output is bit-identical)
   run --scenario NAME --method NAME
                       build the manifest from flags (same Session path);
                       --dry-run prints the canonical manifest instead
@@ -188,12 +190,14 @@ submit options:
   --ping           liveness probe only (expects a pong)
   --status         print the peer's load snapshot and exit: a daemon
                    answers one line (queue depth, active jobs, workers,
-                   cache size, uptime); a router answers the aggregated
-                   per-backend table
+                   cache size, uptime) plus one line per in-flight
+                   campaign member (its stage progress); a router
+                   answers the aggregated per-backend table
   --shutdown       ask the daemon to drain active jobs and exit
 
 run options:
   --method NAME    smc | standard-is | zero-variance | cross-entropy | imcis
+                   | ce-campaign | dupuis-wang
   --param K=V      scenario parameter (repeatable; V parsed as JSON scalar)
   --reps K         independent repetitions            [default 1]
   --n N            traces per estimation run          [default 10000]
@@ -444,6 +448,14 @@ pub fn spec_from_flags(args: &[String]) -> Result<RunSpec, CliError> {
             sample,
             ..CrossEntropySpec::default()
         }),
+        "ce-campaign" => Method::CeCampaign(AdaptiveSpec {
+            sample,
+            ..AdaptiveSpec::default()
+        }),
+        "dupuis-wang" => Method::DupuisWang(AdaptiveSpec {
+            sample,
+            ..AdaptiveSpec::default()
+        }),
         "imcis" => Method::Imcis(ImcisSpec {
             sample,
             r_undefeated,
@@ -461,7 +473,8 @@ pub fn spec_from_flags(args: &[String]) -> Result<RunSpec, CliError> {
         other => {
             return Err(CliError::Usage(format!(
                 "unknown method `{other}` \
-                 (smc | standard-is | zero-variance | cross-entropy | imcis)"
+                 (smc | standard-is | zero-variance | cross-entropy | imcis | \
+                 ce-campaign | dupuis-wang)"
             )))
         }
     };
@@ -680,11 +693,27 @@ fn router_command(args: &[String]) -> Result<String, CliError> {
 /// `tests/router.rs`).
 fn format_status(addr: &str, snapshot: &StatusSnapshot) -> String {
     match snapshot {
-        StatusSnapshot::Daemon(s) => format!(
-            "daemon at {addr}: queue {}/{}, {} active job(s), {} worker(s), \
-             {} cached setup(s), up {} ms",
-            s.queue_depth, s.queue_capacity, s.active_jobs, s.workers, s.cache_size, s.uptime_ms
-        ),
+        StatusSnapshot::Daemon(s) => {
+            let mut out = format!(
+                "daemon at {addr}: queue {}/{}, {} active job(s), {} worker(s), \
+                 {} cached setup(s), up {} ms",
+                s.queue_depth,
+                s.queue_capacity,
+                s.active_jobs,
+                s.workers,
+                s.cache_size,
+                s.uptime_ms
+            );
+            // In-flight campaign members append their stage progress —
+            // run-only load keeps the familiar one-liner.
+            for c in &s.campaigns {
+                out.push_str(&format!(
+                    "\n  job {} member {}: stage {}, {} stage(s) done",
+                    c.job_id, c.member, c.stage, c.stages_done
+                ));
+            }
+            out
+        }
         StatusSnapshot::Router(r) => {
             let healthy = r.backends.iter().filter(|b| b.healthy).count();
             let mut out = format!(
@@ -1661,7 +1690,7 @@ label 2 tails
 
     #[test]
     fn status_printer_handles_both_wire_shapes() {
-        use imcis_core::serve::{BackendStatus, RouterStatus, ServerStatus};
+        use imcis_core::serve::{BackendStatus, CampaignProgress, RouterStatus, ServerStatus};
         let daemon_shape = ServerStatus {
             queue_depth: 3,
             queue_capacity: 64,
@@ -1669,12 +1698,30 @@ label 2 tails
             workers: 4,
             cache_size: 2,
             uptime_ms: 1234,
+            campaigns: Vec::new(),
         };
         // The single-daemon one-liner is unchanged by the router work.
         assert_eq!(
-            format_status("127.0.0.1:7414", &StatusSnapshot::Daemon(daemon_shape)),
+            format_status(
+                "127.0.0.1:7414",
+                &StatusSnapshot::Daemon(daemon_shape.clone())
+            ),
             "daemon at 127.0.0.1:7414: queue 3/64, 1 active job(s), 4 worker(s), \
              2 cached setup(s), up 1234 ms"
+        );
+        // An in-flight campaign member appends its stage progress.
+        let mut with_campaign = daemon_shape.clone();
+        with_campaign.campaigns.push(CampaignProgress {
+            job_id: 7,
+            member: 1,
+            stage: 2,
+            stages_done: 3,
+        });
+        assert_eq!(
+            format_status("127.0.0.1:7414", &StatusSnapshot::Daemon(with_campaign)),
+            "daemon at 127.0.0.1:7414: queue 3/64, 1 active job(s), 4 worker(s), \
+             2 cached setup(s), up 1234 ms\n  \
+             job 7 member 1: stage 2, 3 stage(s) done"
         );
         // A router answer prints the aggregated per-backend table, one
         // line per backend, unreachable backends included.

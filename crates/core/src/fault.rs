@@ -63,13 +63,18 @@ impl FaultKind {
     }
 }
 
-/// One injection: a member index plus what to do to it.
+/// One injection: a member index plus what to do to it, optionally
+/// pinned to one campaign stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultRule {
     /// Manifest index of the targeted member.
     pub member: usize,
     /// The injected fault.
     pub kind: FaultKind,
+    /// For campaign members: the stage boundary the fault fires at
+    /// (`None` = stage 0). Only valid on campaign members — suite
+    /// validation rejects a `stage` on a plain run member.
+    pub stage: Option<usize>,
 }
 
 /// A deterministic fault-injection plan: seeded, member-indexed
@@ -79,7 +84,7 @@ pub struct FaultPlan {
     /// Base seed for the fault-point derivation
     /// ([`FaultPlan::fault_point`]).
     pub seed: u64,
-    /// The injections, at most one per member (validated).
+    /// The injections, at most one per member and stage (validated).
     pub injections: Vec<FaultRule>,
 }
 
@@ -98,6 +103,14 @@ impl FaultPlan {
     /// The injection targeting `member`, if any.
     pub fn rule_for(&self, member: usize) -> Option<&FaultRule> {
         self.injections.iter().find(|r| r.member == member)
+    }
+
+    /// The injection firing at `stage` of campaign member `member`, if
+    /// any. A rule without an explicit `stage` fires at stage 0.
+    pub fn rule_for_stage(&self, member: usize, stage: usize) -> Option<&FaultRule> {
+        self.injections
+            .iter()
+            .find(|r| r.member == member && r.stage.unwrap_or(0) == stage)
     }
 
     /// The deterministic fault point for `member`:
@@ -122,6 +135,31 @@ impl FaultPlan {
         format!(
             "injected transient i/o error (fault point {:#018x})",
             self.fault_point(member)
+        )
+    }
+
+    /// The deterministic fault point for `stage` of campaign member
+    /// `member`: [`stream_seed`]`(fault_point(member), stage)` — so
+    /// stage-boundary failure messages are pure functions of
+    /// `(plan, member index, stage index)`.
+    pub fn stage_fault_point(&self, member: usize, stage: usize) -> u64 {
+        stream_seed(self.fault_point(member), stage as u64)
+    }
+
+    /// The message an injected stage-boundary panic carries.
+    pub fn stage_panic_message(&self, member: usize, stage: usize) -> String {
+        format!(
+            "injected panic at stage {stage} (fault point {:#018x})",
+            self.stage_fault_point(member, stage)
+        )
+    }
+
+    /// The message an injected stage-boundary transient I/O error
+    /// carries.
+    pub fn stage_io_error_message(&self, member: usize, stage: usize) -> String {
+        format!(
+            "injected transient i/o error at stage {stage} (fault point {:#018x})",
+            self.stage_fault_point(member, stage)
         )
     }
 
@@ -154,11 +192,20 @@ impl FaultPlan {
             injections.push(parse_injection(entry, i)?);
         }
         for (i, rule) in injections.iter().enumerate() {
-            if injections[..i].iter().any(|r| r.member == rule.member) {
-                return Err(schema_err(format!(
-                    "`suite.fault.injections[{i}]` targets member {} twice",
-                    rule.member
-                )));
+            let clash = injections[..i].iter().any(|r| {
+                r.member == rule.member && r.stage.unwrap_or(0) == rule.stage.unwrap_or(0)
+            });
+            if clash {
+                return Err(schema_err(match rule.stage {
+                    Some(stage) => format!(
+                        "`suite.fault.injections[{i}]` targets member {} stage {stage} twice",
+                        rule.member
+                    ),
+                    None => format!(
+                        "`suite.fault.injections[{i}]` targets member {} twice",
+                        rule.member
+                    ),
+                }));
             }
         }
         Ok(FaultPlan { seed, injections })
@@ -182,6 +229,9 @@ impl FaultPlan {
                             if let FaultKind::Delay { delay_ms } = rule.kind {
                                 pairs.push(("delay_ms".to_string(), Value::UInt(delay_ms)));
                             }
+                            if let Some(stage) = rule.stage {
+                                pairs.push(("stage".to_string(), Value::UInt(stage as u64)));
+                            }
                             Value::Object(pairs)
                         })
                         .collect(),
@@ -196,13 +246,21 @@ fn parse_injection(entry: &Value, index: usize) -> Result<FaultRule, SpecError> 
     let fields = Fields::new(entry, "suite.fault.injections[..]")
         .map_err(|_| context("must be a JSON object".into()))?;
     fields
-        .allow(&["member", "kind", "delay_ms"])
+        .allow(&["member", "kind", "delay_ms", "stage"])
         .map_err(|e| context(e.to_string()))?;
     let member = fields
         .require("member")
         .ok()
         .and_then(Value::as_usize)
         .ok_or_else(|| context("`member` must be an unsigned member index".into()))?;
+    let stage = match fields.opt("stage") {
+        None => None,
+        Some(value) => Some(
+            value
+                .as_usize()
+                .ok_or_else(|| context("`stage` must be an unsigned stage index".into()))?,
+        ),
+    };
     let kind = fields
         .require("kind")
         .ok()
@@ -235,7 +293,11 @@ fn parse_injection(entry: &Value, index: usize) -> Result<FaultRule, SpecError> 
             )))
         }
     };
-    Ok(FaultRule { member, kind })
+    Ok(FaultRule {
+        member,
+        kind,
+        stage,
+    })
 }
 
 #[cfg(test)]
@@ -275,6 +337,40 @@ mod tests {
     }
 
     #[test]
+    fn stage_rules_round_trip_and_resolve() {
+        let plan = parse(
+            r#"{"seed": 5, "injections": [
+                {"member": 0, "kind": "panic", "stage": 2},
+                {"member": 0, "kind": "io-error", "stage": 0},
+                {"member": 1, "kind": "delay", "delay_ms": 10}
+            ]}"#,
+        )
+        .unwrap();
+        let text = plan.to_json().pretty();
+        let reparsed = FaultPlan::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(reparsed, plan);
+        assert_eq!(reparsed.to_json().pretty(), text);
+        assert_eq!(plan.rule_for_stage(0, 2).unwrap().kind, FaultKind::Panic);
+        assert_eq!(plan.rule_for_stage(0, 0).unwrap().kind, FaultKind::IoError);
+        assert!(plan.rule_for_stage(0, 1).is_none());
+        // A stage-less rule fires at stage 0 of a campaign member.
+        assert_eq!(
+            plan.rule_for_stage(1, 0).unwrap().kind,
+            FaultKind::Delay { delay_ms: 10 }
+        );
+        assert!(plan.rule_for_stage(1, 1).is_none());
+        // Stage fault points chain the stream-seed derivation.
+        assert_eq!(
+            plan.stage_fault_point(0, 2),
+            stream_seed(stream_seed(5, 0), 2)
+        );
+        assert!(plan.stage_panic_message(0, 2).contains("at stage 2"));
+        assert!(plan
+            .stage_io_error_message(0, 0)
+            .contains("at stage 0 (fault point"));
+    }
+
+    #[test]
     fn strict_parsing_rejects_malformed_blocks() {
         for (text, needle) in [
             (r#"{"injections": []}"#, "at least one injection"),
@@ -302,6 +398,17 @@ mod tests {
             (
                 r#"{"injections": [{"member": 0, "kind": "panic"}, {"member": 0, "kind": "io-error"}]}"#,
                 "targets member 0 twice",
+            ),
+            (
+                r#"{"injections": [{"member": 0, "kind": "panic", "stage": -1}]}"#,
+                "`stage` must be an unsigned stage index",
+            ),
+            (
+                r#"{"injections": [
+                    {"member": 0, "kind": "panic", "stage": 1},
+                    {"member": 0, "kind": "io-error", "stage": 1}
+                ]}"#,
+                "targets member 0 stage 1 twice",
             ),
         ] {
             let err = parse(text).unwrap_err();

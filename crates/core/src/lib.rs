@@ -163,19 +163,21 @@ pub use fault::{FaultKind, FaultPlan, FaultRule, FAULT_ENV};
 pub use report::{validate_report_json, Repetition, Report, Timing, REPORT_SCHEMA};
 pub use router::{dominant_cache_fingerprint, HashRing, Router, RouterConfig};
 pub use serve::{
-    BackendStatus, Client, HealthInfo, RouterStatus, ServeConfig, ServeError, Server, ServerStatus,
-    StatusSnapshot, SubmitOutcome, WIRE_SCHEMA,
+    BackendStatus, CampaignProgress, Client, HealthInfo, RouterStatus, ServeConfig, ServeError,
+    Server, ServerStatus, StatusSnapshot, SubmitOutcome, WIRE_SCHEMA,
 };
 pub use session::{
-    estimator_for, Estimator, MethodOutcome, OutcomeDetail, RunContext, Session, SessionError,
+    estimator_for, stage_estimator_for, Estimator, EstimatorState, MethodOutcome, OutcomeDetail,
+    RunContext, Session, SessionError, SingleStage, StageEstimator,
 };
 pub use spec::{
-    CrossEntropySpec, ImcisSpec, Method, RunSpec, SampleSpec, ScenarioRef, SearchSpec, SpecError,
-    RUNSPEC_SCHEMA,
+    AdaptiveSpec, CrossEntropySpec, ImcisSpec, Method, RunSpec, SampleSpec, ScenarioRef,
+    SearchSpec, SpecError, RUNSPEC_SCHEMA,
 };
 pub use suite::{
-    validate_suite_report_json, MemberOutcome, MemberStatus, SetupCache, Suite, SuiteReport,
-    SuiteSpec, SUITEREPORT_SCHEMA, SUITESPEC_SCHEMA,
+    validate_suite_report_json, CampaignOutcome, CampaignSpec, MemberOutcome, MemberStatus,
+    SetupCache, StageOutcome, Suite, SuiteMember, SuiteReport, SuiteSpec, SUITEREPORT_SCHEMA,
+    SUITEREPORT_SCHEMA_V3, SUITESPEC_SCHEMA,
 };
 // Re-exported so pipeline callers can pick a search engine without a
 // direct `imc_optim` dependency.

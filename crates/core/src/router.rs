@@ -172,8 +172,8 @@ impl HashRing {
 /// identically. Returns the key's stable fingerprint for the ring.
 pub fn dominant_cache_fingerprint(spec: &SuiteSpec) -> u64 {
     let mut counts: Vec<(String, usize)> = Vec::new();
-    for run in &spec.runs {
-        let key = run.scenario.cache_key();
+    for member in &spec.runs {
+        let key = member.run_spec().scenario.cache_key();
         match counts.iter_mut().find(|(k, _)| *k == key) {
             Some((_, n)) => *n += 1,
             None => counts.push((key, 1)),
@@ -850,6 +850,16 @@ fn proxy_job(
                                 .is_ok();
                         }
                     }
+                // Campaign stage progress rides along for members the
+                // client is still waiting on; after a failover, stages a
+                // replacement backend re-runs for already-delivered
+                // members are suppressed with their member events.
+                Event::StageReport { member_index, .. }
+                    if member_index < members && !delivered[member_index] && client_alive => {
+                        client_alive = writer
+                            .write_all(relabel_job_id(&value, job_id).as_bytes())
+                            .is_ok();
+                    }
                 Event::SuiteReport { .. } => {
                     if client_alive {
                         client_alive = writer
@@ -972,7 +982,7 @@ mod tests {
         }"#
         .parse()
         .unwrap();
-        let repair_key = spec.runs[1].scenario.cache_key();
+        let repair_key = spec.runs[1].run_spec().scenario.cache_key();
         assert_eq!(
             dominant_cache_fingerprint(&spec),
             fnv1a64(repair_key.as_bytes()),
@@ -992,8 +1002,8 @@ mod tests {
         .parse()
         .unwrap();
         let keys = [
-            tied.runs[0].scenario.cache_key(),
-            tied.runs[1].scenario.cache_key(),
+            tied.runs[0].run_spec().scenario.cache_key(),
+            tied.runs[1].run_spec().scenario.cache_key(),
         ];
         let smallest = keys.iter().min().unwrap();
         assert_eq!(

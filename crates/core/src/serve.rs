@@ -53,18 +53,28 @@
 //!   carries `job_id`, the `members` count, and the shared-cache
 //!   observables `setups_built` (scenario builds this job caused) and
 //!   `cache_size`.
-//! * `member_report` — one member session finished: `(job_id,
-//!   member_index)` plus the member's **stable** report JSON
-//!   (`imcis.report/2`, no `timing`). Events arrive in *completion*
-//!   order; the index lets the client reassemble manifest order.
-//! * `member_error` — one member failed: `(job_id, member_index)` plus
-//!   the typed `status` (`error` | `panic` | `timeout` | `cancelled`)
-//!   and its deterministic `message`. The job keeps going — a failing
-//!   member never takes its suite (or a worker) down.
-//! * `suite_report` — terminal: the assembled `imcis.suitereport/2`
-//!   stable JSON (member outcomes embedded, failures included),
-//!   byte-identical to what `imcis suite` computes for the same
-//!   manifest.
+//! * `member_report` — one member finished: `(job_id, member_index)`
+//!   plus the member's **stable** payload. A plain run member carries
+//!   its `report` (`imcis.report/2`, no `timing`); a campaign member
+//!   carries the complete member `entry` (`{"status": …, ["message":
+//!   …,] "campaign": {…}}`) exactly as the suite report embeds it.
+//!   Events arrive in *completion* order; the index lets the client
+//!   reassemble manifest order.
+//! * `stage_report` — one campaign **stage** finished (streamed between
+//!   `member_report`s): `(job_id, member_index, stage, stages_done,
+//!   converged)` plus that stage's stable report JSON. Purely
+//!   observational — the terminal member entry repeats every stage.
+//! * `member_error` — one *run* member failed: `(job_id, member_index)`
+//!   plus the typed `status` (`error` | `panic` | `timeout` |
+//!   `cancelled`) and its deterministic `message`. The job keeps going —
+//!   a failing member never takes its suite (or a worker) down. A
+//!   failing campaign member instead reports the typed failure inside
+//!   its `member_report` entry (stage sequence included).
+//! * `suite_report` — terminal: the assembled stable suite report JSON
+//!   (`imcis.suitereport/2` for run-only manifests, `/3` when a
+//!   campaign member is present; member outcomes embedded, failures
+//!   included), byte-identical to what `imcis suite` computes for the
+//!   same manifest.
 //! * `rejected` — the bounded queue is full, **or** the connection is
 //!   over its per-client rate limit ([`ServeConfig::rate`]): carries
 //!   `retry_after_ms`. The job was **not** enqueued; back off and
@@ -72,7 +82,9 @@
 //!   backoff automatically).
 //! * `cancelled` — acknowledges a `cancel` request for an active job.
 //! * `status` — answers a `status` request. Two shapes share the tag:
-//!   a daemon answers the flat load snapshot; a router
+//!   a daemon answers the flat load snapshot (plus a `campaigns` array
+//!   — `{job_id, member, stage, stages_done}` per in-flight campaign
+//!   member — present exactly when non-empty); a router
 //!   (`"role": "router"`) answers the aggregated per-backend view —
 //!   [`StatusSnapshot`] decodes both.
 //! * `health` — answers a `health` request (`version`, `workers`,
@@ -82,7 +94,9 @@
 //!   errors keep the connection open; the client may submit again.
 //! * `pong` / `shutting_down` — answers to `ping` / `shutdown`;
 //!   `shutting_down` lists in-flight job dispositions (`jobs`: id,
-//!   member count, members done so far — those jobs still drain to
+//!   member count, members done so far, and — when the job has campaign
+//!   members mid-flight — a `campaigns` array with their per-member
+//!   `{stage, stages_done}` progress; those jobs still drain to
 //!   completion).
 //!
 //! Timing is the only volatile data and travels **in event envelopes
@@ -165,7 +179,9 @@ use crate::fault::FaultPlan;
 use crate::report::Timing;
 use crate::session::Session;
 use crate::suite::{
-    run_member_supervised, MemberOutcome, MemberStatus, SetupCache, Suite, SuiteReport, SuiteSpec,
+    run_campaign_supervised, run_member_supervised, validate_member_entry, CampaignHooks,
+    CampaignSpec, MemberOutcome, MemberStatus, SetupCache, StageOutcome, Suite, SuiteReport,
+    SuiteSpec,
 };
 
 /// Schema tag carried by every wire message, both directions.
@@ -271,12 +287,17 @@ struct JobControl {
     deadline_ms: Option<u64>,
     members_total: usize,
     members_done: AtomicUsize,
+    /// Per-member campaign stage progress: `(member_index, last finished
+    /// stage)`. Run members never appear; a campaign member appears once
+    /// its first stage completes and is dropped with the job.
+    campaign_stages: Mutex<Vec<(usize, usize)>>,
 }
 
 impl JobControl {
     /// The typed disposition a member gets *instead of running* when its
     /// job was cancelled or its deadline has passed — `None` means run
-    /// it. Checked at member start only: running members always finish.
+    /// it. Checked at member start only for runs, and at every stage
+    /// boundary for campaigns: running members/stages always finish.
     fn skip_disposition(&self) -> Option<(MemberStatus, String)> {
         if self.cancelled.load(Ordering::SeqCst) {
             return Some((
@@ -294,19 +315,65 @@ impl JobControl {
         }
         None
     }
+
+    /// Records a campaign member's latest finished stage (for `status`
+    /// and `shutting_down` progress reporting).
+    fn note_stage(&self, member: usize, stage: usize) {
+        let mut stages = self
+            .campaign_stages
+            .lock()
+            .expect("stage progress poisoned");
+        match stages.iter_mut().find(|(m, _)| *m == member) {
+            Some(entry) => entry.1 = stage,
+            None => stages.push((member, stage)),
+        }
+    }
+
+    /// The campaign progress snapshot, member order: `(member, last
+    /// finished stage)`.
+    fn stage_snapshot(&self) -> Vec<(usize, usize)> {
+        let mut stages = self
+            .campaign_stages
+            .lock()
+            .expect("stage progress poisoned")
+            .clone();
+        stages.sort_unstable();
+        stages
+    }
 }
 
 /// One member session queued for the worker pool.
 struct MemberTask {
     member_index: usize,
     session: Arc<Session>,
+    /// The member's campaign stage plan; `None` for a plain run member.
+    campaign: Option<CampaignSpec>,
     rep_threads: usize,
     fault: Option<Arc<FaultPlan>>,
     control: Arc<JobControl>,
     /// The server-wide queue depth this task holds one reservation in;
     /// released when the task finishes.
     queue_depth: Arc<AtomicUsize>,
-    reply: mpsc::Sender<MemberDone>,
+    reply: mpsc::Sender<WorkerEvent>,
+}
+
+/// A worker-to-submitter message: a finished campaign stage (streamed
+/// mid-member) or the member's terminal outcome.
+enum WorkerEvent {
+    Stage(StageDone),
+    Done(MemberDone),
+}
+
+/// A finished campaign stage, routed back for the `stage_report` stream.
+struct StageDone {
+    member_index: usize,
+    /// The finished stage's index.
+    stage: usize,
+    /// Whether this stage met the campaign's stopping rule.
+    converged: bool,
+    elapsed_ms: f64,
+    /// The stage's stable report JSON.
+    report: Value,
 }
 
 /// A finished member, routed back to the submitting connection.
@@ -415,24 +482,71 @@ impl ServerState {
         }
     }
 
-    /// The in-flight job dispositions reported by `shutting_down`.
+    /// The in-flight job dispositions reported by `shutting_down`. A job
+    /// with campaign members mid-flight additionally carries their
+    /// per-member stage progress (`campaigns` is present exactly when
+    /// non-empty, so run-only jobs keep their pre-campaign shape).
     fn job_dispositions(&self) -> Vec<Value> {
         self.jobs
             .lock()
             .expect("job list poisoned")
             .iter()
             .map(|job| {
-                Value::object([
-                    ("job_id".into(), Value::UInt(job.job_id)),
-                    ("members".into(), Value::UInt(job.members_total as u64)),
+                let mut pairs = vec![
+                    ("job_id".to_string(), Value::UInt(job.job_id)),
+                    ("members".to_string(), Value::UInt(job.members_total as u64)),
                     (
-                        "members_done".into(),
+                        "members_done".to_string(),
                         Value::UInt(job.members_done.load(Ordering::SeqCst) as u64),
                     ),
-                ])
+                ];
+                let campaigns: Vec<Value> = job
+                    .stage_snapshot()
+                    .into_iter()
+                    .map(|(member, stage)| campaign_progress_value(None, member, stage))
+                    .collect();
+                if !campaigns.is_empty() {
+                    pairs.push(("campaigns".to_string(), Value::Array(campaigns)));
+                }
+                Value::Object(pairs)
             })
             .collect()
     }
+
+    /// Every active job's campaign progress, flattened for the `status`
+    /// answer: `{job_id, member, stage, stages_done}` entries in
+    /// `(job, member)` order. Empty when nothing campaign-shaped is in
+    /// flight (and then omitted from the event).
+    fn campaign_progress(&self) -> Vec<Value> {
+        self.jobs
+            .lock()
+            .expect("job list poisoned")
+            .iter()
+            .flat_map(|job| {
+                job.stage_snapshot()
+                    .into_iter()
+                    .map(|(member, stage)| campaign_progress_value(Some(job.job_id), member, stage))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+/// One campaign progress entry: `stage` is the last finished stage,
+/// `stages_done` the count so far. `job_id` is included in the flat
+/// `status` form and omitted inside a `shutting_down` job disposition
+/// (the enclosing object already names the job).
+fn campaign_progress_value(job_id: Option<u64>, member: usize, stage: usize) -> Value {
+    let mut pairs = Vec::with_capacity(4);
+    if let Some(job_id) = job_id {
+        pairs.push(("job_id".to_string(), Value::UInt(job_id)));
+    }
+    pairs.extend([
+        ("member".to_string(), Value::UInt(member as u64)),
+        ("stage".to_string(), Value::UInt(stage as u64)),
+        ("stages_done".to_string(), Value::UInt(stage as u64 + 1)),
+    ]);
+    Value::Object(pairs)
 }
 
 /// The suite-serving daemon. See the [module docs](self) for the wire
@@ -582,22 +696,58 @@ fn worker_loop(tasks: &Mutex<Receiver<MemberTask>>) {
             return; // all senders gone: server shut down
         };
         let clock = Instant::now();
-        let outcome = match task.control.skip_disposition() {
-            Some((status, message)) => MemberOutcome::Failed { status, message },
-            None => run_member_supervised(
-                &task.session,
-                task.rep_threads,
-                task.fault.as_deref(),
-                task.member_index,
-            ),
+        let outcome = match &task.campaign {
+            None => match task.control.skip_disposition() {
+                Some((status, message)) => MemberOutcome::Failed { status, message },
+                None => run_member_supervised(
+                    &task.session,
+                    task.rep_threads,
+                    task.fault.as_deref(),
+                    task.member_index,
+                ),
+            },
+            // A campaign member checks its job's disposition at every
+            // stage boundary (a cancelled/expired job becomes a typed
+            // final-stage entry) and streams each finished stage back as
+            // a `stage_report` event.
+            Some(campaign) => {
+                let control = &task.control;
+                let reply = &task.reply;
+                let member_index = task.member_index;
+                let stage_clock = std::cell::Cell::new(Instant::now());
+                run_campaign_supervised(
+                    &task.session,
+                    campaign,
+                    task.rep_threads,
+                    task.fault.as_deref(),
+                    member_index,
+                    &CampaignHooks {
+                        skip: Some(&|| control.skip_disposition()),
+                        on_stage: Some(&|stage, outcome, converged| {
+                            let elapsed_ms = stage_clock.get().elapsed().as_secs_f64() * 1e3;
+                            stage_clock.set(Instant::now());
+                            control.note_stage(member_index, stage);
+                            if let StageOutcome::Ok(report) = outcome {
+                                let _ = reply.send(WorkerEvent::Stage(StageDone {
+                                    member_index,
+                                    stage,
+                                    converged: converged == Some(stage),
+                                    elapsed_ms,
+                                    report: report.to_json_stable(),
+                                }));
+                            }
+                        }),
+                    },
+                )
+            }
         };
         task.control.members_done.fetch_add(1, Ordering::SeqCst);
         task.queue_depth.fetch_sub(1, Ordering::SeqCst);
-        let _ = task.reply.send(MemberDone {
+        let _ = task.reply.send(WorkerEvent::Done(MemberDone {
             member_index: task.member_index,
             elapsed_ms: clock.elapsed().as_secs_f64() * 1e3,
             outcome,
-        });
+        }));
     }
 }
 
@@ -873,27 +1023,31 @@ fn handle_connection(stream: TcpStream, state: &ServerState, tasks: &SyncSender<
             Ok(Request::Status) => {
                 let cache_size = state.cache.lock().expect("setup cache poisoned").len();
                 let active_jobs = state.jobs.lock().expect("job list poisoned").len();
-                let line = event(
-                    "status",
-                    [
-                        (
-                            "queue_depth".to_string(),
-                            Value::UInt(state.queue_depth.load(Ordering::SeqCst) as u64),
-                        ),
-                        (
-                            "queue_capacity".to_string(),
-                            Value::UInt(state.queue_capacity as u64),
-                        ),
-                        ("active_jobs".to_string(), Value::UInt(active_jobs as u64)),
-                        ("workers".to_string(), Value::UInt(state.workers as u64)),
-                        ("cache_size".to_string(), Value::UInt(cache_size as u64)),
-                        (
-                            "uptime_ms".to_string(),
-                            Value::UInt(state.started.elapsed().as_millis() as u64),
-                        ),
-                    ],
-                );
-                writer.write_all(line.as_bytes()).is_ok()
+                let mut fields = vec![
+                    (
+                        "queue_depth".to_string(),
+                        Value::UInt(state.queue_depth.load(Ordering::SeqCst) as u64),
+                    ),
+                    (
+                        "queue_capacity".to_string(),
+                        Value::UInt(state.queue_capacity as u64),
+                    ),
+                    ("active_jobs".to_string(), Value::UInt(active_jobs as u64)),
+                    ("workers".to_string(), Value::UInt(state.workers as u64)),
+                    ("cache_size".to_string(), Value::UInt(cache_size as u64)),
+                    (
+                        "uptime_ms".to_string(),
+                        Value::UInt(state.started.elapsed().as_millis() as u64),
+                    ),
+                ];
+                // Per-campaign stage progress, present exactly when a
+                // campaign member is mid-flight: run-only traffic keeps
+                // its pre-campaign event shape.
+                let campaigns = state.campaign_progress();
+                if !campaigns.is_empty() {
+                    fields.push(("campaigns".to_string(), Value::Array(campaigns)));
+                }
+                writer.write_all(event("status", fields).as_bytes()).is_ok()
             }
             Ok(Request::Cancel { job_id }) => {
                 let line = if state.cancel_job(job_id) {
@@ -1004,6 +1158,7 @@ fn run_job(
         deadline_ms,
         members_total: members,
         members_done: AtomicUsize::new(0),
+        campaign_stages: Mutex::new(Vec::new()),
     });
     state.register_job(Arc::clone(&control));
     let alive = stream_job(
@@ -1047,11 +1202,12 @@ fn stream_job(
         return false;
     }
     let fault = suite.spec().fault.clone().map(Arc::new);
-    let (reply, done_rx) = mpsc::channel::<MemberDone>();
+    let (reply, done_rx) = mpsc::channel::<WorkerEvent>();
     for (member_index, session) in sessions.iter().enumerate() {
         let task = MemberTask {
             member_index,
             session: Arc::clone(session),
+            campaign: suite.spec().runs[member_index].campaign().cloned(),
             rep_threads: state.rep_threads,
             fault: fault.clone(),
             control: Arc::clone(control),
@@ -1075,7 +1231,34 @@ fn stream_job(
     // If the client disconnects mid-stream we stop writing but keep
     // draining: the workers still hold reply senders for this job.
     let mut client_alive = true;
-    for done in done_rx {
+    for message in done_rx {
+        let done = match message {
+            WorkerEvent::Stage(stage) => {
+                if client_alive {
+                    let line = event(
+                        "stage_report",
+                        [
+                            ("job_id".to_string(), Value::UInt(job_id)),
+                            (
+                                "member_index".to_string(),
+                                Value::UInt(stage.member_index as u64),
+                            ),
+                            ("stage".to_string(), Value::UInt(stage.stage as u64)),
+                            (
+                                "stages_done".to_string(),
+                                Value::UInt(stage.stage as u64 + 1),
+                            ),
+                            ("converged".to_string(), Value::Bool(stage.converged)),
+                            ("elapsed_ms".to_string(), Value::Float(stage.elapsed_ms)),
+                            ("report".to_string(), stage.report),
+                        ],
+                    );
+                    client_alive = writer.write_all(line.as_bytes()).is_ok();
+                }
+                continue;
+            }
+            WorkerEvent::Done(done) => done,
+        };
         per_run_ms[done.member_index] = done.elapsed_ms;
         if client_alive {
             let line = match &done.outcome {
@@ -1089,6 +1272,21 @@ fn stream_job(
                         ),
                         ("elapsed_ms".to_string(), Value::Float(done.elapsed_ms)),
                         ("report".to_string(), report.to_json_stable()),
+                    ],
+                ),
+                // A campaign member's terminal event carries the whole
+                // member entry — stage sequence included, failed or not
+                // — exactly as the suite report embeds it.
+                MemberOutcome::Campaign(_) => event(
+                    "member_report",
+                    [
+                        ("job_id".to_string(), Value::UInt(job_id)),
+                        (
+                            "member_index".to_string(),
+                            Value::UInt(done.member_index as u64),
+                        ),
+                        ("elapsed_ms".to_string(), Value::Float(done.elapsed_ms)),
+                        ("entry".to_string(), done.outcome.to_json_stable()),
                     ],
                 ),
                 MemberOutcome::Failed { status, message } => event(
@@ -1138,7 +1336,7 @@ fn stream_job(
 }
 
 /// A snapshot of daemon load, answered to a `status` request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerStatus {
     /// Enqueued-but-unfinished member tasks across all jobs.
     pub queue_depth: u64,
@@ -1152,6 +1350,24 @@ pub struct ServerStatus {
     pub cache_size: u64,
     /// Milliseconds since the server was bound.
     pub uptime_ms: u64,
+    /// In-flight campaign members' stage progress, `(job, member)`
+    /// order; empty when nothing campaign-shaped is running (the wire
+    /// form omits the array entirely then).
+    pub campaigns: Vec<CampaignProgress>,
+}
+
+/// One in-flight campaign member's stage progress inside a daemon
+/// `status` answer (echoed verbatim through router aggregations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignProgress {
+    /// The job the campaign member belongs to.
+    pub job_id: u64,
+    /// The member's manifest index.
+    pub member: u64,
+    /// The last finished stage (0-based).
+    pub stage: u64,
+    /// Stages finished so far (`stage + 1`).
+    pub stages_done: u64,
 }
 
 /// The answer to a `health` request: identity and liveness, no load
@@ -1216,7 +1432,17 @@ pub(crate) enum Event {
     MemberReport {
         job_id: u64,
         member_index: usize,
-        report: Value,
+        /// The member's stable `reports[]` entry: rebuilt around the
+        /// `report` payload for a run member, carried verbatim for a
+        /// campaign member — either way exactly what the suite report
+        /// embeds at this index.
+        entry: Value,
+    },
+    StageReport {
+        job_id: u64,
+        member_index: usize,
+        #[allow(dead_code)] // decoded for validation; observational only
+        stage: usize,
     },
     MemberError {
         job_id: u64,
@@ -1291,15 +1517,62 @@ pub(crate) fn parse_event(value: &Value) -> Result<Event, String> {
                 .get("elapsed_ms")
                 .and_then(Value::as_f64)
                 .ok_or("`member_report` event needs a numeric `elapsed_ms`")?;
-            let report = value
-                .get("report")
-                .ok_or("`member_report` event needs a `report` payload")?;
-            crate::report::validate_report_json(report)
-                .map_err(|e| format!("embedded report: {e}"))?;
+            let entry = match (value.get("report"), value.get("entry")) {
+                (Some(report), None) => {
+                    crate::report::validate_report_json(report)
+                        .map_err(|e| format!("embedded report: {e}"))?;
+                    // Rebuild the wrapped stable entry, exactly as the
+                    // suite report embeds it.
+                    Value::object([
+                        ("status".into(), Value::Str("ok".into())),
+                        ("report".into(), report.clone()),
+                    ])
+                }
+                (None, Some(entry)) => {
+                    validate_member_entry(entry, true)
+                        .map_err(|e| format!("embedded campaign entry: {e}"))?;
+                    entry.clone()
+                }
+                _ => {
+                    return Err("`member_report` event needs exactly one of `report` \
+                         (run member) or `entry` (campaign member)"
+                        .into())
+                }
+            };
             Ok(Event::MemberReport {
                 job_id,
                 member_index,
-                report: report.clone(),
+                entry,
+            })
+        }
+        "stage_report" => {
+            let job_id = need_u64("job_id")?;
+            let member_index = need_u64("member_index")? as usize;
+            let stage = need_u64("stage")? as usize;
+            let stages_done = need_u64("stages_done")? as usize;
+            if stages_done != stage + 1 {
+                return Err(format!(
+                    "`stage_report` stages_done must be stage + 1, got stage {stage} with \
+                     stages_done {stages_done}"
+                ));
+            }
+            value
+                .get("converged")
+                .and_then(Value::as_bool)
+                .ok_or("`stage_report` event needs a boolean `converged`")?;
+            value
+                .get("elapsed_ms")
+                .and_then(Value::as_f64)
+                .ok_or("`stage_report` event needs a numeric `elapsed_ms`")?;
+            let report = value
+                .get("report")
+                .ok_or("`stage_report` event needs a `report` payload")?;
+            crate::report::validate_report_json(report)
+                .map_err(|e| format!("embedded stage report: {e}"))?;
+            Ok(Event::StageReport {
+                job_id,
+                member_index,
+                stage,
             })
         }
         "member_error" => {
@@ -1357,6 +1630,7 @@ pub(crate) fn parse_event(value: &Value) -> Result<Event, String> {
                 workers: need_u64("workers")?,
                 cache_size: need_u64("cache_size")?,
                 uptime_ms: need_u64("uptime_ms")?,
+                campaigns: parse_campaign_progress(value, "`status`")?,
             }))),
             Some("router") => {
                 let backends = value
@@ -1388,6 +1662,10 @@ pub(crate) fn parse_event(value: &Value) -> Result<Event, String> {
                             workers: field("workers")?,
                             cache_size: field("cache_size")?,
                             uptime_ms: field("uptime_ms")?,
+                            campaigns: parse_campaign_progress(
+                                backend,
+                                &format!("`status` backends[{i}]"),
+                            )?,
                         })
                     } else {
                         None
@@ -1434,11 +1712,64 @@ pub(crate) fn parse_event(value: &Value) -> Result<Event, String> {
                         ));
                     }
                 }
+                // In-flight campaign members report their stage progress
+                // (the entries omit `job_id` — the job object names it).
+                if let Some(campaigns) = job.get("campaigns") {
+                    let entries = campaigns.as_array().ok_or(format!(
+                        "`shutting_down` jobs[{i}] `campaigns` must be an array"
+                    ))?;
+                    for (j, entry) in entries.iter().enumerate() {
+                        for key in ["member", "stage", "stages_done"] {
+                            if entry.get(key).and_then(Value::as_u64).is_none() {
+                                return Err(format!(
+                                    "`shutting_down` jobs[{i}] campaigns[{j}] needs an \
+                                     unsigned `{key}`"
+                                ));
+                            }
+                        }
+                    }
+                }
             }
             Ok(Event::ShuttingDown)
         }
         other => Err(format!("unknown event type `{other}`")),
     }
+}
+
+/// Parses the optional `campaigns` progress array of a daemon `status`
+/// answer (or a router aggregation's backend entry). Absence means "no
+/// campaign member in flight" — the typed form is an empty vector.
+fn parse_campaign_progress(value: &Value, context: &str) -> Result<Vec<CampaignProgress>, String> {
+    let Some(campaigns) = value.get("campaigns") else {
+        return Ok(Vec::new());
+    };
+    let entries = campaigns
+        .as_array()
+        .ok_or(format!("{context} `campaigns` must be an array"))?;
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            let field = |key: &str| {
+                entry.get(key).and_then(Value::as_u64).ok_or(format!(
+                    "{context} campaigns[{i}] needs an unsigned `{key}`"
+                ))
+            };
+            let stage = field("stage")?;
+            let stages_done = field("stages_done")?;
+            if stages_done != stage + 1 {
+                return Err(format!(
+                    "{context} campaigns[{i}] stages_done must be stage + 1"
+                ));
+            }
+            Ok(CampaignProgress {
+                job_id: field("job_id")?,
+                member: field("member")?,
+                stage,
+                stages_done,
+            })
+        })
+        .collect()
 }
 
 /// Validates one server event value against the `imcis.wire/2` shape.
@@ -1464,12 +1795,14 @@ pub struct SubmitOutcome {
     /// Scenario builds this job caused on the server (0 = everything was
     /// already cached from earlier jobs).
     pub setups_built: u64,
-    /// The stable `imcis.suitereport/2` JSON — byte-identical to the
+    /// The stable suite report JSON (`imcis.suitereport/2` for run-only
+    /// manifests, `/3` with campaign members) — byte-identical to the
     /// stable output of `imcis suite` on the same manifest.
     pub suite_report: Value,
     /// Stable member outcome entries (`{"status": "ok", "report": …}` /
-    /// `{"status": …, "message": …}`) in manifest order, reassembled
-    /// from the completion-order `member_report`/`member_error` events.
+    /// `{"status": …, "message": …}` / campaign entries with their
+    /// `campaign` stage sequence) in manifest order, reassembled from
+    /// the completion-order `member_report`/`member_error` events.
     pub members: Vec<Value>,
 }
 
@@ -1730,15 +2063,19 @@ impl Client {
                 Event::MemberReport {
                     job_id: event_job,
                     member_index,
-                    report,
+                    entry,
                 } => {
-                    // Rebuild the wrapped stable entry, exactly as the
-                    // suite report embeds it.
-                    let entry = Value::object([
-                        ("status".into(), Value::Str("ok".into())),
-                        ("report".into(), report),
-                    ]);
                     fill(&mut slots, event_job, member_index, entry)?;
+                }
+                // Stage reports are progress, not outcomes: the terminal
+                // campaign entry repeats every stage, so nothing to
+                // reassemble here.
+                Event::StageReport {
+                    job_id: event_job, ..
+                } => {
+                    if event_job != job_id {
+                        return Err(ServeError::Protocol("event for a different job".into()));
+                    }
                 }
                 Event::MemberError {
                     job_id: event_job,

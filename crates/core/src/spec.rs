@@ -232,6 +232,31 @@ impl Default for CrossEntropySpec {
     }
 }
 
+/// Configuration shared by the adaptive (campaign-capable) methods:
+/// the estimation run's sampling knobs plus the size of the training
+/// batch the between-stage update draws.
+///
+/// Both adaptive methods run as ordinary single-stage members too —
+/// stage 0 estimates under the bootstrap change of measure — but their
+/// point is the campaign form, where the chain is refined between
+/// stages ([`crate::suite::CampaignSpec`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSpec {
+    /// Sampling-phase knobs of each stage's estimation run.
+    pub sample: SampleSpec,
+    /// Traces drawn by each between-stage training batch.
+    pub training_traces: usize,
+}
+
+impl Default for AdaptiveSpec {
+    fn default() -> Self {
+        AdaptiveSpec {
+            sample: SampleSpec::default(),
+            training_traces: 2_000,
+        }
+    }
+}
+
 /// The estimation method of a run, with its full typed configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Method {
@@ -245,6 +270,13 @@ pub enum Method {
     CrossEntropyIs(CrossEntropySpec),
     /// The paper's Algorithm 1: importance sampling of the IMC.
     Imcis(ImcisSpec),
+    /// Standard IS under a chain refined by a cross-entropy outer loop
+    /// between campaign stages (single-stage form: the CE bootstrap
+    /// chain `B₀`).
+    CeCampaign(AdaptiveSpec),
+    /// Standard IS under a Dupuis–Wang state-dependent change of
+    /// measure, its value function re-trained between campaign stages.
+    DupuisWang(AdaptiveSpec),
 }
 
 impl Method {
@@ -256,6 +288,8 @@ impl Method {
             Method::ZeroVarianceIs(_) => "zero-variance",
             Method::CrossEntropyIs(_) => "cross-entropy",
             Method::Imcis(_) => "imcis",
+            Method::CeCampaign(_) => "ce-campaign",
+            Method::DupuisWang(_) => "dupuis-wang",
         }
     }
 
@@ -265,6 +299,7 @@ impl Method {
             Method::Smc(s) | Method::StandardIs(s) | Method::ZeroVarianceIs(s) => s,
             Method::CrossEntropyIs(ce) => &ce.sample,
             Method::Imcis(i) => &i.sample,
+            Method::CeCampaign(a) | Method::DupuisWang(a) => &a.sample,
         }
     }
 }
@@ -489,8 +524,23 @@ fn parse_method(value: &Value) -> Result<Method, SpecError> {
                 search,
             }))
         }
+        "ce-campaign" | "dupuis-wang" => {
+            fields.allow(&["name", "n_traces", "delta", "max_steps", "training_traces"])?;
+            let defaults = AdaptiveSpec::default();
+            let adaptive = AdaptiveSpec {
+                sample: sample(&fields)?,
+                training_traces: fields
+                    .positive_usize_or("training_traces", defaults.training_traces)?,
+            };
+            Ok(if name == "ce-campaign" {
+                Method::CeCampaign(adaptive)
+            } else {
+                Method::DupuisWang(adaptive)
+            })
+        }
         other => Err(schema_err(format!(
-            "unknown method `{other}` (smc | standard-is | zero-variance | cross-entropy | imcis)"
+            "unknown method `{other}` (smc | standard-is | zero-variance | cross-entropy | \
+             imcis | ce-campaign | dupuis-wang)"
         ))),
     }
 }
@@ -557,6 +607,13 @@ fn method_to_json(method: &Method) -> Value {
                 ]),
             };
             pairs.push(("search".into(), search));
+        }
+        Method::CeCampaign(a) | Method::DupuisWang(a) => {
+            pairs.extend(sample_fields(&a.sample));
+            pairs.push((
+                "training_traces".into(),
+                Value::UInt(a.training_traces as u64),
+            ));
         }
     }
     Value::Object(pairs)
@@ -822,6 +879,44 @@ mod tests {
             },
             "`method.delta` must be a finite number"
         );
+    }
+
+    #[test]
+    fn adaptive_methods_round_trip_and_validate() {
+        for name in ["ce-campaign", "dupuis-wang"] {
+            let spec = RunSpec::from_str(&format!(
+                "{{\"scenario\": {{\"name\": \"illustrative\"}}, \
+                 \"method\": {{\"name\": \"{name}\", \"n_traces\": 500, \
+                 \"training_traces\": 250}}}}"
+            ))
+            .unwrap();
+            assert_eq!(spec.method.name(), name);
+            assert_eq!(spec.method.sample().n_traces, 500);
+            let text = spec.to_json_string();
+            let reparsed = RunSpec::from_str(&text).unwrap();
+            assert_eq!(reparsed, spec);
+            assert_eq!(reparsed.to_json_string(), text);
+            // Defaults apply and zero budgets are rejected.
+            let defaulted = RunSpec::from_str(&format!(
+                "{{\"scenario\": {{\"name\": \"x\"}}, \"method\": {{\"name\": \"{name}\"}}}}"
+            ))
+            .unwrap();
+            match &defaulted.method {
+                Method::CeCampaign(a) | Method::DupuisWang(a) => {
+                    assert_eq!(a.training_traces, AdaptiveSpec::default().training_traces);
+                }
+                other => panic!("unexpected method {other:?}"),
+            }
+            let err = RunSpec::from_str(&format!(
+                "{{\"scenario\": {{\"name\": \"x\"}}, \
+                 \"method\": {{\"name\": \"{name}\", \"training_traces\": 0}}}}"
+            ))
+            .unwrap_err();
+            assert_eq!(
+                err.to_string(),
+                "spec does not match the schema: `method.training_traces` must be positive"
+            );
+        }
     }
 
     #[test]

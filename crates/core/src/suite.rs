@@ -1,7 +1,8 @@
 //! The suite layer: many [`RunSpec`]s executed as one deterministic job.
 //!
-//! A [`SuiteSpec`] manifest (`imcis.suitespec/1`) lists member run specs
-//! — embedded inline or referenced by file — plus a global thread budget
+//! A [`SuiteSpec`] manifest (`imcis.suitespec/1`) lists members — run
+//! specs embedded inline or referenced by file, or multi-stage
+//! [`CampaignSpec`]s ([`SuiteMember`]) — plus a global thread budget
 //! and an optional shared seed base. [`Suite::from_spec`] resolves every
 //! member scenario through one [`SetupCache`], so N sessions against the
 //! same `(scenario, params)` pair build the expensive [`Setup`] exactly
@@ -9,8 +10,28 @@
 //! 40320-state `repair` model and the learned `swat` models). [`Suite::run`]
 //! then fans whole sessions over [`std::thread::scope`] workers and folds
 //! the per-member [`MemberOutcome`]s, in manifest order, into a
-//! [`SuiteReport`] (`imcis.suitereport/2`) with a cross-run summary
-//! table.
+//! [`SuiteReport`] (`imcis.suitereport/2`; `/3` when a campaign member
+//! is present) with a cross-run summary table.
+//!
+//! # Campaigns
+//!
+//! A `campaign` member runs one run spec as an ordered sequence of
+//! estimation *stages* over the same cached [`Setup`]: each stage is a
+//! full session under the stage's fixed change of measure, and between
+//! stages the method's [`StageEstimator`](crate::session::StageEstimator)
+//! state advances from the previous stage's raw outcomes (the
+//! cross-entropy and Dupuis–Wang methods refine their biased chain; the
+//! classic one-shot methods behave as single-stage campaigns). Stage
+//! `s` of a campaign seeded `seed` runs with session seed
+//! [`stream_seed`]`(seed, 2·s)` and advances with update seed
+//! [`stream_seed`]`(seed, 2·s + 1)`, so the whole campaign is a pure
+//! function of its manifest at every thread budget. A stopping rule —
+//! `stages` (the maximum) plus an optional `target_rel_width` on the
+//! stage estimate's confidence interval — decides when to stop early;
+//! the converged stage index is recorded in the report. Supervision
+//! (fault injection, deadlines, cancellation) applies at *stage*
+//! boundaries: a failing stage ends the campaign with a typed per-stage
+//! entry, and earlier stages keep their reports.
 //!
 //! # Supervision
 //!
@@ -86,23 +107,195 @@ use imc_models::{ScenarioError, ScenarioRegistry, Setup};
 use imc_sim::stream_seed;
 use serde::json::{self, Value};
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 use crate::fault::{self, FaultKind, FaultPlan};
 use crate::report::{ci_json, opt_float, Report, Timing};
-use crate::session::{Session, SessionError};
+use crate::session::{stage_estimator_for, MethodOutcome, Session, SessionError};
 use crate::spec::{schema_err, Fields, RunSpec, ScenarioRef, SpecError};
 
 /// Schema tag emitted in every serialized suite spec.
 pub const SUITESPEC_SCHEMA: &str = "imcis.suitespec/1";
 
-/// Schema tag emitted in every serialized suite report.
+/// Schema tag emitted in serialized suite reports of run-only suites.
 pub const SUITEREPORT_SCHEMA: &str = "imcis.suitereport/2";
 
-/// The serializable manifest of one suite: member runs plus scheduling
+/// Schema tag emitted in serialized suite reports of suites with at
+/// least one campaign member (run-only suites keep the `/2` bytes).
+pub const SUITEREPORT_SCHEMA_V3: &str = "imcis.suitereport/3";
+
+/// A multi-stage campaign over one run spec: the stage sequence, its
+/// stopping rule, and the base spec every stage derives from. See the
+/// [module docs](self#campaigns) for the stage seed derivation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// The base run spec. Stage `s` runs it with seed
+    /// [`stream_seed`]`(run.seed, 2·s)`.
+    pub run: RunSpec,
+    /// Maximum number of stages (positive; validated).
+    pub stages: usize,
+    /// Early-stop target: the campaign converges at the first stage
+    /// whose report satisfies `(ci.hi − ci.lo) / estimate ≤ target`
+    /// (never on a non-positive estimate). `None` = always run all
+    /// `stages` stages.
+    pub target_rel_width: Option<f64>,
+}
+
+impl CampaignSpec {
+    /// A campaign of at most `stages` stages with no early-stop target.
+    pub fn new(run: RunSpec, stages: usize) -> Self {
+        CampaignSpec {
+            run,
+            stages,
+            target_rel_width: None,
+        }
+    }
+
+    /// Sets the early-stop relative-CI-width target.
+    pub fn with_target_rel_width(mut self, target: f64) -> Self {
+        self.target_rel_width = Some(target);
+        self
+    }
+
+    /// Whether `report` satisfies the early-stop rule.
+    pub fn converged(&self, report: &Report) -> bool {
+        let Some(target) = self.target_rel_width else {
+            return false;
+        };
+        if report.estimate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return false;
+        }
+        (report.ci.hi() - report.ci.lo()) / report.estimate <= target
+    }
+
+    /// Parses the inner object of a `{"campaign": …}` suite member.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Schema`] on unknown keys, a missing or non-positive
+    /// `stages`, a non-finite or non-positive `target_rel_width`, or any
+    /// parse error of the embedded `run` spec (prefixed `campaign.run`).
+    pub fn from_json(value: &Value) -> Result<Self, SpecError> {
+        let fields = Fields::new(value, "campaign")?;
+        fields.allow(&["run", "stages", "target_rel_width"])?;
+        let run = RunSpec::from_json(fields.require("run")?).map_err(|e| match e {
+            SpecError::Schema(msg) => SpecError::Schema(format!("`campaign.run`: {msg}")),
+            SpecError::Json(msg) => SpecError::Json(format!("`campaign.run`: {msg}")),
+            SpecError::File(msg) => SpecError::File(msg),
+        })?;
+        let stages = fields
+            .require("stages")?
+            .as_usize()
+            .ok_or_else(|| schema_err("`campaign.stages` must be an unsigned integer"))?;
+        if stages == 0 {
+            return Err(schema_err("`campaign.stages` must be positive"));
+        }
+        let target_rel_width = match fields.opt("target_rel_width") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                let target = v
+                    .as_f64()
+                    .filter(|t| t.is_finite() && *t > 0.0)
+                    .ok_or_else(|| {
+                        schema_err("`campaign.target_rel_width` must be a positive finite number")
+                    })?;
+                Some(target)
+            }
+        };
+        Ok(CampaignSpec {
+            run,
+            stages,
+            target_rel_width,
+        })
+    }
+
+    /// The canonical JSON form of the inner campaign object (every
+    /// field emitted, fixed key order).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("run".into(), self.run.to_json()),
+            ("stages".into(), Value::UInt(self.stages as u64)),
+            (
+                "target_rel_width".into(),
+                match self.target_rel_width {
+                    Some(target) => Value::Float(target),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// One suite member: a plain run, or a multi-stage campaign.
+///
+/// Every member has a base [`RunSpec`] ([`SuiteMember::run_spec`]) — the
+/// seed-base rewrite, setup caching, and summary identity columns all go
+/// through it, so run members and campaigns share one resolution path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuiteMember {
+    /// A one-shot session (the classic member form).
+    Run(RunSpec),
+    /// A multi-stage campaign over one cached setup.
+    Campaign(CampaignSpec),
+}
+
+impl SuiteMember {
+    /// The member's base run spec.
+    pub fn run_spec(&self) -> &RunSpec {
+        match self {
+            SuiteMember::Run(run) => run,
+            SuiteMember::Campaign(campaign) => &campaign.run,
+        }
+    }
+
+    /// The member's base run spec, mutable (seed-base rewrite).
+    pub fn run_spec_mut(&mut self) -> &mut RunSpec {
+        match self {
+            SuiteMember::Run(run) => run,
+            SuiteMember::Campaign(campaign) => &mut campaign.run,
+        }
+    }
+
+    /// The campaign spec, when this member is a campaign.
+    pub fn campaign(&self) -> Option<&CampaignSpec> {
+        match self {
+            SuiteMember::Run(_) => None,
+            SuiteMember::Campaign(campaign) => Some(campaign),
+        }
+    }
+
+    /// `true` when this member is a campaign.
+    pub fn is_campaign(&self) -> bool {
+        matches!(self, SuiteMember::Campaign(_))
+    }
+
+    /// The canonical JSON member form: a run member serializes as its
+    /// bare run spec (unchanged from earlier schema versions), a
+    /// campaign as `{"campaign": …}`.
+    pub fn to_json(&self) -> Value {
+        match self {
+            SuiteMember::Run(run) => run.to_json(),
+            SuiteMember::Campaign(campaign) => {
+                Value::object([("campaign".into(), campaign.to_json())])
+            }
+        }
+    }
+}
+
+impl From<RunSpec> for SuiteMember {
+    fn from(run: RunSpec) -> Self {
+        SuiteMember::Run(run)
+    }
+}
+
+/// The serializable manifest of one suite: members plus scheduling
 /// policy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuiteSpec {
-    /// Member run specs, manifest order. Never empty (validated).
-    pub runs: Vec<RunSpec>,
+    /// Members (runs or campaigns), manifest order. Never empty
+    /// (validated).
+    pub runs: Vec<SuiteMember>,
     /// Sessions executed concurrently (`0` = all cores; results are
     /// bit-identical at every budget).
     pub threads: usize,
@@ -126,14 +319,31 @@ impl SuiteSpec {
     /// nothing to report and is rejected up front rather than producing
     /// an empty [`SuiteReport`].
     pub fn new(runs: Vec<RunSpec>) -> Result<Self, SpecError> {
+        Self::from_members(runs.into_iter().map(SuiteMember::Run).collect())
+    }
+
+    /// A suite over arbitrary members (runs and campaigns) with the
+    /// default thread policy and no seed rewrite.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SuiteSpec::new`], plus any [`SuiteSpec::validate`]
+    /// violation of a campaign member.
+    pub fn from_members(members: Vec<SuiteMember>) -> Result<Self, SpecError> {
         let spec = SuiteSpec {
-            runs,
+            runs: members,
             threads: 0,
             seed_base: None,
             fault: None,
         };
         spec.validate()?;
         Ok(spec)
+    }
+
+    /// `true` when at least one member is a campaign (the suite report
+    /// then carries the `imcis.suitereport/3` schema tag).
+    pub fn has_campaigns(&self) -> bool {
+        self.runs.iter().any(SuiteMember::is_campaign)
     }
 
     /// Replaces the suite thread budget.
@@ -168,8 +378,8 @@ impl SuiteSpec {
     /// exactly the seeds its serialized echo claims.
     pub fn normalized(mut self) -> Self {
         if let Some(base_seed) = self.seed_base {
-            for (i, run) in self.runs.iter_mut().enumerate() {
-                run.seed = stream_seed(base_seed, i as u64);
+            for (i, member) in self.runs.iter_mut().enumerate() {
+                member.run_spec_mut().seed = stream_seed(base_seed, i as u64);
             }
         }
         self
@@ -180,20 +390,36 @@ impl SuiteSpec {
     /// # Errors
     ///
     /// [`SpecError::Schema`] on an empty member list, a member with
-    /// zero repetitions (both would otherwise surface only as a broken
-    /// report much later), or a fault injection targeting a member
-    /// index the suite does not have.
+    /// zero repetitions or a campaign with zero stages (all would
+    /// otherwise surface only as a broken report much later), or a
+    /// fault injection targeting a member index the suite does not
+    /// have — or a stage of a member that is not a campaign.
     pub fn validate(&self) -> Result<(), SpecError> {
         if self.runs.is_empty() {
             return Err(schema_err(
                 "`suite.runs` must contain at least one run (an empty suite has no report)",
             ));
         }
-        for (i, run) in self.runs.iter().enumerate() {
-            if run.repetitions == 0 {
+        for (i, member) in self.runs.iter().enumerate() {
+            if member.run_spec().repetitions == 0 {
                 return Err(schema_err(format!(
                     "`suite.runs[{i}].repetitions` must be positive"
                 )));
+            }
+            if let Some(campaign) = member.campaign() {
+                if campaign.stages == 0 {
+                    return Err(schema_err(format!(
+                        "`suite.runs[{i}].campaign.stages` must be positive"
+                    )));
+                }
+                if let Some(target) = campaign.target_rel_width {
+                    if !(target.is_finite() && target > 0.0) {
+                        return Err(schema_err(format!(
+                            "`suite.runs[{i}].campaign.target_rel_width` \
+                             must be a positive finite number"
+                        )));
+                    }
+                }
             }
         }
         if let Some(plan) = &self.fault {
@@ -205,6 +431,25 @@ impl SuiteSpec {
                         rule.member,
                         self.runs.len()
                     )));
+                }
+                if let Some(stage) = rule.stage {
+                    match self.runs[rule.member].campaign() {
+                        None => {
+                            return Err(schema_err(format!(
+                                "`suite.fault.injections[{i}]` has a `stage` \
+                                 but member {} is not a campaign",
+                                rule.member
+                            )));
+                        }
+                        Some(campaign) if stage >= campaign.stages => {
+                            return Err(schema_err(format!(
+                                "`suite.fault.injections[{i}]` targets stage {stage} \
+                                 but member {} has {} stages",
+                                rule.member, campaign.stages
+                            )));
+                        }
+                        Some(_) => {}
+                    }
                 }
             }
         }
@@ -288,7 +533,7 @@ impl SuiteSpec {
             ("schema".to_string(), Value::Str(SUITESPEC_SCHEMA.into())),
             (
                 "runs".to_string(),
-                Value::Array(self.runs.iter().map(RunSpec::to_json).collect()),
+                Value::Array(self.runs.iter().map(SuiteMember::to_json).collect()),
             ),
             ("threads".to_string(), Value::UInt(self.threads as u64)),
             (
@@ -327,14 +572,38 @@ impl std::str::FromStr for SuiteSpec {
     }
 }
 
-fn parse_member(entry: &Value, index: usize, base: Option<&Path>) -> Result<RunSpec, SpecError> {
+fn parse_member(
+    entry: &Value,
+    index: usize,
+    base: Option<&Path>,
+) -> Result<SuiteMember, SpecError> {
     let Some(pairs) = entry.as_object() else {
         return Err(schema_err(format!(
             "`suite.runs[{index}]` must be a JSON object"
         )));
     };
+    // A campaign member wraps its spec in a single `campaign` key;
+    // anything alongside it is a typo, named with its member index.
+    if pairs.iter().any(|(k, _)| k == "campaign") {
+        if let Some((key, _)) = pairs.iter().find(|(k, _)| k != "campaign") {
+            return Err(schema_err(format!(
+                "`suite.runs[{index}]` has unknown key `{key}` alongside `campaign` \
+                 (a campaign member carries only the campaign object)"
+            )));
+        }
+        let inner = pairs
+            .iter()
+            .find(|(k, _)| k == "campaign")
+            .map(|(_, v)| v)
+            .expect("checked above");
+        return CampaignSpec::from_json(inner)
+            .map(SuiteMember::Campaign)
+            .map_err(|e| prefix_member_error(e, index));
+    }
     if !pairs.iter().any(|(k, _)| k == "file") {
-        return RunSpec::from_json(entry).map_err(|e| prefix_member_error(e, index));
+        return RunSpec::from_json(entry)
+            .map(SuiteMember::Run)
+            .map_err(|e| prefix_member_error(e, index));
     }
     // A file reference carries only the path; anything else is a typo or
     // a half-embedded spec, named with its member index.
@@ -364,6 +633,7 @@ fn parse_member(entry: &Value, index: usize, base: Option<&Path>) -> Result<RunS
         ))
     })?;
     text.parse::<RunSpec>()
+        .map(SuiteMember::Run)
         .map_err(|e| prefix_member_error(e, index))
 }
 
@@ -497,7 +767,8 @@ impl Suite {
         }
         let builds_before = cache.builds();
         let mut sessions = Vec::with_capacity(spec.runs.len());
-        for run in &spec.runs {
+        for member in &spec.runs {
+            let run = member.run_spec();
             let setup = cache.get_or_build(registry, &run.scenario)?;
             sessions.push(Arc::new(Session::from_setup(setup, run.clone())));
         }
@@ -571,7 +842,19 @@ impl Suite {
         let results: Vec<(MemberOutcome, f64)> =
             imc_sim::parallel::parallel_map(self.sessions.len(), threads, |i| {
                 let clock = Instant::now();
-                let outcome = run_member_supervised(&self.sessions[i], rep_threads, fault, i);
+                let outcome = match &self.spec.runs[i] {
+                    SuiteMember::Run(_) => {
+                        run_member_supervised(&self.sessions[i], rep_threads, fault, i)
+                    }
+                    SuiteMember::Campaign(campaign) => run_campaign_supervised(
+                        &self.sessions[i],
+                        campaign,
+                        rep_threads,
+                        fault,
+                        i,
+                        &CampaignHooks::none(),
+                    ),
+                };
                 (outcome, clock.elapsed().as_secs_f64() * 1e3)
             });
         let mut members = Vec::with_capacity(results.len());
@@ -640,6 +923,167 @@ pub(crate) fn run_member_supervised(
             message: panic_payload_message(payload),
         },
     }
+}
+
+/// Serving-layer hooks observed at campaign stage boundaries. The batch
+/// path runs with [`CampaignHooks::none`]; the daemon wires `skip` to
+/// its cancellation/deadline disposition and `on_stage` to the
+/// `stage_report` wire stream. Hooks never influence results — they only
+/// observe (or stop) the stage sequence.
+pub(crate) struct CampaignHooks<'a> {
+    /// Checked before every stage: a disposition means "stop now" (job
+    /// cancelled or past its deadline) and becomes that stage's typed
+    /// entry; the remaining stages never run.
+    pub skip: Option<&'a dyn Fn() -> Option<(MemberStatus, String)>>,
+    /// Called after every recorded stage with the stage index, its
+    /// outcome, and the converged stage when the stopping rule fired.
+    pub on_stage: Option<StageObserver<'a>>,
+}
+
+/// Stage-boundary observer: `(stage, outcome, converged_stage)`.
+pub(crate) type StageObserver<'a> = &'a dyn Fn(usize, &StageOutcome, Option<usize>);
+
+impl CampaignHooks<'_> {
+    /// No hooks: the pure batch path.
+    pub fn none() -> Self {
+        CampaignHooks {
+            skip: None,
+            on_stage: None,
+        }
+    }
+}
+
+/// Runs one campaign member: at most `campaign.stages` supervised
+/// stages over the member's shared [`Setup`], advancing the method's
+/// estimator state between stages. Stage `s` runs a full session with
+/// seed [`stream_seed`]`(seed, 2·s)`; the advance into stage `s` draws
+/// from [`stream_seed`]`(seed, 2·s − 1)` — disjoint streams, so the
+/// campaign is deterministic and thread-count invariant.
+///
+/// Supervision applies per stage: an injected or organic failure
+/// (panic, error, skip disposition) ends the campaign with a typed
+/// entry for *that* stage, and every earlier stage keeps its report.
+/// Fault rules resolve through [`FaultPlan::rule_for_stage`], so a rule
+/// without a `stage` fires at stage 0.
+pub(crate) fn run_campaign_supervised(
+    session: &Arc<Session>,
+    campaign: &CampaignSpec,
+    rep_threads: usize,
+    fault: Option<&FaultPlan>,
+    member_index: usize,
+    hooks: &CampaignHooks<'_>,
+) -> MemberOutcome {
+    let base = session.spec();
+    let estimator = stage_estimator_for(&base.method);
+    let mut stages: Vec<StageOutcome> = Vec::new();
+    let mut converged: Option<usize> = None;
+    let record = |stage: usize, outcome: StageOutcome, converged: Option<usize>| {
+        if let Some(on_stage) = hooks.on_stage {
+            on_stage(stage, &outcome, converged);
+        }
+        outcome
+    };
+    let mut state = match estimator.initial_state(session.setup()) {
+        Ok(state) => state,
+        Err(e) => {
+            let outcome = StageOutcome::Failed {
+                status: MemberStatus::Error,
+                message: e.to_string(),
+            };
+            stages.push(record(0, outcome, None));
+            return MemberOutcome::Campaign(Box::new(CampaignOutcome {
+                stages,
+                converged_stage: None,
+            }));
+        }
+    };
+    let mut prev_outcomes: Vec<MethodOutcome> = Vec::new();
+    for stage in 0..campaign.stages {
+        if let Some(skip) = hooks.skip {
+            if let Some((status, message)) = skip() {
+                stages.push(record(
+                    stage,
+                    StageOutcome::Failed { status, message },
+                    converged,
+                ));
+                break;
+            }
+        }
+        let rule = fault
+            .and_then(|plan| plan.rule_for_stage(member_index, stage))
+            .map(|r| r.kind);
+        if let Some(FaultKind::IoError) = rule {
+            let outcome = StageOutcome::Failed {
+                status: MemberStatus::Error,
+                message: fault
+                    .expect("rule implies plan")
+                    .stage_io_error_message(member_index, stage),
+            };
+            stages.push(record(stage, outcome, converged));
+            break;
+        }
+        if let Some(FaultKind::Delay { delay_ms }) = rule {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
+        let mut stage_spec = base.clone();
+        stage_spec.seed = stream_seed(base.seed, 2 * stage as u64);
+        let stage_session = Session::from_setup(session.setup_shared(), stage_spec);
+        let result = panic::catch_unwind(AssertUnwindSafe(
+            || -> Result<(Report, Vec<MethodOutcome>), SessionError> {
+                if let Some(FaultKind::Panic) = rule {
+                    panic!(
+                        "{}",
+                        fault
+                            .expect("rule implies plan")
+                            .stage_panic_message(member_index, stage)
+                    );
+                }
+                if stage > 0 {
+                    let mut rng =
+                        StdRng::seed_from_u64(stream_seed(base.seed, 2 * stage as u64 - 1));
+                    state = estimator.advance(
+                        session.setup(),
+                        state.clone(),
+                        &prev_outcomes,
+                        &mut rng,
+                    )?;
+                }
+                stage_session.run_stage(rep_threads, estimator.as_ref(), &state)
+            },
+        ));
+        match result {
+            Ok(Ok((report, outcomes))) => {
+                if campaign.converged(&report) {
+                    converged = Some(stage);
+                }
+                stages.push(record(stage, StageOutcome::Ok(Box::new(report)), converged));
+                prev_outcomes = outcomes;
+                if converged.is_some() {
+                    break;
+                }
+            }
+            Ok(Err(e)) => {
+                let outcome = StageOutcome::Failed {
+                    status: MemberStatus::Error,
+                    message: e.to_string(),
+                };
+                stages.push(record(stage, outcome, converged));
+                break;
+            }
+            Err(payload) => {
+                let outcome = StageOutcome::Failed {
+                    status: MemberStatus::Panic,
+                    message: panic_payload_message(payload),
+                };
+                stages.push(record(stage, outcome, converged));
+                break;
+            }
+        }
+    }
+    MemberOutcome::Campaign(Box::new(CampaignOutcome {
+        stages,
+        converged_stage: converged,
+    }))
 }
 
 /// Extracts the human-readable message from an unwind payload (`panic!`
@@ -713,8 +1157,127 @@ impl fmt::Display for MemberStatus {
     }
 }
 
-/// The supervised outcome of one suite member: a [`Report`], or a typed
-/// failure with a deterministic message.
+/// The supervised outcome of one campaign stage: a full session
+/// [`Report`], or a typed failure with a deterministic message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageOutcome {
+    /// The stage completed; its stable report is embedded in the
+    /// campaign entry.
+    Ok(Box<Report>),
+    /// The stage failed (and ended the campaign).
+    Failed {
+        /// The failure class (never [`MemberStatus::Ok`]).
+        status: MemberStatus,
+        /// The deterministic failure message.
+        message: String,
+    },
+}
+
+impl StageOutcome {
+    /// This stage's status tag.
+    pub fn status(&self) -> MemberStatus {
+        match self {
+            StageOutcome::Ok(_) => MemberStatus::Ok,
+            StageOutcome::Failed { status, .. } => *status,
+        }
+    }
+
+    /// The stage report, when the stage completed.
+    pub fn report(&self) -> Option<&Report> {
+        match self {
+            StageOutcome::Ok(report) => Some(report.as_ref()),
+            StageOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The failure message, when the stage failed.
+    pub fn message(&self) -> Option<&str> {
+        match self {
+            StageOutcome::Ok(_) => None,
+            StageOutcome::Failed { message, .. } => Some(message),
+        }
+    }
+
+    /// The deterministic JSON form of one `campaign.stages[]` entry:
+    /// `{"stage": s, "status": "ok", "report": {…}}` for a completed
+    /// stage, `{"stage": s, "status": <class>, "message": …}` otherwise.
+    pub fn to_json_stable(&self, stage: usize) -> Value {
+        match self {
+            StageOutcome::Ok(report) => Value::object([
+                ("stage".into(), Value::UInt(stage as u64)),
+                ("status".into(), Value::Str("ok".into())),
+                ("report".into(), report.to_json_stable()),
+            ]),
+            StageOutcome::Failed { status, message } => Value::object([
+                ("stage".into(), Value::UInt(stage as u64)),
+                ("status".into(), Value::Str(status.as_str().into())),
+                ("message".into(), Value::Str(message.clone())),
+            ]),
+        }
+    }
+}
+
+/// The supervised outcome of one campaign member: per-stage outcomes in
+/// stage order (never empty) plus the stage the stopping rule fired at,
+/// if it did. Only the last stage can be a failure — a failing stage
+/// ends the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome {
+    /// Per-stage outcomes, stage order.
+    pub stages: Vec<StageOutcome>,
+    /// The stage whose report met `target_rel_width`, when the campaign
+    /// stopped early.
+    pub converged_stage: Option<usize>,
+}
+
+impl CampaignOutcome {
+    /// The final stage's report — the campaign's result — when the
+    /// campaign completed.
+    pub fn final_report(&self) -> Option<&Report> {
+        self.stages.last().and_then(StageOutcome::report)
+    }
+
+    /// The campaign's overall status: its final stage's.
+    pub fn status(&self) -> MemberStatus {
+        self.stages
+            .last()
+            .map(StageOutcome::status)
+            .unwrap_or(MemberStatus::Error)
+    }
+
+    /// The failure message, when the final stage failed.
+    pub fn message(&self) -> Option<&str> {
+        self.stages.last().and_then(StageOutcome::message)
+    }
+
+    /// The deterministic JSON form of the `campaign` object inside a
+    /// member entry.
+    pub fn to_json_stable(&self) -> Value {
+        Value::object([
+            (
+                "converged_stage".into(),
+                match self.converged_stage {
+                    Some(stage) => Value::UInt(stage as u64),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "stages".into(),
+                Value::Array(
+                    self.stages
+                        .iter()
+                        .enumerate()
+                        .map(|(stage, outcome)| outcome.to_json_stable(stage))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The supervised outcome of one suite member: a [`Report`], a typed
+/// failure with a deterministic message, or a campaign's stage
+/// sequence.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MemberOutcome {
     /// The member completed; its stable report is embedded in the suite
@@ -731,6 +1294,9 @@ pub enum MemberOutcome {
         /// timeout/cancellation notice).
         message: String,
     },
+    /// A campaign member's stage sequence. The member-level status (and
+    /// report, for the summary table) is the final stage's.
+    Campaign(Box<CampaignOutcome>),
 }
 
 impl MemberOutcome {
@@ -739,14 +1305,17 @@ impl MemberOutcome {
         match self {
             MemberOutcome::Ok(_) => MemberStatus::Ok,
             MemberOutcome::Failed { status, .. } => *status,
+            MemberOutcome::Campaign(campaign) => campaign.status(),
         }
     }
 
-    /// The member report, when the member completed.
+    /// The member report, when the member completed (a campaign's is
+    /// its final stage's).
     pub fn report(&self) -> Option<&Report> {
         match self {
             MemberOutcome::Ok(report) => Some(report.as_ref()),
             MemberOutcome::Failed { .. } => None,
+            MemberOutcome::Campaign(campaign) => campaign.final_report(),
         }
     }
 
@@ -755,12 +1324,23 @@ impl MemberOutcome {
         match self {
             MemberOutcome::Ok(_) => None,
             MemberOutcome::Failed { message, .. } => Some(message),
+            MemberOutcome::Campaign(campaign) => campaign.message(),
+        }
+    }
+
+    /// The campaign outcome, when this member is a campaign.
+    pub fn campaign(&self) -> Option<&CampaignOutcome> {
+        match self {
+            MemberOutcome::Campaign(campaign) => Some(campaign.as_ref()),
+            _ => None,
         }
     }
 
     /// The deterministic JSON form of one `reports[]` entry:
     /// `{"status": "ok", "report": {…}}` for a completed member,
-    /// `{"status": <class>, "message": …}` for a failed one.
+    /// `{"status": <class>, "message": …}` for a failed one, and
+    /// `{"status": …, ["message": …,] "campaign": {…}}` for a campaign
+    /// (message present exactly when the final stage failed).
     pub fn to_json_stable(&self) -> Value {
         match self {
             MemberOutcome::Ok(report) => Value::object([
@@ -771,6 +1351,17 @@ impl MemberOutcome {
                 ("status".into(), Value::Str(status.as_str().into())),
                 ("message".into(), Value::Str(message.clone())),
             ]),
+            MemberOutcome::Campaign(campaign) => {
+                let mut pairs = vec![(
+                    "status".to_string(),
+                    Value::Str(campaign.status().as_str().into()),
+                )];
+                if let Some(message) = campaign.message() {
+                    pairs.push(("message".to_string(), Value::Str(message.into())));
+                }
+                pairs.push(("campaign".to_string(), campaign.to_json_stable()));
+                Value::Object(pairs)
+            }
         }
     }
 }
@@ -792,13 +1383,14 @@ impl SuiteReport {
     /// The failed members, manifest order: `(member index, status,
     /// message)`.
     pub fn failures(&self) -> impl Iterator<Item = (usize, MemberStatus, &str)> {
-        self.members
-            .iter()
-            .enumerate()
-            .filter_map(|(i, m)| match m {
-                MemberOutcome::Ok(_) => None,
-                MemberOutcome::Failed { status, message } => Some((i, *status, message.as_str())),
-            })
+        self.members.iter().enumerate().filter_map(|(i, m)| {
+            let status = m.status();
+            if status == MemberStatus::Ok {
+                None
+            } else {
+                Some((i, status, m.message().unwrap_or("")))
+            }
+        })
     }
 
     /// The deterministic JSON form: everything except `timing` (member
@@ -810,10 +1402,17 @@ impl SuiteReport {
             .members
             .iter()
             .enumerate()
-            .map(|(i, member)| summary_row(i, &self.spec.runs[i], member))
+            .map(|(i, member)| summary_row(i, self.spec.runs[i].run_spec(), member))
             .collect();
+        // Run-only suites keep their pre-campaign `/2` bytes; the `/3`
+        // tag appears exactly when a campaign member does.
+        let schema = if self.spec.has_campaigns() {
+            SUITEREPORT_SCHEMA_V3
+        } else {
+            SUITEREPORT_SCHEMA
+        };
         Value::object([
-            ("schema".into(), Value::Str(SUITEREPORT_SCHEMA.into())),
+            ("schema".into(), Value::Str(schema.into())),
             ("spec".into(), self.spec.to_json()),
             ("summary".into(), Value::Array(summary)),
             (
@@ -844,12 +1443,15 @@ impl SuiteReport {
     }
 }
 
-/// Validates a JSON value against the `imcis.suitereport/2` shape using
-/// the real spec parsers underneath: the `spec` echo must parse as a
-/// [`SuiteSpec`], every `reports[]` entry must be a typed
-/// [`MemberOutcome`] (a completed member's embedded report passes
-/// [`validate_report_json`](crate::report::validate_report_json)), and
-/// the summary table must be consistent with the member entries and the
+/// Validates a JSON value against the `imcis.suitereport/2` (run-only)
+/// or `imcis.suitereport/3` (campaign-bearing) shape using the real
+/// spec parsers underneath: the `spec` echo must parse as a
+/// [`SuiteSpec`] and agree with the schema tag, every `reports[]` entry
+/// must be a typed [`MemberOutcome`] of the member's kind (embedded
+/// reports pass
+/// [`validate_report_json`](crate::report::validate_report_json);
+/// campaign entries carry a consistent per-stage sequence), and the
+/// summary table must be consistent with the member entries and the
 /// spec echo. Accepts both the stable form and the full form (with the
 /// volatile `timing` object).
 ///
@@ -871,14 +1473,25 @@ pub fn validate_suite_report_json(value: &Value) -> Result<(), String> {
             return Err(format!("unknown suite report key `{key}`"));
         }
     }
-    match value.get("schema").and_then(Value::as_str) {
-        Some(SUITEREPORT_SCHEMA) => {}
+    let tag = match value.get("schema").and_then(Value::as_str) {
+        Some(tag @ (SUITEREPORT_SCHEMA | SUITEREPORT_SCHEMA_V3)) => tag,
         Some(other) => return Err(format!("unexpected schema `{other}`")),
         None => return Err("missing `schema` tag".into()),
-    }
+    };
     let spec_value = value.get("spec").ok_or("missing `spec` echo")?;
     let spec = SuiteSpec::from_json_with_base(spec_value, None)
         .map_err(|e| format!("`spec` echo does not validate: {e}"))?;
+    let expected = if spec.has_campaigns() {
+        SUITEREPORT_SCHEMA_V3
+    } else {
+        SUITEREPORT_SCHEMA
+    };
+    if tag != expected {
+        return Err(format!(
+            "schema `{tag}` does not match the manifest (run-only suites use \
+             `{SUITEREPORT_SCHEMA}`, suites with campaign members `{SUITEREPORT_SCHEMA_V3}`)"
+        ));
+    }
     let reports = value
         .get("reports")
         .and_then(Value::as_array)
@@ -892,7 +1505,10 @@ pub fn validate_suite_report_json(value: &Value) -> Result<(), String> {
     }
     let mut statuses = Vec::with_capacity(reports.len());
     for (i, entry) in reports.iter().enumerate() {
-        statuses.push(validate_member_entry(entry).map_err(|e| format!("`reports[{i}]`: {e}"))?);
+        statuses.push(
+            validate_member_entry(entry, spec.runs[i].is_campaign())
+                .map_err(|e| format!("`reports[{i}]`: {e}"))?,
+        );
     }
     let summary = value
         .get("summary")
@@ -917,7 +1533,7 @@ pub fn validate_suite_report_json(value: &Value) -> Result<(), String> {
         }
         // Scenario, method and seed come from the spec echo, so they are
         // present even for members that never produced a report.
-        let run = &spec.runs[i];
+        let run = spec.runs[i].run_spec();
         let consistent = row.get("scenario").and_then(Value::as_str)
             == Some(run.scenario.name.as_str())
             && row.get("method").and_then(Value::as_str) == Some(run.method.name())
@@ -926,7 +1542,18 @@ pub fn validate_suite_report_json(value: &Value) -> Result<(), String> {
             return Err(context("row disagrees with the `spec` echo".into()));
         }
         if statuses[i] == MemberStatus::Ok {
-            let report = entry.get("report").expect("validated above");
+            // A campaign member's summary row reads off its final stage.
+            let report = if spec.runs[i].is_campaign() {
+                entry
+                    .get("campaign")
+                    .and_then(|c| c.get("stages"))
+                    .and_then(Value::as_array)
+                    .and_then(|stages| stages.last())
+                    .and_then(|s| s.get("report"))
+                    .expect("validated above")
+            } else {
+                entry.get("report").expect("validated above")
+            };
             let consistent = row.get("model").and_then(Value::as_str)
                 == report.get("model").and_then(Value::as_str)
                 && row.get("estimate").and_then(Value::as_f64)
@@ -950,8 +1577,13 @@ pub fn validate_suite_report_json(value: &Value) -> Result<(), String> {
 }
 
 /// Validates one `reports[]` entry of a suite report (a serialized
-/// [`MemberOutcome`]) and returns its status.
-fn validate_member_entry(entry: &Value) -> Result<MemberStatus, String> {
+/// [`MemberOutcome`]) and returns its status. `campaign` says which
+/// member kind the spec echo declares at this index — campaign members
+/// must carry a `campaign` stage sequence, run members must not.
+pub(crate) fn validate_member_entry(entry: &Value, campaign: bool) -> Result<MemberStatus, String> {
+    if campaign {
+        return validate_campaign_entry(entry);
+    }
     let pairs = entry.as_object().ok_or("must be a JSON object")?;
     let tag = entry
         .get("status")
@@ -982,6 +1614,125 @@ fn validate_member_entry(entry: &Value) -> Result<MemberStatus, String> {
             .ok_or("failed members require a string `message`")?;
         if message.is_empty() {
             return Err("`message` must not be empty".into());
+        }
+    }
+    Ok(status)
+}
+
+/// Validates one campaign member entry (`{"status": …, ["message": …,]
+/// "campaign": {"converged_stage": …, "stages": […]}}`) and returns its
+/// status: per-stage entries are index-pinned, only the last stage may
+/// fail, the member status/message echo the final stage's, and a
+/// `converged_stage` must name a completed final stage.
+fn validate_campaign_entry(entry: &Value) -> Result<MemberStatus, String> {
+    let pairs = entry.as_object().ok_or("must be a JSON object")?;
+    for (key, _) in pairs {
+        if !matches!(key.as_str(), "status" | "message" | "campaign") {
+            return Err(format!("unknown key `{key}`"));
+        }
+    }
+    let tag = entry
+        .get("status")
+        .and_then(Value::as_str)
+        .ok_or("`status` must be a string")?;
+    let status = MemberStatus::from_tag(tag).ok_or_else(|| {
+        format!("unknown status `{tag}` (ok | error | panic | timeout | cancelled)")
+    })?;
+    let message = if status == MemberStatus::Ok {
+        if entry.get("message").is_some() {
+            return Err("completed campaigns carry no `message`".into());
+        }
+        None
+    } else {
+        Some(
+            entry
+                .get("message")
+                .and_then(Value::as_str)
+                .ok_or("failed members require a string `message`")?,
+        )
+    };
+    let campaign = entry
+        .get("campaign")
+        .ok_or("campaign members require an embedded `campaign` object")?;
+    let campaign_pairs = campaign
+        .as_object()
+        .ok_or("`campaign` must be a JSON object")?;
+    for (key, _) in campaign_pairs {
+        if !matches!(key.as_str(), "converged_stage" | "stages") {
+            return Err(format!("unknown campaign key `{key}`"));
+        }
+    }
+    let stages = campaign
+        .get("stages")
+        .and_then(Value::as_array)
+        .ok_or("`campaign.stages` must be an array")?;
+    if stages.is_empty() {
+        return Err("`campaign.stages` must not be empty".into());
+    }
+    let mut last_status = MemberStatus::Ok;
+    let mut last_message: Option<&str> = None;
+    for (i, stage_entry) in stages.iter().enumerate() {
+        let context = |msg: String| format!("`campaign.stages[{i}]`: {msg}");
+        let stage_pairs = stage_entry
+            .as_object()
+            .ok_or_else(|| context("must be a JSON object".into()))?;
+        if stage_entry.get("stage").and_then(Value::as_usize) != Some(i) {
+            return Err(context("`stage` must equal the entry index".into()));
+        }
+        let stage_tag = stage_entry
+            .get("status")
+            .and_then(Value::as_str)
+            .ok_or_else(|| context("`status` must be a string".into()))?;
+        let stage_status = MemberStatus::from_tag(stage_tag)
+            .ok_or_else(|| context(format!("unknown status `{stage_tag}`")))?;
+        if stage_status != MemberStatus::Ok && i + 1 < stages.len() {
+            return Err(context(
+                "only the final stage may fail (a failing stage ends the campaign)".into(),
+            ));
+        }
+        if stage_status == MemberStatus::Ok {
+            for (key, _) in stage_pairs {
+                if !matches!(key.as_str(), "stage" | "status" | "report") {
+                    return Err(context(format!("unknown key `{key}`")));
+                }
+            }
+            let report = stage_entry
+                .get("report")
+                .ok_or_else(|| context("status `ok` requires an embedded `report`".into()))?;
+            crate::report::validate_report_json(report).map_err(context)?;
+            last_message = None;
+        } else {
+            for (key, _) in stage_pairs {
+                if !matches!(key.as_str(), "stage" | "status" | "message") {
+                    return Err(context(format!("unknown key `{key}`")));
+                }
+            }
+            let stage_message = stage_entry
+                .get("message")
+                .and_then(Value::as_str)
+                .ok_or_else(|| context("failed stages require a string `message`".into()))?;
+            if stage_message.is_empty() {
+                return Err(context("`message` must not be empty".into()));
+            }
+            last_message = Some(stage_message);
+        }
+        last_status = stage_status;
+    }
+    if last_status != status {
+        return Err("member `status` must equal the final stage's status".into());
+    }
+    if message != last_message {
+        return Err("member `message` must echo the final stage's message".into());
+    }
+    match campaign.get("converged_stage") {
+        None | Some(Value::Null) => {}
+        Some(v) => {
+            let converged = v
+                .as_usize()
+                .ok_or("`campaign.converged_stage` must be null or an unsigned stage index")?;
+            if converged + 1 != stages.len() || last_status != MemberStatus::Ok {
+                return Err("`converged_stage` must name the completed final stage entry".into());
+            }
         }
     }
     Ok(status)
@@ -1048,7 +1799,7 @@ fn summary_row(index: usize, run: &RunSpec, member: &MemberOutcome) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{Method, SampleSpec};
+    use crate::spec::{AdaptiveSpec, Method, SampleSpec};
     use std::str::FromStr;
 
     fn smc_run(seed: u64) -> RunSpec {
@@ -1092,16 +1843,16 @@ mod tests {
         let mut spec = SuiteSpec::new(vec![smc_run(1), smc_run(1), smc_run(1)]).unwrap();
         spec.seed_base = Some(77);
         let reparsed = SuiteSpec::from_str(&spec.to_json_string()).unwrap();
-        for (i, run) in reparsed.runs.iter().enumerate() {
-            assert_eq!(run.seed, stream_seed(77, i as u64));
+        for (i, member) in reparsed.runs.iter().enumerate() {
+            assert_eq!(member.run_spec().seed, stream_seed(77, i as u64));
         }
         // The finaliser keeps (member, repetition) streams distinct: the
         // bare Weyl step would alias member 0 rep 1 with member 1 rep 0
         // (both `base + 1·φ`), duplicating "independent" repetitions.
         let phi = 0x9E37_79B9_7F4A_7C15u64;
         assert_ne!(
-            reparsed.runs[0].seed.wrapping_add(phi),
-            reparsed.runs[1].seed
+            reparsed.runs[0].run_spec().seed.wrapping_add(phi),
+            reparsed.runs[1].run_spec().seed
         );
         // Idempotent: the rewrite is a pure function of (base, index).
         assert_eq!(
@@ -1198,6 +1949,7 @@ mod tests {
                 injections: vec![crate::fault::FaultRule {
                     member: 0,
                     kind: FaultKind::Panic,
+                    stage: None,
                 }],
             });
         let err = Suite::from_spec(spec).unwrap_err();
@@ -1210,7 +1962,11 @@ mod tests {
         let session = &suite.sessions()[0];
         let plan = |kind| FaultPlan {
             seed: 5,
-            injections: vec![crate::fault::FaultRule { member: 0, kind }],
+            injections: vec![crate::fault::FaultRule {
+                member: 0,
+                kind,
+                stage: None,
+            }],
         };
 
         // A clean supervised run matches the unsupervised session run.
@@ -1255,6 +2011,133 @@ mod tests {
             delayed.report().unwrap().to_json_stable().pretty(),
             clean.report().unwrap().to_json_stable().pretty()
         );
+    }
+
+    fn ce_campaign_member(seed: u64, stages: usize) -> SuiteMember {
+        let run = RunSpec::new(
+            ScenarioRef::named("illustrative"),
+            Method::CeCampaign(AdaptiveSpec {
+                sample: SampleSpec {
+                    n_traces: 300,
+                    delta: 0.05,
+                    max_steps: 10_000,
+                },
+                training_traces: 300,
+            }),
+            seed,
+        )
+        .with_threads(1, 1);
+        SuiteMember::Campaign(CampaignSpec::new(run, stages))
+    }
+
+    #[test]
+    fn campaign_members_round_trip_and_validate() {
+        let spec =
+            SuiteSpec::from_members(vec![SuiteMember::Run(smc_run(1)), ce_campaign_member(2, 3)])
+                .unwrap();
+        assert!(spec.has_campaigns());
+        let text = spec.to_json_string();
+        let reparsed = SuiteSpec::from_str(&text).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.to_json_string(), text);
+        assert_eq!(reparsed.runs[1].campaign().unwrap().stages, 3);
+
+        // Zero stages, extra keys beside `campaign`, and malformed
+        // targets are named with their index/context.
+        for (text, needle) in [
+            (
+                r#"{"runs": [{"campaign": {"run": {"scenario": {"name": "illustrative"},
+                     "method": {"name": "ce-campaign"}}, "stages": 0}}]}"#,
+                "`campaign.stages` must be positive",
+            ),
+            (
+                r#"{"runs": [{"campaign": {"run": {"scenario": {"name": "illustrative"},
+                     "method": {"name": "ce-campaign"}}, "stages": 2}, "seed": 7}]}"#,
+                "unknown key `seed` alongside `campaign`",
+            ),
+            (
+                r#"{"runs": [{"campaign": {"run": {"scenario": {"name": "illustrative"},
+                     "method": {"name": "ce-campaign"}}, "stages": 2,
+                     "target_rel_width": -0.5}}]}"#,
+                "`campaign.target_rel_width` must be a positive finite number",
+            ),
+            (
+                r#"{"runs": [{"campaign": {"run": {"scenario": {"name": "illustrative"},
+                     "method": {"name": "teleport"}}, "stages": 2}}]}"#,
+                "`suite.runs[0]`: `campaign.run`: unknown method `teleport`",
+            ),
+            (
+                r#"{"runs": [{"scenario": {"name": "illustrative"}, "method": {"name": "smc"}}],
+                    "fault": {"injections": [{"member": 0, "kind": "panic", "stage": 1}]}}"#,
+                "has a `stage` but member 0 is not a campaign",
+            ),
+            (
+                r#"{"runs": [{"campaign": {"run": {"scenario": {"name": "illustrative"},
+                     "method": {"name": "ce-campaign"}}, "stages": 2}}],
+                    "fault": {"injections": [{"member": 0, "kind": "panic", "stage": 5}]}}"#,
+                "targets stage 5 but member 0 has 2 stages",
+            ),
+        ] {
+            let err = SuiteSpec::from_str(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn campaign_suites_report_v3_deterministically() {
+        let spec = SuiteSpec::from_members(vec![
+            ce_campaign_member(2018, 2),
+            SuiteMember::Run(smc_run(1)),
+        ])
+        .unwrap()
+        .with_threads(1);
+        let report = Suite::from_spec(spec.clone()).unwrap().run().unwrap();
+        let stable = report.to_json_stable().pretty();
+        // Campaign suites carry the /3 tag and pass the validator.
+        assert!(stable.contains(SUITEREPORT_SCHEMA_V3), "{stable}");
+        validate_suite_report_json(&report.to_json()).unwrap();
+        // The campaign ran both stages and its summary row reads off the
+        // final stage's report.
+        let campaign = report.members[0].campaign().unwrap();
+        assert_eq!(campaign.stages.len(), 2);
+        assert_eq!(campaign.converged_stage, None);
+        assert_eq!(
+            report.members[0].report().unwrap().estimate,
+            campaign.stages[1].report().unwrap().estimate
+        );
+        // Byte-identical at another thread budget.
+        let again = Suite::from_spec(spec).unwrap().run_with_threads(4).unwrap();
+        assert_eq!(again.to_json_stable().pretty(), stable);
+        // Run-only suites keep their /2 bytes.
+        let run_only = Suite::from_spec(SuiteSpec::new(vec![smc_run(1)]).unwrap())
+            .unwrap()
+            .run()
+            .unwrap();
+        let run_only_stable = run_only.to_json_stable().pretty();
+        assert!(
+            run_only_stable.contains(SUITEREPORT_SCHEMA),
+            "{run_only_stable}"
+        );
+        assert!(!run_only_stable.contains(SUITEREPORT_SCHEMA_V3));
+        validate_suite_report_json(&run_only.to_json()).unwrap();
+    }
+
+    #[test]
+    fn campaigns_stop_at_the_relative_width_target() {
+        let SuiteMember::Campaign(campaign) = ce_campaign_member(3, 4) else {
+            unreachable!()
+        };
+        let spec = SuiteSpec::from_members(vec![SuiteMember::Campaign(
+            campaign.with_target_rel_width(1e9),
+        )])
+        .unwrap();
+        let report = Suite::from_spec(spec).unwrap().run().unwrap();
+        let campaign = report.members[0].campaign().unwrap();
+        // Any positive estimate beats a 1e9 relative width: the campaign
+        // converges at stage 0 and never runs the remaining stages.
+        assert_eq!(campaign.converged_stage, Some(0));
+        assert_eq!(campaign.stages.len(), 1);
+        validate_suite_report_json(&report.to_json()).unwrap();
     }
 
     #[test]

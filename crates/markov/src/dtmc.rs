@@ -325,8 +325,7 @@ impl Dtmc {
 /// Collects `(from, to, prob)` triplets, sorts them once at
 /// [`DtmcBuilder::build`], and feeds them through the same sorted-triplet
 /// CSR kernel as [`DtmcStreamBuilder`]. Methods take `&mut self` and
-/// return `&mut Self` for optional chaining; the old chained-by-value
-/// methods remain as thin `#[deprecated]` wrappers.
+/// return `&mut Self` for optional chaining.
 #[derive(Debug, Clone)]
 pub struct DtmcBuilder {
     n: usize,
@@ -383,41 +382,6 @@ impl DtmcBuilder {
         for (to, prob) in entries {
             self.add_transition(from, to, prob);
         }
-        self
-    }
-
-    /// Sets the initial state (default 0).
-    #[deprecated(note = "use `set_initial` (`&mut self` construction API)")]
-    pub fn initial(mut self, state: State) -> Self {
-        self.set_initial(state);
-        self
-    }
-
-    /// Adds transition `from -> to` with probability `prob`.
-    #[deprecated(note = "use `add_transition` (`&mut self` construction API)")]
-    pub fn transition(mut self, from: State, to: State, prob: f64) -> Self {
-        self.add_transition(from, to, prob);
-        self
-    }
-
-    /// Adds a probability-1 self loop on `state` (an absorbing state).
-    #[deprecated(note = "use `add_self_loop` (`&mut self` construction API)")]
-    pub fn self_loop(mut self, state: State) -> Self {
-        self.add_self_loop(state);
-        self
-    }
-
-    /// Attaches `label` to `state`.
-    #[deprecated(note = "use `add_label` (`&mut self` construction API)")]
-    pub fn label(mut self, state: State, label: &str) -> Self {
-        self.add_label(state, label);
-        self
-    }
-
-    /// Adds an entire probability row at once.
-    #[deprecated(note = "use `add_row` (`&mut self` construction API)")]
-    pub fn row(mut self, from: State, entries: impl IntoIterator<Item = (State, f64)>) -> Self {
-        self.add_row(from, entries);
         self
     }
 
@@ -798,20 +762,6 @@ mod tests {
             DtmcBuilder::new(0).build().unwrap_err(),
             ModelError::EmptyModel
         ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_chained_builder_still_works() {
-        let chained = DtmcBuilder::new(2)
-            .initial(0)
-            .transition(0, 0, 0.25)
-            .transition(0, 1, 0.75)
-            .self_loop(1)
-            .label(1, "done")
-            .build()
-            .unwrap();
-        assert_eq!(chained, two_state());
     }
 
     #[test]

@@ -386,10 +386,9 @@ impl Imc {
 
 /// Builder for [`Imc`] accepting triplets in any order (C-BUILDER).
 ///
-/// Methods take `&mut self` and return `&mut Self` for optional chaining;
-/// the old chained-by-value methods remain as thin `#[deprecated]`
-/// wrappers. [`ImcBuilder::build`] sorts the triplets once and streams
-/// them through the same CSR kernel as [`ImcStreamBuilder`].
+/// Methods take `&mut self` and return `&mut Self` for optional chaining.
+/// [`ImcBuilder::build`] sorts the triplets once and streams them
+/// through the same CSR kernel as [`ImcStreamBuilder`].
 #[derive(Debug, Clone)]
 pub struct ImcBuilder {
     n: usize,
@@ -429,34 +428,6 @@ impl ImcBuilder {
     /// Attaches `label` to `state`.
     pub fn add_label(&mut self, state: State, label: &str) -> &mut Self {
         self.labels.entry(label.to_owned()).or_default().push(state);
-        self
-    }
-
-    /// Sets the initial state (default 0).
-    #[deprecated(note = "use `set_initial` (`&mut self` construction API)")]
-    pub fn initial(mut self, state: State) -> Self {
-        self.set_initial(state);
-        self
-    }
-
-    /// Adds the interval transition `from -> to` with bounds `[lo, hi]`.
-    #[deprecated(note = "use `add_interval` (`&mut self` construction API)")]
-    pub fn interval(mut self, from: State, to: State, lo: f64, hi: f64) -> Self {
-        self.add_interval(from, to, lo, hi);
-        self
-    }
-
-    /// Adds a point (degenerate) transition `from -> to` of probability `p`.
-    #[deprecated(note = "use `add_exact` (`&mut self` construction API)")]
-    pub fn exact(mut self, from: State, to: State, p: f64) -> Self {
-        self.add_exact(from, to, p);
-        self
-    }
-
-    /// Attaches `label` to `state`.
-    #[deprecated(note = "use `add_label` (`&mut self` construction API)")]
-    pub fn label(mut self, state: State, label: &str) -> Self {
-        self.add_label(state, label);
         self
     }
 
@@ -718,26 +689,6 @@ mod tests {
         b.add_interval(0, 0, 0.9, 0.2);
         let err = b.build().unwrap_err();
         assert!(matches!(err, ModelError::InvalidInterval { .. }));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_chained_builder_still_works() {
-        let chained = ImcBuilder::new(2)
-            .initial(0)
-            .interval(0, 0, 0.1, 0.3)
-            .interval(0, 1, 0.5, 0.95)
-            .exact(1, 1, 1.0)
-            .label(1, "sink")
-            .build()
-            .unwrap();
-        let mut b = ImcBuilder::new(2);
-        b.set_initial(0)
-            .add_interval(0, 0, 0.1, 0.3)
-            .add_interval(0, 1, 0.5, 0.95)
-            .add_exact(1, 1, 1.0)
-            .add_label(1, "sink");
-        assert_eq!(chained, b.build().unwrap());
     }
 
     #[test]

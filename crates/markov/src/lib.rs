@@ -35,8 +35,7 @@
 //! * [`DtmcBuilder`] / [`ImcBuilder`] accept triplets in **any order**
 //!   through `&mut self` methods (`add_transition`, `add_interval`, ...),
 //!   sort them once at [`DtmcBuilder::build`], and reject duplicates and
-//!   malformed rows with typed [`ModelError`]s. The pre-PR-7 chained
-//!   by-value methods remain as `#[deprecated]` wrappers.
+//!   malformed rows with typed [`ModelError`]s.
 //! * [`DtmcStreamBuilder`] / [`ImcStreamBuilder`] require ascending
 //!   `(from, to)` order and append straight to the CSR arrays — the
 //!   constant-memory path used by the streaming file loaders and the large

@@ -25,13 +25,14 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Gambler's ruin on {0, 1, 2}: from 1, p=0.3 up, 0.7 down.
-//! let chain = DtmcBuilder::new(3)
-//!     .initial(1)
-//!     .transition(1, 2, 0.3)
-//!     .transition(1, 0, 0.7)
-//!     .self_loop(0)
-//!     .self_loop(2)
-//!     .build()?;
+//! let mut builder = DtmcBuilder::new(3);
+//! builder
+//!     .set_initial(1)
+//!     .add_transition(1, 2, 0.3)
+//!     .add_transition(1, 0, 0.7)
+//!     .add_self_loop(0)
+//!     .add_self_loop(2);
+//! let chain = builder.build()?;
 //! let probs = reach_avoid_probs(
 //!     &chain,
 //!     &StateSet::from_states(3, [2]),

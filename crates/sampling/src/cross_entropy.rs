@@ -54,15 +54,129 @@ pub struct CrossEntropyResult {
     pub success_history: Vec<u64>,
 }
 
+/// The outcome of one cross-entropy refinement iteration: the refined
+/// chain plus the batch's diagnostics ([`cross_entropy_refine`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CeIteration {
+    /// The refined IS chain.
+    pub b: Dtmc,
+    /// The batch's IS estimate of `γ` (diagnostic).
+    pub gamma: f64,
+    /// Successful traces in the batch.
+    pub n_success: u64,
+}
+
+/// One cross-entropy refinement iteration: samples
+/// `config.traces_per_iteration` traces under the current `b`, weights
+/// the successful ones by their likelihood ratio `L = P_A/P_B`, and
+/// re-fits the biased chain by the closed-form CE update for Markov
+/// chains (`b'_ij = Σ_k w_k n_ij(ω_k) / Σ_k w_k n_i(ω_k)` with
+/// `w_k = z_k L_k`), smoothed against the current iterate. Rows never
+/// visited by a successful trace keep their current distribution; a
+/// batch with no successes returns `b` unchanged.
+///
+/// This is the single step [`cross_entropy_is`] iterates, exposed so an
+/// outer loop (the `ce-campaign` estimator) can refine the chain
+/// between estimation sessions. Deterministic given `rng`'s stream:
+/// traces are drawn sequentially, and the row re-fit is a pure
+/// per-state function of the batch.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] if an update produces an invalid row
+/// (defensive; floors and renormalisation prevent this for valid
+/// inputs).
+pub fn cross_entropy_refine<R: Rng + ?Sized>(
+    a: &Dtmc,
+    property: &Property,
+    b: &Dtmc,
+    config: &CrossEntropyConfig,
+    rng: &mut R,
+) -> Result<CeIteration, ModelError> {
+    let sampler = ChainSampler::new(b);
+    let mut monitor = property.monitor();
+    // Weighted transition counts over successful traces.
+    let mut w_trans: HashMap<(State, State), f64> = HashMap::new();
+    let mut w_source: HashMap<State, f64> = HashMap::new();
+    let mut frozen: Vec<((State, State), u64)> = Vec::new();
+    let mut gamma_sum = 0.0f64;
+    let mut n_success = 0u64;
+
+    for _ in 0..config.traces_per_iteration {
+        let outcome = simulate(&sampler, b.initial(), &mut monitor, rng, config.max_steps);
+        if outcome.verdict != Verdict::Accepted {
+            continue;
+        }
+        n_success += 1;
+        // Accumulate in the frozen (sorted) transition order: float
+        // addition is order-sensitive in the last ulp, and the raw table
+        // iterates in hash order, which varies between map instances.
+        outcome.counts.frozen_into(&mut frozen);
+        let mut log_l = 0.0f64;
+        for &((from, to), n) in &frozen {
+            log_l += n as f64 * (a.prob(from, to).ln() - b.prob(from, to).ln());
+        }
+        let w = log_l.exp();
+        gamma_sum += w;
+        for &((from, to), n) in &frozen {
+            *w_trans.entry((from, to)).or_insert(0.0) += w * n as f64;
+            *w_source.entry(from).or_insert(0.0) += w * n as f64;
+        }
+    }
+    let gamma = gamma_sum / config.traces_per_iteration as f64;
+    if n_success == 0 {
+        // Nothing to learn from this batch; keep the current B.
+        return Ok(CeIteration {
+            b: b.clone(),
+            gamma,
+            n_success,
+        });
+    }
+
+    // Re-fit visited rows. HashMap iteration order is unspecified, but
+    // every row update is an independent pure function of the batch, so
+    // the refined chain is order-invariant (and thus deterministic).
+    let mut replacements: Vec<(State, Vec<RowEntry>)> = Vec::new();
+    for (&state, &total) in &w_source {
+        if total <= 0.0 {
+            continue;
+        }
+        let a_row = a.row(state).expect("visited state is in range");
+        let mut entries: Vec<RowEntry> = a_row
+            .iter()
+            .map(|e| {
+                let ce = w_trans.get(&(state, e.target)).copied().unwrap_or(0.0) / total;
+                let smoothed =
+                    config.smoothing * ce + (1.0 - config.smoothing) * b.prob(state, e.target);
+                // Floor keeps every original transition samplable.
+                RowEntry {
+                    target: e.target,
+                    prob: smoothed.max(config.floor * e.prob),
+                }
+            })
+            .collect();
+        let sum: f64 = entries.iter().map(|e| e.prob).sum();
+        for e in &mut entries {
+            e.prob /= sum;
+        }
+        let sum: f64 = entries.iter().map(|e| e.prob).sum();
+        if let Some(largest) = entries.iter_mut().max_by(|x, y| x.prob.total_cmp(&y.prob)) {
+            largest.prob += 1.0 - sum;
+        }
+        replacements.push((state, entries));
+    }
+    Ok(CeIteration {
+        b: b.with_rows(replacements)?,
+        gamma,
+        n_success,
+    })
+}
+
 /// Optimises an importance-sampling chain for `property` on `a` by the
 /// cross-entropy method.
 ///
-/// Each iteration samples traces under the current `B`, weights the
-/// successful ones by their likelihood ratio `L = P_A/P_B`, and re-fits the
-/// biased chain by the closed-form CE update for Markov chains:
-/// `b'_ij = Σ_k w_k n_ij(ω_k) / Σ_k w_k n_i(ω_k)` with `w_k = z_k L_k`,
-/// smoothed against the previous iterate. Rows never visited by a
-/// successful trace keep their current distribution.
+/// Iterates [`cross_entropy_refine`] `config.iterations` times from the
+/// bootstrap chain [`initial_chain`]`(a, config.initial_uniform_weight)`.
 ///
 /// # Errors
 ///
@@ -79,69 +193,10 @@ pub fn cross_entropy_is<R: Rng + ?Sized>(
     let mut success_history = Vec::with_capacity(config.iterations);
 
     for _ in 0..config.iterations {
-        let sampler = ChainSampler::new(&b);
-        let mut monitor = property.monitor();
-        // Weighted transition counts over successful traces.
-        let mut w_trans: HashMap<(State, State), f64> = HashMap::new();
-        let mut w_source: HashMap<State, f64> = HashMap::new();
-        let mut gamma_sum = 0.0f64;
-        let mut n_success = 0u64;
-
-        for _ in 0..config.traces_per_iteration {
-            let outcome = simulate(&sampler, b.initial(), &mut monitor, rng, config.max_steps);
-            if outcome.verdict != Verdict::Accepted {
-                continue;
-            }
-            n_success += 1;
-            let mut log_l = 0.0f64;
-            for ((from, to), n) in outcome.counts.iter() {
-                log_l += n as f64 * (a.prob(from, to).ln() - b.prob(from, to).ln());
-            }
-            let w = log_l.exp();
-            gamma_sum += w;
-            for ((from, to), n) in outcome.counts.iter() {
-                *w_trans.entry((from, to)).or_insert(0.0) += w * n as f64;
-                *w_source.entry(from).or_insert(0.0) += w * n as f64;
-            }
-        }
-        gamma_history.push(gamma_sum / config.traces_per_iteration as f64);
-        success_history.push(n_success);
-        if n_success == 0 {
-            // Nothing to learn from this batch; keep the current B.
-            continue;
-        }
-
-        // Re-fit visited rows.
-        let mut replacements: Vec<(State, Vec<RowEntry>)> = Vec::new();
-        for (&state, &total) in &w_source {
-            if total <= 0.0 {
-                continue;
-            }
-            let a_row = a.row(state).expect("visited state is in range");
-            let mut entries: Vec<RowEntry> = a_row
-                .iter()
-                .map(|e| {
-                    let ce = w_trans.get(&(state, e.target)).copied().unwrap_or(0.0) / total;
-                    let smoothed =
-                        config.smoothing * ce + (1.0 - config.smoothing) * b.prob(state, e.target);
-                    // Floor keeps every original transition samplable.
-                    RowEntry {
-                        target: e.target,
-                        prob: smoothed.max(config.floor * e.prob),
-                    }
-                })
-                .collect();
-            let sum: f64 = entries.iter().map(|e| e.prob).sum();
-            for e in &mut entries {
-                e.prob /= sum;
-            }
-            let sum: f64 = entries.iter().map(|e| e.prob).sum();
-            if let Some(largest) = entries.iter_mut().max_by(|x, y| x.prob.total_cmp(&y.prob)) {
-                largest.prob += 1.0 - sum;
-            }
-            replacements.push((state, entries));
-        }
-        b = b.with_rows(replacements)?;
+        let step = cross_entropy_refine(a, property, &b, config, rng)?;
+        gamma_history.push(step.gamma);
+        success_history.push(step.n_success);
+        b = step.b;
     }
 
     Ok(CrossEntropyResult {
@@ -151,8 +206,10 @@ pub fn cross_entropy_is<R: Rng + ?Sized>(
     })
 }
 
-/// `B₀ = (1−w)·A + w·Uniform(support of A)`.
-fn initial_chain(a: &Dtmc, uniform_weight: f64) -> Result<Dtmc, ModelError> {
+/// The cross-entropy bootstrap chain
+/// `B₀ = (1−w)·A + w·Uniform(support of A)` — mixes enough uniform mass
+/// into every row that rare transitions are likely enough to learn from.
+pub fn initial_chain(a: &Dtmc, uniform_weight: f64) -> Result<Dtmc, ModelError> {
     let mut replacements: Vec<(State, Vec<RowEntry>)> = Vec::new();
     for (state, row) in a.rows().enumerate() {
         let k = row.len() as f64;

@@ -15,7 +15,12 @@
 //!   `b_ij ∝ a_ij·x_j` built from exact reachability probabilities
 //!   (Fig. 1c);
 //! * [`cross_entropy_is`] — iterative cross-entropy optimisation of `B`
-//!   (Ridder 2005, the paper's reference \[24\]);
+//!   (Ridder 2005, the paper's reference \[24\]), with the single
+//!   iteration exposed as [`cross_entropy_refine`] for stage-wise
+//!   campaign estimators;
+//! * [`dupuis_wang_update`] — Dupuis–Wang dynamic IS: a state-dependent
+//!   change of measure `b(x,y) ∝ a(x,y)·V(y)` whose value function is
+//!   re-trained between campaign stages;
 //! * [`failure_bias`] — classic balanced failure biasing, a cheap
 //!   structural IS baseline;
 //! * [`importance_splitting`] — fixed-effort multilevel splitting, the
@@ -32,12 +37,13 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Rare event: reach state 1 (p = 1e-4) before state 2.
-//! let chain = DtmcBuilder::new(3)
-//!     .transition(0, 1, 1e-4)
-//!     .transition(0, 2, 1.0 - 1e-4)
-//!     .self_loop(1)
-//!     .self_loop(2)
-//!     .build()?;
+//! let mut builder = DtmcBuilder::new(3);
+//! builder
+//!     .add_transition(0, 1, 1e-4)
+//!     .add_transition(0, 2, 1.0 - 1e-4)
+//!     .add_self_loop(1)
+//!     .add_self_loop(2);
+//! let chain = builder.build()?;
 //! let target = StateSet::from_states(3, [1]);
 //! let prop = Property::reach_avoid(target.clone(), StateSet::from_states(3, [2]));
 //! let b = zero_variance_is(&chain, &target, &StateSet::from_states(3, [2]),
@@ -54,12 +60,17 @@
 #![warn(missing_docs)]
 
 mod cross_entropy;
+mod dupuis_wang;
 mod estimator;
 mod failure_bias;
 mod splitting;
 mod zero_variance;
 
-pub use cross_entropy::{cross_entropy_is, CrossEntropyConfig, CrossEntropyResult};
+pub use cross_entropy::{
+    cross_entropy_is, cross_entropy_refine, initial_chain, CeIteration, CrossEntropyConfig,
+    CrossEntropyResult,
+};
+pub use dupuis_wang::{dupuis_wang_update, initial_value, DupuisWangConfig};
 pub use estimator::{
     is_estimate, sample_is_run, IsConfig, IsEstimate, IsRun, PreparedRun, WeightedTable,
 };

@@ -48,20 +48,20 @@ fn thread_counts() -> Vec<usize> {
 
 /// Rare coin: p(success) = 1e-3 under `A`, biased to 0.5 under `B`.
 fn rare_coin() -> (Dtmc, Dtmc, Property) {
-    let a = DtmcBuilder::new(3)
-        .transition(0, 1, 1e-3)
-        .transition(0, 2, 1.0 - 1e-3)
-        .self_loop(1)
-        .self_loop(2)
-        .build()
-        .unwrap();
-    let b = DtmcBuilder::new(3)
-        .transition(0, 1, 0.5)
-        .transition(0, 2, 0.5)
-        .self_loop(1)
-        .self_loop(2)
-        .build()
-        .unwrap();
+    let mut builder = DtmcBuilder::new(3);
+    builder
+        .add_transition(0, 1, 1e-3)
+        .add_transition(0, 2, 1.0 - 1e-3)
+        .add_self_loop(1)
+        .add_self_loop(2);
+    let a = builder.build().unwrap();
+    let mut builder = DtmcBuilder::new(3);
+    builder
+        .add_transition(0, 1, 0.5)
+        .add_transition(0, 2, 0.5)
+        .add_self_loop(1)
+        .add_self_loop(2);
+    let b = builder.build().unwrap();
     let prop = Property::reach_avoid(StateSet::from_states(3, [1]), StateSet::from_states(3, [2]));
     (a, b, prop)
 }
@@ -69,26 +69,26 @@ fn rare_coin() -> (Dtmc, Dtmc, Property) {
 /// Two-step chain: traces accumulate multi-entry count tables, exercising
 /// the summation-order contract between the naive and prepared paths.
 fn two_step() -> (Dtmc, Dtmc, Property) {
-    let a = DtmcBuilder::new(4)
-        .transition(0, 1, 0.1)
-        .transition(0, 3, 0.9)
-        .transition(1, 2, 0.2)
-        .transition(1, 0, 0.7)
-        .transition(1, 3, 0.1)
-        .self_loop(2)
-        .self_loop(3)
-        .build()
-        .unwrap();
-    let b = DtmcBuilder::new(4)
-        .transition(0, 1, 0.5)
-        .transition(0, 3, 0.5)
-        .transition(1, 2, 0.4)
-        .transition(1, 0, 0.4)
-        .transition(1, 3, 0.2)
-        .self_loop(2)
-        .self_loop(3)
-        .build()
-        .unwrap();
+    let mut builder = DtmcBuilder::new(4);
+    builder
+        .add_transition(0, 1, 0.1)
+        .add_transition(0, 3, 0.9)
+        .add_transition(1, 2, 0.2)
+        .add_transition(1, 0, 0.7)
+        .add_transition(1, 3, 0.1)
+        .add_self_loop(2)
+        .add_self_loop(3);
+    let a = builder.build().unwrap();
+    let mut builder = DtmcBuilder::new(4);
+    builder
+        .add_transition(0, 1, 0.5)
+        .add_transition(0, 3, 0.5)
+        .add_transition(1, 2, 0.4)
+        .add_transition(1, 0, 0.4)
+        .add_transition(1, 3, 0.2)
+        .add_self_loop(2)
+        .add_self_loop(3);
+    let b = builder.build().unwrap();
     let prop = Property::reach_avoid(StateSet::from_states(4, [2]), StateSet::from_states(4, [3]));
     (a, b, prop)
 }
@@ -182,16 +182,16 @@ fn imcis_pipeline_is_deterministic_across_thread_counts() {
     // End to end: sampling (parallel) + optimisation (sequential, shares
     // the caller RNG) must give bit-identical confidence intervals.
     let (_, b, prop) = two_step();
-    let center = DtmcBuilder::new(4)
-        .transition(0, 1, 0.1)
-        .transition(0, 3, 0.9)
-        .transition(1, 2, 0.2)
-        .transition(1, 0, 0.7)
-        .transition(1, 3, 0.1)
-        .self_loop(2)
-        .self_loop(3)
-        .build()
-        .unwrap();
+    let mut builder = DtmcBuilder::new(4);
+    builder
+        .add_transition(0, 1, 0.1)
+        .add_transition(0, 3, 0.9)
+        .add_transition(1, 2, 0.2)
+        .add_transition(1, 0, 0.7)
+        .add_transition(1, 3, 0.1)
+        .add_self_loop(2)
+        .add_self_loop(3);
+    let center = builder.build().unwrap();
     let imc = Imc::from_center(&center, |_, _| 0.01).unwrap();
     let run = |threads: usize| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
@@ -216,16 +216,16 @@ fn imcis_pipeline_is_deterministic_across_thread_counts() {
 /// (the same fixture as the `imc_optim` search tests).
 fn search_fixture(n_traces: usize) -> (Imc, Dtmc, IsRun) {
     let (a_hat, c_hat) = (3e-2, 0.0498);
-    let center = DtmcBuilder::new(4)
-        .initial(0)
-        .transition(0, 1, a_hat)
-        .transition(0, 3, 1.0 - a_hat)
-        .transition(1, 2, c_hat)
-        .transition(1, 0, 1.0 - c_hat)
-        .self_loop(2)
-        .self_loop(3)
-        .build()
-        .unwrap();
+    let mut builder = DtmcBuilder::new(4);
+    builder
+        .set_initial(0)
+        .add_transition(0, 1, a_hat)
+        .add_transition(0, 3, 1.0 - a_hat)
+        .add_transition(1, 2, c_hat)
+        .add_transition(1, 0, 1.0 - c_hat)
+        .add_self_loop(2)
+        .add_self_loop(3);
+    let center = builder.build().unwrap();
     let imc = Imc::from_center(&center, |from, _| match from {
         0 => 2.5e-3,
         1 => 5e-4,
@@ -323,16 +323,16 @@ fn imcis_batched_pipeline_is_deterministic_across_search_threads() {
     // End to end with the batched strategy: sampling threads fixed, search
     // threads swept — the CI must be bit-identical at every count.
     let (_, b, prop) = two_step();
-    let center = DtmcBuilder::new(4)
-        .transition(0, 1, 0.1)
-        .transition(0, 3, 0.9)
-        .transition(1, 2, 0.2)
-        .transition(1, 0, 0.7)
-        .transition(1, 3, 0.1)
-        .self_loop(2)
-        .self_loop(3)
-        .build()
-        .unwrap();
+    let mut builder = DtmcBuilder::new(4);
+    builder
+        .add_transition(0, 1, 0.1)
+        .add_transition(0, 3, 0.9)
+        .add_transition(1, 2, 0.2)
+        .add_transition(1, 0, 0.7)
+        .add_transition(1, 3, 0.1)
+        .add_self_loop(2)
+        .add_self_loop(3);
+    let center = builder.build().unwrap();
     let imc = Imc::from_center(&center, |_, _| 0.01).unwrap();
     let run = |threads: usize| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);

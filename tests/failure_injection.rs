@@ -26,22 +26,19 @@ use rand::SeedableRng;
 #[test]
 fn invalid_models_are_rejected_eagerly() {
     // DTMC: non-stochastic row.
+    let mut b = DtmcBuilder::new(2);
+    b.add_transition(0, 1, 0.7).add_self_loop(1);
     assert!(matches!(
-        DtmcBuilder::new(2)
-            .transition(0, 1, 0.7)
-            .self_loop(1)
-            .build()
-            .unwrap_err(),
+        b.build().unwrap_err(),
         ModelError::NotStochastic { state: 0, .. }
     ));
     // IMC: row that admits no distribution.
+    let mut b = ImcBuilder::new(2);
+    b.add_interval(0, 0, 0.6, 0.7)
+        .add_interval(0, 1, 0.6, 0.7)
+        .add_exact(1, 1, 1.0);
     assert!(matches!(
-        ImcBuilder::new(2)
-            .interval(0, 0, 0.6, 0.7)
-            .interval(0, 1, 0.6, 0.7)
-            .exact(1, 1, 1.0)
-            .build()
-            .unwrap_err(),
+        b.build().unwrap_err(),
         ModelError::InconsistentIntervalRow { state: 0, .. }
     ));
     // CTMC: self loops are meaningless.
@@ -62,12 +59,11 @@ fn exploration_budget_is_enforced() {
 
 #[test]
 fn solver_reports_non_convergence_not_garbage() {
-    let chain = DtmcBuilder::new(2)
-        .transition(0, 0, 0.9999999)
-        .transition(0, 1, 0.0000001)
-        .self_loop(1)
-        .build()
-        .unwrap();
+    let mut b = DtmcBuilder::new(2);
+    b.add_transition(0, 0, 0.9999999)
+        .add_transition(0, 1, 0.0000001)
+        .add_self_loop(1);
+    let chain = b.build().unwrap();
     let result = reach_avoid_probs(
         &chain,
         &StateSet::from_states(2, [1]),
@@ -83,25 +79,25 @@ fn solver_reports_non_convergence_not_garbage() {
 #[test]
 fn optimiser_rejects_support_mismatch() {
     // Traces observed under a chain whose support the IMC does not cover.
-    let b = DtmcBuilder::new(3)
-        .transition(0, 1, 0.5)
-        .transition(0, 2, 0.5)
-        .self_loop(1)
-        .self_loop(2)
-        .build()
-        .unwrap();
+    let mut builder = DtmcBuilder::new(3);
+    builder
+        .add_transition(0, 1, 0.5)
+        .add_transition(0, 2, 0.5)
+        .add_self_loop(1)
+        .add_self_loop(2);
+    let b = builder.build().unwrap();
     let property =
         Property::reach_avoid(StateSet::from_states(3, [1]), StateSet::from_states(3, [2]));
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let run = sample_is_run(&b, &property, &IsConfig::new(100), &mut rng);
 
     // IMC routes 0 -> 2 only: the observed 0 -> 1 has no interval.
-    let narrow_center = DtmcBuilder::new(3)
-        .transition(0, 2, 1.0)
-        .self_loop(1)
-        .self_loop(2)
-        .build()
-        .unwrap();
+    let mut builder = DtmcBuilder::new(3);
+    builder
+        .add_transition(0, 2, 1.0)
+        .add_self_loop(1)
+        .add_self_loop(2);
+    let narrow_center = builder.build().unwrap();
     let imc = Imc::from_center(&narrow_center, |_, _| 0.01).unwrap();
     assert!(matches!(
         Problem::new(&imc, &b, &run).unwrap_err(),
@@ -118,11 +114,9 @@ fn optimiser_rejects_support_mismatch() {
 #[test]
 fn undecided_traces_are_counted_not_lost() {
     // A property that can never decide within the step budget.
-    let chain = DtmcBuilder::new(2)
-        .transition(0, 0, 1.0)
-        .self_loop(1)
-        .build()
-        .unwrap();
+    let mut b = DtmcBuilder::new(2);
+    b.add_transition(0, 0, 1.0).add_self_loop(1);
+    let chain = b.build().unwrap();
     let property = Property::reach_avoid(StateSet::from_states(2, [1]), StateSet::new(2));
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let run = sample_is_run(
@@ -298,12 +292,11 @@ fn fault_blocks_are_refused_without_the_opt_in() {
 
 #[test]
 fn zero_success_imcis_is_well_defined() {
-    let chain = DtmcBuilder::new(3)
-        .transition(0, 2, 1.0)
-        .self_loop(1)
-        .self_loop(2)
-        .build()
-        .unwrap();
+    let mut b = DtmcBuilder::new(3);
+    b.add_transition(0, 2, 1.0)
+        .add_self_loop(1)
+        .add_self_loop(2);
+    let chain = b.build().unwrap();
     let imc = Imc::from_center(&chain, |_, _| 0.01).unwrap();
     let property =
         Property::reach_avoid(StateSet::from_states(3, [1]), StateSet::from_states(3, [2]));

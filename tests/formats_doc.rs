@@ -8,7 +8,7 @@
 use imcis_core::serve::{parse_request, validate_event, Request};
 use imcis_core::{
     validate_report_json, validate_suite_report_json, RunSpec, SuiteSpec, REPORT_SCHEMA,
-    RUNSPEC_SCHEMA, SUITEREPORT_SCHEMA, SUITESPEC_SCHEMA,
+    RUNSPEC_SCHEMA, SUITEREPORT_SCHEMA, SUITEREPORT_SCHEMA_V3, SUITESPEC_SCHEMA,
 };
 use serde::json::{self, Value};
 
@@ -69,7 +69,7 @@ fn every_documented_example_passes_the_real_validators() {
                 events += 1;
                 // Embedded payloads were already validated transitively;
                 // tally the deep ones so the floors below stay honest.
-                if kind == "member_report" {
+                if kind == "member_report" || kind == "stage_report" {
                     reports += 1;
                 }
             } else {
@@ -107,7 +107,7 @@ fn every_documented_example_passes_the_real_validators() {
                 validate_report_json(&value).unwrap_or_else(|e| context("Report", e));
                 reports += 1;
             }
-            Some(SUITEREPORT_SCHEMA) => {
+            Some(SUITEREPORT_SCHEMA | SUITEREPORT_SCHEMA_V3) => {
                 validate_suite_report_json(&value).unwrap_or_else(|e| context("SuiteReport", e));
                 suitereports += 1;
             }
@@ -117,16 +117,20 @@ fn every_documented_example_passes_the_real_validators() {
 
     // One complete example per schema is the documented contract; the
     // wire/2 floors cover the robustness surface (cancel, status,
-    // deadline_ms, rejected, member_error, shutting_down).
+    // deadline_ms, rejected, member_error, stage_report,
+    // shutting_down).
     assert!(runspecs >= 1, "no imcis.runspec/1 example found");
     assert!(
-        suitespecs >= 2,
-        "imcis.suitespec/1 examples missing (plain + fault)"
+        suitespecs >= 3,
+        "imcis.suitespec/1 examples missing (plain + fault + campaign)"
     );
-    assert!(reports >= 1, "no imcis.report/2 example found");
-    assert!(suitereports >= 1, "no imcis.suitereport/2 example found");
+    assert!(reports >= 2, "imcis.report/2 examples missing");
+    assert!(
+        suitereports >= 2,
+        "imcis.suitereport/2 + /3 examples missing"
+    );
     assert!(requests >= 6, "wire request examples missing");
-    assert!(events >= 10, "wire event examples missing");
+    assert!(events >= 12, "wire event examples missing");
 }
 
 /// The documented round-trip claim: canonical examples reserialize

@@ -58,7 +58,11 @@ fn paper_table1_suite_manifest_is_canonical_and_well_formed() {
          (IMCIS_BLESS_GOLDEN=1 re-canonicalises it deliberately)"
     );
     // The Table 1 sweep: the illustrative scenario under all five methods.
-    let methods: Vec<&str> = spec.runs.iter().map(|r| r.method.name()).collect();
+    let methods: Vec<&str> = spec
+        .runs
+        .iter()
+        .map(|r| r.run_spec().method.name())
+        .collect();
     assert_eq!(
         methods,
         [
@@ -69,7 +73,10 @@ fn paper_table1_suite_manifest_is_canonical_and_well_formed() {
             "imcis"
         ]
     );
-    assert!(spec.runs.iter().all(|r| r.scenario.name == "illustrative"));
+    assert!(spec
+        .runs
+        .iter()
+        .all(|r| r.run_spec().scenario.name == "illustrative"));
     // One scenario reference → one shared build behind every session.
     let suite = Suite::from_spec(spec).unwrap();
     assert_eq!(suite.unique_setups(), 1);
@@ -110,7 +117,10 @@ fn suite_is_bit_identical_across_thread_budgets_and_to_individual_sessions() {
     // they are.
     assert_eq!(reference.members.len(), spec.runs.len());
     for (i, run) in spec.runs.iter().enumerate() {
-        let solo = Session::from_spec(run.clone()).unwrap().run().unwrap();
+        let solo = Session::from_spec(run.run_spec().clone())
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(
             reference.members[i]
                 .report()
