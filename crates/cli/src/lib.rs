@@ -14,6 +14,10 @@
 //! * `imcis run --scenario NAME --method NAME [options]` — build the
 //!   same manifest from flags (add `--dry-run` to print it instead of
 //!   running);
+//! * `imcis dsl <model.dsl> [--param K=V] [--emit-spec]` — compile a
+//!   scenario DSL source (the textual model/property/IS language of
+//!   [`imcis_core::dsl`]) and print a model summary, or emit the
+//!   canonical `RunSpec` manifest embedding the source;
 //! * `imcis serve [--addr --workers --queue]` — run the suite-serving
 //!   daemon (`imcis.wire/2`, newline-delimited JSON over TCP; see
 //!   [`imcis_core::serve`]);
@@ -120,6 +124,7 @@ usage: imcis run <spec.json>
        imcis run --spec a.json --spec b.json [--threads T]
        imcis run --scenario NAME --method NAME [options] [--dry-run]
        imcis suite <suite.json> [--threads T]
+       imcis dsl <model.dsl> [--param K=V ...] [--emit-spec]
        imcis serve [--addr A] [--workers N] [--queue N] [--rate R]
        imcis router --backend ADDR [--backend ADDR ...] [--addr A]
                     [--queue N] [--heartbeat-ms T]
@@ -144,6 +149,13 @@ spec runner:
   run --scenario NAME --method NAME
                       build the manifest from flags (same Session path);
                       --dry-run prints the canonical manifest instead
+  dsl <model.dsl>     compile a scenario DSL source (grammar in
+                      docs/FORMATS.md) and print a model summary;
+                      --param K=V binds a declared `param` (repeatable,
+                      numeric); --emit-spec prints the canonical RunSpec
+                      manifest embedding the source instead — the same
+                      `{\"dsl\": ...}` form `run`, `suite` and `submit`
+                      accept, with spanned line:col diagnostics
   scenarios           list registered scenarios and their parameters
 
 serving (imcis.wire/2 — newline-delimited JSON over TCP):
@@ -602,6 +614,119 @@ fn run_suite_command(args: &[String]) -> Result<String, CliError> {
         None => suite.run()?,
     };
     Ok(report.to_json_string())
+}
+
+/// `imcis dsl <model.dsl> [--param K=V] [--emit-spec]`: compile a
+/// scenario DSL source through the same front end the `{"dsl": ...}`
+/// manifest form uses and print a model summary, or — with
+/// `--emit-spec` — the canonical `RunSpec` manifest embedding the
+/// source (ready for `imcis run` / suite membership; the method is the
+/// `smc` default, edit it afterwards). Diagnostics surface as the same
+/// typed, line/column-spanned errors the manifest layer reports.
+fn dsl_command(args: &[String]) -> Result<String, CliError> {
+    let mut path: Option<&String> = None;
+    let mut emit_spec = false;
+    let mut params: Vec<(String, Value)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--emit-spec" => emit_spec = true,
+            "--param" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--param requires a value".into()))?;
+                let (key, val) = raw
+                    .split_once('=')
+                    .ok_or_else(|| CliError::Usage(format!("--param expects K=V, got `{raw}`")))?;
+                params.push((key.to_string(), parse_param_value(val)));
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(arg),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected dsl argument `{other}` \
+                     (usage: imcis dsl <model.dsl> [--param K=V] [--emit-spec])"
+                )))
+            }
+        }
+    }
+    let Some(path) = path else {
+        return Err(CliError::Usage(
+            "dsl takes exactly one scenario source file".into(),
+        ));
+    };
+    let source = std::fs::read_to_string(path).map_err(CliError::Io)?;
+    // Route through the manifest layer rather than calling the compiler
+    // directly: the emitted spec is then canonical by construction
+    // (parse → serialize fixpoint), `--param` bindings are checked by
+    // the same rules as `scenario.params`, and the cache key matches
+    // what a daemon would compute for the same submission.
+    let spec_value = Value::object([
+        (
+            "scenario".into(),
+            Value::object([
+                ("dsl".into(), Value::Str(source.clone())),
+                ("params".into(), Value::Object(params)),
+            ]),
+        ),
+        (
+            "method".into(),
+            Value::object([("name".into(), Value::Str("smc".into()))]),
+        ),
+    ]);
+    let spec = RunSpec::from_json(&spec_value).map_err(SessionError::Spec)?;
+    if emit_spec {
+        return Ok(spec.to_json_string());
+    }
+    let (dsl_source, bound) = spec
+        .scenario
+        .dsl_parts()
+        .expect("a dsl-form spec round-trips its source");
+    let bound: Vec<(String, Value)> = bound.to_vec();
+    let setup = imcis_core::dsl::compile(dsl_source, &bound)
+        .map_err(|e| SessionError::Spec(SpecError::Dsl(e)))?;
+    let transitions: usize = (0..setup.center.num_states())
+        .map(|s| setup.center.row(s).map_or(0, |r| r.iter().count()))
+        .sum();
+    let mut out = format!(
+        "scenario: {}\nstates: {} (initial s{})\ntransitions: {}\n",
+        setup.name,
+        setup.center.num_states(),
+        setup.center.initial(),
+        transitions
+    );
+    let labels: Vec<String> = setup
+        .center
+        .labels()
+        .iter()
+        .map(|(name, states)| format!("{name}({})", states.iter().count()))
+        .collect();
+    out.push_str(&format!(
+        "labels: {}\n",
+        if labels.is_empty() {
+            "none".to_string()
+        } else {
+            labels.join(" ")
+        }
+    ));
+    let property = match &setup.property {
+        Property::BoundedReach { bound, .. } => format!("bounded reach (within {bound})"),
+        Property::ReachAvoid { bound: None, .. } => "reach-avoid".to_string(),
+        Property::ReachAvoid { bound: Some(b), .. } => format!("reach-avoid (within {b})"),
+        Property::XReachAvoid { .. } => "reach before return".to_string(),
+        _ => "bounded until".to_string(),
+    };
+    out.push_str(&format!("property: {property}\n"));
+    if let Some(g) = setup.gamma_center {
+        out.push_str(&format!("gamma center: {g}\n"));
+    }
+    if let Some(g) = setup.gamma_exact {
+        out.push_str(&format!("gamma exact: {g}\n"));
+    }
+    out.push_str(&format!(
+        "cache key fingerprint: {:016x}",
+        spec.scenario.cache_fingerprint()
+    ));
+    Ok(out)
 }
 
 /// `imcis serve [--addr A] [--workers N] [--queue N]`: the suite-serving
@@ -1245,6 +1370,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "scenarios" => Ok(list_scenarios()),
         "run" => run_spec_command(&args[1..]),
         "suite" => run_suite_command(&args[1..]),
+        "dsl" => dsl_command(&args[1..]),
         "serve" => serve_command(&args[1..]),
         "router" => router_command(&args[1..]),
         "submit" => submit_command(&args[1..]),

@@ -1,0 +1,18 @@
+//! The scenario DSL, re-exported at the manifest layer.
+//!
+//! The implementation lives in [`imc_models::dsl`] next to the scenario
+//! registry it feeds; this module is the stable path manifest-level
+//! callers use (`imcis_core::dsl`), sitting beside [`spec`](crate::spec)
+//! which wires the `{"dsl": "<source>"}` scenario form of a
+//! [`RunSpec`](crate::RunSpec) into [`validate`] eagerly and surfaces
+//! failures as [`SpecError::Dsl`](crate::SpecError::Dsl).
+//!
+//! * [`parse`] — source → syntax tree (lexing + grammar only);
+//! * [`validate`] — parse, bind parameters and build the model through
+//!   the real `imc_markov` builders, without the numeric IS solve;
+//! * [`compile`] — the full pipeline, producing a
+//!   [`Setup`](imc_models::Setup).
+//!
+//! All three report typed, line/column-spanned [`DslError`]s.
+
+pub use imc_models::dsl::{compile, parse, validate, Ast, DslError, DslErrorKind, MAX_EXPR_DEPTH};

@@ -8,8 +8,11 @@
 //! 1. **Spec** ([`RunSpec`]) — a strict, canonical JSON manifest
 //!    (`imcis.runspec/1`) naming a scenario (a
 //!    [`ScenarioRegistry`](imc_models::ScenarioRegistry) entry plus
-//!    parameters), an estimation [`Method`] with its full typed
-//!    configuration, the RNG seed, thread budgets and repetition count.
+//!    parameters) — or embedding one as scenario-DSL source text via the
+//!    `{"dsl": "<source>"}` form, compiled through [`dsl`] with typed,
+//!    line/column-spanned diagnostics — an estimation [`Method`] with its
+//!    full typed configuration, the RNG seed, thread budgets and
+//!    repetition count.
 //!    Validation is strict: unknown keys, non-finite numbers and
 //!    out-of-domain values (`delta` outside `(0, 1)`, zero budgets or
 //!    repetitions) are rejected with a precise [`SpecError`] before any
@@ -25,6 +28,9 @@
 //!    This is the paper's own experiment shape — Table/Figure sweeps of
 //!    many (scenario, method, seed) cells — and the unit a serving front
 //!    end batches: a suite in, a report out, no shared mutable state.
+//!    `{"sweep": {"run": …, "param": …, "grid": […]}}` members expand
+//!    deterministically into one run member per grid point at parse
+//!    time, so a parameter sweep is one manifest entry.
 //! 3. **Session** ([`Session`]) — resolves one scenario, derives one
 //!    deterministic RNG stream per repetition, fans repetitions over the
 //!    available cores, and drives the method's [`Estimator`]. Crude
@@ -147,6 +153,7 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+pub mod dsl;
 pub mod experiment;
 pub mod fault;
 pub mod report;

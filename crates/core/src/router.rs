@@ -14,6 +14,12 @@
 //! on the same daemon and find its cache warm, and adding or removing a
 //! backend only moves the keys adjacent to its ring points.
 //!
+//! DSL members need no special casing here: a `{"dsl": "<source>"}`
+//! scenario's cache key is the canonical JSON of its source plus bound
+//! parameters ([`crate::dsl`]), so resubmitted sources — and sweep
+//! grids expanded from one manifest, whose members usually share a
+//! dominant source — route to the backend that already compiled them.
+//!
 //! Clients need no new protocol: the router speaks `imcis.wire/2` on
 //! both sides, so `imcis submit` works against a router unchanged.
 //! Per request:

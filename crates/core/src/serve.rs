@@ -11,6 +11,16 @@
 //! even across clients and jobs (the expensive step for the
 //! 40320-state `repair` model and the learned `swat` models).
 //!
+//! DSL workloads travel the same path: a submitted member whose
+//! scenario is the `{"dsl": "<source>"}` form (see
+//! [`crate::dsl`]) is compiled **server-side** through the scenario
+//! registry's `dsl` entry, and the built `Setup` lands in the same
+//! shared cache under the canonical `(source, params)` key — so a
+//! sweep grid over one source compiles the model once per parameter
+//! point and every resubmission (from any client) hits the cache. A
+//! source that fails to compile is rejected at `submit` validation
+//! with its spanned diagnostic, before the job is enqueued.
+//!
 //! Everything here is `std`-only ([`std::net`] + [`std::thread`]),
 //! consistent with the workspace's vendored-shim policy: no async
 //! runtime, no registry access.

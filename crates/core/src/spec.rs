@@ -39,6 +39,9 @@ pub enum SpecError {
     /// A manifest or referenced spec file could not be read (suite
     /// manifests may reference member specs by path).
     File(String),
+    /// A `{"dsl": …}` scenario failed to validate; carries the typed,
+    /// line/column-spanned diagnostic from the DSL front end.
+    Dsl(imc_models::dsl::DslError),
 }
 
 impl fmt::Display for SpecError {
@@ -47,6 +50,7 @@ impl fmt::Display for SpecError {
             SpecError::Json(msg) => write!(f, "spec is not valid JSON: {msg}"),
             SpecError::Schema(msg) => write!(f, "spec does not match the schema: {msg}"),
             SpecError::File(msg) => write!(f, "spec file error: {msg}"),
+            SpecError::Dsl(e) => write!(f, "scenario dsl error: {e}"),
         }
     }
 }
@@ -73,6 +77,38 @@ impl ScenarioRef {
             name: name.into(),
             params: ScenarioParams::empty(),
         }
+    }
+
+    /// A `"dsl"` scenario reference: DSL source text plus an object of
+    /// parameter bindings. `bound` is sorted by key here so equal
+    /// workloads share one canonical form — and therefore one
+    /// [`SetupCache`](crate::suite::SetupCache) entry and one router
+    /// ring placement — regardless of manifest key order.
+    pub fn dsl(source: impl Into<String>, mut bound: Vec<(String, Value)>) -> Self {
+        bound.sort_by(|a, b| a.0.cmp(&b.0));
+        ScenarioRef {
+            name: "dsl".into(),
+            params: ScenarioParams::from_pairs([
+                ("params".to_string(), Value::Object(bound)),
+                ("source".to_string(), Value::Str(source.into())),
+            ]),
+        }
+    }
+
+    /// The `(source, bound params)` of a [`ScenarioRef::dsl`] reference,
+    /// or `None` for registry-name references. Used by the serializer to
+    /// round-trip the `{"dsl": …}` manifest form verbatim.
+    pub fn dsl_parts(&self) -> Option<(&str, &[(String, Value)])> {
+        if self.name != "dsl" {
+            return None;
+        }
+        self.params.check_known(&["source", "params"]).ok()?;
+        let source = self.params.get("source")?.as_str()?;
+        let bound = match self.params.get("params") {
+            None => &[][..],
+            Some(v) => v.as_object()?,
+        };
+        Some((source, bound))
     }
 
     /// The canonical `(scenario, params)` cache key this reference
@@ -391,13 +427,7 @@ impl RunSpec {
     pub fn to_json(&self) -> Value {
         Value::object([
             ("schema".into(), Value::Str(RUNSPEC_SCHEMA.into())),
-            (
-                "scenario".into(),
-                Value::object([
-                    ("name".into(), Value::Str(self.scenario.name.clone())),
-                    ("params".into(), self.scenario.params.to_json()),
-                ]),
-            ),
+            ("scenario".into(), scenario_to_json(&self.scenario)),
             ("method".into(), method_to_json(&self.method)),
             ("seed".into(), Value::UInt(self.seed)),
             ("threads".into(), Value::UInt(self.threads as u64)),
@@ -432,6 +462,21 @@ impl std::str::FromStr for RunSpec {
 
 fn parse_scenario(value: &Value) -> Result<ScenarioRef, SpecError> {
     let fields = Fields::new(value, "scenario")?;
+    if fields.opt("dsl").is_some() {
+        // The DSL form: `{"dsl": "<source>", "params": {…}}`. Validated
+        // eagerly (parse, bind, build the model — no numeric solve) so a
+        // bad workload is rejected at manifest-parse time with a spanned
+        // diagnostic, the same moment a typoed registry name would be.
+        fields.allow(&["dsl", "params"])?;
+        let source = fields
+            .require("dsl")?
+            .as_str()
+            .ok_or_else(|| schema_err("`scenario.dsl` must be a string of DSL source"))?
+            .to_string();
+        let bound = parse_dsl_bindings(fields.opt("params"))?;
+        imc_models::dsl::validate(&source, &bound).map_err(SpecError::Dsl)?;
+        return Ok(ScenarioRef::dsl(source, bound));
+    }
     fields.allow(&["name", "params"])?;
     let name = fields
         .require("name")?
@@ -442,11 +487,63 @@ fn parse_scenario(value: &Value) -> Result<ScenarioRef, SpecError> {
         None => ScenarioParams::empty(),
         Some(v) => ScenarioParams::from_json(v).map_err(scenario_to_spec_err)?,
     };
+    if name == "dsl" {
+        // Name-form spelling of a DSL scenario: canonicalize into the
+        // same `ScenarioRef::dsl` shape (sorted bindings, eager
+        // validation) so both spellings share one cache key and
+        // serialize to the `{"dsl": …}` form.
+        params
+            .check_known(&["source", "params"])
+            .map_err(scenario_to_spec_err)?;
+        let source = params
+            .get("source")
+            .and_then(Value::as_str)
+            .ok_or_else(|| schema_err("`scenario.params.source` must be a string of DSL source"))?
+            .to_string();
+        let bound = parse_dsl_bindings(params.get("params"))?;
+        imc_models::dsl::validate(&source, &bound).map_err(SpecError::Dsl)?;
+        return Ok(ScenarioRef::dsl(source, bound));
+    }
     Ok(ScenarioRef { name, params })
+}
+
+/// The `params` object of a DSL scenario: binding names to scalar
+/// numbers (the DSL's parameter environment is numeric).
+fn parse_dsl_bindings(value: Option<&Value>) -> Result<Vec<(String, Value)>, SpecError> {
+    let Some(value) = value else {
+        return Ok(Vec::new());
+    };
+    let pairs = value
+        .as_object()
+        .ok_or_else(|| schema_err("`scenario.params` must be an object of parameter bindings"))?;
+    for (key, v) in pairs {
+        if v.as_f64().is_none() {
+            return Err(schema_err(format!(
+                "`scenario.params.{key}` must be a number"
+            )));
+        }
+    }
+    Ok(pairs.to_vec())
 }
 
 fn scenario_to_spec_err(e: ScenarioError) -> SpecError {
     schema_err(e.to_string())
+}
+
+/// Canonical JSON of a scenario reference: the `{"dsl": …}` form when
+/// the reference is a DSL workload (round-tripping the source text
+/// verbatim), the `{"name": …}` form otherwise.
+fn scenario_to_json(scenario: &ScenarioRef) -> Value {
+    if let Some((source, bound)) = scenario.dsl_parts() {
+        return Value::object([
+            ("dsl".into(), Value::Str(source.into())),
+            ("params".into(), Value::Object(bound.to_vec())),
+        ]);
+    }
+    Value::object([
+        ("name".into(), Value::Str(scenario.name.clone())),
+        ("params".into(), scenario.params.to_json()),
+    ])
 }
 
 fn parse_method(value: &Value) -> Result<Method, SpecError> {

@@ -103,7 +103,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use imc_models::{ScenarioError, ScenarioRegistry, Setup};
+use imc_models::{ScenarioError, ScenarioParams, ScenarioRegistry, Setup};
 use imc_sim::stream_seed;
 use serde::json::{self, Value};
 
@@ -183,6 +183,9 @@ impl CampaignSpec {
             SpecError::Schema(msg) => SpecError::Schema(format!("`campaign.run`: {msg}")),
             SpecError::Json(msg) => SpecError::Json(format!("`campaign.run`: {msg}")),
             SpecError::File(msg) => SpecError::File(msg),
+            // A spanned DSL diagnostic stays typed; its line/column point
+            // into the source text, which no prefix can improve on.
+            SpecError::Dsl(e) => SpecError::Dsl(e),
         })?;
         let stages = fields
             .require("stages")?
@@ -484,7 +487,18 @@ impl SuiteSpec {
             .ok_or_else(|| schema_err("`suite.runs` must be an array"))?;
         let mut runs = Vec::with_capacity(entries.len());
         for (i, entry) in entries.iter().enumerate() {
-            runs.push(parse_member(entry, i, base)?);
+            // A `{"sweep": …}` member is a load-time generator: it
+            // expands into one run per grid value before normalization,
+            // so the expanded members pick up per-index `stream_seed`
+            // rewrites exactly as if they had been written out by hand.
+            let is_sweep = entry
+                .as_object()
+                .is_some_and(|pairs| pairs.iter().any(|(k, _)| k == "sweep"));
+            if is_sweep {
+                runs.extend(parse_sweep(entry, i)?);
+            } else {
+                runs.push(parse_member(entry, i, base)?);
+            }
         }
         let seed_base = match fields.opt("seed_base") {
             None | Some(Value::Null) => None,
@@ -637,11 +651,133 @@ fn parse_member(
         .map_err(|e| prefix_member_error(e, index))
 }
 
+/// Expands a `{"sweep": {"run": …, "param": "<key>", "grid": […]}}`
+/// member into one run per grid value, in grid order. Expansion is a
+/// pure function of the manifest bytes: the same sweep always yields the
+/// same member list, and [`SuiteSpec::normalized`] then derives each
+/// expanded member's seed from its index exactly as for hand-written
+/// members.
+fn parse_sweep(entry: &Value, index: usize) -> Result<Vec<SuiteMember>, SpecError> {
+    let pairs = entry.as_object().expect("caller checked the sweep key");
+    // A sweep member wraps everything in the single `sweep` key;
+    // anything alongside it is a typo, named with its member index.
+    if let Some((key, _)) = pairs.iter().find(|(k, _)| k != "sweep") {
+        return Err(schema_err(format!(
+            "`suite.runs[{index}]` has unknown key `{key}` alongside `sweep` \
+             (a sweep member carries only the sweep object)"
+        )));
+    }
+    let inner = pairs
+        .iter()
+        .find(|(k, _)| k == "sweep")
+        .map(|(_, v)| v)
+        .expect("checked above");
+    let fields = Fields::new(inner, "sweep").map_err(|e| prefix_member_error(e, index))?;
+    fields
+        .allow(&["run", "param", "grid"])
+        .map_err(|e| prefix_member_error(e, index))?;
+    let run = RunSpec::from_json(
+        fields
+            .require("run")
+            .map_err(|e| prefix_member_error(e, index))?,
+    )
+    .map_err(|e| match e {
+        SpecError::Schema(msg) => {
+            SpecError::Schema(format!("`suite.runs[{index}].sweep.run`: {msg}"))
+        }
+        SpecError::Json(msg) => SpecError::Json(format!("`suite.runs[{index}].sweep.run`: {msg}")),
+        SpecError::File(msg) => SpecError::File(msg),
+        SpecError::Dsl(e) => SpecError::Dsl(e),
+    })?;
+    let param = fields
+        .require("param")
+        .map_err(|e| prefix_member_error(e, index))?
+        .as_str()
+        .filter(|p| !p.is_empty())
+        .ok_or_else(|| {
+            schema_err(format!(
+                "`suite.runs[{index}].sweep.param` must be a non-empty string"
+            ))
+        })?
+        .to_string();
+    let grid = fields
+        .require("grid")
+        .map_err(|e| prefix_member_error(e, index))?
+        .as_array()
+        .filter(|g| !g.is_empty())
+        .ok_or_else(|| {
+            schema_err(format!(
+                "`suite.runs[{index}].sweep.grid` must be a non-empty array"
+            ))
+        })?;
+
+    let mut members = Vec::with_capacity(grid.len());
+    for (j, value) in grid.iter().enumerate() {
+        if !matches!(
+            value,
+            Value::UInt(_) | Value::Float(_) | Value::Str(_) | Value::Bool(_)
+        ) {
+            return Err(schema_err(format!(
+                "`suite.runs[{index}].sweep.grid[{j}]` must be a scalar"
+            )));
+        }
+        let mut spec = run.clone();
+        spec.scenario = bind_sweep_value(&spec.scenario, &param, value).map_err(|e| match e {
+            SpecError::Schema(msg) => {
+                SpecError::Schema(format!("`suite.runs[{index}].sweep.grid[{j}]`: {msg}"))
+            }
+            other => other,
+        })?;
+        members.push(SuiteMember::Run(spec));
+    }
+    Ok(members)
+}
+
+/// Rebinds one scenario parameter to a grid value: into the DSL binding
+/// object for `{"dsl": …}` scenarios (re-validated, so a grid value that
+/// breaks an interval bound is rejected with its span at parse time),
+/// in-place into the parameter list for registry scenarios.
+fn bind_sweep_value(
+    scenario: &ScenarioRef,
+    param: &str,
+    value: &Value,
+) -> Result<ScenarioRef, SpecError> {
+    if let Some((source, bound)) = scenario.dsl_parts() {
+        if value.as_f64().is_none() {
+            return Err(schema_err(format!(
+                "dsl parameter `{param}` needs a numeric grid value"
+            )));
+        }
+        let mut bound = bound.to_vec();
+        match bound.iter_mut().find(|(k, _)| k == param) {
+            Some(pair) => pair.1 = value.clone(),
+            None => bound.push((param.to_string(), value.clone())),
+        }
+        let source = source.to_string();
+        imc_models::dsl::validate(&source, &bound).map_err(SpecError::Dsl)?;
+        return Ok(ScenarioRef::dsl(source, bound));
+    }
+    let Value::Object(mut pairs) = scenario.params.to_json() else {
+        unreachable!("ScenarioParams serializes to an object");
+    };
+    match pairs.iter_mut().find(|(k, _)| k == param) {
+        Some(pair) => pair.1 = value.clone(),
+        None => pairs.push((param.to_string(), value.clone())),
+    }
+    Ok(ScenarioRef {
+        name: scenario.name.clone(),
+        params: ScenarioParams::from_pairs(pairs),
+    })
+}
+
 fn prefix_member_error(e: SpecError, index: usize) -> SpecError {
     match e {
         SpecError::Schema(msg) => SpecError::Schema(format!("`suite.runs[{index}]`: {msg}")),
         SpecError::Json(msg) => SpecError::Json(format!("`suite.runs[{index}]`: {msg}")),
         SpecError::File(msg) => SpecError::File(msg),
+        // Spanned DSL diagnostics stay typed — the line/column points
+        // into the member's own source text.
+        SpecError::Dsl(e) => SpecError::Dsl(e),
     }
 }
 

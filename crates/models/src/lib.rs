@@ -20,11 +20,16 @@
 //! * [`scenario`] — the **scenario registry**: every benchmark plus
 //!   file-loaded models behind one `name + params → Setup` front door,
 //!   resolved by `RunSpec` manifests, the CLI and the experiment
-//!   binaries (see [`scenario::ScenarioRegistry`]).
+//!   binaries (see [`scenario::ScenarioRegistry`]);
+//! * [`dsl`] — the scenario DSL: IMC models, properties and typed
+//!   parameters as plain text, compiled at submit time into the same
+//!   [`Setup`] shape through the same builders (registered as the
+//!   `"dsl"` scenario).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dsl;
 pub mod fleet;
 pub mod group_repair;
 pub mod illustrative;

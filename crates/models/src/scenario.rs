@@ -118,7 +118,7 @@ pub enum GroupRepairIs {
 /// Blends each row of `zv` with the corresponding row of `center`:
 /// `b = w·zv + (1−w)·center`. Keeps every transition of `center`
 /// samplable, so likelihood ratios stay bounded by `1/(1−w)` per step.
-fn mix_chains(zv: &Dtmc, center: &Dtmc, w: f64) -> Dtmc {
+pub(crate) fn mix_chains(zv: &Dtmc, center: &Dtmc, w: f64) -> Dtmc {
     let rows: Vec<(usize, Vec<imc_markov::RowEntry>)> = (0..center.num_states())
         .map(|s| {
             let entries: Vec<imc_markov::RowEntry> = center
@@ -579,6 +579,7 @@ impl ScenarioRegistry {
         registry.register(Box::new(RepairFleet));
         registry.register(Box::new(Swat));
         registry.register(Box::new(FromFile));
+        registry.register(Box::new(FromDsl));
         registry
     }
 
@@ -1028,6 +1029,47 @@ impl Scenario for FromFile {
         let imc = io::read_imc(std::io::BufReader::new(file))
             .map_err(|e| ScenarioError::Build(format!("cannot parse `{path}` as an IMC: {e}")))?;
         setup_from_imc(imc, &path, params)
+    }
+}
+
+struct FromDsl;
+
+impl Scenario for FromDsl {
+    fn name(&self) -> &'static str {
+        "dsl"
+    }
+    fn summary(&self) -> &'static str {
+        "a scenario compiled from DSL source text (model, property, IS chain; see docs/FORMATS.md)"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[
+            ParamSpec {
+                key: "source",
+                description: "DSL source text (states, intervals, property, typed parameters)",
+                default: "required",
+            },
+            ParamSpec {
+                key: "params",
+                description: "object binding declared DSL parameters to numbers",
+                default: "{}",
+            },
+        ];
+        PARAMS
+    }
+    fn build(&self, params: &ScenarioParams) -> Result<Setup, ScenarioError> {
+        params.check_known(&["source", "params"])?;
+        let source = params.str_required("source")?;
+        let bound: Vec<(String, Value)> = match params.get("params") {
+            None => Vec::new(),
+            Some(value) => value
+                .as_object()
+                .ok_or_else(|| bad("params", "expected an object of parameter bindings"))?
+                .to_vec(),
+        };
+        // The spanned diagnostic is flattened into the Build message here;
+        // manifest parsers call `dsl::validate` eagerly and surface the
+        // typed `DslError` with its span intact.
+        crate::dsl::compile(&source, &bound).map_err(|e| ScenarioError::Build(e.to_string()))
     }
 }
 

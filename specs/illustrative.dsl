@@ -1,0 +1,34 @@
+# The DSN'18 illustrative example (Fig. 1): a 4-state chain where the
+# rare goal s2 is guarded by a low-probability escape and a retry loop.
+#
+#   s3 <-(1-a)- s0 -(a)-> s1 -(c)-> s2        s2, s3 absorbing
+#                ^---------(1-c)----'
+#
+# The interval model widens the a- and c-rows by their half-widths;
+# every probability below is an expression over the declared params, so
+# `imcis dsl specs/illustrative.dsl --param a=0.0004` re-centres the
+# whole model without touching this file.
+
+scenario "illustrative-dsl"
+
+param a     = 0.0003    # centre of the escape probability (the paper's â)
+param eps_a = 0.00025   # half-width of the a interval: a ± eps_a
+param c     = 0.0498    # centre of the success probability ĉ
+param eps_c = 0.0005    # half-width of the c interval
+
+model {
+  state s0 initial {
+    -> s1 [a - eps_a, a + eps_a] @ a
+    -> s3 [1 - a - eps_a, 1 - a + eps_a] @ 1 - a
+  }
+  state s1 {
+    -> s2 [c - eps_c, c + eps_c] @ c
+    -> s0 [1 - c - eps_c, 1 - c + eps_c] @ 1 - c
+  }
+  state s2 label "goal" { -> s2 1.0 }
+  state s3 label "sink" { -> s3 1.0 }
+}
+
+property reach "goal" avoid "sink"
+
+is zero_variance

@@ -42,6 +42,7 @@ fn documented_subcommands_dispatch() {
     for (command, expect) in [
         ("run", "run needs a spec file"),
         ("suite", "suite takes exactly one"),
+        ("dsl", "dsl takes exactly one"),
         ("submit", "submit takes exactly one"),
     ] {
         let err = run(&args(&[command])).unwrap_err();
@@ -109,6 +110,7 @@ fn documented_flags_match_the_parsers() {
         "--search-batch",
         "--search-threads",
     ];
+    let dsl_flags = ["--param", "--emit-spec"];
     let serve_flags = ["--addr", "--workers", "--queue", "--rate"];
     let router_flags = ["--backend", "--addr", "--queue", "--heartbeat-ms"];
     let submit_flags = [
@@ -165,6 +167,23 @@ fn documented_flags_match_the_parsers() {
         };
         assert!(msg.contains("requires a value"), "solve {flag}: {msg}");
     }
+    // `dsl` accepts --param (valued) and --emit-spec (boolean); anything
+    // else is its own usage error, not a fall-through.
+    let err = run(&args(&["dsl", "--param"])).unwrap_err();
+    let CliError::Usage(msg) = err else {
+        panic!("dsl --param: expected usage error");
+    };
+    assert!(msg.contains("requires a value"), "dsl --param: {msg}");
+    let err = run(&args(&["dsl", "--emit-spec"])).unwrap_err();
+    let CliError::Usage(msg) = err else {
+        panic!("dsl --emit-spec alone: expected usage error");
+    };
+    assert!(msg.contains("dsl takes exactly one"), "{msg}");
+    let err = run(&args(&["dsl", "spec.dsl", "--wat"])).unwrap_err();
+    let CliError::Usage(msg) = err else {
+        panic!("dsl --wat: expected usage error");
+    };
+    assert!(msg.contains("unexpected dsl argument"), "{msg}");
     for flag in serve_flags {
         let err = run(&args(&["serve", flag])).unwrap_err();
         let CliError::Usage(msg) = err else {
@@ -201,6 +220,7 @@ fn documented_flags_match_the_parsers() {
     let vocabulary: std::collections::BTreeSet<&str> = run_flags
         .iter()
         .chain(&model_flags)
+        .chain(&dsl_flags)
         .chain(&serve_flags)
         .chain(&router_flags)
         .chain(&submit_flags)

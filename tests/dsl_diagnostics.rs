@@ -1,0 +1,198 @@
+//! Golden pin of the exact DSL diagnostics: message text, error kind and
+//! line/column span for every failure family — expected-token sets,
+//! unknown labels, interval-bound violations, parameter binding errors,
+//! structural duplicates, depth limits.
+//!
+//! The rendered catalogue lives in `tests/golden/dsl_diagnostics.txt`.
+//! Changing a diagnostic deliberately? Re-bless with
+//! `IMCIS_BLESS_GOLDEN=1 cargo test --test dsl_diagnostics`.
+
+use imcis_core::dsl::{self, DslError};
+use serde::json::Value;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/dsl_diagnostics.txt"
+);
+
+/// A minimal valid model block for cases exercising later phases.
+const MODEL: &str = r#"model {
+  state s0 initial {
+    -> s1 [0.2, 0.6] @ 0.4
+    -> s0 0.6
+  }
+  state s1 label "goal" { -> s1 1.0 }
+}
+property reach "goal"
+"#;
+
+fn case(title: &str, source: &str, bound: &[(String, Value)]) -> String {
+    let outcome = match dsl::validate(source, bound) {
+        Ok(()) => "ok".to_string(),
+        Err(DslError {
+            kind,
+            message,
+            line,
+            col,
+        }) => format!("{kind:?} at {line}:{col}: {message}"),
+    };
+    format!("== {title}\n{outcome}\n")
+}
+
+#[test]
+fn dsl_diagnostics_match_the_golden_catalogue() {
+    let bind = |k: &str, v: Value| vec![(k.to_string(), v)];
+    let cases = [
+        case("valid source is accepted", MODEL, &[]),
+        case(
+            "unexpected top-level token",
+            "model { state s0 initial { -> s0 1.0 } }\nproperty reach \"g\"\nbogus",
+            &[],
+        ),
+        case("unexpected token kind at top level", "42", &[]),
+        case(
+            "expected-token set inside a state",
+            "model {\n  state s0 initial {\n    s1 0.5\n  }\n}",
+            &[],
+        ),
+        case(
+            "missing interval comma",
+            "model {\n  state s0 initial {\n    -> s0 [0.1 0.9]\n  }\n}",
+            &[],
+        ),
+        case("unterminated string", "scenario \"half-open\nmodel {}", &[]),
+        case(
+            "unexpected character",
+            "model {\n  state s0 initial { -> s0 1.0 }\n}\nproperty reach %goal%",
+            &[],
+        ),
+        case(
+            "unknown property label",
+            "model {\n  state s0 initial { -> s0 1.0 }\n}\nproperty reach \"nowhere\"",
+            &[],
+        ),
+        case(
+            "interval bounds outside the unit range",
+            "model {\n  state s0 initial {\n    -> s0 [0.5, 1.5]\n  }\n}\nproperty reach \"g\"",
+            &[],
+        ),
+        case(
+            "interval lower bound above upper",
+            "model {\n  state s0 initial {\n    -> s0 [0.9, 0.2] @ 0.5\n  }\n}\nproperty reach \"g\"",
+            &[],
+        ),
+        case(
+            "centre outside its interval",
+            "model {\n  state s0 initial {\n    -> s0 [0.4, 0.6] @ 0.9\n  }\n}\nproperty reach \"g\"",
+            &[],
+        ),
+        case(
+            "centre row does not sum to one",
+            "model {\n  state s0 initial {\n    -> s0 0.5\n  }\n}\nproperty reach \"g\"",
+            &[],
+        ),
+        case(
+            "unknown target state",
+            "model {\n  state s0 initial {\n    -> ghost 1.0\n  }\n}\nproperty reach \"g\"",
+            &[],
+        ),
+        case(
+            "duplicate state",
+            "model {\n  state s0 initial { -> s0 1.0 }\n  state s0 { -> s0 1.0 }\n}\nproperty reach \"g\"",
+            &[],
+        ),
+        case(
+            "duplicate edge",
+            "model {\n  state s0 initial {\n    -> s0 0.5\n    -> s0 0.5\n  }\n}\nproperty reach \"g\"",
+            &[],
+        ),
+        case(
+            "two initial states",
+            "model {\n  state s0 initial { -> s0 1.0 }\n  state s1 initial { -> s1 1.0 }\n}\nproperty reach \"g\"",
+            &[],
+        ),
+        case(
+            "no initial state",
+            "model {\n  state s0 { -> s0 1.0 }\n}\nproperty reach \"g\"",
+            &[],
+        ),
+        case("missing model block", "property reach \"g\"", &[]),
+        case(
+            "missing property",
+            "model { state s0 initial { -> s0 1.0 } }",
+            &[],
+        ),
+        case(
+            "unknown parameter in expression",
+            "model {\n  state s0 initial {\n    -> s0 q\n  }\n}\nproperty reach \"g\"",
+            &[],
+        ),
+        case(
+            "undeclared bound parameter",
+            MODEL,
+            &bind("w", Value::Float(0.5)),
+        ),
+        case(
+            "non-numeric binding",
+            &format!("param p = 0.4\n{MODEL}"),
+            &bind("p", Value::Str("high".into())),
+        ),
+        case(
+            "fractional binding for an int parameter",
+            &format!("param n : int = 3\n{MODEL}"),
+            &bind("n", Value::Float(2.5)),
+        ),
+        case(
+            "unknown parameter type",
+            "param n : text = 3\nmodel { state s0 initial { -> s0 1.0 } }\nproperty reach \"g\"",
+            &[],
+        ),
+        case(
+            "non-integer within bound",
+            "model {\n  state s0 initial label \"g\" { -> s0 1.0 }\n}\nproperty reach \"g\" within 2.5",
+            &[],
+        ),
+        case(
+            "unknown is construction",
+            &format!("{MODEL}is tempering"),
+            &[],
+        ),
+        case(
+            "mixture weight outside the unit range",
+            &format!("{MODEL}is mixture(1.5)"),
+            &[],
+        ),
+        case(
+            "gamma reference outside the unit range",
+            &format!("{MODEL}gamma center = 2.0"),
+            &[],
+        ),
+        case(
+            "duplicate property",
+            &format!("{MODEL}property reach \"goal\""),
+            &[],
+        ),
+        case(
+            "expression depth limit",
+            &format!("param x = {}1{}", "(".repeat(80), ")".repeat(80)),
+            &[],
+        ),
+        case(
+            "division yielding a non-finite value",
+            "param x = 1 / 0\nmodel { state s0 initial { -> s0 x } }\nproperty reach \"g\"",
+            &[],
+        ),
+    ];
+    let rendered = cases.concat();
+    if std::env::var_os("IMCIS_BLESS_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &rendered).expect("can write the golden catalogue");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("cannot read {GOLDEN}: {e} (IMCIS_BLESS_GOLDEN=1 creates it)"));
+    assert_eq!(
+        rendered, golden,
+        "DSL diagnostics drifted from the golden catalogue \
+         (IMCIS_BLESS_GOLDEN=1 re-blesses deliberately)"
+    );
+}

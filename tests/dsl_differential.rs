@@ -1,0 +1,258 @@
+//! The DSL ↔ registry differential: the `illustrative` and
+//! `group-repair` scenarios re-expressed in the scenario DSL must
+//! produce stable `Report`s **byte-identical** to the registry-built
+//! scenarios, at threads {1, 2, 8}, batch and served.
+//!
+//! The DSL sources are generated from the registry setups themselves:
+//! every probability, interval bound and reference γ is rendered with
+//! `{:?}` (Rust's shortest round-trip float form), which `str::parse`
+//! recovers bit-exactly. With the model data bit-identical and the same
+//! builders, solvers and samplers running on both sides, everything
+//! downstream — estimates, CIs, traces, coverage — must match to the
+//! byte. The only report field excluded is the `spec` echo, which
+//! *should* differ (one names the registry, the other carries the
+//! source).
+
+use imc_models::scenario::{group_repair_setup, illustrative_setup, GroupRepairIs, Setup};
+use imcis_core::serve::{Client, ServeConfig, Server};
+use imcis_core::{RunSpec, Session, SuiteSpec};
+use serde::json::{self, Value};
+
+/// Renders `setup`'s model as DSL source: states in index order, every
+/// edge in CSR (target-sorted) order as `[lo, hi] @ centre` with `{:?}`
+/// literals. Builder CSR storage is insertion-order independent (rows
+/// are sorted by target), so compiling this source reproduces the
+/// setup's chains bit-for-bit.
+fn model_source(setup: &Setup, property_clause: &str, is_clause: &str) -> String {
+    let center = &setup.center;
+    let n = center.num_states();
+    let mut labels_by_state: Vec<Vec<&str>> = vec![Vec::new(); n];
+    for (name, states) in center.labels().iter() {
+        for s in states.iter() {
+            labels_by_state[s].push(name);
+        }
+    }
+    let mut source = String::new();
+    source.push_str(&format!("scenario {:?}\n\nmodel {{\n", setup.name));
+    for (s, state_labels) in labels_by_state.iter().enumerate() {
+        source.push_str(&format!("  state s{s}"));
+        if s == center.initial() {
+            source.push_str(" initial");
+        }
+        for label in state_labels {
+            source.push_str(&format!(" label {label:?}"));
+        }
+        source.push_str(" {\n");
+        let imc_row: Vec<_> = setup.imc.row(s).expect("state in range").iter().collect();
+        let center_row: Vec<_> = center.row(s).expect("state in range").iter().collect();
+        assert_eq!(
+            imc_row.len(),
+            center_row.len(),
+            "registry IMCs share their centre's support"
+        );
+        for (iv, ce) in imc_row.iter().zip(&center_row) {
+            assert_eq!(iv.target, ce.target, "support rows align");
+            assert!(ce.prob > 0.0, "centre entries are positive");
+            source.push_str(&format!(
+                "    -> s{} [{:?}, {:?}] @ {:?}\n",
+                iv.target, iv.lo, iv.hi, ce.prob
+            ));
+        }
+        source.push_str("  }\n");
+    }
+    source.push_str("}\n\n");
+    source.push_str(property_clause);
+    source.push('\n');
+    source.push_str(is_clause);
+    source.push('\n');
+    if let Some(g) = setup.gamma_center {
+        source.push_str(&format!("gamma center = {g:?}\n"));
+    }
+    if let Some(g) = setup.gamma_exact {
+        source.push_str(&format!("gamma exact = {g:?}\n"));
+    }
+    source
+}
+
+fn illustrative_source() -> String {
+    model_source(
+        &illustrative_setup(),
+        "property reach \"goal\" avoid \"sink\"",
+        "is zero_variance",
+    )
+}
+
+fn group_repair_source() -> String {
+    model_source(
+        &group_repair_setup(GroupRepairIs::Mixture(0.9), 2018),
+        "property reach \"failure\" before return",
+        "is mixture(0.9) avoid initial",
+    )
+}
+
+/// A run spec `value` with its `scenario` object replaced.
+fn with_scenario(spec: &Value, scenario: Value) -> Value {
+    Value::Object(
+        spec.as_object()
+            .expect("spec is an object")
+            .iter()
+            .map(|(k, v)| {
+                if k == "scenario" {
+                    (k.clone(), scenario.clone())
+                } else {
+                    (k.clone(), v.clone())
+                }
+            })
+            .collect(),
+    )
+}
+
+fn with_threads(spec: &Value, threads: usize) -> Value {
+    Value::Object(
+        spec.as_object()
+            .expect("spec is an object")
+            .iter()
+            .map(|(k, v)| {
+                if k == "threads" {
+                    (k.clone(), Value::UInt(threads as u64))
+                } else {
+                    (k.clone(), v.clone())
+                }
+            })
+            .collect(),
+    )
+}
+
+fn dsl_scenario(source: &str) -> Value {
+    Value::object([
+        ("dsl".into(), Value::Str(source.into())),
+        ("params".into(), Value::Object(Vec::new())),
+    ])
+}
+
+/// The stable report with the `spec` echo removed — the echo is the one
+/// field where the two paths legitimately differ.
+fn stable_without_spec(spec: RunSpec) -> String {
+    let mut stable = Session::from_spec(spec)
+        .expect("setup builds")
+        .run()
+        .expect("run completes")
+        .to_json_stable();
+    stable.remove("spec");
+    stable.pretty()
+}
+
+fn registry_illustrative() -> Value {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/specs/illustrative_smoke.json"
+    ))
+    .expect("checked-in spec");
+    json::parse(&text).expect("valid JSON")
+}
+
+fn registry_group_repair() -> Value {
+    json::parse(
+        r#"{
+            "scenario": {"name": "group-repair", "params": {"is": "mixture", "w": 0.9}},
+            "method": {"name": "standard-is", "n_traces": 2000},
+            "seed": 2018,
+            "threads": 1,
+            "repetitions": 2
+        }"#,
+    )
+    .expect("valid JSON")
+}
+
+fn assert_differential(registry_spec: &Value, source: &str) {
+    let dsl_spec = with_scenario(registry_spec, dsl_scenario(source));
+    for threads in [1usize, 2, 8] {
+        let registry = RunSpec::from_json(&with_threads(registry_spec, threads)).unwrap();
+        let dsl = RunSpec::from_json(&with_threads(&dsl_spec, threads)).unwrap();
+        assert_ne!(
+            registry.scenario.cache_fingerprint(),
+            dsl.scenario.cache_fingerprint(),
+            "the two paths are distinct cache entries"
+        );
+        assert_eq!(
+            stable_without_spec(registry),
+            stable_without_spec(dsl),
+            "threads={threads}: DSL-compiled report diverged from the registry report"
+        );
+    }
+}
+
+#[test]
+fn illustrative_dsl_report_is_byte_identical_to_registry() {
+    assert_differential(&registry_illustrative(), &illustrative_source());
+}
+
+#[test]
+fn group_repair_dsl_report_is_byte_identical_to_registry() {
+    assert_differential(&registry_group_repair(), &group_repair_source());
+}
+
+/// The served path: a suite pairing each registry member with its DSL
+/// twin, executed by a live daemon. The DSL members compile server-side
+/// into the shared `SetupCache`; their member reports must be
+/// byte-identical to the registry members' (spec echo aside) and to the
+/// batch path.
+#[test]
+fn served_dsl_members_match_registry_members() {
+    let illustrative = registry_illustrative();
+    let group_repair = registry_group_repair();
+    let pairs = [
+        (illustrative.clone(), illustrative_source()),
+        (group_repair.clone(), group_repair_source()),
+    ];
+    let mut members = Vec::new();
+    for (registry_spec, source) in &pairs {
+        members.push(registry_spec.clone());
+        members.push(with_scenario(registry_spec, dsl_scenario(source)));
+    }
+    let suite_value = Value::object([("runs".into(), Value::Array(members))]);
+    let suite = SuiteSpec::from_json_with_base(&suite_value, None).unwrap();
+
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue: 8,
+        rate: 0,
+    })
+    .expect("ephemeral bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let outcome = Client::connect(addr)
+        .unwrap()
+        .submit(&suite, |_, _| {})
+        .expect("suite is served");
+    assert_eq!(outcome.members.len(), 4);
+
+    let stable = |member: &Value| -> String {
+        assert_eq!(
+            member.get("status").and_then(Value::as_str),
+            Some("ok"),
+            "member completed: {}",
+            member.pretty()
+        );
+        let mut report = member.get("report").expect("ok members report").clone();
+        report.remove("spec");
+        report.pretty()
+    };
+    for pair in outcome.members.chunks(2) {
+        assert_eq!(
+            stable(&pair[0]),
+            stable(&pair[1]),
+            "served DSL member diverged from its registry twin"
+        );
+    }
+    // And the served members match the batch path bit-for-bit. The suite
+    // seed-base rewrite doesn't apply here (no `seed_base`), so each
+    // member is exactly the standalone run.
+    let batch = stable_without_spec(RunSpec::from_json(&pairs[0].0).unwrap());
+    assert_eq!(stable(&outcome.members[0]), batch);
+
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}

@@ -1,0 +1,241 @@
+//! Sweep-manifest expansion, pinned end to end:
+//!
+//! * expanding `{"sweep": {...}}` members is deterministic — the same
+//!   manifest always yields the same canonical `SuiteSpec` bytes, and
+//!   the expanded form is itself a parse → serialize fixpoint;
+//! * the expansion is exactly the hand-unrolled member list: same
+//!   canonical spec, same byte-identical stable `SuiteReport`;
+//! * member seeds follow the suite discipline — with `seed_base` set,
+//!   expanded member `i` runs with `stream_seed(seed_base, i)`, counting
+//!   *expanded* indices, not manifest entries;
+//! * malformed sweeps fail with precise, member-indexed diagnostics.
+
+use imc_sim::stream_seed;
+use imcis_core::{SpecError, Suite, SuiteSpec};
+use serde::json::{self, Value};
+
+const SMOKE_SUITE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/dsl_smoke_suite.json");
+const DSL_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/illustrative_dsl.json");
+
+fn load_smoke_suite() -> SuiteSpec {
+    let text = std::fs::read_to_string(SMOKE_SUITE).expect("checked-in suite");
+    let value = json::parse(&text).expect("valid JSON");
+    let base = std::path::Path::new(SMOKE_SUITE)
+        .parent()
+        .map(|p| p.to_path_buf());
+    SuiteSpec::from_json_with_base(&value, base.as_deref()).expect("suite parses")
+}
+
+/// The grid the checked-in smoke suite sweeps over.
+const GRID: [f64; 3] = [0.05, 0.1, 0.2];
+
+#[test]
+fn sweep_expansion_is_deterministic_and_canonical() {
+    let first = load_smoke_suite().to_json_string();
+    let second = load_smoke_suite().to_json_string();
+    assert_eq!(first, second, "expansion must be deterministic");
+
+    // The expanded form is a fixpoint: parsing the canonical output and
+    // re-serializing reproduces it byte-for-byte (no sweep left inside).
+    let reparsed: SuiteSpec = first.parse().expect("expanded suite parses");
+    assert_eq!(reparsed.to_json_string(), first);
+    assert!(
+        !first.contains("\"sweep\""),
+        "expansion leaves no sweep behind"
+    );
+
+    // One file member + three grid points.
+    let spec = load_smoke_suite();
+    assert_eq!(spec.runs.len(), 1 + GRID.len());
+
+    // Expanded members carry the grid values as their `p` binding, in
+    // grid order.
+    for (i, p) in GRID.iter().enumerate() {
+        let member = spec.runs[1 + i].run_spec();
+        let (_, bound) = member
+            .scenario
+            .dsl_parts()
+            .expect("sweep members stay dsl-form");
+        assert_eq!(bound, [("p".to_string(), Value::Float(*p))]);
+    }
+
+    // Seeds follow the suite discipline over *expanded* indices: the
+    // manifest sets seed_base 2018, so member i runs stream_seed(2018, i)
+    // even though members 1..4 come from a single manifest entry.
+    for (i, member) in spec.runs.iter().enumerate() {
+        assert_eq!(
+            member.run_spec().seed,
+            stream_seed(2018, i as u64),
+            "member {i} seed must derive from the expanded index"
+        );
+    }
+}
+
+/// The sweep is sugar, nothing more: hand-unrolling the grid into
+/// explicit members yields the identical canonical spec and — run end to
+/// end — the byte-identical stable report.
+#[test]
+fn expanded_suite_matches_the_hand_unrolled_member_list() {
+    let expanded = load_smoke_suite();
+
+    // Reconstruct the member list by hand: the referenced RunSpec file,
+    // then one explicit member per grid value with `p` bound in params.
+    let dsl_member =
+        json::parse(&std::fs::read_to_string(DSL_SPEC).expect("checked-in spec")).unwrap();
+    let suite_text = std::fs::read_to_string(SMOKE_SUITE).unwrap();
+    let suite_value = json::parse(&suite_text).unwrap();
+    let sweep_run = suite_value
+        .get("runs")
+        .and_then(Value::as_array)
+        .and_then(|runs| runs[1].get("sweep"))
+        .and_then(|s| s.get("run"))
+        .expect("the smoke suite's second member is a sweep")
+        .clone();
+    let source = sweep_run
+        .get("scenario")
+        .and_then(|s| s.get("dsl"))
+        .and_then(Value::as_str)
+        .expect("sweep run is dsl-form")
+        .to_string();
+
+    let mut runs = vec![dsl_member];
+    for p in GRID {
+        let mut member = sweep_run.clone();
+        let scenario = Value::object([
+            ("dsl".into(), Value::Str(source.clone())),
+            (
+                "params".into(),
+                Value::object([("p".into(), Value::Float(p))]),
+            ),
+        ]);
+        // Replace the scenario object wholesale; everything else (method,
+        // seed, threads) is shared across the grid.
+        let pairs: Vec<(String, Value)> = member
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| {
+                if k == "scenario" {
+                    (k.clone(), scenario.clone())
+                } else {
+                    (k.clone(), v.clone())
+                }
+            })
+            .collect();
+        member = Value::Object(pairs);
+        runs.push(member);
+    }
+    let unrolled_value = Value::object([
+        ("runs".into(), Value::Array(runs)),
+        ("seed_base".into(), Value::UInt(2018)),
+        ("threads".into(), Value::UInt(2)),
+    ]);
+    let unrolled = SuiteSpec::from_json_with_base(&unrolled_value, None).expect("unrolled parses");
+
+    assert_eq!(
+        unrolled.to_json_string(),
+        expanded.to_json_string(),
+        "sweep expansion and hand-unrolling must agree on the canonical spec"
+    );
+
+    // And the reports agree to the byte — sharing one setup cache across
+    // grid points changes wall-clock only.
+    let expanded_report = Suite::from_spec(expanded)
+        .expect("setups build")
+        .run()
+        .expect("suite runs")
+        .to_json_stable()
+        .pretty();
+    let unrolled_report = Suite::from_spec(unrolled)
+        .unwrap()
+        .run()
+        .unwrap()
+        .to_json_stable()
+        .pretty();
+    assert_eq!(expanded_report, unrolled_report);
+}
+
+/// Registry scenarios sweep the same way: the parameter lands in
+/// `scenario.params`, overriding any value the base run carried.
+#[test]
+fn sweeps_bind_registry_scenario_params_too() {
+    let suite = json::parse(
+        r#"{
+            "runs": [{
+                "sweep": {
+                    "run": {
+                        "scenario": {"name": "group-repair",
+                                     "params": {"is": "mixture", "w": 0.9}},
+                        "method": {"name": "standard-is", "n_traces": 100}
+                    },
+                    "param": "w",
+                    "grid": [0.5, 0.9]
+                }
+            }]
+        }"#,
+    )
+    .unwrap();
+    let spec = SuiteSpec::from_json_with_base(&suite, None).expect("sweep over registry params");
+    assert_eq!(spec.runs.len(), 2);
+    for (member, w) in spec.runs.iter().zip([0.5, 0.9]) {
+        let params = member.run_spec().scenario.params.to_json();
+        assert_eq!(
+            params.get("w").and_then(Value::as_f64),
+            Some(w),
+            "grid value must override the base `w`"
+        );
+    }
+}
+
+#[test]
+fn malformed_sweeps_are_precise_member_indexed_errors() {
+    let parse = |text: &str| {
+        SuiteSpec::from_json_with_base(&json::parse(text).unwrap(), None)
+            .expect_err("malformed sweep must be rejected")
+    };
+    let run = r#"{"scenario": {"dsl": "param p = 0.5\nmodel { state s0 initial { -> s0 1.0 } }\nproperty reach \"g\""}, "method": {"name": "smc"}}"#;
+    // A label that exists, so only the sweep shape is at fault below.
+    let run = run.replace("state s0 initial", "state s0 initial label \\\"g\\\"");
+
+    let cases: Vec<(String, &str)> = vec![
+        (
+            // Keys next to `sweep` are rejected, not silently ignored.
+            format!(
+                r#"{{"runs": [{{"sweep": {{"run": {run}, "param": "p", "grid": [0.1]}}, "seed": 7}}]}}"#
+            ),
+            "alongside `sweep`",
+        ),
+        (
+            format!(r#"{{"runs": [{{"sweep": {{"run": {run}, "param": "p", "grid": []}}}}]}}"#),
+            "grid",
+        ),
+        (
+            format!(
+                r#"{{"runs": [{{"sweep": {{"run": {run}, "param": "p", "grid": [[0.1]]}}}}]}}"#
+            ),
+            "scalar",
+        ),
+        (
+            format!(
+                r#"{{"runs": [{{"sweep": {{"run": {run}, "param": "p", "grid": ["hot"]}}}}]}}"#
+            ),
+            "numeric",
+        ),
+        (
+            // An undeclared parameter fails DSL re-validation per grid value.
+            format!(
+                r#"{{"runs": [{{"sweep": {{"run": {run}, "param": "zeta", "grid": [0.1]}}}}]}}"#
+            ),
+            "zeta",
+        ),
+    ];
+    for (text, needle) in cases {
+        let err = parse(&text);
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "diagnostic for {needle}: {msg}");
+        assert!(
+            msg.contains("runs[0]") || matches!(err, SpecError::Dsl(_)),
+            "diagnostic names the member (or stays a typed DSL error): {msg}"
+        );
+    }
+}

@@ -2,7 +2,8 @@
 //! block in it is parsed through the *real* validators — manifests
 //! through the strict `RunSpec`/`SuiteSpec` parsers, reports through
 //! `validate_report_json`/`validate_suite_report_json`, wire messages
-//! through `parse_request`/`validate_event`. A documented example that
+//! through `parse_request`/`validate_event` — and every ```dsl block
+//! through the real scenario-DSL compiler. A documented example that
 //! the implementation would reject fails this test.
 
 use imcis_core::serve::{parse_request, validate_event, Request};
@@ -14,13 +15,14 @@ use serde::json::{self, Value};
 
 const FORMATS_MD: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/FORMATS.md");
 
-/// Extracts the contents of every ```json fenced block.
-fn json_blocks(markdown: &str) -> Vec<String> {
+/// Extracts the contents of every fenced block with the given info tag.
+fn fenced_blocks(markdown: &str, tag: &str) -> Vec<String> {
+    let fence = format!("```{tag}");
     let mut blocks = Vec::new();
     let mut current: Option<String> = None;
     for line in markdown.lines() {
         match &mut current {
-            None if line.trim() == "```json" => current = Some(String::new()),
+            None if line.trim() == fence => current = Some(String::new()),
             None => {}
             Some(block) => {
                 if line.trim() == "```" {
@@ -32,8 +34,22 @@ fn json_blocks(markdown: &str) -> Vec<String> {
             }
         }
     }
-    assert!(current.is_none(), "unterminated ```json block");
+    assert!(current.is_none(), "unterminated ```{tag} block");
     blocks
+}
+
+fn json_blocks(markdown: &str) -> Vec<String> {
+    fenced_blocks(markdown, "json")
+}
+
+/// A suitespec whose `runs` still carry a `sweep` member is *input*
+/// sugar: it parses, but its canonical output is the expanded member
+/// list, so the byte-identity assertion does not apply to it.
+fn has_sweep_member(value: &Value) -> bool {
+    value
+        .get("runs")
+        .and_then(Value::as_array)
+        .is_some_and(|runs| runs.iter().any(|m| m.get("sweep").is_some()))
 }
 
 #[test]
@@ -151,13 +167,46 @@ fn documented_manifest_examples_are_canonical() {
             }
             Some(SUITESPEC_SCHEMA) => {
                 let spec = SuiteSpec::from_json_with_base(&value, None).unwrap();
-                assert_eq!(
-                    spec.to_json_string(),
-                    block,
-                    "the suitespec example is not in canonical form"
-                );
+                if has_sweep_member(&value) {
+                    // Sweep members expand at parse time, so the input
+                    // is not its own canonical form — but the expanded
+                    // output must be a parse → serialize fixpoint.
+                    let expanded = spec.to_json_string();
+                    assert!(
+                        !expanded.contains("\"sweep\""),
+                        "serialized suitespec must not carry sweeps"
+                    );
+                    let reparsed: SuiteSpec = expanded.parse().unwrap();
+                    assert_eq!(reparsed.to_json_string(), expanded);
+                } else {
+                    assert_eq!(
+                        spec.to_json_string(),
+                        block,
+                        "the suitespec example is not in canonical form"
+                    );
+                }
             }
             _ => {}
         }
     }
+}
+
+/// Every ```dsl block compiles through the real scenario-DSL front end
+/// with no external bindings.
+#[test]
+fn every_documented_dsl_example_compiles() {
+    let markdown = std::fs::read_to_string(FORMATS_MD).expect("docs/FORMATS.md exists");
+    let blocks = fenced_blocks(&markdown, "dsl");
+    assert!(
+        blocks.len() >= 2,
+        "expected at least two documented DSL sources, found {}",
+        blocks.len()
+    );
+    for (i, source) in blocks.iter().enumerate() {
+        imcis_core::dsl::validate(source, &[])
+            .unwrap_or_else(|e| panic!("docs/FORMATS.md dsl block #{i} does not compile: {e}"));
+    }
+    // The embedded sources inside the documented `{"dsl": ...}` manifests
+    // are exercised transitively by the json-block tests above (manifest
+    // parsing validates DSL scenarios eagerly).
 }

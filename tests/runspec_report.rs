@@ -19,6 +19,11 @@ const ILLUSTRATIVE_SPEC: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/specs/illustrative_smoke.json");
 const GROUP_REPAIR_SPEC: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/specs/group_repair_imcis.json");
+// Emitted by `imcis dsl specs/illustrative.dsl --emit-spec`: the
+// `{"dsl": ...}` scenario form, embedding the DSL source verbatim
+// (comments, UTF-8 and all), must round-trip like any other manifest.
+const ILLUSTRATIVE_DSL_SPEC: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/specs/illustrative_dsl.json");
 const CE_CAMPAIGN_SUITE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/specs/group_repair_ce_campaign.json"
@@ -34,7 +39,7 @@ fn read(path: &str) -> String {
 
 #[test]
 fn checked_in_specs_are_canonical_and_round_trip() {
-    for path in [ILLUSTRATIVE_SPEC, GROUP_REPAIR_SPEC] {
+    for path in [ILLUSTRATIVE_SPEC, GROUP_REPAIR_SPEC, ILLUSTRATIVE_DSL_SPEC] {
         let text = read(path);
         let spec = RunSpec::from_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
         // Canonical on disk: serializing the parsed spec reproduces the
